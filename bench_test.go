@@ -1,0 +1,378 @@
+package gdprbench
+
+// One testing.B benchmark per table and figure of the paper's evaluation,
+// plus ablation benches for the design choices DESIGN.md calls out. Each
+// figure bench runs the corresponding experiment harness end to end and
+// reports headline series values as custom metrics, so
+//
+//	go test -bench=. -benchmem
+//
+// regenerates the paper's artifacts. EXPERIMENTS.md records the
+// paper-reported values next to measured ones.
+
+import (
+	"fmt"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/kvstore"
+)
+
+// benchExperiment runs one experiment per iteration and logs its table.
+func benchExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := RunExperiment(id, ScaleSmall)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if i == 0 {
+			b.Logf("\n%s", res)
+		}
+	}
+}
+
+// parseDur parses a duration cell from an experiment row.
+func parseDur(b *testing.B, s string) time.Duration {
+	b.Helper()
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		b.Fatalf("bad duration %q: %v", s, err)
+	}
+	return d
+}
+
+func BenchmarkTable1Articles(b *testing.B)   { benchExperiment(b, "T1") }
+func BenchmarkTable2aWorkloads(b *testing.B) { benchExperiment(b, "T2a") }
+
+// BenchmarkFig3a regenerates the Redis TTL erasure-delay curve and reports
+// the largest size's lazy delay (virtual seconds) and strict delay.
+func BenchmarkFig3a(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunExperiment("F3a", ScaleSmall)
+		if err != nil {
+			b.Fatal(err)
+		}
+		last := res.Rows[len(res.Rows)-1]
+		b.ReportMetric(parseDur(b, last[1]).Seconds(), "lazy-erase-vsec")
+		b.ReportMetric(parseDur(b, last[2]).Seconds(), "strict-erase-vsec")
+		if i == 0 {
+			b.Logf("\n%s", res)
+		}
+	}
+}
+
+// BenchmarkFig3b regenerates the pgbench-vs-indices throughput collapse
+// and reports the two-index relative throughput (paper: ~33%).
+func BenchmarkFig3b(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunExperiment("F3b", ScaleSmall)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rel := strings.TrimSuffix(res.Rows[2][2], "%")
+		v, err := strconv.ParseFloat(rel, 64)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ReportMetric(v, "tps-2idx-%of-baseline")
+		if i == 0 {
+			b.Logf("\n%s", res)
+		}
+	}
+}
+
+func BenchmarkFig4aRedisFeatures(b *testing.B)    { benchExperiment(b, "F4a") }
+func BenchmarkFig4bPostgresFeatures(b *testing.B) { benchExperiment(b, "F4b") }
+
+// fig5Bench reports each workload's completion time in milliseconds.
+func fig5Bench(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := RunExperiment(id, ScaleSmall)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			b.ReportMetric(float64(parseDur(b, row[1]).Milliseconds()), row[0]+"-ms")
+		}
+		if i == 0 {
+			b.Logf("\n%s", res)
+		}
+	}
+}
+
+func BenchmarkFig5aGDPRbenchRedis(b *testing.B)           { fig5Bench(b, "F5a") }
+func BenchmarkFig5bGDPRbenchPostgres(b *testing.B)        { fig5Bench(b, "F5b") }
+func BenchmarkFig5cGDPRbenchPostgresIndexed(b *testing.B) { fig5Bench(b, "F5c") }
+
+// BenchmarkTable3SpaceOverhead reports the three space factors.
+func BenchmarkTable3SpaceOverhead(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunExperiment("T3", ScaleSmall)
+		if err != nil {
+			b.Fatal(err)
+		}
+		names := []string{"redis-x", "pg-x", "pg-idx-x"}
+		for r, row := range res.Rows {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(row[3], "x"), 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(v, names[r])
+		}
+		if i == 0 {
+			b.Logf("\n%s", res)
+		}
+	}
+}
+
+// BenchmarkFig6YCSBvsGDPR reports the throughput gap per engine.
+func BenchmarkFig6YCSBvsGDPR(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunExperiment("F6", ScaleSmall)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(row[3], "x"), 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(v, strings.ToLower(row[0])+"-gap-x")
+		}
+		if i == 0 {
+			b.Logf("\n%s", res)
+		}
+	}
+}
+
+// scaleBench reports the smallest and largest sizes' completion times, the
+// growth ratio being the figure's shape.
+func scaleBench(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		res, err := RunExperiment(id, ScaleSmall)
+		if err != nil {
+			b.Fatal(err)
+		}
+		first := parseDur(b, res.Rows[0][1])
+		last := parseDur(b, res.Rows[len(res.Rows)-1][1])
+		b.ReportMetric(float64(first.Milliseconds()), "smallest-ms")
+		b.ReportMetric(float64(last.Milliseconds()), "largest-ms")
+		if first > 0 {
+			b.ReportMetric(float64(last)/float64(first), "growth-x")
+		}
+		if i == 0 {
+			b.Logf("\n%s", res)
+		}
+	}
+}
+
+func BenchmarkFig7aRedisYCSBScale(b *testing.B)    { scaleBench(b, "F7a") }
+func BenchmarkFig7bRedisGDPRScale(b *testing.B)    { scaleBench(b, "F7b") }
+func BenchmarkFig8aPostgresYCSBScale(b *testing.B) { scaleBench(b, "F8a") }
+func BenchmarkFig8bPostgresGDPRScale(b *testing.B) { scaleBench(b, "F8b") }
+
+// ---------------------------------------------------------------------------
+// Ablation benches (DESIGN.md §7)
+
+// BenchmarkAblationExpiry compares the native lazy expiry cycle against
+// the paper's strict full-scan retrofit on a 100k-key store.
+func BenchmarkAblationExpiry(b *testing.B) {
+	for _, mode := range []kvstore.ExpiryMode{kvstore.ExpiryLazy, kvstore.ExpiryStrict} {
+		b.Run(mode.String(), func(b *testing.B) {
+			sim := clock.NewSim(time.Time{})
+			s, err := kvstore.Open(kvstore.Config{Clock: sim, ExpiryMode: mode})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer s.Close()
+			now := sim.Now()
+			for i := 0; i < 100_000; i++ {
+				exp := now.Add(5 * 24 * time.Hour)
+				if i%5 == 0 {
+					exp = now.Add(5 * time.Minute)
+				}
+				if err := s.SetWithExpiry(fmt.Sprintf("k%d", i), "v", exp); err != nil {
+					b.Fatal(err)
+				}
+			}
+			sim.Advance(5*time.Minute + time.Second)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.CycleOnce()
+			}
+		})
+	}
+}
+
+// BenchmarkAblationAuditSync sweeps the audit sync policy (off / everysec
+// / always) over persistent appends.
+func BenchmarkAblationAuditSync(b *testing.B) {
+	for _, policy := range []audit.Policy{audit.SyncNone, audit.SyncEverySec, audit.SyncAlways} {
+		b.Run(policy.String(), func(b *testing.B) {
+			log, err := audit.Open(audit.Config{
+				Path:   filepath.Join(b.TempDir(), "audit.log"),
+				Policy: policy,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer log.Close()
+			e := audit.Entry{Actor: "processor:p1", Op: "READ-DATA", Target: "r0001234", OK: true}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := log.Append(e); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationIndexes sweeps how many metadata columns carry
+// secondary indexes, measuring insert cost (the write-amplification side
+// of Table 3 / Figure 3b).
+func BenchmarkAblationIndexes(b *testing.B) {
+	sets := map[string][]string{
+		"none":    nil,
+		"usr":     {"usr"},
+		"usr+pur": {"usr", "pur"},
+		"all7":    {"pur", "ttl", "usr", "obj", "dec", "shr", "src"},
+	}
+	for _, name := range []string{"none", "usr", "usr+pur", "all7"} {
+		cols := sets[name]
+		b.Run(name, func(b *testing.B) {
+			sim := clock.NewSim(time.Time{})
+			client, err := core.OpenPostgres(core.PostgresConfig{
+				Clock: sim, DisableTTLDaemon: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer client.Close()
+			for _, col := range cols {
+				if err := client.DB().CreateIndex(core.RecordsTable, col); err != nil {
+					b.Fatal(err)
+				}
+			}
+			ds := core.NewDataset(core.Config{Records: 1 << 30, Seed: 1}, sim.Now())
+			actor := core.ControllerActor()
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := client.CreateRecord(actor, ds.RecordAt(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkAblationTransit measures the per-operation cost of the
+// in-transit record layer against plaintext framing.
+func BenchmarkAblationTransit(b *testing.B) {
+	sim := clock.NewSim(time.Time{})
+	for _, encrypted := range []bool{false, true} {
+		name := "plaintext"
+		comp := core.Compliance{Strict: true}
+		if encrypted {
+			name = "encrypted"
+			comp.EncryptInTransit = true
+		}
+		b.Run(name, func(b *testing.B) {
+			client, err := core.OpenRedis(core.RedisConfig{
+				Clock: sim, Compliance: comp, DisableBackgroundExpiry: true,
+			})
+			if err != nil {
+				b.Fatal(err)
+			}
+			defer client.Close()
+			ds := core.NewDataset(core.Config{Records: 1000, Seed: 1}, sim.Now())
+			actor := core.ControllerActor()
+			for i := 0; i < 1000; i++ {
+				if err := client.CreateRecord(actor, ds.RecordAt(i)); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := client.ReadData(actor, ByKey(ds.KeyAt(i%1000))); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkGDPRQueryLatencies measures each GDPR query family's latency
+// on the compliant Redis-model engine (the per-query view behind Fig 5a).
+func BenchmarkGDPRQueryLatencies(b *testing.B) {
+	sim := clock.NewSim(time.Time{})
+	client, err := core.OpenRedis(core.RedisConfig{
+		Dir: b.TempDir(), Clock: sim,
+		Compliance:              core.Compliance{Logging: true, AccessControl: true, Strict: true},
+		DisableBackgroundExpiry: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer client.Close()
+	cfg := core.Config{Records: 5_000, Seed: 1}.WithDefaults()
+	ds := core.NewDataset(cfg, sim.Now())
+	actor := core.ControllerActor()
+	for i := 0; i < cfg.Records; i++ {
+		if err := client.CreateRecord(actor, ds.RecordAt(i)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.Run("read-data-by-key", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			rec := ds.RecordAt(i % cfg.Records)
+			a := ProcessorActor("p1", rec.Meta.Purposes[0])
+			if _, err := client.ReadData(a, ByKey(rec.Key)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("read-data-by-usr", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			u := ds.UserAt(i % cfg.Records)
+			if _, err := client.ReadData(CustomerActor(u), ByUser(u)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("read-metadata-by-usr", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := client.ReadMetadata(RegulatorActor(), ByUser(ds.UserAt(i%cfg.Records))); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("update-metadata-by-key", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			k := i % cfg.Records
+			delta := Delta{Attr: AttrObjection, Op: DeltaAdd, Values: []string{ds.PurposeName(i)}}
+			if _, err := client.UpdateMetadata(CustomerActor(ds.UserAt(k)), ByKey(ds.KeyAt(k)), delta); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("get-system-logs", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			now := sim.Now()
+			if _, err := client.GetSystemLogs(RegulatorActor(), now.Add(-time.Second), now); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}

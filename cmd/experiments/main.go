@@ -1,0 +1,62 @@
+// Command experiments regenerates the paper's tables and figures as text
+// tables, using the same harness the benchmarks use.
+//
+// Examples:
+//
+//	experiments                      # run everything at small scale
+//	experiments -run F3a,F3b         # just the §5 microbenchmarks
+//	experiments -run F5a -scale paper
+//	experiments -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	gdprbench "repro"
+)
+
+func main() {
+	var (
+		runList = flag.String("run", "", "comma-separated experiment IDs (default: all)")
+		scale   = flag.String("scale", "small", "experiment scale: small | paper")
+		list    = flag.Bool("list", false, "list experiment IDs and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range gdprbench.Experiments() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := gdprbench.Experiments()
+	if *runList != "" {
+		ids = nil
+		for _, id := range strings.Split(*runList, ",") {
+			if id = strings.TrimSpace(id); id != "" {
+				ids = append(ids, id)
+			}
+		}
+	}
+
+	sc := gdprbench.ExperimentScale(*scale)
+	failed := false
+	for _, id := range ids {
+		t0 := time.Now()
+		res, err := gdprbench.RunExperiment(id, sc)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", id, err)
+			failed = true
+			continue
+		}
+		fmt.Printf("%s(%v)\n\n", res, time.Since(t0).Round(time.Millisecond))
+	}
+	if failed {
+		os.Exit(1)
+	}
+}

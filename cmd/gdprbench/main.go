@@ -1,0 +1,170 @@
+// Command gdprbench loads a personal-data dataset into one of the two
+// engines and runs the Table 2a workloads against it, printing the
+// §4.2.3 metrics (completion time per workload, correctness when
+// requested, and the space-overhead factor).
+//
+// Examples:
+//
+//	gdprbench -engine redis -records 10000 -ops 2000
+//	gdprbench -engine postgres -index -workloads controller,customer
+//	gdprbench -engine redis -validate
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	gdprbench "repro"
+	"repro/internal/clock"
+	"repro/internal/core"
+)
+
+func main() {
+	var (
+		engine    = flag.String("engine", "redis", "engine: redis | postgres")
+		records   = flag.Int("records", 10_000, "personal-data records to load")
+		ops       = flag.Int("ops", 2_000, "operations per workload")
+		threads   = flag.Int("threads", 8, "client threads")
+		dataSize  = flag.Int("datasize", 10, "personal-data payload bytes per record")
+		seed      = flag.Int64("seed", 1, "random seed")
+		dir       = flag.String("dir", "", "data directory (default: a temp dir)")
+		workloads = flag.String("workloads", "controller,customer,processor,regulator", "comma-separated workloads")
+		indexed   = flag.Bool("index", false, "build secondary indexes on all metadata fields (postgres only)")
+		baseline  = flag.Bool("baseline", false, "disable all compliance features (no-security baseline)")
+		validate  = flag.Bool("validate", false, "run the single-threaded correctness pass instead of the timed run")
+	)
+	flag.Parse()
+
+	if err := run(*engine, *records, *ops, *threads, *dataSize, *seed, *dir, *workloads, *indexed, *baseline, *validate); err != nil {
+		fmt.Fprintln(os.Stderr, "gdprbench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(engine string, records, ops, threads, dataSize int, seed int64, dir, workloadList string, indexed, baseline, validate bool) error {
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "gdprbench-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+	}
+	comp := gdprbench.FullCompliance()
+	if baseline {
+		comp = gdprbench.NoCompliance()
+	}
+	comp.MetadataIndexing = indexed
+
+	open := func(clk clock.Clock, disableDaemons bool) (gdprbench.DB, error) {
+		switch engine {
+		case "redis":
+			return gdprbench.OpenRedis(gdprbench.RedisConfig{
+				Dir: dir, Compliance: comp, Clock: clk, DisableBackgroundExpiry: disableDaemons,
+			})
+		case "postgres":
+			return gdprbench.OpenPostgres(gdprbench.PostgresConfig{
+				Dir: dir, Compliance: comp, Clock: clk, DisableTTLDaemon: disableDaemons,
+			})
+		default:
+			return nil, fmt.Errorf("unknown engine %q", engine)
+		}
+	}
+
+	cfg := gdprbench.Config{
+		Records: records, Operations: ops, Threads: threads,
+		DataSize: dataSize, Seed: seed,
+	}
+
+	var names []gdprbench.WorkloadName
+	for _, w := range strings.Split(workloadList, ",") {
+		w = strings.TrimSpace(w)
+		if w != "" {
+			names = append(names, gdprbench.WorkloadName(w))
+		}
+	}
+
+	if validate {
+		sim := clock.NewSim(time.Time{})
+		var total gdprbench.CorrectnessReport
+		for _, name := range names {
+			sub, err := os.MkdirTemp(dir, "validate-*")
+			if err != nil {
+				return err
+			}
+			db, err := openIn(engine, sub, comp, sim)
+			if err != nil {
+				return err
+			}
+			ds, _, err := core.Load(db, cfg, sim)
+			if err != nil {
+				db.Close()
+				return err
+			}
+			rep, err := core.Validate(db, ds, name, sim, comp.AccessControl)
+			db.Close()
+			if err != nil {
+				return err
+			}
+			fmt.Printf("workload %-10s correctness %.2f%% (%d/%d)\n", name, rep.Score(), rep.Matched, rep.Total)
+			total.Total += rep.Total
+			total.Matched += rep.Matched
+		}
+		fmt.Printf("cumulative correctness %.2f%% (%d/%d)\n", total.Score(), total.Matched, total.Total)
+		return nil
+	}
+
+	db, err := open(nil, false)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+
+	fmt.Printf("loading %d records into %s (compliance: %s)...\n", records, engine, comp)
+	ds, loadRun, err := gdprbench.Load(db, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("load: %v (%.0f inserts/s)\n", loadRun.WallTime().Round(time.Millisecond), loadRun.Throughput())
+
+	report := core.Report{Engine: engine, Records: records}
+	for _, name := range names {
+		run, err := gdprbench.Run(db, ds, name)
+		if err != nil {
+			return fmt.Errorf("workload %s: %w", name, err)
+		}
+		report.Results = append(report.Results, core.WorkloadResult{
+			Workload:       name,
+			Operations:     run.TotalOps(),
+			Errors:         run.TotalErrors(),
+			CompletionTime: run.WallTime(),
+			Throughput:     run.Throughput(),
+			Correctness:    -1,
+		})
+	}
+	space, err := db.SpaceUsage()
+	if err != nil {
+		return err
+	}
+	report.Space = space
+	fmt.Print(report)
+	return nil
+}
+
+func openIn(engine, dir string, comp gdprbench.Compliance, clk clock.Clock) (gdprbench.DB, error) {
+	switch engine {
+	case "redis":
+		return gdprbench.OpenRedis(gdprbench.RedisConfig{
+			Dir: dir, Compliance: comp, Clock: clk, DisableBackgroundExpiry: true,
+		})
+	case "postgres":
+		return gdprbench.OpenPostgres(gdprbench.PostgresConfig{
+			Dir: dir, Compliance: comp, Clock: clk, DisableTTLDaemon: true,
+		})
+	default:
+		return nil, fmt.Errorf("unknown engine %q", engine)
+	}
+}

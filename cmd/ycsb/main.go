@@ -1,0 +1,160 @@
+// Command ycsb runs the traditional YCSB workloads (Table 2: A-F) against
+// one of the two engines, with the paper's GDPR security features
+// individually toggleable — the §6.1 experiment from the command line.
+//
+// Examples:
+//
+//	ycsb -engine redis -workload C -records 100000 -ops 100000
+//	ycsb -engine postgres -workload A -log -encrypt
+//	ycsb -engine redis -workload A -encrypt -ttl -log   # "combined"
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/kvstore"
+	"repro/internal/relstore"
+	"repro/internal/securefs"
+	"repro/internal/transit"
+	"repro/internal/wal"
+	"repro/internal/ycsb"
+)
+
+func main() {
+	var (
+		engine   = flag.String("engine", "redis", "engine: redis | postgres")
+		workload = flag.String("workload", "A", "YCSB workload letter (A-F)")
+		records  = flag.Int("records", 10_000, "records to load")
+		ops      = flag.Int("ops", 10_000, "operations to run")
+		threads  = flag.Int("threads", 16, "client threads")
+		seed     = flag.Int64("seed", 1, "random seed")
+		dir      = flag.String("dir", "", "data directory (default: a temp dir)")
+		encrypt  = flag.Bool("encrypt", false, "enable encryption at rest + in transit")
+		ttl      = flag.Bool("ttl", false, "enable timely-deletion machinery")
+		logAll   = flag.Bool("log", false, "log all operations including reads")
+	)
+	flag.Parse()
+	if err := run(*engine, *workload, *records, *ops, *threads, *seed, *dir, *encrypt, *ttl, *logAll); err != nil {
+		fmt.Fprintln(os.Stderr, "ycsb:", err)
+		os.Exit(1)
+	}
+}
+
+func run(engine, workload string, records, ops, threads int, seed int64, dir string, encrypt, ttl, logAll bool) error {
+	if dir == "" {
+		var err error
+		dir, err = os.MkdirTemp("", "ycsb-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(dir)
+	}
+	kv, cleanup, err := build(engine, dir, encrypt, ttl, logAll)
+	if err != nil {
+		return err
+	}
+	defer cleanup()
+
+	cfg := ycsb.Config{Records: records, Operations: ops, Threads: threads, Seed: seed}
+	fmt.Printf("loading %d records into %s (encrypt=%v ttl=%v log=%v)...\n", records, engine, encrypt, ttl, logAll)
+	loadRun, err := ycsb.Load(kv, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("load: %v (%.0f inserts/s)\n", loadRun.WallTime().Round(time.Millisecond), loadRun.Throughput())
+
+	run, err := ycsb.Run(kv, workload, cfg)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("workload %s:\n%s", workload, run.Summary())
+	return nil
+}
+
+// build assembles the engine + binding; the feature mapping matches §5.
+func build(engine, dir string, encrypt, ttl, logAll bool) (ycsb.KV, func(), error) {
+	ttlHorizon := func() (int64, bool) { return time.Now().Add(24 * time.Hour).UnixNano(), true }
+	var pipe *transit.Pipe
+	if encrypt {
+		var err error
+		pipe, err = transit.NewPipe(securefs.Key("ycsb-cli/transit"))
+		if err != nil {
+			return nil, nil, err
+		}
+	}
+	switch engine {
+	case "redis":
+		kvCfg := kvstore.Config{}
+		if logAll {
+			kvCfg.AOFPath = filepath.Join(dir, "redis.aof")
+			kvCfg.AOFSync = kvstore.FsyncEverySec
+			kvCfg.LogReads = true
+		}
+		if encrypt && logAll {
+			kvCfg.EncryptionKey = securefs.Key("ycsb-cli/aof")
+		}
+		if ttl {
+			kvCfg.ExpiryMode = kvstore.ExpiryStrict
+		}
+		s, err := kvstore.Open(kvCfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		b := ycsb.NewKVStoreBinding(s)
+		if ttl {
+			b.SetTTLFunc(ttlHorizon)
+			s.StartExpiry()
+		}
+		return ycsb.NewWireKV(b, pipe), func() { s.Close() }, nil
+
+	case "postgres":
+		relCfg := relstore.Config{
+			WALPath: filepath.Join(dir, "pg.wal"),
+			WALSync: wal.SyncBatched,
+		}
+		if encrypt {
+			relCfg.EncryptionKey = securefs.Key("ycsb-cli/wal")
+		}
+		var log *audit.Log
+		if logAll {
+			var err error
+			log, err = audit.Open(audit.Config{Path: filepath.Join(dir, "pg-csvlog"), Policy: audit.SyncEverySec})
+			if err != nil {
+				return nil, nil, err
+			}
+			relCfg.Audit = log
+			relCfg.LogStatements = true
+		}
+		db, err := relstore.Open(relCfg)
+		if err != nil {
+			return nil, nil, err
+		}
+		b, err := ycsb.NewRelStoreBinding(db, "usertable")
+		if err != nil {
+			db.Close()
+			return nil, nil, err
+		}
+		if ttl {
+			b.SetTTLFunc(ttlHorizon)
+			if err := db.StartTTLDaemon("usertable", "ttl", time.Second); err != nil {
+				db.Close()
+				return nil, nil, err
+			}
+		}
+		cleanup := func() {
+			db.Close()
+			if log != nil {
+				log.Close()
+			}
+		}
+		return ycsb.NewWireKV(b, pipe), cleanup, nil
+
+	default:
+		return nil, nil, fmt.Errorf("unknown engine %q", engine)
+	}
+}

@@ -1,0 +1,211 @@
+// Package gdprbench is a from-scratch Go reproduction of "Understanding
+// and Benchmarking the Impact of GDPR on Database Systems" (Shastri,
+// Banakar, Wasserman, Kumar, Chidambaram — VLDB 2020): the GDPRbench
+// benchmark, two embedded storage engines standing in for the paper's
+// Redis and PostgreSQL, the GDPR-compliance retrofits (encryption at rest
+// and in transit, audit logging, timely deletion, metadata indexing,
+// metadata-based access control), and a harness that regenerates every
+// table and figure of the paper's evaluation.
+//
+// # Quick start
+//
+//	db, err := gdprbench.OpenRedis(gdprbench.RedisConfig{
+//		Dir:        "/tmp/gdpr",
+//		Compliance: gdprbench.FullCompliance(),
+//	})
+//	if err != nil { ... }
+//	defer db.Close()
+//
+//	cfg := gdprbench.Config{Records: 10_000, Operations: 1_000}
+//	ds, _, err := gdprbench.Load(db, cfg)       // controller loads personal data
+//	run, err := gdprbench.Run(db, ds, gdprbench.Customer) // customers exercise rights
+//	fmt.Println(run.Summary())
+//
+// See the examples/ directory for runnable walk-throughs and DESIGN.md for
+// the system inventory and per-experiment index.
+package gdprbench
+
+import (
+	"time"
+
+	"repro/internal/acl"
+	"repro/internal/audit"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/experiments"
+	"repro/internal/gdpr"
+	"repro/internal/stats"
+)
+
+// Core types, re-exported for the public API. The paper's abstractions:
+// personal-data records with seven metadata attributes (§3.1), GDPR
+// queries (§3.3), role workloads (Table 2a) and compliance features (§3.2).
+type (
+	// DB is the GDPR query interface (§3.3) implemented by both engines.
+	DB = core.DB
+	// Record is one personal data item with its GDPR metadata.
+	Record = gdpr.Record
+	// Metadata is the seven-attribute set of §3.1.
+	Metadata = gdpr.Metadata
+	// Selector picks records by key or metadata attribute.
+	Selector = gdpr.Selector
+	// Delta is a metadata mutation.
+	Delta = gdpr.Delta
+	// Actor is a GDPR entity (controller, customer, processor, regulator).
+	Actor = acl.Actor
+	// Compliance toggles the five §3.2 feature families.
+	Compliance = core.Compliance
+	// Config parameterizes a benchmark run.
+	Config = core.Config
+	// Dataset describes the loaded records deterministically.
+	Dataset = core.Dataset
+	// WorkloadName names one of the four role workloads.
+	WorkloadName = core.WorkloadName
+	// RunStats carries a run's latencies, errors and completion time.
+	RunStats = stats.Run
+	// SpaceUsage is the §4.2.3 space-overhead metric input.
+	SpaceUsage = core.SpaceUsage
+	// CorrectnessReport is the §4.2.3 correctness metric.
+	CorrectnessReport = core.CorrectnessReport
+	// AuditEntry is one line of the compliance audit trail.
+	AuditEntry = audit.Entry
+	// RedisConfig configures the Redis-model client.
+	RedisConfig = core.RedisConfig
+	// PostgresConfig configures the PostgreSQL-model client.
+	PostgresConfig = core.PostgresConfig
+	// ExperimentResult is one regenerated paper artifact.
+	ExperimentResult = experiments.Result
+	// ExperimentScale sizes experiments ("small" or "paper").
+	ExperimentScale = experiments.Scale
+)
+
+// The four GDPR role workloads (Table 2a).
+const (
+	Controller = core.Controller
+	Customer   = core.Customer
+	Processor  = core.Processor
+	Regulator  = core.Regulator
+)
+
+// Attribute names a GDPR metadata attribute.
+type Attribute = gdpr.Attribute
+
+// The seven metadata attributes of §3.1.
+const (
+	AttrPurpose   = gdpr.AttrPurpose
+	AttrTTL       = gdpr.AttrTTL
+	AttrUser      = gdpr.AttrUser
+	AttrObjection = gdpr.AttrObjection
+	AttrDecision  = gdpr.AttrDecision
+	AttrSharing   = gdpr.AttrSharing
+	AttrSource    = gdpr.AttrSource
+)
+
+// DeltaOp is a metadata-mutation kind.
+type DeltaOp = gdpr.DeltaOp
+
+// Metadata mutations.
+const (
+	DeltaSet    = gdpr.DeltaSet
+	DeltaAdd    = gdpr.DeltaAdd
+	DeltaRemove = gdpr.DeltaRemove
+)
+
+// Experiment scales.
+const (
+	ScaleSmall = experiments.Small
+	ScalePaper = experiments.Paper
+)
+
+// FullCompliance returns the fully-compliant configuration of §6.2.
+func FullCompliance() Compliance { return core.Full() }
+
+// NoCompliance returns the no-security baseline of §6.1.
+func NoCompliance() Compliance { return core.None() }
+
+// OpenRedis opens the Redis-model engine behind the GDPRbench client stub.
+func OpenRedis(cfg RedisConfig) (*core.RedisClient, error) { return core.OpenRedis(cfg) }
+
+// OpenPostgres opens the PostgreSQL-model engine behind the client stub.
+func OpenPostgres(cfg PostgresConfig) (*core.PostgresClient, error) { return core.OpenPostgres(cfg) }
+
+// Load populates db with cfg.Records personal-data records as the
+// controller and returns the dataset descriptor plus load statistics.
+func Load(db DB, cfg Config) (*Dataset, *RunStats, error) { return core.Load(db, cfg, nil) }
+
+// Run executes one Table 2a workload and returns its statistics; the
+// workload completion time (§4.2.3) is RunStats.WallTime.
+func Run(db DB, ds *Dataset, name WorkloadName) (*RunStats, error) {
+	return core.Run(db, ds, name, nil)
+}
+
+// Validate replays a deterministic single-threaded script of the workload
+// against db and an in-memory oracle, returning the §4.2.3 correctness
+// metric. The db must be freshly loaded with ds on a non-advancing clock.
+func Validate(db DB, ds *Dataset, name WorkloadName, aclEnabled bool) (CorrectnessReport, error) {
+	return core.Validate(db, ds, name, clock.NewSim(time.Time{}), aclEnabled)
+}
+
+// Mix is a workload's query composition; build one to define custom
+// workloads (§4.2.2).
+type Mix = core.Mix
+
+// Workloads returns the Table 2a workload definitions.
+func Workloads() map[WorkloadName]Mix { return core.DefaultWorkloads() }
+
+// RunMix executes a custom workload mix against db.
+func RunMix(db DB, ds *Dataset, mix Mix) (*RunStats, error) {
+	return core.RunMix(db, ds, mix, nil)
+}
+
+// WorkloadNames lists the four workloads in the paper's order.
+func WorkloadNames() []WorkloadName { return core.WorkloadNames() }
+
+// Selector constructors (§3.3 query families).
+var (
+	// ByKey selects one record by key.
+	ByKey = gdpr.ByKey
+	// ByUser selects all records of a data subject (G 15, G 20).
+	ByUser = gdpr.ByUser
+	// ByPurpose selects records collected for a purpose (G 5(1b)).
+	ByPurpose = gdpr.ByPurpose
+	// ByObjection selects records whose owners objected to a use (G 21).
+	ByObjection = gdpr.ByObjection
+	// ByNotObjecting selects records whose owners did not object (G 21.3).
+	ByNotObjecting = gdpr.ByNotObjecting
+	// ByDecision selects records registered for an automated decision (G 22).
+	ByDecision = gdpr.ByDecision
+	// ByShare selects records shared with a third party (G 13).
+	ByShare = gdpr.ByShare
+	// ByExpiredAt selects records whose TTL has passed (G 5(1e), G 17).
+	ByExpiredAt = gdpr.ByExpiredAt
+)
+
+// Actor constructors.
+
+// ControllerActor returns the data-controller principal.
+func ControllerActor() Actor { return core.ControllerActor() }
+
+// CustomerActor returns the data subject with the given identity.
+func CustomerActor(id string) Actor { return Actor{Role: acl.Customer, ID: id} }
+
+// ProcessorActor returns a processor acting under the given purpose.
+func ProcessorActor(id, purpose string) Actor {
+	return Actor{Role: acl.Processor, ID: id, Purpose: purpose}
+}
+
+// RegulatorActor returns the supervisory-authority principal.
+func RegulatorActor() Actor { return core.RegulatorActor() }
+
+// Experiments lists the regenerable paper artifacts (T1, T2a, F3a … F8b).
+func Experiments() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one paper artifact.
+func RunExperiment(id string, scale ExperimentScale) (ExperimentResult, error) {
+	return experiments.Run(id, scale)
+}
+
+// RunAllExperiments regenerates every artifact in order.
+func RunAllExperiments(scale ExperimentScale) ([]ExperimentResult, error) {
+	return experiments.RunAll(scale)
+}

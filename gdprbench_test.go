@@ -1,0 +1,202 @@
+package gdprbench
+
+// Tests of the public API: the end-to-end flows a downstream user relies
+// on, exercised exactly as the examples and README show them.
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func openTestRedis(t *testing.T) DB {
+	t.Helper()
+	db, err := OpenRedis(RedisConfig{
+		Dir:        t.TempDir(),
+		Compliance: FullCompliance(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func openTestPostgres(t *testing.T, indexed bool) DB {
+	t.Helper()
+	comp := FullCompliance()
+	comp.MetadataIndexing = indexed
+	db, err := OpenPostgres(PostgresConfig{
+		Dir:        t.TempDir(),
+		Compliance: comp,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { db.Close() })
+	return db
+}
+
+func testRecord(key, user string) Record {
+	return Record{
+		Key:  key,
+		Data: "payload-" + key,
+		Meta: Metadata{
+			Purposes: []string{"service"},
+			Expiry:   time.Now().Add(time.Hour),
+			User:     user,
+			Source:   "test",
+		},
+	}
+}
+
+func TestPublicAPILifecycle(t *testing.T) {
+	for _, mk := range []func(*testing.T) DB{
+		openTestRedis,
+		func(t *testing.T) DB { return openTestPostgres(t, true) },
+	} {
+		db := mk(t)
+		controller := ControllerActor()
+		if err := db.CreateRecord(controller, testRecord("k1", "neo")); err != nil {
+			t.Fatal(err)
+		}
+		if err := db.CreateRecord(controller, testRecord("k2", "neo")); err != nil {
+			t.Fatal(err)
+		}
+
+		neo := CustomerActor("neo")
+		got, err := db.ReadData(neo, ByUser("neo"))
+		if err != nil || len(got) != 2 {
+			t.Fatalf("read = %d records, err=%v", len(got), err)
+		}
+
+		n, err := db.UpdateData(neo, "k1", "rectified")
+		if err != nil || n != 1 {
+			t.Fatalf("update = %d, %v", n, err)
+		}
+		got, _ = db.ReadData(neo, ByKey("k1"))
+		if got[0].Data != "rectified" {
+			t.Fatalf("rectification lost: %q", got[0].Data)
+		}
+
+		n, err = db.UpdateMetadata(neo, ByKey("k2"), Delta{
+			Attr: AttrObjection, Op: DeltaAdd, Values: []string{"service"},
+		})
+		if err != nil || n != 1 {
+			t.Fatalf("objection = %d, %v", n, err)
+		}
+		proc := ProcessorActor("p1", "service")
+		visible, err := db.ReadData(proc, ByPurpose("service"))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(visible) != 1 || visible[0].Key != "k1" {
+			t.Fatalf("processor sees %v", visible)
+		}
+
+		n, err = db.DeleteRecord(neo, ByKey("k1"))
+		if err != nil || n != 1 {
+			t.Fatalf("delete = %d, %v", n, err)
+		}
+		present, err := db.VerifyDeletion(RegulatorActor(), []string{"k1"})
+		if err != nil || present != 0 {
+			t.Fatalf("verify = %d, %v", present, err)
+		}
+
+		logs, err := db.GetSystemLogs(RegulatorActor(), time.Now().Add(-time.Minute), time.Now())
+		if err != nil || len(logs) == 0 {
+			t.Fatalf("logs = %d, %v", len(logs), err)
+		}
+	}
+}
+
+func TestPublicAPILoadRunValidate(t *testing.T) {
+	db := openTestRedis(t)
+	cfg := Config{Records: 300, Operations: 150, Threads: 4, Seed: 5}
+	ds, loadRun, err := Load(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if loadRun.TotalOps() != 300 {
+		t.Fatalf("load ops = %d", loadRun.TotalOps())
+	}
+	for _, name := range WorkloadNames() {
+		run, err := Run(db, ds, name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if run.TotalErrors() != 0 {
+			t.Fatalf("%s errors:\n%s", name, run.Summary())
+		}
+		if run.WallTime() <= 0 {
+			t.Fatalf("%s has no completion time", name)
+		}
+	}
+	space, err := db.SpaceUsage()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if space.Factor() <= 1 {
+		t.Fatalf("space factor = %v", space.Factor())
+	}
+}
+
+func TestPublicAPIValidateScoresFreshStore(t *testing.T) {
+	// Validate needs a non-advancing clock and a store loaded under it;
+	// the exported helper wires the sim clock internally, so load through
+	// internal plumbing is not needed — a freshly loaded store plus
+	// Validate on a paused clock still scores 100% because record TTLs
+	// are in the future either way.
+	db := openTestPostgres(t, false)
+	cfg := Config{Records: 200, Operations: 100, Threads: 1, Seed: 5}
+	ds, _, err := Load(db, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Validate(db, ds, Customer, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Score() < 99 {
+		t.Fatalf("correctness = %.2f%%\n%s", rep.Score(), strings.Join(rep.Mismatches, "\n"))
+	}
+}
+
+func TestWorkloadsExported(t *testing.T) {
+	ws := Workloads()
+	if len(ws) != 4 {
+		t.Fatalf("workloads = %d", len(ws))
+	}
+	if len(WorkloadNames()) != 4 {
+		t.Fatal("names")
+	}
+	if _, ok := ws[Controller]; !ok {
+		t.Fatal("controller missing")
+	}
+}
+
+func TestExperimentRegistryExported(t *testing.T) {
+	ids := Experiments()
+	if len(ids) != 15 {
+		t.Fatalf("experiments = %v", ids)
+	}
+	res, err := RunExperiment("T1", ScaleSmall)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.ID != "T1" || len(res.Rows) != 12 {
+		t.Fatalf("T1 = %+v", res)
+	}
+	if _, err := RunExperiment("nope", ScaleSmall); err == nil {
+		t.Fatal("unknown experiment should fail")
+	}
+}
+
+func TestComplianceHelpers(t *testing.T) {
+	if FullCompliance().String() == "none" {
+		t.Fatal("full compliance empty")
+	}
+	if NoCompliance().String() != "none" {
+		t.Fatal("no compliance not none")
+	}
+}

@@ -1,0 +1,220 @@
+// Package acl implements the access-control action of Table 1 (G 25(2)
+// data protection by default, G 28 processor restrictions): fine-grained,
+// metadata-driven checks deciding which GDPR entity may perform which
+// operation on which record.
+//
+// The paper enforces access control in the benchmark's client stubs ("we
+// extend the Redis client in GDPRbench to enforce metadata-based access
+// rights", §5.1); this package is that enforcement layer, shared by both
+// engine adapters. The permission matrix follows Figure 1:
+//
+//   - the controller may create, delete and update any personal data and
+//     GDPR metadata;
+//   - a customer may read, update or delete data and metadata that
+//     concerns them (record USR == customer id);
+//   - a processor may only read personal data, and only records whose
+//     purposes include the processor's declared purpose and whose owner
+//     has not objected to it (G 28(3c), G 21.3) — plus register automated
+//     decisions (G 22.3);
+//   - a regulator may read GDPR metadata and system logs, never personal
+//     data.
+package acl
+
+import (
+	"fmt"
+
+	"repro/internal/gdpr"
+)
+
+// Role is a GDPR entity (Figure 1).
+type Role int
+
+// The four roles.
+const (
+	Controller Role = iota
+	Customer
+	Processor
+	Regulator
+)
+
+func (r Role) String() string {
+	switch r {
+	case Controller:
+		return "controller"
+	case Customer:
+		return "customer"
+	case Processor:
+		return "processor"
+	case Regulator:
+		return "regulator"
+	default:
+		return fmt.Sprintf("Role(%d)", int(r))
+	}
+}
+
+// Actor is an authenticated principal issuing GDPR queries.
+type Actor struct {
+	Role Role
+	// ID is the principal's identity; for customers it must equal the USR
+	// metadata of the records they touch.
+	ID string
+	// Purpose is the processor's declared processing purpose; required
+	// for processor reads (G 28(3c)).
+	Purpose string
+}
+
+// String renders the actor for audit entries.
+func (a Actor) String() string { return a.Role.String() + ":" + a.ID }
+
+// Verb is the kind of operation being attempted.
+type Verb int
+
+// Operation verbs, matching the §3.3 query families.
+const (
+	VerbCreate Verb = iota
+	VerbReadData
+	VerbReadMetadata
+	VerbUpdateData
+	VerbUpdateMetadata
+	VerbDelete
+	VerbReadLogs
+	VerbReadFeatures
+	VerbVerifyDeletion
+)
+
+func (v Verb) String() string {
+	switch v {
+	case VerbCreate:
+		return "create"
+	case VerbReadData:
+		return "read-data"
+	case VerbReadMetadata:
+		return "read-metadata"
+	case VerbUpdateData:
+		return "update-data"
+	case VerbUpdateMetadata:
+		return "update-metadata"
+	case VerbDelete:
+		return "delete"
+	case VerbReadLogs:
+		return "read-logs"
+	case VerbReadFeatures:
+		return "read-features"
+	case VerbVerifyDeletion:
+		return "verify-deletion"
+	default:
+		return fmt.Sprintf("Verb(%d)", int(v))
+	}
+}
+
+// DeniedError explains a rejected operation.
+type DeniedError struct {
+	Actor  Actor
+	Verb   Verb
+	Key    string
+	Reason string
+}
+
+func (e *DeniedError) Error() string {
+	return fmt.Sprintf("acl: %s denied %s on %q: %s", e.Actor, e.Verb, e.Key, e.Reason)
+}
+
+func deny(a Actor, v Verb, key, reason string) error {
+	return &DeniedError{Actor: a, Verb: v, Key: key, Reason: reason}
+}
+
+// CheckSystem authorizes record-independent operations (system logs,
+// feature discovery, deletion verification).
+func CheckSystem(a Actor, v Verb) error {
+	switch v {
+	case VerbReadLogs:
+		// G 33, 34: regulators investigate logs; controllers must produce
+		// them for breach notification.
+		if a.Role == Regulator || a.Role == Controller {
+			return nil
+		}
+		return deny(a, v, "", "only regulators and controllers may read system logs")
+	case VerbReadFeatures:
+		return nil // G 24, 25: capability discovery is open to all roles.
+	case VerbVerifyDeletion:
+		if a.Role == Regulator || a.Role == Controller || a.Role == Customer {
+			return nil
+		}
+		return deny(a, v, "", "processors cannot verify deletions")
+	default:
+		return deny(a, v, "", "not a system verb")
+	}
+}
+
+// CheckRecord authorizes verb v by actor a on record rec. For
+// VerbUpdateMetadata, delta describes the attempted mutation (needed to
+// scope processor updates to the DEC attribute).
+func CheckRecord(a Actor, v Verb, rec gdpr.Record, delta *gdpr.Delta) error {
+	switch a.Role {
+	case Controller:
+		// Figure 1: create, delete, update any personal- and metadata.
+		// Reads of metadata are needed for lifecycle management; reads of
+		// personal data are not the controller's workload but are lawful
+		// (the controller collected the data).
+		return nil
+
+	case Customer:
+		if rec.Meta.User != a.ID {
+			return deny(a, v, rec.Key, fmt.Sprintf("record belongs to %q", rec.Meta.User))
+		}
+		switch v {
+		case VerbReadData, VerbReadMetadata, VerbUpdateData, VerbUpdateMetadata, VerbDelete:
+			return nil
+		default:
+			return deny(a, v, rec.Key, "customers cannot perform this operation")
+		}
+
+	case Processor:
+		switch v {
+		case VerbReadData:
+			if a.Purpose == "" {
+				return deny(a, v, rec.Key, "processor has no declared purpose (G 28(3c))")
+			}
+			if !rec.Meta.HasPurpose(a.Purpose) {
+				return deny(a, v, rec.Key, fmt.Sprintf("purpose %q not granted", a.Purpose))
+			}
+			if rec.Meta.Objects(a.Purpose) {
+				return deny(a, v, rec.Key, fmt.Sprintf("owner objected to %q (G 21)", a.Purpose))
+			}
+			return nil
+		case VerbUpdateMetadata:
+			// G 22.3: processors register automated-decision use; nothing else.
+			if delta == nil || delta.Attr != gdpr.AttrDecision {
+				return deny(a, v, rec.Key, "processors may only update DEC metadata (G 22.3)")
+			}
+			return nil
+		default:
+			return deny(a, v, rec.Key, "processors are read-only on personal data")
+		}
+
+	case Regulator:
+		switch v {
+		case VerbReadMetadata:
+			return nil // G 31: metadata of affected customers.
+		default:
+			return deny(a, v, rec.Key, "regulators access metadata and logs only")
+		}
+
+	default:
+		return deny(a, v, rec.Key, "unknown role")
+	}
+}
+
+// Filter returns the subset of records actor a may perform v on, plus the
+// count of records that were denied. Engines use it to narrow selector
+// matches to the actor's rights before acting.
+func Filter(a Actor, v Verb, recs []gdpr.Record, delta *gdpr.Delta) (allowed []gdpr.Record, denied int) {
+	for _, r := range recs {
+		if CheckRecord(a, v, r, delta) == nil {
+			allowed = append(allowed, r)
+		} else {
+			denied++
+		}
+	}
+	return allowed, denied
+}

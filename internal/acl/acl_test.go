@@ -1,0 +1,191 @@
+package acl
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/gdpr"
+)
+
+func rec(user string, purposes, objections []string) gdpr.Record {
+	return gdpr.Record{
+		Key:  "k1",
+		Data: "payload",
+		Meta: gdpr.Metadata{
+			User:       user,
+			Purposes:   purposes,
+			Objections: objections,
+			Expiry:     time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC),
+			Source:     "first-party",
+		},
+	}
+}
+
+func TestControllerAllowedEverything(t *testing.T) {
+	a := Actor{Role: Controller, ID: "acme"}
+	r := rec("neo", []string{"ads"}, nil)
+	for _, v := range []Verb{VerbCreate, VerbReadData, VerbReadMetadata, VerbUpdateData, VerbUpdateMetadata, VerbDelete} {
+		if err := CheckRecord(a, v, r, nil); err != nil {
+			t.Fatalf("controller denied %s: %v", v, err)
+		}
+	}
+}
+
+func TestCustomerOwnRecordsOnly(t *testing.T) {
+	neo := Actor{Role: Customer, ID: "neo"}
+	smith := Actor{Role: Customer, ID: "smith"}
+	r := rec("neo", []string{"ads"}, nil)
+	for _, v := range []Verb{VerbReadData, VerbReadMetadata, VerbUpdateData, VerbUpdateMetadata, VerbDelete} {
+		if err := CheckRecord(neo, v, r, nil); err != nil {
+			t.Fatalf("owner denied %s: %v", v, err)
+		}
+		if err := CheckRecord(smith, v, r, nil); err == nil {
+			t.Fatalf("non-owner allowed %s", v)
+		}
+	}
+	if err := CheckRecord(neo, VerbCreate, r, nil); err == nil {
+		t.Fatal("customer create should be denied")
+	}
+}
+
+func TestProcessorPurposeGating(t *testing.T) {
+	r := rec("neo", []string{"ads", "2fa"}, []string{"profiling"})
+
+	cases := []struct {
+		name    string
+		actor   Actor
+		verb    Verb
+		delta   *gdpr.Delta
+		allowed bool
+	}{
+		{"granted purpose", Actor{Role: Processor, ID: "p", Purpose: "ads"}, VerbReadData, nil, true},
+		{"ungranted purpose", Actor{Role: Processor, ID: "p", Purpose: "telemetry"}, VerbReadData, nil, false},
+		{"no declared purpose", Actor{Role: Processor, ID: "p"}, VerbReadData, nil, false},
+		{"write denied", Actor{Role: Processor, ID: "p", Purpose: "ads"}, VerbUpdateData, nil, false},
+		{"delete denied", Actor{Role: Processor, ID: "p", Purpose: "ads"}, VerbDelete, nil, false},
+		{"read metadata denied", Actor{Role: Processor, ID: "p", Purpose: "ads"}, VerbReadMetadata, nil, false},
+		{"DEC update allowed", Actor{Role: Processor, ID: "p", Purpose: "ads"}, VerbUpdateMetadata,
+			&gdpr.Delta{Attr: gdpr.AttrDecision, Op: gdpr.DeltaAdd, Values: []string{"rank"}}, true},
+		{"non-DEC update denied", Actor{Role: Processor, ID: "p", Purpose: "ads"}, VerbUpdateMetadata,
+			&gdpr.Delta{Attr: gdpr.AttrPurpose, Op: gdpr.DeltaAdd, Values: []string{"x"}}, false},
+		{"nil delta update denied", Actor{Role: Processor, ID: "p", Purpose: "ads"}, VerbUpdateMetadata, nil, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := CheckRecord(c.actor, c.verb, r, c.delta)
+			if c.allowed && err != nil {
+				t.Fatalf("denied: %v", err)
+			}
+			if !c.allowed && err == nil {
+				t.Fatal("allowed")
+			}
+		})
+	}
+}
+
+func TestProcessorObjectionBlocksRead(t *testing.T) {
+	// Record allows "ads" as purpose but the owner objected to "ads".
+	r := rec("neo", []string{"ads"}, []string{"ads"})
+	p := Actor{Role: Processor, ID: "p", Purpose: "ads"}
+	err := CheckRecord(p, VerbReadData, r, nil)
+	if err == nil {
+		t.Fatal("objection should block processor read (G 21)")
+	}
+	var de *DeniedError
+	if !errors.As(err, &de) {
+		t.Fatalf("error type = %T", err)
+	}
+	if !strings.Contains(de.Reason, "objected") {
+		t.Fatalf("reason = %q", de.Reason)
+	}
+}
+
+func TestRegulatorMetadataOnly(t *testing.T) {
+	reg := Actor{Role: Regulator, ID: "dpa"}
+	r := rec("neo", []string{"ads"}, nil)
+	if err := CheckRecord(reg, VerbReadMetadata, r, nil); err != nil {
+		t.Fatalf("regulator metadata read denied: %v", err)
+	}
+	for _, v := range []Verb{VerbReadData, VerbUpdateData, VerbUpdateMetadata, VerbDelete, VerbCreate} {
+		if err := CheckRecord(reg, v, r, nil); err == nil {
+			t.Fatalf("regulator allowed %s", v)
+		}
+	}
+}
+
+func TestCheckSystem(t *testing.T) {
+	cases := []struct {
+		role    Role
+		verb    Verb
+		allowed bool
+	}{
+		{Regulator, VerbReadLogs, true},
+		{Controller, VerbReadLogs, true},
+		{Customer, VerbReadLogs, false},
+		{Processor, VerbReadLogs, false},
+		{Regulator, VerbReadFeatures, true},
+		{Processor, VerbReadFeatures, true},
+		{Regulator, VerbVerifyDeletion, true},
+		{Customer, VerbVerifyDeletion, true},
+		{Controller, VerbVerifyDeletion, true},
+		{Processor, VerbVerifyDeletion, false},
+		{Regulator, VerbReadData, false}, // not a system verb
+	}
+	for _, c := range cases {
+		err := CheckSystem(Actor{Role: c.role, ID: "x"}, c.verb)
+		if c.allowed && err != nil {
+			t.Errorf("%s %s: denied: %v", c.role, c.verb, err)
+		}
+		if !c.allowed && err == nil {
+			t.Errorf("%s %s: allowed", c.role, c.verb)
+		}
+	}
+}
+
+func TestFilter(t *testing.T) {
+	recs := []gdpr.Record{
+		rec("neo", []string{"ads"}, nil),
+		rec("smith", []string{"ads"}, nil),
+		rec("neo", []string{"2fa"}, nil),
+	}
+	neo := Actor{Role: Customer, ID: "neo"}
+	allowed, denied := Filter(neo, VerbReadData, recs, nil)
+	if len(allowed) != 2 || denied != 1 {
+		t.Fatalf("allowed=%d denied=%d", len(allowed), denied)
+	}
+	for _, r := range allowed {
+		if r.Meta.User != "neo" {
+			t.Fatalf("leaked record of %q", r.Meta.User)
+		}
+	}
+}
+
+func TestUnknownRoleDenied(t *testing.T) {
+	bad := Actor{Role: Role(99), ID: "?"}
+	if err := CheckRecord(bad, VerbReadData, rec("neo", nil, nil), nil); err == nil {
+		t.Fatal("unknown role should be denied")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if Controller.String() != "controller" || Role(9).String() != "Role(9)" {
+		t.Fatal("Role.String wrong")
+	}
+	if VerbReadData.String() != "read-data" || Verb(99).String() != "Verb(99)" {
+		t.Fatal("Verb.String wrong")
+	}
+	a := Actor{Role: Customer, ID: "neo"}
+	if a.String() != "customer:neo" {
+		t.Fatalf("Actor.String = %q", a.String())
+	}
+	var de *DeniedError
+	err := CheckRecord(Actor{Role: Regulator, ID: "dpa"}, VerbReadData, rec("neo", nil, nil), nil)
+	if !errors.As(err, &de) {
+		t.Fatalf("want DeniedError, got %T", err)
+	}
+	if !strings.Contains(de.Error(), "regulator:dpa") || !strings.Contains(de.Error(), "read-data") {
+		t.Fatalf("DeniedError.Error = %q", de.Error())
+	}
+}

@@ -1,0 +1,332 @@
+// Package audit implements the monitoring-and-logging action of Table 1
+// (G 30 records of processing, G 33 breach notification): an append-only,
+// timestamped trail of every data- and control-path operation, queryable
+// by time range (the GET-SYSTEM-LOGS query).
+//
+// It plays two roles from §5 of the paper: the Redis retrofit piggybacks
+// on the AOF "updated to log all interactions including reads and scans",
+// and the PostgreSQL retrofit uses csvlog plus a row-level-security policy
+// "to record query responses". Both reduce to the same mechanism: one log
+// entry per operation, persisted with a configurable sync policy
+// (always / everysec / none — Redis' appendfsync spectrum).
+package audit
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/securefs"
+)
+
+// Policy controls how aggressively entries reach stable storage.
+type Policy int
+
+// Sync policies, mirroring Redis appendfsync.
+const (
+	// SyncNone leaves flushing to the OS (fastest, weakest).
+	SyncNone Policy = iota
+	// SyncEverySec syncs at most once per second (the paper's Redis
+	// configuration: "not synchronously in real-time, but in batches
+	// synchronized once every second").
+	SyncEverySec
+	// SyncAlways syncs after every entry (strict interpretation).
+	SyncAlways
+)
+
+func (p Policy) String() string {
+	switch p {
+	case SyncNone:
+		return "none"
+	case SyncEverySec:
+		return "everysec"
+	case SyncAlways:
+		return "always"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Entry is one audit record.
+type Entry struct {
+	// Seq is a monotonically increasing sequence number assigned by Append.
+	Seq uint64
+	// Time is the instant the operation was logged.
+	Time time.Time
+	// Actor identifies who performed the operation ("controller:acme",
+	// "customer:neo", ...).
+	Actor string
+	// Op is the operation name (e.g. "READ-DATA-BY-USR", "SET", "SELECT").
+	Op string
+	// Target describes what the operation touched (key or selector).
+	Target string
+	// OK reports whether the operation succeeded.
+	OK bool
+	// Note carries extra detail (error text, row counts).
+	Note string
+}
+
+// encode renders an entry as one tab-separated line. Tabs and newlines in
+// fields are escaped so the format is unambiguous.
+func (e Entry) encode() []byte {
+	esc := func(s string) string {
+		s = strings.ReplaceAll(s, "\\", `\\`)
+		s = strings.ReplaceAll(s, "\t", `\t`)
+		s = strings.ReplaceAll(s, "\n", `\n`)
+		return s
+	}
+	ok := "0"
+	if e.OK {
+		ok = "1"
+	}
+	return []byte(strings.Join([]string{
+		strconv.FormatUint(e.Seq, 10),
+		strconv.FormatInt(e.Time.UnixNano(), 10),
+		esc(e.Actor), esc(e.Op), esc(e.Target), ok, esc(e.Note),
+	}, "\t"))
+}
+
+func unescape(s string) string {
+	if !strings.Contains(s, "\\") {
+		return s
+	}
+	var b strings.Builder
+	for i := 0; i < len(s); i++ {
+		if s[i] == '\\' && i+1 < len(s) {
+			switch s[i+1] {
+			case 't':
+				b.WriteByte('\t')
+			case 'n':
+				b.WriteByte('\n')
+			case '\\':
+				b.WriteByte('\\')
+			default:
+				b.WriteByte(s[i+1])
+			}
+			i++
+			continue
+		}
+		b.WriteByte(s[i])
+	}
+	return b.String()
+}
+
+// decodeEntry parses a line produced by encode.
+func decodeEntry(line []byte) (Entry, error) {
+	parts := strings.SplitN(string(line), "\t", 7)
+	if len(parts) != 7 {
+		return Entry{}, fmt.Errorf("audit: malformed entry (%d fields)", len(parts))
+	}
+	seq, err := strconv.ParseUint(parts[0], 10, 64)
+	if err != nil {
+		return Entry{}, fmt.Errorf("audit: bad seq: %w", err)
+	}
+	ns, err := strconv.ParseInt(parts[1], 10, 64)
+	if err != nil {
+		return Entry{}, fmt.Errorf("audit: bad time: %w", err)
+	}
+	return Entry{
+		Seq:    seq,
+		Time:   time.Unix(0, ns).UTC(),
+		Actor:  unescape(parts[2]),
+		Op:     unescape(parts[3]),
+		Target: unescape(parts[4]),
+		OK:     parts[5] == "1",
+		Note:   unescape(parts[6]),
+	}, nil
+}
+
+// Config configures a Log.
+type Config struct {
+	// Path is the backing file; empty means memory-only.
+	Path string
+	// Key enables at-rest encryption of the backing file.
+	Key []byte
+	// Policy is the sync policy for the backing file.
+	Policy Policy
+	// Clock supplies timestamps; defaults to the real clock.
+	Clock clock.Clock
+	// MemoryCap bounds the in-memory tail kept for range queries; older
+	// entries are evicted from memory (they remain on disk). 0 means a
+	// default of 1<<20 entries.
+	MemoryCap int
+}
+
+// Log is an append-only audit trail. It is safe for concurrent use.
+type Log struct {
+	mu       sync.Mutex
+	entries  []Entry // in-memory tail, ordered by Seq (and Time)
+	nextSeq  uint64
+	total    int64
+	bytes    int64
+	file     *securefs.File
+	policy   Policy
+	clk      clock.Clock
+	lastSync time.Time
+	memCap   int
+	closed   bool
+}
+
+// Open creates a Log per cfg.
+func Open(cfg Config) (*Log, error) {
+	l := &Log{policy: cfg.Policy, clk: cfg.Clock, memCap: cfg.MemoryCap}
+	if l.clk == nil {
+		l.clk = clock.NewReal()
+	}
+	if l.memCap <= 0 {
+		l.memCap = 1 << 20
+	}
+	if cfg.Path != "" {
+		// A small write buffer pushes entries to the OS every few dozen
+		// appends, like a statement-logging pipeline; fsync stays on the
+		// configured policy.
+		f, err := securefs.Append(cfg.Path, securefs.Options{Key: cfg.Key, BufferSize: 1 << 10})
+		if err != nil {
+			return nil, err
+		}
+		l.file = f
+	}
+	l.lastSync = l.clk.Now()
+	return l, nil
+}
+
+// Append records one entry, assigning its sequence number and timestamp.
+// It returns the stored entry.
+func (l *Log) Append(e Entry) (Entry, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return Entry{}, fmt.Errorf("audit: append to closed log")
+	}
+	l.nextSeq++
+	e.Seq = l.nextSeq
+	e.Time = l.clk.Now()
+	l.entries = append(l.entries, e)
+	if len(l.entries) > l.memCap {
+		// Evict the oldest half to amortize copying.
+		keep := l.memCap / 2
+		l.entries = append(l.entries[:0:0], l.entries[len(l.entries)-keep:]...)
+	}
+	l.total++
+	line := e.encode()
+	l.bytes += int64(len(line))
+	if l.file != nil {
+		if err := l.file.AppendFrame(line); err != nil {
+			return e, err
+		}
+		switch l.policy {
+		case SyncAlways:
+			if err := l.file.Sync(); err != nil {
+				return e, err
+			}
+			l.lastSync = e.Time
+		case SyncEverySec:
+			if e.Time.Sub(l.lastSync) >= time.Second {
+				if err := l.file.Sync(); err != nil {
+					return e, err
+				}
+				l.lastSync = e.Time
+			}
+		}
+	}
+	return e, nil
+}
+
+// Range returns the in-memory entries with from <= Time <= to, in order.
+// This backs GET-SYSTEM-LOGS (G 33, 34: regulators investigate logs "based
+// on time ranges"). Entries are time-ordered, so the start is found by
+// binary search.
+func (l *Log) Range(from, to time.Time) []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	lo := sort.Search(len(l.entries), func(i int) bool {
+		return !l.entries[i].Time.Before(from)
+	})
+	var out []Entry
+	for _, e := range l.entries[lo:] {
+		if e.Time.After(to) {
+			break
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Tail returns up to n most recent entries, oldest first.
+func (l *Log) Tail(n int) []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if n > len(l.entries) {
+		n = len(l.entries)
+	}
+	return append([]Entry(nil), l.entries[len(l.entries)-n:]...)
+}
+
+// ByActor returns in-memory entries whose Actor matches.
+func (l *Log) ByActor(actor string) []Entry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var out []Entry
+	for _, e := range l.entries {
+		if e.Actor == actor {
+			out = append(out, e)
+		}
+	}
+	return out
+}
+
+// Total reports how many entries were ever appended.
+func (l *Log) Total() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.total
+}
+
+// Bytes reports total encoded bytes appended; feeds the space-overhead
+// metric.
+func (l *Log) Bytes() int64 {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.bytes
+}
+
+// Sync forces buffered entries to stable storage.
+func (l *Log) Sync() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.file == nil {
+		return nil
+	}
+	l.lastSync = l.clk.Now()
+	return l.file.Sync()
+}
+
+// Close flushes and closes the backing file. Close is idempotent.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.closed {
+		return nil
+	}
+	l.closed = true
+	if l.file == nil {
+		return nil
+	}
+	return l.file.Close()
+}
+
+// Replay reads all entries from a backing file (surviving process
+// restarts — the on-disk trail is the compliance artifact).
+func Replay(path string, key []byte, fn func(Entry) error) error {
+	return securefs.Replay(path, securefs.Options{Key: key}, func(p []byte) error {
+		e, err := decodeEntry(p)
+		if err != nil {
+			return err
+		}
+		return fn(e)
+	})
+}

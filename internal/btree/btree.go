@@ -1,0 +1,443 @@
+// Package btree implements an in-memory B-tree with string keys, ordered
+// iteration and range scans. It is the index structure behind the
+// relational engine's primary and secondary indexes (the paper's
+// "metadata indexing via built-in secondary indices", §5.2).
+//
+// The tree is a classic B-tree of configurable degree: every node except
+// the root holds between degree-1 and 2*degree-1 keys; splits happen on
+// the way down during insert, and deletes rebalance by borrowing or
+// merging. The tree is not safe for concurrent use; the owning table
+// serializes access.
+package btree
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultDegree is a reasonable fan-out for in-memory use.
+const DefaultDegree = 32
+
+// Tree is a B-tree mapping string keys to values of type V.
+type Tree[V any] struct {
+	root   *node[V]
+	degree int
+	size   int
+}
+
+type item[V any] struct {
+	key   string
+	value V
+}
+
+type node[V any] struct {
+	items    []item[V]
+	children []*node[V] // nil for leaves
+}
+
+func (n *node[V]) leaf() bool { return len(n.children) == 0 }
+
+// New returns an empty tree with the given degree (minimum 2).
+func New[V any](degree int) *Tree[V] {
+	if degree < 2 {
+		degree = 2
+	}
+	return &Tree[V]{degree: degree}
+}
+
+// NewDefault returns an empty tree with DefaultDegree.
+func NewDefault[V any]() *Tree[V] { return New[V](DefaultDegree) }
+
+// Len returns the number of keys stored.
+func (t *Tree[V]) Len() int { return t.size }
+
+func (t *Tree[V]) maxItems() int { return 2*t.degree - 1 }
+func (t *Tree[V]) minItems() int { return t.degree - 1 }
+
+// find returns the position of key in n.items and whether it was found.
+func (n *node[V]) find(key string) (int, bool) {
+	i := sort.Search(len(n.items), func(i int) bool { return n.items[i].key >= key })
+	if i < len(n.items) && n.items[i].key == key {
+		return i, true
+	}
+	return i, false
+}
+
+// Get returns the value stored under key.
+func (t *Tree[V]) Get(key string) (V, bool) {
+	var zero V
+	n := t.root
+	for n != nil {
+		i, ok := n.find(key)
+		if ok {
+			return n.items[i].value, true
+		}
+		if n.leaf() {
+			return zero, false
+		}
+		n = n.children[i]
+	}
+	return zero, false
+}
+
+// Has reports whether key is present.
+func (t *Tree[V]) Has(key string) bool {
+	_, ok := t.Get(key)
+	return ok
+}
+
+// Set inserts or replaces the value under key, reporting whether the key
+// was newly inserted.
+func (t *Tree[V]) Set(key string, value V) bool {
+	if t.root == nil {
+		t.root = &node[V]{items: []item[V]{{key, value}}}
+		t.size = 1
+		return true
+	}
+	if len(t.root.items) >= t.maxItems() {
+		old := t.root
+		t.root = &node[V]{children: []*node[V]{old}}
+		t.splitChild(t.root, 0)
+	}
+	inserted := t.insertNonFull(t.root, key, value)
+	if inserted {
+		t.size++
+	}
+	return inserted
+}
+
+// splitChild splits the full child parent.children[i] around its median.
+func (t *Tree[V]) splitChild(parent *node[V], i int) {
+	child := parent.children[i]
+	mid := t.degree - 1
+	median := child.items[mid]
+
+	right := &node[V]{items: append([]item[V](nil), child.items[mid+1:]...)}
+	if !child.leaf() {
+		right.children = append([]*node[V](nil), child.children[mid+1:]...)
+		child.children = child.children[:mid+1]
+	}
+	child.items = child.items[:mid]
+
+	parent.items = append(parent.items, item[V]{})
+	copy(parent.items[i+1:], parent.items[i:])
+	parent.items[i] = median
+
+	parent.children = append(parent.children, nil)
+	copy(parent.children[i+2:], parent.children[i+1:])
+	parent.children[i+1] = right
+}
+
+func (t *Tree[V]) insertNonFull(n *node[V], key string, value V) bool {
+	for {
+		i, ok := n.find(key)
+		if ok {
+			n.items[i].value = value
+			return false
+		}
+		if n.leaf() {
+			n.items = append(n.items, item[V]{})
+			copy(n.items[i+1:], n.items[i:])
+			n.items[i] = item[V]{key, value}
+			return true
+		}
+		if len(n.children[i].items) >= t.maxItems() {
+			t.splitChild(n, i)
+			// After the split the median moved up to position i; re-route.
+			switch {
+			case key == n.items[i].key:
+				n.items[i].value = value
+				return false
+			case key > n.items[i].key:
+				i++
+			}
+		}
+		n = n.children[i]
+	}
+}
+
+// Delete removes key, reporting whether it was present.
+func (t *Tree[V]) Delete(key string) bool {
+	if t.root == nil {
+		return false
+	}
+	deleted := t.delete(t.root, key)
+	if len(t.root.items) == 0 {
+		if t.root.leaf() {
+			t.root = nil
+		} else {
+			t.root = t.root.children[0]
+		}
+	}
+	if deleted {
+		t.size--
+	}
+	return deleted
+}
+
+func (t *Tree[V]) delete(n *node[V], key string) bool {
+	i, found := n.find(key)
+	if n.leaf() {
+		if !found {
+			return false
+		}
+		n.items = append(n.items[:i], n.items[i+1:]...)
+		return true
+	}
+	if found {
+		// Replace with predecessor (which lives in a leaf) then delete it
+		// from the child, growing the child first if needed.
+		child := n.children[i]
+		if len(child.items) > t.minItems() {
+			pred := maxItem(child)
+			n.items[i] = pred
+			return t.delete(child, pred.key)
+		}
+		right := n.children[i+1]
+		if len(right.items) > t.minItems() {
+			succ := minItem(right)
+			n.items[i] = succ
+			return t.delete(right, succ.key)
+		}
+		// Both neighbors minimal: merge child, separator, right.
+		t.mergeChildren(n, i)
+		return t.delete(child, key)
+	}
+	// Key lives in subtree i; ensure the child can lose an item.
+	child := n.children[i]
+	if len(child.items) <= t.minItems() {
+		i = t.grow(n, i)
+		child = n.children[i]
+	}
+	return t.delete(child, key)
+}
+
+// grow makes n.children[i] have more than minItems items, by borrowing
+// from a sibling or merging. It returns the (possibly shifted) child index.
+func (t *Tree[V]) grow(n *node[V], i int) int {
+	child := n.children[i]
+	if i > 0 && len(n.children[i-1].items) > t.minItems() {
+		// Borrow from left sibling through the separator.
+		left := n.children[i-1]
+		child.items = append(child.items, item[V]{})
+		copy(child.items[1:], child.items)
+		child.items[0] = n.items[i-1]
+		n.items[i-1] = left.items[len(left.items)-1]
+		left.items = left.items[:len(left.items)-1]
+		if !left.leaf() {
+			moved := left.children[len(left.children)-1]
+			left.children = left.children[:len(left.children)-1]
+			child.children = append(child.children, nil)
+			copy(child.children[1:], child.children)
+			child.children[0] = moved
+		}
+		return i
+	}
+	if i < len(n.children)-1 && len(n.children[i+1].items) > t.minItems() {
+		// Borrow from right sibling.
+		right := n.children[i+1]
+		child.items = append(child.items, n.items[i])
+		n.items[i] = right.items[0]
+		right.items = append(right.items[:0], right.items[1:]...)
+		if !right.leaf() {
+			moved := right.children[0]
+			right.children = append(right.children[:0], right.children[1:]...)
+			child.children = append(child.children, moved)
+		}
+		return i
+	}
+	// Merge with a sibling.
+	if i > 0 {
+		t.mergeChildren(n, i-1)
+		return i - 1
+	}
+	t.mergeChildren(n, i)
+	return i
+}
+
+// mergeChildren merges n.children[i], n.items[i] and n.children[i+1].
+func (t *Tree[V]) mergeChildren(n *node[V], i int) {
+	left := n.children[i]
+	right := n.children[i+1]
+	left.items = append(left.items, n.items[i])
+	left.items = append(left.items, right.items...)
+	left.children = append(left.children, right.children...)
+	n.items = append(n.items[:i], n.items[i+1:]...)
+	n.children = append(n.children[:i+1], n.children[i+2:]...)
+}
+
+func maxItem[V any](n *node[V]) item[V] {
+	for !n.leaf() {
+		n = n.children[len(n.children)-1]
+	}
+	return n.items[len(n.items)-1]
+}
+
+func minItem[V any](n *node[V]) item[V] {
+	for !n.leaf() {
+		n = n.children[0]
+	}
+	return n.items[0]
+}
+
+// Ascend visits all keys in order until fn returns false.
+func (t *Tree[V]) Ascend(fn func(key string, value V) bool) {
+	t.ascendRange(t.root, "", "", false, false, fn)
+}
+
+// AscendRange visits keys in [lo, hi) in order until fn returns false.
+func (t *Tree[V]) AscendRange(lo, hi string, fn func(key string, value V) bool) {
+	t.ascendRange(t.root, lo, hi, true, true, fn)
+}
+
+// AscendFrom visits keys >= lo in order until fn returns false.
+func (t *Tree[V]) AscendFrom(lo string, fn func(key string, value V) bool) {
+	t.ascendRange(t.root, lo, "", true, false, fn)
+}
+
+// AscendPrefix visits keys with the given prefix in order.
+func (t *Tree[V]) AscendPrefix(prefix string, fn func(key string, value V) bool) {
+	if prefix == "" {
+		t.Ascend(fn)
+		return
+	}
+	// The smallest string greater than every prefixed key: bump the last
+	// byte (prefix bytes are below 0xff in our usage; fall back to
+	// unbounded if not).
+	end := prefixEnd(prefix)
+	if end == "" {
+		t.ascendRange(t.root, prefix, "", true, false, fn)
+		return
+	}
+	t.AscendRange(prefix, end, fn)
+}
+
+func prefixEnd(prefix string) string {
+	b := []byte(prefix)
+	for i := len(b) - 1; i >= 0; i-- {
+		if b[i] < 0xff {
+			b[i]++
+			return string(b[:i+1])
+		}
+	}
+	return ""
+}
+
+func (t *Tree[V]) ascendRange(n *node[V], lo, hi string, useLo, useHi bool, fn func(string, V) bool) bool {
+	if n == nil {
+		return true
+	}
+	i := 0
+	if useLo {
+		i = sort.Search(len(n.items), func(i int) bool { return n.items[i].key >= lo })
+	}
+	for ; i < len(n.items); i++ {
+		if !n.leaf() {
+			if !t.ascendRange(n.children[i], lo, hi, useLo, useHi, fn) {
+				return false
+			}
+		}
+		if useHi && n.items[i].key >= hi {
+			return false
+		}
+		if !fn(n.items[i].key, n.items[i].value) {
+			return false
+		}
+		// Once we've emitted an item, every following key exceeds lo.
+		useLo = false
+	}
+	if !n.leaf() {
+		return t.ascendRange(n.children[len(n.children)-1], lo, hi, useLo, useHi, fn)
+	}
+	return true
+}
+
+// Min returns the smallest key, or ok=false when empty.
+func (t *Tree[V]) Min() (string, V, bool) {
+	var zero V
+	if t.root == nil || t.size == 0 {
+		return "", zero, false
+	}
+	it := minItem(t.root)
+	return it.key, it.value, true
+}
+
+// Max returns the largest key, or ok=false when empty.
+func (t *Tree[V]) Max() (string, V, bool) {
+	var zero V
+	if t.root == nil || t.size == 0 {
+		return "", zero, false
+	}
+	it := maxItem(t.root)
+	return it.key, it.value, true
+}
+
+// CheckInvariants validates B-tree structural invariants; tests call it
+// after mutation storms. It returns an error describing the first
+// violation found.
+func (t *Tree[V]) CheckInvariants() error {
+	if t.root == nil {
+		if t.size != 0 {
+			return fmt.Errorf("btree: nil root but size %d", t.size)
+		}
+		return nil
+	}
+	count := 0
+	var depthSeen = -1
+	var walk func(n *node[V], depth int, lo, hi string, haveLo, haveHi bool) error
+	walk = func(n *node[V], depth int, lo, hi string, haveLo, haveHi bool) error {
+		if n != t.root {
+			if len(n.items) < t.minItems() {
+				return fmt.Errorf("btree: node with %d items below minimum %d", len(n.items), t.minItems())
+			}
+		}
+		if len(n.items) > t.maxItems() {
+			return fmt.Errorf("btree: node with %d items above maximum %d", len(n.items), t.maxItems())
+		}
+		for i := 0; i < len(n.items); i++ {
+			k := n.items[i].key
+			if i > 0 && n.items[i-1].key >= k {
+				return fmt.Errorf("btree: unsorted items %q >= %q", n.items[i-1].key, k)
+			}
+			if haveLo && k <= lo {
+				return fmt.Errorf("btree: key %q <= subtree lower bound %q", k, lo)
+			}
+			if haveHi && k >= hi {
+				return fmt.Errorf("btree: key %q >= subtree upper bound %q", k, hi)
+			}
+		}
+		count += len(n.items)
+		if n.leaf() {
+			if depthSeen == -1 {
+				depthSeen = depth
+			} else if depth != depthSeen {
+				return fmt.Errorf("btree: leaves at depths %d and %d", depthSeen, depth)
+			}
+			return nil
+		}
+		if len(n.children) != len(n.items)+1 {
+			return fmt.Errorf("btree: %d children for %d items", len(n.children), len(n.items))
+		}
+		for i, c := range n.children {
+			clo, chaveLo := lo, haveLo
+			chi, chaveHi := hi, haveHi
+			if i > 0 {
+				clo, chaveLo = n.items[i-1].key, true
+			}
+			if i < len(n.items) {
+				chi, chaveHi = n.items[i].key, true
+			}
+			if err := walk(c, depth+1, clo, chi, chaveLo, chaveHi); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	if err := walk(t.root, 0, "", "", false, false); err != nil {
+		return err
+	}
+	if count != t.size {
+		return fmt.Errorf("btree: counted %d items, size says %d", count, t.size)
+	}
+	return nil
+}

@@ -1,0 +1,311 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyTree(t *testing.T) {
+	tr := NewDefault[int]()
+	if tr.Len() != 0 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if _, ok := tr.Get("x"); ok {
+		t.Fatal("found key in empty tree")
+	}
+	if tr.Delete("x") {
+		t.Fatal("deleted from empty tree")
+	}
+	if _, _, ok := tr.Min(); ok {
+		t.Fatal("Min on empty")
+	}
+	if _, _, ok := tr.Max(); ok {
+		t.Fatal("Max on empty")
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSetGetOverwrite(t *testing.T) {
+	tr := New[string](2)
+	if !tr.Set("a", "1") {
+		t.Fatal("first set should insert")
+	}
+	if tr.Set("a", "2") {
+		t.Fatal("overwrite should not count as insert")
+	}
+	if v, ok := tr.Get("a"); !ok || v != "2" {
+		t.Fatalf("Get = %q %v", v, ok)
+	}
+	if tr.Len() != 1 {
+		t.Fatalf("len = %d", tr.Len())
+	}
+}
+
+func TestInsertManyAscendSorted(t *testing.T) {
+	tr := New[int](3)
+	const n = 2000
+	perm := rand.New(rand.NewSource(1)).Perm(n)
+	for _, i := range perm {
+		tr.Set(fmt.Sprintf("key-%06d", i), i)
+	}
+	if tr.Len() != n {
+		t.Fatalf("len = %d", tr.Len())
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	var keys []string
+	tr.Ascend(func(k string, v int) bool {
+		keys = append(keys, k)
+		return true
+	})
+	if len(keys) != n {
+		t.Fatalf("ascend visited %d", len(keys))
+	}
+	if !sort.StringsAreSorted(keys) {
+		t.Fatal("ascend not sorted")
+	}
+	mink, _, _ := tr.Min()
+	maxk, _, _ := tr.Max()
+	if mink != keys[0] || maxk != keys[n-1] {
+		t.Fatalf("min/max = %q/%q", mink, maxk)
+	}
+}
+
+func TestAscendEarlyStop(t *testing.T) {
+	tr := New[int](2)
+	for i := 0; i < 100; i++ {
+		tr.Set(fmt.Sprintf("%03d", i), i)
+	}
+	count := 0
+	tr.Ascend(func(string, int) bool {
+		count++
+		return count < 10
+	})
+	if count != 10 {
+		t.Fatalf("visited %d", count)
+	}
+}
+
+func TestAscendRange(t *testing.T) {
+	tr := New[int](2)
+	for i := 0; i < 100; i++ {
+		tr.Set(fmt.Sprintf("%03d", i), i)
+	}
+	var got []string
+	tr.AscendRange("010", "020", func(k string, _ int) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 10 || got[0] != "010" || got[9] != "019" {
+		t.Fatalf("range = %v", got)
+	}
+	// Empty range.
+	got = nil
+	tr.AscendRange("500", "600", func(k string, _ int) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 0 {
+		t.Fatalf("out-of-domain range = %v", got)
+	}
+	// lo == hi yields nothing.
+	got = nil
+	tr.AscendRange("010", "010", func(k string, _ int) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 0 {
+		t.Fatalf("empty range = %v", got)
+	}
+}
+
+func TestAscendRangeEarlyStop(t *testing.T) {
+	tr := New[int](2)
+	for i := 0; i < 100; i++ {
+		tr.Set(fmt.Sprintf("%03d", i), i)
+	}
+	n := 0
+	tr.AscendRange("000", "099", func(string, int) bool {
+		n++
+		return n < 5
+	})
+	if n != 5 {
+		t.Fatalf("visited %d", n)
+	}
+}
+
+func TestAscendPrefix(t *testing.T) {
+	tr := New[int](2)
+	tr.Set("ads\x00k1", 1)
+	tr.Set("ads\x00k2", 2)
+	tr.Set("adsx", 3)
+	tr.Set("2fa\x00k1", 4)
+	var got []string
+	tr.AscendPrefix("ads\x00", func(k string, _ int) bool {
+		got = append(got, k)
+		return true
+	})
+	if len(got) != 2 || got[0] != "ads\x00k1" || got[1] != "ads\x00k2" {
+		t.Fatalf("prefix scan = %v", got)
+	}
+	// Empty prefix = full scan.
+	n := 0
+	tr.AscendPrefix("", func(string, int) bool { n++; return true })
+	if n != 4 {
+		t.Fatalf("empty prefix visited %d", n)
+	}
+	// Prefix of all 0xff bytes exercises the unbounded fallback.
+	tr.Set("\xff\xffz", 9)
+	n = 0
+	tr.AscendPrefix("\xff\xff", func(string, int) bool { n++; return true })
+	if n != 1 {
+		t.Fatalf("ff prefix visited %d", n)
+	}
+}
+
+func TestDeleteEverythingInRandomOrder(t *testing.T) {
+	for _, degree := range []int{2, 3, 8, 32} {
+		t.Run(fmt.Sprintf("degree-%d", degree), func(t *testing.T) {
+			tr := New[int](degree)
+			const n = 1000
+			r := rand.New(rand.NewSource(7))
+			keys := make([]string, n)
+			for i := range keys {
+				keys[i] = fmt.Sprintf("k%05d", i)
+			}
+			for _, i := range r.Perm(n) {
+				tr.Set(keys[i], i)
+			}
+			for _, i := range r.Perm(n) {
+				if !tr.Delete(keys[i]) {
+					t.Fatalf("delete %q failed", keys[i])
+				}
+				if tr.Delete(keys[i]) {
+					t.Fatalf("double delete %q succeeded", keys[i])
+				}
+			}
+			if tr.Len() != 0 {
+				t.Fatalf("len = %d after deleting all", tr.Len())
+			}
+			if err := tr.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestMixedOpsAgainstModel(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		degree := 2 + r.Intn(6)
+		tr := New[int](degree)
+		model := map[string]int{}
+		for i := 0; i < 500; i++ {
+			k := fmt.Sprintf("k%03d", r.Intn(120))
+			switch r.Intn(3) {
+			case 0, 1:
+				v := r.Intn(1000)
+				tr.Set(k, v)
+				model[k] = v
+			case 2:
+				got := tr.Delete(k)
+				_, want := model[k]
+				if got != want {
+					t.Logf("seed %d: delete %q = %v, model %v", seed, k, got, want)
+					return false
+				}
+				delete(model, k)
+			}
+		}
+		if tr.Len() != len(model) {
+			t.Logf("seed %d: len %d != model %d", seed, tr.Len(), len(model))
+			return false
+		}
+		for k, v := range model {
+			got, ok := tr.Get(k)
+			if !ok || got != v {
+				t.Logf("seed %d: get %q = %d,%v want %d", seed, k, got, ok, v)
+				return false
+			}
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		// Ordered iteration equals sorted model keys.
+		want := make([]string, 0, len(model))
+		for k := range model {
+			want = append(want, k)
+		}
+		sort.Strings(want)
+		var got []string
+		tr.Ascend(func(k string, _ int) bool { got = append(got, k); return true })
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSequentialInsertDescendingDelete(t *testing.T) {
+	tr := New[int](2)
+	const n = 500
+	for i := 0; i < n; i++ {
+		tr.Set(fmt.Sprintf("%05d", i), i)
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("after insert %d: %v", i, err)
+		}
+	}
+	for i := n - 1; i >= 0; i-- {
+		if !tr.Delete(fmt.Sprintf("%05d", i)) {
+			t.Fatalf("delete %d failed", i)
+		}
+		if err := tr.CheckInvariants(); err != nil {
+			t.Fatalf("after delete %d: %v", i, err)
+		}
+	}
+}
+
+func TestDegreeBelowTwoClamped(t *testing.T) {
+	tr := New[int](0)
+	for i := 0; i < 100; i++ {
+		tr.Set(fmt.Sprintf("%d", i), i)
+	}
+	if err := tr.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkSet(b *testing.B) {
+	tr := NewDefault[int]()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Set(fmt.Sprintf("key-%09d", i%1_000_000), i)
+	}
+}
+
+func BenchmarkGet(b *testing.B) {
+	tr := NewDefault[int]()
+	for i := 0; i < 100_000; i++ {
+		tr.Set(fmt.Sprintf("key-%09d", i), i)
+	}
+	b.ResetTimer()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Get(fmt.Sprintf("key-%09d", i%100_000))
+	}
+}

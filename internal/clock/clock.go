@@ -1,0 +1,150 @@
+// Package clock abstracts time so that long-horizon experiments from the
+// paper (e.g. Figure 3a's multi-hour TTL-erasure delays) can be reproduced
+// deterministically in milliseconds of real time.
+//
+// Two implementations are provided: Real, a thin wrapper over package time,
+// and Sim, a manually-advanced virtual clock with timer support. Engines
+// accept a Clock and never call time.Now directly on timing-sensitive paths.
+package clock
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Clock is the minimal time source used by the storage engines and the
+// benchmark harness.
+type Clock interface {
+	// Now returns the current instant.
+	Now() time.Time
+	// Since returns the elapsed duration from t to Now.
+	Since(t time.Time) time.Duration
+	// Sleep blocks the caller for d. On a Sim clock the block is released
+	// when virtual time advances past the deadline.
+	Sleep(d time.Duration)
+	// After returns a channel that delivers the fire time once d elapses.
+	After(d time.Duration) <-chan time.Time
+}
+
+// Real is a Clock backed by the system clock.
+type Real struct{}
+
+// NewReal returns a Clock backed by package time.
+func NewReal() Real { return Real{} }
+
+// Now implements Clock.
+func (Real) Now() time.Time { return time.Now() }
+
+// Since implements Clock.
+func (Real) Since(t time.Time) time.Duration { return time.Since(t) }
+
+// Sleep implements Clock.
+func (Real) Sleep(d time.Duration) { time.Sleep(d) }
+
+// After implements Clock.
+func (Real) After(d time.Duration) <-chan time.Time { return time.After(d) }
+
+// Sim is a virtual clock. Time only moves when Advance (or Step) is called.
+// Sim is safe for concurrent use.
+type Sim struct {
+	mu     sync.Mutex
+	now    time.Time
+	timers []*simTimer // kept sorted by deadline
+}
+
+type simTimer struct {
+	deadline time.Time
+	ch       chan time.Time
+}
+
+// NewSim returns a Sim clock starting at start. A zero start is replaced by a
+// fixed epoch so tests are reproducible.
+func NewSim(start time.Time) *Sim {
+	if start.IsZero() {
+		start = time.Date(2019, time.March, 18, 0, 0, 0, 0, time.UTC)
+	}
+	return &Sim{now: start}
+}
+
+// Now implements Clock.
+func (s *Sim) Now() time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.now
+}
+
+// Since implements Clock.
+func (s *Sim) Since(t time.Time) time.Duration { return s.Now().Sub(t) }
+
+// Sleep implements Clock. It blocks until virtual time advances past d.
+func (s *Sim) Sleep(d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	<-s.After(d)
+}
+
+// After implements Clock. The returned channel has capacity 1 and fires when
+// Advance moves the clock to or past the deadline.
+func (s *Sim) After(d time.Duration) <-chan time.Time {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	t := &simTimer{deadline: s.now.Add(d), ch: ch}
+	if d <= 0 {
+		ch <- s.now
+		return ch
+	}
+	s.timers = append(s.timers, t)
+	sort.Slice(s.timers, func(i, j int) bool {
+		return s.timers[i].deadline.Before(s.timers[j].deadline)
+	})
+	return ch
+}
+
+// Advance moves virtual time forward by d, firing every timer whose deadline
+// is reached, in deadline order.
+func (s *Sim) Advance(d time.Duration) {
+	s.mu.Lock()
+	target := s.now.Add(d)
+	s.now = target
+	var fire []*simTimer
+	rest := s.timers[:0]
+	for _, t := range s.timers {
+		if !t.deadline.After(target) {
+			fire = append(fire, t)
+		} else {
+			rest = append(rest, t)
+		}
+	}
+	s.timers = rest
+	s.mu.Unlock()
+	for _, t := range fire {
+		t.ch <- t.deadline
+	}
+}
+
+// Step advances the clock n times by d, invoking fn (if non-nil) after each
+// step. It is the main driver loop for discrete-time simulations such as the
+// Redis lazy-expiry process.
+func (s *Sim) Step(n int, d time.Duration, fn func(now time.Time)) {
+	for i := 0; i < n; i++ {
+		s.Advance(d)
+		if fn != nil {
+			fn(s.Now())
+		}
+	}
+}
+
+// PendingTimers reports how many timers are armed; used in tests.
+func (s *Sim) PendingTimers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.timers)
+}
+
+var (
+	_ Clock = Real{}
+	_ Clock = (*Sim)(nil)
+)

@@ -1,0 +1,177 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestRealNowMonotonicEnough(t *testing.T) {
+	c := NewReal()
+	a := c.Now()
+	b := c.Now()
+	if b.Before(a) {
+		t.Fatalf("real clock went backwards: %v then %v", a, b)
+	}
+	if c.Since(a) < 0 {
+		t.Fatalf("negative Since")
+	}
+}
+
+func TestSimZeroStartUsesFixedEpoch(t *testing.T) {
+	a := NewSim(time.Time{}).Now()
+	b := NewSim(time.Time{}).Now()
+	if !a.Equal(b) {
+		t.Fatalf("zero-start Sim clocks disagree: %v vs %v", a, b)
+	}
+}
+
+func TestSimAdvance(t *testing.T) {
+	start := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	s := NewSim(start)
+	if !s.Now().Equal(start) {
+		t.Fatalf("Now = %v, want %v", s.Now(), start)
+	}
+	s.Advance(90 * time.Second)
+	want := start.Add(90 * time.Second)
+	if !s.Now().Equal(want) {
+		t.Fatalf("Now = %v, want %v", s.Now(), want)
+	}
+	if got := s.Since(start); got != 90*time.Second {
+		t.Fatalf("Since = %v, want 90s", got)
+	}
+}
+
+func TestSimAfterFiresInDeadlineOrder(t *testing.T) {
+	s := NewSim(time.Time{})
+	c2 := s.After(2 * time.Second)
+	c1 := s.After(1 * time.Second)
+	select {
+	case <-c1:
+		t.Fatal("timer fired before Advance")
+	default:
+	}
+	s.Advance(3 * time.Second)
+	t1 := <-c1
+	t2 := <-c2
+	if !t1.Before(t2) {
+		t.Fatalf("fire order wrong: %v then %v", t1, t2)
+	}
+}
+
+func TestSimAfterNonPositiveFiresImmediately(t *testing.T) {
+	s := NewSim(time.Time{})
+	select {
+	case <-s.After(0):
+	default:
+		t.Fatal("After(0) did not fire immediately")
+	}
+	select {
+	case <-s.After(-time.Second):
+	default:
+		t.Fatal("After(<0) did not fire immediately")
+	}
+	if s.PendingTimers() != 0 {
+		t.Fatalf("pending timers = %d, want 0", s.PendingTimers())
+	}
+}
+
+func TestSimPartialAdvanceLeavesFutureTimers(t *testing.T) {
+	s := NewSim(time.Time{})
+	far := s.After(10 * time.Second)
+	near := s.After(1 * time.Second)
+	s.Advance(5 * time.Second)
+	select {
+	case <-near:
+	default:
+		t.Fatal("near timer did not fire")
+	}
+	select {
+	case <-far:
+		t.Fatal("far timer fired early")
+	default:
+	}
+	if s.PendingTimers() != 1 {
+		t.Fatalf("pending timers = %d, want 1", s.PendingTimers())
+	}
+	s.Advance(5 * time.Second)
+	select {
+	case <-far:
+	default:
+		t.Fatal("far timer did not fire after full advance")
+	}
+}
+
+func TestSimSleepUnblocksOnAdvance(t *testing.T) {
+	s := NewSim(time.Time{})
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		s.Sleep(time.Second)
+		close(done)
+	}()
+	// Give the goroutine a chance to arm its timer before advancing.
+	for i := 0; i < 1000 && s.PendingTimers() == 0; i++ {
+		time.Sleep(100 * time.Microsecond)
+	}
+	if s.PendingTimers() == 0 {
+		t.Fatal("sleeper never armed a timer")
+	}
+	s.Advance(2 * time.Second)
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Sleep did not unblock after Advance")
+	}
+	wg.Wait()
+}
+
+func TestSimSleepZeroReturnsImmediately(t *testing.T) {
+	s := NewSim(time.Time{})
+	s.Sleep(0) // must not block
+	s.Sleep(-time.Minute)
+}
+
+func TestSimStepInvokesCallback(t *testing.T) {
+	s := NewSim(time.Time{})
+	start := s.Now()
+	var calls []time.Duration
+	s.Step(5, 100*time.Millisecond, func(now time.Time) {
+		calls = append(calls, now.Sub(start))
+	})
+	if len(calls) != 5 {
+		t.Fatalf("callback calls = %d, want 5", len(calls))
+	}
+	for i, d := range calls {
+		want := time.Duration(i+1) * 100 * time.Millisecond
+		if d != want {
+			t.Fatalf("call %d at %v, want %v", i, d, want)
+		}
+	}
+}
+
+func TestSimConcurrentAdvanceAndAfter(t *testing.T) {
+	s := NewSim(time.Time{})
+	const n = 64
+	var wg sync.WaitGroup
+	fired := make(chan struct{}, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-s.After(time.Duration(i%7+1) * time.Millisecond)
+			fired <- struct{}{}
+		}(i)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for len(fired) < n && time.Now().Before(deadline) {
+		s.Advance(time.Millisecond)
+		time.Sleep(50 * time.Microsecond)
+	}
+	wg.Wait()
+	if got := len(fired); got != n {
+		t.Fatalf("fired = %d, want %d", got, n)
+	}
+}

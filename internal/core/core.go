@@ -1,0 +1,198 @@
+// Package core is GDPRbench itself — the paper's primary contribution
+// (§4): a benchmark for personal-data datastores built from
+//
+//   - the GDPR query set of §3.3 (CREATE-RECORD through GET-SYSTEM-LOGS),
+//     expressed by the DB interface;
+//   - the four role workloads of Table 2a (controller, customer,
+//     processor, regulator) with their default query mixes and record
+//     distributions;
+//   - the three metrics of §4.2.3: correctness, completion time, and
+//     storage space overhead;
+//   - client stubs ("DB interface layer") for the two engines, which also
+//     enforce metadata-based access control, mirroring the paper's
+//     retrofits ("we extend the Redis client in GDPRbench to enforce
+//     metadata-based access rights").
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"repro/internal/acl"
+	"repro/internal/audit"
+	"repro/internal/gdpr"
+)
+
+// ErrFeatureDisabled is returned when a query needs a compliance feature
+// (e.g. logging for GET-SYSTEM-LOGS) that the configuration turned off.
+var ErrFeatureDisabled = errors.New("core: required compliance feature is disabled")
+
+// DB is the GDPR query interface of §3.3. Every call carries the acting
+// GDPR entity; implementations enforce Figure 1's access matrix when
+// access control is enabled.
+type DB interface {
+	// CreateRecord inserts a personal data record with its metadata
+	// (controller, G 24).
+	CreateRecord(a acl.Actor, rec gdpr.Record) error
+	// ReadData returns the records matching sel with their personal data
+	// (READ-DATA-BY-{KEY|PUR|USR|OBJ|DEC}).
+	ReadData(a acl.Actor, sel gdpr.Selector) ([]gdpr.Record, error)
+	// ReadMetadata returns the records matching sel with personal data
+	// redacted (READ-METADATA-BY-{KEY|USR|SHR}).
+	ReadMetadata(a acl.Actor, sel gdpr.Selector) ([]gdpr.Record, error)
+	// UpdateData rectifies the personal data of one record
+	// (UPDATE-DATA-BY-KEY, G 16). It reports how many records changed.
+	UpdateData(a acl.Actor, key, data string) (int, error)
+	// UpdateMetadata applies delta to every record matching sel
+	// (UPDATE-METADATA-BY-{KEY|PUR|USR}). It reports how many changed.
+	UpdateMetadata(a acl.Actor, sel gdpr.Selector, delta gdpr.Delta) (int, error)
+	// DeleteRecord erases the records matching sel
+	// (DELETE-RECORD-BY-{KEY|PUR|TTL|USR}). It reports how many went.
+	DeleteRecord(a acl.Actor, sel gdpr.Selector) (int, error)
+	// GetSystemLogs returns audit entries in [from, to]
+	// (GET-SYSTEM-LOGS, G 30/33/34).
+	GetSystemLogs(a acl.Actor, from, to time.Time) ([]audit.Entry, error)
+	// GetSystemFeatures reports the engine's security capabilities
+	// (GET-SYSTEM-FEATURES, G 24/25).
+	GetSystemFeatures(a acl.Actor) (map[string]string, error)
+	// VerifyDeletion reports how many of the given keys still exist
+	// (regulator workload; 0 means the deletions are verified).
+	VerifyDeletion(a acl.Actor, keys []string) (int, error)
+	// SpaceUsage reports the space-overhead metric inputs.
+	SpaceUsage() (SpaceUsage, error)
+	// Close releases engine resources.
+	Close() error
+}
+
+// SpaceUsage captures §4.2.3's storage space overhead: "the ratio of
+// total size of the database to the total size of personal data in it".
+type SpaceUsage struct {
+	// PersonalBytes is the size of the personal data alone.
+	PersonalBytes int64
+	// TotalBytes is the total datastore footprint (records + metadata +
+	// secondary indexes).
+	TotalBytes int64
+}
+
+// Factor returns TotalBytes / PersonalBytes (>= 1 by construction when
+// any metadata is stored).
+func (s SpaceUsage) Factor() float64 {
+	if s.PersonalBytes <= 0 {
+		return 0
+	}
+	return float64(s.TotalBytes) / float64(s.PersonalBytes)
+}
+
+// Compliance toggles the five GDPR feature families of §3.2 on a client.
+type Compliance struct {
+	// EncryptAtRest routes engine persistence through AES-GCM (the
+	// paper's LUKS setup).
+	EncryptAtRest bool
+	// EncryptInTransit pays a TLS-like record-layer cost per operation
+	// (the paper's Stunnel / verify-CA SSL setup).
+	EncryptInTransit bool
+	// Logging audits every operation, reads included (AOF piggyback /
+	// csvlog retrofits) and enables GET-SYSTEM-LOGS.
+	Logging bool
+	// TimelyDeletion enables strict active expiry (Redis retrofit) or
+	// the 1-second TTL daemon (PostgreSQL retrofit).
+	TimelyDeletion bool
+	// AccessControl enforces Figure 1's matrix in the client stub.
+	AccessControl bool
+	// MetadataIndexing builds secondary indexes on all metadata fields
+	// (PostgreSQL only; "Redis lacks the support for multiple secondary
+	// indices", §6.2).
+	MetadataIndexing bool
+	// Strict applies the paper's strict interpretation to records
+	// (mandatory TTL and owner).
+	Strict bool
+}
+
+// Full returns the fully-compliant configuration the paper evaluates in
+// §6.2 (for PostgreSQL, §6.2 additionally measures MetadataIndexing on
+// and off).
+func Full() Compliance {
+	return Compliance{
+		EncryptAtRest:    true,
+		EncryptInTransit: true,
+		Logging:          true,
+		TimelyDeletion:   true,
+		AccessControl:    true,
+		Strict:           true,
+	}
+}
+
+// None returns the no-security baseline of §6.1.
+func None() Compliance { return Compliance{} }
+
+// String summarizes the enabled features.
+func (c Compliance) String() string {
+	out := ""
+	add := func(on bool, tag string) {
+		if on {
+			if out != "" {
+				out += "+"
+			}
+			out += tag
+		}
+	}
+	add(c.EncryptAtRest, "rest")
+	add(c.EncryptInTransit, "transit")
+	add(c.Logging, "log")
+	add(c.TimelyDeletion, "ttl")
+	add(c.AccessControl, "acl")
+	add(c.MetadataIndexing, "idx")
+	add(c.Strict, "strict")
+	if out == "" {
+		return "none"
+	}
+	return out
+}
+
+// filterACL narrows recs to those actor a may apply verb to, when access
+// control is on. It never fails: denied records are simply excluded,
+// which is the correct response shape for selector queries (you receive
+// the records you are entitled to).
+func filterACL(enabled bool, a acl.Actor, verb acl.Verb, recs []gdpr.Record, delta *gdpr.Delta) []gdpr.Record {
+	if !enabled {
+		return recs
+	}
+	allowed, _ := acl.Filter(a, verb, recs, delta)
+	return allowed
+}
+
+// checkSystemACL verifies record-independent rights when enabled.
+func checkSystemACL(enabled bool, a acl.Actor, verb acl.Verb) error {
+	if !enabled {
+		return nil
+	}
+	return acl.CheckSystem(a, verb)
+}
+
+// redactData strips personal data from records (metadata-only reads).
+func redactData(recs []gdpr.Record) []gdpr.Record {
+	out := make([]gdpr.Record, len(recs))
+	for i, r := range recs {
+		c := r.Clone()
+		c.Data = ""
+		out[i] = c
+	}
+	return out
+}
+
+// auditOp appends an operation entry when logging is enabled.
+func auditOp(log *audit.Log, a acl.Actor, op, target string, ok bool, note string) {
+	if log == nil {
+		return
+	}
+	_, _ = log.Append(audit.Entry{Actor: a.String(), Op: op, Target: target, OK: ok, Note: note})
+}
+
+func countNote(n int) string { return fmt.Sprintf("n=%d", n) }
+
+// errSkipUpdate is the sentinel a read-modify-write closure returns when
+// the record no longer matches the selector or the actor's rights at
+// apply time (a concurrent mutation won the race). The operation simply
+// skips the record.
+var errSkipUpdate = errors.New("core: record skipped")

@@ -1,0 +1,492 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"path/filepath"
+	"time"
+
+	"repro/internal/acl"
+	"repro/internal/audit"
+	"repro/internal/clock"
+	"repro/internal/gdpr"
+	"repro/internal/relstore"
+	"repro/internal/securefs"
+	"repro/internal/transit"
+	"repro/internal/wal"
+)
+
+// PostgresClient is the GDPRbench client stub for the PostgreSQL-model
+// engine (§5.2). Records live in one wide table with a column per GDPR
+// metadata attribute; metadata queries become predicates that the planner
+// serves from secondary indexes when MetadataIndexing is on (Figure 5c)
+// and sequential scans otherwise (Figure 5b). Compliance features map to:
+//
+//	EncryptAtRest    → WAL and audit log encrypted via securefs (LUKS)
+//	EncryptInTransit → per-op transit.Pipe record layer (SSL verify-CA)
+//	Logging          → csvlog-style statement+response logging
+//	TimelyDeletion   → TTL daemon at a 1-second period
+//	AccessControl    → acl checks in this client
+//	MetadataIndexing → secondary indexes on every metadata column
+type PostgresClient struct {
+	db   *relstore.DB
+	log  *audit.Log
+	pipe *transit.Pipe
+	comp Compliance
+	clk  clock.Clock
+}
+
+// RecordsTable is the personal-data table name.
+const RecordsTable = "personal_records"
+
+// TTLDaemonPeriod is the paper's retrofit period ("currently set to 1 sec").
+const TTLDaemonPeriod = time.Second
+
+// recordsSchema maps the §4.2.1 record format onto columns.
+func recordsSchema() relstore.Schema {
+	return relstore.Schema{
+		Name: RecordsTable,
+		Columns: []relstore.Column{
+			{Name: "key", Type: relstore.TypeText},
+			{Name: "data", Type: relstore.TypeText},
+			{Name: "pur", Type: relstore.TypeTextList},
+			{Name: "ttl", Type: relstore.TypeTime},
+			{Name: "usr", Type: relstore.TypeText},
+			{Name: "obj", Type: relstore.TypeTextList},
+			{Name: "dec", Type: relstore.TypeTextList},
+			{Name: "shr", Type: relstore.TypeTextList},
+			{Name: "src", Type: relstore.TypeText},
+		},
+		PrimaryKey: "key",
+	}
+}
+
+// metadataColumns are the columns that get secondary indexes under
+// MetadataIndexing — all seven attributes, matching Table 3's "secondary
+// indices for all the metadata fields".
+var metadataColumns = []string{"pur", "ttl", "usr", "obj", "dec", "shr", "src"}
+
+func rowFromRecord(r gdpr.Record) relstore.Row {
+	return relstore.Row{
+		r.Key, r.Data, r.Meta.Purposes, r.Meta.Expiry, r.Meta.User,
+		r.Meta.Objections, r.Meta.Decisions, r.Meta.SharedWith, r.Meta.Source,
+	}
+}
+
+func recordFromRow(row relstore.Row) gdpr.Record {
+	listAt := func(i int) []string {
+		l, _ := row[i].([]string)
+		return l
+	}
+	return gdpr.Record{
+		Key:  row[0].(string),
+		Data: row[1].(string),
+		Meta: gdpr.Metadata{
+			Purposes:   listAt(2),
+			Expiry:     row[3].(time.Time),
+			User:       row[4].(string),
+			Objections: listAt(5),
+			Decisions:  listAt(6),
+			SharedWith: listAt(7),
+			Source:     row[8].(string),
+		},
+	}
+}
+
+// predicateFor translates a GDPR selector into a relational predicate.
+func predicateFor(sel gdpr.Selector) (relstore.Predicate, error) {
+	switch sel.Attr {
+	case gdpr.AttrUser:
+		return relstore.Eq("usr", sel.Value), nil
+	case gdpr.AttrSource:
+		return relstore.Eq("src", sel.Value), nil
+	case gdpr.AttrPurpose:
+		return relstore.Contains("pur", sel.Value), nil
+	case gdpr.AttrObjection:
+		if sel.Negate {
+			return relstore.NotContains("obj", sel.Value), nil
+		}
+		return relstore.Contains("obj", sel.Value), nil
+	case gdpr.AttrDecision:
+		return relstore.Contains("dec", sel.Value), nil
+	case gdpr.AttrSharing:
+		return relstore.Contains("shr", sel.Value), nil
+	case gdpr.AttrTTL:
+		return relstore.Le("ttl", sel.AsOf), nil
+	default:
+		return relstore.Predicate{}, fmt.Errorf("core: selector %v has no relational predicate", sel)
+	}
+}
+
+// PostgresConfig configures OpenPostgres.
+type PostgresConfig struct {
+	// Dir is where the WAL and audit files live; required for Logging
+	// and WAL persistence. Empty disables persistence entirely.
+	Dir string
+	// Compliance selects the feature set.
+	Compliance Compliance
+	// Clock supplies time; defaults to the real clock.
+	Clock clock.Clock
+	// Passphrase derives the at-rest and in-transit keys.
+	Passphrase string
+	// DisableTTLDaemon leaves expiry to the caller (simulated-clock
+	// harnesses call SweepExpired directly).
+	DisableTTLDaemon bool
+}
+
+// OpenPostgres builds a PostgresClient.
+func OpenPostgres(cfg PostgresConfig) (*PostgresClient, error) {
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	comp := cfg.Compliance
+	pass := cfg.Passphrase
+	if pass == "" {
+		pass = "gdprbench-postgres"
+	}
+
+	relCfg := relstore.Config{Clock: clk}
+	var log *audit.Log
+	if comp.Logging {
+		if cfg.Dir == "" {
+			return nil, fmt.Errorf("core: postgres logging requires a directory")
+		}
+		auditCfg := audit.Config{
+			Path:   filepath.Join(cfg.Dir, "postgres-csvlog"),
+			Policy: audit.SyncEverySec,
+			Clock:  clk,
+		}
+		if comp.EncryptAtRest {
+			auditCfg.Key = securefs.Key(pass + "/csvlog")
+		}
+		var err error
+		log, err = audit.Open(auditCfg)
+		if err != nil {
+			return nil, err
+		}
+		relCfg.Audit = log
+		relCfg.LogStatements = true
+	}
+	if cfg.Dir != "" {
+		relCfg.WALPath = filepath.Join(cfg.Dir, "postgres.wal")
+		relCfg.WALSync = wal.SyncBatched
+		if comp.EncryptAtRest {
+			relCfg.EncryptionKey = securefs.Key(pass + "/wal")
+		}
+	}
+	db, err := relstore.Open(relCfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := db.CreateTable(recordsSchema()); err != nil {
+		return nil, err
+	}
+	if err := db.Recover(); err != nil {
+		return nil, err
+	}
+	if comp.MetadataIndexing {
+		for _, col := range metadataColumns {
+			if err := db.CreateIndex(RecordsTable, col); err != nil {
+				return nil, err
+			}
+		}
+	}
+	c := &PostgresClient{db: db, log: log, comp: comp, clk: clk}
+	if comp.EncryptInTransit {
+		pipe, err := transit.NewPipe(securefs.Key(pass + "/transit"))
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.pipe = pipe
+	}
+	if comp.TimelyDeletion && !cfg.DisableTTLDaemon {
+		if err := db.StartTTLDaemon(RecordsTable, "ttl", TTLDaemonPeriod); err != nil {
+			c.Close()
+			return nil, err
+		}
+	}
+	return c, nil
+}
+
+// DB exposes the underlying engine for experiment harnesses.
+func (c *PostgresClient) DB() *relstore.DB { return c.db }
+
+// SweepExpired runs one synchronous TTL-daemon pass (simulated clocks).
+func (c *PostgresClient) SweepExpired() (int, error) {
+	return c.db.SweepExpired(RecordsTable, "ttl")
+}
+
+func (c *PostgresClient) transitWrap(req string, fn func() (string, error)) error {
+	if c.pipe == nil {
+		_, err := fn()
+		return err
+	}
+	var opErr error
+	_, err := c.pipe.RoundTrip([]byte(req), func([]byte) []byte {
+		resp, e := fn()
+		opErr = e
+		return []byte(resp)
+	})
+	if opErr != nil {
+		return opErr
+	}
+	return err
+}
+
+// fetch resolves a selector to records.
+func (c *PostgresClient) fetch(sel gdpr.Selector) ([]gdpr.Record, error) {
+	if sel.Attr == gdpr.AttrKey {
+		row, ok, err := c.db.Get(RecordsTable, sel.Value)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return nil, nil
+		}
+		return []gdpr.Record{recordFromRow(row)}, nil
+	}
+	pred, err := predicateFor(sel)
+	if err != nil {
+		return nil, err
+	}
+	rows, err := c.db.Select(RecordsTable, pred)
+	if err != nil {
+		return nil, err
+	}
+	recs := make([]gdpr.Record, len(rows))
+	for i, row := range rows {
+		recs[i] = recordFromRow(row)
+	}
+	return recs, nil
+}
+
+// CreateRecord implements DB.
+func (c *PostgresClient) CreateRecord(a acl.Actor, rec gdpr.Record) error {
+	if err := rec.Validate(c.comp.Strict); err != nil {
+		return err
+	}
+	if c.comp.AccessControl {
+		if err := acl.CheckRecord(a, acl.VerbCreate, rec, nil); err != nil {
+			auditOp(c.log, a, "CREATE-RECORD", rec.Key, false, err.Error())
+			return err
+		}
+	}
+	err := c.transitWrap("CREATE "+rec.Key, func() (string, error) {
+		return "OK", c.db.Insert(RecordsTable, rowFromRecord(rec))
+	})
+	auditOp(c.log, a, "CREATE-RECORD", rec.Key, err == nil, "")
+	return err
+}
+
+// ReadData implements DB.
+func (c *PostgresClient) ReadData(a acl.Actor, sel gdpr.Selector) ([]gdpr.Record, error) {
+	var out []gdpr.Record
+	err := c.transitWrap("READ-DATA "+sel.String(), func() (string, error) {
+		recs, err := c.fetch(sel)
+		if err != nil {
+			return "", err
+		}
+		out = filterACL(c.comp.AccessControl, a, acl.VerbReadData, recs, nil)
+		return encodeAll(out), nil
+	})
+	auditOp(c.log, a, "READ-DATA", sel.String(), err == nil, countNote(len(out)))
+	return out, err
+}
+
+// ReadMetadata implements DB.
+func (c *PostgresClient) ReadMetadata(a acl.Actor, sel gdpr.Selector) ([]gdpr.Record, error) {
+	var out []gdpr.Record
+	err := c.transitWrap("READ-META "+sel.String(), func() (string, error) {
+		recs, err := c.fetch(sel)
+		if err != nil {
+			return "", err
+		}
+		out = redactData(filterACL(c.comp.AccessControl, a, acl.VerbReadMetadata, recs, nil))
+		return encodeAll(out), nil
+	})
+	auditOp(c.log, a, "READ-METADATA", sel.String(), err == nil, countNote(len(out)))
+	return out, err
+}
+
+// rmw atomically applies mutate to the row at key via the engine's
+// read-modify-write, re-verifying the selector and the actor's rights at
+// apply time (a concurrent mutation may have changed the row since it was
+// selected). It reports whether the row was updated.
+func (c *PostgresClient) rmw(a acl.Actor, verb acl.Verb, key string, sel gdpr.Selector, delta *gdpr.Delta, mutate func(*gdpr.Record) error) (bool, error) {
+	ok, err := c.db.UpdateFunc(RecordsTable, key, func(row relstore.Row) (relstore.Row, error) {
+		rec := recordFromRow(row)
+		if !sel.Matches(rec) {
+			return nil, errSkipUpdate
+		}
+		if c.comp.AccessControl {
+			if err := acl.CheckRecord(a, verb, rec, delta); err != nil {
+				return nil, errSkipUpdate
+			}
+		}
+		if err := mutate(&rec); err != nil {
+			return nil, err
+		}
+		if err := rec.Validate(c.comp.Strict); err != nil {
+			return nil, err
+		}
+		return rowFromRecord(rec), nil
+	})
+	if errors.Is(err, errSkipUpdate) {
+		return false, nil
+	}
+	return ok, err
+}
+
+// UpdateData implements DB.
+func (c *PostgresClient) UpdateData(a acl.Actor, key, data string) (int, error) {
+	n := 0
+	err := c.transitWrap("UPDATE-DATA "+key, func() (string, error) {
+		ok, err := c.rmw(a, acl.VerbUpdateData, key, gdpr.ByKey(key), nil, func(rec *gdpr.Record) error {
+			rec.Data = data
+			return nil
+		})
+		if err != nil {
+			return "", err
+		}
+		if ok {
+			n = 1
+		}
+		return fmt.Sprintf("%d", n), nil
+	})
+	auditOp(c.log, a, "UPDATE-DATA", key, err == nil, countNote(n))
+	return n, err
+}
+
+// UpdateMetadata implements DB.
+func (c *PostgresClient) UpdateMetadata(a acl.Actor, sel gdpr.Selector, delta gdpr.Delta) (int, error) {
+	n := 0
+	err := c.transitWrap("UPDATE-META "+sel.String(), func() (string, error) {
+		recs, err := c.fetch(sel)
+		if err != nil {
+			return "", err
+		}
+		for _, rec := range recs {
+			ok, err := c.rmw(a, acl.VerbUpdateMetadata, rec.Key, sel, &delta, func(r *gdpr.Record) error {
+				return delta.Apply(&r.Meta)
+			})
+			if err != nil {
+				return "", err
+			}
+			if ok {
+				n++
+			}
+		}
+		return fmt.Sprintf("%d", n), nil
+	})
+	auditOp(c.log, a, "UPDATE-METADATA", sel.String(), err == nil, countNote(n))
+	return n, err
+}
+
+// DeleteRecord implements DB.
+func (c *PostgresClient) DeleteRecord(a acl.Actor, sel gdpr.Selector) (int, error) {
+	n := 0
+	err := c.transitWrap("DELETE "+sel.String(), func() (string, error) {
+		if sel.Attr == gdpr.AttrTTL && c.comp.AccessControl && a.Role != acl.Controller {
+			return "", &acl.DeniedError{Actor: a, Verb: acl.VerbDelete, Reason: "only controllers purge by TTL"}
+		}
+		recs, err := c.fetch(sel)
+		if err != nil {
+			return "", err
+		}
+		if sel.Attr != gdpr.AttrTTL {
+			recs = filterACL(c.comp.AccessControl, a, acl.VerbDelete, recs, nil)
+		}
+		for _, rec := range recs {
+			existed, err := c.db.Delete(RecordsTable, rec.Key)
+			if err != nil {
+				return "", err
+			}
+			if existed {
+				n++
+			}
+		}
+		return fmt.Sprintf("%d", n), nil
+	})
+	auditOp(c.log, a, "DELETE-RECORD", sel.String(), err == nil, countNote(n))
+	return n, err
+}
+
+// GetSystemLogs implements DB.
+func (c *PostgresClient) GetSystemLogs(a acl.Actor, from, to time.Time) ([]audit.Entry, error) {
+	if err := checkSystemACL(c.comp.AccessControl, a, acl.VerbReadLogs); err != nil {
+		return nil, err
+	}
+	if c.log == nil {
+		return nil, fmt.Errorf("%w: logging", ErrFeatureDisabled)
+	}
+	entries := c.log.Range(from, to)
+	auditOp(c.log, a, "GET-SYSTEM-LOGS", fmt.Sprintf("%d..%d", from.Unix(), to.Unix()), true, countNote(len(entries)))
+	return entries, nil
+}
+
+// GetSystemFeatures implements DB.
+func (c *PostgresClient) GetSystemFeatures(a acl.Actor) (map[string]string, error) {
+	if err := checkSystemACL(c.comp.AccessControl, a, acl.VerbReadFeatures); err != nil {
+		return nil, err
+	}
+	f := c.db.Features()
+	f["compliance"] = c.comp.String()
+	f["encrypt_in_transit"] = fmt.Sprintf("%v", c.pipe != nil)
+	return f, nil
+}
+
+// VerifyDeletion implements DB.
+func (c *PostgresClient) VerifyDeletion(a acl.Actor, keys []string) (int, error) {
+	if err := checkSystemACL(c.comp.AccessControl, a, acl.VerbVerifyDeletion); err != nil {
+		return 0, err
+	}
+	present := 0
+	for _, k := range keys {
+		_, ok, err := c.db.Get(RecordsTable, k)
+		if err != nil {
+			return present, err
+		}
+		if ok {
+			present++
+		}
+	}
+	auditOp(c.log, a, "VERIFY-DELETION", fmt.Sprintf("%d keys", len(keys)), true, countNote(present))
+	return present, nil
+}
+
+// SpaceUsage implements DB: total bytes are heap plus secondary indexes
+// (what "database size" means for the relational engine); personal bytes
+// are the Data column alone.
+func (c *PostgresClient) SpaceUsage() (SpaceUsage, error) {
+	rows, err := c.db.Select(RecordsTable, relstore.All())
+	if err != nil {
+		return SpaceUsage{}, err
+	}
+	var personal int64
+	for _, row := range rows {
+		personal += int64(len(row[1].(string)))
+	}
+	heap, index, err := c.db.Sizes(RecordsTable)
+	if err != nil {
+		return SpaceUsage{}, err
+	}
+	return SpaceUsage{PersonalBytes: personal, TotalBytes: heap + index}, nil
+}
+
+// Close implements DB.
+func (c *PostgresClient) Close() error {
+	var first error
+	if err := c.db.Close(); err != nil {
+		first = err
+	}
+	if c.log != nil {
+		if err := c.log.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+var _ DB = (*PostgresClient)(nil)

@@ -1,0 +1,325 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/acl"
+	"repro/internal/clock"
+	"repro/internal/dist"
+	"repro/internal/gdpr"
+	"repro/internal/stats"
+)
+
+// Load populates db with cfg.Records personal-data records as the
+// controller, using cfg.Threads workers, and returns the dataset
+// descriptor plus load statistics.
+func Load(db DB, cfg Config, clk clock.Clock) (*Dataset, *stats.Run, error) {
+	cfg = cfg.WithDefaults()
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	ds := NewDataset(cfg, clk.Now())
+	run := stats.NewRun()
+	run.Start(time.Now())
+	actor := ControllerActor()
+	var next atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			op := run.Op(string(QCreateRecord))
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(cfg.Records) {
+					return
+				}
+				t0 := time.Now()
+				if err := db.CreateRecord(actor, ds.RecordAt(int(i))); err != nil {
+					op.RecordErr(time.Since(t0))
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				op.RecordOK(time.Since(t0))
+			}
+		}()
+	}
+	wg.Wait()
+	run.Finish(time.Now())
+	if err, _ := firstErr.Load().(error); err != nil {
+		return nil, run, err
+	}
+	return ds, run, nil
+}
+
+// opContext carries per-worker state through query execution.
+type opContext struct {
+	ds      *Dataset
+	r       *rand.Rand
+	keys    dist.Generator // selects record indexes (zipf or uniform)
+	uniform *dist.Uniform  // secondary uniform selector
+	clk     clock.Clock
+	// newKeySeq hands out indexes for controller-created records.
+	newKeySeq *atomic.Int64
+	// deletedSample remembers recently deleted keys for verify-deletion.
+	deletedMu     *sync.Mutex
+	deletedSample *[]string
+}
+
+func (oc *opContext) recordDeleted(keys ...string) {
+	oc.deletedMu.Lock()
+	defer oc.deletedMu.Unlock()
+	for _, k := range keys {
+		if len(*oc.deletedSample) >= 256 {
+			(*oc.deletedSample)[oc.r.Intn(256)] = k
+		} else {
+			*oc.deletedSample = append(*oc.deletedSample, k)
+		}
+	}
+}
+
+func (oc *opContext) sampleDeleted(n int) []string {
+	oc.deletedMu.Lock()
+	defer oc.deletedMu.Unlock()
+	if len(*oc.deletedSample) == 0 {
+		// Nothing deleted yet: verify keys that never existed.
+		out := make([]string, n)
+		for i := range out {
+			out[i] = fmt.Sprintf("rec-deleted-%06d", oc.r.Intn(1_000_000))
+		}
+		return out
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, (*oc.deletedSample)[oc.r.Intn(len(*oc.deletedSample))])
+	}
+	return out
+}
+
+// execute runs one query of type q against db, returning an error only
+// for engine failures. Denials under access control and empty matches are
+// valid benchmark outcomes.
+func execute(db DB, q QueryType, oc *opContext) error {
+	ds := oc.ds
+	cfg := ds.Cfg
+	i := int(oc.keys.Next()) // record index under the workload's distribution
+	var err error
+	switch q {
+	case QCreateRecord:
+		idx := int(oc.newKeySeq.Add(1))
+		rec := ds.RecordAt(0) // shape template
+		rec.Key = fmt.Sprintf("rec-new-%08d", idx)
+		rec.Data = fmt.Sprintf("%0*d", cfg.DataSize, idx%1_000_000)
+		rec.Meta.User = ds.UserAt(i)
+		rec.Meta.Expiry = oc.clk.Now().Add(cfg.DefaultTTL)
+		err = db.CreateRecord(ControllerActor(), rec)
+
+	case QDeleteByKey:
+		key := ds.KeyAt(i)
+		_, err = db.DeleteRecord(ds.CustomerActor(ds.OwnerOfKey(i)), gdpr.ByKey(key))
+		if err == nil {
+			oc.recordDeleted(key)
+		}
+	case QDeleteByPurpose:
+		_, err = db.DeleteRecord(ControllerActor(), gdpr.ByPurpose(ds.PurposeName(int(oc.uniform.Next()))))
+	case QDeleteByTTL:
+		_, err = db.DeleteRecord(ControllerActor(), gdpr.ByExpiredAt(oc.clk.Now()))
+	case QDeleteByUser:
+		_, err = db.DeleteRecord(ControllerActor(), gdpr.ByUser(ds.UserAt(i)))
+
+	case QReadDataByKey:
+		// The processor reads under the record's first load-time purpose,
+		// which the dataset can recompute without touching the store.
+		rec := ds.RecordAt(i)
+		actor := acl.Actor{Role: acl.Processor, ID: "processor-1", Purpose: rec.Meta.Purposes[0]}
+		_, err = db.ReadData(actor, gdpr.ByKey(rec.Key))
+	case QReadDataByPurpose:
+		p := int(oc.uniform.Next())
+		_, err = db.ReadData(ds.ProcessorActor(p), gdpr.ByPurpose(ds.PurposeName(p)))
+	case QReadDataByUser:
+		u := ds.OwnerOfKey(i)
+		_, err = db.ReadData(ds.CustomerActor(u), gdpr.ByUser(ds.UserName(u)))
+	case QReadDataByObj:
+		// Objection-conditioned processor read (G 21.3). Like the
+		// GDPRbench implementation, the workload matches the OBJ
+		// attribute value directly; the access-control layer then filters
+		// out what the processor may not see.
+		p := int(oc.uniform.Next())
+		_, err = db.ReadData(ds.ProcessorActor(p), gdpr.ByObjection(ds.PurposeName(p)))
+	case QReadDataByDec:
+		p := int(oc.uniform.Next())
+		_, err = db.ReadData(ds.ProcessorActor(p), gdpr.ByDecision(ds.DecisionName(p)))
+
+	case QReadMetaByKey:
+		_, err = db.ReadMetadata(ds.CustomerActor(ds.OwnerOfKey(i)), gdpr.ByKey(ds.KeyAt(i)))
+	case QReadMetaByUser:
+		_, err = db.ReadMetadata(RegulatorActor(), gdpr.ByUser(ds.UserAt(i)))
+	case QReadMetaByShare:
+		_, err = db.ReadMetadata(RegulatorActor(), gdpr.ByShare(ds.ShareName(int(oc.uniform.Next()))))
+
+	case QUpdateDataByKey:
+		newData := fmt.Sprintf("%0*d", cfg.DataSize, oc.r.Intn(1_000_000))
+		_, err = db.UpdateData(ds.CustomerActor(ds.OwnerOfKey(i)), ds.KeyAt(i), newData)
+
+	case QUpdateMetaByKey:
+		// The customer flips an objection (G 18.1 / G 7.3).
+		delta := gdpr.Delta{Attr: gdpr.AttrObjection, Op: gdpr.DeltaAdd, Values: []string{ds.PurposeName(oc.r.Intn(cfg.Purposes))}}
+		_, err = db.UpdateMetadata(ds.CustomerActor(ds.OwnerOfKey(i)), gdpr.ByKey(ds.KeyAt(i)), delta)
+	case QUpdateMetaByPur:
+		// The controller extends retention for a purpose (G 13.3).
+		delta := gdpr.Delta{Attr: gdpr.AttrTTL, Op: gdpr.DeltaSet, Expiry: oc.clk.Now().Add(cfg.DefaultTTL)}
+		_, err = db.UpdateMetadata(ControllerActor(), gdpr.ByPurpose(ds.PurposeName(int(oc.uniform.Next()))), delta)
+	case QUpdateMetaByUser:
+		// The controller records a new third-party share for a user.
+		delta := gdpr.Delta{Attr: gdpr.AttrSharing, Op: gdpr.DeltaAdd, Values: []string{ds.ShareName(oc.r.Intn(cfg.Shares))}}
+		_, err = db.UpdateMetadata(ControllerActor(), gdpr.ByUser(ds.UserAt(i)), delta)
+	case QUpdateMetaByShare:
+		// The controller retires a third-party share.
+		s := ds.ShareName(int(oc.uniform.Next()))
+		delta := gdpr.Delta{Attr: gdpr.AttrSharing, Op: gdpr.DeltaRemove, Values: []string{s}}
+		_, err = db.UpdateMetadata(ControllerActor(), gdpr.ByShare(s), delta)
+
+	case QGetSystemLogs:
+		now := oc.clk.Now()
+		_, err = db.GetSystemLogs(RegulatorActor(), now.Add(-cfg.LogWindow), now)
+	case QGetSystemFeatures:
+		_, err = db.GetSystemFeatures(RegulatorActor())
+	case QVerifyDeletion:
+		_, err = db.VerifyDeletion(RegulatorActor(), oc.sampleDeleted(4))
+
+	default:
+		return fmt.Errorf("core: unknown query type %q", q)
+	}
+	// Access denials are correct benchmark responses, not failures.
+	var denied *acl.DeniedError
+	if errors.As(err, &denied) {
+		return nil
+	}
+	return err
+}
+
+// Run executes one workload against db: cfg.Operations queries drawn from
+// the workload's Table 2a mix, spread over cfg.Threads workers. The
+// returned stats carry per-query latencies and the workload completion
+// time (§4.2.3's headline metric).
+func Run(db DB, ds *Dataset, name WorkloadName, clk clock.Clock) (*stats.Run, error) {
+	mix, ok := DefaultWorkloads()[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown workload %q", name)
+	}
+	return RunMix(db, ds, mix, clk)
+}
+
+// RunMix executes a custom workload mix — §4.2.2 makes the default
+// workloads replaceable ("we make it possible to update or replace them
+// with custom workloads, when necessary"). The mix must name at least one
+// query with positive weight.
+func RunMix(db DB, ds *Dataset, mix Mix, clk clock.Clock) (*stats.Run, error) {
+	if len(mix.Queries) == 0 || len(mix.Queries) != len(mix.Weights) {
+		return nil, fmt.Errorf("core: mix needs equal, non-empty queries/weights")
+	}
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	cfg := ds.Cfg
+	run := stats.NewRun()
+	var newKeySeq atomic.Int64
+	var deletedMu sync.Mutex
+	deletedSample := make([]string, 0, 256)
+	var done atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+
+	run.Start(time.Now())
+	for t := 0; t < cfg.Threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(cfg.Seed + 1000 + int64(t)))
+			var keys dist.Generator
+			if mix.Dist == DistZipf {
+				keys = dist.NewScrambledZipfian(r, int64(cfg.Records))
+			} else {
+				keys = dist.NewUniform(r, int64(cfg.Records))
+			}
+			oc := &opContext{
+				ds:            ds,
+				r:             r,
+				keys:          keys,
+				uniform:       dist.NewUniform(r, int64(maxOf(cfg.Purposes, cfg.Shares, cfg.Decisions, cfg.Sources))),
+				clk:           clk,
+				newKeySeq:     &newKeySeq,
+				deletedMu:     &deletedMu,
+				deletedSample: &deletedSample,
+			}
+			chooser := dist.NewWeighted(r, mix.Queries, mix.Weights)
+			for done.Add(1) <= int64(cfg.Operations) {
+				q := chooser.Next()
+				op := run.Op(string(q))
+				t0 := time.Now()
+				if err := execute(db, q, oc); err != nil {
+					op.RecordErr(time.Since(t0))
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				op.RecordOK(time.Since(t0))
+			}
+		}(t)
+	}
+	wg.Wait()
+	run.Finish(time.Now())
+	if err, _ := firstErr.Load().(error); err != nil {
+		return run, err
+	}
+	return run, nil
+}
+
+func maxOf(vs ...int) int {
+	m := 1
+	for _, v := range vs {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// WorkloadResult is one workload's §4.2.3 measurements.
+type WorkloadResult struct {
+	Workload       WorkloadName
+	Operations     int64
+	Errors         int64
+	CompletionTime time.Duration
+	Throughput     float64
+	Correctness    float64 // 0..100; negative when not validated
+}
+
+// Report aggregates a full GDPRbench run.
+type Report struct {
+	Engine  string
+	Records int
+	Results []WorkloadResult
+	Space   SpaceUsage
+}
+
+// String renders the report as text.
+func (r Report) String() string {
+	out := fmt.Sprintf("GDPRbench: engine=%s records=%d\n", r.Engine, r.Records)
+	for _, res := range r.Results {
+		out += fmt.Sprintf("  %-10s ops=%-7d errs=%-3d completion=%-12v tput=%8.1f ops/s",
+			res.Workload, res.Operations, res.Errors, res.CompletionTime, res.Throughput)
+		if res.Correctness >= 0 {
+			out += fmt.Sprintf(" correctness=%.1f%%", res.Correctness)
+		}
+		out += "\n"
+	}
+	out += fmt.Sprintf("  space: personal=%dB total=%dB factor=%.2fx\n",
+		r.Space.PersonalBytes, r.Space.TotalBytes, r.Space.Factor())
+	return out
+}

@@ -1,0 +1,403 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/acl"
+	"repro/internal/clock"
+	"repro/internal/dist"
+	"repro/internal/gdpr"
+)
+
+// This file implements §4.2.3's correctness metric: "the percentage of
+// query responses that match the results expected by the benchmark". The
+// validator replays a deterministic single-threaded script of each
+// workload's queries against both the engine and an in-memory oracle and
+// compares responses. The metric is computed cumulatively across the four
+// workloads by ValidateAll.
+
+// CorrectnessReport is the correctness metric for one or more workloads.
+type CorrectnessReport struct {
+	Total      int
+	Matched    int
+	Mismatches []string // first few, for debugging
+}
+
+// Score returns matched/total as a percentage (100 when no queries ran).
+func (c CorrectnessReport) Score() float64 {
+	if c.Total == 0 {
+		return 100
+	}
+	return 100 * float64(c.Matched) / float64(c.Total)
+}
+
+func (c *CorrectnessReport) record(match bool, desc string) {
+	c.Total++
+	if match {
+		c.Matched++
+		return
+	}
+	if len(c.Mismatches) < 10 {
+		c.Mismatches = append(c.Mismatches, desc)
+	}
+}
+
+func (c *CorrectnessReport) merge(o CorrectnessReport) {
+	c.Total += o.Total
+	c.Matched += o.Matched
+	for _, m := range o.Mismatches {
+		if len(c.Mismatches) < 10 {
+			c.Mismatches = append(c.Mismatches, m)
+		}
+	}
+}
+
+// oracle is the reference model: the set of live records.
+type oracle struct {
+	recs map[string]gdpr.Record
+}
+
+func newOracle(ds *Dataset) *oracle {
+	o := &oracle{recs: make(map[string]gdpr.Record, ds.Cfg.Records)}
+	for i := 0; i < ds.Cfg.Records; i++ {
+		r := ds.RecordAt(i)
+		o.recs[r.Key] = r
+	}
+	return o
+}
+
+// selectRecs returns the oracle records matching sel, ACL-filtered for
+// (actor, verb) the way a compliant store must filter them.
+func (o *oracle) selectRecs(a acl.Actor, verb acl.Verb, sel gdpr.Selector, delta *gdpr.Delta, aclOn bool) []gdpr.Record {
+	var out []gdpr.Record
+	if sel.Attr == gdpr.AttrKey {
+		if r, ok := o.recs[sel.Value]; ok && sel.Matches(r) {
+			out = append(out, r)
+		}
+	} else {
+		for _, r := range o.recs {
+			if sel.Matches(r) {
+				out = append(out, r)
+			}
+		}
+	}
+	if aclOn {
+		out, _ = acl.Filter(a, verb, out, delta)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+func keysOf(recs []gdpr.Record) []string {
+	out := make([]string, len(recs))
+	for i, r := range recs {
+		out[i] = r.Key
+	}
+	sort.Strings(out)
+	return out
+}
+
+func sameKeys(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate runs the correctness pass for one workload: cfg.Operations
+// single-threaded queries compared against the oracle. The db should be
+// freshly loaded with ds (Load with the same cfg and clock).
+func Validate(db DB, ds *Dataset, name WorkloadName, clk clock.Clock, aclOn bool) (CorrectnessReport, error) {
+	mix, ok := DefaultWorkloads()[name]
+	if !ok {
+		return CorrectnessReport{}, fmt.Errorf("core: unknown workload %q", name)
+	}
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	cfg := ds.Cfg
+	o := newOracle(ds)
+	var rep CorrectnessReport
+	r := rand.New(rand.NewSource(cfg.Seed + 9000))
+	var keys dist.Generator
+	if mix.Dist == DistZipf {
+		keys = dist.NewScrambledZipfian(r, int64(cfg.Records))
+	} else {
+		keys = dist.NewUniform(r, int64(cfg.Records))
+	}
+	uniform := dist.NewUniform(r, int64(maxOf(cfg.Purposes, cfg.Shares, cfg.Decisions, cfg.Sources)))
+	chooser := dist.NewWeighted(r, mix.Queries, mix.Weights)
+	var deleted []string
+	newSeq := 0
+
+	for opn := 0; opn < cfg.Operations; opn++ {
+		q := chooser.Next()
+		i := int(keys.Next())
+		switch q {
+		case QCreateRecord:
+			newSeq++
+			rec := ds.RecordAt(0)
+			rec.Key = fmt.Sprintf("rec-val-%08d", newSeq)
+			rec.Data = fmt.Sprintf("%0*d", cfg.DataSize, newSeq%1_000_000)
+			rec.Meta.User = ds.UserAt(i)
+			rec.Meta.Expiry = clk.Now().Add(cfg.DefaultTTL)
+			err := db.CreateRecord(ControllerActor(), rec)
+			rep.record(err == nil, fmt.Sprintf("create %s: %v", rec.Key, err))
+			if err == nil {
+				o.recs[rec.Key] = rec
+			}
+
+		case QDeleteByKey:
+			key := ds.KeyAt(i)
+			a := ds.CustomerActor(ds.OwnerOfKey(i))
+			want := o.selectRecs(a, acl.VerbDelete, gdpr.ByKey(key), nil, aclOn)
+			n, err := db.DeleteRecord(a, gdpr.ByKey(key))
+			rep.record(err == nil && n == len(want), fmt.Sprintf("delete-by-key %s: n=%d want=%d err=%v", key, n, len(want), err))
+			for _, rec := range want {
+				delete(o.recs, rec.Key)
+				deleted = append(deleted, rec.Key)
+			}
+
+		case QDeleteByPurpose:
+			sel := gdpr.ByPurpose(ds.PurposeName(int(uniform.Next())))
+			want := o.selectRecs(ControllerActor(), acl.VerbDelete, sel, nil, aclOn)
+			n, err := db.DeleteRecord(ControllerActor(), sel)
+			rep.record(err == nil && n == len(want), fmt.Sprintf("delete-by-pur %v: n=%d want=%d err=%v", sel, n, len(want), err))
+			for _, rec := range want {
+				delete(o.recs, rec.Key)
+				deleted = append(deleted, rec.Key)
+			}
+
+		case QDeleteByTTL:
+			sel := gdpr.ByExpiredAt(clk.Now())
+			want := o.selectRecs(ControllerActor(), acl.VerbDelete, sel, nil, false) // TTL purge is not ACL-filtered
+			n, err := db.DeleteRecord(ControllerActor(), sel)
+			rep.record(err == nil && n == len(want), fmt.Sprintf("delete-by-ttl: n=%d want=%d err=%v", n, len(want), err))
+			for _, rec := range want {
+				delete(o.recs, rec.Key)
+				deleted = append(deleted, rec.Key)
+			}
+
+		case QDeleteByUser:
+			sel := gdpr.ByUser(ds.UserAt(i))
+			want := o.selectRecs(ControllerActor(), acl.VerbDelete, sel, nil, aclOn)
+			n, err := db.DeleteRecord(ControllerActor(), sel)
+			rep.record(err == nil && n == len(want), fmt.Sprintf("delete-by-usr %v: n=%d want=%d err=%v", sel, n, len(want), err))
+			for _, rec := range want {
+				delete(o.recs, rec.Key)
+				deleted = append(deleted, rec.Key)
+			}
+
+		case QReadDataByKey:
+			rec := ds.RecordAt(i)
+			a := acl.Actor{Role: acl.Processor, ID: "processor-1", Purpose: rec.Meta.Purposes[0]}
+			want := o.selectRecs(a, acl.VerbReadData, gdpr.ByKey(rec.Key), nil, aclOn)
+			got, err := db.ReadData(a, gdpr.ByKey(rec.Key))
+			match := err == nil && sameKeys(keysOf(got), keysOf(want))
+			if match && len(got) == 1 && got[0].Data != want[0].Data {
+				match = false
+			}
+			rep.record(match, fmt.Sprintf("read-data-by-key %s: got=%d want=%d err=%v", rec.Key, len(got), len(want), err))
+
+		case QReadDataByPurpose:
+			p := int(uniform.Next())
+			a := ds.ProcessorActor(p)
+			sel := gdpr.ByPurpose(ds.PurposeName(p))
+			want := o.selectRecs(a, acl.VerbReadData, sel, nil, aclOn)
+			got, err := db.ReadData(a, sel)
+			rep.record(err == nil && sameKeys(keysOf(got), keysOf(want)),
+				fmt.Sprintf("read-data-by-pur %v: got=%d want=%d err=%v", sel, len(got), len(want), err))
+
+		case QReadDataByUser:
+			u := ds.OwnerOfKey(i)
+			a := ds.CustomerActor(u)
+			sel := gdpr.ByUser(ds.UserName(u))
+			want := o.selectRecs(a, acl.VerbReadData, sel, nil, aclOn)
+			got, err := db.ReadData(a, sel)
+			rep.record(err == nil && sameKeys(keysOf(got), keysOf(want)),
+				fmt.Sprintf("read-data-by-usr %v: got=%d want=%d err=%v", sel, len(got), len(want), err))
+
+		case QReadDataByObj:
+			p := int(uniform.Next())
+			a := ds.ProcessorActor(p)
+			sel := gdpr.ByObjection(ds.PurposeName(p))
+			want := o.selectRecs(a, acl.VerbReadData, sel, nil, aclOn)
+			got, err := db.ReadData(a, sel)
+			rep.record(err == nil && sameKeys(keysOf(got), keysOf(want)),
+				fmt.Sprintf("read-data-by-obj %v: got=%d want=%d err=%v", sel, len(got), len(want), err))
+
+		case QReadDataByDec:
+			p := int(uniform.Next())
+			a := ds.ProcessorActor(p)
+			sel := gdpr.ByDecision(ds.DecisionName(p))
+			want := o.selectRecs(a, acl.VerbReadData, sel, nil, aclOn)
+			got, err := db.ReadData(a, sel)
+			rep.record(err == nil && sameKeys(keysOf(got), keysOf(want)),
+				fmt.Sprintf("read-data-by-dec %v: got=%d want=%d err=%v", sel, len(got), len(want), err))
+
+		case QReadMetaByKey:
+			key := ds.KeyAt(i)
+			a := ds.CustomerActor(ds.OwnerOfKey(i))
+			want := o.selectRecs(a, acl.VerbReadMetadata, gdpr.ByKey(key), nil, aclOn)
+			got, err := db.ReadMetadata(a, gdpr.ByKey(key))
+			match := err == nil && sameKeys(keysOf(got), keysOf(want))
+			// Metadata reads must redact personal data.
+			for _, g := range got {
+				if g.Data != "" {
+					match = false
+				}
+			}
+			// And must preserve the metadata itself.
+			if match && len(got) == 1 && !gdpr.EqualSets(got[0].Meta.Purposes, want[0].Meta.Purposes) {
+				match = false
+			}
+			rep.record(match, fmt.Sprintf("read-meta-by-key %s: got=%d want=%d err=%v", key, len(got), len(want), err))
+
+		case QReadMetaByUser:
+			sel := gdpr.ByUser(ds.UserAt(i))
+			want := o.selectRecs(RegulatorActor(), acl.VerbReadMetadata, sel, nil, aclOn)
+			got, err := db.ReadMetadata(RegulatorActor(), sel)
+			rep.record(err == nil && sameKeys(keysOf(got), keysOf(want)),
+				fmt.Sprintf("read-meta-by-usr %v: got=%d want=%d err=%v", sel, len(got), len(want), err))
+
+		case QReadMetaByShare:
+			sel := gdpr.ByShare(ds.ShareName(int(uniform.Next())))
+			want := o.selectRecs(RegulatorActor(), acl.VerbReadMetadata, sel, nil, aclOn)
+			got, err := db.ReadMetadata(RegulatorActor(), sel)
+			rep.record(err == nil && sameKeys(keysOf(got), keysOf(want)),
+				fmt.Sprintf("read-meta-by-shr %v: got=%d want=%d err=%v", sel, len(got), len(want), err))
+
+		case QUpdateDataByKey:
+			key := ds.KeyAt(i)
+			a := ds.CustomerActor(ds.OwnerOfKey(i))
+			newData := fmt.Sprintf("%0*d", cfg.DataSize, r.Intn(1_000_000))
+			want := o.selectRecs(a, acl.VerbUpdateData, gdpr.ByKey(key), nil, aclOn)
+			n, err := db.UpdateData(a, key, newData)
+			rep.record(err == nil && n == len(want), fmt.Sprintf("update-data %s: n=%d want=%d err=%v", key, n, len(want), err))
+			if len(want) == 1 {
+				rec := want[0]
+				rec.Data = newData
+				o.recs[key] = rec
+			}
+
+		case QUpdateMetaByKey:
+			key := ds.KeyAt(i)
+			a := ds.CustomerActor(ds.OwnerOfKey(i))
+			delta := gdpr.Delta{Attr: gdpr.AttrObjection, Op: gdpr.DeltaAdd, Values: []string{ds.PurposeName(r.Intn(cfg.Purposes))}}
+			want := o.selectRecs(a, acl.VerbUpdateMetadata, gdpr.ByKey(key), &delta, aclOn)
+			n, err := db.UpdateMetadata(a, gdpr.ByKey(key), delta)
+			rep.record(err == nil && n == len(want), fmt.Sprintf("update-meta-by-key %s: n=%d want=%d err=%v", key, n, len(want), err))
+			o.apply(want, delta)
+
+		case QUpdateMetaByPur:
+			sel := gdpr.ByPurpose(ds.PurposeName(int(uniform.Next())))
+			delta := gdpr.Delta{Attr: gdpr.AttrTTL, Op: gdpr.DeltaSet, Expiry: clk.Now().Add(cfg.DefaultTTL)}
+			want := o.selectRecs(ControllerActor(), acl.VerbUpdateMetadata, sel, &delta, aclOn)
+			n, err := db.UpdateMetadata(ControllerActor(), sel, delta)
+			rep.record(err == nil && n == len(want), fmt.Sprintf("update-meta-by-pur %v: n=%d want=%d err=%v", sel, n, len(want), err))
+			o.apply(want, delta)
+
+		case QUpdateMetaByUser:
+			sel := gdpr.ByUser(ds.UserAt(i))
+			delta := gdpr.Delta{Attr: gdpr.AttrSharing, Op: gdpr.DeltaAdd, Values: []string{ds.ShareName(r.Intn(cfg.Shares))}}
+			want := o.selectRecs(ControllerActor(), acl.VerbUpdateMetadata, sel, &delta, aclOn)
+			n, err := db.UpdateMetadata(ControllerActor(), sel, delta)
+			rep.record(err == nil && n == len(want), fmt.Sprintf("update-meta-by-usr %v: n=%d want=%d err=%v", sel, n, len(want), err))
+			o.apply(want, delta)
+
+		case QUpdateMetaByShare:
+			s := ds.ShareName(int(uniform.Next()))
+			sel := gdpr.ByShare(s)
+			delta := gdpr.Delta{Attr: gdpr.AttrSharing, Op: gdpr.DeltaRemove, Values: []string{s}}
+			want := o.selectRecs(ControllerActor(), acl.VerbUpdateMetadata, sel, &delta, aclOn)
+			n, err := db.UpdateMetadata(ControllerActor(), sel, delta)
+			rep.record(err == nil && n == len(want), fmt.Sprintf("update-meta-by-shr %v: n=%d want=%d err=%v", sel, n, len(want), err))
+			o.apply(want, delta)
+
+		case QGetSystemLogs:
+			now := clk.Now()
+			from := now.Add(-cfg.LogWindow)
+			entries, err := db.GetSystemLogs(RegulatorActor(), from, now)
+			match := err == nil
+			for _, e := range entries {
+				if e.Time.Before(from) || e.Time.After(now) {
+					match = false
+				}
+			}
+			rep.record(match, fmt.Sprintf("get-system-logs: %d entries err=%v", len(entries), err))
+
+		case QGetSystemFeatures:
+			f, err := db.GetSystemFeatures(RegulatorActor())
+			rep.record(err == nil && len(f) > 0, fmt.Sprintf("get-system-features: %v err=%v", f, err))
+
+		case QVerifyDeletion:
+			sample := sampleFrom(r, deleted, 4)
+			wantPresent := 0
+			for _, k := range sample {
+				if _, ok := o.recs[k]; ok {
+					wantPresent++
+				}
+			}
+			n, err := db.VerifyDeletion(RegulatorActor(), sample)
+			rep.record(err == nil && n == wantPresent,
+				fmt.Sprintf("verify-deletion: present=%d want=%d err=%v", n, wantPresent, err))
+
+		default:
+			return rep, fmt.Errorf("core: unknown query type %q", q)
+		}
+	}
+	return rep, nil
+}
+
+func (o *oracle) apply(recs []gdpr.Record, delta gdpr.Delta) {
+	for _, rec := range recs {
+		cur, ok := o.recs[rec.Key]
+		if !ok {
+			continue
+		}
+		_ = delta.Apply(&cur.Meta)
+		o.recs[rec.Key] = cur
+	}
+}
+
+func sampleFrom(r *rand.Rand, pool []string, n int) []string {
+	if len(pool) == 0 {
+		out := make([]string, n)
+		for i := range out {
+			out[i] = fmt.Sprintf("rec-deleted-%06d", r.Intn(1_000_000))
+		}
+		return out
+	}
+	out := make([]string, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, pool[r.Intn(len(pool))])
+	}
+	return out
+}
+
+// ValidateAll runs the correctness pass for all four workloads against a
+// freshly-loaded database per workload (openDB must return a new, loaded
+// instance each call) and returns the cumulative report.
+func ValidateAll(openDB func() (DB, *Dataset, error), clk clock.Clock, aclOn bool) (CorrectnessReport, error) {
+	var total CorrectnessReport
+	for _, name := range WorkloadNames() {
+		db, ds, err := openDB()
+		if err != nil {
+			return total, err
+		}
+		rep, err := Validate(db, ds, name, clk, aclOn)
+		db.Close()
+		if err != nil {
+			return total, err
+		}
+		total.merge(rep)
+	}
+	return total, nil
+}

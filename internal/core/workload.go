@@ -1,0 +1,333 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"repro/internal/acl"
+	"repro/internal/gdpr"
+)
+
+// WorkloadName names one of the four GDPR-role workloads.
+type WorkloadName string
+
+// The Table 2a workloads.
+const (
+	Controller WorkloadName = "controller"
+	Customer   WorkloadName = "customer"
+	Processor  WorkloadName = "processor"
+	Regulator  WorkloadName = "regulator"
+)
+
+// WorkloadNames returns the four workloads in the paper's order.
+func WorkloadNames() []WorkloadName {
+	return []WorkloadName{Controller, Customer, Processor, Regulator}
+}
+
+// QueryType names a GDPR query (§3.3).
+type QueryType string
+
+// The GDPR query set.
+const (
+	QCreateRecord      QueryType = "create-record"
+	QDeleteByKey       QueryType = "delete-record-by-key"
+	QDeleteByPurpose   QueryType = "delete-record-by-pur"
+	QDeleteByTTL       QueryType = "delete-record-by-ttl"
+	QDeleteByUser      QueryType = "delete-record-by-usr"
+	QReadDataByKey     QueryType = "read-data-by-key"
+	QReadDataByPurpose QueryType = "read-data-by-pur"
+	QReadDataByUser    QueryType = "read-data-by-usr"
+	QReadDataByObj     QueryType = "read-data-by-obj"
+	QReadDataByDec     QueryType = "read-data-by-dec"
+	QReadMetaByKey     QueryType = "read-metadata-by-key"
+	QReadMetaByUser    QueryType = "read-metadata-by-usr"
+	QReadMetaByShare   QueryType = "read-metadata-by-shr"
+	QUpdateDataByKey   QueryType = "update-data-by-key"
+	QUpdateMetaByKey   QueryType = "update-metadata-by-key"
+	QUpdateMetaByPur   QueryType = "update-metadata-by-pur"
+	QUpdateMetaByUser  QueryType = "update-metadata-by-usr"
+	QUpdateMetaByShare QueryType = "update-metadata-by-shr"
+	QGetSystemLogs     QueryType = "get-system-logs"
+	QGetSystemFeatures QueryType = "get-system-features"
+	QVerifyDeletion    QueryType = "verify-deletion"
+)
+
+// Dist selects the record/user selection distribution.
+type Dist int
+
+// Distributions of Table 2a.
+const (
+	DistUniform Dist = iota
+	DistZipf
+)
+
+func (d Dist) String() string {
+	if d == DistZipf {
+		return "zipf"
+	}
+	return "uniform"
+}
+
+// Mix is one workload's query composition.
+type Mix struct {
+	Name    WorkloadName
+	Purpose string
+	Queries []QueryType
+	Weights []float64
+	Dist    Dist
+	// SecondaryDist applies to the minority query class when it differs
+	// (processor metadata reads are uniform while key reads are zipf).
+	SecondaryDist Dist
+}
+
+// DefaultWorkloads returns Table 2a exactly: query families, default
+// weights and default distributions.
+func DefaultWorkloads() map[WorkloadName]Mix {
+	return map[WorkloadName]Mix{
+		Controller: {
+			Name:    Controller,
+			Purpose: "Management and administration of personal data",
+			Queries: []QueryType{
+				QCreateRecord,
+				QDeleteByPurpose, QDeleteByTTL, QDeleteByUser,
+				QUpdateMetaByPur, QUpdateMetaByUser, QUpdateMetaByShare,
+			},
+			Weights: []float64{25, 25.0 / 3, 25.0 / 3, 25.0 / 3, 50.0 / 3, 50.0 / 3, 50.0 / 3},
+			Dist:    DistUniform,
+		},
+		Customer: {
+			Name:    Customer,
+			Purpose: "Exercising GDPR rights",
+			Queries: []QueryType{
+				QReadDataByUser, QReadMetaByKey, QUpdateDataByKey,
+				QUpdateMetaByKey, QDeleteByKey,
+			},
+			Weights:       []float64{20, 20, 20, 20, 20},
+			Dist:          DistZipf,
+			SecondaryDist: DistZipf,
+		},
+		Processor: {
+			Name:    Processor,
+			Purpose: "Processing of personal data",
+			Queries: []QueryType{
+				QReadDataByKey,
+				QReadDataByPurpose, QReadDataByObj, QReadDataByDec,
+			},
+			Weights:       []float64{80, 20.0 / 3, 20.0 / 3, 20.0 / 3},
+			Dist:          DistZipf,
+			SecondaryDist: DistUniform,
+		},
+		Regulator: {
+			Name:          Regulator,
+			Purpose:       "Investigation and enforcement of GDPR laws",
+			Queries:       []QueryType{QReadMetaByUser, QGetSystemLogs, QVerifyDeletion},
+			Weights:       []float64{46, 31, 23},
+			Dist:          DistZipf,
+			SecondaryDist: DistZipf,
+		},
+	}
+}
+
+// Config parameterizes a GDPRbench run (§6.2 uses 100K records, 10K
+// operations per workload, 8 threads).
+type Config struct {
+	// Records is the number of personal-data records the load phase
+	// creates.
+	Records int
+	// Operations is the number of queries each workload run executes.
+	Operations int
+	// Threads is the number of client workers (paper: 8 for GDPRbench).
+	Threads int
+	// DataSize is the personal-data payload size in bytes (Table 3's
+	// default configuration uses 10).
+	DataSize int
+	// RecordsPerUser controls how many records each data subject owns.
+	RecordsPerUser int
+	// Purposes, Sources, Shares, Decisions size the attribute-value pools.
+	Purposes, Sources, Shares, Decisions int
+	// ObjectionFraction of records carry an objection to one purpose.
+	ObjectionFraction float64
+	// DecisionFraction of records are marked as used in automated
+	// decisions.
+	DecisionFraction float64
+	// ShareFraction of records are shared with a third party.
+	ShareFraction float64
+	// DefaultTTL is the expiry horizon records get at load time
+	// (G 13(2a) requires one).
+	DefaultTTL time.Duration
+	// ShortTTLFraction of records expire after ShortTTL instead, giving
+	// DELETE-BY-TTL purges work to do.
+	ShortTTLFraction float64
+	// ShortTTL is the near-term expiry horizon.
+	ShortTTL time.Duration
+	// LogWindow is the time range GET-SYSTEM-LOGS queries cover.
+	LogWindow time.Duration
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// WithDefaults fills zero fields with the benchmark defaults.
+func (c Config) WithDefaults() Config {
+	def := func(v *int, d int) {
+		if *v == 0 {
+			*v = d
+		}
+	}
+	def(&c.Records, 100_000)
+	def(&c.Operations, 10_000)
+	def(&c.Threads, 8)
+	def(&c.DataSize, 10)
+	def(&c.RecordsPerUser, 10)
+	// Attribute-value pools scale with the dataset so attribute-targeted
+	// deletes stay near the steady state §4.2.2 requires (each purpose or
+	// share maps to a handful of records, like each user does).
+	def(&c.Purposes, maxOf(16, c.Records/15))
+	def(&c.Sources, 4)
+	def(&c.Shares, maxOf(8, c.Records/40))
+	def(&c.Decisions, maxOf(4, c.Records/40))
+	if c.ObjectionFraction == 0 {
+		c.ObjectionFraction = 0.10
+	}
+	if c.DecisionFraction == 0 {
+		c.DecisionFraction = 0.10
+	}
+	if c.ShareFraction == 0 {
+		c.ShareFraction = 0.20
+	}
+	if c.DefaultTTL == 0 {
+		c.DefaultTTL = 365 * 24 * time.Hour
+	}
+	if c.ShortTTLFraction == 0 {
+		c.ShortTTLFraction = 0.05
+	}
+	if c.ShortTTL == 0 {
+		c.ShortTTL = 5 * time.Minute
+	}
+	if c.LogWindow == 0 {
+		c.LogWindow = time.Second
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Dataset is the deterministic description of the loaded records: record
+// i's full contents derive from (Seed, i), so oracles never need to store
+// them.
+type Dataset struct {
+	Cfg      Config
+	LoadTime time.Time
+	Users    int
+}
+
+// NewDataset derives the dataset description for cfg, loading at loadTime.
+func NewDataset(cfg Config, loadTime time.Time) *Dataset {
+	cfg = cfg.WithDefaults()
+	users := cfg.Records / cfg.RecordsPerUser
+	if users == 0 {
+		users = 1
+	}
+	return &Dataset{Cfg: cfg, LoadTime: loadTime, Users: users}
+}
+
+// Attribute values are deliberately compact, like the paper's example
+// record (PUR=ads,2fa;USR=neo;SRC=first-party): Table 3's space-overhead
+// metric assumes metadata values of a few bytes each.
+
+// KeyAt returns record i's key.
+func (d *Dataset) KeyAt(i int) string { return fmt.Sprintf("r%07d", i) }
+
+// UserAt returns the data subject owning record i.
+func (d *Dataset) UserAt(i int) string { return d.UserName(i % d.Users) }
+
+// UserName renders user u's identity.
+func (d *Dataset) UserName(u int) string { return fmt.Sprintf("u%05d", u%d.Users) }
+
+// PurposeName renders purpose p.
+func (d *Dataset) PurposeName(p int) string { return fmt.Sprintf("pur%02d", p%d.Cfg.Purposes) }
+
+// SourceName renders source s.
+func (d *Dataset) SourceName(s int) string { return fmt.Sprintf("src%d", s%d.Cfg.Sources) }
+
+// ShareName renders third party s.
+func (d *Dataset) ShareName(s int) string { return fmt.Sprintf("shr%02d", s%d.Cfg.Shares) }
+
+// DecisionName renders automated decision d.
+func (d *Dataset) DecisionName(n int) string { return fmt.Sprintf("dec%d", n%d.Cfg.Decisions) }
+
+// recRand returns record i's private random stream.
+func (d *Dataset) recRand(i int) *rand.Rand {
+	const mix = -0x61C8864680B583EB // golden-ratio multiplier as signed 64-bit
+	return rand.New(rand.NewSource(d.Cfg.Seed ^ (mix * int64(i+1))))
+}
+
+// RecordAt deterministically regenerates record i exactly as the load
+// phase created it.
+func (d *Dataset) RecordAt(i int) gdpr.Record {
+	r := d.recRand(i)
+	cfg := d.Cfg
+	data := make([]byte, cfg.DataSize)
+	const digits = "0123456789"
+	for j := range data {
+		data[j] = digits[r.Intn(10)]
+	}
+	meta := gdpr.Metadata{
+		User:   d.UserAt(i),
+		Source: d.SourceName(r.Intn(cfg.Sources)),
+	}
+	// One or two purposes.
+	p1 := r.Intn(cfg.Purposes)
+	meta.Purposes = []string{d.PurposeName(p1)}
+	if r.Float64() < 0.5 {
+		p2 := (p1 + 1 + r.Intn(cfg.Purposes-1)) % cfg.Purposes
+		meta.Purposes = append(meta.Purposes, d.PurposeName(p2))
+	}
+	if r.Float64() < cfg.ObjectionFraction {
+		meta.Objections = []string{meta.Purposes[0]}
+	}
+	if r.Float64() < cfg.DecisionFraction {
+		meta.Decisions = []string{d.DecisionName(r.Intn(cfg.Decisions))}
+	}
+	if r.Float64() < cfg.ShareFraction {
+		meta.SharedWith = []string{d.ShareName(r.Intn(cfg.Shares))}
+	}
+	if r.Float64() < cfg.ShortTTLFraction {
+		meta.Expiry = d.LoadTime.Add(cfg.ShortTTL)
+	} else {
+		meta.Expiry = d.LoadTime.Add(cfg.DefaultTTL)
+	}
+	return gdpr.Record{Key: d.KeyAt(i), Data: string(data), Meta: meta}
+}
+
+// Actors used by the workloads.
+
+// ControllerActor is the data controller.
+func ControllerActor() acl.Actor { return acl.Actor{Role: acl.Controller, ID: "controller-1"} }
+
+// CustomerActor is the data subject who owns user u's records.
+func (d *Dataset) CustomerActor(u int) acl.Actor {
+	return acl.Actor{Role: acl.Customer, ID: d.UserName(u)}
+}
+
+// ProcessorActor processes records under the given purpose.
+func (d *Dataset) ProcessorActor(p int) acl.Actor {
+	return acl.Actor{Role: acl.Processor, ID: "processor-1", Purpose: d.PurposeName(p)}
+}
+
+// RegulatorActor is the supervisory authority.
+func RegulatorActor() acl.Actor { return acl.Actor{Role: acl.Regulator, ID: "dpa-1"} }
+
+// OwnerOfKey returns the user index owning record key index i.
+func (d *Dataset) OwnerOfKey(i int) int { return i % d.Users }
+
+// describeMix renders a mix for reports.
+func (m Mix) String() string {
+	parts := make([]string, len(m.Queries))
+	for i, q := range m.Queries {
+		parts[i] = fmt.Sprintf("%s:%.1f%%", q, m.Weights[i])
+	}
+	return fmt.Sprintf("%s [%s] (%s)", m.Name, strings.Join(parts, " "), m.Dist)
+}

@@ -1,0 +1,217 @@
+package experiments
+
+import (
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/kvstore"
+)
+
+func TestIDsCoverEveryPaperArtifact(t *testing.T) {
+	want := []string{"T1", "T2a", "T3", "F3a", "F3b", "F4a", "F4b",
+		"F5a", "F5b", "F5c", "F6", "F7a", "F7b", "F8a", "F8b"}
+	got := IDs()
+	if len(got) != len(want) {
+		t.Fatalf("IDs = %v", got)
+	}
+	set := map[string]bool{}
+	for _, id := range got {
+		set[id] = true
+	}
+	for _, id := range want {
+		if !set[id] {
+			t.Fatalf("missing artifact %s in %v", id, got)
+		}
+	}
+	// Tables sort before figures.
+	if got[0] != "T1" || got[1] != "T2a" || got[2] != "T3" {
+		t.Fatalf("ordering: %v", got)
+	}
+}
+
+func TestRunUnknownID(t *testing.T) {
+	if _, err := Run("F99", Small); err == nil {
+		t.Fatal("unknown id should fail")
+	}
+}
+
+func TestT1MatchesPaperTable(t *testing.T) {
+	res, err := Run("T1", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 12 {
+		t.Fatalf("T1 rows = %d, want 12", len(res.Rows))
+	}
+	if res.Rows[0][0] != "G 5" || res.Rows[11][0] != "G 33" {
+		t.Fatalf("T1 articles: first=%s last=%s", res.Rows[0][0], res.Rows[11][0])
+	}
+	s := res.String()
+	for _, want := range []string{"Right to be forgotten", "timely-deletion", "encryption"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("T1 missing %q", want)
+		}
+	}
+}
+
+func TestT2aHasAllWorkloadRows(t *testing.T) {
+	res, err := Run("T2a", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 7 controller + 5 customer + 4 processor + 3 regulator = 19 rows.
+	if len(res.Rows) != 19 {
+		t.Fatalf("T2a rows = %d", len(res.Rows))
+	}
+	counts := map[string]int{}
+	for _, row := range res.Rows {
+		counts[row[0]]++
+	}
+	if counts["controller"] != 7 || counts["customer"] != 5 || counts["processor"] != 4 || counts["regulator"] != 3 {
+		t.Fatalf("T2a row counts = %v", counts)
+	}
+}
+
+// TestFig3aShape checks the headline claim: lazy erasure delay grows with
+// DB size while the strict retrofit stays at one cycle period.
+func TestFig3aShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation heavy")
+	}
+	res, err := Run("F3a", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var lazies []time.Duration
+	for i, row := range res.Rows {
+		lazy, err := time.ParseDuration(row[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		strict, err := time.ParseDuration(row[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		lazies = append(lazies, lazy)
+		if strict > 2*kvstore.ExpireCyclePeriod {
+			t.Fatalf("row %d: strict delay %v exceeds a cycle period", i, strict)
+		}
+	}
+	first, last := lazies[0], lazies[len(lazies)-1]
+	// 16x the keys must cost well over 3x the erasure delay (the curve is
+	// superlinear in the paper; the sampler is stochastic, so no strict
+	// per-step monotonicity is asserted).
+	if float64(last) < 3*float64(first) {
+		t.Fatalf("lazy delay grew too little: %v -> %v", first, last)
+	}
+	if last < time.Minute {
+		t.Fatalf("largest lazy delay %v, want minutes", last)
+	}
+}
+
+// TestFig3bShape checks the headline claim: two secondary indices cut
+// update throughput to roughly a third.
+func TestFig3bShape(t *testing.T) {
+	res, err := Run("F3b", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	rel := func(i int) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(res.Rows[i][2], "%"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	if rel(0) != 100 {
+		t.Fatalf("baseline relative = %v", rel(0))
+	}
+	if !(rel(1) < 90 && rel(2) < rel(1)) {
+		t.Fatalf("indices did not degrade monotonically: %v, %v", rel(1), rel(2))
+	}
+	// Paper: ~33%. Allow a generous band around it.
+	if rel(2) < 10 || rel(2) > 70 {
+		t.Fatalf("2-index relative throughput %v%%, want within [15, 70]", rel(2))
+	}
+}
+
+// TestFig7bShape checks that the Redis GDPR customer workload's
+// completion time grows with the personal-data volume.
+func TestFig7bShape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing heavy")
+	}
+	res, err := Run("F7b", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first, err := time.ParseDuration(res.Rows[0][1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	last, err := time.ParseDuration(res.Rows[len(res.Rows)-1][1])
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 4x data should be at least ~1.5x time (paper: linear).
+	if float64(last) < 1.5*float64(first) {
+		t.Fatalf("completion did not grow with volume: %v -> %v", first, last)
+	}
+}
+
+// TestTable3Shape checks that indexing inflates the space factor and that
+// all factors exceed 1 (metadata dominates personal data).
+func TestTable3Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("load heavy")
+	}
+	res, err := Run("T3", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	factor := func(i int) float64 {
+		v, err := strconv.ParseFloat(strings.TrimSuffix(res.Rows[i][3], "x"), 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return v
+	}
+	redis, pg, pgIdx := factor(0), factor(1), factor(2)
+	if redis <= 1 || pg <= 1 {
+		t.Fatalf("space factors must exceed 1: redis=%v pg=%v", redis, pg)
+	}
+	if pgIdx <= pg {
+		t.Fatalf("indexes must inflate the factor: %v vs %v", pgIdx, pg)
+	}
+}
+
+func TestResultStringAligned(t *testing.T) {
+	r := Result{
+		ID: "X", Title: "demo",
+		Header: []string{"a", "long-header"},
+		Rows:   [][]string{{"1", "2"}, {"333", "4"}},
+		Notes:  []string{"a note"},
+	}
+	s := r.String()
+	if !strings.Contains(s, "== X: demo ==") || !strings.Contains(s, "note: a note") {
+		t.Fatalf("render:\n%s", s)
+	}
+	lines := strings.Split(s, "\n")
+	if len(lines[1]) != len(lines[2]) {
+		t.Fatalf("columns not aligned:\n%s", s)
+	}
+}
+
+func TestMeasureErasureErrorsWhenTooSlow(t *testing.T) {
+	// A lazy store with many keys and a tiny virtual budget must report
+	// non-completion.
+	_, err := measureErasure(5000, kvstore.ExpiryLazy, time.Minute, time.Hour, 0.5, 2*time.Second)
+	if err == nil {
+		t.Fatal("expected a did-not-complete error")
+	}
+}

@@ -1,0 +1,145 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/kvstore"
+	"repro/internal/relstore"
+)
+
+func init() {
+	register("F3a", runFig3a)
+	register("F3b", runFig3b)
+}
+
+// runFig3a reproduces Figure 3a: the delay between keys expiring and the
+// Redis-model engine actually erasing them, under the native lazy
+// probabilistic algorithm, as the database grows. The paper populates
+// keys so that 20% expire after 5 minutes and 80% after 5 days, then
+// measures how long past the 5-minute mark full erasure takes (~3 hours
+// at 128k keys). The strict retrofit erases in sub-second time.
+//
+// The expiry process is driven by a simulated clock, so hours of virtual
+// time cost milliseconds of real time and the result is deterministic.
+func runFig3a(scale Scale) (Result, error) {
+	// 4x size steps keep the growth visible above the sampler's noise.
+	sizes := []int{1_000, 4_000, 16_000}
+	if scale == Paper {
+		sizes = []int{1_000, 2_000, 4_000, 8_000, 16_000, 32_000, 64_000, 128_000}
+	}
+	res := Result{
+		ID:     "F3a",
+		Title:  "Redis TTL erasure delay vs DB size (Figure 3a)",
+		Header: []string{"Total keys", "Lazy erase time", "Strict erase time"},
+	}
+	const (
+		short      = 5 * time.Minute
+		long       = 5 * 24 * time.Hour
+		shortFrac  = 0.20
+		maxVirtual = 100 * time.Hour
+	)
+	for _, n := range sizes {
+		lazy, err := measureErasure(n, kvstore.ExpiryLazy, short, long, shortFrac, maxVirtual)
+		if err != nil {
+			return res, err
+		}
+		strict, err := measureErasure(n, kvstore.ExpiryStrict, short, long, shortFrac, maxVirtual)
+		if err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%d", n), lazy.String(), strict.String(),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"paper: lazy erasure ~3h at 128k keys, growing superlinearly; strict mod sub-second up to 1M keys",
+		"virtual time on a simulated clock; one expiry cycle per 100ms as in Redis")
+	return res, nil
+}
+
+// measureErasure populates a store and advances virtual time in expiry
+// cycles until every due key is erased, returning the virtual delay past
+// the short-TTL deadline.
+func measureErasure(n int, mode kvstore.ExpiryMode, short, long time.Duration, shortFrac float64, maxVirtual time.Duration) (time.Duration, error) {
+	sim := clock.NewSim(time.Time{})
+	s, err := kvstore.Open(kvstore.Config{Clock: sim, ExpiryMode: mode})
+	if err != nil {
+		return 0, err
+	}
+	defer s.Close()
+	now := sim.Now()
+	nShort := int(float64(n) * shortFrac)
+	for i := 0; i < n; i++ {
+		exp := now.Add(long)
+		if i < nShort {
+			exp = now.Add(short)
+		}
+		if err := s.SetWithExpiry(fmt.Sprintf("key-%d", i), "payload", exp); err != nil {
+			return 0, err
+		}
+	}
+	sim.Advance(short)
+	start := sim.Now()
+	// Only the short-TTL keys expire inside the measurement window, so
+	// full erasure is exactly when the key count drops to n - nShort —
+	// an O(1) check per cycle, keeping paper-scale sizes tractable.
+	target := n - nShort
+	for sim.Since(start) < maxVirtual {
+		sim.Advance(kvstore.ExpireCyclePeriod)
+		s.CycleOnce()
+		if s.DBSize() <= target {
+			return sim.Since(start), nil
+		}
+	}
+	return sim.Since(start), fmt.Errorf("experiments: erasure did not complete within %v virtual", maxVirtual)
+}
+
+// runFig3b reproduces Figure 3b: pgbench-style update throughput on the
+// PostgreSQL-model engine as secondary indices are added to the table
+// (paper: two indices cut throughput to ~33% of the original).
+func runFig3b(scale Scale) (Result, error) {
+	accounts, txns := 5_000, 50_000
+	if scale == Paper {
+		accounts, txns = 100_000, 500_000
+	}
+	res := Result{
+		ID:     "F3b",
+		Title:  "PostgreSQL update throughput vs secondary indices (Figure 3b)",
+		Header: []string{"Indices", "TPS", "Relative"},
+	}
+	indexSets := [][]string{nil, {"purpose"}, {"purpose", "usr"}}
+	var base float64
+	for _, cols := range indexSets {
+		// Median of three fresh runs damps scheduler noise.
+		var samples []float64
+		for rep := 0; rep < 3; rep++ {
+			db, err := relstore.Open(relstore.Config{})
+			if err != nil {
+				return res, err
+			}
+			r, err := relstore.RunPgbench(db, relstore.PgbenchConfig{
+				Accounts: accounts, Transactions: txns, IndexColumns: cols, Seed: int64(rep + 1),
+			})
+			db.Close()
+			if err != nil {
+				return res, err
+			}
+			samples = append(samples, r.TPS)
+		}
+		sort.Float64s(samples)
+		tps := samples[1]
+		if base == 0 {
+			base = tps
+		}
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("%d", len(cols)), f0(tps), pct(100 * tps / base),
+		})
+	}
+	res.Notes = append(res.Notes,
+		"paper: 2 indices (purpose, user-id) reduce throughput to ~33% of the 0-index baseline",
+		"updates rewrite all index entries (MVCC non-HOT behavior), which is the measured amplification")
+	return res, nil
+}

@@ -1,0 +1,225 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/ycsb"
+)
+
+func init() {
+	register("F5a", func(s Scale) (Result, error) { return runFig5("redis", false, s) })
+	register("F5b", func(s Scale) (Result, error) { return runFig5("postgres", false, s) })
+	register("F5c", func(s Scale) (Result, error) { return runFig5("postgres", true, s) })
+	register("T3", runTable3)
+	register("F6", runFig6)
+}
+
+func gdprConfig(scale Scale) core.Config {
+	cfg := core.Config{Records: 5_000, Operations: 500, Threads: 8, Seed: 1}
+	if scale == Paper {
+		cfg = core.Config{Records: 100_000, Operations: 10_000, Threads: 8, Seed: 1}
+	}
+	return cfg.WithDefaults()
+}
+
+// openClient builds a fully-compliant client of the requested engine in a
+// fresh temp dir (removed by the returned cleanup).
+func openClient(engine string, indexed bool) (core.DB, func(), error) {
+	dir, err := os.MkdirTemp("", "gdprbench-exp-*")
+	if err != nil {
+		return nil, nil, err
+	}
+	comp := core.Full()
+	comp.MetadataIndexing = indexed
+	var db core.DB
+	switch engine {
+	case "redis":
+		db, err = core.OpenRedis(core.RedisConfig{Dir: dir, Compliance: comp})
+	case "postgres":
+		db, err = core.OpenPostgres(core.PostgresConfig{Dir: dir, Compliance: comp})
+	default:
+		err = fmt.Errorf("experiments: unknown engine %q", engine)
+	}
+	if err != nil {
+		os.RemoveAll(dir)
+		return nil, nil, err
+	}
+	cleanup := func() {
+		db.Close()
+		os.RemoveAll(dir)
+	}
+	return db, cleanup, nil
+}
+
+// gdprRun executes the requested workloads on a fully-compliant engine,
+// each against a freshly loaded database (as GDPRbench does — the
+// controller workload's bulk deletions must not starve the later
+// workloads, and audit trails must not accumulate across runs), and
+// returns per-workload stats plus the post-load space usage.
+func gdprRun(engine string, indexed bool, cfg core.Config, names []core.WorkloadName) (map[core.WorkloadName]*stats.Run, core.SpaceUsage, error) {
+	out := make(map[core.WorkloadName]*stats.Run, len(names))
+	var space core.SpaceUsage
+	for _, name := range names {
+		db, cleanup, err := openClient(engine, indexed)
+		if err != nil {
+			return nil, space, err
+		}
+		ds, _, err := core.Load(db, cfg, nil)
+		if err != nil {
+			cleanup()
+			return nil, space, err
+		}
+		if space.TotalBytes == 0 {
+			space, err = db.SpaceUsage()
+			if err != nil {
+				cleanup()
+				return nil, space, err
+			}
+		}
+		run, err := core.Run(db, ds, name, nil)
+		cleanup()
+		if err != nil {
+			return nil, space, fmt.Errorf("%s: %w", name, err)
+		}
+		if run.TotalErrors() > 0 {
+			return nil, space, fmt.Errorf("%s: %d operation errors", name, run.TotalErrors())
+		}
+		out[name] = run
+	}
+	return out, space, nil
+}
+
+// runFig5 reproduces Figures 5a/5b/5c: GDPRbench workload completion
+// times on the compliant engines (Redis; PostgreSQL; PostgreSQL with
+// metadata indices).
+func runFig5(engine string, indexed bool, scale Scale) (Result, error) {
+	id, title := "F5a", "compliant Redis"
+	if engine == "postgres" {
+		if indexed {
+			id, title = "F5c", "compliant PostgreSQL + metadata indices"
+		} else {
+			id, title = "F5b", "compliant PostgreSQL"
+		}
+	}
+	cfg := gdprConfig(scale)
+	res := Result{
+		ID:     id,
+		Title:  fmt.Sprintf("GDPRbench completion time on %s (Figure %s)", title, id[1:]),
+		Header: []string{"Workload", "Completion time", "Throughput ops/s"},
+	}
+	runs, _, err := gdprRun(engine, indexed, cfg, core.WorkloadNames())
+	if err != nil {
+		return res, err
+	}
+	for _, name := range core.WorkloadNames() {
+		run := runs[name]
+		res.Rows = append(res.Rows, []string{
+			string(name), run.WallTime().Round(time.Millisecond).String(), f1(run.Throughput()),
+		})
+	}
+	switch id {
+	case "F5a":
+		res.Notes = append(res.Notes, "paper: processor fastest; controller slowest; customer/regulator 2-4x processor")
+	case "F5b":
+		res.Notes = append(res.Notes, "paper: an order of magnitude faster than Redis on every workload")
+	case "F5c":
+		res.Notes = append(res.Notes, "paper: metadata indices improve all workloads, controller the most")
+	}
+	return res, nil
+}
+
+// runTable3 reproduces Table 3: the space-overhead metric for the default
+// record configuration (paper: 3.5x for both engines, 5.95x for
+// PostgreSQL once all metadata fields are indexed).
+func runTable3(scale Scale) (Result, error) {
+	cfg := gdprConfig(scale)
+	res := Result{
+		ID:     "T3",
+		Title:  "Storage space overhead (Table 3)",
+		Header: []string{"System", "Personal data bytes", "Total DB bytes", "Space factor"},
+	}
+	configs := []struct {
+		name    string
+		engine  string
+		indexed bool
+	}{
+		{"Redis", "redis", false},
+		{"PostgreSQL", "postgres", false},
+		{"PostgreSQL w/ metadata indices", "postgres", true},
+	}
+	for _, c := range configs {
+		db, cleanup, err := openClient(c.engine, c.indexed)
+		if err != nil {
+			return res, err
+		}
+		_, _, err = core.Load(db, cfg, nil)
+		if err != nil {
+			cleanup()
+			return res, err
+		}
+		space, err := db.SpaceUsage()
+		cleanup()
+		if err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, []string{
+			c.name,
+			fmt.Sprintf("%d", space.PersonalBytes),
+			fmt.Sprintf("%d", space.TotalBytes),
+			f2(space.Factor()) + "x",
+		})
+	}
+	res.Notes = append(res.Notes,
+		"paper: 3.5x for both engines in the default configuration; 5.95x for PostgreSQL with all metadata fields indexed")
+	return res, nil
+}
+
+// runFig6 reproduces Figure 6: representative throughput of both engines
+// on YCSB versus GDPRbench under identical (fully compliant) conditions.
+// The paper reports a 2-4 order-of-magnitude gap.
+func runFig6(scale Scale) (Result, error) {
+	ycsbCfg := fig6YCSBConfig(scale)
+	gdprCfg := gdprConfig(scale)
+	res := Result{
+		ID:     "F6",
+		Title:  "YCSB vs GDPRbench throughput on compliant engines (Figure 6)",
+		Header: []string{"System", "YCSB ops/s", "GDPRbench ops/s", "Gap"},
+	}
+	combined := featureSet{name: "combined", encrypt: true, ttl: true, log: true}
+	for _, engine := range []string{"redis", "postgres"} {
+		y, err := measureYCSB(engine, combined, "A", ycsbCfg)
+		if err != nil {
+			return res, err
+		}
+		runs, _, err := gdprRun(engine, false, gdprCfg, core.WorkloadNames())
+		if err != nil {
+			return res, err
+		}
+		var ops int64
+		var wall time.Duration
+		for _, run := range runs {
+			ops += run.TotalOps()
+			wall += run.WallTime()
+		}
+		g := float64(ops) / wall.Seconds()
+		name := "Redis"
+		if engine == "postgres" {
+			name = "PostgreSQL"
+		}
+		res.Rows = append(res.Rows, []string{name, f0(y), f1(g), fmt.Sprintf("%.0fx", y/g)})
+	}
+	res.Notes = append(res.Notes,
+		"paper: YCSB ~10000 ops/s on both; GDPR workloads 2-3 (PostgreSQL) to 4 (Redis) orders of magnitude slower")
+	return res, nil
+}
+
+func fig6YCSBConfig(scale Scale) ycsb.Config {
+	if scale == Paper {
+		return ycsb.Config{Records: 100_000, Operations: 500_000_000, MaxTime: 2 * time.Second, Threads: 16, Seed: 1}
+	}
+	return ycsb.Config{Records: 2_000, Operations: 50_000_000, MaxTime: 250 * time.Millisecond, Threads: 8, Seed: 1}
+}

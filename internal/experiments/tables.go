@@ -1,0 +1,65 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/gdpr"
+)
+
+func init() {
+	register("T1", runT1)
+	register("T2a", runT2a)
+}
+
+// runT1 reproduces Table 1: GDPR articles mapped to database attributes
+// and actions.
+func runT1(Scale) (Result, error) {
+	res := Result{
+		ID:     "T1",
+		Title:  "GDPR articles -> database attributes and actions (Table 1)",
+		Header: []string{"Article", "Clause", "Attributes", "Actions"},
+	}
+	for _, a := range gdpr.Articles {
+		attrs := make([]string, len(a.Attributes))
+		for i, at := range a.Attributes {
+			attrs[i] = string(at)
+		}
+		acts := make([]string, len(a.Actions))
+		for i, ac := range a.Actions {
+			acts[i] = string(ac)
+		}
+		res.Rows = append(res.Rows, []string{
+			fmt.Sprintf("G %d", a.Number), a.Clause,
+			strings.Join(attrs, ","), strings.Join(acts, ","),
+		})
+	}
+	res.Notes = append(res.Notes,
+		fmt.Sprintf("capability checklist: %v", gdpr.ActionsRequired()))
+	return res, nil
+}
+
+// runT2a reproduces Table 2a: the four GDPRbench workloads with their
+// query mixes, default weights and distributions.
+func runT2a(Scale) (Result, error) {
+	res := Result{
+		ID:     "T2a",
+		Title:  "GDPRbench core workloads (Table 2a)",
+		Header: []string{"Workload", "Query", "Weight", "Distribution"},
+	}
+	ws := core.DefaultWorkloads()
+	for _, name := range core.WorkloadNames() {
+		m := ws[name]
+		for i, q := range m.Queries {
+			d := m.Dist
+			if m.SecondaryDist != m.Dist && i > 0 {
+				d = m.SecondaryDist
+			}
+			res.Rows = append(res.Rows, []string{
+				string(name), string(q), f1(m.Weights[i]) + "%", d.String(),
+			})
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,137 @@
+package gdpr
+
+// This file encodes Table 1 of the paper: the mapping from key GDPR
+// articles to the database-system attributes and actions they induce. The
+// table is load-bearing for the benchmark — workloads and the feature
+// matrix of the compliant engines are derived from these actions — and a
+// test pins it against the paper.
+
+// Action is a database-system capability induced by one or more articles
+// (the "Actions" column of Table 1).
+type Action string
+
+// The five action families of Table 1 / §3.2.
+const (
+	ActionMetadataIndexing Action = "metadata-indexing"
+	ActionTimelyDeletion   Action = "timely-deletion"
+	ActionAccessControl    Action = "access-control"
+	ActionMonitorAndLog    Action = "monitor-and-log"
+	ActionEncryption       Action = "encryption"
+)
+
+// Article is one row of Table 1.
+type Article struct {
+	// Number of the GDPR article (the paper prefixes these with G).
+	Number int
+	// Clause is the article's short name.
+	Clause string
+	// Regulates summarizes what the article requires.
+	Regulates string
+	// Attributes are the GDPR metadata attributes the article induces.
+	Attributes []Attribute
+	// Actions are the database actions the article requires.
+	Actions []Action
+}
+
+// Articles is Table 1 of the paper, in row order.
+var Articles = []Article{
+	{
+		Number: 5, Clause: "Purpose limitation",
+		Regulates:  "Collect data for explicit purposes",
+		Attributes: []Attribute{AttrPurpose},
+		Actions:    []Action{ActionMetadataIndexing},
+	},
+	{
+		Number: 5, Clause: "Storage limitation",
+		Regulates:  "Do not store data indefinitely",
+		Attributes: []Attribute{AttrTTL},
+		Actions:    []Action{ActionTimelyDeletion},
+	},
+	{
+		Number: 13, Clause: "Information to be provided [13, 14]",
+		Regulates:  "Inform customers about all the GDPR metadata associated with their data",
+		Attributes: []Attribute{AttrPurpose, AttrTTL, AttrSource, AttrSharing},
+		Actions:    []Action{ActionMetadataIndexing},
+	},
+	{
+		Number: 15, Clause: "Right of access by users",
+		Regulates:  "Allow customers to access all their data",
+		Attributes: []Attribute{AttrUser},
+		Actions:    []Action{ActionMetadataIndexing},
+	},
+	{
+		Number: 17, Clause: "Right to be forgotten",
+		Regulates:  "Allow customers to erasure their data",
+		Attributes: []Attribute{AttrTTL},
+		Actions:    []Action{ActionTimelyDeletion},
+	},
+	{
+		Number: 21, Clause: "Right to object",
+		Regulates:  "Do not use data for any objected reasons",
+		Attributes: []Attribute{AttrObjection},
+		Actions:    []Action{ActionMetadataIndexing},
+	},
+	{
+		Number: 22, Clause: "Automated individual decision-making",
+		Regulates:  "Allow customers to withdraw from fully algorithmic decision-making",
+		Attributes: []Attribute{AttrDecision},
+		Actions:    []Action{ActionMetadataIndexing},
+	},
+	{
+		Number: 25, Clause: "Data protection by design and default",
+		Regulates: "Safeguard and restrict access to data",
+		Actions:   []Action{ActionAccessControl},
+	},
+	{
+		Number: 28, Clause: "Processor",
+		Regulates: "Do not grant unlimited access to data",
+		Actions:   []Action{ActionAccessControl},
+	},
+	{
+		Number: 30, Clause: "Records of processing activity",
+		Regulates:  "Audit all operations on personal data",
+		Attributes: []Attribute{"AUD"},
+		Actions:    []Action{ActionMonitorAndLog},
+	},
+	{
+		Number: 32, Clause: "Security of processing",
+		Regulates: "Implement appropriate data security",
+		Actions:   []Action{ActionEncryption},
+	},
+	{
+		Number: 33, Clause: "Notification of personal data breach",
+		Regulates:  "Share audit trails from affected systems",
+		Attributes: []Attribute{"AUD"},
+		Actions:    []Action{ActionMonitorAndLog},
+	},
+}
+
+// ActionsRequired returns the deduplicated set of actions across all of
+// Table 1 — the capability checklist a compliant datastore must support.
+func ActionsRequired() []Action {
+	seen := map[Action]bool{}
+	var out []Action
+	for _, a := range Articles {
+		for _, act := range a.Actions {
+			if !seen[act] {
+				seen[act] = true
+				out = append(out, act)
+			}
+		}
+	}
+	return out
+}
+
+// ArticlesFor returns the Table 1 rows that require the given action.
+func ArticlesFor(act Action) []Article {
+	var out []Article
+	for _, a := range Articles {
+		for _, x := range a.Actions {
+			if x == act {
+				out = append(out, a)
+				break
+			}
+		}
+	}
+	return out
+}

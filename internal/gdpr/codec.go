@@ -1,0 +1,153 @@
+package gdpr
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// The wire format is the paper's §4.2.1 example, with absolute unix-second
+// expiry timestamps in the TTL field (this is also how the paper's
+// PostgreSQL retrofit stores expiry — "we modify the INSERT queries to
+// include the expiry timestamp"):
+//
+//	ph-1x4b;123-456-7890;PUR=ads,2fa;TTL=1552867200;USR=neo;OBJ=;DEC=;SHR=;SRC=first-party;
+//
+// All fields are printable ASCII; ';' separates fields and ',' separates
+// values inside a multi-valued attribute. Empty attributes render as an
+// empty value (the paper prints ∅).
+
+// Encode renders r in wire format.
+func Encode(r Record) string {
+	var b strings.Builder
+	// Rough capacity: key+data+7 attrs of ~8 bytes each.
+	b.Grow(len(r.Key) + len(r.Data) + 96)
+	b.WriteString(r.Key)
+	b.WriteByte(';')
+	b.WriteString(r.Data)
+	b.WriteByte(';')
+	writeAttr(&b, AttrPurpose, r.Meta.Purposes)
+	b.WriteString("TTL=")
+	if !r.Meta.Expiry.IsZero() {
+		b.WriteString(strconv.FormatInt(r.Meta.Expiry.Unix(), 10))
+	}
+	b.WriteByte(';')
+	writeAttr(&b, AttrUser, r.Meta.Values(AttrUser))
+	writeAttr(&b, AttrObjection, r.Meta.Objections)
+	writeAttr(&b, AttrDecision, r.Meta.Decisions)
+	writeAttr(&b, AttrSharing, r.Meta.SharedWith)
+	writeAttr(&b, AttrSource, r.Meta.Values(AttrSource))
+	return b.String()
+}
+
+func writeAttr(b *strings.Builder, a Attribute, values []string) {
+	b.WriteString(string(a))
+	b.WriteByte('=')
+	for i, v := range values {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(v)
+	}
+	b.WriteByte(';')
+}
+
+// DecodeError reports a malformed wire record.
+type DecodeError struct {
+	Input  string
+	Reason string
+}
+
+func (e *DecodeError) Error() string {
+	in := e.Input
+	if len(in) > 64 {
+		in = in[:64] + "…"
+	}
+	return fmt.Sprintf("gdpr: decode %q: %s", in, e.Reason)
+}
+
+// Decode parses a wire-format record produced by Encode.
+func Decode(s string) (Record, error) {
+	var r Record
+	// Trailing ';' yields one empty trailing segment; require at least
+	// key, data and the seven attributes.
+	trimmed := strings.TrimSuffix(s, ";")
+	parts := strings.Split(trimmed, ";")
+	if len(parts) < 9 {
+		return r, &DecodeError{s, fmt.Sprintf("want 9 fields, got %d", len(parts))}
+	}
+	r.Key = parts[0]
+	r.Data = parts[1]
+	if r.Key == "" {
+		return r, &DecodeError{s, "empty key"}
+	}
+	seen := map[Attribute]bool{}
+	for _, seg := range parts[2:] {
+		eq := strings.IndexByte(seg, '=')
+		if eq < 0 {
+			return r, &DecodeError{s, fmt.Sprintf("attribute segment %q missing '='", seg)}
+		}
+		attr := Attribute(seg[:eq])
+		val := seg[eq+1:]
+		if seen[attr] {
+			return r, &DecodeError{s, fmt.Sprintf("duplicate attribute %s", attr)}
+		}
+		seen[attr] = true
+		switch attr {
+		case AttrPurpose:
+			r.Meta.Purposes = splitValues(val)
+		case AttrTTL:
+			if val != "" {
+				sec, err := strconv.ParseInt(val, 10, 64)
+				if err != nil {
+					return r, &DecodeError{s, fmt.Sprintf("bad TTL %q", val)}
+				}
+				r.Meta.Expiry = time.Unix(sec, 0).UTC()
+			}
+		case AttrUser:
+			r.Meta.User = val
+		case AttrObjection:
+			r.Meta.Objections = splitValues(val)
+		case AttrDecision:
+			r.Meta.Decisions = splitValues(val)
+		case AttrSharing:
+			r.Meta.SharedWith = splitValues(val)
+		case AttrSource:
+			r.Meta.Source = val
+		default:
+			return r, &DecodeError{s, fmt.Sprintf("unknown attribute %q", attr)}
+		}
+	}
+	for _, a := range MetadataAttributes {
+		if !seen[a] {
+			return r, &DecodeError{s, fmt.Sprintf("missing attribute %s", a)}
+		}
+	}
+	return r, nil
+}
+
+func splitValues(v string) []string {
+	if v == "" {
+		return nil
+	}
+	return strings.Split(v, ",")
+}
+
+// MustDecode decodes s and panics on error; for tests and examples.
+func MustDecode(s string) Record {
+	r, err := Decode(s)
+	if err != nil {
+		panic(err)
+	}
+	return r
+}
+
+// EncodeMetadata renders only the metadata attributes of r in wire form —
+// the payload of READ-METADATA responses.
+func EncodeMetadata(m Metadata) string {
+	r := Record{Key: "k", Data: "", Meta: m}
+	enc := Encode(r)
+	// Strip "k;;" prefix: key + ';' + empty data + ';'.
+	return enc[len("k;;"):]
+}

@@ -1,0 +1,231 @@
+package gdpr
+
+import (
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEncodeMatchesPaperShape(t *testing.T) {
+	r := sampleRecord()
+	enc := Encode(r)
+	if !strings.HasPrefix(enc, "ph-1x4b;123-456-7890;PUR=ads,2fa;TTL=") {
+		t.Fatalf("prefix wrong: %s", enc)
+	}
+	for _, want := range []string{";USR=neo;", ";OBJ=;", ";DEC=;", ";SHR=;", ";SRC=first-party;"} {
+		if !strings.Contains(enc, want) {
+			t.Fatalf("encoding missing %q: %s", want, enc)
+		}
+	}
+	if !strings.HasSuffix(enc, ";") {
+		t.Fatalf("encoding must end with ';': %s", enc)
+	}
+}
+
+func TestDecodeRoundTrip(t *testing.T) {
+	r := sampleRecord()
+	r.Meta.Objections = []string{"profiling", "ads"}
+	r.Meta.Decisions = []string{"ranking"}
+	r.Meta.SharedWith = []string{"p1", "p2", "p3"}
+	got, err := Decode(Encode(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, normalize(r)) {
+		t.Fatalf("roundtrip mismatch:\n got %#v\nwant %#v", got, normalize(r))
+	}
+}
+
+// normalize maps a record through the wire format's canonical form:
+// expiry truncated to seconds in UTC.
+func normalize(r Record) Record {
+	out := r.Clone()
+	if !out.Meta.Expiry.IsZero() {
+		out.Meta.Expiry = time.Unix(out.Meta.Expiry.Unix(), 0).UTC()
+	}
+	return out
+}
+
+func TestDecodeZeroTTL(t *testing.T) {
+	r := sampleRecord()
+	r.Meta.Expiry = time.Time{}
+	got, err := Decode(Encode(r))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Meta.Expiry.IsZero() {
+		t.Fatalf("expiry = %v, want zero", got.Meta.Expiry)
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := map[string]string{
+		"too few fields":    "a;b;PUR=;TTL=;",
+		"missing equals":    "a;b;PUR=;TTL=;USR;OBJ=;DEC=;SHR=;SRC=;",
+		"bad ttl":           "a;b;PUR=;TTL=abc;USR=;OBJ=;DEC=;SHR=;SRC=;",
+		"unknown attribute": "a;b;PUR=;TTL=;USR=;OBJ=;DEC=;SHR=;XXX=;",
+		"duplicate":         "a;b;PUR=;PUR=;TTL=;USR=;OBJ=;DEC=;SHR=;",
+		"missing attribute": "a;b;PUR=;TTL=;USR=;OBJ=;DEC=;SHR=;",
+		"empty key":         ";b;PUR=;TTL=;USR=;OBJ=;DEC=;SHR=;SRC=;",
+	}
+	for name, in := range cases {
+		t.Run(name, func(t *testing.T) {
+			if _, err := Decode(in); err == nil {
+				t.Fatalf("Decode(%q) should fail", in)
+			}
+		})
+	}
+}
+
+func TestDecodeErrorTruncatesLongInput(t *testing.T) {
+	long := strings.Repeat("x", 500)
+	_, err := Decode(long)
+	if err == nil {
+		t.Fatal("expected error")
+	}
+	if len(err.Error()) > 200 {
+		t.Fatalf("error message too long: %d bytes", len(err.Error()))
+	}
+}
+
+func TestMustDecodePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustDecode should panic on bad input")
+		}
+	}()
+	MustDecode("garbage")
+}
+
+func TestEncodeMetadata(t *testing.T) {
+	m := sampleRecord().Meta
+	enc := EncodeMetadata(m)
+	if !strings.HasPrefix(enc, "PUR=ads,2fa;") {
+		t.Fatalf("metadata encoding prefix: %s", enc)
+	}
+	if strings.Contains(enc, "ph-1x4b") {
+		t.Fatalf("metadata encoding leaked key: %s", enc)
+	}
+}
+
+// asciiField generates wire-safe field values for the property test.
+func asciiField(r *rand.Rand, maxLen int) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789-_./:@ "
+	n := r.Intn(maxLen)
+	var b strings.Builder
+	for i := 0; i < n; i++ {
+		b.WriteByte(alphabet[r.Intn(len(alphabet))])
+	}
+	return b.String()
+}
+
+func asciiList(r *rand.Rand, maxItems int) []string {
+	n := r.Intn(maxItems + 1)
+	var out []string
+	for i := 0; i < n; i++ {
+		// Values inside lists must be non-empty to round-trip.
+		v := asciiField(r, 8)
+		if v == "" {
+			v = "v"
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func TestCodecRoundTripProperty(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		rec := Record{
+			Key:  "k-" + asciiField(r, 12),
+			Data: asciiField(r, 40),
+			Meta: Metadata{
+				Purposes:   asciiList(r, 4),
+				User:       asciiField(r, 10),
+				Objections: asciiList(r, 3),
+				Decisions:  asciiList(r, 3),
+				SharedWith: asciiList(r, 3),
+				Source:     asciiField(r, 10),
+			},
+		}
+		if r.Intn(2) == 0 {
+			rec.Meta.Expiry = time.Unix(r.Int63n(1<<32), 0).UTC()
+		}
+		got, err := Decode(Encode(rec))
+		if err != nil {
+			t.Logf("decode failed for %q: %v", Encode(rec), err)
+			return false
+		}
+		want := normalize(rec)
+		// nil vs empty slices normalize to nil on decode.
+		return reflect.DeepEqual(got, want)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestArticlesTable(t *testing.T) {
+	// Pin Table 1 row count and the article numbers in paper order.
+	wantNumbers := []int{5, 5, 13, 15, 17, 21, 22, 25, 28, 30, 32, 33}
+	if len(Articles) != len(wantNumbers) {
+		t.Fatalf("Articles rows = %d, want %d", len(Articles), len(wantNumbers))
+	}
+	for i, a := range Articles {
+		if a.Number != wantNumbers[i] {
+			t.Errorf("row %d: article %d, want %d", i, a.Number, wantNumbers[i])
+		}
+	}
+	// The action set must be exactly the five §3.2 families.
+	acts := ActionsRequired()
+	want := map[Action]bool{
+		ActionMetadataIndexing: true, ActionTimelyDeletion: true,
+		ActionAccessControl: true, ActionMonitorAndLog: true, ActionEncryption: true,
+	}
+	if len(acts) != len(want) {
+		t.Fatalf("actions = %v", acts)
+	}
+	for _, a := range acts {
+		if !want[a] {
+			t.Fatalf("unexpected action %q", a)
+		}
+	}
+}
+
+func TestArticlesFor(t *testing.T) {
+	del := ArticlesFor(ActionTimelyDeletion)
+	if len(del) != 2 {
+		t.Fatalf("timely-deletion articles = %d, want 2 (G5 storage limitation, G17)", len(del))
+	}
+	seen := map[int]bool{}
+	for _, a := range del {
+		seen[a.Number] = true
+	}
+	if !seen[5] || !seen[17] {
+		t.Fatalf("timely deletion should come from G5 and G17, got %v", del)
+	}
+	if got := ArticlesFor(Action("nope")); got != nil {
+		t.Fatalf("unknown action rows = %v", got)
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	r := sampleRecord()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Encode(r)
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	enc := Encode(sampleRecord())
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(enc); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

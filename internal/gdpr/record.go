@@ -1,0 +1,465 @@
+// Package gdpr defines the abstraction at the heart of the paper: the
+// personal-data record. Under GDPR every personal data item carries up to
+// seven metadata attributes (purpose, time-to-live, owning user, objections,
+// automated-decision flags, third-party sharing, and origin) — the
+// "metadata explosion" of §3.1. This package provides the record model, the
+// benchmark's wire format (§4.2.1), field selectors used by GDPR queries,
+// and the Table 1 article → attribute/action mapping.
+package gdpr
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Attribute names the seven GDPR metadata attributes plus the record key.
+// The three-letter forms (PUR, TTL, ...) match the paper's record format.
+type Attribute string
+
+// The attribute set from §3.1 / §4.2.1.
+const (
+	AttrKey       Attribute = "KEY"
+	AttrData      Attribute = "DATA"
+	AttrPurpose   Attribute = "PUR"
+	AttrTTL       Attribute = "TTL"
+	AttrUser      Attribute = "USR"
+	AttrObjection Attribute = "OBJ"
+	AttrDecision  Attribute = "DEC"
+	AttrSharing   Attribute = "SHR"
+	AttrSource    Attribute = "SRC"
+)
+
+// MetadataAttributes lists the seven metadata attributes in the order they
+// appear in the paper's record layout.
+var MetadataAttributes = []Attribute{
+	AttrPurpose, AttrTTL, AttrUser, AttrObjection, AttrDecision, AttrSharing, AttrSource,
+}
+
+// Metadata is the set of behavioral properties attached to every personal
+// data item (§3.1's "metadata explosion").
+type Metadata struct {
+	// Purposes for which the data may be processed (G 5(1b), G 21).
+	Purposes []string
+	// Expiry is the absolute time-to-live deadline (G 5(1e), G 13(2a)).
+	// The zero time means "no expiry recorded", which is non-compliant in
+	// strict mode.
+	Expiry time.Time
+	// User identifies the data subject the record concerns (G 15).
+	User string
+	// Objections is the per-item blacklist of uses (G 21).
+	Objections []string
+	// Decisions records automated decision-making uses (G 15(1), G 22).
+	Decisions []string
+	// SharedWith lists third parties the item was shared with (G 13, 14).
+	SharedWith []string
+	// Source records how the item was procured (G 13, 14).
+	Source string
+}
+
+// Record is one personal data item with its GDPR metadata, the unit of
+// storage in GDPRbench (§4.2.1: <Key><Data><Metadata>).
+type Record struct {
+	Key  string
+	Data string
+	Meta Metadata
+}
+
+// Clone returns a deep copy of the record.
+func (r Record) Clone() Record {
+	out := r
+	out.Meta = r.Meta.Clone()
+	return out
+}
+
+// Clone returns a deep copy of the metadata.
+func (m Metadata) Clone() Metadata {
+	out := m
+	out.Purposes = append([]string(nil), m.Purposes...)
+	out.Objections = append([]string(nil), m.Objections...)
+	out.Decisions = append([]string(nil), m.Decisions...)
+	out.SharedWith = append([]string(nil), m.SharedWith...)
+	return out
+}
+
+// Expired reports whether the record's TTL has passed at time now.
+func (m Metadata) Expired(now time.Time) bool {
+	return !m.Expiry.IsZero() && !m.Expiry.After(now)
+}
+
+// HasPurpose reports whether p is among the record's allowed purposes.
+func (m Metadata) HasPurpose(p string) bool { return contains(m.Purposes, p) }
+
+// Objects reports whether the user has objected to use u.
+func (m Metadata) Objects(u string) bool { return contains(m.Objections, u) }
+
+// UsedForDecision reports whether the record is registered for automated
+// decision-making use d.
+func (m Metadata) UsedForDecision(d string) bool { return contains(m.Decisions, d) }
+
+// SharedTo reports whether the record has been shared with third party s.
+func (m Metadata) SharedTo(s string) bool { return contains(m.SharedWith, s) }
+
+func contains(xs []string, v string) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+// Values returns the metadata values for a (multi-valued) attribute; for
+// single-valued attributes it returns a slice of length 0 or 1. AttrTTL is
+// rendered in wire form (unix seconds).
+func (m Metadata) Values(a Attribute) []string {
+	switch a {
+	case AttrPurpose:
+		return m.Purposes
+	case AttrUser:
+		if m.User == "" {
+			return nil
+		}
+		return []string{m.User}
+	case AttrObjection:
+		return m.Objections
+	case AttrDecision:
+		return m.Decisions
+	case AttrSharing:
+		return m.SharedWith
+	case AttrSource:
+		if m.Source == "" {
+			return nil
+		}
+		return []string{m.Source}
+	case AttrTTL:
+		if m.Expiry.IsZero() {
+			return nil
+		}
+		return []string{fmt.Sprintf("%d", m.Expiry.Unix())}
+	default:
+		return nil
+	}
+}
+
+// ValidationError describes a record that violates the benchmark's record
+// grammar or strict-compliance requirements.
+type ValidationError struct {
+	Key    string
+	Reason string
+}
+
+func (e *ValidationError) Error() string {
+	return fmt.Sprintf("gdpr: invalid record %q: %s", e.Key, e.Reason)
+}
+
+// ErrEmptyKey is returned when a record has no key.
+var ErrEmptyKey = errors.New("gdpr: empty record key")
+
+// forbidden runes: the wire format reserves ';' and ',' as separators and
+// all fields must be printable ASCII (§4.2.1).
+func fieldOK(s string) bool {
+	for _, c := range s {
+		if c < 0x20 || c > 0x7e || c == ';' || c == ',' {
+			return false
+		}
+	}
+	return true
+}
+
+// Validate checks the record against the §4.2.1 grammar. If strict is true
+// it additionally enforces the strict-interpretation invariants the paper
+// adopts: a non-zero TTL (G 5(1e)) and a non-empty owning user (G 15).
+func (r Record) Validate(strict bool) error {
+	if r.Key == "" {
+		return ErrEmptyKey
+	}
+	if !fieldOK(r.Key) {
+		return &ValidationError{r.Key, "key contains reserved or non-ASCII characters"}
+	}
+	if !fieldOK(r.Data) {
+		return &ValidationError{r.Key, "data contains reserved or non-ASCII characters"}
+	}
+	for _, a := range MetadataAttributes {
+		if a == AttrTTL {
+			continue
+		}
+		for _, v := range r.Meta.Values(a) {
+			if !fieldOK(v) {
+				return &ValidationError{r.Key, fmt.Sprintf("%s value %q contains reserved or non-ASCII characters", a, v)}
+			}
+		}
+	}
+	if strict {
+		if r.Meta.Expiry.IsZero() {
+			return &ValidationError{r.Key, "strict mode requires a TTL (G 5(1e))"}
+		}
+		if r.Meta.User == "" {
+			return &ValidationError{r.Key, "strict mode requires an associated person (G 15)"}
+		}
+	}
+	return nil
+}
+
+// DataSize returns the personal-data payload size in bytes; the denominator
+// of the paper's space-overhead metric (§4.2.3).
+func (r Record) DataSize() int { return len(r.Data) }
+
+// WireSize returns the size of the record in wire format — the paper's
+// notion of how much the datastore grows per record before engine overheads.
+func (r Record) WireSize() int { return len(Encode(r)) }
+
+// MetadataSize returns WireSize minus key and data bytes.
+func (r Record) MetadataSize() int {
+	return r.WireSize() - len(r.Key) - len(r.Data)
+}
+
+// SortStrings sorts a copy of xs; helper for canonical comparisons in tests
+// and the correctness validator.
+func SortStrings(xs []string) []string {
+	out := append([]string(nil), xs...)
+	sort.Strings(out)
+	return out
+}
+
+// EqualSets reports whether two string slices contain the same multiset of
+// values irrespective of order.
+func EqualSets(a, b []string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	as, bs := SortStrings(a), SortStrings(b)
+	for i := range as {
+		if as[i] != bs[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the record in wire form.
+func (r Record) String() string { return Encode(r) }
+
+// addUnique appends v to xs if absent, returning the new slice.
+func addUnique(xs []string, v string) []string {
+	if contains(xs, v) {
+		return xs
+	}
+	return append(xs, v)
+}
+
+// removeValue removes all occurrences of v from xs, returning the new slice.
+func removeValue(xs []string, v string) []string {
+	out := xs[:0]
+	for _, x := range xs {
+		if x != v {
+			out = append(out, x)
+		}
+	}
+	if len(out) == 0 {
+		return nil
+	}
+	return append([]string(nil), out...)
+}
+
+// DeltaOp is the kind of metadata mutation in a Delta.
+type DeltaOp int
+
+// Supported metadata mutations.
+const (
+	// DeltaSet replaces the attribute's values.
+	DeltaSet DeltaOp = iota
+	// DeltaAdd inserts a value if absent.
+	DeltaAdd
+	// DeltaRemove deletes a value if present.
+	DeltaRemove
+)
+
+func (o DeltaOp) String() string {
+	switch o {
+	case DeltaSet:
+		return "set"
+	case DeltaAdd:
+		return "add"
+	case DeltaRemove:
+		return "remove"
+	default:
+		return fmt.Sprintf("DeltaOp(%d)", int(o))
+	}
+}
+
+// Delta is one metadata mutation: customers changing objections (G 18.1,
+// G 7.3), processors registering automated-decision use (G 22.3), or
+// controllers updating sharing/access lists (G 13.3).
+type Delta struct {
+	Attr   Attribute
+	Op     DeltaOp
+	Values []string
+	// Expiry is used instead of Values when Attr == AttrTTL and Op == DeltaSet.
+	Expiry time.Time
+}
+
+// Apply mutates m according to the delta. It returns an error for deltas
+// that do not type-check (e.g. removing from a single-valued attribute).
+func (d Delta) Apply(m *Metadata) error {
+	switch d.Attr {
+	case AttrPurpose:
+		return applyList(&m.Purposes, d)
+	case AttrObjection:
+		return applyList(&m.Objections, d)
+	case AttrDecision:
+		return applyList(&m.Decisions, d)
+	case AttrSharing:
+		return applyList(&m.SharedWith, d)
+	case AttrUser:
+		if d.Op != DeltaSet || len(d.Values) != 1 {
+			return fmt.Errorf("gdpr: USR only supports set with one value, got %s %v", d.Op, d.Values)
+		}
+		m.User = d.Values[0]
+		return nil
+	case AttrSource:
+		if d.Op != DeltaSet || len(d.Values) != 1 {
+			return fmt.Errorf("gdpr: SRC only supports set with one value, got %s %v", d.Op, d.Values)
+		}
+		m.Source = d.Values[0]
+		return nil
+	case AttrTTL:
+		if d.Op != DeltaSet {
+			return fmt.Errorf("gdpr: TTL only supports set, got %s", d.Op)
+		}
+		m.Expiry = d.Expiry
+		return nil
+	default:
+		return fmt.Errorf("gdpr: delta on unknown attribute %q", d.Attr)
+	}
+}
+
+func applyList(target *[]string, d Delta) error {
+	switch d.Op {
+	case DeltaSet:
+		*target = append([]string(nil), d.Values...)
+	case DeltaAdd:
+		for _, v := range d.Values {
+			*target = addUnique(*target, v)
+		}
+	case DeltaRemove:
+		for _, v := range d.Values {
+			*target = removeValue(*target, v)
+		}
+	default:
+		return fmt.Errorf("gdpr: unknown delta op %d", d.Op)
+	}
+	return nil
+}
+
+// Selector identifies the records a GDPR query acts on: by key, by a
+// metadata attribute value, or by TTL expiry (§3.3's *-BY-{KEY|PUR|USR|...}
+// query families).
+type Selector struct {
+	// Attr is the attribute matched: AttrKey, AttrPurpose, AttrUser,
+	// AttrObjection, AttrDecision, AttrSharing, AttrSource, or AttrTTL.
+	Attr Attribute
+	// Value is the match value for every attribute except AttrTTL.
+	Value string
+	// AsOf is the cutoff instant for AttrTTL selectors (match records whose
+	// expiry is <= AsOf).
+	AsOf time.Time
+	// Negate inverts the match. The G 21.3 processor query — "get data
+	// that do not object to specific usage" — is ByNotObjecting, an
+	// objection selector with Negate set.
+	Negate bool
+}
+
+// ByKey selects a single record by key.
+func ByKey(key string) Selector { return Selector{Attr: AttrKey, Value: key} }
+
+// ByUser selects all records of a data subject.
+func ByUser(u string) Selector { return Selector{Attr: AttrUser, Value: u} }
+
+// ByPurpose selects all records collected for purpose p.
+func ByPurpose(p string) Selector { return Selector{Attr: AttrPurpose, Value: p} }
+
+// ByObjection selects all records whose owners objected to use u.
+func ByObjection(u string) Selector { return Selector{Attr: AttrObjection, Value: u} }
+
+// ByNotObjecting selects all records whose owners did NOT object to use u
+// (the G 21.3 processor read shape).
+func ByNotObjecting(u string) Selector {
+	return Selector{Attr: AttrObjection, Value: u, Negate: true}
+}
+
+// ByDecision selects all records registered for automated decision d.
+func ByDecision(d string) Selector { return Selector{Attr: AttrDecision, Value: d} }
+
+// ByShare selects all records shared with third party s.
+func ByShare(s string) Selector { return Selector{Attr: AttrSharing, Value: s} }
+
+// ByExpiredAt selects all records whose TTL has passed at time t.
+func ByExpiredAt(t time.Time) Selector { return Selector{Attr: AttrTTL, AsOf: t} }
+
+// Matches reports whether the selector matches record r.
+func (s Selector) Matches(r Record) bool {
+	m := s.matchesPositive(r)
+	if s.Negate {
+		return !m
+	}
+	return m
+}
+
+func (s Selector) matchesPositive(r Record) bool {
+	switch s.Attr {
+	case AttrKey:
+		return r.Key == s.Value
+	case AttrUser:
+		return r.Meta.User == s.Value
+	case AttrPurpose:
+		return r.Meta.HasPurpose(s.Value)
+	case AttrObjection:
+		return r.Meta.Objects(s.Value)
+	case AttrDecision:
+		return r.Meta.UsedForDecision(s.Value)
+	case AttrSharing:
+		return r.Meta.SharedTo(s.Value)
+	case AttrSource:
+		return r.Meta.Source == s.Value
+	case AttrTTL:
+		return r.Meta.Expired(s.AsOf)
+	default:
+		return false
+	}
+}
+
+// String renders the selector for logs and error messages.
+func (s Selector) String() string {
+	if s.Attr == AttrTTL {
+		return fmt.Sprintf("TTL<=%d", s.AsOf.Unix())
+	}
+	op := "="
+	if s.Negate {
+		op = "!="
+	}
+	return fmt.Sprintf("%s%s%s", s.Attr, op, s.Value)
+}
+
+// NotObjecting returns a predicate matching records that do NOT object to
+// use u — the G 21.3 / G 22 "read data that does not object" query shape.
+func NotObjecting(u string) func(Record) bool {
+	return func(r Record) bool { return !r.Meta.Objects(u) }
+}
+
+// ParseKeyList splits a comma-separated key list; helper for CLIs.
+func ParseKeyList(s string) []string {
+	if strings.TrimSpace(s) == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := make([]string, 0, len(parts))
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}

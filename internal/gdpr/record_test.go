@@ -1,0 +1,321 @@
+package gdpr
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func sampleRecord() Record {
+	return Record{
+		Key:  "ph-1x4b",
+		Data: "123-456-7890",
+		Meta: Metadata{
+			Purposes:   []string{"ads", "2fa"},
+			Expiry:     time.Date(2019, 3, 18, 0, 0, 0, 0, time.UTC),
+			User:       "neo",
+			Objections: nil,
+			Decisions:  nil,
+			SharedWith: nil,
+			Source:     "first-party",
+		},
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	r := sampleRecord()
+	c := r.Clone()
+	c.Meta.Purposes[0] = "mutated"
+	c.Meta.Objections = append(c.Meta.Objections, "x")
+	if r.Meta.Purposes[0] != "ads" {
+		t.Fatal("clone shares Purposes backing array")
+	}
+	if len(r.Meta.Objections) != 0 {
+		t.Fatal("clone shares Objections")
+	}
+}
+
+func TestExpired(t *testing.T) {
+	now := time.Date(2020, 6, 1, 12, 0, 0, 0, time.UTC)
+	cases := []struct {
+		name   string
+		expiry time.Time
+		want   bool
+	}{
+		{"zero expiry never expires", time.Time{}, false},
+		{"future", now.Add(time.Hour), false},
+		{"past", now.Add(-time.Hour), true},
+		{"exactly now counts as expired", now, true},
+	}
+	for _, c := range cases {
+		m := Metadata{Expiry: c.expiry}
+		if got := m.Expired(now); got != c.want {
+			t.Errorf("%s: Expired = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestMetadataPredicates(t *testing.T) {
+	m := Metadata{
+		Purposes:   []string{"ads"},
+		Objections: []string{"ads"},
+		Decisions:  []string{"credit-score"},
+		SharedWith: []string{"partner-a"},
+	}
+	if !m.HasPurpose("ads") || m.HasPurpose("2fa") {
+		t.Fatal("HasPurpose wrong")
+	}
+	if !m.Objects("ads") || m.Objects("2fa") {
+		t.Fatal("Objects wrong")
+	}
+	if !m.UsedForDecision("credit-score") || m.UsedForDecision("x") {
+		t.Fatal("UsedForDecision wrong")
+	}
+	if !m.SharedTo("partner-a") || m.SharedTo("partner-b") {
+		t.Fatal("SharedTo wrong")
+	}
+}
+
+func TestValuesPerAttribute(t *testing.T) {
+	r := sampleRecord()
+	if got := r.Meta.Values(AttrPurpose); len(got) != 2 {
+		t.Fatalf("PUR values = %v", got)
+	}
+	if got := r.Meta.Values(AttrUser); len(got) != 1 || got[0] != "neo" {
+		t.Fatalf("USR values = %v", got)
+	}
+	if got := r.Meta.Values(AttrObjection); got != nil {
+		t.Fatalf("OBJ values = %v, want nil", got)
+	}
+	if got := r.Meta.Values(AttrTTL); len(got) != 1 {
+		t.Fatalf("TTL values = %v", got)
+	}
+	if got := r.Meta.Values(Attribute("ZZZ")); got != nil {
+		t.Fatalf("unknown attr values = %v", got)
+	}
+	var empty Metadata
+	if got := empty.Values(AttrUser); got != nil {
+		t.Fatalf("empty USR = %v", got)
+	}
+	if got := empty.Values(AttrTTL); got != nil {
+		t.Fatalf("empty TTL = %v", got)
+	}
+	if got := empty.Values(AttrSource); got != nil {
+		t.Fatalf("empty SRC = %v", got)
+	}
+}
+
+func TestValidate(t *testing.T) {
+	good := sampleRecord()
+	if err := good.Validate(true); err != nil {
+		t.Fatalf("valid record rejected: %v", err)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(*Record)
+		strict bool
+	}{
+		{"empty key", func(r *Record) { r.Key = "" }, false},
+		{"semicolon in key", func(r *Record) { r.Key = "a;b" }, false},
+		{"comma in data", func(r *Record) { r.Data = "a,b" }, false},
+		{"non-ascii purpose", func(r *Record) { r.Meta.Purposes = []string{"Ω"} }, false},
+		{"control char user", func(r *Record) { r.Meta.User = "a\x01" }, false},
+		{"strict requires TTL", func(r *Record) { r.Meta.Expiry = time.Time{} }, true},
+		{"strict requires user", func(r *Record) { r.Meta.User = "" }, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			r := sampleRecord()
+			c.mutate(&r)
+			if err := r.Validate(c.strict); err == nil {
+				t.Fatalf("%s: expected error", c.name)
+			}
+		})
+	}
+
+	// Non-strict mode allows missing TTL/user.
+	r := sampleRecord()
+	r.Meta.Expiry = time.Time{}
+	r.Meta.User = ""
+	if err := r.Validate(false); err != nil {
+		t.Fatalf("lenient mode rejected record: %v", err)
+	}
+}
+
+func TestValidationErrorMessage(t *testing.T) {
+	r := sampleRecord()
+	r.Data = "a;b"
+	err := r.Validate(false)
+	if err == nil || !strings.Contains(err.Error(), "ph-1x4b") {
+		t.Fatalf("error should name the key: %v", err)
+	}
+}
+
+func TestSizes(t *testing.T) {
+	r := sampleRecord()
+	if r.DataSize() != len("123-456-7890") {
+		t.Fatalf("DataSize = %d", r.DataSize())
+	}
+	if r.WireSize() != len(Encode(r)) {
+		t.Fatalf("WireSize mismatch")
+	}
+	if r.MetadataSize() <= 0 {
+		t.Fatalf("MetadataSize = %d", r.MetadataSize())
+	}
+	if r.WireSize() != r.MetadataSize()+len(r.Key)+len(r.Data) {
+		t.Fatal("size identity broken")
+	}
+}
+
+func TestEqualSets(t *testing.T) {
+	if !EqualSets([]string{"a", "b"}, []string{"b", "a"}) {
+		t.Fatal("order should not matter")
+	}
+	if EqualSets([]string{"a"}, []string{"a", "a"}) {
+		t.Fatal("multiset lengths differ")
+	}
+	if !EqualSets(nil, nil) || !EqualSets(nil, []string{}) {
+		t.Fatal("empty sets should be equal")
+	}
+}
+
+func TestDeltaApply(t *testing.T) {
+	m := Metadata{Purposes: []string{"ads"}}
+	if err := (Delta{Attr: AttrPurpose, Op: DeltaAdd, Values: []string{"2fa", "ads"}}).Apply(&m); err != nil {
+		t.Fatal(err)
+	}
+	if !EqualSets(m.Purposes, []string{"ads", "2fa"}) {
+		t.Fatalf("after add: %v", m.Purposes)
+	}
+	if err := (Delta{Attr: AttrPurpose, Op: DeltaRemove, Values: []string{"ads"}}).Apply(&m); err != nil {
+		t.Fatal(err)
+	}
+	if !EqualSets(m.Purposes, []string{"2fa"}) {
+		t.Fatalf("after remove: %v", m.Purposes)
+	}
+	if err := (Delta{Attr: AttrObjection, Op: DeltaSet, Values: []string{"ads"}}).Apply(&m); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Objects("ads") {
+		t.Fatal("set objection lost")
+	}
+	exp := time.Date(2025, 1, 1, 0, 0, 0, 0, time.UTC)
+	if err := (Delta{Attr: AttrTTL, Op: DeltaSet, Expiry: exp}).Apply(&m); err != nil {
+		t.Fatal(err)
+	}
+	if !m.Expiry.Equal(exp) {
+		t.Fatalf("expiry = %v", m.Expiry)
+	}
+	if err := (Delta{Attr: AttrUser, Op: DeltaSet, Values: []string{"trinity"}}).Apply(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.User != "trinity" {
+		t.Fatalf("user = %q", m.User)
+	}
+	if err := (Delta{Attr: AttrSource, Op: DeltaSet, Values: []string{"3p"}}).Apply(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Source != "3p" {
+		t.Fatalf("source = %q", m.Source)
+	}
+}
+
+func TestDeltaApplyErrors(t *testing.T) {
+	var m Metadata
+	bad := []Delta{
+		{Attr: AttrUser, Op: DeltaAdd, Values: []string{"x"}},
+		{Attr: AttrUser, Op: DeltaSet, Values: []string{"x", "y"}},
+		{Attr: AttrSource, Op: DeltaRemove, Values: []string{"x"}},
+		{Attr: AttrTTL, Op: DeltaAdd},
+		{Attr: Attribute("NOPE"), Op: DeltaSet},
+		{Attr: AttrPurpose, Op: DeltaOp(99)},
+	}
+	for i, d := range bad {
+		if err := d.Apply(&m); err == nil {
+			t.Fatalf("delta %d (%s on %s) should fail", i, d.Op, d.Attr)
+		}
+	}
+}
+
+func TestDeltaRemoveToEmptyYieldsNil(t *testing.T) {
+	m := Metadata{Objections: []string{"ads"}}
+	if err := (Delta{Attr: AttrObjection, Op: DeltaRemove, Values: []string{"ads"}}).Apply(&m); err != nil {
+		t.Fatal(err)
+	}
+	if m.Objections != nil {
+		t.Fatalf("objections = %#v, want nil", m.Objections)
+	}
+}
+
+func TestSelectors(t *testing.T) {
+	r := sampleRecord()
+	r.Meta.Objections = []string{"profiling"}
+	r.Meta.Decisions = []string{"ranking"}
+	r.Meta.SharedWith = []string{"partner-a"}
+
+	cases := []struct {
+		sel  Selector
+		want bool
+	}{
+		{ByKey("ph-1x4b"), true},
+		{ByKey("nope"), false},
+		{ByUser("neo"), true},
+		{ByUser("smith"), false},
+		{ByPurpose("ads"), true},
+		{ByPurpose("telemetry"), false},
+		{ByObjection("profiling"), true},
+		{ByObjection("ads"), false},
+		{ByDecision("ranking"), true},
+		{ByDecision("pricing"), false},
+		{ByShare("partner-a"), true},
+		{ByShare("partner-b"), false},
+		{Selector{Attr: AttrSource, Value: "first-party"}, true},
+		{Selector{Attr: AttrSource, Value: "third-party"}, false},
+		{ByExpiredAt(r.Meta.Expiry.Add(time.Second)), true},
+		{ByExpiredAt(r.Meta.Expiry.Add(-time.Second)), false},
+		{Selector{Attr: Attribute("BOGUS")}, false},
+	}
+	for _, c := range cases {
+		if got := c.sel.Matches(r); got != c.want {
+			t.Errorf("selector %v: Matches = %v, want %v", c.sel, got, c.want)
+		}
+	}
+}
+
+func TestSelectorString(t *testing.T) {
+	if s := ByUser("neo").String(); s != "USR=neo" {
+		t.Fatalf("String = %q", s)
+	}
+	if s := ByExpiredAt(time.Unix(100, 0)).String(); !strings.Contains(s, "TTL<=") {
+		t.Fatalf("TTL selector string = %q", s)
+	}
+}
+
+func TestNotObjecting(t *testing.T) {
+	r := sampleRecord()
+	r.Meta.Objections = []string{"ads"}
+	if NotObjecting("ads")(r) {
+		t.Fatal("should object to ads")
+	}
+	if !NotObjecting("2fa")(r) {
+		t.Fatal("should not object to 2fa")
+	}
+}
+
+func TestParseKeyList(t *testing.T) {
+	if got := ParseKeyList(" a, b ,,c "); len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Fatalf("ParseKeyList = %v", got)
+	}
+	if got := ParseKeyList("  "); got != nil {
+		t.Fatalf("empty list = %v", got)
+	}
+}
+
+func TestDeltaOpString(t *testing.T) {
+	for op, want := range map[DeltaOp]string{DeltaSet: "set", DeltaAdd: "add", DeltaRemove: "remove", DeltaOp(42): "DeltaOp(42)"} {
+		if op.String() != want {
+			t.Fatalf("DeltaOp(%d).String = %q, want %q", int(op), op.String(), want)
+		}
+	}
+}

@@ -1,0 +1,272 @@
+package kvstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"os"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/securefs"
+)
+
+// The AOF records one command per securefs frame. A command is a list of
+// string arguments encoded as:
+//
+//	uvarint(argc) { uvarint(len) bytes }*
+//
+// Commands: SET key value, SETEX key value unixnano, EXPIREAT key unixnano
+// (unixnano 0 clears the TTL), DEL key, FLUSHALL, and — when read logging
+// is enabled — GET key / SCAN pattern, which replay as no-ops (they exist
+// for the audit trail, mirroring the paper's "log all interactions
+// including reads and scans" retrofit).
+
+// FsyncPolicy is Redis' appendfsync setting.
+type FsyncPolicy int
+
+// Fsync policies.
+const (
+	// FsyncNo leaves flushing to the OS.
+	FsyncNo FsyncPolicy = iota
+	// FsyncEverySec syncs at most once per second (Redis default; the
+	// configuration the paper benchmarks).
+	FsyncEverySec
+	// FsyncAlways syncs after every command.
+	FsyncAlways
+)
+
+func (p FsyncPolicy) String() string {
+	switch p {
+	case FsyncNo:
+		return "no"
+	case FsyncEverySec:
+		return "everysec"
+	case FsyncAlways:
+		return "always"
+	default:
+		return fmt.Sprintf("FsyncPolicy(%d)", int(p))
+	}
+}
+
+type aof struct {
+	file      *securefs.File
+	policy    FsyncPolicy
+	clk       clock.Clock
+	lastSync  time.Time
+	encrypted bool
+	buf       []byte // reused encode buffer; callers hold the store lock
+}
+
+func openAOF(path string, key []byte, policy FsyncPolicy, clk clock.Clock) (*aof, error) {
+	// A small write buffer makes AOF bytes reach the OS every few dozen
+	// commands, like Redis flushing aof_buf each event-loop iteration.
+	f, err := securefs.Append(path, securefs.Options{Key: key, BufferSize: 1 << 10})
+	if err != nil {
+		return nil, err
+	}
+	return &aof{file: f, policy: policy, clk: clk, lastSync: clk.Now(), encrypted: key != nil}, nil
+}
+
+func encodeCommand(buf []byte, args ...string) []byte {
+	buf = binary.AppendUvarint(buf[:0], uint64(len(args)))
+	for _, a := range args {
+		buf = binary.AppendUvarint(buf, uint64(len(a)))
+		buf = append(buf, a...)
+	}
+	return buf
+}
+
+func decodeCommand(p []byte) ([]string, error) {
+	argc, n := binary.Uvarint(p)
+	if n <= 0 || argc > 16 {
+		return nil, fmt.Errorf("kvstore: bad AOF command header")
+	}
+	p = p[n:]
+	args := make([]string, 0, argc)
+	for i := uint64(0); i < argc; i++ {
+		l, n := binary.Uvarint(p)
+		if n <= 0 || uint64(len(p)-n) < l {
+			return nil, fmt.Errorf("kvstore: truncated AOF argument")
+		}
+		args = append(args, string(p[n:n+int(l)]))
+		p = p[n+int(l):]
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("kvstore: trailing bytes in AOF command")
+	}
+	return args, nil
+}
+
+func (a *aof) append(args ...string) error {
+	a.buf = encodeCommand(a.buf, args...)
+	if err := a.file.AppendFrame(a.buf); err != nil {
+		return err
+	}
+	switch a.policy {
+	case FsyncAlways:
+		if err := a.file.Sync(); err != nil {
+			return err
+		}
+		a.lastSync = a.clk.Now()
+	case FsyncEverySec:
+		if now := a.clk.Now(); now.Sub(a.lastSync) >= time.Second {
+			if err := a.file.Sync(); err != nil {
+				return err
+			}
+			a.lastSync = now
+		}
+	}
+	return nil
+}
+
+func (a *aof) appendSet(key, value string, expireAt time.Time) error {
+	if expireAt.IsZero() {
+		return a.append("SET", key, value)
+	}
+	return a.append("SETEX", key, value, fmt.Sprintf("%d", expireAt.UnixNano()))
+}
+
+func (a *aof) appendDel(key string) error { return a.append("DEL", key) }
+
+func (a *aof) appendExpireAt(key string, t time.Time) error {
+	ns := int64(0)
+	if !t.IsZero() {
+		ns = t.UnixNano()
+	}
+	return a.append("EXPIREAT", key, fmt.Sprintf("%d", ns))
+}
+
+func (a *aof) appendFlushAll() error { return a.append("FLUSHALL") }
+
+func (a *aof) appendRead(op, key string) error { return a.append(op, key) }
+
+func (a *aof) sync() error { return a.file.Sync() }
+
+func (a *aof) size() (int64, error) { return a.file.Size() }
+
+func (a *aof) close() error { return a.file.Close() }
+
+// replayAOF rebuilds store state from the AOF at path. Missing files are
+// fine (fresh store). Read entries (GET/SCAN) replay as no-ops.
+func replayAOF(path string, key []byte, s *Store) error {
+	if _, err := os.Stat(path); os.IsNotExist(err) {
+		return nil
+	}
+	return securefs.Replay(path, securefs.Options{Key: key}, func(p []byte) error {
+		args, err := decodeCommand(p)
+		if err != nil {
+			return err
+		}
+		if len(args) == 0 {
+			return fmt.Errorf("kvstore: empty AOF command")
+		}
+		switch args[0] {
+		case "SET":
+			if len(args) != 3 {
+				return fmt.Errorf("kvstore: bad SET arity %d", len(args))
+			}
+			s.setLocked(args[1], args[2], time.Time{})
+		case "SETEX":
+			if len(args) != 4 {
+				return fmt.Errorf("kvstore: bad SETEX arity %d", len(args))
+			}
+			ns, err := parseInt64(args[3])
+			if err != nil {
+				return err
+			}
+			s.setLocked(args[1], args[2], time.Unix(0, ns))
+		case "DEL":
+			if len(args) != 2 {
+				return fmt.Errorf("kvstore: bad DEL arity %d", len(args))
+			}
+			s.deleteLocked(args[1])
+		case "EXPIREAT":
+			if len(args) != 3 {
+				return fmt.Errorf("kvstore: bad EXPIREAT arity %d", len(args))
+			}
+			ns, err := parseInt64(args[2])
+			if err != nil {
+				return err
+			}
+			if e, ok := s.dict[args[1]]; ok {
+				if ns == 0 {
+					e.expireAt = time.Time{}
+					delete(s.expires, args[1])
+				} else {
+					e.expireAt = time.Unix(0, ns)
+					s.expires[args[1]] = struct{}{}
+				}
+			}
+		case "FLUSHALL":
+			s.dict = make(map[string]*entry)
+			s.expires = make(map[string]struct{})
+			s.keySlice = nil
+			s.keyPos = make(map[string]int)
+			s.bytes = 0
+		case "GET", "SCAN":
+			// Read audit entries: no state change.
+		default:
+			return fmt.Errorf("kvstore: unknown AOF command %q", args[0])
+		}
+		return nil
+	})
+}
+
+func parseInt64(s string) (int64, error) {
+	var v int64
+	if _, err := fmt.Sscanf(s, "%d", &v); err != nil {
+		return 0, fmt.Errorf("kvstore: bad integer %q: %w", s, err)
+	}
+	return v, nil
+}
+
+// Rewrite compacts the AOF: the current dataset is written as a fresh
+// sequence of SET/SETEX commands to path+".rewrite", which then atomically
+// replaces the live AOF (Redis' BGREWRITEAOF, done in the foreground).
+func (s *Store) Rewrite() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.aof == nil {
+		return fmt.Errorf("kvstore: no AOF to rewrite")
+	}
+	if s.closed {
+		return errClosed
+	}
+	path := s.aof.file.Path()
+	tmp := path + ".rewrite"
+	key := s.aofKey
+	encrypted := s.aof.encrypted
+	nf, err := securefs.Create(tmp, securefs.Options{Key: key})
+	if err != nil {
+		return err
+	}
+	var buf []byte
+	for _, k := range s.keySlice {
+		e := s.dict[k]
+		if e.expireAt.IsZero() {
+			buf = encodeCommand(buf, "SET", k, e.value)
+		} else {
+			buf = encodeCommand(buf, "SETEX", k, e.value, fmt.Sprintf("%d", e.expireAt.UnixNano()))
+		}
+		if err := nf.AppendFrame(buf); err != nil {
+			nf.Close()
+			return err
+		}
+	}
+	if err := nf.Close(); err != nil {
+		return err
+	}
+	if err := s.aof.close(); err != nil {
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		return err
+	}
+	na, err := openAOF(path, key, s.aof.policy, s.clk)
+	if err != nil {
+		return err
+	}
+	na.encrypted = encrypted
+	s.aof = na
+	return nil
+}

@@ -1,0 +1,177 @@
+package kvstore
+
+import (
+	"time"
+)
+
+// This file implements active TTL expiry: the native lazy probabilistic
+// cycle (Redis' activeExpireCycle, whose erasure delay Figure 3a measures)
+// and the paper's strict full-scan modification (§5.1, which brings
+// erasure down to "sub-second latency for sizes of up to 1 million keys").
+
+// CycleStats reports what one expiry cycle did.
+type CycleStats struct {
+	// Sampled is how many keys the cycle examined.
+	Sampled int
+	// Expired is how many keys the cycle deleted.
+	Expired int
+	// Iterations is how many sample rounds ran (lazy mode repeats while
+	// ≥ expireRepeatThreshold of a round's samples were expired).
+	Iterations int
+}
+
+// CycleOnce runs one active-expiry cycle at the store's current time using
+// the configured mode, and reports what it did. The experiment harness
+// drives this from a simulated clock; ServeExpiry drives it in real time.
+func (s *Store) CycleOnce() CycleStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clk.Now()
+	switch s.mode {
+	case ExpiryStrict:
+		return s.strictCycleLocked(now)
+	default:
+		return s.lazyCycleLocked(now)
+	}
+}
+
+// lazyCycleLocked is Redis' algorithm: sample expireSampleSize keys from
+// the expires set; delete the expired ones; if at least
+// expireRepeatThreshold were expired, repeat immediately, else stop.
+func (s *Store) lazyCycleLocked(now time.Time) CycleStats {
+	var st CycleStats
+	for st.Iterations < expireMaxIterations {
+		st.Iterations++
+		sampled, expired := 0, 0
+		// Go's map iteration order is randomized per range, which gives
+		// us the random sampling the algorithm requires without extra
+		// bookkeeping (Redis uses dictGetRandomKey).
+		var victims []string
+		for k := range s.expires {
+			sampled++
+			if e, ok := s.dict[k]; ok && !e.expireAt.IsZero() && !e.expireAt.After(now) {
+				victims = append(victims, k)
+			}
+			if sampled >= expireSampleSize {
+				break
+			}
+		}
+		for _, k := range victims {
+			if s.deleteLocked(k) {
+				expired++
+			}
+		}
+		st.Sampled += sampled
+		st.Expired += expired
+		if s.aof != nil {
+			for _, k := range victims {
+				_ = s.aof.appendDel(k)
+			}
+		}
+		// Stop when the expired density of this round fell below the
+		// repeat threshold, or nothing is left to sample.
+		if expired < expireRepeatThreshold || len(s.expires) == 0 {
+			break
+		}
+	}
+	return st
+}
+
+// strictCycleLocked is the paper's modification: iterate the entire
+// expires set and delete everything that is due.
+func (s *Store) strictCycleLocked(now time.Time) CycleStats {
+	var st CycleStats
+	st.Iterations = 1
+	var victims []string
+	for k := range s.expires {
+		st.Sampled++
+		if e, ok := s.dict[k]; ok && !e.expireAt.IsZero() && !e.expireAt.After(now) {
+			victims = append(victims, k)
+		}
+	}
+	for _, k := range victims {
+		if s.deleteLocked(k) {
+			st.Expired++
+			if s.aof != nil {
+				_ = s.aof.appendDel(k)
+			}
+		}
+	}
+	return st
+}
+
+// StartExpiry launches the background expiry loop: one cycle every
+// ExpireCyclePeriod on the store's clock, until StopExpiry or Close.
+// Calling it twice is a no-op while a loop is running.
+func (s *Store) StartExpiry() {
+	s.mu.Lock()
+	if s.closed || s.stopExpiry != nil {
+		s.mu.Unlock()
+		return
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	s.stopExpiry = stop
+	s.expiryDone = done
+	clk := s.clk
+	s.mu.Unlock()
+
+	go func() {
+		defer close(done)
+		for {
+			timer := clk.After(ExpireCyclePeriod)
+			select {
+			case <-stop:
+				return
+			case <-timer:
+				s.CycleOnce()
+			}
+		}
+	}()
+}
+
+// StopExpiry stops the background expiry loop, waiting for it to exit.
+func (s *Store) StopExpiry() {
+	s.mu.Lock()
+	stop := s.stopExpiry
+	done := s.expiryDone
+	s.stopExpiry = nil
+	s.expiryDone = nil
+	s.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// ExpiredKeys returns the keys whose TTL has passed but which are still
+// present; the controller's DELETE-RECORD-BY-TTL purge deletes them.
+func (s *Store) ExpiredKeys() []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clk.Now()
+	var out []string
+	for k := range s.expires {
+		if e, ok := s.dict[k]; ok && !e.expireAt.IsZero() && !e.expireAt.After(now) {
+			out = append(out, k)
+		}
+	}
+	return out
+}
+
+// ExpiredRemaining counts keys whose TTL has passed but which are still
+// present (not yet reaped). The Figure 3a experiment polls this to measure
+// erasure delay.
+func (s *Store) ExpiredRemaining() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clk.Now()
+	n := 0
+	for k := range s.expires {
+		if e, ok := s.dict[k]; ok && !e.expireAt.IsZero() && !e.expireAt.After(now) {
+			n++
+		}
+	}
+	return n
+}

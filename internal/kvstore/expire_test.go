@@ -1,0 +1,261 @@
+package kvstore
+
+import (
+	"fmt"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// populateWithTTLs loads the store with total keys: shortFrac of them
+// expire at now+short, the rest at now+long — the Figure 3a setup ("20% of
+// the keys will expire in short-term (5 minutes) and 80% in the long-term
+// (5 days)").
+func populateWithTTLs(t testing.TB, s *Store, sim *clock.Sim, total int, shortFrac float64, short, long time.Duration) int {
+	t.Helper()
+	now := sim.Now()
+	nShort := int(float64(total) * shortFrac)
+	for i := 0; i < total; i++ {
+		exp := now.Add(long)
+		if i < nShort {
+			exp = now.Add(short)
+		}
+		if err := s.SetWithExpiry(fmt.Sprintf("key-%d", i), "payload", exp); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return nShort
+}
+
+// eraseDelay advances virtual time in expiry-cycle steps until no expired
+// keys remain, returning the virtual time elapsed since the short TTLs
+// became due. maxVirtual caps the simulation.
+func eraseDelay(s *Store, sim *clock.Sim, short, maxVirtual time.Duration) (time.Duration, bool) {
+	sim.Advance(short) // jump to the instant the short-term keys expire
+	start := sim.Now()
+	for sim.Since(start) < maxVirtual {
+		sim.Advance(ExpireCyclePeriod)
+		s.CycleOnce()
+		if s.ExpiredRemaining() == 0 {
+			return sim.Since(start), true
+		}
+	}
+	return sim.Since(start), false
+}
+
+func TestLazyCycleDeletesOnlyExpired(t *testing.T) {
+	sim := clock.NewSim(time.Time{})
+	s := memStore(t, sim)
+	populateWithTTLs(t, s, sim, 100, 0.2, time.Minute, time.Hour)
+	sim.Advance(2 * time.Minute)
+	// Run plenty of cycles; all short-term keys must go, all long-term stay.
+	for i := 0; i < 200; i++ {
+		s.CycleOnce()
+	}
+	if got := s.ExpiredRemaining(); got != 0 {
+		t.Fatalf("expired remaining = %d", got)
+	}
+	if got := s.DBSize(); got != 80 {
+		t.Fatalf("DBSize = %d, want 80 long-term keys", got)
+	}
+}
+
+func TestStrictCycleErasesAllInOneCycle(t *testing.T) {
+	sim := clock.NewSim(time.Time{})
+	s, err := Open(Config{Clock: sim, ExpiryMode: ExpiryStrict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	populateWithTTLs(t, s, sim, 10_000, 0.2, time.Minute, time.Hour)
+	sim.Advance(2 * time.Minute)
+	st := s.CycleOnce()
+	if st.Expired != 2000 {
+		t.Fatalf("strict cycle expired %d, want 2000", st.Expired)
+	}
+	if st.Sampled != 10_000 {
+		t.Fatalf("strict cycle sampled %d, want all 10000", st.Sampled)
+	}
+	if s.ExpiredRemaining() != 0 {
+		t.Fatal("strict cycle left expired keys")
+	}
+	if s.DBSize() != 8000 {
+		t.Fatalf("DBSize = %d", s.DBSize())
+	}
+}
+
+// TestStrictExpirySubSecond is µ1 from DESIGN.md: the paper verifies "all
+// the expired keys are erased within sub-second latency for sizes of up to
+// 1 million keys". One strict cycle runs every 100ms, so erasure latency is
+// at most one cycle period + cycle runtime; we check a 100k store clears in
+// a single cycle and that the cycle's real runtime is well under a second.
+func TestStrictExpirySubSecond(t *testing.T) {
+	sim := clock.NewSim(time.Time{})
+	s, err := Open(Config{Clock: sim, ExpiryMode: ExpiryStrict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	populateWithTTLs(t, s, sim, 100_000, 0.2, 5*time.Minute, 5*24*time.Hour)
+	sim.Advance(5*time.Minute + time.Second)
+	wallStart := time.Now()
+	s.CycleOnce()
+	wall := time.Since(wallStart)
+	if s.ExpiredRemaining() != 0 {
+		t.Fatal("expired keys remain after one strict cycle")
+	}
+	if wall > time.Second {
+		t.Fatalf("strict cycle took %v on 100k keys, want < 1s", wall)
+	}
+}
+
+// TestLazyErasureDelayGrowsWithDBSize is the Figure 3a shape: with a fixed
+// 20% short-TTL fraction, erasure delay under the lazy algorithm grows
+// superlinearly as total keys grow, while the strict mode stays at one
+// cycle.
+func TestLazyErasureDelayGrowsWithDBSize(t *testing.T) {
+	if testing.Short() {
+		t.Skip("simulation heavy")
+	}
+	sizes := []int{1000, 4000, 16000}
+	var delays []time.Duration
+	for _, n := range sizes {
+		sim := clock.NewSim(time.Time{})
+		s, err := Open(Config{Clock: sim, ExpiryMode: ExpiryLazy})
+		if err != nil {
+			t.Fatal(err)
+		}
+		populateWithTTLs(t, s, sim, n, 0.2, 5*time.Minute, 5*24*time.Hour)
+		d, done := eraseDelay(s, sim, 5*time.Minute, 10*time.Hour)
+		if !done {
+			t.Fatalf("n=%d: erasure did not complete within 10h virtual", n)
+		}
+		delays = append(delays, d)
+		s.Close()
+	}
+	t.Logf("lazy erasure delays: %v for sizes %v", delays, sizes)
+	for i := 1; i < len(delays); i++ {
+		if delays[i] <= delays[i-1] {
+			t.Fatalf("delay did not grow: %v then %v", delays[i-1], delays[i])
+		}
+	}
+	// 4x size should be >2x delay (superlinear-ish growth like Fig 3a).
+	if float64(delays[2]) < 2*float64(delays[1]) {
+		t.Fatalf("growth too shallow: %v vs %v", delays[1], delays[2])
+	}
+}
+
+func TestCycleStatsIterationsRepeatOnDenseExpiry(t *testing.T) {
+	sim := clock.NewSim(time.Time{})
+	s := memStore(t, sim)
+	// All keys expired: the lazy loop must repeat (iterations > 1).
+	populateWithTTLs(t, s, sim, 200, 1.0, time.Minute, time.Minute)
+	sim.Advance(2 * time.Minute)
+	st := s.CycleOnce()
+	if st.Iterations <= 1 {
+		t.Fatalf("iterations = %d, want > 1 on dense expiry", st.Iterations)
+	}
+	if st.Expired == 0 {
+		t.Fatal("nothing expired")
+	}
+}
+
+func TestCycleNoTTLKeysIsCheap(t *testing.T) {
+	s := memStore(t, nil)
+	for i := 0; i < 100; i++ {
+		s.Set(fmt.Sprintf("k%d", i), "v")
+	}
+	st := s.CycleOnce()
+	if st.Sampled != 0 || st.Expired != 0 {
+		t.Fatalf("cycle on TTL-free store did work: %+v", st)
+	}
+}
+
+func TestBackgroundExpiryLoop(t *testing.T) {
+	// Real clock; short TTLs.
+	s, err := Open(Config{ExpiryMode: ExpiryStrict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	for i := 0; i < 100; i++ {
+		s.SetWithExpiry(fmt.Sprintf("k%d", i), "v", time.Now().Add(50*time.Millisecond))
+	}
+	s.StartExpiry()
+	s.StartExpiry() // second start is a no-op
+	deadline := time.Now().Add(5 * time.Second)
+	for s.DBSize() > 0 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if got := s.DBSize(); got != 0 {
+		t.Fatalf("background expiry left %d keys", got)
+	}
+	s.StopExpiry()
+	s.StopExpiry() // idempotent
+}
+
+func TestExpiryModeString(t *testing.T) {
+	if ExpiryLazy.String() != "lazy" || ExpiryStrict.String() != "strict" {
+		t.Fatal("mode strings wrong")
+	}
+	if ExpiryMode(9).String() != "ExpiryMode(9)" {
+		t.Fatal("unknown mode string wrong")
+	}
+	if FsyncNo.String() != "no" || FsyncEverySec.String() != "everysec" || FsyncAlways.String() != "always" {
+		t.Fatal("fsync strings wrong")
+	}
+	if FsyncPolicy(9).String() != "FsyncPolicy(9)" {
+		t.Fatal("unknown fsync string wrong")
+	}
+}
+
+func TestLazyExpiryWritesDeletesToAOF(t *testing.T) {
+	dir := t.TempDir()
+	path := dir + "/expire.aof"
+	sim := clock.NewSim(time.Time{})
+	s, err := Open(Config{Clock: sim, AOFPath: path, ExpiryMode: ExpiryStrict})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.SetWithExpiry("gone", "v", sim.Now().Add(time.Second))
+	s.Set("stays", "v")
+	sim.Advance(time.Minute)
+	s.CycleOnce()
+	s.Close()
+	// Replay: the expiry deletion must be durable.
+	s2, err := Open(Config{Clock: sim, AOFPath: path})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if s2.Exists("gone") {
+		t.Fatal("expired key survived replay")
+	}
+	if !s2.Exists("stays") {
+		t.Fatal("live key lost")
+	}
+}
+
+func BenchmarkLazyCycle100k(b *testing.B) {
+	sim := clock.NewSim(time.Time{})
+	s, _ := Open(Config{Clock: sim, ExpiryMode: ExpiryLazy})
+	defer s.Close()
+	populateWithTTLs(b, s, sim, 100_000, 0.2, 5*time.Minute, 5*24*time.Hour)
+	sim.Advance(5*time.Minute + time.Second)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.CycleOnce()
+	}
+}
+
+func BenchmarkStrictCycle100k(b *testing.B) {
+	sim := clock.NewSim(time.Time{})
+	s, _ := Open(Config{Clock: sim, ExpiryMode: ExpiryStrict})
+	defer s.Close()
+	populateWithTTLs(b, s, sim, 100_000, 0.0, time.Minute, 5*24*time.Hour)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.CycleOnce()
+	}
+}

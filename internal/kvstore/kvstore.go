@@ -1,0 +1,524 @@
+// Package kvstore is a from-scratch, in-memory key-value store modeled on
+// Redis v5.0, the NoSQL system the paper retrofits (§5.1). It reproduces
+// the Redis properties the paper's measurements depend on:
+//
+//   - a single-threaded command core (one mutex serializes all commands,
+//     preserving Redis' contention profile under multi-threaded clients);
+//   - an append-only file (AOF) for persistence with the appendfsync
+//     spectrum (always / everysec / no), optionally encrypted at rest;
+//   - the lazy probabilistic TTL algorithm ("once every 100ms, it samples
+//     20 random keys from the set of keys with expire flag set; if any of
+//     these twenty have expired, they are actively deleted; if less than 5
+//     keys got deleted, then wait till the next iteration, else repeat the
+//     loop immediately") plus the paper's strict modification that scans
+//     the entire expires set;
+//   - lazy deletion of expired keys on access;
+//   - no secondary indexes: attribute lookups are O(n) scans, which is
+//     what makes GDPR metadata queries slow on Redis (§6.2).
+package kvstore
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// ExpiryMode selects the active-expiry algorithm.
+type ExpiryMode int
+
+// Expiry modes.
+const (
+	// ExpiryLazy is Redis' native probabilistic sampler.
+	ExpiryLazy ExpiryMode = iota
+	// ExpiryStrict is the paper's modification: every cycle iterates the
+	// entire set of keys with an expiry ("we modify Redis to iterate
+	// through the entire list of keys with associated EXPIRE").
+	ExpiryStrict
+)
+
+func (m ExpiryMode) String() string {
+	switch m {
+	case ExpiryLazy:
+		return "lazy"
+	case ExpiryStrict:
+		return "strict"
+	default:
+		return fmt.Sprintf("ExpiryMode(%d)", int(m))
+	}
+}
+
+// Lazy-expiry constants, straight from Redis' activeExpireCycle.
+const (
+	// ExpireCyclePeriod is the interval between cycles.
+	ExpireCyclePeriod = 100 * time.Millisecond
+	// expireSampleSize keys are sampled per iteration.
+	expireSampleSize = 20
+	// expireRepeatThreshold: if at least this many sampled keys were
+	// expired, the loop repeats immediately.
+	expireRepeatThreshold = 5
+	// expireMaxIterations bounds a single cycle so a strict-heavy cycle
+	// cannot spin forever inside one lock hold.
+	expireMaxIterations = 1000
+)
+
+// Config configures a Store.
+type Config struct {
+	// Clock supplies time; defaults to the real clock.
+	Clock clock.Clock
+	// AOFPath enables append-only-file persistence when non-empty.
+	AOFPath string
+	// AOFSync is the fsync policy for the AOF.
+	AOFSync FsyncPolicy
+	// EncryptionKey encrypts the AOF at rest (the LUKS substitution).
+	EncryptionKey []byte
+	// LogReads extends the AOF to record read operations too — the
+	// paper's monitoring retrofit ("we update its internal logic to log
+	// all interactions including reads and scans"). Requires AOFPath.
+	LogReads bool
+	// ExpiryMode selects lazy (native) or strict (retrofit) expiry.
+	ExpiryMode ExpiryMode
+}
+
+type entry struct {
+	value    string
+	expireAt time.Time // zero when the key has no TTL
+}
+
+// Store is the key-value engine. All commands are safe for concurrent use;
+// like Redis, they execute one at a time.
+type Store struct {
+	mu   sync.Mutex
+	dict map[string]*entry
+	// expires tracks the keys carrying a TTL (Redis' "expires" dict).
+	expires map[string]struct{}
+	// keyOrder supports cursor scans and random sampling without
+	// rehashing; index is the key's position in keySlice.
+	keySlice []string
+	keyPos   map[string]int
+
+	clk      clock.Clock
+	aof      *aof
+	aofKey   []byte
+	logReads bool
+	mode     ExpiryMode
+
+	bytes int64 // sum of key+value bytes currently stored
+
+	stopExpiry chan struct{}
+	expiryDone chan struct{}
+	closed     bool
+}
+
+// Open creates a Store. If cfg.AOFPath exists, its commands are replayed
+// to rebuild state before the store accepts commands.
+func Open(cfg Config) (*Store, error) {
+	s := &Store{
+		dict:     make(map[string]*entry),
+		expires:  make(map[string]struct{}),
+		keyPos:   make(map[string]int),
+		clk:      cfg.Clock,
+		logReads: cfg.LogReads,
+		mode:     cfg.ExpiryMode,
+	}
+	if s.clk == nil {
+		s.clk = clock.NewReal()
+	}
+	if cfg.LogReads && cfg.AOFPath == "" {
+		return nil, fmt.Errorf("kvstore: LogReads requires an AOF path")
+	}
+	if cfg.AOFPath != "" {
+		if err := replayAOF(cfg.AOFPath, cfg.EncryptionKey, s); err != nil {
+			return nil, err
+		}
+		a, err := openAOF(cfg.AOFPath, cfg.EncryptionKey, cfg.AOFSync, s.clk)
+		if err != nil {
+			return nil, err
+		}
+		s.aof = a
+		s.aofKey = cfg.EncryptionKey
+	}
+	return s, nil
+}
+
+// ---------------------------------------------------------------------------
+// internal helpers (callers hold s.mu)
+
+func (s *Store) addKeyLocked(key string) {
+	if _, ok := s.keyPos[key]; ok {
+		return
+	}
+	s.keyPos[key] = len(s.keySlice)
+	s.keySlice = append(s.keySlice, key)
+}
+
+func (s *Store) removeKeyLocked(key string) {
+	pos, ok := s.keyPos[key]
+	if !ok {
+		return
+	}
+	last := len(s.keySlice) - 1
+	moved := s.keySlice[last]
+	s.keySlice[pos] = moved
+	s.keyPos[moved] = pos
+	s.keySlice = s.keySlice[:last]
+	delete(s.keyPos, key)
+}
+
+func (s *Store) setLocked(key, value string, expireAt time.Time) {
+	if old, ok := s.dict[key]; ok {
+		s.bytes -= int64(len(key) + len(old.value))
+		if !old.expireAt.IsZero() {
+			delete(s.expires, key)
+		}
+	} else {
+		s.addKeyLocked(key)
+	}
+	s.dict[key] = &entry{value: value, expireAt: expireAt}
+	s.bytes += int64(len(key) + len(value))
+	if !expireAt.IsZero() {
+		s.expires[key] = struct{}{}
+	}
+}
+
+func (s *Store) deleteLocked(key string) bool {
+	e, ok := s.dict[key]
+	if !ok {
+		return false
+	}
+	s.bytes -= int64(len(key) + len(e.value))
+	delete(s.dict, key)
+	delete(s.expires, key)
+	s.removeKeyLocked(key)
+	return true
+}
+
+// expireIfDueLocked performs Redis-style lazy deletion on access.
+func (s *Store) expireIfDueLocked(key string, now time.Time) bool {
+	e, ok := s.dict[key]
+	if !ok {
+		return false
+	}
+	if e.expireAt.IsZero() || e.expireAt.After(now) {
+		return false
+	}
+	s.deleteLocked(key)
+	return true
+}
+
+// ---------------------------------------------------------------------------
+// commands
+
+// Set stores value under key with no TTL, logging to the AOF if enabled.
+func (s *Store) Set(key, value string) error {
+	return s.SetWithExpiry(key, value, time.Time{})
+}
+
+// SetWithExpiry stores value under key; a non-zero expireAt arms a TTL.
+func (s *Store) SetWithExpiry(key, value string, expireAt time.Time) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	s.setLocked(key, value, expireAt)
+	if s.aof != nil {
+		return s.aof.appendSet(key, value, expireAt)
+	}
+	return nil
+}
+
+// Get returns the value for key. Expired keys are deleted on access and
+// reported as missing.
+func (s *Store) Get(key string) (string, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return "", false
+	}
+	now := s.clk.Now()
+	if s.expireIfDueLocked(key, now) {
+		s.maybeLogReadLocked("GET", key)
+		return "", false
+	}
+	e, ok := s.dict[key]
+	if !ok {
+		s.maybeLogReadLocked("GET", key)
+		return "", false
+	}
+	s.maybeLogReadLocked("GET", key)
+	return e.value, true
+}
+
+func (s *Store) maybeLogReadLocked(op, key string) {
+	if s.logReads && s.aof != nil {
+		// Read logging failures do not fail the read (Redis' AOF write
+		// errors are handled out-of-band); they surface on Sync/Close.
+		_ = s.aof.appendRead(op, key)
+	}
+}
+
+// Update atomically applies fn to the current value and expiry of key
+// under the store lock, storing the result. It returns false if the key
+// is missing or expired. fn must not call back into the store. If fn
+// returns an error, the key is left unchanged and the error is returned.
+func (s *Store) Update(key string, fn func(value string, expireAt time.Time) (string, time.Time, error)) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false, errClosed
+	}
+	now := s.clk.Now()
+	if s.expireIfDueLocked(key, now) {
+		return false, nil
+	}
+	e, ok := s.dict[key]
+	if !ok {
+		return false, nil
+	}
+	newValue, newExpiry, err := fn(e.value, e.expireAt)
+	if err != nil {
+		return false, err
+	}
+	s.setLocked(key, newValue, newExpiry)
+	if s.aof != nil {
+		return true, s.aof.appendSet(key, newValue, newExpiry)
+	}
+	return true, nil
+}
+
+// Del removes the given keys, returning how many existed.
+func (s *Store) Del(keys ...string) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return 0, errClosed
+	}
+	n := 0
+	for _, k := range keys {
+		if s.deleteLocked(k) {
+			n++
+			if s.aof != nil {
+				if err := s.aof.appendDel(k); err != nil {
+					return n, err
+				}
+			}
+		}
+	}
+	return n, nil
+}
+
+// Exists reports whether key is present and unexpired.
+func (s *Store) Exists(key string) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.expireIfDueLocked(key, s.clk.Now()) {
+		return false
+	}
+	_, ok := s.dict[key]
+	return ok
+}
+
+// ExpireAt arms a TTL on an existing key. It reports whether the key exists.
+func (s *Store) ExpireAt(key string, t time.Time) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false, errClosed
+	}
+	e, ok := s.dict[key]
+	if !ok {
+		return false, nil
+	}
+	e.expireAt = t
+	if t.IsZero() {
+		delete(s.expires, key)
+	} else {
+		s.expires[key] = struct{}{}
+	}
+	if s.aof != nil {
+		return true, s.aof.appendExpireAt(key, t)
+	}
+	return true, nil
+}
+
+// TTL returns the remaining lifetime of key. ok is false if the key does
+// not exist; a zero duration with ok=true means no TTL is set.
+func (s *Store) TTL(key string) (time.Duration, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clk.Now()
+	if s.expireIfDueLocked(key, now) {
+		return 0, false
+	}
+	e, ok := s.dict[key]
+	if !ok {
+		return 0, false
+	}
+	if e.expireAt.IsZero() {
+		return 0, true
+	}
+	return e.expireAt.Sub(now), true
+}
+
+// Persist removes the TTL from key, reporting whether a TTL was removed.
+func (s *Store) Persist(key string) (bool, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return false, errClosed
+	}
+	e, ok := s.dict[key]
+	if !ok || e.expireAt.IsZero() {
+		return false, nil
+	}
+	e.expireAt = time.Time{}
+	delete(s.expires, key)
+	if s.aof != nil {
+		return true, s.aof.appendExpireAt(key, time.Time{})
+	}
+	return true, nil
+}
+
+// DBSize returns the number of keys (including not-yet-expired ones).
+func (s *Store) DBSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.dict)
+}
+
+// ExpiresSize returns the number of keys carrying a TTL.
+func (s *Store) ExpiresSize() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.expires)
+}
+
+// MemoryBytes approximates Redis' used-memory for the dataset: the sum of
+// key and value bytes currently stored. It feeds the space-overhead metric.
+func (s *Store) MemoryBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.bytes
+}
+
+// ForEach invokes fn for every live (unexpired) key under the store lock,
+// stopping early if fn returns false. This is the engine's only way to
+// evaluate attribute predicates — the O(n) scan the paper attributes to
+// Redis' lack of secondary indexes. Expired-but-unreaped keys are skipped
+// (and counted) but not deleted, since fn must not mutate during iteration.
+func (s *Store) ForEach(fn func(key, value string, expireAt time.Time) bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	now := s.clk.Now()
+	for _, k := range s.keySlice {
+		e := s.dict[k]
+		if !e.expireAt.IsZero() && !e.expireAt.After(now) {
+			continue
+		}
+		if !fn(k, e.value, e.expireAt) {
+			break
+		}
+	}
+	if s.logReads && s.aof != nil {
+		_ = s.aof.appendRead("SCAN", "*")
+	}
+}
+
+// Scan returns up to count keys starting at cursor, plus the next cursor
+// (0 when the iteration completed). Like Redis SCAN it guarantees that
+// keys present for the whole scan are returned at least once.
+func (s *Store) Scan(cursor, count int) ([]string, int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if cursor < 0 || cursor >= len(s.keySlice) {
+		s.maybeLogReadLocked("SCAN", "*")
+		return nil, 0
+	}
+	end := cursor + count
+	if end > len(s.keySlice) {
+		end = len(s.keySlice)
+	}
+	out := append([]string(nil), s.keySlice[cursor:end]...)
+	next := end
+	if next >= len(s.keySlice) {
+		next = 0
+	}
+	s.maybeLogReadLocked("SCAN", "*")
+	return out, next
+}
+
+// FlushAll removes all keys.
+func (s *Store) FlushAll() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	s.dict = make(map[string]*entry)
+	s.expires = make(map[string]struct{})
+	s.keySlice = nil
+	s.keyPos = make(map[string]int)
+	s.bytes = 0
+	if s.aof != nil {
+		return s.aof.appendFlushAll()
+	}
+	return nil
+}
+
+// Info returns server facts, GET-SYSTEM-FEATURES style.
+func (s *Store) Info() map[string]string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	info := map[string]string{
+		"engine":      "kvstore (redis-model)",
+		"keys":        fmt.Sprintf("%d", len(s.dict)),
+		"expires":     fmt.Sprintf("%d", len(s.expires)),
+		"expiry_mode": s.mode.String(),
+		"aof":         "off",
+		"log_reads":   fmt.Sprintf("%v", s.logReads),
+	}
+	if s.aof != nil {
+		info["aof"] = s.aof.policy.String()
+		info["aof_encrypted"] = fmt.Sprintf("%v", s.aof.encrypted)
+	}
+	return info
+}
+
+// Sync flushes the AOF to stable storage.
+func (s *Store) Sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.aof == nil {
+		return nil
+	}
+	return s.aof.sync()
+}
+
+// AOFSize returns the AOF's on-disk size in bytes (0 without an AOF).
+func (s *Store) AOFSize() (int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.aof == nil {
+		return 0, nil
+	}
+	return s.aof.size()
+}
+
+// Close stops background expiry and closes the AOF. Close is idempotent.
+func (s *Store) Close() error {
+	s.StopExpiry()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.aof != nil {
+		return s.aof.close()
+	}
+	return nil
+}
+
+var errClosed = fmt.Errorf("kvstore: store is closed")

@@ -1,0 +1,602 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/audit"
+	"repro/internal/clock"
+	"repro/internal/wal"
+)
+
+// Config configures a DB.
+type Config struct {
+	// Clock supplies time; defaults to the real clock.
+	Clock clock.Clock
+	// WALPath enables write-ahead logging and crash recovery.
+	WALPath string
+	// WALSync is the WAL sync policy.
+	WALSync wal.SyncPolicy
+	// EncryptionKey encrypts the WAL at rest (the LUKS substitution).
+	EncryptionKey []byte
+	// Audit receives csvlog-style statement/response entries when
+	// LogStatements is set.
+	Audit *audit.Log
+	// LogStatements enables statement + response logging for every
+	// operation, reads included (the paper's PostgreSQL monitoring
+	// retrofit: csvlog plus a row-level-security policy recording query
+	// responses).
+	LogStatements bool
+}
+
+// DB is the relational engine: a set of tables behind one lock, with
+// write-ahead logging and optional statement logging. All methods are
+// safe for concurrent use.
+type DB struct {
+	mu     sync.Mutex
+	tables map[string]*Table
+	clk    clock.Clock
+	wal    *wal.WAL
+	cfg    Config
+
+	ttlStop chan struct{}
+	ttlDone chan struct{}
+	closed  bool
+}
+
+// Open creates a DB. If cfg.WALPath holds a log from a previous run, the
+// caller must register the same schemas (CreateTable) and then call
+// Recover before issuing operations.
+func Open(cfg Config) (*DB, error) {
+	db := &DB{tables: make(map[string]*Table), clk: cfg.Clock, cfg: cfg}
+	if db.clk == nil {
+		db.clk = clock.NewReal()
+	}
+	return db, nil
+}
+
+// CreateTable registers a table.
+func (db *DB) CreateTable(s Schema) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return errDBClosed
+	}
+	if _, ok := db.tables[s.Name]; ok {
+		return fmt.Errorf("relstore: table %s already exists", s.Name)
+	}
+	t, err := newTable(s)
+	if err != nil {
+		return err
+	}
+	db.tables[s.Name] = t
+	return nil
+}
+
+// CreateIndex builds a secondary index on table.col.
+func (db *DB) CreateIndex(table, col string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.tableLocked(table)
+	if err != nil {
+		return err
+	}
+	return t.createIndex(col)
+}
+
+// DropIndex removes the secondary index on table.col.
+func (db *DB) DropIndex(table, col string) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.tableLocked(table)
+	if err != nil {
+		return err
+	}
+	return t.dropIndex(col)
+}
+
+// Recover replays the WAL (if configured) into the registered tables and
+// opens the WAL for appending. It must be called once, after CreateTable
+// and before any operation.
+func (db *DB) Recover() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.cfg.WALPath == "" {
+		return nil
+	}
+	if db.wal != nil {
+		return fmt.Errorf("relstore: Recover called twice")
+	}
+	last, err := wal.Replay(db.cfg.WALPath, db.cfg.EncryptionKey, func(r wal.Record) error {
+		switch r.Type {
+		case wal.RecInsert, wal.RecUpdate:
+			table, pk, rowBytes, err := wal.DecodeKV(r.Payload)
+			if err != nil {
+				return err
+			}
+			t, err := db.tableLocked(table)
+			if err != nil {
+				return err
+			}
+			row, err := decodeRow(t.schema, rowBytes)
+			if err != nil {
+				return err
+			}
+			if r.Type == wal.RecInsert {
+				// Replayed inserts may collide if a crash interleaved; an
+				// insert over an existing key applies as update.
+				if _, exists := t.heap[pk]; exists {
+					return t.update(pk, row)
+				}
+				return t.insert(row)
+			}
+			if _, exists := t.heap[pk]; !exists {
+				return t.insert(row)
+			}
+			return t.update(pk, row)
+		case wal.RecDelete:
+			table, pk, _, err := wal.DecodeKV(r.Payload)
+			if err != nil {
+				return err
+			}
+			t, err := db.tableLocked(table)
+			if err != nil {
+				return err
+			}
+			t.delete(pk)
+			return nil
+		case wal.RecCheckpoint:
+			return nil
+		default:
+			return fmt.Errorf("relstore: unknown WAL record type %v", r.Type)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	w, err := wal.Open(wal.Config{
+		Path:   db.cfg.WALPath,
+		Key:    db.cfg.EncryptionKey,
+		Policy: db.cfg.WALSync,
+		Clock:  db.clk,
+	}, last)
+	if err != nil {
+		return err
+	}
+	db.wal = w
+	return nil
+}
+
+func (db *DB) tableLocked(name string) (*Table, error) {
+	t, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("relstore: no table %q", name)
+	}
+	return t, nil
+}
+
+func (db *DB) logStatement(op, table, detail string, rows int, ok bool) {
+	if !db.cfg.LogStatements || db.cfg.Audit == nil {
+		return
+	}
+	note := fmt.Sprintf("rows=%d", rows)
+	_, _ = db.cfg.Audit.Append(audit.Entry{
+		Actor:  "relstore",
+		Op:     op,
+		Target: table + ":" + detail,
+		OK:     ok,
+		Note:   note,
+	})
+}
+
+var errDBClosed = fmt.Errorf("relstore: database is closed")
+
+// Insert adds a row.
+func (db *DB) Insert(table string, row Row) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return errDBClosed
+	}
+	t, err := db.tableLocked(table)
+	if err != nil {
+		return err
+	}
+	if err := t.insert(row); err != nil {
+		db.logStatement("INSERT", table, "", 0, false)
+		return err
+	}
+	pk := row[t.pkCol].(string)
+	if db.wal != nil {
+		if _, err := db.wal.Append(wal.RecInsert, wal.EncodeKV(table, pk, encodeRow(t.schema, row))); err != nil {
+			return err
+		}
+	}
+	db.logStatement("INSERT", table, pk, 1, true)
+	return nil
+}
+
+// Get returns the row with the given primary key.
+func (db *DB) Get(table, pk string) (Row, bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.tableLocked(table)
+	if err != nil {
+		return nil, false, err
+	}
+	row, ok := t.get(pk)
+	n := 0
+	if ok {
+		n = 1
+	}
+	db.logStatement("SELECT", table, "pk="+pk, n, true)
+	return row, ok, nil
+}
+
+// Update replaces the row with primary key pk.
+func (db *DB) Update(table, pk string, row Row) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return errDBClosed
+	}
+	t, err := db.tableLocked(table)
+	if err != nil {
+		return err
+	}
+	if err := t.update(pk, row); err != nil {
+		db.logStatement("UPDATE", table, "pk="+pk, 0, false)
+		return err
+	}
+	if db.wal != nil {
+		if _, err := db.wal.Append(wal.RecUpdate, wal.EncodeKV(table, pk, encodeRow(t.schema, row))); err != nil {
+			return err
+		}
+	}
+	db.logStatement("UPDATE", table, "pk="+pk, 1, true)
+	return nil
+}
+
+// UpdateFunc loads the row at pk, applies fn, and stores the result.
+// It returns false if the row does not exist.
+func (db *DB) UpdateFunc(table, pk string, fn func(Row) (Row, error)) (bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return false, errDBClosed
+	}
+	t, err := db.tableLocked(table)
+	if err != nil {
+		return false, err
+	}
+	old, ok := t.get(pk)
+	if !ok {
+		db.logStatement("UPDATE", table, "pk="+pk, 0, true)
+		return false, nil
+	}
+	next, err := fn(old)
+	if err != nil {
+		return false, err
+	}
+	if err := t.update(pk, next); err != nil {
+		return false, err
+	}
+	if db.wal != nil {
+		if _, err := db.wal.Append(wal.RecUpdate, wal.EncodeKV(table, pk, encodeRow(t.schema, next))); err != nil {
+			return false, err
+		}
+	}
+	db.logStatement("UPDATE", table, "pk="+pk, 1, true)
+	return true, nil
+}
+
+// Delete removes the row with primary key pk, reporting whether it existed.
+func (db *DB) Delete(table, pk string) (bool, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return false, errDBClosed
+	}
+	t, err := db.tableLocked(table)
+	if err != nil {
+		return false, err
+	}
+	existed := t.delete(pk)
+	if existed && db.wal != nil {
+		if _, err := db.wal.Append(wal.RecDelete, wal.EncodeKV(table, pk, nil)); err != nil {
+			return existed, err
+		}
+	}
+	n := 0
+	if existed {
+		n = 1
+	}
+	db.logStatement("DELETE", table, "pk="+pk, n, true)
+	return existed, nil
+}
+
+// Select returns the rows matching pred, using a secondary index when one
+// covers the predicate column (see Explain).
+func (db *DB) Select(table string, pred Predicate) ([]Row, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.tableLocked(table)
+	if err != nil {
+		return nil, err
+	}
+	rows, _, err := db.selectLocked(t, pred)
+	if err != nil {
+		return nil, err
+	}
+	db.logStatement("SELECT", table, pred.String(), len(rows), true)
+	return rows, nil
+}
+
+// SelectKeys returns the primary keys matching pred.
+func (db *DB) SelectKeys(table string, pred Predicate) ([]string, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.tableLocked(table)
+	if err != nil {
+		return nil, err
+	}
+	_, pks, err := db.selectLocked(t, pred)
+	if err != nil {
+		return nil, err
+	}
+	db.logStatement("SELECT", table, pred.String(), len(pks), true)
+	return pks, nil
+}
+
+// DeleteWhere removes all rows matching pred, returning how many went.
+func (db *DB) DeleteWhere(table string, pred Predicate) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return 0, errDBClosed
+	}
+	t, err := db.tableLocked(table)
+	if err != nil {
+		return 0, err
+	}
+	_, pks, err := db.selectLocked(t, pred)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, pk := range pks {
+		if t.delete(pk) {
+			n++
+			if db.wal != nil {
+				if _, err := db.wal.Append(wal.RecDelete, wal.EncodeKV(table, pk, nil)); err != nil {
+					return n, err
+				}
+			}
+		}
+	}
+	db.logStatement("DELETE", table, pred.String(), n, true)
+	return n, nil
+}
+
+// UpdateWhere applies fn to every row matching pred, returning how many
+// rows were updated.
+func (db *DB) UpdateWhere(table string, pred Predicate, fn func(Row) (Row, error)) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return 0, errDBClosed
+	}
+	t, err := db.tableLocked(table)
+	if err != nil {
+		return 0, err
+	}
+	_, pks, err := db.selectLocked(t, pred)
+	if err != nil {
+		return 0, err
+	}
+	n := 0
+	for _, pk := range pks {
+		old, ok := t.get(pk)
+		if !ok {
+			continue
+		}
+		next, err := fn(old)
+		if err != nil {
+			return n, err
+		}
+		if err := t.update(pk, next); err != nil {
+			return n, err
+		}
+		if db.wal != nil {
+			if _, err := db.wal.Append(wal.RecUpdate, wal.EncodeKV(table, pk, encodeRow(t.schema, next))); err != nil {
+				return n, err
+			}
+		}
+		n++
+	}
+	db.logStatement("UPDATE", table, pred.String(), n, true)
+	return n, nil
+}
+
+// ScanPK returns up to limit rows in primary-key order starting at the
+// first key >= start (a B-tree range scan on the PK index; YCSB workload
+// E's access shape).
+func (db *DB) ScanPK(table, start string, limit int) ([]Row, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.tableLocked(table)
+	if err != nil {
+		return nil, err
+	}
+	var rows []Row
+	t.pk.AscendFrom(start, func(pk string, _ struct{}) bool {
+		if row, ok := t.get(pk); ok {
+			rows = append(rows, row)
+		}
+		return len(rows) < limit
+	})
+	db.logStatement("SELECT", table, fmt.Sprintf("pk>=%s limit %d", start, limit), len(rows), true)
+	return rows, nil
+}
+
+// Count returns the number of rows in table.
+func (db *DB) Count(table string) (int, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.tableLocked(table)
+	if err != nil {
+		return 0, err
+	}
+	return t.Rows(), nil
+}
+
+// Sizes reports storage accounting for table: heap bytes and secondary
+// index bytes — the inputs to the Table 3 space-overhead metric.
+func (db *DB) Sizes(table string) (heap, index int64, err error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.tableLocked(table)
+	if err != nil {
+		return 0, 0, err
+	}
+	return t.HeapBytes(), t.IndexBytes(), nil
+}
+
+// Tables lists table names, sorted.
+func (db *DB) Tables() []string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	out := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Features reports engine facts, GET-SYSTEM-FEATURES style.
+func (db *DB) Features() map[string]string {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	f := map[string]string{
+		"engine":         "relstore (postgres-model)",
+		"wal":            "off",
+		"log_statements": fmt.Sprintf("%v", db.cfg.LogStatements),
+	}
+	if db.wal != nil {
+		f["wal"] = "on"
+		f["wal_encrypted"] = fmt.Sprintf("%v", db.cfg.EncryptionKey != nil)
+	}
+	var idx []string
+	for name, t := range db.tables {
+		for _, c := range t.IndexedColumns() {
+			idx = append(idx, name+"."+c)
+		}
+	}
+	sort.Strings(idx)
+	f["indexes"] = fmt.Sprintf("%v", idx)
+	return f
+}
+
+// StartTTLDaemon launches the timely-deletion daemon: every period it
+// deletes rows of table whose col (a time column) is <= now. The paper's
+// retrofit runs at a 1-second period.
+func (db *DB) StartTTLDaemon(table, col string, period time.Duration) error {
+	db.mu.Lock()
+	if db.closed {
+		db.mu.Unlock()
+		return errDBClosed
+	}
+	if db.ttlStop != nil {
+		db.mu.Unlock()
+		return fmt.Errorf("relstore: TTL daemon already running")
+	}
+	t, err := db.tableLocked(table)
+	if err != nil {
+		db.mu.Unlock()
+		return err
+	}
+	ci := t.schema.ColIndex(col)
+	if ci < 0 || t.schema.Columns[ci].Type != TypeTime {
+		db.mu.Unlock()
+		return fmt.Errorf("relstore: TTL column %s.%s must be a time column", table, col)
+	}
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	db.ttlStop = stop
+	db.ttlDone = done
+	clk := db.clk
+	db.mu.Unlock()
+
+	go func() {
+		defer close(done)
+		for {
+			timer := clk.After(period)
+			select {
+			case <-stop:
+				return
+			case <-timer:
+				_, _ = db.DeleteWhere(table, Le(col, clk.Now()))
+			}
+		}
+	}()
+	return nil
+}
+
+// StopTTLDaemon stops the daemon, waiting for it to exit.
+func (db *DB) StopTTLDaemon() {
+	db.mu.Lock()
+	stop := db.ttlStop
+	done := db.ttlDone
+	db.ttlStop = nil
+	db.ttlDone = nil
+	db.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	close(stop)
+	<-done
+}
+
+// SweepExpired synchronously deletes rows of table whose time column col
+// is <= now; the TTL daemon's body, callable directly from simulations.
+func (db *DB) SweepExpired(table, col string) (int, error) {
+	return db.DeleteWhere(table, Le(col, db.clk.Now()))
+}
+
+// Sync flushes the WAL.
+func (db *DB) Sync() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.wal == nil {
+		return nil
+	}
+	return db.wal.Sync()
+}
+
+// WALSize returns the WAL's on-disk size (0 without a WAL).
+func (db *DB) WALSize() (int64, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.wal == nil {
+		return 0, nil
+	}
+	return db.wal.Size()
+}
+
+// Close stops the TTL daemon and closes the WAL. Close is idempotent.
+func (db *DB) Close() error {
+	db.StopTTLDaemon()
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if db.closed {
+		return nil
+	}
+	db.closed = true
+	if db.wal != nil {
+		return db.wal.Close()
+	}
+	return nil
+}

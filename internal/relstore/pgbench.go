@@ -1,0 +1,112 @@
+package relstore
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// This file is the pgbench substitution for Figure 3b. pgbench's TPC-B
+// transaction updates one row of pgbench_accounts per transaction; the
+// paper runs it while varying the number of secondary indices on the
+// table ("just introducing two secondary indices, for the widely used
+// metadata criteria of purpose and user-id, reduces PostgreSQL's
+// throughput to 33% of the original"). Because updates rewrite every
+// index entry (MVCC non-HOT behavior, see Table.update), each added index
+// multiplies the write amplification — the effect the figure shows.
+
+// PgbenchConfig parameterizes a run.
+type PgbenchConfig struct {
+	// Accounts is the table size (pgbench "scale" × 100k in the original;
+	// scaled down here).
+	Accounts int
+	// Transactions is how many update transactions to run.
+	Transactions int
+	// IndexColumns are the metadata columns to index before the run
+	// (subset of "purpose", "usr", "filler").
+	IndexColumns []string
+	// Seed drives the account-selection randomness.
+	Seed int64
+}
+
+// PgbenchResult reports a run's outcome.
+type PgbenchResult struct {
+	Indices      int
+	Transactions int
+	Elapsed      time.Duration
+	TPS          float64
+}
+
+// pgbenchSchema is the accounts table: aid primary key, a balance, and
+// GDPR-ish metadata columns that secondary indexes target.
+func pgbenchSchema() Schema {
+	return Schema{
+		Name: "pgbench_accounts",
+		Columns: []Column{
+			{Name: "aid", Type: TypeText},
+			{Name: "abalance", Type: TypeInt},
+			{Name: "purpose", Type: TypeText},
+			{Name: "usr", Type: TypeText},
+			{Name: "filler", Type: TypeText},
+		},
+		PrimaryKey: "aid",
+	}
+}
+
+// RunPgbench loads pgbench_accounts into db, builds the requested
+// secondary indexes, then runs cfg.Transactions single-row update
+// transactions and reports throughput. The caller provides a fresh DB.
+func RunPgbench(db *DB, cfg PgbenchConfig) (PgbenchResult, error) {
+	if cfg.Accounts <= 0 || cfg.Transactions <= 0 {
+		return PgbenchResult{}, fmt.Errorf("relstore: pgbench needs positive accounts and transactions")
+	}
+	if err := db.CreateTable(pgbenchSchema()); err != nil {
+		return PgbenchResult{}, err
+	}
+	if err := db.Recover(); err != nil {
+		return PgbenchResult{}, err
+	}
+	for i := 0; i < cfg.Accounts; i++ {
+		row := Row{
+			fmt.Sprintf("acct-%08d", i),
+			int64(0),
+			fmt.Sprintf("purpose-%d", i%16),
+			fmt.Sprintf("user-%d", i%1000),
+			"0123456789abcdef0123456789abcdef", // pgbench pads rows with filler
+		}
+		if err := db.Insert("pgbench_accounts", row); err != nil {
+			return PgbenchResult{}, err
+		}
+	}
+	for _, col := range cfg.IndexColumns {
+		if err := db.CreateIndex("pgbench_accounts", col); err != nil {
+			return PgbenchResult{}, err
+		}
+	}
+	r := rand.New(rand.NewSource(cfg.Seed))
+	start := time.Now()
+	for i := 0; i < cfg.Transactions; i++ {
+		aid := fmt.Sprintf("acct-%08d", r.Intn(cfg.Accounts))
+		delta := int64(r.Intn(10000) - 5000)
+		ok, err := db.UpdateFunc("pgbench_accounts", aid, func(row Row) (Row, error) {
+			row[1] = row[1].(int64) + delta
+			return row, nil
+		})
+		if err != nil {
+			return PgbenchResult{}, err
+		}
+		if !ok {
+			return PgbenchResult{}, fmt.Errorf("relstore: pgbench account %s missing", aid)
+		}
+	}
+	elapsed := time.Since(start)
+	res := PgbenchResult{
+		Indices:      len(cfg.IndexColumns),
+		Transactions: cfg.Transactions,
+		Elapsed:      elapsed,
+	}
+	if elapsed > 0 {
+		res.TPS = float64(cfg.Transactions) / elapsed.Seconds()
+	}
+	return res, nil
+}

@@ -1,0 +1,209 @@
+package relstore
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// PredOp is a predicate operator.
+type PredOp int
+
+// Predicate operators.
+const (
+	// OpAll matches every row.
+	OpAll PredOp = iota
+	// OpEq matches rows whose text column equals Text.
+	OpEq
+	// OpContains matches rows whose list column contains Text.
+	OpContains
+	// OpNotContains matches rows whose list column does NOT contain Text.
+	// No index can serve it; it always sequential-scans.
+	OpNotContains
+	// OpLe matches rows whose time column is non-zero and <= Time.
+	OpLe
+)
+
+// Predicate is a single-column filter — the query shapes GDPR metadata
+// operations need (§3.3 is dominated by attribute-equality and TTL-cutoff
+// selections).
+type Predicate struct {
+	Op   PredOp
+	Col  string
+	Text string
+	Time time.Time
+}
+
+// All matches every row.
+func All() Predicate { return Predicate{Op: OpAll} }
+
+// Eq matches rows with col == v (text columns).
+func Eq(col, v string) Predicate { return Predicate{Op: OpEq, Col: col, Text: v} }
+
+// Contains matches rows whose list column contains v.
+func Contains(col, v string) Predicate { return Predicate{Op: OpContains, Col: col, Text: v} }
+
+// NotContains matches rows whose list column does not contain v.
+func NotContains(col, v string) Predicate { return Predicate{Op: OpNotContains, Col: col, Text: v} }
+
+// Le matches rows whose time column is set and <= t.
+func Le(col string, t time.Time) Predicate { return Predicate{Op: OpLe, Col: col, Time: t} }
+
+// String renders the predicate for logs.
+func (p Predicate) String() string {
+	switch p.Op {
+	case OpAll:
+		return "true"
+	case OpEq:
+		return fmt.Sprintf("%s = %q", p.Col, p.Text)
+	case OpContains:
+		return fmt.Sprintf("%s @> %q", p.Col, p.Text)
+	case OpNotContains:
+		return fmt.Sprintf("NOT %s @> %q", p.Col, p.Text)
+	case OpLe:
+		return fmt.Sprintf("%s <= %d", p.Col, p.Time.Unix())
+	default:
+		return fmt.Sprintf("PredOp(%d)", int(p.Op))
+	}
+}
+
+// Plan describes how a predicate will be executed.
+type Plan struct {
+	// Access is "index" or "seqscan".
+	Access string
+	// Index is the column whose index is used (empty for seqscan).
+	Index string
+}
+
+// Explain reports the access path Select would use for pred on table.
+func (db *DB) Explain(table string, pred Predicate) (Plan, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	t, err := db.tableLocked(table)
+	if err != nil {
+		return Plan{}, err
+	}
+	return t.plan(pred), nil
+}
+
+func (t *Table) plan(pred Predicate) Plan {
+	switch pred.Op {
+	case OpEq, OpContains, OpLe:
+		if _, ok := t.indexes[pred.Col]; ok {
+			return Plan{Access: "index", Index: pred.Col}
+		}
+	}
+	return Plan{Access: "seqscan"}
+}
+
+// matches evaluates pred against a row (seq-scan filter).
+func (t *Table) matches(pred Predicate, row Row) (bool, error) {
+	if pred.Op == OpAll {
+		return true, nil
+	}
+	ci := t.schema.ColIndex(pred.Col)
+	if ci < 0 {
+		return false, fmt.Errorf("relstore: table %s has no column %q", t.schema.Name, pred.Col)
+	}
+	col := t.schema.Columns[ci]
+	switch pred.Op {
+	case OpEq:
+		if col.Type != TypeText {
+			return false, fmt.Errorf("relstore: Eq on non-text column %q", pred.Col)
+		}
+		return row[ci].(string) == pred.Text, nil
+	case OpContains, OpNotContains:
+		if col.Type != TypeTextList {
+			return false, fmt.Errorf("relstore: Contains on non-list column %q", pred.Col)
+		}
+		l, _ := row[ci].([]string)
+		found := false
+		for _, v := range l {
+			if v == pred.Text {
+				found = true
+				break
+			}
+		}
+		if pred.Op == OpNotContains {
+			return !found, nil
+		}
+		return found, nil
+	case OpLe:
+		if col.Type != TypeTime {
+			return false, fmt.Errorf("relstore: Le on non-time column %q", pred.Col)
+		}
+		tv := row[ci].(time.Time)
+		return !tv.IsZero() && !tv.After(pred.Time), nil
+	default:
+		return false, fmt.Errorf("relstore: unknown predicate op %d", int(pred.Op))
+	}
+}
+
+// selectLocked executes pred on t, returning matching rows (clones) and
+// their primary keys in primary-key order. Callers hold db.mu.
+func (db *DB) selectLocked(t *Table, pred Predicate) ([]Row, []string, error) {
+	// Validate the predicate column eagerly so bad queries fail loudly
+	// on both access paths.
+	if pred.Op != OpAll {
+		ci := t.schema.ColIndex(pred.Col)
+		if ci < 0 {
+			return nil, nil, fmt.Errorf("relstore: table %s has no column %q", t.schema.Name, pred.Col)
+		}
+		col := t.schema.Columns[ci]
+		switch pred.Op {
+		case OpEq:
+			if col.Type != TypeText {
+				return nil, nil, fmt.Errorf("relstore: Eq on non-text column %q", pred.Col)
+			}
+		case OpContains, OpNotContains:
+			if col.Type != TypeTextList {
+				return nil, nil, fmt.Errorf("relstore: Contains on non-list column %q", pred.Col)
+			}
+		case OpLe:
+			if col.Type != TypeTime {
+				return nil, nil, fmt.Errorf("relstore: Le on non-time column %q", pred.Col)
+			}
+		}
+	}
+	plan := t.plan(pred)
+	if plan.Access == "index" {
+		var pks []string
+		var ok bool
+		switch pred.Op {
+		case OpEq, OpContains:
+			pks, ok = t.indexLookup(pred.Col, pred.Text)
+		case OpLe:
+			pks, ok = t.indexRangeLE(pred.Col, encodeIndexScalar(TypeTime, pred.Time))
+		}
+		if ok {
+			sort.Strings(pks)
+			rows := make([]Row, 0, len(pks))
+			for _, pk := range pks {
+				if row, exists := t.get(pk); exists {
+					rows = append(rows, row)
+				}
+			}
+			return rows, pks, nil
+		}
+	}
+	// Sequential scan.
+	var rows []Row
+	var pks []string
+	var scanErr error
+	t.scanAll(func(pk string, row Row) bool {
+		ok, err := t.matches(pred, row)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if ok {
+			rows = append(rows, row.Clone())
+			pks = append(pks, pk)
+		}
+		return true
+	})
+	if scanErr != nil {
+		return nil, nil, scanErr
+	}
+	return rows, pks, nil
+}

@@ -1,0 +1,346 @@
+// Package relstore is a from-scratch embedded relational engine modeled on
+// PostgreSQL v9.5, the RDBMS the paper retrofits (§5.2). It provides what
+// the paper's measurements depend on:
+//
+//   - heap tables with typed columns and a primary-key B-tree;
+//   - secondary B-tree indexes on any column, including multi-valued
+//     (list) columns — the "metadata indexing via the built-in secondary
+//     indices" retrofit;
+//   - MVCC-style updates: a row update rewrites the row's entries in
+//     every index (PostgreSQL's non-HOT update behavior), which is the
+//     mechanism behind Figure 3b's throughput collapse as indexes are
+//     added;
+//   - a write-ahead log with crash recovery;
+//   - csvlog-style statement/response logging (the monitoring retrofit);
+//   - a TTL daemon that purges expired rows on a fixed period (the
+//     paper's timely-deletion retrofit: "a daemon that checks for expired
+//     rows periodically (currently set to 1 sec)").
+package relstore
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+	"strings"
+	"time"
+)
+
+// ColType is a column's type.
+type ColType int
+
+// Column types.
+const (
+	// TypeText holds a string without NUL bytes.
+	TypeText ColType = iota
+	// TypeInt holds an int64.
+	TypeInt
+	// TypeTime holds a time.Time (zero allowed, meaning "unset").
+	TypeTime
+	// TypeTextList holds a list of NUL-free strings; indexing a list
+	// column indexes each element (like a Postgres GIN index).
+	TypeTextList
+)
+
+func (c ColType) String() string {
+	switch c {
+	case TypeText:
+		return "text"
+	case TypeInt:
+		return "int"
+	case TypeTime:
+		return "time"
+	case TypeTextList:
+		return "text[]"
+	default:
+		return fmt.Sprintf("ColType(%d)", int(c))
+	}
+}
+
+// Column describes one table column.
+type Column struct {
+	Name string
+	Type ColType
+}
+
+// Schema describes a table: its columns and which text column is the
+// primary key.
+type Schema struct {
+	Name    string
+	Columns []Column
+	// PrimaryKey names a TypeText column.
+	PrimaryKey string
+}
+
+// Validate checks schema well-formedness.
+func (s Schema) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("relstore: empty table name")
+	}
+	if len(s.Columns) == 0 {
+		return fmt.Errorf("relstore: table %s has no columns", s.Name)
+	}
+	seen := map[string]bool{}
+	pkOK := false
+	for _, c := range s.Columns {
+		if c.Name == "" {
+			return fmt.Errorf("relstore: table %s has an unnamed column", s.Name)
+		}
+		if seen[c.Name] {
+			return fmt.Errorf("relstore: table %s duplicates column %q", s.Name, c.Name)
+		}
+		seen[c.Name] = true
+		if c.Name == s.PrimaryKey {
+			if c.Type != TypeText {
+				return fmt.Errorf("relstore: primary key %q must be text", c.Name)
+			}
+			pkOK = true
+		}
+	}
+	if !pkOK {
+		return fmt.Errorf("relstore: table %s: primary key %q is not a column", s.Name, s.PrimaryKey)
+	}
+	return nil
+}
+
+// ColIndex returns the position of the named column, or -1.
+func (s Schema) ColIndex(name string) int {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Value is a column value: string, int64, time.Time or []string depending
+// on the column type.
+type Value any
+
+// Row is one table row; values are positional per the schema.
+type Row []Value
+
+// Clone deep-copies a row.
+func (r Row) Clone() Row {
+	out := make(Row, len(r))
+	for i, v := range r {
+		if l, ok := v.([]string); ok {
+			out[i] = append([]string(nil), l...)
+		} else {
+			out[i] = v
+		}
+	}
+	return out
+}
+
+// checkValue verifies v matches t; text values must be NUL-free so they
+// can participate in composite index keys.
+func checkValue(t ColType, v Value) error {
+	switch t {
+	case TypeText:
+		s, ok := v.(string)
+		if !ok {
+			return fmt.Errorf("relstore: want text, got %T", v)
+		}
+		if strings.IndexByte(s, 0) >= 0 {
+			return fmt.Errorf("relstore: text value contains NUL")
+		}
+	case TypeInt:
+		if _, ok := v.(int64); !ok {
+			return fmt.Errorf("relstore: want int64, got %T", v)
+		}
+	case TypeTime:
+		if _, ok := v.(time.Time); !ok {
+			return fmt.Errorf("relstore: want time.Time, got %T", v)
+		}
+	case TypeTextList:
+		l, ok := v.([]string)
+		if !ok {
+			if v == nil {
+				return nil
+			}
+			return fmt.Errorf("relstore: want []string, got %T", v)
+		}
+		for _, s := range l {
+			if strings.IndexByte(s, 0) >= 0 {
+				return fmt.Errorf("relstore: list element contains NUL")
+			}
+		}
+	default:
+		return fmt.Errorf("relstore: unknown column type %v", t)
+	}
+	return nil
+}
+
+// checkRow validates a full row against the schema.
+func (s Schema) checkRow(r Row) error {
+	if len(r) != len(s.Columns) {
+		return fmt.Errorf("relstore: table %s: row has %d values, want %d", s.Name, len(r), len(s.Columns))
+	}
+	for i, c := range s.Columns {
+		if err := checkValue(c.Type, r[i]); err != nil {
+			return fmt.Errorf("relstore: table %s column %q: %w", s.Name, c.Name, err)
+		}
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Row serialization (WAL payloads and heap-size accounting)
+
+// encodeRow serializes a row: per value a type tag then the value bytes.
+func encodeRow(s Schema, r Row) []byte {
+	var out []byte
+	out = binary.AppendUvarint(out, uint64(len(r)))
+	for i, c := range s.Columns {
+		out = append(out, byte(c.Type))
+		switch c.Type {
+		case TypeText:
+			v := r[i].(string)
+			out = binary.AppendUvarint(out, uint64(len(v)))
+			out = append(out, v...)
+		case TypeInt:
+			out = binary.BigEndian.AppendUint64(out, uint64(r[i].(int64)))
+		case TypeTime:
+			t := r[i].(time.Time)
+			var ns int64
+			if !t.IsZero() {
+				ns = t.UnixNano()
+			}
+			out = binary.BigEndian.AppendUint64(out, uint64(ns))
+		case TypeTextList:
+			var l []string
+			if r[i] != nil {
+				l = r[i].([]string)
+			}
+			out = binary.AppendUvarint(out, uint64(len(l)))
+			for _, e := range l {
+				out = binary.AppendUvarint(out, uint64(len(e)))
+				out = append(out, e...)
+			}
+		}
+	}
+	return out
+}
+
+// decodeRow parses a row serialized by encodeRow.
+func decodeRow(s Schema, p []byte) (Row, error) {
+	n, off := binary.Uvarint(p)
+	if off <= 0 || n != uint64(len(s.Columns)) {
+		return nil, fmt.Errorf("relstore: row header mismatch (have %d cols, want %d)", n, len(s.Columns))
+	}
+	p = p[off:]
+	row := make(Row, len(s.Columns))
+	for i, c := range s.Columns {
+		if len(p) == 0 {
+			return nil, fmt.Errorf("relstore: truncated row at column %q", c.Name)
+		}
+		if ColType(p[0]) != c.Type {
+			return nil, fmt.Errorf("relstore: column %q type tag %d, want %d", c.Name, p[0], c.Type)
+		}
+		p = p[1:]
+		switch c.Type {
+		case TypeText:
+			l, off := binary.Uvarint(p)
+			if off <= 0 || uint64(len(p)-off) < l {
+				return nil, fmt.Errorf("relstore: truncated text for %q", c.Name)
+			}
+			row[i] = string(p[off : off+int(l)])
+			p = p[off+int(l):]
+		case TypeInt:
+			if len(p) < 8 {
+				return nil, fmt.Errorf("relstore: truncated int for %q", c.Name)
+			}
+			row[i] = int64(binary.BigEndian.Uint64(p))
+			p = p[8:]
+		case TypeTime:
+			if len(p) < 8 {
+				return nil, fmt.Errorf("relstore: truncated time for %q", c.Name)
+			}
+			ns := int64(binary.BigEndian.Uint64(p))
+			if ns == 0 {
+				row[i] = time.Time{}
+			} else {
+				row[i] = time.Unix(0, ns).UTC()
+			}
+			p = p[8:]
+		case TypeTextList:
+			cnt, off := binary.Uvarint(p)
+			if off <= 0 {
+				return nil, fmt.Errorf("relstore: truncated list for %q", c.Name)
+			}
+			p = p[off:]
+			var l []string
+			for j := uint64(0); j < cnt; j++ {
+				el, off := binary.Uvarint(p)
+				if off <= 0 || uint64(len(p)-off) < el {
+					return nil, fmt.Errorf("relstore: truncated list element for %q", c.Name)
+				}
+				l = append(l, string(p[off:off+int(el)]))
+				p = p[off+int(el):]
+			}
+			row[i] = l
+		}
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("relstore: %d trailing bytes after row", len(p))
+	}
+	return row, nil
+}
+
+// ---------------------------------------------------------------------------
+// Sortable index-key encodings
+
+// encodeIndexScalar renders a single column value as a byte string whose
+// lexicographic order matches the value order, suitable as an index-key
+// component.
+func encodeIndexScalar(t ColType, v Value) string {
+	switch t {
+	case TypeText:
+		return v.(string)
+	case TypeInt:
+		var b [8]byte
+		// Bias so negative numbers sort before positives.
+		binary.BigEndian.PutUint64(b[:], uint64(v.(int64))+math.MaxInt64+1)
+		return string(b[:])
+	case TypeTime:
+		tv := v.(time.Time)
+		var b [8]byte
+		if tv.IsZero() {
+			// Unset times sort after every real time so they never match
+			// "expired before t" range scans.
+			binary.BigEndian.PutUint64(b[:], math.MaxUint64)
+		} else {
+			binary.BigEndian.PutUint64(b[:], uint64(tv.UnixNano())+math.MaxInt64+1)
+		}
+		return string(b[:])
+	default:
+		return ""
+	}
+}
+
+// indexComponents returns the index-key components a value contributes:
+// one for scalars, one per element for lists.
+func indexComponents(t ColType, v Value) []string {
+	if t == TypeTextList {
+		var l []string
+		if v != nil {
+			l = v.([]string)
+		}
+		return l
+	}
+	return []string{encodeIndexScalar(t, v)}
+}
+
+// compositeKey builds the index entry key for (value-component, pk).
+func compositeKey(component, pk string) string {
+	return component + "\x00" + pk
+}
+
+// pkFromComposite recovers the primary key from a composite index key.
+func pkFromComposite(k string) string {
+	i := strings.LastIndexByte(k, 0)
+	if i < 0 {
+		return k
+	}
+	return k[i+1:]
+}

@@ -1,0 +1,238 @@
+package relstore
+
+import (
+	"fmt"
+
+	"repro/internal/btree"
+)
+
+// Table is one heap table with its primary-key and secondary indexes.
+// Tables are not safe for concurrent use on their own; the owning DB
+// serializes access.
+type Table struct {
+	schema Schema
+	pkCol  int
+	// heap maps primary key -> row (the heap file).
+	heap map[string]Row
+	// pk orders primary keys (Postgres' implicit PK index).
+	pk *btree.Tree[struct{}]
+	// indexes maps column name -> secondary index of composite keys
+	// (value component + NUL + pk).
+	indexes map[string]*btree.Tree[struct{}]
+
+	heapBytes  int64
+	indexBytes map[string]int64
+}
+
+func newTable(s Schema) (*Table, error) {
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &Table{
+		schema:     s,
+		pkCol:      s.ColIndex(s.PrimaryKey),
+		heap:       make(map[string]Row),
+		pk:         btree.NewDefault[struct{}](),
+		indexes:    make(map[string]*btree.Tree[struct{}]),
+		indexBytes: make(map[string]int64),
+	}, nil
+}
+
+// Schema returns the table's schema.
+func (t *Table) Schema() Schema { return t.schema }
+
+// Rows returns the number of live rows.
+func (t *Table) Rows() int { return len(t.heap) }
+
+// HeapBytes returns the encoded size of all heap rows.
+func (t *Table) HeapBytes() int64 { return t.heapBytes }
+
+// IndexBytes returns the total size of all secondary index entries
+// (composite key bytes plus an 8-byte pointer per entry, approximating a
+// B-tree leaf entry).
+func (t *Table) IndexBytes() int64 {
+	var n int64
+	for _, b := range t.indexBytes {
+		n += b
+	}
+	return n
+}
+
+// IndexedColumns lists columns with secondary indexes, sorted by creation
+// order not guaranteed; callers sort if needed.
+func (t *Table) IndexedColumns() []string {
+	out := make([]string, 0, len(t.indexes))
+	for c := range t.indexes {
+		out = append(out, c)
+	}
+	return out
+}
+
+// createIndex builds a secondary index over col, backfilling existing rows.
+func (t *Table) createIndex(col string) error {
+	ci := t.schema.ColIndex(col)
+	if ci < 0 {
+		return fmt.Errorf("relstore: table %s has no column %q", t.schema.Name, col)
+	}
+	if _, ok := t.indexes[col]; ok {
+		return fmt.Errorf("relstore: index on %s.%s already exists", t.schema.Name, col)
+	}
+	idx := btree.NewDefault[struct{}]()
+	t.indexes[col] = idx
+	t.indexBytes[col] = 0
+	for pk, row := range t.heap {
+		t.indexInsert(col, ci, row, pk)
+	}
+	return nil
+}
+
+// dropIndex removes the secondary index on col.
+func (t *Table) dropIndex(col string) error {
+	if _, ok := t.indexes[col]; !ok {
+		return fmt.Errorf("relstore: no index on %s.%s", t.schema.Name, col)
+	}
+	delete(t.indexes, col)
+	delete(t.indexBytes, col)
+	return nil
+}
+
+func (t *Table) indexInsert(col string, ci int, row Row, pk string) {
+	idx := t.indexes[col]
+	for _, comp := range indexComponents(t.schema.Columns[ci].Type, row[ci]) {
+		k := compositeKey(comp, pk)
+		if idx.Set(k, struct{}{}) {
+			t.indexBytes[col] += int64(len(k)) + 8
+		}
+	}
+}
+
+func (t *Table) indexDelete(col string, ci int, row Row, pk string) {
+	idx := t.indexes[col]
+	for _, comp := range indexComponents(t.schema.Columns[ci].Type, row[ci]) {
+		k := compositeKey(comp, pk)
+		if idx.Delete(k) {
+			t.indexBytes[col] -= int64(len(k)) + 8
+		}
+	}
+}
+
+// insert adds a new row. It fails if the primary key already exists.
+func (t *Table) insert(row Row) error {
+	if err := t.schema.checkRow(row); err != nil {
+		return err
+	}
+	pk := row[t.pkCol].(string)
+	if pk == "" {
+		return fmt.Errorf("relstore: table %s: empty primary key", t.schema.Name)
+	}
+	if _, exists := t.heap[pk]; exists {
+		return fmt.Errorf("relstore: table %s: duplicate key %q", t.schema.Name, pk)
+	}
+	stored := row.Clone()
+	t.heap[pk] = stored
+	t.pk.Set(pk, struct{}{})
+	t.heapBytes += int64(len(encodeRow(t.schema, stored)))
+	for col, ci := range t.indexedCols() {
+		t.indexInsert(col, ci, stored, pk)
+	}
+	return nil
+}
+
+// update replaces the row at pk. Mirroring PostgreSQL's MVCC (non-HOT
+// updates write a new row version), the row's entries are rewritten in
+// every secondary index whether or not the indexed columns changed —
+// this is the index write-amplification Figure 3b measures.
+func (t *Table) update(pk string, row Row) error {
+	if err := t.schema.checkRow(row); err != nil {
+		return err
+	}
+	old, exists := t.heap[pk]
+	if !exists {
+		return fmt.Errorf("relstore: table %s: no row %q", t.schema.Name, pk)
+	}
+	if row[t.pkCol].(string) != pk {
+		return fmt.Errorf("relstore: table %s: update cannot change primary key", t.schema.Name)
+	}
+	for col, ci := range t.indexedCols() {
+		t.indexDelete(col, ci, old, pk)
+	}
+	t.heapBytes -= int64(len(encodeRow(t.schema, old)))
+	stored := row.Clone()
+	t.heap[pk] = stored
+	t.heapBytes += int64(len(encodeRow(t.schema, stored)))
+	for col, ci := range t.indexedCols() {
+		t.indexInsert(col, ci, stored, pk)
+	}
+	return nil
+}
+
+// delete removes the row at pk, reporting whether it existed.
+func (t *Table) delete(pk string) bool {
+	row, exists := t.heap[pk]
+	if !exists {
+		return false
+	}
+	for col, ci := range t.indexedCols() {
+		t.indexDelete(col, ci, row, pk)
+	}
+	t.heapBytes -= int64(len(encodeRow(t.schema, row)))
+	delete(t.heap, pk)
+	t.pk.Delete(pk)
+	return true
+}
+
+// get returns a copy of the row at pk.
+func (t *Table) get(pk string) (Row, bool) {
+	row, ok := t.heap[pk]
+	if !ok {
+		return nil, false
+	}
+	return row.Clone(), true
+}
+
+func (t *Table) indexedCols() map[string]int {
+	out := make(map[string]int, len(t.indexes))
+	for col := range t.indexes {
+		out[col] = t.schema.ColIndex(col)
+	}
+	return out
+}
+
+// scanAll visits every row in primary-key order.
+func (t *Table) scanAll(fn func(pk string, row Row) bool) {
+	t.pk.Ascend(func(pk string, _ struct{}) bool {
+		return fn(pk, t.heap[pk])
+	})
+}
+
+// indexLookup returns the primary keys whose col contains/equals the
+// component, using the secondary index. ok is false when no index exists.
+func (t *Table) indexLookup(col, component string) (pks []string, ok bool) {
+	idx, exists := t.indexes[col]
+	if !exists {
+		return nil, false
+	}
+	prefix := component + "\x00"
+	idx.AscendPrefix(prefix, func(k string, _ struct{}) bool {
+		pks = append(pks, pkFromComposite(k))
+		return true
+	})
+	return pks, true
+}
+
+// indexRangeLE returns primary keys whose scalar col value is <= the
+// encoded bound, using the secondary index.
+func (t *Table) indexRangeLE(col, encodedBound string) (pks []string, ok bool) {
+	idx, exists := t.indexes[col]
+	if !exists {
+		return nil, false
+	}
+	// Composite keys are component+NUL+pk; everything with component <=
+	// bound sorts below bound+\x01 (components are fixed-width encodings).
+	end := encodedBound + "\x01"
+	idx.AscendRange("", end, func(k string, _ struct{}) bool {
+		pks = append(pks, pkFromComposite(k))
+		return true
+	})
+	return pks, true
+}

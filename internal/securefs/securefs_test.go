@@ -1,0 +1,441 @@
+package securefs
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"testing/quick"
+)
+
+func tempPath(t *testing.T) string {
+	t.Helper()
+	return filepath.Join(t.TempDir(), "frames.log")
+}
+
+func writeFrames(t *testing.T, path string, opts Options, frames ...[]byte) {
+	t.Helper()
+	f, err := Create(path, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fr := range frames {
+		if err := f.AppendFrame(fr); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func readAll(t *testing.T, path string, opts Options) ([][]byte, error) {
+	t.Helper()
+	var out [][]byte
+	err := Replay(path, opts, func(p []byte) error {
+		out = append(out, append([]byte(nil), p...))
+		return nil
+	})
+	return out, err
+}
+
+func TestPlainRoundTrip(t *testing.T) {
+	p := tempPath(t)
+	want := [][]byte{[]byte("one"), []byte("two"), {}, []byte("four")}
+	writeFrames(t, p, Options{}, want...)
+	got, err := readAll(t, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("frames = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if !bytes.Equal(got[i], want[i]) {
+			t.Fatalf("frame %d = %q, want %q", i, got[i], want[i])
+		}
+	}
+}
+
+func TestEncryptedRoundTrip(t *testing.T) {
+	p := tempPath(t)
+	opts := Options{Key: Key("secret")}
+	want := [][]byte{[]byte("personal-data"), []byte("more")}
+	writeFrames(t, p, opts, want...)
+	got, err := readAll(t, p, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || !bytes.Equal(got[0], want[0]) || !bytes.Equal(got[1], want[1]) {
+		t.Fatalf("roundtrip mismatch: %q", got)
+	}
+	// Ciphertext must not contain the plaintext.
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, []byte("personal-data")) {
+		t.Fatal("plaintext leaked to disk")
+	}
+}
+
+func TestWrongKeyFailsAuth(t *testing.T) {
+	p := tempPath(t)
+	writeFrames(t, p, Options{Key: Key("right")}, []byte("x"))
+	_, err := readAll(t, p, Options{Key: Key("wrong")})
+	if !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("err = %v, want ErrCorruptFrame", err)
+	}
+}
+
+func TestKeyDerivationStableAndDistinct(t *testing.T) {
+	if !bytes.Equal(Key("a"), Key("a")) {
+		t.Fatal("Key not deterministic")
+	}
+	if bytes.Equal(Key("a"), Key("b")) {
+		t.Fatal("distinct passphrases produced same key")
+	}
+	if len(Key("a")) != 32 {
+		t.Fatalf("key length = %d", len(Key("a")))
+	}
+}
+
+func TestTamperedFrameDetected(t *testing.T) {
+	p := tempPath(t)
+	opts := Options{Key: Key("k")}
+	writeFrames(t, p, opts, []byte("aaaa"), []byte("bbbb"))
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff // corrupt last ciphertext byte
+	if err := os.WriteFile(p, raw, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readAll(t, p, opts)
+	if !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("err = %v, want ErrCorruptFrame", err)
+	}
+	if len(got) != 1 || !bytes.Equal(got[0], []byte("aaaa")) {
+		t.Fatalf("frames before corruption should be delivered, got %q", got)
+	}
+}
+
+func TestTruncatedTailStopsReplay(t *testing.T) {
+	p := tempPath(t)
+	writeFrames(t, p, Options{}, []byte("complete"), []byte("will-be-cut"))
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Cut into the middle of the second frame's body.
+	if err := os.WriteFile(p, raw[:len(raw)-3], 0o600); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readAll(t, p, Options{})
+	if !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("err = %v, want ErrCorruptFrame", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("intact frames = %d, want 1", len(got))
+	}
+}
+
+func TestTruncatedHeaderStopsReplay(t *testing.T) {
+	p := tempPath(t)
+	writeFrames(t, p, Options{}, []byte("one"))
+	raw, _ := os.ReadFile(p)
+	raw = append(raw, 0x00, 0x01) // partial header
+	if err := os.WriteFile(p, raw, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readAll(t, p, Options{})
+	if !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("err = %v, want ErrCorruptFrame", err)
+	}
+	if len(got) != 1 {
+		t.Fatalf("intact frames = %d, want 1", len(got))
+	}
+}
+
+func TestAbsurdLengthRejected(t *testing.T) {
+	p := tempPath(t)
+	if err := os.WriteFile(p, []byte{0xff, 0xff, 0xff, 0xff}, 0o600); err != nil {
+		t.Fatal(err)
+	}
+	_, err := readAll(t, p, Options{})
+	if !errors.Is(err, ErrCorruptFrame) {
+		t.Fatalf("err = %v, want ErrCorruptFrame", err)
+	}
+}
+
+func TestAppendPreservesExistingFrames(t *testing.T) {
+	p := tempPath(t)
+	writeFrames(t, p, Options{}, []byte("first"))
+	f, err := Append(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.AppendFrame([]byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got, err := readAll(t, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || string(got[0]) != "first" || string(got[1]) != "second" {
+		t.Fatalf("frames = %q", got)
+	}
+}
+
+func TestCreateTruncates(t *testing.T) {
+	p := tempPath(t)
+	writeFrames(t, p, Options{}, []byte("old"))
+	writeFrames(t, p, Options{}, []byte("new"))
+	got, err := readAll(t, p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || string(got[0]) != "new" {
+		t.Fatalf("frames = %q", got)
+	}
+}
+
+func TestAccounting(t *testing.T) {
+	p := tempPath(t)
+	f, err := Create(p, Options{Key: Key("k")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	payload := []byte("0123456789")
+	for i := 0; i < 7; i++ {
+		if err := f.AppendFrame(payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if f.PlaintextBytes() != 70 {
+		t.Fatalf("plaintext bytes = %d", f.PlaintextBytes())
+	}
+	if f.Frames() != 7 {
+		t.Fatalf("frames = %d", f.Frames())
+	}
+	sz, err := f.Size()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Encrypted size must exceed plaintext (nonce + tag + headers).
+	if sz <= 70 {
+		t.Fatalf("on-disk size = %d, want > 70", sz)
+	}
+	if f.Path() != p {
+		t.Fatalf("path = %q", f.Path())
+	}
+}
+
+func TestCloseIdempotentAndAppendAfterCloseFails(t *testing.T) {
+	p := tempPath(t)
+	f, err := Create(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatalf("second close: %v", err)
+	}
+	if err := f.AppendFrame([]byte("x")); err == nil {
+		t.Fatal("append after close should fail")
+	}
+}
+
+func TestSyncFlushes(t *testing.T) {
+	p := tempPath(t)
+	f, err := Create(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.AppendFrame([]byte("durable")); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Sync(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := CountFrames(p, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 1 {
+		t.Fatalf("frames on disk after Sync = %d", n)
+	}
+}
+
+func TestConcurrentAppends(t *testing.T) {
+	p := tempPath(t)
+	f, err := Create(p, Options{Key: Key("k")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	const workers, per = 8, 200
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if err := f.AppendFrame([]byte(fmt.Sprintf("w%d-%d", w, i))); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := CountFrames(p, Options{Key: Key("k")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != workers*per {
+		t.Fatalf("frames = %d, want %d", n, workers*per)
+	}
+}
+
+func TestReplayCallbackErrorPropagates(t *testing.T) {
+	p := tempPath(t)
+	writeFrames(t, p, Options{}, []byte("a"), []byte("b"))
+	sentinel := errors.New("stop")
+	err := Replay(p, Options{}, func([]byte) error { return sentinel })
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("err = %v, want sentinel", err)
+	}
+}
+
+func TestReplayMissingFile(t *testing.T) {
+	err := Replay(filepath.Join(t.TempDir(), "nope"), Options{}, func([]byte) error { return nil })
+	if err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestBadKeyLength(t *testing.T) {
+	_, err := Create(tempPath(t), Options{Key: []byte("short")})
+	if err == nil {
+		t.Fatal("expected error for bad key length")
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	dir := t.TempDir()
+	i := 0
+	f := func(seed int64, encrypted bool) bool {
+		i++
+		r := rand.New(rand.NewSource(seed))
+		path := filepath.Join(dir, fmt.Sprintf("p%d.log", i))
+		opts := Options{}
+		if encrypted {
+			opts.Key = Key("prop")
+		}
+		n := r.Intn(20) + 1
+		var want [][]byte
+		for j := 0; j < n; j++ {
+			b := make([]byte, r.Intn(256))
+			r.Read(b)
+			want = append(want, b)
+		}
+		fw, err := Create(path, opts)
+		if err != nil {
+			return false
+		}
+		for _, fr := range want {
+			if err := fw.AppendFrame(fr); err != nil {
+				return false
+			}
+		}
+		if err := fw.Close(); err != nil {
+			return false
+		}
+		var got [][]byte
+		if err := Replay(path, opts, func(p []byte) error {
+			got = append(got, append([]byte(nil), p...))
+			return nil
+		}); err != nil {
+			return false
+		}
+		if len(got) != len(want) {
+			return false
+		}
+		for j := range want {
+			if !bytes.Equal(got[j], want[j]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkAppendPlain(b *testing.B) {
+	f, err := Create(filepath.Join(b.TempDir(), "bench.log"), Options{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	payload := bytes.Repeat([]byte("x"), 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := f.AppendFrame(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkAppendEncrypted(b *testing.B) {
+	f, err := Create(filepath.Join(b.TempDir(), "bench.log"), Options{Key: Key("k")})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer f.Close()
+	payload := bytes.Repeat([]byte("x"), 128)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if err := f.AppendFrame(payload); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func TestSmallBufferFlushesAutomatically(t *testing.T) {
+	p := tempPath(t)
+	f, err := Create(p, Options{BufferSize: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	// Frames larger than the buffer must reach the OS without Flush.
+	for i := 0; i < 10; i++ {
+		if err := f.AppendFrame(bytes.Repeat([]byte("x"), 100)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	raw, err := os.ReadFile(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(raw) < 500 {
+		t.Fatalf("small-buffer file only has %d bytes on disk", len(raw))
+	}
+}

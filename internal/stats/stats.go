@@ -1,0 +1,324 @@
+// Package stats provides the measurement layer of the benchmark runtime:
+// log-bucketed latency histograms, per-operation accumulators, and run
+// summaries (throughput, completion time, percentiles). It mirrors the role
+// of YCSB's Status/Measurements engine.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// bucketCount covers latencies from 1ns to ~18h in ~4% geometric steps.
+const (
+	bucketsPerDecade = 58 // ≈ 4.05% per step
+	bucketCount      = 14 * bucketsPerDecade
+)
+
+// Histogram is a fixed-size log-bucketed latency histogram. It is safe for
+// concurrent use.
+type Histogram struct {
+	mu      sync.Mutex
+	buckets [bucketCount]int64
+	count   int64
+	sum     time.Duration
+	min     time.Duration
+	max     time.Duration
+}
+
+// NewHistogram returns an empty histogram.
+func NewHistogram() *Histogram {
+	return &Histogram{min: math.MaxInt64}
+}
+
+func bucketFor(d time.Duration) int {
+	if d < 1 {
+		d = 1
+	}
+	b := int(math.Log10(float64(d)) * bucketsPerDecade)
+	if b < 0 {
+		b = 0
+	}
+	if b >= bucketCount {
+		b = bucketCount - 1
+	}
+	return b
+}
+
+func bucketValue(b int) time.Duration {
+	return time.Duration(math.Pow(10, float64(b)/bucketsPerDecade))
+}
+
+// Record adds one observation.
+func (h *Histogram) Record(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	h.mu.Lock()
+	h.buckets[bucketFor(d)]++
+	h.count++
+	h.sum += d
+	if d < h.min {
+		h.min = d
+	}
+	if d > h.max {
+		h.max = d
+	}
+	h.mu.Unlock()
+}
+
+// Count returns the number of observations.
+func (h *Histogram) Count() int64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.count
+}
+
+// Sum returns the total of all observations.
+func (h *Histogram) Sum() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Mean returns the average observation, or 0 if empty.
+func (h *Histogram) Mean() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.sum / time.Duration(h.count)
+}
+
+// Min returns the smallest observation, or 0 if empty.
+func (h *Histogram) Min() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	return h.min
+}
+
+// Max returns the largest observation, or 0 if empty.
+func (h *Histogram) Max() time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.max
+}
+
+// Percentile returns the approximate p-th percentile (p in [0,100]).
+func (h *Histogram) Percentile(p float64) time.Duration {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if h.count == 0 {
+		return 0
+	}
+	if p <= 0 {
+		return h.min
+	}
+	if p >= 100 {
+		return h.max
+	}
+	rank := int64(math.Ceil(p / 100 * float64(h.count)))
+	var seen int64
+	for b := 0; b < bucketCount; b++ {
+		seen += h.buckets[b]
+		if seen >= rank {
+			v := bucketValue(b)
+			if v < h.min {
+				v = h.min
+			}
+			if v > h.max {
+				v = h.max
+			}
+			return v
+		}
+	}
+	return h.max
+}
+
+// Merge adds all observations of other into h.
+func (h *Histogram) Merge(other *Histogram) {
+	other.mu.Lock()
+	var snapshot Histogram
+	snapshot.buckets = other.buckets
+	snapshot.count = other.count
+	snapshot.sum = other.sum
+	snapshot.min = other.min
+	snapshot.max = other.max
+	other.mu.Unlock()
+
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	for i, c := range snapshot.buckets {
+		h.buckets[i] += c
+	}
+	h.count += snapshot.count
+	h.sum += snapshot.sum
+	if snapshot.count > 0 {
+		if snapshot.min < h.min {
+			h.min = snapshot.min
+		}
+		if snapshot.max > h.max {
+			h.max = snapshot.max
+		}
+	}
+}
+
+// OpStats accumulates results for a single operation type.
+type OpStats struct {
+	Latency *Histogram
+	okCount int64
+	errs    int64
+	mu      sync.Mutex
+}
+
+// NewOpStats returns empty per-operation stats.
+func NewOpStats() *OpStats { return &OpStats{Latency: NewHistogram()} }
+
+// RecordOK records a successful operation with its latency.
+func (o *OpStats) RecordOK(d time.Duration) {
+	o.Latency.Record(d)
+	o.mu.Lock()
+	o.okCount++
+	o.mu.Unlock()
+}
+
+// RecordErr records a failed operation with its latency.
+func (o *OpStats) RecordErr(d time.Duration) {
+	o.Latency.Record(d)
+	o.mu.Lock()
+	o.errs++
+	o.mu.Unlock()
+}
+
+// OK returns the number of successful operations.
+func (o *OpStats) OK() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.okCount
+}
+
+// Errors returns the number of failed operations.
+func (o *OpStats) Errors() int64 {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	return o.errs
+}
+
+// Run collects measurements for one benchmark run: per-op histograms plus
+// overall wall-clock completion time. It is safe for concurrent use.
+type Run struct {
+	mu    sync.Mutex
+	ops   map[string]*OpStats
+	start time.Time
+	wall  time.Duration
+}
+
+// NewRun returns an empty run accumulator.
+func NewRun() *Run { return &Run{ops: make(map[string]*OpStats)} }
+
+// Start marks the beginning of the measured interval.
+func (r *Run) Start(now time.Time) {
+	r.mu.Lock()
+	r.start = now
+	r.mu.Unlock()
+}
+
+// Finish marks the end of the measured interval.
+func (r *Run) Finish(now time.Time) {
+	r.mu.Lock()
+	r.wall = now.Sub(r.start)
+	r.mu.Unlock()
+}
+
+// Op returns (creating if necessary) the accumulator for op name.
+func (r *Run) Op(name string) *OpStats {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	o, ok := r.ops[name]
+	if !ok {
+		o = NewOpStats()
+		r.ops[name] = o
+	}
+	return o
+}
+
+// WallTime returns the measured completion time of the run.
+func (r *Run) WallTime() time.Duration {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.wall
+}
+
+// SetWallTime overrides the measured interval; used when an external clock
+// (e.g. clock.Sim) owns time.
+func (r *Run) SetWallTime(d time.Duration) {
+	r.mu.Lock()
+	r.wall = d
+	r.mu.Unlock()
+}
+
+// TotalOps returns the number of operations recorded, successes + errors.
+func (r *Run) TotalOps() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var n int64
+	for _, o := range r.ops {
+		n += o.OK() + o.Errors()
+	}
+	return n
+}
+
+// TotalErrors returns the number of failed operations recorded.
+func (r *Run) TotalErrors() int64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var n int64
+	for _, o := range r.ops {
+		n += o.Errors()
+	}
+	return n
+}
+
+// Throughput returns operations per second over the measured wall time.
+func (r *Run) Throughput() float64 {
+	w := r.WallTime()
+	if w <= 0 {
+		return 0
+	}
+	return float64(r.TotalOps()) / w.Seconds()
+}
+
+// OpNames returns the recorded operation names, sorted.
+func (r *Run) OpNames() []string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	names := make([]string, 0, len(r.ops))
+	for k := range r.ops {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Summary renders a YCSB-style text report.
+func (r *Run) Summary() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "[OVERALL] RunTime %v\n", r.WallTime())
+	fmt.Fprintf(&b, "[OVERALL] Throughput %.1f ops/sec\n", r.Throughput())
+	for _, name := range r.OpNames() {
+		o := r.Op(name)
+		fmt.Fprintf(&b, "[%s] ok=%d err=%d avg=%v p50=%v p95=%v p99=%v max=%v\n",
+			name, o.OK(), o.Errors(), o.Latency.Mean(),
+			o.Latency.Percentile(50), o.Latency.Percentile(95),
+			o.Latency.Percentile(99), o.Latency.Max())
+	}
+	return b.String()
+}

@@ -1,0 +1,241 @@
+package stats
+
+import (
+	"math/rand"
+	"strings"
+	"sync"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestHistogramEmpty(t *testing.T) {
+	h := NewHistogram()
+	if h.Count() != 0 || h.Mean() != 0 || h.Min() != 0 || h.Max() != 0 {
+		t.Fatalf("empty histogram not zero: count=%d mean=%v min=%v max=%v",
+			h.Count(), h.Mean(), h.Min(), h.Max())
+	}
+	if h.Percentile(50) != 0 {
+		t.Fatalf("empty percentile = %v", h.Percentile(50))
+	}
+}
+
+func TestHistogramBasicMoments(t *testing.T) {
+	h := NewHistogram()
+	for _, d := range []time.Duration{time.Millisecond, 2 * time.Millisecond, 3 * time.Millisecond} {
+		h.Record(d)
+	}
+	if h.Count() != 3 {
+		t.Fatalf("count = %d", h.Count())
+	}
+	if h.Sum() != 6*time.Millisecond {
+		t.Fatalf("sum = %v", h.Sum())
+	}
+	if h.Mean() != 2*time.Millisecond {
+		t.Fatalf("mean = %v", h.Mean())
+	}
+	if h.Min() != time.Millisecond || h.Max() != 3*time.Millisecond {
+		t.Fatalf("min/max = %v/%v", h.Min(), h.Max())
+	}
+}
+
+func TestHistogramNegativeClamped(t *testing.T) {
+	h := NewHistogram()
+	h.Record(-time.Second)
+	if h.Min() != 0 || h.Count() != 1 {
+		t.Fatalf("negative not clamped: min=%v count=%d", h.Min(), h.Count())
+	}
+}
+
+func TestHistogramPercentileWithinBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		h := NewHistogram()
+		min, max := time.Duration(1<<62), time.Duration(0)
+		for i := 0; i < 200; i++ {
+			d := time.Duration(r.Int63n(int64(10 * time.Second)))
+			if d < min {
+				min = d
+			}
+			if d > max {
+				max = d
+			}
+			h.Record(d)
+		}
+		for _, p := range []float64{0, 1, 25, 50, 75, 95, 99, 100} {
+			v := h.Percentile(p)
+			if v < min || v > max {
+				return false
+			}
+		}
+		// Percentiles are monotonically non-decreasing.
+		prev := time.Duration(-1)
+		for p := 0.0; p <= 100; p += 5 {
+			v := h.Percentile(p)
+			if v < prev {
+				return false
+			}
+			prev = v
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHistogramPercentileAccuracy(t *testing.T) {
+	h := NewHistogram()
+	// 0..999 ms uniformly: p50 should land around 500ms within bucket error.
+	for i := 0; i < 1000; i++ {
+		h.Record(time.Duration(i) * time.Millisecond)
+	}
+	p50 := h.Percentile(50)
+	if p50 < 400*time.Millisecond || p50 > 600*time.Millisecond {
+		t.Fatalf("p50 = %v, want ~500ms", p50)
+	}
+	p99 := h.Percentile(99)
+	if p99 < 900*time.Millisecond {
+		t.Fatalf("p99 = %v, want >= 900ms", p99)
+	}
+}
+
+func TestHistogramMerge(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Record(time.Millisecond)
+	b.Record(time.Second)
+	b.Record(2 * time.Second)
+	a.Merge(b)
+	if a.Count() != 3 {
+		t.Fatalf("merged count = %d", a.Count())
+	}
+	if a.Min() != time.Millisecond || a.Max() != 2*time.Second {
+		t.Fatalf("merged min/max = %v/%v", a.Min(), a.Max())
+	}
+	if a.Sum() != time.Millisecond+3*time.Second {
+		t.Fatalf("merged sum = %v", a.Sum())
+	}
+}
+
+func TestHistogramMergeEmptyOther(t *testing.T) {
+	a, b := NewHistogram(), NewHistogram()
+	a.Record(time.Millisecond)
+	a.Merge(b)
+	if a.Count() != 1 || a.Min() != time.Millisecond {
+		t.Fatalf("merge with empty corrupted state: count=%d min=%v", a.Count(), a.Min())
+	}
+}
+
+func TestHistogramConcurrentRecord(t *testing.T) {
+	h := NewHistogram()
+	var wg sync.WaitGroup
+	const workers, per = 8, 1000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				h.Record(time.Duration(i+1) * time.Microsecond)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if h.Count() != workers*per {
+		t.Fatalf("count = %d, want %d", h.Count(), workers*per)
+	}
+}
+
+func TestOpStatsCounts(t *testing.T) {
+	o := NewOpStats()
+	o.RecordOK(time.Millisecond)
+	o.RecordOK(time.Millisecond)
+	o.RecordErr(time.Second)
+	if o.OK() != 2 || o.Errors() != 1 {
+		t.Fatalf("ok=%d errs=%d", o.OK(), o.Errors())
+	}
+	if o.Latency.Count() != 3 {
+		t.Fatalf("latency count = %d", o.Latency.Count())
+	}
+}
+
+func TestRunAccumulatesAndSummarizes(t *testing.T) {
+	r := NewRun()
+	start := time.Date(2020, 1, 1, 0, 0, 0, 0, time.UTC)
+	r.Start(start)
+	r.Op("READ").RecordOK(time.Millisecond)
+	r.Op("READ").RecordOK(3 * time.Millisecond)
+	r.Op("UPDATE").RecordErr(2 * time.Millisecond)
+	r.Finish(start.Add(2 * time.Second))
+
+	if r.WallTime() != 2*time.Second {
+		t.Fatalf("wall = %v", r.WallTime())
+	}
+	if r.TotalOps() != 3 {
+		t.Fatalf("total ops = %d", r.TotalOps())
+	}
+	if r.TotalErrors() != 1 {
+		t.Fatalf("total errors = %d", r.TotalErrors())
+	}
+	if tp := r.Throughput(); tp < 1.4 || tp > 1.6 {
+		t.Fatalf("throughput = %f, want 1.5", tp)
+	}
+	names := r.OpNames()
+	if len(names) != 2 || names[0] != "READ" || names[1] != "UPDATE" {
+		t.Fatalf("op names = %v", names)
+	}
+	s := r.Summary()
+	for _, want := range []string{"[OVERALL]", "[READ]", "[UPDATE]", "ok=2", "err=1"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("summary missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestRunSetWallTimeOverrides(t *testing.T) {
+	r := NewRun()
+	r.SetWallTime(42 * time.Minute)
+	if r.WallTime() != 42*time.Minute {
+		t.Fatalf("wall = %v", r.WallTime())
+	}
+}
+
+func TestRunThroughputZeroWall(t *testing.T) {
+	r := NewRun()
+	r.Op("X").RecordOK(time.Millisecond)
+	if r.Throughput() != 0 {
+		t.Fatalf("throughput with zero wall = %f", r.Throughput())
+	}
+}
+
+func TestRunOpIsStable(t *testing.T) {
+	r := NewRun()
+	a := r.Op("SCAN")
+	b := r.Op("SCAN")
+	if a != b {
+		t.Fatal("Op returned different accumulators for same name")
+	}
+}
+
+func TestBucketRoundTripOrdering(t *testing.T) {
+	// bucketValue(bucketFor(d)) must be within one bucket step of d.
+	for _, d := range []time.Duration{
+		1, 10, 123, time.Microsecond, 37 * time.Microsecond,
+		time.Millisecond, 999 * time.Millisecond, time.Second,
+		42 * time.Second, time.Hour,
+	} {
+		b := bucketFor(d)
+		v := bucketValue(b)
+		lo, hi := float64(d)/1.1, float64(d)*1.1
+		if float64(v) < lo || float64(v) > hi {
+			t.Fatalf("bucket roundtrip %v -> %v (bucket %d) off by >10%%", d, v, b)
+		}
+	}
+}
+
+func BenchmarkHistogramRecord(b *testing.B) {
+	h := NewHistogram()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Record(time.Duration(i%1000) * time.Microsecond)
+	}
+}

@@ -1,0 +1,224 @@
+package transit
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/securefs"
+)
+
+func newTestChannel(t *testing.T) *Channel {
+	t.Helper()
+	c, err := NewChannel(securefs.Key("transit-test"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestSealOpenRoundTrip(t *testing.T) {
+	sender := newTestChannel(t)
+	receiver := newTestChannel(t)
+	for _, payload := range [][]byte{[]byte("GET key1"), {}, bytes.Repeat([]byte("z"), 4096)} {
+		rec := sender.Seal(payload)
+		got, err := receiver.Open(rec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("roundtrip mismatch: %q vs %q", got, payload)
+		}
+	}
+}
+
+func TestCiphertextHidesPlaintext(t *testing.T) {
+	c := newTestChannel(t)
+	rec := c.Seal([]byte("ssn=123-45-6789"))
+	if bytes.Contains(rec, []byte("123-45-6789")) {
+		t.Fatal("plaintext visible in record")
+	}
+}
+
+func TestTamperDetected(t *testing.T) {
+	s, r := newTestChannel(t), newTestChannel(t)
+	rec := s.Seal([]byte("payload"))
+	rec[len(rec)-1] ^= 1
+	if _, err := r.Open(rec); !errors.Is(err, ErrAuth) {
+		t.Fatalf("err = %v, want ErrAuth", err)
+	}
+}
+
+func TestShortRecordRejected(t *testing.T) {
+	c := newTestChannel(t)
+	if _, err := c.Open([]byte("tiny")); !errors.Is(err, ErrAuth) {
+		t.Fatalf("err = %v, want ErrAuth", err)
+	}
+}
+
+func TestReplayRejected(t *testing.T) {
+	s, r := newTestChannel(t), newTestChannel(t)
+	rec := s.Seal([]byte("once"))
+	if _, err := r.Open(rec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Open(rec); !errors.Is(err, ErrAuth) {
+		t.Fatalf("replay err = %v, want ErrAuth", err)
+	}
+}
+
+func TestWrongKeyRejected(t *testing.T) {
+	s, err := NewChannel(securefs.Key("a"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := NewChannel(securefs.Key("b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := r.Open(s.Seal([]byte("x"))); !errors.Is(err, ErrAuth) {
+		t.Fatalf("err = %v, want ErrAuth", err)
+	}
+}
+
+func TestBadKeyLength(t *testing.T) {
+	if _, err := NewChannel([]byte("short")); err == nil {
+		t.Fatal("expected error")
+	}
+}
+
+func TestSequenceNumbersDistinct(t *testing.T) {
+	c := newTestChannel(t)
+	a := c.Seal([]byte("same"))
+	b := c.Seal([]byte("same"))
+	if bytes.Equal(a, b) {
+		t.Fatal("two seals of same payload identical — nonce reuse")
+	}
+}
+
+func TestConcurrentSealersProduceOpenableRecords(t *testing.T) {
+	s, r := newTestChannel(t), newTestChannel(t)
+	const workers, per = 8, 200
+	records := make(chan []byte, workers*per)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				records <- s.Seal([]byte("m"))
+			}
+		}()
+	}
+	wg.Wait()
+	close(records)
+	n := 0
+	for rec := range records {
+		if _, err := r.Open(rec); err != nil {
+			t.Fatal(err)
+		}
+		n++
+	}
+	if n != workers*per {
+		t.Fatalf("opened %d, want %d", n, workers*per)
+	}
+}
+
+func TestPipeRoundTrip(t *testing.T) {
+	p, err := NewPipe(securefs.Key("pipe"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := p.RoundTrip([]byte("GET k"), func(req []byte) []byte {
+		if string(req) != "GET k" {
+			t.Fatalf("server saw %q", req)
+		}
+		return []byte("VALUE v")
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(resp) != "VALUE v" {
+		t.Fatalf("resp = %q", resp)
+	}
+}
+
+func TestPipeDirectionsAreIndependent(t *testing.T) {
+	p, err := NewPipe(securefs.Key("pipe2"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A request record must not open as a response.
+	rec := p.SendRequest([]byte("req"))
+	if _, err := p.RecvResponse(rec); !errors.Is(err, ErrAuth) {
+		t.Fatalf("cross-direction open err = %v, want ErrAuth", err)
+	}
+}
+
+func TestPipeEmptyMasterRejected(t *testing.T) {
+	if _, err := NewPipe(nil); err == nil {
+		t.Fatal("expected error for empty master key")
+	}
+}
+
+func TestPipeManySequentialOps(t *testing.T) {
+	p, err := NewPipe(securefs.Key("seq"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		if _, err := p.RoundTrip([]byte{byte(i)}, func(b []byte) []byte { return b }); err != nil {
+			t.Fatalf("op %d: %v", i, err)
+		}
+	}
+}
+
+func TestRoundTripProperty(t *testing.T) {
+	p, err := NewPipe(securefs.Key("prop"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		payload := make([]byte, r.Intn(1024))
+		r.Read(payload)
+		resp, err := p.RoundTrip(payload, func(b []byte) []byte {
+			// Server echoes reversed.
+			out := make([]byte, len(b))
+			for i := range b {
+				out[i] = b[len(b)-1-i]
+			}
+			return out
+		})
+		if err != nil {
+			return false
+		}
+		for i := range payload {
+			if resp[i] != payload[len(payload)-1-i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPipeRoundTrip128B(b *testing.B) {
+	p, err := NewPipe(securefs.Key("bench"))
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("x"), 128)
+	echo := func(b []byte) []byte { return b }
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.RoundTrip(payload, echo); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

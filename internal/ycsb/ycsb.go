@@ -1,0 +1,281 @@
+// Package ycsb reimplements the Yahoo! Cloud Serving Benchmark core
+// workloads (Cooper et al., SoCC '10) used throughout the paper as the
+// "traditional workload" baseline: the load phase plus workloads A–F of
+// Table 2 (§6.1), with zipfian / latest request distributions and a
+// multi-threaded executor.
+package ycsb
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/dist"
+	"repro/internal/stats"
+)
+
+// ErrNotFound is returned by KV.Read for missing keys.
+var ErrNotFound = errors.New("ycsb: key not found")
+
+// KV is the storage binding the executor drives; implementations exist
+// for both engines (see bindings.go).
+type KV interface {
+	// Insert stores a new record.
+	Insert(key, value string) error
+	// Read fetches a record.
+	Read(key string) (string, error)
+	// Update overwrites an existing record.
+	Update(key, value string) error
+	// Scan reads up to count records starting at a position derived from
+	// startIdx, returning how many it saw.
+	Scan(startIdx int64, count int) (int, error)
+}
+
+// Op is a YCSB operation kind.
+type Op int
+
+// Operations.
+const (
+	OpRead Op = iota
+	OpUpdate
+	OpInsert
+	OpScan
+	OpReadModifyWrite
+)
+
+func (o Op) String() string {
+	switch o {
+	case OpRead:
+		return "READ"
+	case OpUpdate:
+		return "UPDATE"
+	case OpInsert:
+		return "INSERT"
+	case OpScan:
+		return "SCAN"
+	case OpReadModifyWrite:
+		return "RMW"
+	default:
+		return fmt.Sprintf("Op(%d)", int(o))
+	}
+}
+
+// RequestDist selects how record keys are chosen.
+type RequestDist int
+
+// Request distributions.
+const (
+	DistZipfian RequestDist = iota
+	DistUniform
+	DistLatest
+)
+
+// Workload is one YCSB workload definition.
+type Workload struct {
+	Name string
+	// Mix maps operations to weights.
+	Ops     []Op
+	Weights []float64
+	Dist    RequestDist
+	// MaxScanLength bounds scan sizes (workload E).
+	MaxScanLength int
+}
+
+// Workloads returns the paper's Table 2 set, keyed by letter.
+func Workloads() map[string]Workload {
+	return map[string]Workload{
+		"A": {Name: "A (session store)", Ops: []Op{OpRead, OpUpdate}, Weights: []float64{50, 50}, Dist: DistZipfian},
+		"B": {Name: "B (photo tagging)", Ops: []Op{OpRead, OpUpdate}, Weights: []float64{95, 5}, Dist: DistZipfian},
+		"C": {Name: "C (user profile cache)", Ops: []Op{OpRead}, Weights: []float64{100}, Dist: DistZipfian},
+		"D": {Name: "D (user status update)", Ops: []Op{OpRead, OpInsert}, Weights: []float64{95, 5}, Dist: DistLatest},
+		"E": {Name: "E (threaded conversation)", Ops: []Op{OpScan, OpInsert}, Weights: []float64{95, 5}, Dist: DistZipfian, MaxScanLength: 100},
+		"F": {Name: "F (user activity record)", Ops: []Op{OpReadModifyWrite}, Weights: []float64{100}, Dist: DistZipfian},
+	}
+}
+
+// WorkloadLetters lists the workloads in presentation order.
+func WorkloadLetters() []string { return []string{"A", "B", "C", "D", "E", "F"} }
+
+// Config parameterizes a run.
+type Config struct {
+	// Records is the number of records the load phase inserts.
+	Records int
+	// Operations is the number of operations the run phase executes.
+	Operations int
+	// Threads is the number of worker goroutines (paper: 16 for YCSB).
+	Threads int
+	// ValueSize is the record payload size in bytes.
+	ValueSize int
+	// MaxTime, when positive, stops the run phase at the deadline even if
+	// Operations have not been exhausted — fixed-duration measurement
+	// windows give comparable samples across configurations with very
+	// different speeds.
+	MaxTime time.Duration
+	// Seed drives all randomness.
+	Seed int64
+}
+
+// WithDefaults fills zero fields with benchmark defaults.
+func (c Config) WithDefaults() Config {
+	if c.Records == 0 {
+		c.Records = 10000
+	}
+	if c.Operations == 0 {
+		c.Operations = 10000
+	}
+	if c.Threads == 0 {
+		c.Threads = 16
+	}
+	if c.ValueSize == 0 {
+		c.ValueSize = 100
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	return c
+}
+
+// Key renders the i-th record key ("user" prefix, like YCSB).
+func Key(i int64) string { return fmt.Sprintf("user%012d", i) }
+
+// value builds a deterministic payload of n bytes.
+func value(r *rand.Rand, n int) string {
+	const alphabet = "abcdefghijklmnopqrstuvwxyz0123456789"
+	var b strings.Builder
+	b.Grow(n)
+	for i := 0; i < n; i++ {
+		b.WriteByte(alphabet[r.Intn(len(alphabet))])
+	}
+	return b.String()
+}
+
+// Load inserts cfg.Records records using cfg.Threads workers and returns
+// run statistics.
+func Load(kv KV, cfg Config) (*stats.Run, error) {
+	cfg = cfg.WithDefaults()
+	run := stats.NewRun()
+	run.Start(time.Now())
+	var next atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	for w := 0; w < cfg.Threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(cfg.Seed + int64(w)))
+			op := run.Op("INSERT")
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(cfg.Records) {
+					return
+				}
+				t0 := time.Now()
+				err := kv.Insert(Key(i), value(r, cfg.ValueSize))
+				if err != nil {
+					op.RecordErr(time.Since(t0))
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				op.RecordOK(time.Since(t0))
+			}
+		}(w)
+	}
+	wg.Wait()
+	run.Finish(time.Now())
+	if err, _ := firstErr.Load().(error); err != nil {
+		return run, err
+	}
+	return run, nil
+}
+
+// Run executes the named workload (letter A–F) against kv, assuming the
+// load phase already inserted cfg.Records records.
+func Run(kv KV, letter string, cfg Config) (*stats.Run, error) {
+	w, ok := Workloads()[letter]
+	if !ok {
+		return nil, fmt.Errorf("ycsb: unknown workload %q", letter)
+	}
+	cfg = cfg.WithDefaults()
+	run := stats.NewRun()
+	// insertSeq hands out fresh record indexes for OpInsert across workers.
+	var insertSeq atomic.Int64
+	insertSeq.Store(int64(cfg.Records))
+	var done atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+
+	var deadline time.Time
+	if cfg.MaxTime > 0 {
+		deadline = time.Now().Add(cfg.MaxTime)
+	}
+	run.Start(time.Now())
+	for t := 0; t < cfg.Threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(cfg.Seed + 100 + int64(t)))
+			chooser := dist.NewWeighted(r, w.Ops, w.Weights)
+			var keys dist.IntRange
+			switch w.Dist {
+			case DistUniform:
+				keys = dist.NewUniform(r, int64(cfg.Records))
+			case DistLatest:
+				keys = dist.NewLatest(r, int64(cfg.Records))
+			default:
+				keys = dist.NewScrambledZipfian(r, int64(cfg.Records))
+			}
+			scanLen := dist.NewUniform(r, int64(maxInt(w.MaxScanLength, 1)))
+			for done.Add(1) <= int64(cfg.Operations) {
+				if !deadline.IsZero() && time.Now().After(deadline) {
+					return
+				}
+				op := chooser.Next()
+				rec := run.Op(op.String())
+				t0 := time.Now()
+				var err error
+				switch op {
+				case OpRead:
+					_, err = kv.Read(Key(keys.Next()))
+				case OpUpdate:
+					err = kv.Update(Key(keys.Next()), value(r, cfg.ValueSize))
+				case OpInsert:
+					idx := insertSeq.Add(1) - 1
+					err = kv.Insert(Key(idx), value(r, cfg.ValueSize))
+					keys.SetItemCount(idx + 1)
+				case OpScan:
+					_, err = kv.Scan(keys.Next(), int(scanLen.Next())+1)
+				case OpReadModifyWrite:
+					k := Key(keys.Next())
+					if _, err = kv.Read(k); err == nil || errors.Is(err, ErrNotFound) {
+						err = kv.Update(k, value(r, cfg.ValueSize))
+					}
+				}
+				// Missing keys are a workload artifact (e.g. reads racing
+				// inserts in D), not an engine failure.
+				if err != nil && !errors.Is(err, ErrNotFound) {
+					rec.RecordErr(time.Since(t0))
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				rec.RecordOK(time.Since(t0))
+			}
+		}(t)
+	}
+	wg.Wait()
+	run.Finish(time.Now())
+	if err, _ := firstErr.Load().(error); err != nil {
+		return run, err
+	}
+	return run, nil
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
