@@ -15,6 +15,8 @@ import (
 	"path/filepath"
 	"strconv"
 	"strings"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -22,6 +24,8 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/kvstore"
+	"repro/internal/relstore"
+	"repro/internal/wal"
 )
 
 // benchExperiment runs one experiment per iteration and logs its table.
@@ -179,6 +183,134 @@ func BenchmarkFig7aRedisYCSBScale(b *testing.B)    { scaleBench(b, "F7a") }
 func BenchmarkFig7bRedisGDPRScale(b *testing.B)    { scaleBench(b, "F7b") }
 func BenchmarkFig8aPostgresYCSBScale(b *testing.B) { scaleBench(b, "F8a") }
 func BenchmarkFig8bPostgresGDPRScale(b *testing.B) { scaleBench(b, "F8b") }
+
+// ---------------------------------------------------------------------------
+// Locking ablation: relstore global mutex vs table locks + snapshots
+
+// benchRelstoreMix runs a read-heavy (Processor-style) operation mix —
+// 55% indexed selector reads (the READ-DATA-BY-attribute shape that
+// dominates the processor workload), 40% point reads by key, 5%
+// read-modify-write updates — against a 10k-row table, spread over the
+// given number of worker goroutines. Keys and predicates are precomputed
+// so the timed loop measures the engine, not fmt. It reports ops/sec so
+// the global-lock and table-lock legs compare directly.
+func benchRelstoreMix(b *testing.B, globalLock, durable bool, threads int) {
+	b.Helper()
+	cfg := relstore.Config{GlobalLock: globalLock}
+	if durable {
+		cfg.WALPath = filepath.Join(b.TempDir(), "bench.wal")
+		cfg.WALSync = wal.SyncOnCommit
+	}
+	db, err := relstore.Open(cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	schema := relstore.Schema{
+		Name: "records",
+		Columns: []relstore.Column{
+			{Name: "key", Type: relstore.TypeText},
+			{Name: "data", Type: relstore.TypeText},
+			{Name: "usr", Type: relstore.TypeText},
+			{Name: "score", Type: relstore.TypeInt},
+		},
+		PrimaryKey: "key",
+	}
+	if err := db.CreateTable(schema); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.Recover(); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.CreateIndex("records", "usr"); err != nil {
+		b.Fatal(err)
+	}
+	const records, users = 10_000, 1000
+	keys := make([]string, records)
+	for i := 0; i < records; i++ {
+		keys[i] = fmt.Sprintf("k%06d", i)
+		row := relstore.Row{keys[i], "data-payload", fmt.Sprintf("u%d", i%users), int64(0)}
+		if err := db.Insert("records", row); err != nil {
+			b.Fatal(err)
+		}
+	}
+	preds := make([]relstore.Predicate, users)
+	for u := 0; u < users; u++ {
+		preds[u] = relstore.Eq("usr", fmt.Sprintf("u%d", u))
+	}
+
+	b.ResetTimer()
+	start := time.Now()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= b.N {
+					return
+				}
+				switch {
+				case i%20 < 11: // 55%: indexed selector read (~10 rows)
+					if _, err := db.Select("records", preds[(i*31)%users]); err != nil {
+						b.Error(err)
+						return
+					}
+				case i%20 < 19: // 40%: point read by key
+					if _, _, err := db.Get("records", keys[(i*7)%records]); err != nil {
+						b.Error(err)
+						return
+					}
+				default: // 5%: read-modify-write
+					if _, err := db.UpdateFunc("records", keys[(i*13)%records], func(r relstore.Row) (relstore.Row, error) {
+						r[3] = r[3].(int64) + 1
+						return r, nil
+					}); err != nil {
+						b.Error(err)
+						return
+					}
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "ops/s")
+}
+
+// BenchmarkRelstoreLocking compares the seed's single global mutex
+// against per-table locking with copy-on-write snapshot reads, at 1, 4
+// and 8 worker threads on the Processor-style read-heavy mix — in
+// memory-only form and with synchronous-commit WAL writes. The
+// table-lock leg's reads never take a lock at all (they scale with
+// cores), and its commits fsync outside the lock via group commit; the
+// global-lock baseline serializes reads behind writers and, in the
+// durable variant, behind every writer's fsync, which is the seed's
+// original profile.
+func BenchmarkRelstoreLocking(b *testing.B) {
+	for _, mode := range []struct {
+		name    string
+		durable bool
+	}{
+		{"mem", false},
+		{"wal", true},
+	} {
+		for _, leg := range []struct {
+			name   string
+			global bool
+		}{
+			{"global-lock", true},
+			{"table-lock", false},
+		} {
+			for _, threads := range []int{1, 4, 8} {
+				b.Run(fmt.Sprintf("%s/%s/threads=%d", mode.name, leg.name, threads), func(b *testing.B) {
+					benchRelstoreMix(b, leg.global, mode.durable, threads)
+				})
+			}
+		}
+	}
+}
 
 // ---------------------------------------------------------------------------
 // Ablation benches (DESIGN.md §7)

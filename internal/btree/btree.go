@@ -8,6 +8,12 @@
 // the way down during insert, and deletes rebalance by borrowing or
 // merging. The tree is not safe for concurrent use; the owning table
 // serializes access.
+//
+// Clone produces an O(1) copy-on-write snapshot: both trees share every
+// node until one of them writes, at which point the writer path-copies
+// the nodes it touches (the structure-sharing scheme of google/btree and
+// of LMDB's pages). A clone frozen as a read-only snapshot can therefore
+// be read without any lock while the original keeps mutating.
 package btree
 
 import (
@@ -18,11 +24,17 @@ import (
 // DefaultDegree is a reasonable fan-out for in-memory use.
 const DefaultDegree = 32
 
+// owner is an ownership token: a node may be mutated in place only by the
+// tree whose token it carries; every other tree sharing it must copy
+// first (copy-on-write).
+type owner struct{ _ byte }
+
 // Tree is a B-tree mapping string keys to values of type V.
 type Tree[V any] struct {
 	root   *node[V]
 	degree int
 	size   int
+	cow    *owner
 }
 
 type item[V any] struct {
@@ -33,6 +45,7 @@ type item[V any] struct {
 type node[V any] struct {
 	items    []item[V]
 	children []*node[V] // nil for leaves
+	cow      *owner
 }
 
 func (n *node[V]) leaf() bool { return len(n.children) == 0 }
@@ -42,7 +55,45 @@ func New[V any](degree int) *Tree[V] {
 	if degree < 2 {
 		degree = 2
 	}
-	return &Tree[V]{degree: degree}
+	return &Tree[V]{degree: degree, cow: new(owner)}
+}
+
+// Clone returns a copy of the tree in O(1). The clone and the original
+// share all current nodes; each side lazily copies the nodes it mutates,
+// so writes on one are never visible through the other. Cloning is not
+// safe concurrently with writes to the same tree (callers hold the
+// writer's lock), but a clone handed out as a snapshot may be read freely
+// while the original continues to change.
+func (t *Tree[V]) Clone() *Tree[V] {
+	// Both trees get fresh ownership tokens, so every pre-existing node
+	// (carrying the old token) reads as shared to both sides.
+	out := *t
+	t.cow = new(owner)
+	out.cow = new(owner)
+	return &out
+}
+
+// mutable returns a node the tree may mutate in place: n itself when the
+// tree owns it, otherwise a copy carrying the tree's token.
+func (t *Tree[V]) mutable(n *node[V]) *node[V] {
+	if n.cow == t.cow {
+		return n
+	}
+	c := &node[V]{
+		cow:   t.cow,
+		items: append(make([]item[V], 0, cap(n.items)), n.items...),
+	}
+	if len(n.children) > 0 {
+		c.children = append(make([]*node[V], 0, cap(n.children)), n.children...)
+	}
+	return c
+}
+
+// mutableChild makes child i of (already-mutable) n mutable and re-links it.
+func (t *Tree[V]) mutableChild(n *node[V], i int) *node[V] {
+	c := t.mutable(n.children[i])
+	n.children[i] = c
+	return c
 }
 
 // NewDefault returns an empty tree with DefaultDegree.
@@ -90,13 +141,14 @@ func (t *Tree[V]) Has(key string) bool {
 // was newly inserted.
 func (t *Tree[V]) Set(key string, value V) bool {
 	if t.root == nil {
-		t.root = &node[V]{items: []item[V]{{key, value}}}
+		t.root = &node[V]{cow: t.cow, items: []item[V]{{key, value}}}
 		t.size = 1
 		return true
 	}
+	t.root = t.mutable(t.root)
 	if len(t.root.items) >= t.maxItems() {
 		old := t.root
-		t.root = &node[V]{children: []*node[V]{old}}
+		t.root = &node[V]{cow: t.cow, children: []*node[V]{old}}
 		t.splitChild(t.root, 0)
 	}
 	inserted := t.insertNonFull(t.root, key, value)
@@ -107,12 +159,13 @@ func (t *Tree[V]) Set(key string, value V) bool {
 }
 
 // splitChild splits the full child parent.children[i] around its median.
+// The parent must already be mutable.
 func (t *Tree[V]) splitChild(parent *node[V], i int) {
-	child := parent.children[i]
+	child := t.mutableChild(parent, i)
 	mid := t.degree - 1
 	median := child.items[mid]
 
-	right := &node[V]{items: append([]item[V](nil), child.items[mid+1:]...)}
+	right := &node[V]{cow: t.cow, items: append([]item[V](nil), child.items[mid+1:]...)}
 	if !child.leaf() {
 		right.children = append([]*node[V](nil), child.children[mid+1:]...)
 		child.children = child.children[:mid+1]
@@ -152,7 +205,7 @@ func (t *Tree[V]) insertNonFull(n *node[V], key string, value V) bool {
 				i++
 			}
 		}
-		n = n.children[i]
+		n = t.mutableChild(n, i)
 	}
 }
 
@@ -161,6 +214,7 @@ func (t *Tree[V]) Delete(key string) bool {
 	if t.root == nil {
 		return false
 	}
+	t.root = t.mutable(t.root)
 	deleted := t.delete(t.root, key)
 	if len(t.root.items) == 0 {
 		if t.root.leaf() {
@@ -175,6 +229,8 @@ func (t *Tree[V]) Delete(key string) bool {
 	return deleted
 }
 
+// delete removes key from the subtree rooted at n, which must already be
+// mutable; children are made mutable on the way down.
 func (t *Tree[V]) delete(n *node[V], key string) bool {
 	i, found := n.find(key)
 	if n.leaf() {
@@ -187,14 +243,14 @@ func (t *Tree[V]) delete(n *node[V], key string) bool {
 	if found {
 		// Replace with predecessor (which lives in a leaf) then delete it
 		// from the child, growing the child first if needed.
-		child := n.children[i]
+		child := t.mutableChild(n, i)
 		if len(child.items) > t.minItems() {
 			pred := maxItem(child)
 			n.items[i] = pred
 			return t.delete(child, pred.key)
 		}
-		right := n.children[i+1]
-		if len(right.items) > t.minItems() {
+		if right := n.children[i+1]; len(right.items) > t.minItems() {
+			right = t.mutableChild(n, i+1)
 			succ := minItem(right)
 			n.items[i] = succ
 			return t.delete(right, succ.key)
@@ -204,21 +260,20 @@ func (t *Tree[V]) delete(n *node[V], key string) bool {
 		return t.delete(child, key)
 	}
 	// Key lives in subtree i; ensure the child can lose an item.
-	child := n.children[i]
-	if len(child.items) <= t.minItems() {
+	if len(n.children[i].items) <= t.minItems() {
 		i = t.grow(n, i)
-		child = n.children[i]
 	}
-	return t.delete(child, key)
+	return t.delete(t.mutableChild(n, i), key)
 }
 
 // grow makes n.children[i] have more than minItems items, by borrowing
-// from a sibling or merging. It returns the (possibly shifted) child index.
+// from a sibling or merging. n must be mutable; grow makes the children
+// it rearranges mutable. It returns the (possibly shifted) child index.
 func (t *Tree[V]) grow(n *node[V], i int) int {
-	child := n.children[i]
 	if i > 0 && len(n.children[i-1].items) > t.minItems() {
 		// Borrow from left sibling through the separator.
-		left := n.children[i-1]
+		child := t.mutableChild(n, i)
+		left := t.mutableChild(n, i-1)
 		child.items = append(child.items, item[V]{})
 		copy(child.items[1:], child.items)
 		child.items[0] = n.items[i-1]
@@ -235,7 +290,8 @@ func (t *Tree[V]) grow(n *node[V], i int) int {
 	}
 	if i < len(n.children)-1 && len(n.children[i+1].items) > t.minItems() {
 		// Borrow from right sibling.
-		right := n.children[i+1]
+		child := t.mutableChild(n, i)
+		right := t.mutableChild(n, i+1)
 		child.items = append(child.items, n.items[i])
 		n.items[i] = right.items[0]
 		right.items = append(right.items[:0], right.items[1:]...)
@@ -256,8 +312,10 @@ func (t *Tree[V]) grow(n *node[V], i int) int {
 }
 
 // mergeChildren merges n.children[i], n.items[i] and n.children[i+1].
+// n must be mutable; the left child is made mutable (the right is only
+// read and then dropped, so it may stay shared).
 func (t *Tree[V]) mergeChildren(n *node[V], i int) {
-	left := n.children[i]
+	left := t.mutableChild(n, i)
 	right := n.children[i+1]
 	left.items = append(left.items, n.items[i])
 	left.items = append(left.items, right.items...)

@@ -1,0 +1,189 @@
+package btree
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+func fill(t *Tree[int], n int) {
+	for i := 0; i < n; i++ {
+		t.Set(fmt.Sprintf("k%06d", i), i)
+	}
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	a := NewDefault[int]()
+	fill(a, 2000)
+	b := a.Clone()
+
+	// Writes to a are invisible in b and vice versa.
+	a.Set("k000000", -1)
+	a.Delete("k000001")
+	a.Set("new-a", 1)
+	b.Set("k000002", -2)
+	b.Delete("k000003")
+	b.Set("new-b", 2)
+
+	if v, _ := b.Get("k000000"); v != 0 {
+		t.Fatalf("clone saw original's write: %d", v)
+	}
+	if !b.Has("k000001") {
+		t.Fatal("clone saw original's delete")
+	}
+	if b.Has("new-a") {
+		t.Fatal("clone saw original's insert")
+	}
+	if v, _ := a.Get("k000002"); v != 2 {
+		t.Fatalf("original saw clone's write: %d", v)
+	}
+	if !a.Has("k000003") {
+		t.Fatal("original saw clone's delete")
+	}
+	if a.Has("new-b") {
+		t.Fatal("original saw clone's insert")
+	}
+	if a.Len() != 2000 || b.Len() != 2000 {
+		t.Fatalf("sizes = %d, %d", a.Len(), b.Len())
+	}
+	for _, tree := range []*Tree[int]{a, b} {
+		if err := tree.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestCloneSurvivesMutationStorm(t *testing.T) {
+	r := rand.New(rand.NewSource(1))
+	a := NewDefault[int]()
+	fill(a, 500)
+	// Take snapshots at random points while hammering the original with
+	// inserts and deletes; every snapshot must stay frozen.
+	type snap struct {
+		tree *Tree[int]
+		len  int
+	}
+	var snaps []snap
+	live := map[string]bool{}
+	for i := 0; i < 500; i++ {
+		live[fmt.Sprintf("k%06d", i)] = true
+	}
+	for op := 0; op < 20_000; op++ {
+		k := fmt.Sprintf("k%06d", r.Intn(2000))
+		if r.Intn(2) == 0 {
+			a.Set(k, op)
+			live[k] = true
+		} else {
+			a.Delete(k)
+			delete(live, k)
+		}
+		if op%2500 == 0 {
+			snaps = append(snaps, snap{a.Clone(), a.Len()})
+		}
+	}
+	if a.Len() != len(live) {
+		t.Fatalf("live size = %d, want %d", a.Len(), len(live))
+	}
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range snaps {
+		if s.tree.Len() != s.len {
+			t.Fatalf("snapshot %d size drifted: %d -> %d", i, s.len, s.tree.Len())
+		}
+		if err := s.tree.CheckInvariants(); err != nil {
+			t.Fatalf("snapshot %d: %v", i, err)
+		}
+		prev := ""
+		s.tree.Ascend(func(k string, _ int) bool {
+			if prev != "" && k <= prev {
+				t.Fatalf("snapshot %d out of order: %q after %q", i, k, prev)
+			}
+			prev = k
+			return true
+		})
+	}
+}
+
+func TestCloneOfClone(t *testing.T) {
+	a := NewDefault[int]()
+	fill(a, 300)
+	b := a.Clone()
+	b.Set("only-b", 1)
+	c := b.Clone()
+	c.Delete("only-b")
+	c.Set("only-c", 2)
+	if !b.Has("only-b") || b.Has("only-c") {
+		t.Fatal("second-generation clone leaked into parent")
+	}
+	if a.Has("only-b") || a.Has("only-c") {
+		t.Fatal("grandparent saw descendants' writes")
+	}
+	for _, tree := range []*Tree[int]{a, b, c} {
+		if err := tree.CheckInvariants(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestCloneConcurrentReadsDuringWrites is the property the relational
+// engine's snapshot reads rely on: a clone handed to readers is safe to
+// iterate, with no synchronization, while the original mutates. Run under
+// -race this validates the copy-on-write discipline.
+func TestCloneConcurrentReadsDuringWrites(t *testing.T) {
+	a := NewDefault[int]()
+	fill(a, 5000)
+	snapshot := a.Clone()
+
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				n := 0
+				snapshot.Ascend(func(string, int) bool { n++; return true })
+				if n != 5000 {
+					t.Errorf("snapshot iteration saw %d keys", n)
+					return
+				}
+				if _, ok := snapshot.Get(fmt.Sprintf("k%06d", w*1000)); !ok {
+					t.Error("snapshot lost a key")
+					return
+				}
+			}
+		}(w)
+	}
+	r := rand.New(rand.NewSource(2))
+	for op := 0; op < 30_000; op++ {
+		k := fmt.Sprintf("k%06d", r.Intn(10_000))
+		if r.Intn(2) == 0 {
+			a.Set(k, op)
+		} else {
+			a.Delete(k)
+		}
+	}
+	close(stop)
+	wg.Wait()
+	if err := a.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkCloneThenWrite(b *testing.B) {
+	a := NewDefault[int]()
+	fill(a, 100_000)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = a.Clone() // snapshot per write batch, as the engine publishes
+		a.Set(fmt.Sprintf("k%06d", i%200_000), i)
+	}
+}

@@ -65,6 +65,14 @@ type DB interface {
 	Close() error
 }
 
+// BatchCreator is implemented by clients with a bulk CREATE-RECORD path
+// (one engine call, one durability wait per batch). core.Load prefers it
+// when present; clients without one — the Redis model keeps the paper's
+// one-command-per-record shape — load record by record.
+type BatchCreator interface {
+	CreateRecords(a acl.Actor, recs []gdpr.Record) error
+}
+
 // SpaceUsage captures §4.2.3's storage space overhead: "the ratio of
 // total size of the database to the total size of personal data in it".
 type SpaceUsage struct {

@@ -1,0 +1,214 @@
+// Package dist provides the random-selection distributions the benchmark
+// workloads draw keys and operations from, reimplementing the YCSB core
+// generators (Cooper et al., SoCC '10): uniform, scrambled zipfian (the
+// hotspot distribution YCSB popularized), latest (zipfian skew toward the
+// most recently inserted records, workload D) and a weighted chooser for
+// operation mixes.
+//
+// Generators are not safe for concurrent use; each worker goroutine owns
+// its own generator seeded from its own *rand.Rand, which keeps runs
+// deterministic per (seed, thread) without any locking on the hot path.
+package dist
+
+import (
+	"math"
+	"math/rand"
+)
+
+// Generator yields record indexes under some distribution.
+type Generator interface {
+	// Next returns the next index in [0, item count).
+	Next() int64
+}
+
+// IntRange is a Generator over a growable key space: SetItemCount extends
+// the range as the workload inserts new records (YCSB workloads D and E).
+type IntRange interface {
+	Generator
+	// SetItemCount resizes the selection range to n items. Counts only
+	// grow; a smaller or non-positive n is ignored.
+	SetItemCount(n int64)
+}
+
+// ---------------------------------------------------------------------------
+// Uniform
+
+// Uniform selects uniformly from [0, n).
+type Uniform struct {
+	r *rand.Rand
+	n int64
+}
+
+// NewUniform builds a uniform generator over [0, n); n is clamped to >= 1.
+func NewUniform(r *rand.Rand, n int64) *Uniform {
+	if n < 1 {
+		n = 1
+	}
+	return &Uniform{r: r, n: n}
+}
+
+// Next implements Generator.
+func (u *Uniform) Next() int64 { return u.r.Int63n(u.n) }
+
+// SetItemCount implements IntRange.
+func (u *Uniform) SetItemCount(n int64) {
+	if n > u.n {
+		u.n = n
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Zipfian
+
+// zipfianConstant is YCSB's default skew (theta).
+const zipfianConstant = 0.99
+
+// zipfian samples [0, items) with popularity ~ 1/rank^theta, item 0 the
+// most popular. It is YCSB's ZipfianGenerator: the rejection-free inverse
+// CDF of Gray et al. ("Quickly generating billion-record synthetic
+// databases", SIGMOD '94), with the zeta normalization constant extended
+// incrementally as the item count grows.
+type zipfian struct {
+	r          *rand.Rand
+	items      int64
+	theta      float64
+	alpha      float64
+	zetan      float64 // zeta(items, theta)
+	zeta2theta float64 // zeta(2, theta)
+	eta        float64
+}
+
+func newZipfian(r *rand.Rand, items int64) *zipfian {
+	if items < 1 {
+		items = 1
+	}
+	z := &zipfian{r: r, theta: zipfianConstant}
+	z.zeta2theta = zetaRange(0, 2, z.theta)
+	z.alpha = 1 / (1 - z.theta)
+	z.grow(items)
+	return z
+}
+
+// zetaRange returns sum_{i=lo+1..hi} 1/i^theta.
+func zetaRange(lo, hi int64, theta float64) float64 {
+	var sum float64
+	for i := lo + 1; i <= hi; i++ {
+		sum += 1 / math.Pow(float64(i), theta)
+	}
+	return sum
+}
+
+// grow extends the distribution to n items, updating zeta incrementally.
+func (z *zipfian) grow(n int64) {
+	if n <= z.items {
+		return
+	}
+	z.zetan += zetaRange(z.items, n, z.theta)
+	z.items = n
+	z.eta = (1 - math.Pow(2/float64(n), 1-z.theta)) / (1 - z.zeta2theta/z.zetan)
+}
+
+func (z *zipfian) Next() int64 {
+	u := z.r.Float64()
+	uz := u * z.zetan
+	if uz < 1 {
+		return 0
+	}
+	if uz < 1+math.Pow(0.5, z.theta) {
+		return 1
+	}
+	return int64(float64(z.items) * math.Pow(z.eta*u-z.eta+1, z.alpha))
+}
+
+// ScrambledZipfian spreads a zipfian's popular items across the whole key
+// space by hashing (YCSB's ScrambledZipfianGenerator): access frequency
+// keeps the zipfian shape while hot keys land on uncorrelated indexes.
+type ScrambledZipfian struct {
+	z *zipfian
+}
+
+// NewScrambledZipfian builds a scrambled-zipfian generator over [0, n).
+func NewScrambledZipfian(r *rand.Rand, n int64) *ScrambledZipfian {
+	return &ScrambledZipfian{z: newZipfian(r, n)}
+}
+
+// Next implements Generator.
+func (s *ScrambledZipfian) Next() int64 {
+	return int64(fnv64(uint64(s.z.Next())) % uint64(s.z.items))
+}
+
+// SetItemCount implements IntRange.
+func (s *ScrambledZipfian) SetItemCount(n int64) { s.z.grow(n) }
+
+// fnv64 is FNV-1a over the 8 bytes of v, YCSB's key scrambler.
+func fnv64(v uint64) uint64 {
+	const (
+		offset = 0xcbf29ce484222325
+		prime  = 0x100000001b3
+	)
+	h := uint64(offset)
+	for i := 0; i < 8; i++ {
+		h ^= v & 0xff
+		h *= prime
+		v >>= 8
+	}
+	return h
+}
+
+// ---------------------------------------------------------------------------
+// Latest
+
+// Latest skews selection toward the most recently inserted records
+// (YCSB's SkewedLatestGenerator, workload D: "people care about the
+// latest status updates"): index n-1 is the most popular.
+type Latest struct {
+	z *zipfian
+}
+
+// NewLatest builds a latest generator over [0, n).
+func NewLatest(r *rand.Rand, n int64) *Latest {
+	return &Latest{z: newZipfian(r, n)}
+}
+
+// Next implements Generator.
+func (l *Latest) Next() int64 { return l.z.items - 1 - l.z.Next() }
+
+// SetItemCount implements IntRange.
+func (l *Latest) SetItemCount(n int64) { l.z.grow(n) }
+
+// ---------------------------------------------------------------------------
+// Weighted
+
+// Weighted selects among items with the given relative weights — the
+// operation-mix chooser behind every workload table.
+type Weighted[T any] struct {
+	r     *rand.Rand
+	items []T
+	cum   []float64 // cumulative weights
+	total float64
+}
+
+// NewWeighted builds a weighted chooser. Non-positive weights make their
+// item unselectable; items and weights must have equal length (callers
+// validate; a mismatch panics like any index error would).
+func NewWeighted[T any](r *rand.Rand, items []T, weights []float64) *Weighted[T] {
+	w := &Weighted[T]{r: r, items: items, cum: make([]float64, len(items))}
+	for i := range items {
+		if weights[i] > 0 {
+			w.total += weights[i]
+		}
+		w.cum[i] = w.total
+	}
+	return w
+}
+
+// Next returns one item drawn with probability proportional to its weight.
+func (w *Weighted[T]) Next() T {
+	u := w.r.Float64() * w.total
+	for i, c := range w.cum {
+		if u < c {
+			return w.items[i]
+		}
+	}
+	return w.items[len(w.items)-1]
+}

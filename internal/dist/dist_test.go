@@ -1,0 +1,231 @@
+package dist
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+const samples = 200_000
+
+func draw(g Generator, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = g.Next()
+	}
+	return out
+}
+
+func TestUniformShape(t *testing.T) {
+	const items = 1000
+	u := NewUniform(rand.New(rand.NewSource(1)), items)
+	counts := make([]int, items)
+	var sum float64
+	for _, v := range draw(u, samples) {
+		if v < 0 || v >= items {
+			t.Fatalf("out of range: %d", v)
+		}
+		counts[v]++
+		sum += float64(v)
+	}
+	// Mean of U[0, n) is (n-1)/2; allow 2% of n drift.
+	mean := sum / samples
+	if math.Abs(mean-(items-1)/2.0) > 0.02*items {
+		t.Fatalf("uniform mean = %.1f", mean)
+	}
+	// No item should be wildly over-represented (expected 200 each).
+	for i, c := range counts {
+		if c > 4*samples/items {
+			t.Fatalf("item %d drawn %d times", i, c)
+		}
+	}
+}
+
+func TestUniformGrowth(t *testing.T) {
+	u := NewUniform(rand.New(rand.NewSource(1)), 1)
+	for i := 0; i < 100; i++ {
+		if v := u.Next(); v != 0 {
+			t.Fatalf("single-item uniform returned %d", v)
+		}
+	}
+	u.SetItemCount(50)
+	seenHigh := false
+	for i := 0; i < 1000; i++ {
+		v := u.Next()
+		if v < 0 || v >= 50 {
+			t.Fatalf("out of range after grow: %d", v)
+		}
+		if v >= 25 {
+			seenHigh = true
+		}
+	}
+	if !seenHigh {
+		t.Fatal("grown uniform never drew from upper half")
+	}
+	u.SetItemCount(10) // shrink ignored
+	for i := 0; i < 100; i++ {
+		if u.Next() >= 50 {
+			t.Fatal("range exceeded after ignored shrink")
+		}
+	}
+}
+
+// zipfFreqs counts draw frequencies of the raw (unscrambled) zipfian.
+func zipfFreqs(t *testing.T, items int64) []int {
+	t.Helper()
+	z := newZipfian(rand.New(rand.NewSource(7)), items)
+	counts := make([]int, items)
+	for i := 0; i < samples; i++ {
+		v := z.Next()
+		if v < 0 || v >= items {
+			t.Fatalf("out of range: %d", v)
+		}
+		counts[v]++
+	}
+	return counts
+}
+
+func TestZipfianShape(t *testing.T) {
+	const items = 1000
+	counts := zipfFreqs(t, items)
+	// Theoretical P(0) = 1/zeta(n); with theta=0.99, n=1000 that is
+	// roughly 1/7.5 ≈ 13%. Pin it loosely.
+	p0 := float64(counts[0]) / samples
+	if p0 < 0.08 || p0 > 0.20 {
+		t.Fatalf("P(rank 0) = %.3f, want ~0.13", p0)
+	}
+	// Popularity decays with rank: rank 0 ≫ rank 10 ≫ rank 100.
+	if !(counts[0] > 2*counts[10] && counts[10] > 2*counts[100]) {
+		t.Fatalf("zipf decay broken: c0=%d c10=%d c100=%d", counts[0], counts[10], counts[100])
+	}
+	// The head dominates: top 10 ranks should cover > 30% of draws.
+	head := 0
+	for _, c := range counts[:10] {
+		head += c
+	}
+	if frac := float64(head) / samples; frac < 0.30 {
+		t.Fatalf("top-10 mass = %.3f", frac)
+	}
+}
+
+func TestScrambledZipfianSpreadsHotKeys(t *testing.T) {
+	const items = 1000
+	s := NewScrambledZipfian(rand.New(rand.NewSource(7)), items)
+	counts := make([]int, items)
+	for i := 0; i < samples; i++ {
+		v := s.Next()
+		if v < 0 || v >= items {
+			t.Fatalf("out of range: %d", v)
+		}
+		counts[v]++
+	}
+	sorted := append([]int(nil), counts...)
+	sort.Sort(sort.Reverse(sort.IntSlice(sorted)))
+	// Same skew as the raw zipfian: the most popular key keeps its ~13%
+	// mass after scrambling.
+	if p := float64(sorted[0]) / samples; p < 0.08 || p > 0.20 {
+		t.Fatalf("hottest key mass = %.3f", p)
+	}
+	// But the hot keys are spread: the top 5 keys by frequency must not
+	// be the first 5 indexes.
+	type kv struct{ idx, c int }
+	var all []kv
+	for i, c := range counts {
+		all = append(all, kv{i, c})
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].c > all[j].c })
+	low := 0
+	for _, e := range all[:5] {
+		if e.idx < 10 {
+			low++
+		}
+	}
+	if low >= 3 {
+		t.Fatalf("hot keys not scrambled: top-5 indexes %v", all[:5])
+	}
+}
+
+func TestScrambledZipfianGrowth(t *testing.T) {
+	s := NewScrambledZipfian(rand.New(rand.NewSource(3)), 100)
+	s.SetItemCount(200)
+	seen := false
+	for i := 0; i < 20_000; i++ {
+		v := s.Next()
+		if v < 0 || v >= 200 {
+			t.Fatalf("out of range after grow: %d", v)
+		}
+		if v >= 100 {
+			seen = true
+		}
+	}
+	if !seen {
+		t.Fatal("grown scrambled zipfian never hit new range")
+	}
+}
+
+func TestLatestSkewsToRecent(t *testing.T) {
+	const items = 1000
+	l := NewLatest(rand.New(rand.NewSource(5)), items)
+	var newest, oldest int
+	for i := 0; i < samples; i++ {
+		v := l.Next()
+		if v < 0 || v >= items {
+			t.Fatalf("out of range: %d", v)
+		}
+		if v >= items-10 {
+			newest++
+		}
+		if v < 10 {
+			oldest++
+		}
+	}
+	if newest < 20*oldest+1 {
+		t.Fatalf("latest not skewed to recent: newest10=%d oldest10=%d", newest, oldest)
+	}
+	// After an insert, the newest index becomes reachable.
+	l.SetItemCount(items + 1)
+	hitNew := false
+	for i := 0; i < 10_000; i++ {
+		if l.Next() == items {
+			hitNew = true
+			break
+		}
+	}
+	if !hitNew {
+		t.Fatal("latest never selected the newly inserted item")
+	}
+}
+
+func TestWeightedProportions(t *testing.T) {
+	w := NewWeighted(rand.New(rand.NewSource(9)), []string{"a", "b", "c"}, []float64{70, 25, 5})
+	counts := map[string]int{}
+	for i := 0; i < samples; i++ {
+		counts[w.Next()]++
+	}
+	for item, want := range map[string]float64{"a": 0.70, "b": 0.25, "c": 0.05} {
+		got := float64(counts[item]) / samples
+		if math.Abs(got-want) > 0.02 {
+			t.Fatalf("P(%s) = %.3f, want %.2f", item, got, want)
+		}
+	}
+}
+
+func TestWeightedZeroWeightUnselectable(t *testing.T) {
+	w := NewWeighted(rand.New(rand.NewSource(2)), []int{1, 2, 3}, []float64{0, 50, 50})
+	for i := 0; i < 10_000; i++ {
+		if w.Next() == 1 {
+			t.Fatal("zero-weight item selected")
+		}
+	}
+}
+
+func TestGeneratorsAreDeterministicPerSeed(t *testing.T) {
+	a := NewScrambledZipfian(rand.New(rand.NewSource(42)), 500)
+	b := NewScrambledZipfian(rand.New(rand.NewSource(42)), 500)
+	for i := 0; i < 1000; i++ {
+		if a.Next() != b.Next() {
+			t.Fatal("same seed diverged")
+		}
+	}
+}

@@ -29,13 +29,31 @@ type Config struct {
 	// retrofit: csvlog plus a row-level-security policy recording query
 	// responses).
 	LogStatements bool
+	// GlobalLock serializes every operation behind one exclusive mutex
+	// and disables snapshot reads — the engine's original contention
+	// profile, kept as an ablation baseline so the locking benchmarks can
+	// measure what table-level locking and copy-on-write snapshots buy.
+	GlobalLock bool
 }
 
-// DB is the relational engine: a set of tables behind one lock, with
-// write-ahead logging and optional statement logging. All methods are
-// safe for concurrent use.
+// DB is the relational engine: a set of tables with write-ahead logging
+// and optional statement logging. All methods are safe for concurrent
+// use.
+//
+// Concurrency model (see DESIGN.md): the DB-level mu is a meta lock —
+// every operation holds it shared for its whole duration, while
+// CreateTable, Recover and Close take it exclusively. Writers then take
+// their table's write lock, mutate the live view, append to the WAL, and
+// publish a copy-on-write snapshot before releasing; the group-commit
+// durability wait happens after the table lock is released, so
+// concurrent committers batch into one fsync. Readers load the published
+// snapshot and never take a table lock at all: reads on one table run in
+// parallel with each other, with writes to that table, and with
+// everything on other tables. Config.GlobalLock restores the original
+// one-big-mutex behavior for baseline measurements.
 type DB struct {
-	mu     sync.Mutex
+	mu     sync.RWMutex // meta lock: tables map, wal, closed, ttl fields
+	gmu    sync.Mutex   // the single big lock, used only under Config.GlobalLock
 	tables map[string]*Table
 	clk    clock.Clock
 	wal    *wal.WAL
@@ -75,26 +93,97 @@ func (db *DB) CreateTable(s Schema) error {
 	return nil
 }
 
+// lockTable acquires the write lock covering t: the table's own lock, or
+// the global mutex when Config.GlobalLock is set. It returns the release
+// function.
+func (db *DB) lockTable(t *Table) func() {
+	if db.cfg.GlobalLock {
+		db.gmu.Lock()
+		return db.gmu.Unlock
+	}
+	t.mu.Lock()
+	return t.mu.Unlock
+}
+
+// readView returns a read-only view of t: the published snapshot
+// (lock-free, never blocks behind writers), or the live view under the
+// global mutex when Config.GlobalLock is set.
+func (db *DB) readView(t *Table) (*view, func()) {
+	if db.cfg.GlobalLock {
+		db.gmu.Lock()
+		return &t.live, db.gmu.Unlock
+	}
+	return t.reader(), func() {}
+}
+
+// publish marks t's snapshot stale so the next reader refreshes it; the
+// clone itself is deferred to that reader (see Table.reader). Callers
+// hold t's write lock. Under GlobalLock snapshots are not used, so this
+// is skipped to keep the baseline's write path faithful to the original.
+func (db *DB) publish(t *Table) {
+	if db.cfg.GlobalLock {
+		return
+	}
+	t.markDirty()
+}
+
+// waitDurable blocks until the WAL record at lsn is on stable storage
+// (group commit). Called after the table lock is released so that
+// concurrent committers share one fsync.
+func (db *DB) waitDurable(lsn uint64) error {
+	if db.wal == nil || lsn == 0 {
+		return nil
+	}
+	return db.wal.WaitDurable(lsn)
+}
+
+// commit finishes a write: release the write lock, then wait for WAL
+// durability so concurrent committers batch into one fsync. Under
+// GlobalLock the wait happens while still holding the lock — the seed's
+// original profile, where a synchronous commit stalled every other
+// operation behind the fsync — keeping the ablation baseline faithful.
+func (db *DB) commit(unlock func(), lsn uint64) error {
+	if db.cfg.GlobalLock {
+		err := db.waitDurable(lsn)
+		unlock()
+		return err
+	}
+	unlock()
+	return db.waitDurable(lsn)
+}
+
 // CreateIndex builds a secondary index on table.col.
 func (db *DB) CreateIndex(table, col string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, err := db.tableLocked(table)
 	if err != nil {
 		return err
 	}
-	return t.createIndex(col)
+	unlock := db.lockTable(t)
+	defer unlock()
+	if err := t.live.createIndex(col); err != nil {
+		return err
+	}
+	db.publish(t)
+	return nil
 }
 
 // DropIndex removes the secondary index on table.col.
 func (db *DB) DropIndex(table, col string) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, err := db.tableLocked(table)
 	if err != nil {
 		return err
 	}
-	return t.dropIndex(col)
+	unlock := db.lockTable(t)
+	defer unlock()
+	if err := t.live.dropIndex(col); err != nil {
+		return err
+	}
+	db.publish(t)
+	return nil
 }
 
 // Recover replays the WAL (if configured) into the registered tables and
@@ -120,22 +209,22 @@ func (db *DB) Recover() error {
 			if err != nil {
 				return err
 			}
-			row, err := decodeRow(t.schema, rowBytes)
+			row, err := decodeRow(t.live.schema, rowBytes)
 			if err != nil {
 				return err
 			}
 			if r.Type == wal.RecInsert {
 				// Replayed inserts may collide if a crash interleaved; an
 				// insert over an existing key applies as update.
-				if _, exists := t.heap[pk]; exists {
-					return t.update(pk, row)
+				if t.live.has(pk) {
+					return t.live.update(pk, row)
 				}
-				return t.insert(row)
+				return t.live.insert(row)
 			}
-			if _, exists := t.heap[pk]; !exists {
-				return t.insert(row)
+			if !t.live.has(pk) {
+				return t.live.insert(row)
 			}
-			return t.update(pk, row)
+			return t.live.update(pk, row)
 		case wal.RecDelete:
 			table, pk, _, err := wal.DecodeKV(r.Payload)
 			if err != nil {
@@ -145,7 +234,7 @@ func (db *DB) Recover() error {
 			if err != nil {
 				return err
 			}
-			t.delete(pk)
+			t.live.delete(pk)
 			return nil
 		case wal.RecCheckpoint:
 			return nil
@@ -166,9 +255,14 @@ func (db *DB) Recover() error {
 		return err
 	}
 	db.wal = w
+	// Publish the recovered state as every table's first snapshot.
+	for _, t := range db.tables {
+		t.publish()
+	}
 	return nil
 }
 
+// tableLocked resolves a table name; callers hold db.mu (any mode).
 func (db *DB) tableLocked(name string) (*Table, error) {
 	t, ok := db.tables[name]
 	if !ok {
@@ -195,8 +289,8 @@ var errDBClosed = fmt.Errorf("relstore: database is closed")
 
 // Insert adds a row.
 func (db *DB) Insert(table string, row Row) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.closed {
 		return errDBClosed
 	}
@@ -204,29 +298,84 @@ func (db *DB) Insert(table string, row Row) error {
 	if err != nil {
 		return err
 	}
-	if err := t.insert(row); err != nil {
+	unlock := db.lockTable(t)
+	if err := t.live.insert(row); err != nil {
+		unlock()
 		db.logStatement("INSERT", table, "", 0, false)
 		return err
 	}
-	pk := row[t.pkCol].(string)
+	pk := row[t.live.pkCol].(string)
+	var lsn uint64
 	if db.wal != nil {
-		if _, err := db.wal.Append(wal.RecInsert, wal.EncodeKV(table, pk, encodeRow(t.schema, row))); err != nil {
+		if lsn, err = db.wal.Append(wal.RecInsert, wal.EncodeKV(table, pk, encodeRow(t.live.schema, row))); err != nil {
+			db.publish(t)
+			unlock()
 			return err
 		}
 	}
+	db.publish(t)
+	err = db.commit(unlock, lsn)
 	db.logStatement("INSERT", table, pk, 1, true)
-	return nil
+	return err
+}
+
+// InsertBatch adds rows to table as one engine call: one writer-lock
+// acquisition, one WAL append per row, one snapshot publish and one
+// group-commit wait for the whole batch — the bulk-load fast path used
+// by core.Load. Rows apply in order; on the first bad row the rows
+// already applied stay applied and the error is returned.
+func (db *DB) InsertBatch(table string, rows []Row) error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return errDBClosed
+	}
+	t, err := db.tableLocked(table)
+	if err != nil {
+		return err
+	}
+	unlock := db.lockTable(t)
+	var lsn uint64
+	n := 0
+	for _, row := range rows {
+		if err = t.live.insert(row); err != nil {
+			break
+		}
+		n++
+		if db.wal != nil {
+			pk := row[t.live.pkCol].(string)
+			appended, aerr := db.wal.Append(wal.RecInsert, wal.EncodeKV(table, pk, encodeRow(t.live.schema, row)))
+			if aerr != nil {
+				// Keep the last successful LSN: the rows already applied
+				// are visible, so the commit below must still wait for
+				// their records' durability.
+				err = aerr
+				break
+			}
+			lsn = appended
+		}
+	}
+	if n > 0 {
+		db.publish(t)
+	}
+	if werr := db.commit(unlock, lsn); err == nil {
+		err = werr
+	}
+	db.logStatement("INSERT", table, fmt.Sprintf("batch=%d", len(rows)), n, err == nil)
+	return err
 }
 
 // Get returns the row with the given primary key.
 func (db *DB) Get(table, pk string) (Row, bool, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, err := db.tableLocked(table)
 	if err != nil {
 		return nil, false, err
 	}
-	row, ok := t.get(pk)
+	v, release := db.readView(t)
+	row, ok := v.get(pk)
+	release()
 	n := 0
 	if ok {
 		n = 1
@@ -237,8 +386,8 @@ func (db *DB) Get(table, pk string) (Row, bool, error) {
 
 // Update replaces the row with primary key pk.
 func (db *DB) Update(table, pk string, row Row) error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.closed {
 		return errDBClosed
 	}
@@ -246,24 +395,31 @@ func (db *DB) Update(table, pk string, row Row) error {
 	if err != nil {
 		return err
 	}
-	if err := t.update(pk, row); err != nil {
+	unlock := db.lockTable(t)
+	if err := t.live.update(pk, row); err != nil {
+		unlock()
 		db.logStatement("UPDATE", table, "pk="+pk, 0, false)
 		return err
 	}
+	var lsn uint64
 	if db.wal != nil {
-		if _, err := db.wal.Append(wal.RecUpdate, wal.EncodeKV(table, pk, encodeRow(t.schema, row))); err != nil {
+		if lsn, err = db.wal.Append(wal.RecUpdate, wal.EncodeKV(table, pk, encodeRow(t.live.schema, row))); err != nil {
+			db.publish(t)
+			unlock()
 			return err
 		}
 	}
+	db.publish(t)
+	err = db.commit(unlock, lsn)
 	db.logStatement("UPDATE", table, "pk="+pk, 1, true)
-	return nil
+	return err
 }
 
 // UpdateFunc loads the row at pk, applies fn, and stores the result.
 // It returns false if the row does not exist.
 func (db *DB) UpdateFunc(table, pk string, fn func(Row) (Row, error)) (bool, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.closed {
 		return false, errDBClosed
 	}
@@ -271,31 +427,40 @@ func (db *DB) UpdateFunc(table, pk string, fn func(Row) (Row, error)) (bool, err
 	if err != nil {
 		return false, err
 	}
-	old, ok := t.get(pk)
+	unlock := db.lockTable(t)
+	old, ok := t.live.get(pk)
 	if !ok {
+		unlock()
 		db.logStatement("UPDATE", table, "pk="+pk, 0, true)
 		return false, nil
 	}
 	next, err := fn(old)
 	if err != nil {
+		unlock()
 		return false, err
 	}
-	if err := t.update(pk, next); err != nil {
+	if err := t.live.update(pk, next); err != nil {
+		unlock()
 		return false, err
 	}
+	var lsn uint64
 	if db.wal != nil {
-		if _, err := db.wal.Append(wal.RecUpdate, wal.EncodeKV(table, pk, encodeRow(t.schema, next))); err != nil {
+		if lsn, err = db.wal.Append(wal.RecUpdate, wal.EncodeKV(table, pk, encodeRow(t.live.schema, next))); err != nil {
+			db.publish(t)
+			unlock()
 			return false, err
 		}
 	}
+	db.publish(t)
+	err = db.commit(unlock, lsn)
 	db.logStatement("UPDATE", table, "pk="+pk, 1, true)
-	return true, nil
+	return true, err
 }
 
 // Delete removes the row with primary key pk, reporting whether it existed.
 func (db *DB) Delete(table, pk string) (bool, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.closed {
 		return false, errDBClosed
 	}
@@ -303,30 +468,40 @@ func (db *DB) Delete(table, pk string) (bool, error) {
 	if err != nil {
 		return false, err
 	}
-	existed := t.delete(pk)
+	unlock := db.lockTable(t)
+	existed := t.live.delete(pk)
+	var lsn uint64
 	if existed && db.wal != nil {
-		if _, err := db.wal.Append(wal.RecDelete, wal.EncodeKV(table, pk, nil)); err != nil {
+		if lsn, err = db.wal.Append(wal.RecDelete, wal.EncodeKV(table, pk, nil)); err != nil {
+			db.publish(t)
+			unlock()
 			return existed, err
 		}
 	}
+	if existed {
+		db.publish(t)
+	}
+	err = db.commit(unlock, lsn)
 	n := 0
 	if existed {
 		n = 1
 	}
 	db.logStatement("DELETE", table, "pk="+pk, n, true)
-	return existed, nil
+	return existed, err
 }
 
 // Select returns the rows matching pred, using a secondary index when one
 // covers the predicate column (see Explain).
 func (db *DB) Select(table string, pred Predicate) ([]Row, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, err := db.tableLocked(table)
 	if err != nil {
 		return nil, err
 	}
-	rows, _, err := db.selectLocked(t, pred)
+	v, release := db.readView(t)
+	rows, _, err := v.runSelect(pred)
+	release()
 	if err != nil {
 		return nil, err
 	}
@@ -336,13 +511,15 @@ func (db *DB) Select(table string, pred Predicate) ([]Row, error) {
 
 // SelectKeys returns the primary keys matching pred.
 func (db *DB) SelectKeys(table string, pred Predicate) ([]string, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, err := db.tableLocked(table)
 	if err != nil {
 		return nil, err
 	}
-	_, pks, err := db.selectLocked(t, pred)
+	v, release := db.readView(t)
+	_, pks, err := v.runSelect(pred)
+	release()
 	if err != nil {
 		return nil, err
 	}
@@ -352,8 +529,8 @@ func (db *DB) SelectKeys(table string, pred Predicate) ([]string, error) {
 
 // DeleteWhere removes all rows matching pred, returning how many went.
 func (db *DB) DeleteWhere(table string, pred Predicate) (int, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.closed {
 		return 0, errDBClosed
 	}
@@ -361,30 +538,39 @@ func (db *DB) DeleteWhere(table string, pred Predicate) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	_, pks, err := db.selectLocked(t, pred)
+	unlock := db.lockTable(t)
+	_, pks, err := t.live.runSelect(pred)
 	if err != nil {
+		unlock()
 		return 0, err
 	}
+	var lsn uint64
 	n := 0
 	for _, pk := range pks {
-		if t.delete(pk) {
+		if t.live.delete(pk) {
 			n++
 			if db.wal != nil {
-				if _, err := db.wal.Append(wal.RecDelete, wal.EncodeKV(table, pk, nil)); err != nil {
+				if lsn, err = db.wal.Append(wal.RecDelete, wal.EncodeKV(table, pk, nil)); err != nil {
+					db.publish(t)
+					unlock()
 					return n, err
 				}
 			}
 		}
 	}
+	if n > 0 {
+		db.publish(t)
+	}
+	err = db.commit(unlock, lsn)
 	db.logStatement("DELETE", table, pred.String(), n, true)
-	return n, nil
+	return n, err
 }
 
 // UpdateWhere applies fn to every row matching pred, returning how many
 // rows were updated.
 func (db *DB) UpdateWhere(table string, pred Predicate, fn func(Row) (Row, error)) (int, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.closed {
 		return 0, errDBClosed
 	}
@@ -392,82 +578,99 @@ func (db *DB) UpdateWhere(table string, pred Predicate, fn func(Row) (Row, error
 	if err != nil {
 		return 0, err
 	}
-	_, pks, err := db.selectLocked(t, pred)
+	unlock := db.lockTable(t)
+	_, pks, err := t.live.runSelect(pred)
 	if err != nil {
+		unlock()
 		return 0, err
 	}
+	var lsn uint64
 	n := 0
 	for _, pk := range pks {
-		old, ok := t.get(pk)
+		old, ok := t.live.get(pk)
 		if !ok {
 			continue
 		}
 		next, err := fn(old)
 		if err != nil {
+			db.publish(t)
+			unlock()
 			return n, err
 		}
-		if err := t.update(pk, next); err != nil {
+		if err := t.live.update(pk, next); err != nil {
+			db.publish(t)
+			unlock()
 			return n, err
 		}
 		if db.wal != nil {
-			if _, err := db.wal.Append(wal.RecUpdate, wal.EncodeKV(table, pk, encodeRow(t.schema, next))); err != nil {
+			if lsn, err = db.wal.Append(wal.RecUpdate, wal.EncodeKV(table, pk, encodeRow(t.live.schema, next))); err != nil {
+				db.publish(t)
+				unlock()
 				return n, err
 			}
 		}
 		n++
 	}
+	if n > 0 {
+		db.publish(t)
+	}
+	err = db.commit(unlock, lsn)
 	db.logStatement("UPDATE", table, pred.String(), n, true)
-	return n, nil
+	return n, err
 }
 
 // ScanPK returns up to limit rows in primary-key order starting at the
 // first key >= start (a B-tree range scan on the PK index; YCSB workload
 // E's access shape).
 func (db *DB) ScanPK(table, start string, limit int) ([]Row, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, err := db.tableLocked(table)
 	if err != nil {
 		return nil, err
 	}
+	v, release := db.readView(t)
 	var rows []Row
-	t.pk.AscendFrom(start, func(pk string, _ struct{}) bool {
-		if row, ok := t.get(pk); ok {
-			rows = append(rows, row)
-		}
+	v.scanFrom(start, func(pk string, row Row) bool {
+		rows = append(rows, row.Clone())
 		return len(rows) < limit
 	})
+	release()
 	db.logStatement("SELECT", table, fmt.Sprintf("pk>=%s limit %d", start, limit), len(rows), true)
 	return rows, nil
 }
 
 // Count returns the number of rows in table.
 func (db *DB) Count(table string) (int, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, err := db.tableLocked(table)
 	if err != nil {
 		return 0, err
 	}
-	return t.Rows(), nil
+	v, release := db.readView(t)
+	defer release()
+	return v.Rows(), nil
 }
 
 // Sizes reports storage accounting for table: heap bytes and secondary
 // index bytes — the inputs to the Table 3 space-overhead metric.
 func (db *DB) Sizes(table string) (heap, index int64, err error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, err := db.tableLocked(table)
 	if err != nil {
 		return 0, 0, err
 	}
-	return t.HeapBytes(), t.IndexBytes(), nil
+	v, release := db.readView(t)
+	defer release()
+	return v.HeapBytes(), v.IndexBytes(), nil
 }
 
 // Tables lists table names, sorted.
 func (db *DB) Tables() []string {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	out := make([]string, 0, len(db.tables))
 	for n := range db.tables {
 		out = append(out, n)
@@ -478,12 +681,16 @@ func (db *DB) Tables() []string {
 
 // Features reports engine facts, GET-SYSTEM-FEATURES style.
 func (db *DB) Features() map[string]string {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	f := map[string]string{
 		"engine":         "relstore (postgres-model)",
 		"wal":            "off",
 		"log_statements": fmt.Sprintf("%v", db.cfg.LogStatements),
+		"locking":        "table+snapshot",
+	}
+	if db.cfg.GlobalLock {
+		f["locking"] = "global"
 	}
 	if db.wal != nil {
 		f["wal"] = "on"
@@ -491,9 +698,11 @@ func (db *DB) Features() map[string]string {
 	}
 	var idx []string
 	for name, t := range db.tables {
-		for _, c := range t.IndexedColumns() {
+		v, release := db.readView(t)
+		for _, c := range v.IndexedColumns() {
 			idx = append(idx, name+"."+c)
 		}
+		release()
 	}
 	sort.Strings(idx)
 	f["indexes"] = fmt.Sprintf("%v", idx)
@@ -518,8 +727,8 @@ func (db *DB) StartTTLDaemon(table, col string, period time.Duration) error {
 		db.mu.Unlock()
 		return err
 	}
-	ci := t.schema.ColIndex(col)
-	if ci < 0 || t.schema.Columns[ci].Type != TypeTime {
+	ci := t.live.schema.ColIndex(col)
+	if ci < 0 || t.live.schema.Columns[ci].Type != TypeTime {
 		db.mu.Unlock()
 		return fmt.Errorf("relstore: TTL column %s.%s must be a time column", table, col)
 	}
@@ -568,8 +777,8 @@ func (db *DB) SweepExpired(table, col string) (int, error) {
 
 // Sync flushes the WAL.
 func (db *DB) Sync() error {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.wal == nil {
 		return nil
 	}
@@ -578,8 +787,8 @@ func (db *DB) Sync() error {
 
 // WALSize returns the WAL's on-disk size (0 without a WAL).
 func (db *DB) WALSize() (int64, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	if db.wal == nil {
 		return 0, nil
 	}

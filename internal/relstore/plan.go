@@ -77,19 +77,21 @@ type Plan struct {
 
 // Explain reports the access path Select would use for pred on table.
 func (db *DB) Explain(table string, pred Predicate) (Plan, error) {
-	db.mu.Lock()
-	defer db.mu.Unlock()
+	db.mu.RLock()
+	defer db.mu.RUnlock()
 	t, err := db.tableLocked(table)
 	if err != nil {
 		return Plan{}, err
 	}
-	return t.plan(pred), nil
+	v, release := db.readView(t)
+	defer release()
+	return v.plan(pred), nil
 }
 
-func (t *Table) plan(pred Predicate) Plan {
+func (v *view) plan(pred Predicate) Plan {
 	switch pred.Op {
 	case OpEq, OpContains, OpLe:
-		if _, ok := t.indexes[pred.Col]; ok {
+		if _, ok := v.indexes[pred.Col]; ok {
 			return Plan{Access: "index", Index: pred.Col}
 		}
 	}
@@ -97,15 +99,15 @@ func (t *Table) plan(pred Predicate) Plan {
 }
 
 // matches evaluates pred against a row (seq-scan filter).
-func (t *Table) matches(pred Predicate, row Row) (bool, error) {
+func (v *view) matches(pred Predicate, row Row) (bool, error) {
 	if pred.Op == OpAll {
 		return true, nil
 	}
-	ci := t.schema.ColIndex(pred.Col)
+	ci := v.schema.ColIndex(pred.Col)
 	if ci < 0 {
-		return false, fmt.Errorf("relstore: table %s has no column %q", t.schema.Name, pred.Col)
+		return false, fmt.Errorf("relstore: table %s has no column %q", v.schema.Name, pred.Col)
 	}
-	col := t.schema.Columns[ci]
+	col := v.schema.Columns[ci]
 	switch pred.Op {
 	case OpEq:
 		if col.Type != TypeText {
@@ -139,17 +141,19 @@ func (t *Table) matches(pred Predicate, row Row) (bool, error) {
 	}
 }
 
-// selectLocked executes pred on t, returning matching rows (clones) and
-// their primary keys in primary-key order. Callers hold db.mu.
-func (db *DB) selectLocked(t *Table, pred Predicate) ([]Row, []string, error) {
+// runSelect executes pred on one table version, returning matching rows
+// (clones) and their primary keys in primary-key order. The view is
+// either a published snapshot (lock-free reads) or the live view under
+// the table's write lock (read-modify-write operations).
+func (v *view) runSelect(pred Predicate) ([]Row, []string, error) {
 	// Validate the predicate column eagerly so bad queries fail loudly
 	// on both access paths.
 	if pred.Op != OpAll {
-		ci := t.schema.ColIndex(pred.Col)
+		ci := v.schema.ColIndex(pred.Col)
 		if ci < 0 {
-			return nil, nil, fmt.Errorf("relstore: table %s has no column %q", t.schema.Name, pred.Col)
+			return nil, nil, fmt.Errorf("relstore: table %s has no column %q", v.schema.Name, pred.Col)
 		}
-		col := t.schema.Columns[ci]
+		col := v.schema.Columns[ci]
 		switch pred.Op {
 		case OpEq:
 			if col.Type != TypeText {
@@ -165,21 +169,21 @@ func (db *DB) selectLocked(t *Table, pred Predicate) ([]Row, []string, error) {
 			}
 		}
 	}
-	plan := t.plan(pred)
+	plan := v.plan(pred)
 	if plan.Access == "index" {
 		var pks []string
 		var ok bool
 		switch pred.Op {
 		case OpEq, OpContains:
-			pks, ok = t.indexLookup(pred.Col, pred.Text)
+			pks, ok = v.indexLookup(pred.Col, pred.Text)
 		case OpLe:
-			pks, ok = t.indexRangeLE(pred.Col, encodeIndexScalar(TypeTime, pred.Time))
+			pks, ok = v.indexRangeLE(pred.Col, encodeIndexScalar(TypeTime, pred.Time))
 		}
 		if ok {
 			sort.Strings(pks)
 			rows := make([]Row, 0, len(pks))
 			for _, pk := range pks {
-				if row, exists := t.get(pk); exists {
+				if row, exists := v.get(pk); exists {
 					rows = append(rows, row)
 				}
 			}
@@ -190,8 +194,8 @@ func (db *DB) selectLocked(t *Table, pred Predicate) ([]Row, []string, error) {
 	var rows []Row
 	var pks []string
 	var scanErr error
-	t.scanAll(func(pk string, row Row) bool {
-		ok, err := t.matches(pred, row)
+	v.scanAll(func(pk string, row Row) bool {
+		ok, err := v.matches(pred, row)
 		if err != nil {
 			scanErr = err
 			return false

@@ -583,6 +583,21 @@ func TestRowCodecRoundTrip(t *testing.T) {
 	}
 }
 
+func TestEncodedRowSizeMatchesEncoder(t *testing.T) {
+	s := testSchema()
+	exp := time.Date(2030, 3, 4, 5, 6, 7, 0, time.UTC)
+	rows := []Row{
+		row("k1", "data", "neo", exp, []string{"a", "b"}, 42),
+		row("k2", "", "", time.Time{}, nil, -1),
+		row("k3", strings.Repeat("x", 1000), "u", exp, []string{strings.Repeat("y", 200)}, 0),
+	}
+	for i, r := range rows {
+		if got, want := encodedRowSize(s, r), int64(len(encodeRow(s, r))); got != want {
+			t.Fatalf("row %d: encodedRowSize = %d, encoder produced %d", i, got, want)
+		}
+	}
+}
+
 func TestRowCodecErrors(t *testing.T) {
 	s := testSchema()
 	good := encodeRow(s, row("k", "d", "u", time.Time{}, nil, 0))

@@ -222,6 +222,43 @@ func encodeRow(s Schema, r Row) []byte {
 	return out
 }
 
+// encodedRowSize returns len(encodeRow(s, r)) without building the
+// buffer. The write path charges heap accounting per mutation (twice
+// per update: the old and the new version), so sizing must not allocate.
+func encodedRowSize(s Schema, r Row) int64 {
+	n := int64(uvarintLen(uint64(len(r))))
+	for i, c := range s.Columns {
+		n++ // type tag
+		switch c.Type {
+		case TypeText:
+			v := r[i].(string)
+			n += int64(uvarintLen(uint64(len(v)))) + int64(len(v))
+		case TypeInt, TypeTime:
+			n += 8
+		case TypeTextList:
+			var l []string
+			if r[i] != nil {
+				l = r[i].([]string)
+			}
+			n += int64(uvarintLen(uint64(len(l))))
+			for _, e := range l {
+				n += int64(uvarintLen(uint64(len(e)))) + int64(len(e))
+			}
+		}
+	}
+	return n
+}
+
+// uvarintLen is the encoded length of v as a binary.AppendUvarint.
+func uvarintLen(v uint64) int {
+	n := 1
+	for v >= 0x80 {
+		v >>= 7
+		n++
+	}
+	return n
+}
+
 // decodeRow parses a row serialized by encodeRow.
 func decodeRow(s Schema, p []byte) (Row, error) {
 	n, off := binary.Uvarint(p)

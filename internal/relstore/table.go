@@ -2,20 +2,25 @@ package relstore
 
 import (
 	"fmt"
+	"sync"
+	"sync/atomic"
 
 	"repro/internal/btree"
 )
 
-// Table is one heap table with its primary-key and secondary indexes.
-// Tables are not safe for concurrent use on their own; the owning DB
-// serializes access.
-type Table struct {
+// view is one version of a table: the heap (a B-tree from primary key to
+// row, which doubles as the PK index) plus the secondary indexes and
+// storage accounting. The DB mutates a table's live view under the
+// table's write lock; readers run against an O(1) copy-on-write clone
+// published as the read snapshot, so on the hot path they take no table
+// lock and never block behind writers (PostgreSQL's
+// readers-don't-block-writers MVCC property, reduced to one version).
+type view struct {
 	schema Schema
 	pkCol  int
-	// heap maps primary key -> row (the heap file).
-	heap map[string]Row
-	// pk orders primary keys (Postgres' implicit PK index).
-	pk *btree.Tree[struct{}]
+	// heap maps primary key -> row in key order (heap file + implicit PK
+	// index in one structure).
+	heap *btree.Tree[Row]
 	// indexes maps column name -> secondary index of composite keys
 	// (value component + NUL + pk).
 	indexes map[string]*btree.Tree[struct{}]
@@ -24,116 +29,184 @@ type Table struct {
 	indexBytes map[string]int64
 }
 
+// Table is one heap table: the live view, its writer lock, and the
+// published read snapshot.
+//
+// Snapshots are published lazily: writers only mark the table dirty
+// (markDirty), and the first reader after a write pays the O(1)
+// copy-on-write clone for everyone (reader). Write-only phases — bulk
+// loads, pgbench update storms — therefore publish nothing at all, while
+// a read-heavy steady state refreshes at most once per intervening
+// write and every subsequent read is lock-free on the shared snapshot.
+type Table struct {
+	// mu serializes writers to the live view. Readers take it only to
+	// refresh a stale snapshot.
+	mu   sync.RWMutex
+	live view
+	// snap is the latest published snapshot; never nil after newTable.
+	snap atomic.Pointer[view]
+	// stale is set by writers when live has moved past snap.
+	stale atomic.Bool
+}
+
 func newTable(s Schema) (*Table, error) {
 	if err := s.Validate(); err != nil {
 		return nil, err
 	}
-	return &Table{
+	t := &Table{live: view{
 		schema:     s,
 		pkCol:      s.ColIndex(s.PrimaryKey),
-		heap:       make(map[string]Row),
-		pk:         btree.NewDefault[struct{}](),
+		heap:       btree.NewDefault[Row](),
 		indexes:    make(map[string]*btree.Tree[struct{}]),
 		indexBytes: make(map[string]int64),
-	}, nil
+	}}
+	t.publish()
+	return t, nil
+}
+
+// publish installs a copy-on-write clone of the live view as the read
+// snapshot. Callers hold the table write lock (or have exclusive access).
+func (t *Table) publish() {
+	t.snap.Store(t.live.clone())
+	t.stale.Store(false)
+}
+
+// markDirty records that the live view has moved past the published
+// snapshot. Callers hold the table write lock.
+func (t *Table) markDirty() { t.stale.Store(true) }
+
+// reader returns a snapshot no older than the last completed write: the
+// published one when fresh (lock-free), otherwise it takes the table
+// lock once to publish a new clone, which un-stales the table for every
+// subsequent reader.
+func (t *Table) reader() *view {
+	if !t.stale.Load() {
+		return t.snap.Load()
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if t.stale.Load() {
+		t.publish()
+	}
+	return t.snap.Load()
+}
+
+// clone copies the view in O(1) per tree: the heap and every index become
+// copy-on-write clones, and the small accounting maps are copied.
+func (v *view) clone() *view {
+	c := &view{
+		schema:     v.schema,
+		pkCol:      v.pkCol,
+		heap:       v.heap.Clone(),
+		indexes:    make(map[string]*btree.Tree[struct{}], len(v.indexes)),
+		heapBytes:  v.heapBytes,
+		indexBytes: make(map[string]int64, len(v.indexBytes)),
+	}
+	for col, idx := range v.indexes {
+		c.indexes[col] = idx.Clone()
+	}
+	for col, b := range v.indexBytes {
+		c.indexBytes[col] = b
+	}
+	return c
 }
 
 // Schema returns the table's schema.
-func (t *Table) Schema() Schema { return t.schema }
+func (v *view) Schema() Schema { return v.schema }
 
 // Rows returns the number of live rows.
-func (t *Table) Rows() int { return len(t.heap) }
+func (v *view) Rows() int { return v.heap.Len() }
 
 // HeapBytes returns the encoded size of all heap rows.
-func (t *Table) HeapBytes() int64 { return t.heapBytes }
+func (v *view) HeapBytes() int64 { return v.heapBytes }
 
 // IndexBytes returns the total size of all secondary index entries
 // (composite key bytes plus an 8-byte pointer per entry, approximating a
 // B-tree leaf entry).
-func (t *Table) IndexBytes() int64 {
+func (v *view) IndexBytes() int64 {
 	var n int64
-	for _, b := range t.indexBytes {
+	for _, b := range v.indexBytes {
 		n += b
 	}
 	return n
 }
 
-// IndexedColumns lists columns with secondary indexes, sorted by creation
-// order not guaranteed; callers sort if needed.
-func (t *Table) IndexedColumns() []string {
-	out := make([]string, 0, len(t.indexes))
-	for c := range t.indexes {
+// IndexedColumns lists columns with secondary indexes, in no particular
+// order; callers sort if needed.
+func (v *view) IndexedColumns() []string {
+	out := make([]string, 0, len(v.indexes))
+	for c := range v.indexes {
 		out = append(out, c)
 	}
 	return out
 }
 
 // createIndex builds a secondary index over col, backfilling existing rows.
-func (t *Table) createIndex(col string) error {
-	ci := t.schema.ColIndex(col)
+func (v *view) createIndex(col string) error {
+	ci := v.schema.ColIndex(col)
 	if ci < 0 {
-		return fmt.Errorf("relstore: table %s has no column %q", t.schema.Name, col)
+		return fmt.Errorf("relstore: table %s has no column %q", v.schema.Name, col)
 	}
-	if _, ok := t.indexes[col]; ok {
-		return fmt.Errorf("relstore: index on %s.%s already exists", t.schema.Name, col)
+	if _, ok := v.indexes[col]; ok {
+		return fmt.Errorf("relstore: index on %s.%s already exists", v.schema.Name, col)
 	}
 	idx := btree.NewDefault[struct{}]()
-	t.indexes[col] = idx
-	t.indexBytes[col] = 0
-	for pk, row := range t.heap {
-		t.indexInsert(col, ci, row, pk)
-	}
+	v.indexes[col] = idx
+	v.indexBytes[col] = 0
+	v.heap.Ascend(func(pk string, row Row) bool {
+		v.indexInsert(col, ci, row, pk)
+		return true
+	})
 	return nil
 }
 
 // dropIndex removes the secondary index on col.
-func (t *Table) dropIndex(col string) error {
-	if _, ok := t.indexes[col]; !ok {
-		return fmt.Errorf("relstore: no index on %s.%s", t.schema.Name, col)
+func (v *view) dropIndex(col string) error {
+	if _, ok := v.indexes[col]; !ok {
+		return fmt.Errorf("relstore: no index on %s.%s", v.schema.Name, col)
 	}
-	delete(t.indexes, col)
-	delete(t.indexBytes, col)
+	delete(v.indexes, col)
+	delete(v.indexBytes, col)
 	return nil
 }
 
-func (t *Table) indexInsert(col string, ci int, row Row, pk string) {
-	idx := t.indexes[col]
-	for _, comp := range indexComponents(t.schema.Columns[ci].Type, row[ci]) {
+func (v *view) indexInsert(col string, ci int, row Row, pk string) {
+	idx := v.indexes[col]
+	for _, comp := range indexComponents(v.schema.Columns[ci].Type, row[ci]) {
 		k := compositeKey(comp, pk)
 		if idx.Set(k, struct{}{}) {
-			t.indexBytes[col] += int64(len(k)) + 8
+			v.indexBytes[col] += int64(len(k)) + 8
 		}
 	}
 }
 
-func (t *Table) indexDelete(col string, ci int, row Row, pk string) {
-	idx := t.indexes[col]
-	for _, comp := range indexComponents(t.schema.Columns[ci].Type, row[ci]) {
+func (v *view) indexDelete(col string, ci int, row Row, pk string) {
+	idx := v.indexes[col]
+	for _, comp := range indexComponents(v.schema.Columns[ci].Type, row[ci]) {
 		k := compositeKey(comp, pk)
 		if idx.Delete(k) {
-			t.indexBytes[col] -= int64(len(k)) + 8
+			v.indexBytes[col] -= int64(len(k)) + 8
 		}
 	}
 }
 
 // insert adds a new row. It fails if the primary key already exists.
-func (t *Table) insert(row Row) error {
-	if err := t.schema.checkRow(row); err != nil {
+func (v *view) insert(row Row) error {
+	if err := v.schema.checkRow(row); err != nil {
 		return err
 	}
-	pk := row[t.pkCol].(string)
+	pk := row[v.pkCol].(string)
 	if pk == "" {
-		return fmt.Errorf("relstore: table %s: empty primary key", t.schema.Name)
+		return fmt.Errorf("relstore: table %s: empty primary key", v.schema.Name)
 	}
-	if _, exists := t.heap[pk]; exists {
-		return fmt.Errorf("relstore: table %s: duplicate key %q", t.schema.Name, pk)
+	if v.heap.Has(pk) {
+		return fmt.Errorf("relstore: table %s: duplicate key %q", v.schema.Name, pk)
 	}
 	stored := row.Clone()
-	t.heap[pk] = stored
-	t.pk.Set(pk, struct{}{})
-	t.heapBytes += int64(len(encodeRow(t.schema, stored)))
-	for col, ci := range t.indexedCols() {
-		t.indexInsert(col, ci, stored, pk)
+	v.heap.Set(pk, stored)
+	v.heapBytes += encodedRowSize(v.schema, stored)
+	for col, ci := range v.indexedCols() {
+		v.indexInsert(col, ci, stored, pk)
 	}
 	return nil
 }
@@ -142,73 +215,79 @@ func (t *Table) insert(row Row) error {
 // updates write a new row version), the row's entries are rewritten in
 // every secondary index whether or not the indexed columns changed —
 // this is the index write-amplification Figure 3b measures.
-func (t *Table) update(pk string, row Row) error {
-	if err := t.schema.checkRow(row); err != nil {
+func (v *view) update(pk string, row Row) error {
+	if err := v.schema.checkRow(row); err != nil {
 		return err
 	}
-	old, exists := t.heap[pk]
+	old, exists := v.heap.Get(pk)
 	if !exists {
-		return fmt.Errorf("relstore: table %s: no row %q", t.schema.Name, pk)
+		return fmt.Errorf("relstore: table %s: no row %q", v.schema.Name, pk)
 	}
-	if row[t.pkCol].(string) != pk {
-		return fmt.Errorf("relstore: table %s: update cannot change primary key", t.schema.Name)
+	if row[v.pkCol].(string) != pk {
+		return fmt.Errorf("relstore: table %s: update cannot change primary key", v.schema.Name)
 	}
-	for col, ci := range t.indexedCols() {
-		t.indexDelete(col, ci, old, pk)
+	for col, ci := range v.indexedCols() {
+		v.indexDelete(col, ci, old, pk)
 	}
-	t.heapBytes -= int64(len(encodeRow(t.schema, old)))
+	v.heapBytes -= encodedRowSize(v.schema, old)
 	stored := row.Clone()
-	t.heap[pk] = stored
-	t.heapBytes += int64(len(encodeRow(t.schema, stored)))
-	for col, ci := range t.indexedCols() {
-		t.indexInsert(col, ci, stored, pk)
+	v.heap.Set(pk, stored)
+	v.heapBytes += encodedRowSize(v.schema, stored)
+	for col, ci := range v.indexedCols() {
+		v.indexInsert(col, ci, stored, pk)
 	}
 	return nil
 }
 
 // delete removes the row at pk, reporting whether it existed.
-func (t *Table) delete(pk string) bool {
-	row, exists := t.heap[pk]
+func (v *view) delete(pk string) bool {
+	row, exists := v.heap.Get(pk)
 	if !exists {
 		return false
 	}
-	for col, ci := range t.indexedCols() {
-		t.indexDelete(col, ci, row, pk)
+	for col, ci := range v.indexedCols() {
+		v.indexDelete(col, ci, row, pk)
 	}
-	t.heapBytes -= int64(len(encodeRow(t.schema, row)))
-	delete(t.heap, pk)
-	t.pk.Delete(pk)
+	v.heapBytes -= encodedRowSize(v.schema, row)
+	v.heap.Delete(pk)
 	return true
 }
 
 // get returns a copy of the row at pk.
-func (t *Table) get(pk string) (Row, bool) {
-	row, ok := t.heap[pk]
+func (v *view) get(pk string) (Row, bool) {
+	row, ok := v.heap.Get(pk)
 	if !ok {
 		return nil, false
 	}
 	return row.Clone(), true
 }
 
-func (t *Table) indexedCols() map[string]int {
-	out := make(map[string]int, len(t.indexes))
-	for col := range t.indexes {
-		out[col] = t.schema.ColIndex(col)
+// has reports whether a row exists at pk without copying it.
+func (v *view) has(pk string) bool { return v.heap.Has(pk) }
+
+func (v *view) indexedCols() map[string]int {
+	out := make(map[string]int, len(v.indexes))
+	for col := range v.indexes {
+		out[col] = v.schema.ColIndex(col)
 	}
 	return out
 }
 
-// scanAll visits every row in primary-key order.
-func (t *Table) scanAll(fn func(pk string, row Row) bool) {
-	t.pk.Ascend(func(pk string, _ struct{}) bool {
-		return fn(pk, t.heap[pk])
-	})
+// scanAll visits every row in primary-key order. Rows are the stored
+// values; callers must not mutate them (clone before returning).
+func (v *view) scanAll(fn func(pk string, row Row) bool) {
+	v.heap.Ascend(fn)
+}
+
+// scanFrom visits rows with pk >= start in primary-key order.
+func (v *view) scanFrom(start string, fn func(pk string, row Row) bool) {
+	v.heap.AscendFrom(start, fn)
 }
 
 // indexLookup returns the primary keys whose col contains/equals the
 // component, using the secondary index. ok is false when no index exists.
-func (t *Table) indexLookup(col, component string) (pks []string, ok bool) {
-	idx, exists := t.indexes[col]
+func (v *view) indexLookup(col, component string) (pks []string, ok bool) {
+	idx, exists := v.indexes[col]
 	if !exists {
 		return nil, false
 	}
@@ -222,8 +301,8 @@ func (t *Table) indexLookup(col, component string) (pks []string, ok bool) {
 
 // indexRangeLE returns primary keys whose scalar col value is <= the
 // encoded bound, using the secondary index.
-func (t *Table) indexRangeLE(col, encodedBound string) (pks []string, ok bool) {
-	idx, exists := t.indexes[col]
+func (v *view) indexRangeLE(col, encodedBound string) (pks []string, ok bool) {
+	idx, exists := v.indexes[col]
 	if !exists {
 		return nil, false
 	}

@@ -141,14 +141,22 @@ func (s *File) Flush() error {
 	return s.w.Flush()
 }
 
-// Sync flushes and fsyncs the file.
+// Sync flushes and fsyncs the file. The userspace buffer is flushed
+// under the file lock, but the fsync itself runs outside it: fsync on a
+// file descriptor is safe concurrently with writes, and holding the lock
+// across it would stall every AppendFrame for the duration of the flush
+// — exactly the window the WAL's group commit uses to build its next
+// batch. Frames appended after the flush may or may not reach disk with
+// this sync; callers track their own durability watermark.
 func (s *File) Sync() error {
 	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.w.Flush(); err != nil {
+	err := s.w.Flush()
+	f := s.f
+	s.mu.Unlock()
+	if err != nil {
 		return err
 	}
-	return s.f.Sync()
+	return f.Sync()
 }
 
 // PlaintextBytes reports total plaintext payload bytes appended in this

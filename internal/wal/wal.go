@@ -19,7 +19,9 @@ import (
 	"fmt"
 	"hash/crc32"
 	"os"
+	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
@@ -71,7 +73,11 @@ type SyncPolicy int
 
 // Sync policies (PostgreSQL's synchronous_commit spectrum, reduced).
 const (
-	// SyncOnCommit fsyncs after every Append (synchronous_commit=on).
+	// SyncOnCommit makes every committed operation wait for an fsync
+	// covering its record (synchronous_commit=on). The fsync is shared:
+	// Append only buffers the record, and WaitDurable batches all
+	// concurrent committers into one fsync (group commit), so N writers
+	// pay ~1 fsync instead of N.
 	SyncOnCommit SyncPolicy = iota
 	// SyncBatched fsyncs at most once per second (off/local semantics).
 	SyncBatched
@@ -92,6 +98,16 @@ type Config struct {
 }
 
 // WAL is an append-only write-ahead log. It is safe for concurrent use.
+//
+// Commit protocol: Append assigns an LSN and buffers the record;
+// durability is a separate step. A committer that needs its record on
+// stable storage calls WaitDurable(lsn): the first committer through
+// becomes the sync leader and fsyncs everything appended so far, while
+// committers arriving during that fsync queue up and are covered either
+// by the leader's fsync (if their record was already buffered) or by the
+// single fsync the next leader issues for the whole queued batch. That
+// is group commit: under concurrency the fsync cost amortizes across all
+// in-flight commits instead of serializing per record.
 type WAL struct {
 	mu       sync.Mutex
 	file     *securefs.File
@@ -101,7 +117,22 @@ type WAL struct {
 	lastSync time.Time
 	closed   bool
 	buf      []byte
+
+	// syncMu serializes fsyncs; the queue that forms on it is the group-
+	// commit batch. durable is the highest LSN known to be on stable
+	// storage.
+	syncMu  sync.Mutex
+	durable atomic.Uint64
 }
+
+// groupGatherYields is how many scheduler yields a batch leader performs
+// before flushing — the commit_delay analog, in scheduler quanta instead
+// of wall time (a timer sleep would round up to OS timer granularity,
+// ~1ms, dwarfing the fsync it amortizes). Each yield lets runnable
+// sibling committers append their records and queue behind the leader,
+// growing the batch its one fsync covers; when no siblings are runnable
+// the whole loop costs ~a microsecond.
+const groupGatherYields = 16
 
 // Open opens (creating if needed) the WAL at cfg.Path for appending. The
 // caller replays existing records first via Replay, then passes the last
@@ -144,32 +175,103 @@ func (w *WAL) Append(t RecordType, payload []byte) (uint64, error) {
 	if err := w.file.AppendFrame(w.buf); err != nil {
 		return 0, err
 	}
-	switch w.policy {
-	case SyncOnCommit:
-		if err := w.file.Sync(); err != nil {
-			return 0, err
-		}
-		w.lastSync = w.clk.Now()
-	case SyncBatched:
+	// SyncOnCommit does not sync here: the committer calls WaitDurable,
+	// which batches concurrent commits into one fsync.
+	if w.policy == SyncBatched {
 		if now := w.clk.Now(); now.Sub(w.lastSync) >= time.Second {
 			if err := w.file.Sync(); err != nil {
 				return 0, err
 			}
 			w.lastSync = now
+			w.advanceDurable(lsn)
 		}
 	}
 	return lsn, nil
 }
 
-// Sync forces buffered records to stable storage.
-func (w *WAL) Sync() error {
-	w.mu.Lock()
-	defer w.mu.Unlock()
-	if w.file == nil {
+// syncFile fsyncs on a dedicated goroutine and parks the caller on a
+// channel until it completes. Parking releases the caller's P, so other
+// goroutines — snapshot readers and the committers forming the next
+// group-commit batch — keep running while the kernel flushes. A raw
+// blocking fsync syscall would instead pin the P until the scheduler's
+// sysmon retakes it, which on a single-P runtime serializes everything
+// behind every flush.
+func (w *WAL) syncFile() error {
+	done := make(chan error, 1)
+	go func() { done <- w.file.Sync() }()
+	return <-done
+}
+
+// advanceDurable raises the durable watermark to target (monotonic).
+func (w *WAL) advanceDurable(target uint64) {
+	for {
+		cur := w.durable.Load()
+		if target <= cur || w.durable.CompareAndSwap(cur, target) {
+			return
+		}
+	}
+}
+
+// WaitDurable blocks until the record at lsn is on stable storage, using
+// group commit: one fsync covers every record appended before it runs,
+// so concurrent committers share the wait. Under SyncBatched and
+// SyncNever it returns immediately — those policies trade durability lag
+// for throughput by design (synchronous_commit=off), and their flushing
+// stays time- or OS-driven.
+func (w *WAL) WaitDurable(lsn uint64) error {
+	if w.policy != SyncOnCommit {
 		return nil
 	}
+	if w.durable.Load() >= lsn {
+		return nil
+	}
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	if w.durable.Load() >= lsn {
+		// A leader that ran while we queued already covered our record.
+		return nil
+	}
+	// We are this batch's leader: yield a few scheduler quanta so any
+	// concurrent committers get to append their records into this batch,
+	// then fsync everything appended so far.
+	for i := 0; i < groupGatherYields; i++ {
+		runtime.Gosched()
+	}
+	w.mu.Lock()
+	if w.closed {
+		w.mu.Unlock()
+		return errors.New("wal: wait on closed WAL")
+	}
+	target := w.nextLSN - 1
 	w.lastSync = w.clk.Now()
-	return w.file.Sync()
+	w.mu.Unlock()
+	if err := w.syncFile(); err != nil {
+		return err
+	}
+	w.advanceDurable(target)
+	return nil
+}
+
+// DurableLSN returns the highest LSN known to be on stable storage.
+func (w *WAL) DurableLSN() uint64 { return w.durable.Load() }
+
+// Sync forces buffered records to stable storage.
+func (w *WAL) Sync() error {
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	w.mu.Lock()
+	if w.file == nil {
+		w.mu.Unlock()
+		return nil
+	}
+	target := w.nextLSN - 1
+	w.lastSync = w.clk.Now()
+	w.mu.Unlock()
+	if err := w.syncFile(); err != nil {
+		return err
+	}
+	w.advanceDurable(target)
+	return nil
 }
 
 // Size returns the on-disk size of the WAL.
