@@ -184,6 +184,104 @@ func BenchmarkFig7bRedisGDPRScale(b *testing.B)    { scaleBench(b, "F7b") }
 func BenchmarkFig8aPostgresYCSBScale(b *testing.B) { scaleBench(b, "F8a") }
 func BenchmarkFig8bPostgresGDPRScale(b *testing.B) { scaleBench(b, "F8b") }
 
+// BenchmarkFig9ShardScale regenerates the F9 shard-scaling experiment and
+// reports per-engine completion at the smallest and largest shard counts.
+func BenchmarkFig9ShardScale(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunExperiment("F9", ScaleSmall)
+		if err != nil {
+			b.Fatal(err)
+		}
+		first, last := res.Rows[0], res.Rows[len(res.Rows)-1]
+		b.ReportMetric(float64(parseDur(b, first[1]).Milliseconds()), "redis-1shard-ms")
+		b.ReportMetric(float64(parseDur(b, last[1]).Milliseconds()), "redis-8shard-ms")
+		b.ReportMetric(float64(parseDur(b, first[2]).Milliseconds()), "pg-1shard-ms")
+		b.ReportMetric(float64(parseDur(b, last[2]).Milliseconds()), "pg-8shard-ms")
+		if i == 0 {
+			b.Logf("\n%s", res)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Sharding: attribute-scan throughput vs shard count
+
+// benchShardedScan loads records into a sharded engine and hammers it
+// with BY-USR attribute reads — the O(n) scan shape that dominates GDPR
+// metadata queries on the Redis model — from the given number of client
+// threads. Every query scatter-gathers all shards, so each shard scans
+// 1/N of the data in parallel; ops/s is reported for cross-leg
+// comparison. Compliance is ACL+strict only, isolating scan parallelism
+// from encryption and audit I/O.
+func benchShardedScan(b *testing.B, engine string, shards, threads int) {
+	b.Helper()
+	comp := core.Compliance{AccessControl: true, Strict: true}
+	db, err := OpenSharded(engine, shards, "", comp, nil, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	cfg := core.Config{Records: 4_000, Threads: threads, Seed: 1}.WithDefaults()
+	ds, _, err := core.Load(db, cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	users := ds.Users
+	actors := make([]Actor, users)
+	sels := make([]Selector, users)
+	for u := 0; u < users; u++ {
+		actors[u] = CustomerActor(ds.UserName(u))
+		sels[u] = ByUser(ds.UserName(u))
+	}
+
+	b.ResetTimer()
+	start := time.Now()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= b.N {
+					return
+				}
+				u := (i * 31) % users
+				recs, err := db.ReadData(actors[u], sels[u])
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if len(recs) == 0 {
+					b.Error("scan returned nothing")
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "ops/s")
+}
+
+// BenchmarkSharding sweeps shard count × engine model × client threads on
+// the attribute-scan workload. On the Redis model every BY-USR read scans
+// the whole keyspace, so scan throughput is the axis §6.3 shows degrading
+// with data volume — sharding splits each scan N ways and runs the parts
+// in parallel, making throughput recover with shard count once client
+// concurrency (≥4 threads) and cores can feed the shards.
+func BenchmarkSharding(b *testing.B) {
+	for _, engine := range []string{"redis", "postgres"} {
+		for _, shards := range []int{1, 2, 4, 8} {
+			for _, threads := range []int{4, 8} {
+				b.Run(fmt.Sprintf("%s/shards=%d/threads=%d", engine, shards, threads), func(b *testing.B) {
+					benchShardedScan(b, engine, shards, threads)
+				})
+			}
+		}
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Locking ablation: relstore global mutex vs table locks + snapshots
 

@@ -1,13 +1,16 @@
 // Command gdprbench loads a personal-data dataset into one of the two
 // engines and runs the Table 2a workloads against it, printing the
 // §4.2.3 metrics (completion time per workload, correctness when
-// requested, and the space-overhead factor).
+// requested, and the space-overhead factor). With -shards N the engine is
+// hash-partitioned into N shards behind the same compliance middleware;
+// attribute queries scatter-gather across shards in parallel.
 //
 // Examples:
 //
 //	gdprbench -engine redis -records 10000 -ops 2000
 //	gdprbench -engine postgres -index -workloads controller,customer
 //	gdprbench -engine redis -validate
+//	gdprbench -engine redis -shards 4 -records 20000
 package main
 
 import (
@@ -35,16 +38,20 @@ func main() {
 		indexed   = flag.Bool("index", false, "build secondary indexes on all metadata fields (postgres only)")
 		baseline  = flag.Bool("baseline", false, "disable all compliance features (no-security baseline)")
 		validate  = flag.Bool("validate", false, "run the single-threaded correctness pass instead of the timed run")
+		shards    = flag.Int("shards", 1, "hash-partition the engine into N shards (scatter-gather attribute queries)")
 	)
 	flag.Parse()
 
-	if err := run(*engine, *records, *ops, *threads, *dataSize, *seed, *dir, *workloads, *indexed, *baseline, *validate); err != nil {
+	if err := run(*engine, *records, *ops, *threads, *dataSize, *shards, *seed, *dir, *workloads, *indexed, *baseline, *validate); err != nil {
 		fmt.Fprintln(os.Stderr, "gdprbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(engine string, records, ops, threads, dataSize int, seed int64, dir, workloadList string, indexed, baseline, validate bool) error {
+func run(engine string, records, ops, threads, dataSize, shards int, seed int64, dir, workloadList string, indexed, baseline, validate bool) error {
+	if shards < 1 {
+		return fmt.Errorf("-shards must be >= 1")
+	}
 	if dir == "" {
 		var err error
 		dir, err = os.MkdirTemp("", "gdprbench-*")
@@ -58,21 +65,6 @@ func run(engine string, records, ops, threads, dataSize int, seed int64, dir, wo
 		comp = gdprbench.NoCompliance()
 	}
 	comp.MetadataIndexing = indexed
-
-	open := func(clk clock.Clock, disableDaemons bool) (gdprbench.DB, error) {
-		switch engine {
-		case "redis":
-			return gdprbench.OpenRedis(gdprbench.RedisConfig{
-				Dir: dir, Compliance: comp, Clock: clk, DisableBackgroundExpiry: disableDaemons,
-			})
-		case "postgres":
-			return gdprbench.OpenPostgres(gdprbench.PostgresConfig{
-				Dir: dir, Compliance: comp, Clock: clk, DisableTTLDaemon: disableDaemons,
-			})
-		default:
-			return nil, fmt.Errorf("unknown engine %q", engine)
-		}
-	}
 
 	cfg := gdprbench.Config{
 		Records: records, Operations: ops, Threads: threads,
@@ -95,7 +87,7 @@ func run(engine string, records, ops, threads, dataSize int, seed int64, dir, wo
 			if err != nil {
 				return err
 			}
-			db, err := openIn(engine, sub, comp, sim)
+			db, err := openIn(engine, shards, sub, comp, sim)
 			if err != nil {
 				return err
 			}
@@ -117,20 +109,24 @@ func run(engine string, records, ops, threads, dataSize int, seed int64, dir, wo
 		return nil
 	}
 
-	db, err := open(nil, false)
+	db, err := open(engine, shards, dir, comp, nil, false)
 	if err != nil {
 		return err
 	}
 	defer db.Close()
 
-	fmt.Printf("loading %d records into %s (compliance: %s)...\n", records, engine, comp)
+	label := engine
+	if shards > 1 {
+		label = fmt.Sprintf("%s x%d shards", engine, shards)
+	}
+	fmt.Printf("loading %d records into %s (compliance: %s)...\n", records, label, comp)
 	ds, loadRun, err := gdprbench.Load(db, cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("load: %v (%.0f inserts/s)\n", loadRun.WallTime().Round(time.Millisecond), loadRun.Throughput())
 
-	report := core.Report{Engine: engine, Records: records}
+	report := core.Report{Engine: label, Records: records}
 	for _, name := range names {
 		run, err := gdprbench.Run(db, ds, name)
 		if err != nil {
@@ -154,17 +150,26 @@ func run(engine string, records, ops, threads, dataSize int, seed int64, dir, wo
 	return nil
 }
 
-func openIn(engine, dir string, comp gdprbench.Compliance, clk clock.Clock) (gdprbench.DB, error) {
+// open builds a client: the plain stubs for one shard, the scatter-gather
+// router behind the same middleware for several.
+func open(engine string, shards int, dir string, comp gdprbench.Compliance, clk clock.Clock, disableDaemons bool) (gdprbench.DB, error) {
+	if shards > 1 {
+		return gdprbench.OpenSharded(engine, shards, dir, comp, clk, disableDaemons)
+	}
 	switch engine {
 	case "redis":
 		return gdprbench.OpenRedis(gdprbench.RedisConfig{
-			Dir: dir, Compliance: comp, Clock: clk, DisableBackgroundExpiry: true,
+			Dir: dir, Compliance: comp, Clock: clk, DisableBackgroundExpiry: disableDaemons,
 		})
 	case "postgres":
 		return gdprbench.OpenPostgres(gdprbench.PostgresConfig{
-			Dir: dir, Compliance: comp, Clock: clk, DisableTTLDaemon: true,
+			Dir: dir, Compliance: comp, Clock: clk, DisableTTLDaemon: disableDaemons,
 		})
 	default:
 		return nil, fmt.Errorf("unknown engine %q", engine)
 	}
+}
+
+func openIn(engine string, shards int, dir string, comp gdprbench.Compliance, clk clock.Clock) (gdprbench.DB, error) {
+	return open(engine, shards, dir, comp, clk, true)
 }

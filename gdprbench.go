@@ -34,6 +34,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/gdpr"
+	"repro/internal/shard"
 	"repro/internal/stats"
 )
 
@@ -128,6 +129,29 @@ func OpenRedis(cfg RedisConfig) (*core.RedisClient, error) { return core.OpenRed
 
 // OpenPostgres opens the PostgreSQL-model engine behind the client stub.
 func OpenPostgres(cfg PostgresConfig) (*core.PostgresClient, error) { return core.OpenPostgres(cfg) }
+
+// Engine is the narrow storage contract beneath the compliance
+// middleware; implement it to give a new backend the full GDPR layer.
+type Engine = core.Engine
+
+// OpenShardedRedis opens shards Redis-model engines (each with its own
+// AOF and expiry loop) hash-partitioned behind one compliance middleware.
+// Attribute queries scatter-gather across shards in parallel.
+func OpenShardedRedis(shards int, cfg RedisConfig) (DB, error) {
+	return shard.OpenRedis(shards, cfg)
+}
+
+// OpenShardedPostgres opens shards PostgreSQL-model engines (each with
+// its own WAL and TTL daemon) hash-partitioned behind one compliance
+// middleware with a single statement log.
+func OpenShardedPostgres(shards int, cfg PostgresConfig) (DB, error) {
+	return shard.OpenPostgres(shards, cfg)
+}
+
+// OpenSharded dispatches on the engine model name ("redis" | "postgres").
+func OpenSharded(engine string, shards int, dir string, comp Compliance, clk clock.Clock, disableDaemons bool) (DB, error) {
+	return shard.Open(engine, shards, dir, comp, clk, disableDaemons)
+}
 
 // Load populates db with cfg.Records personal-data records as the
 // controller and returns the dataset descriptor plus load statistics.

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"repro/internal/gdpr"
+)
+
+// Engine is the narrow storage contract a backend must implement to serve
+// GDPR workloads. It is deliberately compliance-free: no access control,
+// no audit logging, no redaction, no transit encryption, no strict-mode
+// validation — those cross-cutting concerns live in the compliance
+// middleware (middleware.go) that wraps an Engine into a core.DB. The two
+// client stubs (Redis model, PostgreSQL model) and the shard router
+// (internal/shard) are all Engines, so every backend inherits the full
+// compliance layer for free.
+//
+// All methods must be safe for concurrent use. Selector resolution keeps
+// each engine's native cost profile: the Redis model serves attribute
+// selectors with O(n) scans, the PostgreSQL model with index lookups when
+// MetadataIndexing is on, and the shard router by scatter-gathering its
+// children.
+type Engine interface {
+	// Put stores rec, overwriting or erroring on duplicate keys per the
+	// engine's native semantics (SET vs INSERT).
+	Put(rec gdpr.Record) error
+	// Get returns the record stored under key, if present and unexpired.
+	Get(key string) (gdpr.Record, bool, error)
+	// Select returns the records matching sel. AttrKey selectors resolve
+	// like Get; attribute selectors use the engine's native access path.
+	Select(sel gdpr.Selector) ([]gdpr.Record, error)
+	// SelectKeys returns just the keys of the records matching sel — one
+	// scan (or index probe), no record materialization. Engines may serve
+	// AttrTTL selectors from expiry-tracking structures without touching
+	// values.
+	SelectKeys(sel gdpr.Selector) ([]string, error)
+	// Update atomically applies mutate to the record at key under the
+	// engine's write lock, reporting whether the record existed and was
+	// rewritten. An error returned by mutate aborts the update, leaves the
+	// record unchanged, and is returned verbatim (the middleware uses a
+	// sentinel to skip records that no longer match at apply time).
+	Update(key string, mutate func(gdpr.Record) (gdpr.Record, error)) (bool, error)
+	// Delete removes the given keys, reporting how many existed.
+	Delete(keys []string) (int, error)
+	// Exists reports whether key is present and unexpired.
+	Exists(key string) (bool, error)
+	// Features reports engine facts for GET-SYSTEM-FEATURES.
+	Features() map[string]string
+	// SpaceUsage reports the space-overhead metric inputs.
+	SpaceUsage() (SpaceUsage, error)
+	// Close releases engine resources.
+	Close() error
+}
+
+// BatchEngine is implemented by engines with a bulk insert path (one lock
+// acquisition / durability wait per batch, or a per-shard fan-out). Wrap
+// exposes a BatchCreator DB when the engine supports it; the plain Redis
+// model deliberately does not, keeping the paper's one-command-per-record
+// load shape.
+type BatchEngine interface {
+	Engine
+	// PutBatch stores recs; engines may reorder freely (keys are unique).
+	PutBatch(recs []gdpr.Record) error
+}

@@ -1,0 +1,426 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"time"
+
+	"repro/internal/acl"
+	"repro/internal/audit"
+	"repro/internal/clock"
+	"repro/internal/gdpr"
+	"repro/internal/transit"
+)
+
+// This file is the compliance middleware: one implementation of the §3.3
+// query interface (core.DB) layered over any storage Engine. It owns every
+// cross-cutting concern the two client stubs used to duplicate — strict
+// validation, Figure 1 access control, metadata redaction, audit logging,
+// the in-transit record layer, and read-modify-write re-checks under the
+// engine lock — so a backend only implements the narrow Engine contract
+// and inherits full GDPR compliance.
+
+// WrapConfig configures Wrap.
+type WrapConfig struct {
+	// Compliance selects the feature set the middleware enforces.
+	Compliance Compliance
+	// Clock supplies time; defaults to the real clock.
+	Clock clock.Clock
+	// Audit is a pre-opened audit log to use (and close) when Logging is
+	// on; the sharded PostgreSQL model shares one log between the
+	// middleware and every shard's statement logger. When nil, the
+	// middleware opens AuditPath itself.
+	Audit *audit.Log
+	// AuditPath is the audit-trail file, used when Audit is nil. Required
+	// when Logging is enabled.
+	AuditPath string
+	// AuditKey encrypts the audit trail at rest (nil = plaintext).
+	AuditKey []byte
+	// TransitKey derives the in-transit record layer; required when
+	// EncryptInTransit is enabled.
+	TransitKey []byte
+}
+
+// OpenAudit opens an audit log with the benchmark's conventions (everysec
+// sync, optional at-rest encryption). Sharded openers use it to create the
+// single log all shards and the middleware share.
+func OpenAudit(path string, key []byte, clk clock.Clock) (*audit.Log, error) {
+	return audit.Open(audit.Config{Path: path, Policy: audit.SyncEverySec, Clock: clk, Key: key})
+}
+
+// Wrap layers the compliance middleware over an Engine, returning the
+// GDPR query interface. When the engine implements BatchEngine the
+// returned DB also implements BatchCreator, so core.Load batches.
+func Wrap(e Engine, cfg WrapConfig) (DB, error) {
+	m, err := newMiddleware(e, cfg)
+	if err != nil {
+		return nil, err
+	}
+	if _, ok := e.(BatchEngine); ok {
+		return &batchDB{m}, nil
+	}
+	return m, nil
+}
+
+// middleware implements DB over an Engine.
+type middleware struct {
+	eng  Engine
+	log  *audit.Log
+	pipe *transit.Pipe
+	comp Compliance
+	clk  clock.Clock
+}
+
+func newMiddleware(e Engine, cfg WrapConfig) (*middleware, error) {
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	m := &middleware{eng: e, comp: cfg.Compliance, clk: clk, log: cfg.Audit}
+	if cfg.Compliance.Logging && m.log == nil {
+		if cfg.AuditPath == "" {
+			return nil, fmt.Errorf("core: logging requires an audit path")
+		}
+		log, err := OpenAudit(cfg.AuditPath, cfg.AuditKey, clk)
+		if err != nil {
+			return nil, err
+		}
+		m.log = log
+	}
+	if cfg.Compliance.EncryptInTransit {
+		if len(cfg.TransitKey) == 0 {
+			m.closeOwned()
+			return nil, fmt.Errorf("core: in-transit encryption requires a transit key")
+		}
+		pipe, err := transit.NewPipe(cfg.TransitKey)
+		if err != nil {
+			m.closeOwned()
+			return nil, err
+		}
+		m.pipe = pipe
+	}
+	return m, nil
+}
+
+// closeOwned releases middleware-held resources without touching the
+// engine (constructor error paths; the caller still owns the engine).
+func (m *middleware) closeOwned() {
+	if m.log != nil {
+		m.log.Close()
+	}
+}
+
+// batchDB is the middleware with the bulk CREATE-RECORD path exposed; Wrap
+// returns it when the engine can batch.
+type batchDB struct{ *middleware }
+
+// CreateRecords implements BatchCreator.
+func (b *batchDB) CreateRecords(a acl.Actor, recs []gdpr.Record) error {
+	return b.createBatch(a, recs)
+}
+
+// transitWrap pays the in-transit record-layer cost around fn. The request
+// and response payloads cross the simulated wire.
+func (m *middleware) transitWrap(req string, fn func() (string, error)) error {
+	if m.pipe == nil {
+		_, err := fn()
+		return err
+	}
+	var opErr error
+	_, err := m.pipe.RoundTrip([]byte(req), func([]byte) []byte {
+		resp, e := fn()
+		opErr = e
+		return []byte(resp)
+	})
+	if opErr != nil {
+		return opErr
+	}
+	return err
+}
+
+// fetch resolves a selector to records: the engine's point path for key
+// lookups, its native selector path otherwise.
+func (m *middleware) fetch(sel gdpr.Selector) ([]gdpr.Record, error) {
+	if sel.Attr == gdpr.AttrKey {
+		rec, ok, err := m.eng.Get(sel.Value)
+		if err != nil || !ok {
+			return nil, err
+		}
+		return []gdpr.Record{rec}, nil
+	}
+	return m.eng.Select(sel)
+}
+
+// CreateRecord implements DB.
+func (m *middleware) CreateRecord(a acl.Actor, rec gdpr.Record) error {
+	if err := rec.Validate(m.comp.Strict); err != nil {
+		return err
+	}
+	if m.comp.AccessControl {
+		if err := acl.CheckRecord(a, acl.VerbCreate, rec, nil); err != nil {
+			auditOp(m.log, a, "CREATE-RECORD", rec.Key, false, err.Error())
+			return err
+		}
+	}
+	err := m.transitWrap("CREATE "+rec.Key, func() (string, error) {
+		return "OK", m.eng.Put(rec)
+	})
+	auditOp(m.log, a, "CREATE-RECORD", rec.Key, err == nil, "")
+	return err
+}
+
+// createBatch validates and ACL-checks every record, then inserts the
+// batch through the engine's bulk path — one engine call, one durability
+// wait (or one per-shard fan-out) per batch instead of per record.
+func (m *middleware) createBatch(a acl.Actor, recs []gdpr.Record) error {
+	be, ok := m.eng.(BatchEngine)
+	if !ok {
+		for _, rec := range recs {
+			if err := m.CreateRecord(a, rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for _, rec := range recs {
+		if err := rec.Validate(m.comp.Strict); err != nil {
+			return err
+		}
+		if m.comp.AccessControl {
+			if err := acl.CheckRecord(a, acl.VerbCreate, rec, nil); err != nil {
+				auditOp(m.log, a, "CREATE-RECORD", rec.Key, false, err.Error())
+				return err
+			}
+		}
+	}
+	err := m.transitWrap(fmt.Sprintf("CREATE-BATCH %d", len(recs)), func() (string, error) {
+		return "OK", be.PutBatch(recs)
+	})
+	auditOp(m.log, a, "CREATE-RECORDS", fmt.Sprintf("%d records", len(recs)), err == nil, "")
+	return err
+}
+
+// ReadData implements DB.
+func (m *middleware) ReadData(a acl.Actor, sel gdpr.Selector) ([]gdpr.Record, error) {
+	var out []gdpr.Record
+	err := m.transitWrap("READ-DATA "+sel.String(), func() (string, error) {
+		recs, err := m.fetch(sel)
+		if err != nil {
+			return "", err
+		}
+		out = filterACL(m.comp.AccessControl, a, acl.VerbReadData, recs, nil)
+		return encodeAll(out), nil
+	})
+	auditOp(m.log, a, "READ-DATA", sel.String(), err == nil, countNote(len(out)))
+	return out, err
+}
+
+// ReadMetadata implements DB.
+func (m *middleware) ReadMetadata(a acl.Actor, sel gdpr.Selector) ([]gdpr.Record, error) {
+	var out []gdpr.Record
+	err := m.transitWrap("READ-META "+sel.String(), func() (string, error) {
+		recs, err := m.fetch(sel)
+		if err != nil {
+			return "", err
+		}
+		out = redactData(filterACL(m.comp.AccessControl, a, acl.VerbReadMetadata, recs, nil))
+		return encodeAll(out), nil
+	})
+	auditOp(m.log, a, "READ-METADATA", sel.String(), err == nil, countNote(len(out)))
+	return out, err
+}
+
+// rmw atomically applies mutate to the record at key, re-verifying the
+// selector and the actor's rights under the engine lock (a concurrent
+// mutation may have changed the record since it was selected). It reports
+// whether the record was updated.
+func (m *middleware) rmw(a acl.Actor, verb acl.Verb, key string, sel gdpr.Selector, delta *gdpr.Delta, mutate func(*gdpr.Record) error) (bool, error) {
+	updated, err := m.eng.Update(key, func(rec gdpr.Record) (gdpr.Record, error) {
+		if !sel.Matches(rec) {
+			return gdpr.Record{}, errSkipUpdate
+		}
+		if m.comp.AccessControl {
+			if err := acl.CheckRecord(a, verb, rec, delta); err != nil {
+				return gdpr.Record{}, errSkipUpdate
+			}
+		}
+		if err := mutate(&rec); err != nil {
+			return gdpr.Record{}, err
+		}
+		if err := rec.Validate(m.comp.Strict); err != nil {
+			return gdpr.Record{}, err
+		}
+		return rec, nil
+	})
+	if errors.Is(err, errSkipUpdate) {
+		return false, nil
+	}
+	return updated, err
+}
+
+// UpdateData implements DB.
+func (m *middleware) UpdateData(a acl.Actor, key, data string) (int, error) {
+	n := 0
+	err := m.transitWrap("UPDATE-DATA "+key, func() (string, error) {
+		ok, err := m.rmw(a, acl.VerbUpdateData, key, gdpr.ByKey(key), nil, func(rec *gdpr.Record) error {
+			rec.Data = data
+			return nil
+		})
+		if err != nil {
+			return "", err
+		}
+		if ok {
+			n = 1
+		}
+		return fmt.Sprintf("%d", n), nil
+	})
+	auditOp(m.log, a, "UPDATE-DATA", key, err == nil, countNote(n))
+	return n, err
+}
+
+// UpdateMetadata implements DB. Candidate keys are collected in ONE
+// selector resolution (a single scan on the Redis model, one index probe
+// on the PostgreSQL model, one scatter-gather on the shard router); each
+// candidate is then re-checked against the selector and the actor's
+// rights at apply time under the engine lock, so a by-user update is one
+// scan plus k point read-modify-writes, not k+1 scans.
+func (m *middleware) UpdateMetadata(a acl.Actor, sel gdpr.Selector, delta gdpr.Delta) (int, error) {
+	n := 0
+	err := m.transitWrap("UPDATE-META "+sel.String(), func() (string, error) {
+		keys, err := m.eng.SelectKeys(sel)
+		if err != nil {
+			return "", err
+		}
+		for _, key := range keys {
+			ok, err := m.rmw(a, acl.VerbUpdateMetadata, key, sel, &delta, func(r *gdpr.Record) error {
+				return delta.Apply(&r.Meta)
+			})
+			if err != nil {
+				return "", err
+			}
+			if ok {
+				n++
+			}
+		}
+		return fmt.Sprintf("%d", n), nil
+	})
+	auditOp(m.log, a, "UPDATE-METADATA", sel.String(), err == nil, countNote(n))
+	return n, err
+}
+
+// DeleteRecord implements DB.
+func (m *middleware) DeleteRecord(a acl.Actor, sel gdpr.Selector) (int, error) {
+	n := 0
+	err := m.transitWrap("DELETE "+sel.String(), func() (string, error) {
+		var keys []string
+		if sel.Attr == gdpr.AttrTTL {
+			// Purge expired records (G 5(1e)): engines resolve this from
+			// their expiry tracking without a value scan, and the purge is
+			// not ACL-filtered per record — only controllers may run it.
+			if m.comp.AccessControl && a.Role != acl.Controller {
+				return "", &acl.DeniedError{Actor: a, Verb: acl.VerbDelete, Reason: "only controllers purge by TTL"}
+			}
+			var err error
+			keys, err = m.eng.SelectKeys(sel)
+			if err != nil {
+				return "", err
+			}
+		} else {
+			recs, err := m.fetch(sel)
+			if err != nil {
+				return "", err
+			}
+			recs = filterACL(m.comp.AccessControl, a, acl.VerbDelete, recs, nil)
+			keys = make([]string, len(recs))
+			for i, r := range recs {
+				keys[i] = r.Key
+			}
+		}
+		if len(keys) == 0 {
+			return "0", nil
+		}
+		deleted, err := m.eng.Delete(keys)
+		if err != nil {
+			return "", err
+		}
+		n = deleted
+		return fmt.Sprintf("%d", n), nil
+	})
+	auditOp(m.log, a, "DELETE-RECORD", sel.String(), err == nil, countNote(n))
+	return n, err
+}
+
+// GetSystemLogs implements DB.
+func (m *middleware) GetSystemLogs(a acl.Actor, from, to time.Time) ([]audit.Entry, error) {
+	if err := checkSystemACL(m.comp.AccessControl, a, acl.VerbReadLogs); err != nil {
+		return nil, err
+	}
+	if m.log == nil {
+		return nil, fmt.Errorf("%w: logging", ErrFeatureDisabled)
+	}
+	entries := m.log.Range(from, to)
+	auditOp(m.log, a, "GET-SYSTEM-LOGS", fmt.Sprintf("%d..%d", from.Unix(), to.Unix()), true, countNote(len(entries)))
+	return entries, nil
+}
+
+// GetSystemFeatures implements DB.
+func (m *middleware) GetSystemFeatures(a acl.Actor) (map[string]string, error) {
+	if err := checkSystemACL(m.comp.AccessControl, a, acl.VerbReadFeatures); err != nil {
+		return nil, err
+	}
+	f := m.eng.Features()
+	f["compliance"] = m.comp.String()
+	f["encrypt_in_transit"] = fmt.Sprintf("%v", m.pipe != nil)
+	return f, nil
+}
+
+// VerifyDeletion implements DB.
+func (m *middleware) VerifyDeletion(a acl.Actor, keys []string) (int, error) {
+	if err := checkSystemACL(m.comp.AccessControl, a, acl.VerbVerifyDeletion); err != nil {
+		return 0, err
+	}
+	present := 0
+	for _, k := range keys {
+		ok, err := m.eng.Exists(k)
+		if err != nil {
+			return present, err
+		}
+		if ok {
+			present++
+		}
+	}
+	auditOp(m.log, a, "VERIFY-DELETION", fmt.Sprintf("%d keys", len(keys)), true, countNote(present))
+	return present, nil
+}
+
+// SpaceUsage implements DB.
+func (m *middleware) SpaceUsage() (SpaceUsage, error) { return m.eng.SpaceUsage() }
+
+// Close implements DB: the engine first, then the audit trail.
+func (m *middleware) Close() error {
+	var first error
+	if err := m.eng.Close(); err != nil {
+		first = err
+	}
+	if m.log != nil {
+		if err := m.log.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+func encodeAll(recs []gdpr.Record) string {
+	var b strings.Builder
+	for _, r := range recs {
+		b.WriteString(gdpr.Encode(r))
+		b.WriteByte('\n')
+	}
+	return b.String()
+}
+
+var (
+	_ DB           = (*middleware)(nil)
+	_ BatchCreator = (*batchDB)(nil)
+)

@@ -1,7 +1,6 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"path/filepath"
 	"time"
@@ -12,28 +11,25 @@ import (
 	"repro/internal/gdpr"
 	"repro/internal/relstore"
 	"repro/internal/securefs"
-	"repro/internal/transit"
 	"repro/internal/wal"
 )
 
-// PostgresClient is the GDPRbench client stub for the PostgreSQL-model
-// engine (§5.2). Records live in one wide table with a column per GDPR
-// metadata attribute; metadata queries become predicates that the planner
-// serves from secondary indexes when MetadataIndexing is on (Figure 5c)
-// and sequential scans otherwise (Figure 5b). Compliance features map to:
+// PostgresClient is the GDPRbench client for the PostgreSQL-model engine
+// (§5.2): the compliance middleware over a relEngine storage adapter.
+// Records live in one wide table with a column per GDPR metadata
+// attribute; metadata queries become predicates that the planner serves
+// from secondary indexes when MetadataIndexing is on (Figure 5c) and
+// sequential scans otherwise (Figure 5b). Compliance features map to:
 //
 //	EncryptAtRest    → WAL and audit log encrypted via securefs (LUKS)
 //	EncryptInTransit → per-op transit.Pipe record layer (SSL verify-CA)
 //	Logging          → csvlog-style statement+response logging
 //	TimelyDeletion   → TTL daemon at a 1-second period
-//	AccessControl    → acl checks in this client
+//	AccessControl    → acl checks in the middleware
 //	MetadataIndexing → secondary indexes on every metadata column
 type PostgresClient struct {
-	db   *relstore.DB
-	log  *audit.Log
-	pipe *transit.Pipe
-	comp Compliance
-	clk  clock.Clock
+	*middleware
+	db *relstore.DB
 }
 
 // RecordsTable is the personal-data table name.
@@ -141,8 +137,69 @@ type PostgresConfig struct {
 	GlobalLock bool
 }
 
+// WrapConfig derives the middleware configuration from the
+// PostgreSQL-model conventions: csvlog-style audit trail at
+// Dir/postgres-csvlog, keys derived from the passphrase.
+func (cfg PostgresConfig) WrapConfig() WrapConfig {
+	pass := cfg.Passphrase
+	if pass == "" {
+		pass = "gdprbench-postgres"
+	}
+	wc := WrapConfig{Compliance: cfg.Compliance, Clock: cfg.Clock}
+	if cfg.Compliance.Logging && cfg.Dir != "" {
+		wc.AuditPath = filepath.Join(cfg.Dir, "postgres-csvlog")
+		if cfg.Compliance.EncryptAtRest {
+			wc.AuditKey = securefs.Key(pass + "/csvlog")
+		}
+	}
+	if cfg.Compliance.EncryptInTransit {
+		wc.TransitKey = securefs.Key(pass + "/transit")
+	}
+	return wc
+}
+
 // OpenPostgres builds a PostgresClient.
 func OpenPostgres(cfg PostgresConfig) (*PostgresClient, error) {
+	clk := cfg.Clock
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	wc := cfg.WrapConfig()
+	if cfg.Compliance.Logging {
+		if cfg.Dir == "" {
+			return nil, fmt.Errorf("core: postgres logging requires a directory")
+		}
+		log, err := OpenAudit(wc.AuditPath, wc.AuditKey, clk)
+		if err != nil {
+			return nil, err
+		}
+		wc.Audit = log
+	}
+	eng, err := NewPostgresEngine(cfg, wc.Audit)
+	if err != nil {
+		if wc.Audit != nil {
+			wc.Audit.Close()
+		}
+		return nil, err
+	}
+	m, err := newMiddleware(eng, wc)
+	if err != nil {
+		eng.Close()
+		if wc.Audit != nil {
+			wc.Audit.Close()
+		}
+		return nil, err
+	}
+	return &PostgresClient{middleware: m, db: eng.(*relEngine).db}, nil
+}
+
+// NewPostgresEngine builds a bare PostgreSQL-model storage engine
+// (relstore with WAL, indexes and TTL daemon per the compliance
+// configuration) with no compliance layer attached. statements, when
+// non-nil, receives csvlog-style statement logging — the sharded opener
+// passes one shared log for all shards. The shard router composes several
+// of these; Wrap adds the middleware.
+func NewPostgresEngine(cfg PostgresConfig, statements *audit.Log) (Engine, error) {
 	clk := cfg.Clock
 	if clk == nil {
 		clk = clock.NewReal()
@@ -154,25 +211,11 @@ func OpenPostgres(cfg PostgresConfig) (*PostgresClient, error) {
 	}
 
 	relCfg := relstore.Config{Clock: clk, GlobalLock: cfg.GlobalLock}
-	var log *audit.Log
 	if comp.Logging {
-		if cfg.Dir == "" {
-			return nil, fmt.Errorf("core: postgres logging requires a directory")
+		if statements == nil {
+			return nil, fmt.Errorf("core: postgres statement logging requires an audit log")
 		}
-		auditCfg := audit.Config{
-			Path:   filepath.Join(cfg.Dir, "postgres-csvlog"),
-			Policy: audit.SyncEverySec,
-			Clock:  clk,
-		}
-		if comp.EncryptAtRest {
-			auditCfg.Key = securefs.Key(pass + "/csvlog")
-		}
-		var err error
-		log, err = audit.Open(auditCfg)
-		if err != nil {
-			return nil, err
-		}
-		relCfg.Audit = log
+		relCfg.Audit = statements
 		relCfg.LogStatements = true
 	}
 	if cfg.Dir != "" {
@@ -189,35 +232,29 @@ func OpenPostgres(cfg PostgresConfig) (*PostgresClient, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := db.CreateTable(recordsSchema()); err != nil {
+	fail := func(err error) (Engine, error) {
+		db.Close()
 		return nil, err
 	}
+	if err := db.CreateTable(recordsSchema()); err != nil {
+		return fail(err)
+	}
 	if err := db.Recover(); err != nil {
-		return nil, err
+		return fail(err)
 	}
 	if comp.MetadataIndexing {
 		for _, col := range metadataColumns {
 			if err := db.CreateIndex(RecordsTable, col); err != nil {
-				return nil, err
+				return fail(err)
 			}
 		}
 	}
-	c := &PostgresClient{db: db, log: log, comp: comp, clk: clk}
-	if comp.EncryptInTransit {
-		pipe, err := transit.NewPipe(securefs.Key(pass + "/transit"))
-		if err != nil {
-			c.Close()
-			return nil, err
-		}
-		c.pipe = pipe
-	}
 	if comp.TimelyDeletion && !cfg.DisableTTLDaemon {
 		if err := db.StartTTLDaemon(RecordsTable, "ttl", TTLDaemonPeriod); err != nil {
-			c.Close()
-			return nil, err
+			return fail(err)
 		}
 	}
-	return c, nil
+	return &relEngine{db: db}, nil
 }
 
 // DB exposes the underlying engine for experiment harnesses.
@@ -228,40 +265,69 @@ func (c *PostgresClient) SweepExpired() (int, error) {
 	return c.db.SweepExpired(RecordsTable, "ttl")
 }
 
-func (c *PostgresClient) transitWrap(req string, fn func() (string, error)) error {
-	if c.pipe == nil {
-		_, err := fn()
-		return err
-	}
-	var opErr error
-	_, err := c.pipe.RoundTrip([]byte(req), func([]byte) []byte {
-		resp, e := fn()
-		opErr = e
-		return []byte(resp)
-	})
-	if opErr != nil {
-		return opErr
-	}
-	return err
+// CreateRecords implements BatchCreator: it validates and ACL-checks
+// every record, then inserts the batch through the engine's bulk path —
+// one table-lock acquisition, one snapshot publish and one group-commit
+// wait for the whole batch instead of per record. core.Load uses it to
+// make the load phase scale with writer threads.
+func (c *PostgresClient) CreateRecords(a acl.Actor, recs []gdpr.Record) error {
+	return c.createBatch(a, recs)
 }
 
-// fetch resolves a selector to records.
-func (c *PostgresClient) fetch(sel gdpr.Selector) ([]gdpr.Record, error) {
+var (
+	_ DB           = (*PostgresClient)(nil)
+	_ BatchCreator = (*PostgresClient)(nil)
+)
+
+// ---------------------------------------------------------------------------
+// relEngine: the storage adapter
+
+// relEngine adapts relstore.DB to the Engine contract. It holds no
+// compliance state — rows in, records out, with the PostgreSQL cost
+// profile (point reads and indexed predicates when indexes exist,
+// sequential scans otherwise).
+type relEngine struct {
+	db *relstore.DB
+}
+
+// Put implements Engine (INSERT semantics: duplicate keys error).
+func (e *relEngine) Put(rec gdpr.Record) error {
+	return e.db.Insert(RecordsTable, rowFromRecord(rec))
+}
+
+// PutBatch implements BatchEngine: one table-lock acquisition, one
+// snapshot publish, one group-commit wait per batch.
+func (e *relEngine) PutBatch(recs []gdpr.Record) error {
+	rows := make([]relstore.Row, len(recs))
+	for i, rec := range recs {
+		rows[i] = rowFromRecord(rec)
+	}
+	return e.db.InsertBatch(RecordsTable, rows)
+}
+
+// Get implements Engine.
+func (e *relEngine) Get(key string) (gdpr.Record, bool, error) {
+	row, ok, err := e.db.Get(RecordsTable, key)
+	if err != nil || !ok {
+		return gdpr.Record{}, false, err
+	}
+	return recordFromRow(row), true, nil
+}
+
+// Select implements Engine.
+func (e *relEngine) Select(sel gdpr.Selector) ([]gdpr.Record, error) {
 	if sel.Attr == gdpr.AttrKey {
-		row, ok, err := c.db.Get(RecordsTable, sel.Value)
-		if err != nil {
+		rec, ok, err := e.Get(sel.Value)
+		if err != nil || !ok {
 			return nil, err
 		}
-		if !ok {
-			return nil, nil
-		}
-		return []gdpr.Record{recordFromRow(row)}, nil
+		return []gdpr.Record{rec}, nil
 	}
 	pred, err := predicateFor(sel)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := c.db.Select(RecordsTable, pred)
+	rows, err := e.db.Select(RecordsTable, pred)
 	if err != nil {
 		return nil, err
 	}
@@ -272,231 +338,62 @@ func (c *PostgresClient) fetch(sel gdpr.Selector) ([]gdpr.Record, error) {
 	return recs, nil
 }
 
-// CreateRecord implements DB.
-func (c *PostgresClient) CreateRecord(a acl.Actor, rec gdpr.Record) error {
-	if err := rec.Validate(c.comp.Strict); err != nil {
-		return err
-	}
-	if c.comp.AccessControl {
-		if err := acl.CheckRecord(a, acl.VerbCreate, rec, nil); err != nil {
-			auditOp(c.log, a, "CREATE-RECORD", rec.Key, false, err.Error())
-			return err
-		}
-	}
-	err := c.transitWrap("CREATE "+rec.Key, func() (string, error) {
-		return "OK", c.db.Insert(RecordsTable, rowFromRecord(rec))
-	})
-	auditOp(c.log, a, "CREATE-RECORD", rec.Key, err == nil, "")
-	return err
-}
-
-// CreateRecords implements BatchCreator: it validates and ACL-checks
-// every record, then inserts the batch through the engine's bulk path —
-// one table-lock acquisition, one snapshot publish and one group-commit
-// wait for the whole batch instead of per record. core.Load uses it to
-// make the load phase scale with writer threads.
-func (c *PostgresClient) CreateRecords(a acl.Actor, recs []gdpr.Record) error {
-	rows := make([]relstore.Row, 0, len(recs))
-	for _, rec := range recs {
-		if err := rec.Validate(c.comp.Strict); err != nil {
-			return err
-		}
-		if c.comp.AccessControl {
-			if err := acl.CheckRecord(a, acl.VerbCreate, rec, nil); err != nil {
-				auditOp(c.log, a, "CREATE-RECORD", rec.Key, false, err.Error())
-				return err
-			}
-		}
-		rows = append(rows, rowFromRecord(rec))
-	}
-	err := c.transitWrap(fmt.Sprintf("CREATE-BATCH %d", len(rows)), func() (string, error) {
-		return "OK", c.db.InsertBatch(RecordsTable, rows)
-	})
-	auditOp(c.log, a, "CREATE-RECORDS", fmt.Sprintf("%d records", len(rows)), err == nil, "")
-	return err
-}
-
-// ReadData implements DB.
-func (c *PostgresClient) ReadData(a acl.Actor, sel gdpr.Selector) ([]gdpr.Record, error) {
-	var out []gdpr.Record
-	err := c.transitWrap("READ-DATA "+sel.String(), func() (string, error) {
-		recs, err := c.fetch(sel)
-		if err != nil {
-			return "", err
-		}
-		out = filterACL(c.comp.AccessControl, a, acl.VerbReadData, recs, nil)
-		return encodeAll(out), nil
-	})
-	auditOp(c.log, a, "READ-DATA", sel.String(), err == nil, countNote(len(out)))
-	return out, err
-}
-
-// ReadMetadata implements DB.
-func (c *PostgresClient) ReadMetadata(a acl.Actor, sel gdpr.Selector) ([]gdpr.Record, error) {
-	var out []gdpr.Record
-	err := c.transitWrap("READ-META "+sel.String(), func() (string, error) {
-		recs, err := c.fetch(sel)
-		if err != nil {
-			return "", err
-		}
-		out = redactData(filterACL(c.comp.AccessControl, a, acl.VerbReadMetadata, recs, nil))
-		return encodeAll(out), nil
-	})
-	auditOp(c.log, a, "READ-METADATA", sel.String(), err == nil, countNote(len(out)))
-	return out, err
-}
-
-// rmw atomically applies mutate to the row at key via the engine's
-// read-modify-write, re-verifying the selector and the actor's rights at
-// apply time (a concurrent mutation may have changed the row since it was
-// selected). It reports whether the row was updated.
-func (c *PostgresClient) rmw(a acl.Actor, verb acl.Verb, key string, sel gdpr.Selector, delta *gdpr.Delta, mutate func(*gdpr.Record) error) (bool, error) {
-	ok, err := c.db.UpdateFunc(RecordsTable, key, func(row relstore.Row) (relstore.Row, error) {
-		rec := recordFromRow(row)
-		if !sel.Matches(rec) {
-			return nil, errSkipUpdate
-		}
-		if c.comp.AccessControl {
-			if err := acl.CheckRecord(a, verb, rec, delta); err != nil {
-				return nil, errSkipUpdate
-			}
-		}
-		if err := mutate(&rec); err != nil {
+// SelectKeys implements Engine: the planner's key-only projection.
+func (e *relEngine) SelectKeys(sel gdpr.Selector) ([]string, error) {
+	if sel.Attr == gdpr.AttrKey {
+		_, ok, err := e.db.Get(RecordsTable, sel.Value)
+		if err != nil || !ok {
 			return nil, err
 		}
-		if err := rec.Validate(c.comp.Strict); err != nil {
+		return []string{sel.Value}, nil
+	}
+	pred, err := predicateFor(sel)
+	if err != nil {
+		return nil, err
+	}
+	return e.db.SelectKeys(RecordsTable, pred)
+}
+
+// Update implements Engine.
+func (e *relEngine) Update(key string, mutate func(gdpr.Record) (gdpr.Record, error)) (bool, error) {
+	return e.db.UpdateFunc(RecordsTable, key, func(row relstore.Row) (relstore.Row, error) {
+		out, err := mutate(recordFromRow(row))
+		if err != nil {
 			return nil, err
 		}
-		return rowFromRecord(rec), nil
+		return rowFromRecord(out), nil
 	})
-	if errors.Is(err, errSkipUpdate) {
-		return false, nil
+}
+
+// Delete implements Engine.
+func (e *relEngine) Delete(keys []string) (int, error) {
+	n := 0
+	for _, key := range keys {
+		existed, err := e.db.Delete(RecordsTable, key)
+		if err != nil {
+			return n, err
+		}
+		if existed {
+			n++
+		}
 	}
+	return n, nil
+}
+
+// Exists implements Engine.
+func (e *relEngine) Exists(key string) (bool, error) {
+	_, ok, err := e.db.Get(RecordsTable, key)
 	return ok, err
 }
 
-// UpdateData implements DB.
-func (c *PostgresClient) UpdateData(a acl.Actor, key, data string) (int, error) {
-	n := 0
-	err := c.transitWrap("UPDATE-DATA "+key, func() (string, error) {
-		ok, err := c.rmw(a, acl.VerbUpdateData, key, gdpr.ByKey(key), nil, func(rec *gdpr.Record) error {
-			rec.Data = data
-			return nil
-		})
-		if err != nil {
-			return "", err
-		}
-		if ok {
-			n = 1
-		}
-		return fmt.Sprintf("%d", n), nil
-	})
-	auditOp(c.log, a, "UPDATE-DATA", key, err == nil, countNote(n))
-	return n, err
-}
+// Features implements Engine.
+func (e *relEngine) Features() map[string]string { return e.db.Features() }
 
-// UpdateMetadata implements DB.
-func (c *PostgresClient) UpdateMetadata(a acl.Actor, sel gdpr.Selector, delta gdpr.Delta) (int, error) {
-	n := 0
-	err := c.transitWrap("UPDATE-META "+sel.String(), func() (string, error) {
-		recs, err := c.fetch(sel)
-		if err != nil {
-			return "", err
-		}
-		for _, rec := range recs {
-			ok, err := c.rmw(a, acl.VerbUpdateMetadata, rec.Key, sel, &delta, func(r *gdpr.Record) error {
-				return delta.Apply(&r.Meta)
-			})
-			if err != nil {
-				return "", err
-			}
-			if ok {
-				n++
-			}
-		}
-		return fmt.Sprintf("%d", n), nil
-	})
-	auditOp(c.log, a, "UPDATE-METADATA", sel.String(), err == nil, countNote(n))
-	return n, err
-}
-
-// DeleteRecord implements DB.
-func (c *PostgresClient) DeleteRecord(a acl.Actor, sel gdpr.Selector) (int, error) {
-	n := 0
-	err := c.transitWrap("DELETE "+sel.String(), func() (string, error) {
-		if sel.Attr == gdpr.AttrTTL && c.comp.AccessControl && a.Role != acl.Controller {
-			return "", &acl.DeniedError{Actor: a, Verb: acl.VerbDelete, Reason: "only controllers purge by TTL"}
-		}
-		recs, err := c.fetch(sel)
-		if err != nil {
-			return "", err
-		}
-		if sel.Attr != gdpr.AttrTTL {
-			recs = filterACL(c.comp.AccessControl, a, acl.VerbDelete, recs, nil)
-		}
-		for _, rec := range recs {
-			existed, err := c.db.Delete(RecordsTable, rec.Key)
-			if err != nil {
-				return "", err
-			}
-			if existed {
-				n++
-			}
-		}
-		return fmt.Sprintf("%d", n), nil
-	})
-	auditOp(c.log, a, "DELETE-RECORD", sel.String(), err == nil, countNote(n))
-	return n, err
-}
-
-// GetSystemLogs implements DB.
-func (c *PostgresClient) GetSystemLogs(a acl.Actor, from, to time.Time) ([]audit.Entry, error) {
-	if err := checkSystemACL(c.comp.AccessControl, a, acl.VerbReadLogs); err != nil {
-		return nil, err
-	}
-	if c.log == nil {
-		return nil, fmt.Errorf("%w: logging", ErrFeatureDisabled)
-	}
-	entries := c.log.Range(from, to)
-	auditOp(c.log, a, "GET-SYSTEM-LOGS", fmt.Sprintf("%d..%d", from.Unix(), to.Unix()), true, countNote(len(entries)))
-	return entries, nil
-}
-
-// GetSystemFeatures implements DB.
-func (c *PostgresClient) GetSystemFeatures(a acl.Actor) (map[string]string, error) {
-	if err := checkSystemACL(c.comp.AccessControl, a, acl.VerbReadFeatures); err != nil {
-		return nil, err
-	}
-	f := c.db.Features()
-	f["compliance"] = c.comp.String()
-	f["encrypt_in_transit"] = fmt.Sprintf("%v", c.pipe != nil)
-	return f, nil
-}
-
-// VerifyDeletion implements DB.
-func (c *PostgresClient) VerifyDeletion(a acl.Actor, keys []string) (int, error) {
-	if err := checkSystemACL(c.comp.AccessControl, a, acl.VerbVerifyDeletion); err != nil {
-		return 0, err
-	}
-	present := 0
-	for _, k := range keys {
-		_, ok, err := c.db.Get(RecordsTable, k)
-		if err != nil {
-			return present, err
-		}
-		if ok {
-			present++
-		}
-	}
-	auditOp(c.log, a, "VERIFY-DELETION", fmt.Sprintf("%d keys", len(keys)), true, countNote(present))
-	return present, nil
-}
-
-// SpaceUsage implements DB: total bytes are heap plus secondary indexes
-// (what "database size" means for the relational engine); personal bytes
-// are the Data column alone.
-func (c *PostgresClient) SpaceUsage() (SpaceUsage, error) {
-	rows, err := c.db.Select(RecordsTable, relstore.All())
+// SpaceUsage implements Engine: total bytes are heap plus secondary
+// indexes (what "database size" means for the relational engine);
+// personal bytes are the Data column alone.
+func (e *relEngine) SpaceUsage() (SpaceUsage, error) {
+	rows, err := e.db.Select(RecordsTable, relstore.All())
 	if err != nil {
 		return SpaceUsage{}, err
 	}
@@ -504,25 +401,14 @@ func (c *PostgresClient) SpaceUsage() (SpaceUsage, error) {
 	for _, row := range rows {
 		personal += int64(len(row[1].(string)))
 	}
-	heap, index, err := c.db.Sizes(RecordsTable)
+	heap, index, err := e.db.Sizes(RecordsTable)
 	if err != nil {
 		return SpaceUsage{}, err
 	}
 	return SpaceUsage{PersonalBytes: personal, TotalBytes: heap + index}, nil
 }
 
-// Close implements DB.
-func (c *PostgresClient) Close() error {
-	var first error
-	if err := c.db.Close(); err != nil {
-		first = err
-	}
-	if c.log != nil {
-		if err := c.log.Close(); err != nil && first == nil {
-			first = err
-		}
-	}
-	return first
-}
+// Close implements Engine.
+func (e *relEngine) Close() error { return e.db.Close() }
 
-var _ DB = (*PostgresClient)(nil)
+var _ BatchEngine = (*relEngine)(nil)

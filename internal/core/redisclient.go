@@ -1,39 +1,35 @@
 package core
 
 import (
-	"errors"
 	"fmt"
 	"path/filepath"
-	"strings"
 	"time"
 
-	"repro/internal/acl"
-	"repro/internal/audit"
 	"repro/internal/clock"
 	"repro/internal/gdpr"
 	"repro/internal/kvstore"
 	"repro/internal/securefs"
-	"repro/internal/transit"
 )
 
-// RedisClient is the GDPRbench client stub for the Redis-model engine
-// (§5.1). Records are stored in wire format under their key; every
-// attribute query is an O(n) scan because the engine has no secondary
-// indexes — exactly the property that makes GDPR workloads slow on Redis
-// in §6.2. Compliance features map to:
+// RedisClient is the GDPRbench client for the Redis-model engine (§5.1):
+// the compliance middleware over a kvEngine storage adapter. Records are
+// stored in wire format under their key; every attribute query is an O(n)
+// scan because the engine has no secondary indexes — exactly the property
+// that makes GDPR workloads slow on Redis in §6.2. Compliance features
+// map to:
 //
 //	EncryptAtRest    → AOF encrypted via securefs (LUKS substitute)
 //	EncryptInTransit → per-op transit.Pipe record layer (Stunnel substitute)
-//	Logging          → AOF extended to log reads + adapter audit trail
+//	Logging          → AOF extended to log reads + middleware audit trail
 //	TimelyDeletion   → strict active-expiry cycle
-//	AccessControl    → acl checks in this client ("we defer access
+//	AccessControl    → acl checks in the middleware ("we defer access
 //	                   control to DBMS applications", §5.1)
+//
+// The Redis model deliberately does not batch creates (no BatchCreator):
+// the paper's load phase issues one command per record.
 type RedisClient struct {
+	*middleware
 	store *kvstore.Store
-	log   *audit.Log
-	pipe  *transit.Pipe
-	comp  Compliance
-	clk   clock.Clock
 }
 
 // RedisConfig configures OpenRedis.
@@ -52,8 +48,65 @@ type RedisConfig struct {
 	DisableBackgroundExpiry bool
 }
 
+// WrapConfig derives the middleware configuration from the Redis-model
+// conventions: audit trail at Dir/redis-audit.log, keys derived from the
+// passphrase. Sharded openers reuse it so one middleware (and one audit
+// trail) covers every shard.
+func (cfg RedisConfig) WrapConfig() WrapConfig {
+	pass := cfg.Passphrase
+	if pass == "" {
+		pass = "gdprbench-redis"
+	}
+	wc := WrapConfig{Compliance: cfg.Compliance, Clock: cfg.Clock}
+	if cfg.Compliance.Logging && cfg.Dir != "" {
+		wc.AuditPath = filepath.Join(cfg.Dir, "redis-audit.log")
+		if cfg.Compliance.EncryptAtRest {
+			wc.AuditKey = securefs.Key(pass + "/audit")
+		}
+	}
+	if cfg.Compliance.EncryptInTransit {
+		wc.TransitKey = securefs.Key(pass + "/transit")
+	}
+	return wc
+}
+
 // OpenRedis builds a RedisClient.
 func OpenRedis(cfg RedisConfig) (*RedisClient, error) {
+	eng, err := newKVEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	m, err := newMiddleware(eng, cfg.WrapConfig())
+	if err != nil {
+		eng.Close()
+		return nil, err
+	}
+	return &RedisClient{middleware: m, store: eng.store}, nil
+}
+
+// NewRedisEngine builds a bare Redis-model storage engine (kvstore with
+// AOF and expiry per the compliance configuration) with no compliance
+// layer attached. The shard router composes several of these; Wrap adds
+// the middleware.
+func NewRedisEngine(cfg RedisConfig) (Engine, error) { return newKVEngine(cfg) }
+
+// Store exposes the underlying engine for experiment harnesses (expiry
+// cycle driving, AOF inspection).
+func (c *RedisClient) Store() *kvstore.Store { return c.store }
+
+var _ DB = (*RedisClient)(nil)
+
+// ---------------------------------------------------------------------------
+// kvEngine: the storage adapter
+
+// kvEngine adapts kvstore.Store to the Engine contract. It holds no
+// compliance state — records in, records out, with the Redis cost profile
+// (O(1) keyed access, O(n) attribute scans, expiry bookkeeping).
+type kvEngine struct {
+	store *kvstore.Store
+}
+
+func newKVEngine(cfg RedisConfig) (*kvEngine, error) {
 	clk := cfg.Clock
 	if clk == nil {
 		clk = clock.NewReal()
@@ -83,66 +136,42 @@ func OpenRedis(cfg RedisConfig) (*RedisClient, error) {
 	if err != nil {
 		return nil, err
 	}
-
-	c := &RedisClient{store: store, comp: comp, clk: clk}
-	if comp.Logging {
-		auditCfg := audit.Config{
-			Path:   filepath.Join(cfg.Dir, "redis-audit.log"),
-			Policy: audit.SyncEverySec,
-			Clock:  clk,
-		}
-		if comp.EncryptAtRest {
-			auditCfg.Key = securefs.Key(pass + "/audit")
-		}
-		log, err := audit.Open(auditCfg)
-		if err != nil {
-			store.Close()
-			return nil, err
-		}
-		c.log = log
-	}
-	if comp.EncryptInTransit {
-		pipe, err := transit.NewPipe(securefs.Key(pass + "/transit"))
-		if err != nil {
-			c.Close()
-			return nil, err
-		}
-		c.pipe = pipe
-	}
 	if comp.TimelyDeletion && !cfg.DisableBackgroundExpiry {
 		store.StartExpiry()
 	}
-	return c, nil
+	return &kvEngine{store: store}, nil
 }
 
-// Store exposes the underlying engine for experiment harnesses (expiry
-// cycle driving, AOF inspection).
-func (c *RedisClient) Store() *kvstore.Store { return c.store }
-
-// transitWrap pays the in-transit record-layer cost around fn. The
-// request and response payloads cross the simulated wire.
-func (c *RedisClient) transitWrap(req string, fn func() (string, error)) error {
-	if c.pipe == nil {
-		_, err := fn()
-		return err
-	}
-	var opErr error
-	_, err := c.pipe.RoundTrip([]byte(req), func([]byte) []byte {
-		resp, e := fn()
-		opErr = e
-		return []byte(resp)
-	})
-	if opErr != nil {
-		return opErr
-	}
-	return err
+// Put implements Engine.
+func (e *kvEngine) Put(rec gdpr.Record) error {
+	return e.store.SetWithExpiry(rec.Key, gdpr.Encode(rec), rec.Meta.Expiry)
 }
 
-// scan decodes every live record and returns those matching sel.
-func (c *RedisClient) scan(sel gdpr.Selector) ([]gdpr.Record, error) {
+// Get implements Engine.
+func (e *kvEngine) Get(key string) (gdpr.Record, bool, error) {
+	v, ok := e.store.Get(key)
+	if !ok {
+		return gdpr.Record{}, false, nil
+	}
+	rec, err := gdpr.Decode(v)
+	if err != nil {
+		return gdpr.Record{}, false, fmt.Errorf("core: record %q: %w", key, err)
+	}
+	return rec, true, nil
+}
+
+// Select implements Engine: O(1) for key lookups, an O(n) scan otherwise.
+func (e *kvEngine) Select(sel gdpr.Selector) ([]gdpr.Record, error) {
+	if sel.Attr == gdpr.AttrKey {
+		rec, ok, err := e.Get(sel.Value)
+		if err != nil || !ok {
+			return nil, err
+		}
+		return []gdpr.Record{rec}, nil
+	}
 	var out []gdpr.Record
 	var decodeErr error
-	c.store.ForEach(func(key, value string, _ time.Time) bool {
+	e.store.ForEach(func(key, value string, _ time.Time) bool {
 		rec, err := gdpr.Decode(value)
 		if err != nil {
 			decodeErr = fmt.Errorf("core: record %q: %w", key, err)
@@ -156,234 +185,65 @@ func (c *RedisClient) scan(sel gdpr.Selector) ([]gdpr.Record, error) {
 	return out, decodeErr
 }
 
-// fetch resolves a selector to records: O(1) for key lookups, O(n)
-// otherwise.
-func (c *RedisClient) fetch(sel gdpr.Selector) ([]gdpr.Record, error) {
+// SelectKeys implements Engine. TTL selectors come straight from the
+// engine's expires set — no value scan, like Redis' own expiry tracking.
+func (e *kvEngine) SelectKeys(sel gdpr.Selector) ([]string, error) {
+	if sel.Attr == gdpr.AttrTTL {
+		return e.store.ExpiredKeys(), nil
+	}
 	if sel.Attr == gdpr.AttrKey {
-		v, ok := c.store.Get(sel.Value)
-		if !ok {
-			return nil, nil
+		if e.store.Exists(sel.Value) {
+			return []string{sel.Value}, nil
 		}
-		rec, err := gdpr.Decode(v)
-		if err != nil {
-			return nil, fmt.Errorf("core: record %q: %w", sel.Value, err)
-		}
-		return []gdpr.Record{rec}, nil
+		return nil, nil
 	}
-	return c.scan(sel)
-}
-
-func (c *RedisClient) put(rec gdpr.Record) error {
-	return c.store.SetWithExpiry(rec.Key, gdpr.Encode(rec), rec.Meta.Expiry)
-}
-
-// CreateRecord implements DB.
-func (c *RedisClient) CreateRecord(a acl.Actor, rec gdpr.Record) error {
-	if err := rec.Validate(c.comp.Strict); err != nil {
-		return err
-	}
-	if c.comp.AccessControl {
-		if err := acl.CheckRecord(a, acl.VerbCreate, rec, nil); err != nil {
-			auditOp(c.log, a, "CREATE-RECORD", rec.Key, false, err.Error())
-			return err
-		}
-	}
-	err := c.transitWrap("CREATE "+rec.Key, func() (string, error) {
-		return "OK", c.put(rec)
-	})
-	auditOp(c.log, a, "CREATE-RECORD", rec.Key, err == nil, "")
-	return err
-}
-
-// ReadData implements DB.
-func (c *RedisClient) ReadData(a acl.Actor, sel gdpr.Selector) ([]gdpr.Record, error) {
-	var out []gdpr.Record
-	err := c.transitWrap("READ-DATA "+sel.String(), func() (string, error) {
-		recs, err := c.fetch(sel)
+	var out []string
+	var decodeErr error
+	e.store.ForEach(func(key, value string, _ time.Time) bool {
+		rec, err := gdpr.Decode(value)
 		if err != nil {
-			return "", err
+			decodeErr = fmt.Errorf("core: record %q: %w", key, err)
+			return false
 		}
-		out = filterACL(c.comp.AccessControl, a, acl.VerbReadData, recs, nil)
-		return encodeAll(out), nil
+		if sel.Matches(rec) {
+			out = append(out, key)
+		}
+		return true
 	})
-	auditOp(c.log, a, "READ-DATA", sel.String(), err == nil, countNote(len(out)))
-	return out, err
+	return out, decodeErr
 }
 
-// ReadMetadata implements DB.
-func (c *RedisClient) ReadMetadata(a acl.Actor, sel gdpr.Selector) ([]gdpr.Record, error) {
-	var out []gdpr.Record
-	err := c.transitWrap("READ-META "+sel.String(), func() (string, error) {
-		recs, err := c.fetch(sel)
-		if err != nil {
-			return "", err
-		}
-		out = redactData(filterACL(c.comp.AccessControl, a, acl.VerbReadMetadata, recs, nil))
-		return encodeAll(out), nil
-	})
-	auditOp(c.log, a, "READ-METADATA", sel.String(), err == nil, countNote(len(out)))
-	return out, err
-}
-
-// rmw atomically applies mutate to the record at key, re-verifying the
-// selector and the actor's rights under the engine lock (a concurrent
-// mutation may have changed the record since it was selected). It reports
-// whether the record was updated.
-func (c *RedisClient) rmw(a acl.Actor, verb acl.Verb, key string, sel gdpr.Selector, delta *gdpr.Delta, mutate func(*gdpr.Record) error) (bool, error) {
-	updated, err := c.store.Update(key, func(value string, _ time.Time) (string, time.Time, error) {
+// Update implements Engine.
+func (e *kvEngine) Update(key string, mutate func(gdpr.Record) (gdpr.Record, error)) (bool, error) {
+	return e.store.Update(key, func(value string, _ time.Time) (string, time.Time, error) {
 		rec, err := gdpr.Decode(value)
 		if err != nil {
 			return "", time.Time{}, fmt.Errorf("core: record %q: %w", key, err)
 		}
-		if !sel.Matches(rec) {
-			return "", time.Time{}, errSkipUpdate
-		}
-		if c.comp.AccessControl {
-			if err := acl.CheckRecord(a, verb, rec, delta); err != nil {
-				return "", time.Time{}, errSkipUpdate
-			}
-		}
-		if err := mutate(&rec); err != nil {
+		out, err := mutate(rec)
+		if err != nil {
 			return "", time.Time{}, err
 		}
-		if err := rec.Validate(c.comp.Strict); err != nil {
-			return "", time.Time{}, err
-		}
-		return gdpr.Encode(rec), rec.Meta.Expiry, nil
+		return gdpr.Encode(out), out.Meta.Expiry, nil
 	})
-	if errors.Is(err, errSkipUpdate) {
-		return false, nil
-	}
-	return updated, err
 }
 
-// UpdateData implements DB.
-func (c *RedisClient) UpdateData(a acl.Actor, key, data string) (int, error) {
-	n := 0
-	err := c.transitWrap("UPDATE-DATA "+key, func() (string, error) {
-		ok, err := c.rmw(a, acl.VerbUpdateData, key, gdpr.ByKey(key), nil, func(rec *gdpr.Record) error {
-			rec.Data = data
-			return nil
-		})
-		if err != nil {
-			return "", err
-		}
-		if ok {
-			n = 1
-		}
-		return fmt.Sprintf("%d", n), nil
-	})
-	auditOp(c.log, a, "UPDATE-DATA", key, err == nil, countNote(n))
-	return n, err
-}
+// Delete implements Engine.
+func (e *kvEngine) Delete(keys []string) (int, error) { return e.store.Del(keys...) }
 
-// UpdateMetadata implements DB.
-func (c *RedisClient) UpdateMetadata(a acl.Actor, sel gdpr.Selector, delta gdpr.Delta) (int, error) {
-	n := 0
-	err := c.transitWrap("UPDATE-META "+sel.String(), func() (string, error) {
-		recs, err := c.fetch(sel)
-		if err != nil {
-			return "", err
-		}
-		for _, rec := range recs {
-			ok, err := c.rmw(a, acl.VerbUpdateMetadata, rec.Key, sel, &delta, func(r *gdpr.Record) error {
-				return delta.Apply(&r.Meta)
-			})
-			if err != nil {
-				return "", err
-			}
-			if ok {
-				n++
-			}
-		}
-		return fmt.Sprintf("%d", n), nil
-	})
-	auditOp(c.log, a, "UPDATE-METADATA", sel.String(), err == nil, countNote(n))
-	return n, err
-}
+// Exists implements Engine.
+func (e *kvEngine) Exists(key string) (bool, error) { return e.store.Exists(key), nil }
 
-// DeleteRecord implements DB.
-func (c *RedisClient) DeleteRecord(a acl.Actor, sel gdpr.Selector) (int, error) {
-	n := 0
-	err := c.transitWrap("DELETE "+sel.String(), func() (string, error) {
-		var keys []string
-		if sel.Attr == gdpr.AttrTTL {
-			// Purge expired records (G 5(1e)): the engine's expires set
-			// knows them without a value scan.
-			keys = c.store.ExpiredKeys()
-			if c.comp.AccessControl && a.Role != acl.Controller {
-				return "", &acl.DeniedError{Actor: a, Verb: acl.VerbDelete, Reason: "only controllers purge by TTL"}
-			}
-		} else {
-			recs, err := c.fetch(sel)
-			if err != nil {
-				return "", err
-			}
-			recs = filterACL(c.comp.AccessControl, a, acl.VerbDelete, recs, nil)
-			for _, r := range recs {
-				keys = append(keys, r.Key)
-			}
-		}
-		if len(keys) == 0 {
-			return "0", nil
-		}
-		deleted, err := c.store.Del(keys...)
-		if err != nil {
-			return "", err
-		}
-		n = deleted
-		return fmt.Sprintf("%d", n), nil
-	})
-	auditOp(c.log, a, "DELETE-RECORD", sel.String(), err == nil, countNote(n))
-	return n, err
-}
+// Features implements Engine.
+func (e *kvEngine) Features() map[string]string { return e.store.Info() }
 
-// GetSystemLogs implements DB.
-func (c *RedisClient) GetSystemLogs(a acl.Actor, from, to time.Time) ([]audit.Entry, error) {
-	if err := checkSystemACL(c.comp.AccessControl, a, acl.VerbReadLogs); err != nil {
-		return nil, err
-	}
-	if c.log == nil {
-		return nil, fmt.Errorf("%w: logging", ErrFeatureDisabled)
-	}
-	entries := c.log.Range(from, to)
-	auditOp(c.log, a, "GET-SYSTEM-LOGS", fmt.Sprintf("%d..%d", from.Unix(), to.Unix()), true, countNote(len(entries)))
-	return entries, nil
-}
-
-// GetSystemFeatures implements DB.
-func (c *RedisClient) GetSystemFeatures(a acl.Actor) (map[string]string, error) {
-	if err := checkSystemACL(c.comp.AccessControl, a, acl.VerbReadFeatures); err != nil {
-		return nil, err
-	}
-	f := c.store.Info()
-	f["compliance"] = c.comp.String()
-	f["encrypt_in_transit"] = fmt.Sprintf("%v", c.pipe != nil)
-	return f, nil
-}
-
-// VerifyDeletion implements DB.
-func (c *RedisClient) VerifyDeletion(a acl.Actor, keys []string) (int, error) {
-	if err := checkSystemACL(c.comp.AccessControl, a, acl.VerbVerifyDeletion); err != nil {
-		return 0, err
-	}
-	present := 0
-	for _, k := range keys {
-		if c.store.Exists(k) {
-			present++
-		}
-	}
-	auditOp(c.log, a, "VERIFY-DELETION", fmt.Sprintf("%d keys", len(keys)), true, countNote(present))
-	return present, nil
-}
-
-// SpaceUsage implements DB: total bytes are the engine's in-memory
+// SpaceUsage implements Engine: total bytes are the engine's in-memory
 // footprint (Redis' used-memory analog); personal bytes are the Data
 // fields alone.
-func (c *RedisClient) SpaceUsage() (SpaceUsage, error) {
+func (e *kvEngine) SpaceUsage() (SpaceUsage, error) {
 	var personal int64
 	var decodeErr error
-	c.store.ForEach(func(key, value string, _ time.Time) bool {
+	e.store.ForEach(func(key, value string, _ time.Time) bool {
 		rec, err := gdpr.Decode(value)
 		if err != nil {
 			decodeErr = err
@@ -395,30 +255,10 @@ func (c *RedisClient) SpaceUsage() (SpaceUsage, error) {
 	if decodeErr != nil {
 		return SpaceUsage{}, decodeErr
 	}
-	return SpaceUsage{PersonalBytes: personal, TotalBytes: c.store.MemoryBytes()}, nil
+	return SpaceUsage{PersonalBytes: personal, TotalBytes: e.store.MemoryBytes()}, nil
 }
 
-// Close implements DB.
-func (c *RedisClient) Close() error {
-	var first error
-	if err := c.store.Close(); err != nil {
-		first = err
-	}
-	if c.log != nil {
-		if err := c.log.Close(); err != nil && first == nil {
-			first = err
-		}
-	}
-	return first
-}
+// Close implements Engine.
+func (e *kvEngine) Close() error { return e.store.Close() }
 
-func encodeAll(recs []gdpr.Record) string {
-	var b strings.Builder
-	for _, r := range recs {
-		b.WriteString(gdpr.Encode(r))
-		b.WriteByte('\n')
-	}
-	return b.String()
-}
-
-var _ DB = (*RedisClient)(nil)
+var _ Engine = (*kvEngine)(nil)

@@ -92,11 +92,13 @@ func Load(db DB, cfg Config, clk clock.Clock) (*Dataset, *stats.Run, error) {
 
 // opContext carries per-worker state through query execution.
 type opContext struct {
-	ds      *Dataset
-	r       *rand.Rand
-	keys    dist.Generator // selects record indexes (zipf or uniform)
-	uniform *dist.Uniform  // secondary uniform selector
-	clk     clock.Clock
+	ds   *Dataset
+	r    *rand.Rand
+	keys dist.Generator // selects record indexes under mix.Dist
+	// secondary selects attribute-value indexes (purposes, shares,
+	// decisions) for the minority query class under mix.SecondaryDist.
+	secondary dist.Generator
+	clk       clock.Clock
 	// newKeySeq hands out indexes for controller-created records.
 	newKeySeq *atomic.Int64
 	// deletedSample remembers recently deleted keys for verify-deletion.
@@ -159,7 +161,7 @@ func execute(db DB, q QueryType, oc *opContext) error {
 			oc.recordDeleted(key)
 		}
 	case QDeleteByPurpose:
-		_, err = db.DeleteRecord(ControllerActor(), gdpr.ByPurpose(ds.PurposeName(int(oc.uniform.Next()))))
+		_, err = db.DeleteRecord(ControllerActor(), gdpr.ByPurpose(ds.PurposeName(int(oc.secondary.Next()))))
 	case QDeleteByTTL:
 		_, err = db.DeleteRecord(ControllerActor(), gdpr.ByExpiredAt(oc.clk.Now()))
 	case QDeleteByUser:
@@ -172,7 +174,7 @@ func execute(db DB, q QueryType, oc *opContext) error {
 		actor := acl.Actor{Role: acl.Processor, ID: "processor-1", Purpose: rec.Meta.Purposes[0]}
 		_, err = db.ReadData(actor, gdpr.ByKey(rec.Key))
 	case QReadDataByPurpose:
-		p := int(oc.uniform.Next())
+		p := int(oc.secondary.Next())
 		_, err = db.ReadData(ds.ProcessorActor(p), gdpr.ByPurpose(ds.PurposeName(p)))
 	case QReadDataByUser:
 		u := ds.OwnerOfKey(i)
@@ -182,10 +184,10 @@ func execute(db DB, q QueryType, oc *opContext) error {
 		// GDPRbench implementation, the workload matches the OBJ
 		// attribute value directly; the access-control layer then filters
 		// out what the processor may not see.
-		p := int(oc.uniform.Next())
+		p := int(oc.secondary.Next())
 		_, err = db.ReadData(ds.ProcessorActor(p), gdpr.ByObjection(ds.PurposeName(p)))
 	case QReadDataByDec:
-		p := int(oc.uniform.Next())
+		p := int(oc.secondary.Next())
 		_, err = db.ReadData(ds.ProcessorActor(p), gdpr.ByDecision(ds.DecisionName(p)))
 
 	case QReadMetaByKey:
@@ -193,7 +195,7 @@ func execute(db DB, q QueryType, oc *opContext) error {
 	case QReadMetaByUser:
 		_, err = db.ReadMetadata(RegulatorActor(), gdpr.ByUser(ds.UserAt(i)))
 	case QReadMetaByShare:
-		_, err = db.ReadMetadata(RegulatorActor(), gdpr.ByShare(ds.ShareName(int(oc.uniform.Next()))))
+		_, err = db.ReadMetadata(RegulatorActor(), gdpr.ByShare(ds.ShareName(int(oc.secondary.Next()))))
 
 	case QUpdateDataByKey:
 		newData := fmt.Sprintf("%0*d", cfg.DataSize, oc.r.Intn(1_000_000))
@@ -206,14 +208,14 @@ func execute(db DB, q QueryType, oc *opContext) error {
 	case QUpdateMetaByPur:
 		// The controller extends retention for a purpose (G 13.3).
 		delta := gdpr.Delta{Attr: gdpr.AttrTTL, Op: gdpr.DeltaSet, Expiry: oc.clk.Now().Add(cfg.DefaultTTL)}
-		_, err = db.UpdateMetadata(ControllerActor(), gdpr.ByPurpose(ds.PurposeName(int(oc.uniform.Next()))), delta)
+		_, err = db.UpdateMetadata(ControllerActor(), gdpr.ByPurpose(ds.PurposeName(int(oc.secondary.Next()))), delta)
 	case QUpdateMetaByUser:
 		// The controller records a new third-party share for a user.
 		delta := gdpr.Delta{Attr: gdpr.AttrSharing, Op: gdpr.DeltaAdd, Values: []string{ds.ShareName(oc.r.Intn(cfg.Shares))}}
 		_, err = db.UpdateMetadata(ControllerActor(), gdpr.ByUser(ds.UserAt(i)), delta)
 	case QUpdateMetaByShare:
 		// The controller retires a third-party share.
-		s := ds.ShareName(int(oc.uniform.Next()))
+		s := ds.ShareName(int(oc.secondary.Next()))
 		delta := gdpr.Delta{Attr: gdpr.AttrSharing, Op: gdpr.DeltaRemove, Values: []string{s}}
 		_, err = db.UpdateMetadata(ControllerActor(), gdpr.ByShare(s), delta)
 
@@ -274,17 +276,11 @@ func RunMix(db DB, ds *Dataset, mix Mix, clk clock.Clock) (*stats.Run, error) {
 		go func(t int) {
 			defer wg.Done()
 			r := rand.New(rand.NewSource(cfg.Seed + 1000 + int64(t)))
-			var keys dist.Generator
-			if mix.Dist == DistZipf {
-				keys = dist.NewScrambledZipfian(r, int64(cfg.Records))
-			} else {
-				keys = dist.NewUniform(r, int64(cfg.Records))
-			}
 			oc := &opContext{
 				ds:            ds,
 				r:             r,
-				keys:          keys,
-				uniform:       dist.NewUniform(r, int64(maxOf(cfg.Purposes, cfg.Shares, cfg.Decisions, cfg.Sources))),
+				keys:          newGenerator(r, mix.Dist, int64(cfg.Records)),
+				secondary:     newGenerator(r, mix.SecondaryDist, int64(maxOf(cfg.Purposes, cfg.Shares, cfg.Decisions, cfg.Sources))),
 				clk:           clk,
 				newKeySeq:     &newKeySeq,
 				deletedMu:     &deletedMu,
@@ -310,6 +306,17 @@ func RunMix(db DB, ds *Dataset, mix Mix, clk clock.Clock) (*stats.Run, error) {
 		return run, err
 	}
 	return run, nil
+}
+
+// newGenerator builds the index generator for a Table 2a distribution.
+// Both the record-selection distribution (Mix.Dist) and the minority
+// query class's attribute-value distribution (Mix.SecondaryDist) route
+// through it, so a mix's declared distributions are what actually runs.
+func newGenerator(r *rand.Rand, d Dist, n int64) dist.Generator {
+	if d == DistZipf {
+		return dist.NewScrambledZipfian(r, n)
+	}
+	return dist.NewUniform(r, n)
 }
 
 func maxOf(vs ...int) int {

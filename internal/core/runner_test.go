@@ -165,7 +165,7 @@ func testOpContext(ds *Dataset, clk clock.Clock) *opContext {
 		ds:            ds,
 		r:             r,
 		keys:          &fixedGen{},
-		uniform:       dist.NewUniform(r, 8),
+		secondary:     dist.NewUniform(r, 8),
 		clk:           clk,
 		newKeySeq:     &atomic.Int64{},
 		deletedMu:     &sync.Mutex{},

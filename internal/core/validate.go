@@ -126,13 +126,10 @@ func Validate(db DB, ds *Dataset, name WorkloadName, clk clock.Clock, aclOn bool
 	o := newOracle(ds)
 	var rep CorrectnessReport
 	r := rand.New(rand.NewSource(cfg.Seed + 9000))
-	var keys dist.Generator
-	if mix.Dist == DistZipf {
-		keys = dist.NewScrambledZipfian(r, int64(cfg.Records))
-	} else {
-		keys = dist.NewUniform(r, int64(cfg.Records))
-	}
-	uniform := dist.NewUniform(r, int64(maxOf(cfg.Purposes, cfg.Shares, cfg.Decisions, cfg.Sources)))
+	keys := newGenerator(r, mix.Dist, int64(cfg.Records))
+	// The minority query class draws attribute values under the mix's
+	// secondary distribution, matching the timed runner.
+	secondary := newGenerator(r, mix.SecondaryDist, int64(maxOf(cfg.Purposes, cfg.Shares, cfg.Decisions, cfg.Sources)))
 	chooser := dist.NewWeighted(r, mix.Queries, mix.Weights)
 	var deleted []string
 	newSeq := 0
@@ -166,7 +163,7 @@ func Validate(db DB, ds *Dataset, name WorkloadName, clk clock.Clock, aclOn bool
 			}
 
 		case QDeleteByPurpose:
-			sel := gdpr.ByPurpose(ds.PurposeName(int(uniform.Next())))
+			sel := gdpr.ByPurpose(ds.PurposeName(int(secondary.Next())))
 			want := o.selectRecs(ControllerActor(), acl.VerbDelete, sel, nil, aclOn)
 			n, err := db.DeleteRecord(ControllerActor(), sel)
 			rep.record(err == nil && n == len(want), fmt.Sprintf("delete-by-pur %v: n=%d want=%d err=%v", sel, n, len(want), err))
@@ -207,7 +204,7 @@ func Validate(db DB, ds *Dataset, name WorkloadName, clk clock.Clock, aclOn bool
 			rep.record(match, fmt.Sprintf("read-data-by-key %s: got=%d want=%d err=%v", rec.Key, len(got), len(want), err))
 
 		case QReadDataByPurpose:
-			p := int(uniform.Next())
+			p := int(secondary.Next())
 			a := ds.ProcessorActor(p)
 			sel := gdpr.ByPurpose(ds.PurposeName(p))
 			want := o.selectRecs(a, acl.VerbReadData, sel, nil, aclOn)
@@ -225,7 +222,7 @@ func Validate(db DB, ds *Dataset, name WorkloadName, clk clock.Clock, aclOn bool
 				fmt.Sprintf("read-data-by-usr %v: got=%d want=%d err=%v", sel, len(got), len(want), err))
 
 		case QReadDataByObj:
-			p := int(uniform.Next())
+			p := int(secondary.Next())
 			a := ds.ProcessorActor(p)
 			sel := gdpr.ByObjection(ds.PurposeName(p))
 			want := o.selectRecs(a, acl.VerbReadData, sel, nil, aclOn)
@@ -234,7 +231,7 @@ func Validate(db DB, ds *Dataset, name WorkloadName, clk clock.Clock, aclOn bool
 				fmt.Sprintf("read-data-by-obj %v: got=%d want=%d err=%v", sel, len(got), len(want), err))
 
 		case QReadDataByDec:
-			p := int(uniform.Next())
+			p := int(secondary.Next())
 			a := ds.ProcessorActor(p)
 			sel := gdpr.ByDecision(ds.DecisionName(p))
 			want := o.selectRecs(a, acl.VerbReadData, sel, nil, aclOn)
@@ -268,7 +265,7 @@ func Validate(db DB, ds *Dataset, name WorkloadName, clk clock.Clock, aclOn bool
 				fmt.Sprintf("read-meta-by-usr %v: got=%d want=%d err=%v", sel, len(got), len(want), err))
 
 		case QReadMetaByShare:
-			sel := gdpr.ByShare(ds.ShareName(int(uniform.Next())))
+			sel := gdpr.ByShare(ds.ShareName(int(secondary.Next())))
 			want := o.selectRecs(RegulatorActor(), acl.VerbReadMetadata, sel, nil, aclOn)
 			got, err := db.ReadMetadata(RegulatorActor(), sel)
 			rep.record(err == nil && sameKeys(keysOf(got), keysOf(want)),
@@ -297,7 +294,7 @@ func Validate(db DB, ds *Dataset, name WorkloadName, clk clock.Clock, aclOn bool
 			o.apply(want, delta)
 
 		case QUpdateMetaByPur:
-			sel := gdpr.ByPurpose(ds.PurposeName(int(uniform.Next())))
+			sel := gdpr.ByPurpose(ds.PurposeName(int(secondary.Next())))
 			delta := gdpr.Delta{Attr: gdpr.AttrTTL, Op: gdpr.DeltaSet, Expiry: clk.Now().Add(cfg.DefaultTTL)}
 			want := o.selectRecs(ControllerActor(), acl.VerbUpdateMetadata, sel, &delta, aclOn)
 			n, err := db.UpdateMetadata(ControllerActor(), sel, delta)
@@ -313,7 +310,7 @@ func Validate(db DB, ds *Dataset, name WorkloadName, clk clock.Clock, aclOn bool
 			o.apply(want, delta)
 
 		case QUpdateMetaByShare:
-			s := ds.ShareName(int(uniform.Next()))
+			s := ds.ShareName(int(secondary.Next()))
 			sel := gdpr.ByShare(s)
 			delta := gdpr.Delta{Attr: gdpr.AttrSharing, Op: gdpr.DeltaRemove, Values: []string{s}}
 			want := o.selectRecs(ControllerActor(), acl.VerbUpdateMetadata, sel, &delta, aclOn)

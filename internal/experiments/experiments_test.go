@@ -11,7 +11,7 @@ import (
 
 func TestIDsCoverEveryPaperArtifact(t *testing.T) {
 	want := []string{"T1", "T2a", "T3", "F3a", "F3b", "F4a", "F4b",
-		"F5a", "F5b", "F5c", "F6", "F7a", "F7b", "F8a", "F8b"}
+		"F5a", "F5b", "F5c", "F6", "F7a", "F7b", "F8a", "F8b", "F9"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v", got)

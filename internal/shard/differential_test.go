@@ -1,0 +1,234 @@
+package shard
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/gdpr"
+)
+
+// The cross-engine differential test: one seeded mini-workload replayed
+// against the Redis model, the PostgreSQL model (plain and indexed) and
+// sharded variants of both, recording every query's result as a
+// canonical, order-insensitive transcript line. All engines must produce
+// byte-identical transcripts — same selector results, same mutation
+// counts — which is the acceptance bar for "compliance above storage":
+// the middleware, not the backend, defines observable behavior.
+
+// variant opens one engine under test.
+type variant struct {
+	name string
+	open func(t *testing.T, sim *clock.Sim) core.DB
+}
+
+func diffVariants() []variant {
+	comp := core.Compliance{Logging: true, AccessControl: true, Strict: true, TimelyDeletion: true}
+	idx := comp
+	idx.MetadataIndexing = true
+	mk := func(engine string, shards int, c core.Compliance) func(t *testing.T, sim *clock.Sim) core.DB {
+		return func(t *testing.T, sim *clock.Sim) core.DB {
+			t.Helper()
+			db, err := Open(engine, shards, t.TempDir(), c, sim, true)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { db.Close() })
+			return db
+		}
+	}
+	return []variant{
+		{"redis", func(t *testing.T, sim *clock.Sim) core.DB {
+			t.Helper()
+			db, err := core.OpenRedis(core.RedisConfig{
+				Dir: t.TempDir(), Compliance: comp, Clock: sim, DisableBackgroundExpiry: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { db.Close() })
+			return db
+		}},
+		{"postgres", func(t *testing.T, sim *clock.Sim) core.DB {
+			t.Helper()
+			db, err := core.OpenPostgres(core.PostgresConfig{
+				Dir: t.TempDir(), Compliance: idx, Clock: sim, DisableTTLDaemon: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { db.Close() })
+			return db
+		}},
+		{"redis-1shard", mk("redis", 1, comp)},
+		{"redis-4shard", mk("redis", 4, comp)},
+		{"postgres-3shard", mk("postgres", 3, comp)},
+	}
+}
+
+// transcript runs the seeded mini-workload and renders each operation's
+// outcome canonically (sorted keys, counts).
+func transcript(t *testing.T, db core.DB, ds *core.Dataset, sim *clock.Sim) []string {
+	t.Helper()
+	var lines []string
+	emitRecs := func(op string, recs []gdpr.Record, err error) {
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		keys := make([]string, len(recs))
+		for i, r := range recs {
+			keys[i] = r.Key
+		}
+		sort.Strings(keys)
+		lines = append(lines, fmt.Sprintf("%s -> [%s]", op, strings.Join(keys, ",")))
+	}
+	emitN := func(op string, n int, err error) {
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		lines = append(lines, fmt.Sprintf("%s -> n=%d", op, n))
+	}
+
+	cfg := ds.Cfg
+	for round := 0; round < 6; round++ {
+		p := round % cfg.Purposes
+		u := round * 3 % ds.Users
+		s := round % cfg.Shares
+		d := round % cfg.Decisions
+		k := round * 17 % cfg.Records
+
+		rec := ds.RecordAt(0)
+		rec.Key = fmt.Sprintf("rec-diff-%04d", round)
+		rec.Data = fmt.Sprintf("%0*d", cfg.DataSize, round)
+		rec.Meta.User = ds.UserName(u)
+		rec.Meta.Expiry = sim.Now().Add(cfg.DefaultTTL)
+		if err := db.CreateRecord(core.ControllerActor(), rec); err != nil {
+			t.Fatalf("create round %d: %v", round, err)
+		}
+		lines = append(lines, fmt.Sprintf("create(%s) -> ok", rec.Key))
+
+		recs, err := db.ReadData(ds.ProcessorActor(p), gdpr.ByPurpose(ds.PurposeName(p)))
+		emitRecs(fmt.Sprintf("read-data-by-pur(%d)", p), recs, err)
+		recs, err = db.ReadData(ds.CustomerActor(u), gdpr.ByUser(ds.UserName(u)))
+		emitRecs(fmt.Sprintf("read-data-by-usr(%d)", u), recs, err)
+		recs, err = db.ReadData(ds.ProcessorActor(p), gdpr.ByObjection(ds.PurposeName(p)))
+		emitRecs(fmt.Sprintf("read-data-by-obj(%d)", p), recs, err)
+		recs, err = db.ReadData(ds.ProcessorActor(d), gdpr.ByDecision(ds.DecisionName(d)))
+		emitRecs(fmt.Sprintf("read-data-by-dec(%d)", d), recs, err)
+		recs, err = db.ReadMetadata(core.RegulatorActor(), gdpr.ByShare(ds.ShareName(s)))
+		emitRecs(fmt.Sprintf("read-meta-by-shr(%d)", s), recs, err)
+		for _, r := range recs {
+			if r.Data != "" {
+				t.Fatalf("metadata read leaked data for %q", r.Key)
+			}
+		}
+		recs, err = db.ReadMetadata(core.RegulatorActor(), gdpr.ByUser(ds.UserName(u)))
+		emitRecs(fmt.Sprintf("read-meta-by-usr(%d)", u), recs, err)
+
+		n, err := db.UpdateMetadata(core.ControllerActor(), gdpr.ByUser(ds.UserName(u)),
+			gdpr.Delta{Attr: gdpr.AttrSharing, Op: gdpr.DeltaAdd, Values: []string{ds.ShareName(s)}})
+		emitN(fmt.Sprintf("update-meta-by-usr(%d)", u), n, err)
+		n, err = db.UpdateMetadata(core.ControllerActor(), gdpr.ByPurpose(ds.PurposeName(p)),
+			gdpr.Delta{Attr: gdpr.AttrTTL, Op: gdpr.DeltaSet, Expiry: sim.Now().Add(cfg.DefaultTTL)})
+		emitN(fmt.Sprintf("update-meta-by-pur(%d)", p), n, err)
+		n, err = db.UpdateMetadata(ds.CustomerActor(ds.OwnerOfKey(k)), gdpr.ByKey(ds.KeyAt(k)),
+			gdpr.Delta{Attr: gdpr.AttrObjection, Op: gdpr.DeltaAdd, Values: []string{ds.PurposeName(p)}})
+		emitN(fmt.Sprintf("update-meta-by-key(%d)", k), n, err)
+		n, err = db.UpdateData(ds.CustomerActor(ds.OwnerOfKey(k)), ds.KeyAt(k),
+			fmt.Sprintf("%0*d", cfg.DataSize, round))
+		emitN(fmt.Sprintf("update-data-by-key(%d)", k), n, err)
+
+		n, err = db.DeleteRecord(ds.CustomerActor(ds.OwnerOfKey(k)), gdpr.ByKey(ds.KeyAt(k)))
+		emitN(fmt.Sprintf("delete-by-key(%d)", k), n, err)
+		n, err = db.DeleteRecord(core.ControllerActor(), gdpr.ByUser(ds.UserName((u+5)%ds.Users)))
+		emitN(fmt.Sprintf("delete-by-usr(%d)", (u+5)%ds.Users), n, err)
+		n, err = db.DeleteRecord(core.ControllerActor(), gdpr.ByPurpose(ds.PurposeName((p+3)%cfg.Purposes)))
+		emitN(fmt.Sprintf("delete-by-pur(%d)", (p+3)%cfg.Purposes), n, err)
+
+		present, err := db.VerifyDeletion(core.RegulatorActor(),
+			[]string{ds.KeyAt(k), ds.KeyAt((k + 1) % cfg.Records), "never-existed"})
+		emitN("verify-deletion", present, err)
+	}
+	return lines
+}
+
+func TestDifferentialAcrossEnginesAndShardCounts(t *testing.T) {
+	cfg := core.Config{Records: 240, Operations: 10, Threads: 2, Seed: 42}.WithDefaults()
+	var wantName string
+	var want []string
+	for _, v := range diffVariants() {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			sim := clock.NewSim(time.Unix(1_500_000_000, 0))
+			db := v.open(t, sim)
+			ds, _, err := core.Load(db, cfg, sim)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got := transcript(t, db, ds, sim)
+			if want == nil {
+				wantName, want = v.name, got
+				return
+			}
+			if len(got) != len(want) {
+				t.Fatalf("transcript length %d vs %s's %d", len(got), wantName, len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("diverged from %s at op %d:\n  %s: %s\n  %s: %s",
+						wantName, i, wantName, want[i], v.name, got[i])
+				}
+			}
+		})
+	}
+}
+
+// TestShardCountInvariantUnderExpiry pins the 1-shard-vs-N-shard
+// equivalence through the TTL path within one engine model: after the
+// clock passes the short-TTL horizon, scans hide the same records and
+// DELETE-BY-TTL purges the same count regardless of shard count.
+func TestShardCountInvariantUnderExpiry(t *testing.T) {
+	cfg := core.Config{
+		Records: 200, Operations: 10, Threads: 1, Seed: 9,
+		ShortTTLFraction: 0.25, ShortTTL: time.Minute,
+	}.WithDefaults()
+	comp := core.Compliance{Logging: true, AccessControl: true, Strict: true, TimelyDeletion: true}
+	run := func(engine string, shards int) (visible int, purged int) {
+		sim := clock.NewSim(time.Unix(1_500_000_000, 0))
+		db, err := Open(engine, shards, t.TempDir(), comp, sim, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer db.Close()
+		ds, _, err := core.Load(db, cfg, sim)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sim.Advance(2 * time.Minute)
+		recs, err := db.ReadData(core.ControllerActor(), gdpr.Selector{Attr: gdpr.AttrSource, Value: ds.SourceName(0)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		n, err := db.DeleteRecord(core.ControllerActor(), gdpr.ByExpiredAt(sim.Now()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return len(recs), n
+	}
+	for _, engine := range []string{"redis", "postgres"} {
+		v1, p1 := run(engine, 1)
+		v4, p4 := run(engine, 4)
+		if v1 != v4 || p1 != p4 {
+			t.Fatalf("%s: 1-shard (visible=%d purged=%d) != 4-shard (visible=%d purged=%d)",
+				engine, v1, p1, v4, p4)
+		}
+		if p1 == 0 {
+			t.Fatalf("%s: TTL purge deleted nothing — test is vacuous", engine)
+		}
+		t.Logf("%s: visible=%d purged=%d at both shard counts", engine, v1, p1)
+	}
+}

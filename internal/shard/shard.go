@@ -1,0 +1,249 @@
+// Package shard adds horizontal partitioning beneath the compliance
+// middleware: a Router hash-partitions personal-data records by key
+// across N storage engines (Redis-model kvstores or PostgreSQL-model
+// relstores, each with its own AOF/WAL and expiry loop) and implements
+// core.Engine itself, so core.Wrap layers the full GDPR compliance stack
+// — access control, audit, redaction, transit encryption, strict
+// validation — over the whole fleet exactly as it does over one engine.
+//
+// Routing rules:
+//
+//   - keyed operations (Put, Get, Update, Exists, key selectors) touch
+//     exactly one shard, chosen by FNV-1a hash of the key;
+//   - attribute selectors (BY-PUR|USR|OBJ|DEC|SHR|TTL) scatter to every
+//     shard in parallel and gather merged results, with per-shard errors
+//     aggregated via errors.Join;
+//   - batched loads split the batch by shard and ingest the parts
+//     concurrently — the load phase fans out per shard;
+//   - deletes group their keys by shard and run concurrently, summing
+//     per-shard counts.
+//
+// Consistency model: per-key linearizability only. Each key lives on one
+// shard and inherits that engine's per-key atomicity (read-modify-write
+// under the engine lock), so the middleware's apply-time re-checks still
+// hold. Cross-shard operations are NOT atomic: a scatter-gather read is
+// not a snapshot — it observes each shard at a slightly different
+// instant, and a multi-record mutation (update/delete by attribute) that
+// fails on one shard may already have applied on another. That is the
+// same contract the single-engine stubs offer for multi-record
+// operations (they mutate record by record), which is why the oracle
+// validation passes unchanged on sharded engines.
+package shard
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/gdpr"
+)
+
+// Router is a core.Engine that partitions records across child engines.
+type Router struct {
+	shards []core.Engine
+}
+
+// New builds a Router over the given engines. The shard count is fixed
+// for the lifetime of the dataset (keys are placed by hash modulo N;
+// there is no resharding).
+func New(shards []core.Engine) (*Router, error) {
+	if len(shards) == 0 {
+		return nil, fmt.Errorf("shard: need at least one engine")
+	}
+	return &Router{shards: shards}, nil
+}
+
+// Shards reports the shard count.
+func (r *Router) Shards() int { return len(r.shards) }
+
+// shardIndex places a key on its owning shard by FNV-1a hash. The
+// modulo stays in uint32 so the index is valid on 32-bit ints too.
+func (r *Router) shardIndex(key string) int {
+	h := fnv.New32a()
+	h.Write([]byte(key))
+	return int(h.Sum32() % uint32(len(r.shards)))
+}
+
+// shardFor returns the engine owning key.
+func (r *Router) shardFor(key string) core.Engine {
+	return r.shards[r.shardIndex(key)]
+}
+
+// scatter runs fn once per shard, concurrently when there is more than
+// one, and aggregates every shard's error.
+func (r *Router) scatter(fn func(i int, e core.Engine) error) error {
+	if len(r.shards) == 1 {
+		return fn(0, r.shards[0])
+	}
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for i, e := range r.shards {
+		wg.Add(1)
+		go func(i int, e core.Engine) {
+			defer wg.Done()
+			errs[i] = fn(i, e)
+		}(i, e)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// groupKeys splits keys into per-shard buckets, preserving each shard's
+// relative order.
+func (r *Router) groupKeys(keys []string) [][]string {
+	groups := make([][]string, len(r.shards))
+	for _, k := range keys {
+		i := r.shardIndex(k)
+		groups[i] = append(groups[i], k)
+	}
+	return groups
+}
+
+// Put implements core.Engine: one shard, chosen by key.
+func (r *Router) Put(rec gdpr.Record) error { return r.shardFor(rec.Key).Put(rec) }
+
+// PutBatch implements core.BatchEngine: the batch splits by shard and the
+// parts ingest concurrently — each shard takes its engine's native bulk
+// path when it has one (relstore's InsertBatch) and falls back to
+// per-record puts otherwise (the kvstore keeps one command per record,
+// but N shards absorb them in parallel).
+func (r *Router) PutBatch(recs []gdpr.Record) error {
+	groups := make([][]gdpr.Record, len(r.shards))
+	for _, rec := range recs {
+		i := r.shardIndex(rec.Key)
+		groups[i] = append(groups[i], rec)
+	}
+	return r.scatter(func(i int, e core.Engine) error {
+		if len(groups[i]) == 0 {
+			return nil
+		}
+		if be, ok := e.(core.BatchEngine); ok {
+			return be.PutBatch(groups[i])
+		}
+		for _, rec := range groups[i] {
+			if err := e.Put(rec); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// Get implements core.Engine: one shard.
+func (r *Router) Get(key string) (gdpr.Record, bool, error) {
+	return r.shardFor(key).Get(key)
+}
+
+// Select implements core.Engine: key selectors route to one shard;
+// attribute selectors scatter to every shard in parallel and gather the
+// merged result set.
+func (r *Router) Select(sel gdpr.Selector) ([]gdpr.Record, error) {
+	if sel.Attr == gdpr.AttrKey {
+		return r.shardFor(sel.Value).Select(sel)
+	}
+	parts := make([][]gdpr.Record, len(r.shards))
+	err := r.scatter(func(i int, e core.Engine) error {
+		recs, err := e.Select(sel)
+		parts[i] = recs
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return flatten(parts), nil
+}
+
+// SelectKeys implements core.Engine with the same scatter-gather shape.
+func (r *Router) SelectKeys(sel gdpr.Selector) ([]string, error) {
+	if sel.Attr == gdpr.AttrKey {
+		return r.shardFor(sel.Value).SelectKeys(sel)
+	}
+	parts := make([][]string, len(r.shards))
+	err := r.scatter(func(i int, e core.Engine) error {
+		keys, err := e.SelectKeys(sel)
+		parts[i] = keys
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return flatten(parts), nil
+}
+
+// Update implements core.Engine: one shard, preserving the child
+// engine's lock-time atomicity for the middleware's re-checks.
+func (r *Router) Update(key string, mutate func(gdpr.Record) (gdpr.Record, error)) (bool, error) {
+	return r.shardFor(key).Update(key, mutate)
+}
+
+// Delete implements core.Engine: keys group by owning shard and the
+// groups delete concurrently; the count is the sum over shards.
+func (r *Router) Delete(keys []string) (int, error) {
+	groups := r.groupKeys(keys)
+	counts := make([]int, len(r.shards))
+	err := r.scatter(func(i int, e core.Engine) error {
+		if len(groups[i]) == 0 {
+			return nil
+		}
+		n, err := e.Delete(groups[i])
+		counts[i] = n
+		return err
+	})
+	total := 0
+	for _, n := range counts {
+		total += n
+	}
+	return total, err
+}
+
+// Exists implements core.Engine: one shard.
+func (r *Router) Exists(key string) (bool, error) { return r.shardFor(key).Exists(key) }
+
+// Features implements core.Engine: the first shard's facts plus the
+// sharding topology.
+func (r *Router) Features() map[string]string {
+	f := r.shards[0].Features()
+	f["shards"] = fmt.Sprintf("%d", len(r.shards))
+	f["engine"] = fmt.Sprintf("sharded(%s x%d)", f["engine"], len(r.shards))
+	return f
+}
+
+// SpaceUsage implements core.Engine: the sum over shards.
+func (r *Router) SpaceUsage() (core.SpaceUsage, error) {
+	parts := make([]core.SpaceUsage, len(r.shards))
+	err := r.scatter(func(i int, e core.Engine) error {
+		u, err := e.SpaceUsage()
+		parts[i] = u
+		return err
+	})
+	var total core.SpaceUsage
+	for _, u := range parts {
+		total.PersonalBytes += u.PersonalBytes
+		total.TotalBytes += u.TotalBytes
+	}
+	return total, err
+}
+
+// Close implements core.Engine: every shard closes; errors aggregate.
+func (r *Router) Close() error {
+	return r.scatter(func(_ int, e core.Engine) error { return e.Close() })
+}
+
+func flatten[T any](parts [][]T) []T {
+	n := 0
+	for _, p := range parts {
+		n += len(p)
+	}
+	if n == 0 {
+		return nil
+	}
+	out := make([]T, 0, n)
+	for _, p := range parts {
+		out = append(out, p...)
+	}
+	return out
+}
+
+var _ core.BatchEngine = (*Router)(nil)
