@@ -9,8 +9,10 @@
 //
 //	gdprbench -engine redis -records 10000 -ops 2000
 //	gdprbench -engine postgres -index -workloads controller,customer
+//	gdprbench -engine redis -index -records 20000
 //	gdprbench -engine redis -validate
 //	gdprbench -engine redis -shards 4 -records 20000
+//	gdprbench -engine redis -secondarydist uniform -workloads processor
 package main
 
 import (
@@ -35,20 +37,43 @@ func main() {
 		seed      = flag.Int64("seed", 1, "random seed")
 		dir       = flag.String("dir", "", "data directory (default: a temp dir)")
 		workloads = flag.String("workloads", "controller,customer,processor,regulator", "comma-separated workloads")
-		indexed   = flag.Bool("index", false, "build secondary indexes on all metadata fields (postgres only)")
+		indexed   = flag.Bool("index", false, "build secondary indexes on all metadata fields (postgres: per-column B-trees; redis: inverted metadata + ordered expiry indexes)")
 		baseline  = flag.Bool("baseline", false, "disable all compliance features (no-security baseline)")
 		validate  = flag.Bool("validate", false, "run the single-threaded correctness pass instead of the timed run")
 		shards    = flag.Int("shards", 1, "hash-partition the engine into N shards (scatter-gather attribute queries)")
+		secondary = flag.String("secondarydist", "", "override the minority-query attribute distribution for timed runs: uniform | zipf (default: each workload's Table 2a distribution)")
 	)
 	flag.Parse()
 
-	if err := run(*engine, *records, *ops, *threads, *dataSize, *shards, *seed, *dir, *workloads, *indexed, *baseline, *validate); err != nil {
+	secondaryDist, err := parseDist(*secondary)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gdprbench:", err)
+		os.Exit(1)
+	}
+	if err := run(*engine, *records, *ops, *threads, *dataSize, *shards, *seed, *dir, *workloads, secondaryDist, *indexed, *baseline, *validate); err != nil {
 		fmt.Fprintln(os.Stderr, "gdprbench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(engine string, records, ops, threads, dataSize, shards int, seed int64, dir, workloadList string, indexed, baseline, validate bool) error {
+// parseDist maps the -secondarydist flag value to a distribution; nil
+// means "keep each workload's Table 2a default".
+func parseDist(s string) (*gdprbench.Dist, error) {
+	switch s {
+	case "":
+		return nil, nil
+	case "uniform":
+		d := gdprbench.DistUniform
+		return &d, nil
+	case "zipf":
+		d := gdprbench.DistZipf
+		return &d, nil
+	default:
+		return nil, fmt.Errorf("-secondarydist must be uniform or zipf, got %q", s)
+	}
+}
+
+func run(engine string, records, ops, threads, dataSize, shards int, seed int64, dir, workloadList string, secondaryDist *gdprbench.Dist, indexed, baseline, validate bool) error {
 	if shards < 1 {
 		return fmt.Errorf("-shards must be >= 1")
 	}
@@ -80,6 +105,11 @@ func run(engine string, records, ops, threads, dataSize, shards int, seed int64,
 	}
 
 	if validate {
+		if secondaryDist != nil {
+			// The oracle pass replays its own deterministic script, not a
+			// Mix, so a distribution override would be silently ignored.
+			return fmt.Errorf("-secondarydist applies to timed runs only, not -validate")
+		}
 		sim := clock.NewSim(time.Time{})
 		var total gdprbench.CorrectnessReport
 		for _, name := range names {
@@ -128,7 +158,17 @@ func run(engine string, records, ops, threads, dataSize, shards int, seed int64,
 
 	report := core.Report{Engine: label, Records: records}
 	for _, name := range names {
-		run, err := gdprbench.Run(db, ds, name)
+		var run *gdprbench.RunStats
+		if secondaryDist != nil {
+			mix, ok := gdprbench.Workloads()[name]
+			if !ok {
+				return fmt.Errorf("unknown workload %q", name)
+			}
+			mix.SecondaryDist = *secondaryDist
+			run, err = gdprbench.RunMix(db, ds, mix)
+		} else {
+			run, err = gdprbench.Run(db, ds, name)
+		}
 		if err != nil {
 			return fmt.Errorf("workload %s: %w", name, err)
 		}

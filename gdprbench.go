@@ -174,6 +174,17 @@ func Validate(db DB, ds *Dataset, name WorkloadName, aclEnabled bool) (Correctne
 // workloads (§4.2.2).
 type Mix = core.Mix
 
+// Dist selects a record/attribute selection distribution (Table 2a);
+// Mix.Dist drives record selection and Mix.SecondaryDist the minority
+// query class's attribute values.
+type Dist = core.Dist
+
+// The Table 2a distributions.
+const (
+	DistUniform = core.DistUniform
+	DistZipf    = core.DistZipf
+)
+
 // Workloads returns the Table 2a workload definitions.
 func Workloads() map[WorkloadName]Mix { return core.DefaultWorkloads() }
 

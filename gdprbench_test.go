@@ -177,11 +177,11 @@ func TestWorkloadsExported(t *testing.T) {
 
 func TestExperimentRegistryExported(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 16 {
+	if len(ids) != 17 {
 		t.Fatalf("experiments = %v", ids)
 	}
-	if ids[len(ids)-1] != "F9" {
-		t.Fatalf("F9 shard-scale experiment missing or misordered: %v", ids)
+	if ids[len(ids)-1] != "F10" {
+		t.Fatalf("F10 metadata-indexing experiment missing or misordered: %v", ids)
 	}
 	res, err := RunExperiment("T1", ScaleSmall)
 	if err != nil {

@@ -14,10 +14,12 @@ import (
 // compliance layer for free.
 //
 // All methods must be safe for concurrent use. Selector resolution keeps
-// each engine's native cost profile: the Redis model serves attribute
-// selectors with O(n) scans, the PostgreSQL model with index lookups when
-// MetadataIndexing is on, and the shard router by scatter-gathering its
-// children.
+// each engine's native cost profile: with MetadataIndexing off the Redis
+// model serves attribute selectors with O(n) scans and the PostgreSQL
+// model with sequential scans; with it on, both consult their
+// metadata-index layer (inverted + ordered-expiry indexes in the kvstore,
+// per-column secondary B-trees in the relstore) for O(result) selectors.
+// The shard router scatter-gathers its children either way.
 type Engine interface {
 	// Put stores rec, overwriting or erroring on duplicate keys per the
 	// engine's native semantics (SET vs INSERT).

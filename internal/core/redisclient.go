@@ -7,16 +7,17 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/gdpr"
+	"repro/internal/index"
 	"repro/internal/kvstore"
 	"repro/internal/securefs"
 )
 
 // RedisClient is the GDPRbench client for the Redis-model engine (§5.1):
 // the compliance middleware over a kvEngine storage adapter. Records are
-// stored in wire format under their key; every attribute query is an O(n)
-// scan because the engine has no secondary indexes — exactly the property
-// that makes GDPR workloads slow on Redis in §6.2. Compliance features
-// map to:
+// stored in wire format under their key; by default every attribute query
+// is an O(n) scan because the engine has no secondary indexes — exactly
+// the property that makes GDPR workloads slow on Redis in §6.2.
+// Compliance features map to:
 //
 //	EncryptAtRest    → AOF encrypted via securefs (LUKS substitute)
 //	EncryptInTransit → per-op transit.Pipe record layer (Stunnel substitute)
@@ -24,6 +25,10 @@ import (
 //	TimelyDeletion   → strict active-expiry cycle
 //	AccessControl    → acl checks in the middleware ("we defer access
 //	                   control to DBMS applications", §5.1)
+//	MetadataIndexing → inverted metadata + ordered expiry indexes inside
+//	                   the kvstore (beyond the paper's retrofit, which
+//	                   left Redis scanning); equality attribute selectors
+//	                   become O(result), TTL purges O(expired)
 //
 // The Redis model deliberately does not batch creates (no BatchCreator):
 // the paper's load phase issues one command per record.
@@ -117,7 +122,7 @@ func newKVEngine(cfg RedisConfig) (*kvEngine, error) {
 		pass = "gdprbench-redis"
 	}
 
-	kvCfg := kvstore.Config{Clock: clk}
+	kvCfg := kvstore.Config{Clock: clk, MetadataIndexing: comp.MetadataIndexing}
 	if comp.TimelyDeletion {
 		kvCfg.ExpiryMode = kvstore.ExpiryStrict
 	}
@@ -160,7 +165,16 @@ func (e *kvEngine) Get(key string) (gdpr.Record, bool, error) {
 	return rec, true, nil
 }
 
-// Select implements Engine: O(1) for key lookups, an O(n) scan otherwise.
+// indexable reports whether sel can be served by the inverted metadata
+// index: a positive equality match on one of the indexed dimensions.
+// Negated selectors (BY-NOT-OBJ) need the complement set, and SRC is
+// deliberately unindexed — both always scan.
+func indexable(sel gdpr.Selector) bool {
+	return !sel.Negate && index.IsDim(sel.Attr)
+}
+
+// Select implements Engine: O(1) for key lookups, O(result) through the
+// inverted metadata index when indexing is on, an O(n) scan otherwise.
 func (e *kvEngine) Select(sel gdpr.Selector) ([]gdpr.Record, error) {
 	if sel.Attr == gdpr.AttrKey {
 		rec, ok, err := e.Get(sel.Value)
@@ -171,7 +185,7 @@ func (e *kvEngine) Select(sel gdpr.Selector) ([]gdpr.Record, error) {
 	}
 	var out []gdpr.Record
 	var decodeErr error
-	e.store.ForEach(func(key, value string, _ time.Time) bool {
+	visit := func(key, value string, _ time.Time) bool {
 		rec, err := gdpr.Decode(value)
 		if err != nil {
 			decodeErr = fmt.Errorf("core: record %q: %w", key, err)
@@ -181,12 +195,18 @@ func (e *kvEngine) Select(sel gdpr.Selector) ([]gdpr.Record, error) {
 			out = append(out, rec)
 		}
 		return true
-	})
+	}
+	if indexable(sel) && e.store.IndexedForEach(sel.Attr, sel.Value, visit) {
+		return out, decodeErr
+	}
+	e.store.ForEach(visit)
 	return out, decodeErr
 }
 
 // SelectKeys implements Engine. TTL selectors come straight from the
-// engine's expires set — no value scan, like Redis' own expiry tracking.
+// engine's expiry tracking — the ordered expiry index (O(expired)) when
+// indexing is on, the expires dict otherwise; equality selectors use the
+// inverted index like Select.
 func (e *kvEngine) SelectKeys(sel gdpr.Selector) ([]string, error) {
 	if sel.Attr == gdpr.AttrTTL {
 		return e.store.ExpiredKeys(), nil
@@ -199,7 +219,7 @@ func (e *kvEngine) SelectKeys(sel gdpr.Selector) ([]string, error) {
 	}
 	var out []string
 	var decodeErr error
-	e.store.ForEach(func(key, value string, _ time.Time) bool {
+	visit := func(key, value string, _ time.Time) bool {
 		rec, err := gdpr.Decode(value)
 		if err != nil {
 			decodeErr = fmt.Errorf("core: record %q: %w", key, err)
@@ -209,7 +229,11 @@ func (e *kvEngine) SelectKeys(sel gdpr.Selector) ([]string, error) {
 			out = append(out, key)
 		}
 		return true
-	})
+	}
+	if indexable(sel) && e.store.IndexedForEach(sel.Attr, sel.Value, visit) {
+		return out, decodeErr
+	}
+	e.store.ForEach(visit)
 	return out, decodeErr
 }
 
@@ -238,8 +262,9 @@ func (e *kvEngine) Exists(key string) (bool, error) { return e.store.Exists(key)
 func (e *kvEngine) Features() map[string]string { return e.store.Info() }
 
 // SpaceUsage implements Engine: total bytes are the engine's in-memory
-// footprint (Redis' used-memory analog); personal bytes are the Data
-// fields alone.
+// footprint (Redis' used-memory analog) plus the metadata-index layer, so
+// Table 3 reflects the indexing space overhead; personal bytes are the
+// Data fields alone.
 func (e *kvEngine) SpaceUsage() (SpaceUsage, error) {
 	var personal int64
 	var decodeErr error
@@ -255,7 +280,10 @@ func (e *kvEngine) SpaceUsage() (SpaceUsage, error) {
 	if decodeErr != nil {
 		return SpaceUsage{}, decodeErr
 	}
-	return SpaceUsage{PersonalBytes: personal, TotalBytes: e.store.MemoryBytes()}, nil
+	return SpaceUsage{
+		PersonalBytes: personal,
+		TotalBytes:    e.store.MemoryBytes() + e.store.IndexBytes(),
+	}, nil
 }
 
 // Close implements Engine.

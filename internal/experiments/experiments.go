@@ -94,13 +94,19 @@ func IDs() []string {
 	return out
 }
 
-// artifactRank orders T1, T2a first, then figures numerically.
+// artifactRank orders T1, T2a first, then figures numerically (the
+// figure number is zero-padded so F10 sorts after F9).
 func artifactRank(id string) string {
 	switch {
 	case strings.HasPrefix(id, "T"):
 		return "0" + id
 	default:
-		return "1" + id
+		rest := id[1:]
+		i := 0
+		for i < len(rest) && rest[i] >= '0' && rest[i] <= '9' {
+			i++
+		}
+		return fmt.Sprintf("1F%03s%s", rest[:i], rest[i:])
 	}
 }
 

@@ -11,7 +11,7 @@ import (
 
 func TestIDsCoverEveryPaperArtifact(t *testing.T) {
 	want := []string{"T1", "T2a", "T3", "F3a", "F3b", "F4a", "F4b",
-		"F5a", "F5b", "F5c", "F6", "F7a", "F7b", "F8a", "F8b", "F9"}
+		"F5a", "F5b", "F5c", "F6", "F7a", "F7b", "F8a", "F8b", "F9", "F10"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v", got)
@@ -181,12 +181,45 @@ func TestTable3Shape(t *testing.T) {
 		}
 		return v
 	}
-	redis, pg, pgIdx := factor(0), factor(1), factor(2)
+	redis, pg, pgIdx, redisIdx := factor(0), factor(1), factor(2), factor(3)
 	if redis <= 1 || pg <= 1 {
 		t.Fatalf("space factors must exceed 1: redis=%v pg=%v", redis, pg)
 	}
 	if pgIdx <= pg {
 		t.Fatalf("indexes must inflate the factor: %v vs %v", pgIdx, pg)
+	}
+	if redisIdx <= redis {
+		t.Fatalf("the kvstore index layer must inflate the factor: %v vs %v", redisIdx, redis)
+	}
+}
+
+// TestFig10Shape checks the metadata-indexing headline: at the largest
+// record count, indexed attribute reads complete well ahead of the scan
+// baseline on both engines (the expected gap is orders of magnitude, so
+// a 1.5x bar keeps the test robust on noisy runners).
+func TestFig10Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing heavy")
+	}
+	res, err := Run("F10", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	last := res.Rows[len(res.Rows)-1]
+	dur := func(i int) time.Duration {
+		d, err := time.ParseDuration(last[i])
+		if err != nil {
+			t.Fatal(err)
+		}
+		return d
+	}
+	redisScan, redisIdx := dur(1), dur(2)
+	pgScan, pgIdx := dur(3), dur(4)
+	if float64(redisScan) < 1.5*float64(redisIdx) {
+		t.Fatalf("redis: indexed reads (%v) did not beat the scan baseline (%v)", redisIdx, redisScan)
+	}
+	if float64(pgScan) < 1.5*float64(pgIdx) {
+		t.Fatalf("postgres: indexed reads (%v) did not beat the scan baseline (%v)", pgIdx, pgScan)
 	}
 }
 

@@ -150,6 +150,9 @@ func runTable3(scale Scale) (Result, error) {
 		{"Redis", "redis", false},
 		{"PostgreSQL", "postgres", false},
 		{"PostgreSQL w/ metadata indices", "postgres", true},
+		// Beyond the paper: the kvstore's metadata-index layer gives the
+		// Redis model the same indexing space overhead to report.
+		{"Redis w/ metadata indices", "redis", true},
 	}
 	for _, c := range configs {
 		db, cleanup, err := openClient(c.engine, c.indexed)
@@ -174,7 +177,8 @@ func runTable3(scale Scale) (Result, error) {
 		})
 	}
 	res.Notes = append(res.Notes,
-		"paper: 3.5x for both engines in the default configuration; 5.95x for PostgreSQL with all metadata fields indexed")
+		"paper: 3.5x for both engines in the default configuration; 5.95x for PostgreSQL with all metadata fields indexed",
+		"the indexed-Redis row is beyond the paper (its retrofit left Redis unindexed)")
 	return res, nil
 }
 

@@ -17,9 +17,9 @@ import (
 //
 // Commands: SET key value, SETEX key value unixnano, EXPIREAT key unixnano
 // (unixnano 0 clears the TTL), DEL key, FLUSHALL, and — when read logging
-// is enabled — GET key / SCAN pattern, which replay as no-ops (they exist
-// for the audit trail, mirroring the paper's "log all interactions
-// including reads and scans" retrofit).
+// is enabled — GET key / SCAN pattern / IDXSCAN attr=value, which replay
+// as no-ops (they exist for the audit trail, mirroring the paper's "log
+// all interactions including reads and scans" retrofit).
 
 // FsyncPolicy is Redis' appendfsync setting.
 type FsyncPolicy int
@@ -188,22 +188,14 @@ func replayAOF(path string, key []byte, s *Store) error {
 			if err != nil {
 				return err
 			}
-			if e, ok := s.dict[args[1]]; ok {
-				if ns == 0 {
-					e.expireAt = time.Time{}
-					delete(s.expires, args[1])
-				} else {
-					e.expireAt = time.Unix(0, ns)
-					s.expires[args[1]] = struct{}{}
-				}
+			if ns == 0 {
+				s.expireAtLocked(args[1], time.Time{})
+			} else {
+				s.expireAtLocked(args[1], time.Unix(0, ns))
 			}
 		case "FLUSHALL":
-			s.dict = make(map[string]*entry)
-			s.expires = make(map[string]struct{})
-			s.keySlice = nil
-			s.keyPos = make(map[string]int)
-			s.bytes = 0
-		case "GET", "SCAN":
+			s.flushLocked()
+		case "GET", "SCAN", "IDXSCAN":
 			// Read audit entries: no state change.
 		default:
 			return fmt.Errorf("kvstore: unknown AOF command %q", args[0])

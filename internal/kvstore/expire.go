@@ -36,7 +36,7 @@ func (s *Store) CycleOnce() CycleStats {
 }
 
 // lazyCycleLocked is Redis' algorithm: sample expireSampleSize keys from
-// the expires set; delete the expired ones; if at least
+// the expires dict; delete the expired ones; if at least
 // expireRepeatThreshold were expired, repeat immediately, else stop.
 func (s *Store) lazyCycleLocked(now time.Time) CycleStats {
 	var st CycleStats
@@ -45,11 +45,12 @@ func (s *Store) lazyCycleLocked(now time.Time) CycleStats {
 		sampled, expired := 0, 0
 		// Go's map iteration order is randomized per range, which gives
 		// us the random sampling the algorithm requires without extra
-		// bookkeeping (Redis uses dictGetRandomKey).
+		// bookkeeping (Redis uses dictGetRandomKey). The expires dict
+		// carries the deadline, so no main-dict lookup is needed.
 		var victims []string
-		for k := range s.expires {
+		for k, at := range s.expires {
 			sampled++
-			if e, ok := s.dict[k]; ok && !e.expireAt.IsZero() && !e.expireAt.After(now) {
+			if !at.After(now) {
 				victims = append(victims, k)
 			}
 			if sampled >= expireSampleSize {
@@ -78,15 +79,24 @@ func (s *Store) lazyCycleLocked(now time.Time) CycleStats {
 }
 
 // strictCycleLocked is the paper's modification: iterate the entire
-// expires set and delete everything that is due.
+// expires dict and delete everything that is due. With metadata indexing
+// on, the walk is replaced by a range scan of the ordered expiry index —
+// the cycle examines exactly the due entries, O(expired + log n) instead
+// of O(all TTL'd keys) — while the baseline keeps the paper's full-walk
+// profile.
 func (s *Store) strictCycleLocked(now time.Time) CycleStats {
 	var st CycleStats
 	st.Iterations = 1
 	var victims []string
-	for k := range s.expires {
-		st.Sampled++
-		if e, ok := s.dict[k]; ok && !e.expireAt.IsZero() && !e.expireAt.After(now) {
-			victims = append(victims, k)
+	if s.exp != nil {
+		victims = s.exp.Due(now)
+		st.Sampled = len(victims)
+	} else {
+		for k, at := range s.expires {
+			st.Sampled++
+			if !at.After(now) {
+				victims = append(victims, k)
+			}
 		}
 	}
 	for _, k := range victims {
@@ -146,14 +156,22 @@ func (s *Store) StopExpiry() {
 }
 
 // ExpiredKeys returns the keys whose TTL has passed but which are still
-// present; the controller's DELETE-RECORD-BY-TTL purge deletes them.
+// present; the controller's DELETE-RECORD-BY-TTL purge deletes them. With
+// metadata indexing on it is an O(expired) range scan of the ordered
+// expiry index (in deadline order); otherwise it walks the expires dict,
+// whose entries carry their deadline — every expires entry is live by
+// invariant (deletion clears both dicts; dead-entry cleanup happens in
+// the expiry cycle), so no main-dict check is needed on either path.
 func (s *Store) ExpiredKeys() []string {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	now := s.clk.Now()
+	if s.exp != nil {
+		return s.exp.Due(now)
+	}
 	var out []string
-	for k := range s.expires {
-		if e, ok := s.dict[k]; ok && !e.expireAt.IsZero() && !e.expireAt.After(now) {
+	for k, at := range s.expires {
+		if !at.After(now) {
 			out = append(out, k)
 		}
 	}
@@ -162,14 +180,17 @@ func (s *Store) ExpiredKeys() []string {
 
 // ExpiredRemaining counts keys whose TTL has passed but which are still
 // present (not yet reaped). The Figure 3a experiment polls this to measure
-// erasure delay.
+// erasure delay. O(expired) when the ordered expiry index is on.
 func (s *Store) ExpiredRemaining() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	now := s.clk.Now()
+	if s.exp != nil {
+		return s.exp.DueCount(now)
+	}
 	n := 0
-	for k := range s.expires {
-		if e, ok := s.dict[k]; ok && !e.expireAt.IsZero() && !e.expireAt.After(now) {
+	for _, at := range s.expires {
+		if !at.After(now) {
 			n++
 		}
 	}

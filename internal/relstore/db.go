@@ -509,7 +509,8 @@ func (db *DB) Select(table string, pred Predicate) ([]Row, error) {
 	return rows, nil
 }
 
-// SelectKeys returns the primary keys matching pred.
+// SelectKeys returns the primary keys matching pred: a key-only
+// projection that materializes no rows on either access path.
 func (db *DB) SelectKeys(table string, pred Predicate) ([]string, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -518,7 +519,7 @@ func (db *DB) SelectKeys(table string, pred Predicate) ([]string, error) {
 		return nil, err
 	}
 	v, release := db.readView(t)
-	_, pks, err := v.runSelect(pred)
+	pks, err := v.selectKeys(pred)
 	release()
 	if err != nil {
 		return nil, err
@@ -528,6 +529,9 @@ func (db *DB) SelectKeys(table string, pred Predicate) ([]string, error) {
 }
 
 // DeleteWhere removes all rows matching pred, returning how many went.
+// Candidates resolve through the key-only path: with an index on the
+// predicate column (the TTL daemon's case under MetadataIndexing) the
+// sweep touches exactly the matching rows.
 func (db *DB) DeleteWhere(table string, pred Predicate) (int, error) {
 	db.mu.RLock()
 	defer db.mu.RUnlock()
@@ -539,7 +543,7 @@ func (db *DB) DeleteWhere(table string, pred Predicate) (int, error) {
 		return 0, err
 	}
 	unlock := db.lockTable(t)
-	_, pks, err := t.live.runSelect(pred)
+	pks, err := t.live.selectKeys(pred)
 	if err != nil {
 		unlock()
 		return 0, err
@@ -579,7 +583,7 @@ func (db *DB) UpdateWhere(table string, pred Predicate, fn func(Row) (Row, error
 		return 0, err
 	}
 	unlock := db.lockTable(t)
-	_, pks, err := t.live.runSelect(pred)
+	pks, err := t.live.selectKeys(pred)
 	if err != nil {
 		unlock()
 		return 0, err
@@ -711,7 +715,12 @@ func (db *DB) Features() map[string]string {
 
 // StartTTLDaemon launches the timely-deletion daemon: every period it
 // deletes rows of table whose col (a time column) is <= now. The paper's
-// retrofit runs at a 1-second period.
+// retrofit runs at a 1-second period. The sweep resolves expired rows
+// through the key-only select path, so when col carries a secondary index
+// (MetadataIndexing indexes the ttl column) each cycle is an ordered
+// range scan over exactly the due rows — O(expired + log n), the same
+// ordered-expiry path the kvstore's strict cycle gains — instead of a
+// full-table scan.
 func (db *DB) StartTTLDaemon(table, col string, period time.Duration) error {
 	db.mu.Lock()
 	if db.closed {

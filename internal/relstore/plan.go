@@ -141,45 +141,57 @@ func (v *view) matches(pred Predicate, row Row) (bool, error) {
 	}
 }
 
+// checkPredicate validates the predicate column eagerly so bad queries
+// fail loudly on every access path.
+func (v *view) checkPredicate(pred Predicate) error {
+	if pred.Op == OpAll {
+		return nil
+	}
+	ci := v.schema.ColIndex(pred.Col)
+	if ci < 0 {
+		return fmt.Errorf("relstore: table %s has no column %q", v.schema.Name, pred.Col)
+	}
+	col := v.schema.Columns[ci]
+	switch pred.Op {
+	case OpEq:
+		if col.Type != TypeText {
+			return fmt.Errorf("relstore: Eq on non-text column %q", pred.Col)
+		}
+	case OpContains, OpNotContains:
+		if col.Type != TypeTextList {
+			return fmt.Errorf("relstore: Contains on non-list column %q", pred.Col)
+		}
+	case OpLe:
+		if col.Type != TypeTime {
+			return fmt.Errorf("relstore: Le on non-time column %q", pred.Col)
+		}
+	}
+	return nil
+}
+
+// indexPKs resolves pred through the covering secondary index, returning
+// the matching primary keys unsorted. ok is false when no index serves
+// the predicate.
+func (v *view) indexPKs(pred Predicate) (pks []string, ok bool) {
+	switch pred.Op {
+	case OpEq, OpContains:
+		return v.indexLookup(pred.Col, pred.Text)
+	case OpLe:
+		return v.indexRangeLE(pred.Col, encodeIndexScalar(TypeTime, pred.Time))
+	}
+	return nil, false
+}
+
 // runSelect executes pred on one table version, returning matching rows
 // (clones) and their primary keys in primary-key order. The view is
 // either a published snapshot (lock-free reads) or the live view under
 // the table's write lock (read-modify-write operations).
 func (v *view) runSelect(pred Predicate) ([]Row, []string, error) {
-	// Validate the predicate column eagerly so bad queries fail loudly
-	// on both access paths.
-	if pred.Op != OpAll {
-		ci := v.schema.ColIndex(pred.Col)
-		if ci < 0 {
-			return nil, nil, fmt.Errorf("relstore: table %s has no column %q", v.schema.Name, pred.Col)
-		}
-		col := v.schema.Columns[ci]
-		switch pred.Op {
-		case OpEq:
-			if col.Type != TypeText {
-				return nil, nil, fmt.Errorf("relstore: Eq on non-text column %q", pred.Col)
-			}
-		case OpContains, OpNotContains:
-			if col.Type != TypeTextList {
-				return nil, nil, fmt.Errorf("relstore: Contains on non-list column %q", pred.Col)
-			}
-		case OpLe:
-			if col.Type != TypeTime {
-				return nil, nil, fmt.Errorf("relstore: Le on non-time column %q", pred.Col)
-			}
-		}
+	if err := v.checkPredicate(pred); err != nil {
+		return nil, nil, err
 	}
-	plan := v.plan(pred)
-	if plan.Access == "index" {
-		var pks []string
-		var ok bool
-		switch pred.Op {
-		case OpEq, OpContains:
-			pks, ok = v.indexLookup(pred.Col, pred.Text)
-		case OpLe:
-			pks, ok = v.indexRangeLE(pred.Col, encodeIndexScalar(TypeTime, pred.Time))
-		}
-		if ok {
+	if v.plan(pred).Access == "index" {
+		if pks, ok := v.indexPKs(pred); ok {
 			sort.Strings(pks)
 			rows := make([]Row, 0, len(pks))
 			for _, pk := range pks {
@@ -210,4 +222,40 @@ func (v *view) runSelect(pred Predicate) ([]Row, []string, error) {
 		return nil, nil, scanErr
 	}
 	return rows, pks, nil
+}
+
+// selectKeys executes pred returning only the matching primary keys in
+// primary-key order — no row materialization on either access path. The
+// key-only consumers (SELECT-KEYS projections, DELETE/UPDATE WHERE
+// candidate resolution, the TTL daemon's expired-row sweep) route through
+// it: with a covering index the cost is O(result + log n) — for the TTL
+// column that is the ordered-expiry path, O(expired) per daemon cycle —
+// and even the sequential fallback no longer clones every matching row.
+func (v *view) selectKeys(pred Predicate) ([]string, error) {
+	if err := v.checkPredicate(pred); err != nil {
+		return nil, err
+	}
+	if v.plan(pred).Access == "index" {
+		if pks, ok := v.indexPKs(pred); ok {
+			sort.Strings(pks)
+			return pks, nil
+		}
+	}
+	var pks []string
+	var scanErr error
+	v.scanAll(func(pk string, row Row) bool {
+		ok, err := v.matches(pred, row)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		if ok {
+			pks = append(pks, pk)
+		}
+		return true
+	})
+	if scanErr != nil {
+		return nil, scanErr
+	}
+	return pks, nil
 }

@@ -13,12 +13,13 @@ import (
 )
 
 // The cross-engine differential test: one seeded mini-workload replayed
-// against the Redis model, the PostgreSQL model (plain and indexed) and
-// sharded variants of both, recording every query's result as a
-// canonical, order-insensitive transcript line. All engines must produce
-// byte-identical transcripts — same selector results, same mutation
-// counts — which is the acceptance bar for "compliance above storage":
-// the middleware, not the backend, defines observable behavior.
+// against the Redis model (scanning and metadata-indexed), the PostgreSQL
+// model (indexed) and sharded variants of both, recording every query's
+// result as a canonical, order-insensitive transcript line. All engines
+// must produce byte-identical transcripts — same selector results, same
+// mutation counts — which is the acceptance bar for "compliance above
+// storage": the middleware, not the backend, defines observable behavior,
+// and the index layer changes cost, never results.
 
 // variant opens one engine under test.
 type variant struct {
@@ -64,8 +65,20 @@ func diffVariants() []variant {
 			t.Cleanup(func() { db.Close() })
 			return db
 		}},
+		{"redis-indexed", func(t *testing.T, sim *clock.Sim) core.DB {
+			t.Helper()
+			db, err := core.OpenRedis(core.RedisConfig{
+				Dir: t.TempDir(), Compliance: idx, Clock: sim, DisableBackgroundExpiry: true,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { db.Close() })
+			return db
+		}},
 		{"redis-1shard", mk("redis", 1, comp)},
 		{"redis-4shard", mk("redis", 4, comp)},
+		{"redis-4shard-indexed", mk("redis", 4, idx)},
 		{"postgres-3shard", mk("postgres", 3, comp)},
 	}
 }
