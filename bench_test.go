@@ -25,6 +25,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/kvstore"
 	"repro/internal/relstore"
+	"repro/internal/remote"
+	"repro/internal/server"
 	"repro/internal/wal"
 )
 
@@ -283,6 +285,103 @@ func BenchmarkSharding(b *testing.B) {
 }
 
 // ---------------------------------------------------------------------------
+// Network service layer: embedded vs localhost TCP
+
+// benchNetworkPointReads hammers one engine model with customer point
+// reads (READ-DATA-BY-KEY, the scatter-free shape where per-operation
+// service cost dominates), either embedded or through the wire protocol
+// over localhost TCP. ops/s is reported so the two transport legs
+// compare directly; the gap is the per-operation cost of framing,
+// socket hops and the role-bound session layer.
+func benchNetworkPointReads(b *testing.B, engine string, overTCP bool, threads int) {
+	b.Helper()
+	comp := core.Compliance{AccessControl: true, Strict: true}
+	host, err := OpenEngine(engine, 1, "", comp, nil, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer host.Close()
+	db := host
+	if overTCP {
+		srv := server.New(host, server.Config{})
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		cli, err := remote.Dial(remote.Config{Addr: addr, ConnsPerRole: max(2, threads/2)})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cli.Close()
+		db = cli
+	}
+	cfg := core.Config{Records: 2_000, Threads: 8, Seed: 1}.WithDefaults()
+	ds, _, err := core.Load(db, cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	actors := make([]Actor, cfg.Records)
+	sels := make([]Selector, cfg.Records)
+	for i := 0; i < cfg.Records; i++ {
+		actors[i] = CustomerActor(ds.UserAt(i))
+		sels[i] = ByKey(ds.KeyAt(i))
+	}
+
+	b.ResetTimer()
+	start := time.Now()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= b.N {
+					return
+				}
+				k := (i * 31) % cfg.Records
+				recs, err := db.ReadData(actors[k], sels[k])
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				if len(recs) != 1 {
+					b.Errorf("point read returned %d records", len(recs))
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "ops/s")
+}
+
+// BenchmarkNetworkOverhead sweeps transport (embedded vs localhost TCP)
+// × engine model × client threads on the point-read shape. The TCP legs
+// run the full network subsystem — pipelined wire protocol, role-bound
+// sessions, server-side compliance — so the embedded/TCP gap is the
+// paper's client/server round-trip cost reproduced in-tree.
+func BenchmarkNetworkOverhead(b *testing.B) {
+	for _, engine := range []string{"redis", "postgres"} {
+		for _, leg := range []struct {
+			name    string
+			overTCP bool
+		}{
+			{"embedded", false},
+			{"tcp", true},
+		} {
+			for _, threads := range []int{1, 4} {
+				b.Run(fmt.Sprintf("%s/%s/threads=%d", engine, leg.name, threads), func(b *testing.B) {
+					benchNetworkPointReads(b, engine, leg.overTCP, threads)
+				})
+			}
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
 // Metadata indexing: indexed attribute reads vs the scan baseline
 
 // benchMetadataReads loads records into one engine model and hammers it
@@ -292,16 +391,7 @@ func BenchmarkSharding(b *testing.B) {
 func benchMetadataReads(b *testing.B, engine string, records int, indexed bool) {
 	b.Helper()
 	comp := core.Compliance{AccessControl: true, Strict: true, MetadataIndexing: indexed}
-	var db core.DB
-	var err error
-	switch engine {
-	case "redis":
-		db, err = core.OpenRedis(core.RedisConfig{Compliance: comp, DisableBackgroundExpiry: true})
-	case "postgres":
-		db, err = core.OpenPostgres(core.PostgresConfig{Compliance: comp, DisableTTLDaemon: true})
-	default:
-		b.Fatalf("unknown engine %q", engine)
-	}
+	db, err := OpenEngine(engine, 1, "", comp, nil, true)
 	if err != nil {
 		b.Fatal(err)
 	}

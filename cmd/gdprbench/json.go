@@ -1,0 +1,104 @@
+package main
+
+import (
+	"encoding/json"
+	"os"
+
+	gdprbench "repro"
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+// The -json schema: one self-describing document per timed run, built
+// from the same stats.Histogram accumulators the text report uses, so
+// a bench trajectory can be recorded as BENCH_*.json files and diffed
+// across commits.
+
+type jsonReport struct {
+	Engine     string         `json:"engine"`
+	Records    int            `json:"records"`
+	Operations int            `json:"operations"`
+	Threads    int            `json:"threads"`
+	Shards     int            `json:"shards"`
+	Connect    string         `json:"connect,omitempty"`
+	Load       jsonLoad       `json:"load"`
+	Workloads  []jsonWorkload `json:"workloads"`
+	Space      jsonSpace      `json:"space"`
+}
+
+type jsonLoad struct {
+	CompletionMS float64 `json:"completion_ms"`
+	OpsPerSec    float64 `json:"ops_per_sec"`
+}
+
+type jsonWorkload struct {
+	Workload     string            `json:"workload"`
+	Operations   int64             `json:"operations"`
+	Errors       int64             `json:"errors"`
+	CompletionMS float64           `json:"completion_ms"`
+	OpsPerSec    float64           `json:"ops_per_sec"`
+	Ops          map[string]jsonOp `json:"ops"`
+}
+
+type jsonOp struct {
+	OK     int64   `json:"ok"`
+	Errors int64   `json:"errors"`
+	P50us  float64 `json:"p50_us"`
+	P95us  float64 `json:"p95_us"`
+	P99us  float64 `json:"p99_us"`
+	MaxUS  float64 `json:"max_us"`
+}
+
+type jsonSpace struct {
+	PersonalBytes int64   `json:"personal_bytes"`
+	TotalBytes    int64   `json:"total_bytes"`
+	Factor        float64 `json:"factor"`
+}
+
+func writeJSONReport(path string, opts options, label string, loadRun *stats.Run, report core.Report, runs map[gdprbench.WorkloadName]*stats.Run) error {
+	out := jsonReport{
+		Engine:     label,
+		Records:    opts.records,
+		Operations: opts.ops,
+		Threads:    opts.threads,
+		Shards:     opts.shards,
+		Connect:    opts.connect,
+		Load: jsonLoad{
+			CompletionMS: float64(loadRun.WallTime().Microseconds()) / 1e3,
+			OpsPerSec:    loadRun.Throughput(),
+		},
+		Space: jsonSpace{
+			PersonalBytes: report.Space.PersonalBytes,
+			TotalBytes:    report.Space.TotalBytes,
+			Factor:        report.Space.Factor(),
+		},
+	}
+	for _, res := range report.Results {
+		run := runs[res.Workload]
+		jw := jsonWorkload{
+			Workload:     string(res.Workload),
+			Operations:   res.Operations,
+			Errors:       res.Errors,
+			CompletionMS: float64(res.CompletionTime.Microseconds()) / 1e3,
+			OpsPerSec:    res.Throughput,
+			Ops:          make(map[string]jsonOp),
+		}
+		for _, op := range run.OpNames() {
+			o := run.Op(op)
+			jw.Ops[op] = jsonOp{
+				OK:     o.OK(),
+				Errors: o.Errors(),
+				P50us:  float64(o.Latency.Percentile(50).Nanoseconds()) / 1e3,
+				P95us:  float64(o.Latency.Percentile(95).Nanoseconds()) / 1e3,
+				P99us:  float64(o.Latency.Percentile(99).Nanoseconds()) / 1e3,
+				MaxUS:  float64(o.Latency.Max().Nanoseconds()) / 1e3,
+			}
+		}
+		out.Workloads = append(out.Workloads, jw)
+	}
+	buf, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(buf, '\n'), 0o644)
+}

@@ -5,14 +5,23 @@
 // hash-partitioned into N shards behind the same compliance middleware;
 // attribute queries scatter-gather across shards in parallel.
 //
+// The benchmark also runs client/server: -serve turns the process into a
+// network datastore (like cmd/gdprserver), and -connect points the whole
+// benchmark stack at such a server over the pipelined wire protocol —
+// same workloads, same oracle, compliance enforced server-side.
+//
 // Examples:
 //
 //	gdprbench -engine redis -records 10000 -ops 2000
 //	gdprbench -engine postgres -index -workloads controller,customer
-//	gdprbench -engine redis -index -records 20000
 //	gdprbench -engine redis -validate
 //	gdprbench -engine redis -shards 4 -records 20000
 //	gdprbench -engine redis -secondarydist uniform -workloads processor
+//	gdprbench -serve 127.0.0.1:7946 -engine redis
+//	gdprbench -connect 127.0.0.1:7946 -records 10000 -ops 2000 -json out.json
+//
+// A run exits non-zero if any workload records operation errors, so CI
+// cannot mistake a failing run for a passing one.
 package main
 
 import (
@@ -25,7 +34,42 @@ import (
 	gdprbench "repro"
 	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/stats"
 )
+
+type options struct {
+	engine    string
+	records   int
+	ops       int
+	threads   int
+	dataSize  int
+	shards    int
+	seed      int64
+	dir       string
+	workloads string
+	secondary *gdprbench.Dist
+	indexed   bool
+	baseline  bool
+	validate  bool
+	serve     string
+	frozen    bool
+	connect   string
+	token     string
+	jsonPath  string
+}
+
+// engineFlags are meaningless with -connect (the server owns the
+// engine); benchFlags are meaningless with -serve (a server runs no
+// workloads). Naming each set keeps the rejection messages exact
+// instead of silently dropping misplaced flags.
+var engineFlags = map[string]bool{
+	"engine": true, "shards": true, "index": true, "baseline": true, "dir": true,
+}
+
+var benchFlags = map[string]bool{
+	"records": true, "ops": true, "threads": true, "datasize": true, "seed": true,
+	"workloads": true, "secondarydist": true, "validate": true, "json": true,
+}
 
 func main() {
 	var (
@@ -42,6 +86,11 @@ func main() {
 		validate  = flag.Bool("validate", false, "run the single-threaded correctness pass instead of the timed run")
 		shards    = flag.Int("shards", 1, "hash-partition the engine into N shards (scatter-gather attribute queries)")
 		secondary = flag.String("secondarydist", "", "override the minority-query attribute distribution for timed runs: uniform | zipf (default: each workload's Table 2a distribution)")
+		serve     = flag.String("serve", "", "serve the configured engine on this TCP address instead of running workloads")
+		frozen    = flag.Bool("frozenclock", false, "with -serve: run engines on a simulated clock frozen at the epoch with expiry daemons off (required for -connect -validate clients)")
+		connect   = flag.String("connect", "", "run the benchmark against a gdprserver at this TCP address instead of an embedded engine")
+		token     = flag.String("token", "", "auth token for -serve / -connect")
+		jsonPath  = flag.String("json", "", "write machine-readable results (per-workload completion, ops/s, per-op p50/p95/p99) to this file")
 	)
 	flag.Parse()
 
@@ -50,7 +99,14 @@ func main() {
 		fmt.Fprintln(os.Stderr, "gdprbench:", err)
 		os.Exit(1)
 	}
-	if err := run(*engine, *records, *ops, *threads, *dataSize, *shards, *seed, *dir, *workloads, secondaryDist, *indexed, *baseline, *validate); err != nil {
+	opts := options{
+		engine: *engine, records: *records, ops: *ops, threads: *threads,
+		dataSize: *dataSize, shards: *shards, seed: *seed, dir: *dir,
+		workloads: *workloads, secondary: secondaryDist,
+		indexed: *indexed, baseline: *baseline, validate: *validate,
+		serve: *serve, frozen: *frozen, connect: *connect, token: *token, jsonPath: *jsonPath,
+	}
+	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "gdprbench:", err)
 		os.Exit(1)
 	}
@@ -73,98 +129,176 @@ func parseDist(s string) (*gdprbench.Dist, error) {
 	}
 }
 
-func run(engine string, records, ops, threads, dataSize, shards int, seed int64, dir, workloadList string, secondaryDist *gdprbench.Dist, indexed, baseline, validate bool) error {
-	if shards < 1 {
+func run(opts options) error {
+	if opts.serve != "" && opts.connect != "" {
+		return fmt.Errorf("-serve and -connect are mutually exclusive")
+	}
+	if opts.connect != "" {
+		var misplaced []string
+		flag.Visit(func(f *flag.Flag) {
+			if engineFlags[f.Name] {
+				misplaced = append(misplaced, "-"+f.Name)
+			}
+		})
+		if len(misplaced) > 0 {
+			return fmt.Errorf("%s configure the engine host; with -connect, set them on the server instead", strings.Join(misplaced, ", "))
+		}
+	}
+	if opts.serve != "" {
+		var misplaced []string
+		flag.Visit(func(f *flag.Flag) {
+			if benchFlags[f.Name] {
+				misplaced = append(misplaced, "-"+f.Name)
+			}
+		})
+		if len(misplaced) > 0 {
+			return fmt.Errorf("%s drive workload runs; a -serve process only hosts the engine — run them from a -connect client", strings.Join(misplaced, ", "))
+		}
+	}
+	if opts.frozen && opts.serve == "" {
+		return fmt.Errorf("-frozenclock only applies to -serve")
+	}
+	if opts.shards < 1 {
 		return fmt.Errorf("-shards must be >= 1")
 	}
-	if dir == "" {
+	comp := gdprbench.FullCompliance()
+	if opts.baseline {
+		comp = gdprbench.NoCompliance()
+	}
+	comp.MetadataIndexing = opts.indexed
+
+	if opts.serve != "" {
+		// The one serve bootstrap shared with cmd/gdprserver (temp-dir
+		// handling, frozen clock, drain on SIGINT/SIGTERM).
+		return gdprbench.ServeEngine(opts.serve, opts.engine, opts.shards, opts.dir, opts.token, comp, opts.frozen)
+	}
+	if opts.dir == "" {
 		var err error
-		dir, err = os.MkdirTemp("", "gdprbench-*")
+		opts.dir, err = os.MkdirTemp("", "gdprbench-*")
 		if err != nil {
 			return err
 		}
-		defer os.RemoveAll(dir)
+		defer os.RemoveAll(opts.dir)
 	}
-	comp := gdprbench.FullCompliance()
-	if baseline {
-		comp = gdprbench.NoCompliance()
-	}
-	comp.MetadataIndexing = indexed
 
 	cfg := gdprbench.Config{
-		Records: records, Operations: ops, Threads: threads,
-		DataSize: dataSize, Seed: seed,
+		Records: opts.records, Operations: opts.ops, Threads: opts.threads,
+		DataSize: opts.dataSize, Seed: opts.seed,
 	}
 
 	var names []gdprbench.WorkloadName
-	for _, w := range strings.Split(workloadList, ",") {
+	for _, w := range strings.Split(opts.workloads, ",") {
 		w = strings.TrimSpace(w)
 		if w != "" {
 			names = append(names, gdprbench.WorkloadName(w))
 		}
 	}
 
-	if validate {
-		if secondaryDist != nil {
-			// The oracle pass replays its own deterministic script, not a
-			// Mix, so a distribution override would be silently ignored.
-			return fmt.Errorf("-secondarydist applies to timed runs only, not -validate")
-		}
-		sim := clock.NewSim(time.Time{})
-		var total gdprbench.CorrectnessReport
-		for _, name := range names {
-			sub, err := os.MkdirTemp(dir, "validate-*")
-			if err != nil {
-				return err
-			}
-			db, err := openIn(engine, shards, sub, comp, sim)
-			if err != nil {
-				return err
-			}
-			ds, _, err := core.Load(db, cfg, sim)
-			if err != nil {
-				db.Close()
-				return err
-			}
-			rep, err := core.Validate(db, ds, name, sim, comp.AccessControl)
-			db.Close()
-			if err != nil {
-				return err
-			}
-			fmt.Printf("workload %-10s correctness %.2f%% (%d/%d)\n", name, rep.Score(), rep.Matched, rep.Total)
-			total.Total += rep.Total
-			total.Matched += rep.Matched
-		}
-		fmt.Printf("cumulative correctness %.2f%% (%d/%d)\n", total.Score(), total.Matched, total.Total)
-		return nil
+	if opts.validate {
+		return runValidate(opts, comp, cfg, names)
 	}
+	return runTimed(opts, comp, cfg, names)
+}
 
-	db, err := open(engine, shards, dir, comp, nil, false)
+// openBench returns the DB under test: a remote client for -connect, an
+// embedded engine otherwise, plus its report label.
+func openBench(opts options, comp gdprbench.Compliance, clk clock.Clock, disableDaemons bool) (gdprbench.DB, string, error) {
+	if opts.connect != "" {
+		db, err := gdprbench.OpenRemote(gdprbench.RemoteConfig{
+			Addr: opts.connect, Token: opts.token, ConnsPerRole: max(2, opts.threads/2),
+		})
+		return db, "remote(" + opts.connect + ")", err
+	}
+	db, err := open(opts.engine, opts.shards, opts.dir, comp, clk, disableDaemons)
+	label := opts.engine
+	if opts.shards > 1 {
+		label = fmt.Sprintf("%s x%d shards", opts.engine, opts.shards)
+	}
+	return db, label, err
+}
+
+func runValidate(opts options, comp gdprbench.Compliance, cfg gdprbench.Config, names []gdprbench.WorkloadName) error {
+	if opts.secondary != nil {
+		// The oracle pass replays its own deterministic script, not a
+		// Mix, so a distribution override would be silently ignored.
+		return fmt.Errorf("-secondarydist applies to timed runs only, not -validate")
+	}
+	if opts.jsonPath != "" {
+		// The JSON report carries timed-run latency histograms; failing
+		// loudly beats a CI script reading a file that was never written.
+		return fmt.Errorf("-json applies to timed runs only, not -validate")
+	}
+	if opts.connect != "" && len(names) != 1 {
+		// The oracle needs a freshly loaded store per workload; a remote
+		// server cannot be reopened from here.
+		return fmt.Errorf("-connect -validate checks one workload per freshly started server (-frozenclock); pass exactly one via -workloads")
+	}
+	var total gdprbench.CorrectnessReport
+	for _, name := range names {
+		sim := clock.NewSim(time.Time{})
+		var db gdprbench.DB
+		var err error
+		if opts.connect != "" {
+			db, _, err = openBench(opts, comp, sim, true)
+		} else {
+			var sub string
+			sub, err = os.MkdirTemp(opts.dir, "validate-*")
+			if err != nil {
+				return err
+			}
+			db, err = open(opts.engine, opts.shards, sub, comp, sim, true)
+		}
+		if err != nil {
+			return err
+		}
+		ds, _, err := core.Load(db, cfg, sim)
+		if err != nil {
+			db.Close()
+			return err
+		}
+		rep, err := core.Validate(db, ds, name, sim, comp.AccessControl)
+		db.Close()
+		if err != nil {
+			return err
+		}
+		fmt.Printf("workload %-10s correctness %.2f%% (%d/%d)\n", name, rep.Score(), rep.Matched, rep.Total)
+		total.Total += rep.Total
+		total.Matched += rep.Matched
+	}
+	fmt.Printf("cumulative correctness %.2f%% (%d/%d)\n", total.Score(), total.Matched, total.Total)
+	return nil
+}
+
+func runTimed(opts options, comp gdprbench.Compliance, cfg gdprbench.Config, names []gdprbench.WorkloadName) error {
+	db, label, err := openBench(opts, comp, nil, false)
 	if err != nil {
 		return err
 	}
 	defer db.Close()
 
-	label := engine
-	if shards > 1 {
-		label = fmt.Sprintf("%s x%d shards", engine, shards)
+	if opts.connect != "" {
+		// The server owns the compliance configuration; printing the
+		// client-side default would misattribute the results.
+		fmt.Printf("loading %d records into %s (compliance: server-side)...\n", opts.records, label)
+	} else {
+		fmt.Printf("loading %d records into %s (compliance: %s)...\n", opts.records, label, comp)
 	}
-	fmt.Printf("loading %d records into %s (compliance: %s)...\n", records, label, comp)
 	ds, loadRun, err := gdprbench.Load(db, cfg)
 	if err != nil {
 		return err
 	}
 	fmt.Printf("load: %v (%.0f inserts/s)\n", loadRun.WallTime().Round(time.Millisecond), loadRun.Throughput())
 
-	report := core.Report{Engine: label, Records: records}
+	report := core.Report{Engine: label, Records: opts.records}
+	runs := make(map[gdprbench.WorkloadName]*stats.Run, len(names))
 	for _, name := range names {
 		var run *gdprbench.RunStats
-		if secondaryDist != nil {
+		if opts.secondary != nil {
 			mix, ok := gdprbench.Workloads()[name]
 			if !ok {
 				return fmt.Errorf("unknown workload %q", name)
 			}
-			mix.SecondaryDist = *secondaryDist
+			mix.SecondaryDist = *opts.secondary
 			run, err = gdprbench.RunMix(db, ds, mix)
 		} else {
 			run, err = gdprbench.Run(db, ds, name)
@@ -172,6 +306,7 @@ func run(engine string, records, ops, threads, dataSize, shards int, seed int64,
 		if err != nil {
 			return fmt.Errorf("workload %s: %w", name, err)
 		}
+		runs[name] = run
 		report.Results = append(report.Results, core.WorkloadResult{
 			Workload:       name,
 			Operations:     run.TotalOps(),
@@ -187,29 +322,28 @@ func run(engine string, records, ops, threads, dataSize, shards int, seed int64,
 	}
 	report.Space = space
 	fmt.Print(report)
+
+	if opts.jsonPath != "" {
+		if err := writeJSONReport(opts.jsonPath, opts, label, loadRun, report, runs); err != nil {
+			return fmt.Errorf("-json: %w", err)
+		}
+		fmt.Printf("wrote %s\n", opts.jsonPath)
+	}
+
+	// A run that recorded operation errors is a failed run: surface it
+	// in the exit code so automation cannot mistake it for a pass.
+	var totalErrs int64
+	for _, res := range report.Results {
+		totalErrs += res.Errors
+	}
+	if totalErrs > 0 {
+		return fmt.Errorf("%d operation error(s) recorded across workloads", totalErrs)
+	}
 	return nil
 }
 
 // open builds a client: the plain stubs for one shard, the scatter-gather
 // router behind the same middleware for several.
 func open(engine string, shards int, dir string, comp gdprbench.Compliance, clk clock.Clock, disableDaemons bool) (gdprbench.DB, error) {
-	if shards > 1 {
-		return gdprbench.OpenSharded(engine, shards, dir, comp, clk, disableDaemons)
-	}
-	switch engine {
-	case "redis":
-		return gdprbench.OpenRedis(gdprbench.RedisConfig{
-			Dir: dir, Compliance: comp, Clock: clk, DisableBackgroundExpiry: disableDaemons,
-		})
-	case "postgres":
-		return gdprbench.OpenPostgres(gdprbench.PostgresConfig{
-			Dir: dir, Compliance: comp, Clock: clk, DisableTTLDaemon: disableDaemons,
-		})
-	default:
-		return nil, fmt.Errorf("unknown engine %q", engine)
-	}
-}
-
-func openIn(engine string, shards int, dir string, comp gdprbench.Compliance, clk clock.Clock) (gdprbench.DB, error) {
-	return open(engine, shards, dir, comp, clk, true)
+	return gdprbench.OpenEngine(engine, shards, dir, comp, clk, disableDaemons)
 }

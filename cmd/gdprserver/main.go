@@ -1,0 +1,56 @@
+// Command gdprserver serves one of the two engine models (optionally
+// hash-sharded) as a network GDPR datastore speaking the pipelined wire
+// protocol. Compliance — Figure 1 access control, metadata redaction,
+// audit logging, strict validation — runs server-side behind the
+// listener, so remote clients cannot bypass it; connections are bound
+// to one GDPR role at handshake.
+//
+// Examples:
+//
+//	gdprserver -addr 127.0.0.1:7946 -engine redis
+//	gdprserver -addr :7946 -engine postgres -index -shards 4 -token s3cret
+//	gdprserver -frozenclock      # simulated clock + no daemons, for -validate clients
+//
+// Point clients at it with:
+//
+//	gdprbench -connect 127.0.0.1:7946 -records 10000 -ops 2000
+//
+// SIGINT/SIGTERM trigger a graceful drain: in-flight requests finish
+// and their responses flush before the process exits.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	gdprbench "repro"
+)
+
+func main() {
+	var (
+		addr        = flag.String("addr", "127.0.0.1:7946", "TCP listen address")
+		engine      = flag.String("engine", "redis", "engine: redis | postgres")
+		shards      = flag.Int("shards", 1, "hash-partition the engine into N shards")
+		dir         = flag.String("dir", "", "data directory (default: a temp dir)")
+		indexed     = flag.Bool("index", false, "build secondary indexes on all metadata fields")
+		baseline    = flag.Bool("baseline", false, "disable all compliance features (no-security baseline)")
+		token       = flag.String("token", "", "shared auth token clients must present")
+		frozenclock = flag.Bool("frozenclock", false, "run engines on a simulated clock frozen at the epoch with expiry daemons off (required for gdprbench -connect -validate)")
+	)
+	flag.Parse()
+
+	if err := run(*addr, *engine, *shards, *dir, *token, *indexed, *baseline, *frozenclock); err != nil {
+		fmt.Fprintln(os.Stderr, "gdprserver:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr, engine string, shards int, dir, token string, indexed, baseline, frozenclock bool) error {
+	comp := gdprbench.FullCompliance()
+	if baseline {
+		comp = gdprbench.NoCompliance()
+	}
+	comp.MetadataIndexing = indexed
+	return gdprbench.ServeEngine(addr, engine, shards, dir, token, comp, frozenclock)
+}

@@ -26,6 +26,10 @@
 package gdprbench
 
 import (
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"repro/internal/acl"
@@ -34,6 +38,8 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/gdpr"
+	"repro/internal/remote"
+	"repro/internal/server"
 	"repro/internal/shard"
 	"repro/internal/stats"
 )
@@ -151,6 +157,93 @@ func OpenShardedPostgres(shards int, cfg PostgresConfig) (DB, error) {
 // OpenSharded dispatches on the engine model name ("redis" | "postgres").
 func OpenSharded(engine string, shards int, dir string, comp Compliance, clk clock.Clock, disableDaemons bool) (DB, error) {
 	return shard.Open(engine, shards, dir, comp, clk, disableDaemons)
+}
+
+// OpenEngine is the one engine-selection switch shared by the CLIs:
+// the plain client stubs for one shard, the scatter-gather router
+// behind the same compliance middleware for several.
+func OpenEngine(engine string, shards int, dir string, comp Compliance, clk clock.Clock, disableDaemons bool) (DB, error) {
+	if shards > 1 {
+		return OpenSharded(engine, shards, dir, comp, clk, disableDaemons)
+	}
+	switch engine {
+	case "redis":
+		return OpenRedis(RedisConfig{
+			Dir: dir, Compliance: comp, Clock: clk, DisableBackgroundExpiry: disableDaemons,
+		})
+	case "postgres":
+		return OpenPostgres(PostgresConfig{
+			Dir: dir, Compliance: comp, Clock: clk, DisableTTLDaemon: disableDaemons,
+		})
+	default:
+		return nil, fmt.Errorf("gdprbench: unknown engine %q", engine)
+	}
+}
+
+// RemoteConfig configures OpenRemote (server address, auth token,
+// connection pool size per GDPR role).
+type RemoteConfig = remote.Config
+
+// OpenRemote connects to a network GDPR datastore (cmd/gdprserver or
+// gdprbench -serve) and returns a DB that executes every §3.3 query
+// over the pipelined wire protocol. Compliance — access control,
+// redaction, audit, strict validation — runs server-side; the client is
+// just another DB, so the whole benchmark stack runs over TCP
+// unchanged.
+func OpenRemote(cfg RemoteConfig) (DB, error) { return remote.Dial(cfg) }
+
+// ServerConfig configures NewServer (auth token, pipeline depth, drain
+// timeout).
+type ServerConfig = server.Config
+
+// Server is the wire-protocol network front end for any DB.
+type Server = server.Server
+
+// NewServer wraps db in the network service layer: a TCP server with
+// per-connection role-bound sessions, request pipelining with ordered
+// responses, and graceful drain on Close. The caller still owns (and
+// closes) db.
+func NewServer(db DB, cfg ServerConfig) *Server { return server.New(db, cfg) }
+
+// ServeEngine opens the selected engine (hash-sharded when shards > 1;
+// on a frozen simulated clock with expiry daemons off when frozen, the
+// configuration oracle-validation clients need) and serves it on addr
+// until SIGINT/SIGTERM, then drains gracefully. An empty dir uses a
+// temp directory removed on exit. It is the one serve bootstrap shared
+// by cmd/gdprserver and gdprbench -serve, so the two binaries cannot
+// drift.
+func ServeEngine(addr, engine string, shards int, dir, token string, comp Compliance, frozen bool) error {
+	if shards < 1 {
+		return fmt.Errorf("gdprbench: shard count %d < 1", shards)
+	}
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "gdprserver-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	var clk clock.Clock
+	if frozen {
+		clk = clock.NewSim(time.Time{})
+	}
+	db, err := OpenEngine(engine, shards, dir, comp, clk, frozen)
+	if err != nil {
+		return err
+	}
+	defer db.Close()
+	srv := NewServer(db, ServerConfig{Token: token})
+	bound, err := srv.Start(addr)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("serving engine=%s shards=%d compliance=%s on %s\n", engine, shards, comp, bound)
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("draining...")
+	return srv.Close()
 }
 
 // Load populates db with cfg.Records personal-data records as the

@@ -177,11 +177,11 @@ func TestWorkloadsExported(t *testing.T) {
 
 func TestExperimentRegistryExported(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 17 {
+	if len(ids) != 18 {
 		t.Fatalf("experiments = %v", ids)
 	}
-	if ids[len(ids)-1] != "F10" {
-		t.Fatalf("F10 metadata-indexing experiment missing or misordered: %v", ids)
+	if ids[len(ids)-1] != "F11" {
+		t.Fatalf("F11 network-overhead experiment missing or misordered: %v", ids)
 	}
 	res, err := RunExperiment("T1", ScaleSmall)
 	if err != nil {

@@ -168,7 +168,8 @@ func TestACLMatrixEveryRoleByQueryType(t *testing.T) {
 			},
 			// G 30/33/34: regulators investigate, controllers produce.
 			// Row counts vary with the audit trail, so only denial is
-			// pinned (0 marks "must succeed, count unchecked").
+			// pinned (-2 marks "must succeed, count unchecked"; 0 would
+			// pin the count to exactly zero).
 			want: map[string]int{"controller": -2, "alice": -1, "bob": -1, "proc-ads": -1, "proc-mail": -1, "regulator": -2},
 		},
 		{

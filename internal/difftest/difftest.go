@@ -1,0 +1,124 @@
+// Package difftest is the shared differential-testing harness: a seeded
+// mini-workload that exercises every §3.3 query family and renders each
+// operation's outcome as a canonical, order-insensitive transcript line.
+// Two deployments of the benchmark stack are behaviorally equivalent iff
+// their transcripts are byte-identical — the acceptance bar used across
+// engines (Redis vs PostgreSQL model), shard counts, the metadata-index
+// layer, and the network service boundary (embedded vs remote client).
+//
+// It lives in a non-test package so the shard and remote differential
+// tests share one harness; it is only imported from _test files.
+package difftest
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/gdpr"
+)
+
+// Transcript runs the seeded mini-workload against db (freshly loaded
+// with ds on the simulated clock) and renders each operation's outcome
+// canonically (sorted keys, counts).
+func Transcript(t testing.TB, db core.DB, ds *core.Dataset, sim *clock.Sim) []string {
+	t.Helper()
+	var lines []string
+	emitRecs := func(op string, recs []gdpr.Record, err error) {
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		keys := make([]string, len(recs))
+		for i, r := range recs {
+			keys[i] = r.Key
+		}
+		sort.Strings(keys)
+		lines = append(lines, fmt.Sprintf("%s -> [%s]", op, strings.Join(keys, ",")))
+	}
+	emitN := func(op string, n int, err error) {
+		if err != nil {
+			t.Fatalf("%s: %v", op, err)
+		}
+		lines = append(lines, fmt.Sprintf("%s -> n=%d", op, n))
+	}
+
+	cfg := ds.Cfg
+	for round := 0; round < 6; round++ {
+		p := round % cfg.Purposes
+		u := round * 3 % ds.Users
+		s := round % cfg.Shares
+		d := round % cfg.Decisions
+		k := round * 17 % cfg.Records
+
+		rec := ds.RecordAt(0)
+		rec.Key = fmt.Sprintf("rec-diff-%04d", round)
+		rec.Data = fmt.Sprintf("%0*d", cfg.DataSize, round)
+		rec.Meta.User = ds.UserName(u)
+		rec.Meta.Expiry = sim.Now().Add(cfg.DefaultTTL)
+		if err := db.CreateRecord(core.ControllerActor(), rec); err != nil {
+			t.Fatalf("create round %d: %v", round, err)
+		}
+		lines = append(lines, fmt.Sprintf("create(%s) -> ok", rec.Key))
+
+		recs, err := db.ReadData(ds.ProcessorActor(p), gdpr.ByPurpose(ds.PurposeName(p)))
+		emitRecs(fmt.Sprintf("read-data-by-pur(%d)", p), recs, err)
+		recs, err = db.ReadData(ds.CustomerActor(u), gdpr.ByUser(ds.UserName(u)))
+		emitRecs(fmt.Sprintf("read-data-by-usr(%d)", u), recs, err)
+		recs, err = db.ReadData(ds.ProcessorActor(p), gdpr.ByObjection(ds.PurposeName(p)))
+		emitRecs(fmt.Sprintf("read-data-by-obj(%d)", p), recs, err)
+		recs, err = db.ReadData(ds.ProcessorActor(d), gdpr.ByDecision(ds.DecisionName(d)))
+		emitRecs(fmt.Sprintf("read-data-by-dec(%d)", d), recs, err)
+		recs, err = db.ReadMetadata(core.RegulatorActor(), gdpr.ByShare(ds.ShareName(s)))
+		emitRecs(fmt.Sprintf("read-meta-by-shr(%d)", s), recs, err)
+		for _, r := range recs {
+			if r.Data != "" {
+				t.Fatalf("metadata read leaked data for %q", r.Key)
+			}
+		}
+		recs, err = db.ReadMetadata(core.RegulatorActor(), gdpr.ByUser(ds.UserName(u)))
+		emitRecs(fmt.Sprintf("read-meta-by-usr(%d)", u), recs, err)
+
+		n, err := db.UpdateMetadata(core.ControllerActor(), gdpr.ByUser(ds.UserName(u)),
+			gdpr.Delta{Attr: gdpr.AttrSharing, Op: gdpr.DeltaAdd, Values: []string{ds.ShareName(s)}})
+		emitN(fmt.Sprintf("update-meta-by-usr(%d)", u), n, err)
+		n, err = db.UpdateMetadata(core.ControllerActor(), gdpr.ByPurpose(ds.PurposeName(p)),
+			gdpr.Delta{Attr: gdpr.AttrTTL, Op: gdpr.DeltaSet, Expiry: sim.Now().Add(cfg.DefaultTTL)})
+		emitN(fmt.Sprintf("update-meta-by-pur(%d)", p), n, err)
+		n, err = db.UpdateMetadata(ds.CustomerActor(ds.OwnerOfKey(k)), gdpr.ByKey(ds.KeyAt(k)),
+			gdpr.Delta{Attr: gdpr.AttrObjection, Op: gdpr.DeltaAdd, Values: []string{ds.PurposeName(p)}})
+		emitN(fmt.Sprintf("update-meta-by-key(%d)", k), n, err)
+		n, err = db.UpdateData(ds.CustomerActor(ds.OwnerOfKey(k)), ds.KeyAt(k),
+			fmt.Sprintf("%0*d", cfg.DataSize, round))
+		emitN(fmt.Sprintf("update-data-by-key(%d)", k), n, err)
+
+		n, err = db.DeleteRecord(ds.CustomerActor(ds.OwnerOfKey(k)), gdpr.ByKey(ds.KeyAt(k)))
+		emitN(fmt.Sprintf("delete-by-key(%d)", k), n, err)
+		n, err = db.DeleteRecord(core.ControllerActor(), gdpr.ByUser(ds.UserName((u+5)%ds.Users)))
+		emitN(fmt.Sprintf("delete-by-usr(%d)", (u+5)%ds.Users), n, err)
+		n, err = db.DeleteRecord(core.ControllerActor(), gdpr.ByPurpose(ds.PurposeName((p+3)%cfg.Purposes)))
+		emitN(fmt.Sprintf("delete-by-pur(%d)", (p+3)%cfg.Purposes), n, err)
+
+		present, err := db.VerifyDeletion(core.RegulatorActor(),
+			[]string{ds.KeyAt(k), ds.KeyAt((k + 1) % cfg.Records), "never-existed"})
+		emitN("verify-deletion", present, err)
+	}
+	return lines
+}
+
+// AssertEqual fails the test at the first line where got's transcript
+// diverges from want's.
+func AssertEqual(t testing.TB, wantName string, want []string, gotName string, got []string) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s transcript length %d vs %s's %d", gotName, len(got), wantName, len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("%s diverged from %s at op %d:\n  %s: %s\n  %s: %s",
+				gotName, wantName, i, wantName, want[i], gotName, got[i])
+		}
+	}
+}

@@ -11,7 +11,7 @@ import (
 
 func TestIDsCoverEveryPaperArtifact(t *testing.T) {
 	want := []string{"T1", "T2a", "T3", "F3a", "F3b", "F4a", "F4b",
-		"F5a", "F5b", "F5c", "F6", "F7a", "F7b", "F8a", "F8b", "F9", "F10"}
+		"F5a", "F5b", "F5c", "F6", "F7a", "F7b", "F8a", "F8b", "F9", "F10", "F11"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v", got)
@@ -220,6 +220,39 @@ func TestFig10Shape(t *testing.T) {
 	}
 	if float64(pgScan) < 1.5*float64(pgIdx) {
 		t.Fatalf("postgres: indexed reads (%v) did not beat the scan baseline (%v)", pgIdx, pgScan)
+	}
+}
+
+// TestFig11Shape checks the network-overhead experiment's sanity: both
+// legs complete, and serving the workload over localhost TCP does not
+// somehow beat the in-process calls it wraps (a generous 0.8x floor
+// keeps the test robust on noisy runners).
+func TestFig11Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing heavy")
+	}
+	res, err := Run("F11", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		emb, err := time.ParseDuration(row[1])
+		if err != nil {
+			t.Fatal(err)
+		}
+		tcp, err := time.ParseDuration(row[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if emb <= 0 || tcp <= 0 {
+			t.Fatalf("%s: non-positive completion times %v / %v", row[0], emb, tcp)
+		}
+		if float64(tcp) < 0.8*float64(emb) {
+			t.Fatalf("%s: TCP leg (%v) implausibly faster than embedded (%v)", row[0], tcp, emb)
+		}
 	}
 }
 

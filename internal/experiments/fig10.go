@@ -53,20 +53,24 @@ func runMetadataIndexingGap(scale Scale) (Result, error) {
 	return res, nil
 }
 
+// openBare builds a daemonless, in-memory engine of the requested model
+// with the given compliance set — the shared open path for
+// microbenchmark-style experiments that isolate one cost axis.
+func openBare(engine string, comp core.Compliance) (core.DB, error) {
+	switch engine {
+	case "redis":
+		return core.OpenRedis(core.RedisConfig{Compliance: comp, DisableBackgroundExpiry: true})
+	case "postgres":
+		return core.OpenPostgres(core.PostgresConfig{Compliance: comp, DisableTTLDaemon: true})
+	default:
+		return nil, fmt.Errorf("experiments: unknown engine %q", engine)
+	}
+}
+
 // attributeReadRun loads n records into a fresh in-memory engine and
 // times `reads` alternating BY-USR / BY-PUR data reads.
 func attributeReadRun(engine string, indexed bool, n, reads int) (time.Duration, error) {
-	comp := core.Compliance{AccessControl: true, Strict: true, MetadataIndexing: indexed}
-	var db core.DB
-	var err error
-	switch engine {
-	case "redis":
-		db, err = core.OpenRedis(core.RedisConfig{Compliance: comp, DisableBackgroundExpiry: true})
-	case "postgres":
-		db, err = core.OpenPostgres(core.PostgresConfig{Compliance: comp, DisableTTLDaemon: true})
-	default:
-		err = fmt.Errorf("experiments: unknown engine %q", engine)
-	}
+	db, err := openBare(engine, core.Compliance{AccessControl: true, Strict: true, MetadataIndexing: indexed})
 	if err != nil {
 		return 0, err
 	}

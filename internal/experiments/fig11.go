@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/remote"
+	"repro/internal/server"
+)
+
+func init() {
+	register("F11", runNetworkOverhead)
+}
+
+// runNetworkOverhead is the F11 experiment: workload completion time of
+// the same GDPR customer workload against an embedded engine and
+// against the identical engine served over localhost TCP through the
+// network service layer. The paper benchmarks network-attached Redis
+// and PostgreSQL and attributes part of GDPR query cost to
+// client/server round trips; this experiment isolates that service
+// boundary — same engine, same middleware, same workload, the only
+// delta being the wire protocol, framing and socket hops.
+func runNetworkOverhead(scale Scale) (Result, error) {
+	records, ops, threads := 1_200, 300, 4
+	if scale == Paper {
+		records, ops, threads = 20_000, 5_000, 8
+	}
+	res := Result{
+		ID:     "F11",
+		Title:  "Network service overhead: embedded vs localhost TCP (F11)",
+		Header: []string{"Engine", "Embedded", "Localhost TCP", "TCP/embedded"},
+	}
+	for _, engine := range []string{"redis", "postgres"} {
+		emb, err := networkLeg(engine, false, records, ops, threads)
+		if err != nil {
+			return res, err
+		}
+		tcp, err := networkLeg(engine, true, records, ops, threads)
+		if err != nil {
+			return res, err
+		}
+		res.Rows = append(res.Rows, []string{
+			engine,
+			emb.Round(time.Microsecond).String(),
+			tcp.Round(time.Microsecond).String(),
+			f2(float64(tcp)/float64(emb)) + "x",
+		})
+	}
+	res.Notes = append(res.Notes,
+		"paper: the evaluation runs Redis and PostgreSQL network-attached; client/server round trips are part of every GDPR query's cost",
+		"the TCP legs run the full stack over internal/server + internal/remote: pipelined wire protocol, role-bound sessions, compliance server-side",
+	)
+	return res, nil
+}
+
+// networkLeg loads records and runs the customer workload against one
+// engine model, embedded or via a localhost TCP server, returning the
+// workload completion time.
+func networkLeg(engine string, overTCP bool, records, ops, threads int) (time.Duration, error) {
+	host, err := openBare(engine, core.Compliance{AccessControl: true, Strict: true})
+	if err != nil {
+		return 0, err
+	}
+	defer host.Close()
+
+	db := host
+	if overTCP {
+		srv := server.New(host, server.Config{})
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			return 0, err
+		}
+		defer srv.Close()
+		cli, err := remote.Dial(remote.Config{Addr: addr})
+		if err != nil {
+			return 0, err
+		}
+		defer cli.Close()
+		db = cli
+	}
+
+	cfg := core.Config{Records: records, Operations: ops, Threads: threads, Seed: 1}
+	ds, _, err := core.Load(db, cfg, nil)
+	if err != nil {
+		return 0, err
+	}
+	run, err := core.Run(db, ds, core.Customer, nil)
+	if err != nil {
+		return 0, err
+	}
+	return run.WallTime(), nil
+}

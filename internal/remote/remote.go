@@ -1,0 +1,477 @@
+// Package remote is the client side of the GDPR service layer: a
+// connection-pooled core.DB that executes every §3.3 query over the
+// wire protocol against a server (internal/server, cmd/gdprserver).
+//
+// Because the client implements core.DB (and core.BatchCreator), the
+// whole benchmark stack — the load phase, the Table 2a runner, the
+// validate oracle, the experiments — runs over TCP unchanged; the
+// compliance middleware stays server-side, so a remote client observes
+// exactly the ACL filtering, redaction and audit behavior an embedded
+// one does.
+//
+// Connections are bound to one GDPR role at handshake (the server
+// enforces it), so the pool is keyed by role: a request acquires a
+// connection for its actor's role, dialing lazily up to ConnsPerRole.
+// Each connection pipelines: concurrent requests are written
+// back-to-back and matched FIFO against the server's ordered responses,
+// so a connection carries many in-flight operations without head-of-line
+// waiting on the client side. Bulk loads ship one CreateBatch frame per
+// batch — one round trip per 128 records, not per record.
+package remote
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/acl"
+	"repro/internal/audit"
+	"repro/internal/core"
+	"repro/internal/gdpr"
+	"repro/internal/wire"
+)
+
+// Config configures Dial.
+type Config struct {
+	// Addr is the server's TCP address (host:port).
+	Addr string
+	// Token authenticates the handshake when the server requires one.
+	Token string
+	// ConnsPerRole caps pooled connections per GDPR role (default 2).
+	ConnsPerRole int
+	// DialTimeout bounds connection establishment (default 5s).
+	DialTimeout time.Duration
+}
+
+func (c Config) withDefaults() Config {
+	if c.ConnsPerRole <= 0 {
+		c.ConnsPerRole = 2
+	}
+	if c.DialTimeout <= 0 {
+		c.DialTimeout = 5 * time.Second
+	}
+	return c
+}
+
+// Client is a remote core.DB. It is safe for concurrent use.
+type Client struct {
+	cfg Config
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	pools   map[acl.Role][]*conn
+	rr      map[acl.Role]int
+	dialing map[acl.Role]int
+	closed  bool
+}
+
+// Dial connects to a GDPR server, verifying reachability and the auth
+// token with one eager controller-role handshake.
+func Dial(cfg Config) (*Client, error) {
+	c := &Client{
+		cfg:     cfg.withDefaults(),
+		pools:   make(map[acl.Role][]*conn),
+		rr:      make(map[acl.Role]int),
+		dialing: make(map[acl.Role]int),
+	}
+	c.cond = sync.NewCond(&c.mu)
+	if _, err := c.conn(acl.Controller); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// conn returns a pooled (or freshly dialed) connection bound to role,
+// dropping broken connections from the pool as it finds them. Dialing
+// happens with the client mutex released, so one slow (re)connect never
+// stalls callers that have a live connection to use; live connections
+// plus in-flight dials never exceed ConnsPerRole, and a caller finding
+// an empty pool with the cap's worth of dials in flight waits for one
+// to land instead of overshooting.
+func (c *Client) conn(role acl.Role) (*conn, error) {
+	c.mu.Lock()
+	for {
+		if c.closed {
+			c.mu.Unlock()
+			return nil, fmt.Errorf("remote: client closed")
+		}
+		pool := c.pools[role]
+		live := pool[:0]
+		for _, cn := range pool {
+			if !cn.isBroken() {
+				live = append(live, cn)
+			}
+		}
+		c.pools[role] = live
+		if len(live)+c.dialing[role] < c.cfg.ConnsPerRole {
+			break // room under the cap: dial a new connection below
+		}
+		if len(live) > 0 {
+			c.rr[role]++
+			cn := live[c.rr[role]%len(live)]
+			c.mu.Unlock()
+			return cn, nil
+		}
+		c.cond.Wait()
+	}
+	c.dialing[role]++
+	c.mu.Unlock()
+
+	cn, err := c.dial(role)
+
+	c.mu.Lock()
+	c.dialing[role]--
+	c.cond.Broadcast()
+	if err != nil {
+		c.mu.Unlock()
+		return nil, err
+	}
+	if c.closed {
+		c.mu.Unlock()
+		cn.shutdown()
+		return nil, fmt.Errorf("remote: client closed")
+	}
+	c.pools[role] = append(c.pools[role], cn)
+	c.mu.Unlock()
+	return cn, nil
+}
+
+// dial establishes one role-bound connection.
+func (c *Client) dial(role acl.Role) (*conn, error) {
+	nc, err := net.DialTimeout("tcp", c.cfg.Addr, c.cfg.DialTimeout)
+	if err != nil {
+		return nil, fmt.Errorf("remote: %w", err)
+	}
+	cn := &conn{
+		nc: nc,
+		br: bufio.NewReaderSize(nc, 64<<10),
+		bw: bufio.NewWriterSize(nc, 64<<10),
+	}
+	hello := &wire.Hello{Version: wire.ProtocolVersion, Role: role, Token: c.cfg.Token}
+	if err := wire.WriteMessage(cn.bw, hello); err == nil {
+		err = cn.bw.Flush()
+	}
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("remote: handshake: %w", err)
+	}
+	nc.SetReadDeadline(time.Now().Add(c.cfg.DialTimeout))
+	resp, err := wire.ReadMessage(cn.br)
+	if err != nil {
+		nc.Close()
+		return nil, fmt.Errorf("remote: handshake: %w", err)
+	}
+	nc.SetReadDeadline(time.Time{})
+	switch m := resp.(type) {
+	case *wire.HelloOK:
+	case *wire.ErrorResp:
+		nc.Close()
+		return nil, fmt.Errorf("remote: handshake rejected: %w", m.Err())
+	default:
+		nc.Close()
+		return nil, fmt.Errorf("remote: handshake: unexpected %v frame", resp.Op())
+	}
+	go cn.readLoop()
+	return cn, nil
+}
+
+// call runs one request/response exchange on a connection bound to
+// role, converting error frames back into typed error values.
+func (c *Client) call(role acl.Role, req wire.Message) (wire.Message, error) {
+	cn, err := c.conn(role)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cn.roundTrip(req)
+	if err != nil {
+		return nil, err
+	}
+	if e, ok := resp.(*wire.ErrorResp); ok {
+		if e.Kind == wire.ErrFeatureDisabled {
+			return nil, fmt.Errorf("remote: %w (%s)", core.ErrFeatureDisabled, e.Msg)
+		}
+		return nil, e.Err()
+	}
+	return resp, nil
+}
+
+// Close releases every pooled connection.
+func (c *Client) Close() error {
+	c.mu.Lock()
+	if c.closed {
+		c.mu.Unlock()
+		return nil
+	}
+	c.closed = true
+	c.cond.Broadcast()
+	var all []*conn
+	for _, pool := range c.pools {
+		all = append(all, pool...)
+	}
+	c.pools = nil
+	c.mu.Unlock()
+	for _, cn := range all {
+		cn.shutdown()
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// core.DB implementation
+
+// CreateRecord implements core.DB.
+func (c *Client) CreateRecord(a acl.Actor, rec gdpr.Record) error {
+	resp, err := c.call(a.Role, &wire.CreateRecord{Actor: a, Rec: gdpr.Encode(rec)})
+	if err != nil {
+		return err
+	}
+	return expectAck(resp)
+}
+
+// CreateRecords implements core.BatchCreator: one frame and one round
+// trip per batch; the server preserves the engine's native load shape.
+func (c *Client) CreateRecords(a acl.Actor, recs []gdpr.Record) error {
+	resp, err := c.call(a.Role, &wire.CreateBatch{Actor: a, Recs: wire.EncodeRecords(recs)})
+	if err != nil {
+		return err
+	}
+	return expectAck(resp)
+}
+
+// ReadData implements core.DB.
+func (c *Client) ReadData(a acl.Actor, sel gdpr.Selector) ([]gdpr.Record, error) {
+	resp, err := c.call(a.Role, &wire.ReadData{Actor: a, Sel: sel})
+	if err != nil {
+		return nil, err
+	}
+	return decodeRecordsResp(resp)
+}
+
+// ReadMetadata implements core.DB.
+func (c *Client) ReadMetadata(a acl.Actor, sel gdpr.Selector) ([]gdpr.Record, error) {
+	resp, err := c.call(a.Role, &wire.ReadMetadata{Actor: a, Sel: sel})
+	if err != nil {
+		return nil, err
+	}
+	return decodeRecordsResp(resp)
+}
+
+// UpdateData implements core.DB.
+func (c *Client) UpdateData(a acl.Actor, key, data string) (int, error) {
+	resp, err := c.call(a.Role, &wire.UpdateData{Actor: a, Key: key, Data: data})
+	if err != nil {
+		return 0, err
+	}
+	return expectCount(resp)
+}
+
+// UpdateMetadata implements core.DB.
+func (c *Client) UpdateMetadata(a acl.Actor, sel gdpr.Selector, delta gdpr.Delta) (int, error) {
+	resp, err := c.call(a.Role, &wire.UpdateMetadata{Actor: a, Sel: sel, Delta: delta})
+	if err != nil {
+		return 0, err
+	}
+	return expectCount(resp)
+}
+
+// DeleteRecord implements core.DB.
+func (c *Client) DeleteRecord(a acl.Actor, sel gdpr.Selector) (int, error) {
+	resp, err := c.call(a.Role, &wire.DeleteRecord{Actor: a, Sel: sel})
+	if err != nil {
+		return 0, err
+	}
+	return expectCount(resp)
+}
+
+// GetSystemLogs implements core.DB.
+func (c *Client) GetSystemLogs(a acl.Actor, from, to time.Time) ([]audit.Entry, error) {
+	resp, err := c.call(a.Role, &wire.GetLogs{Actor: a, From: from, To: to})
+	if err != nil {
+		return nil, err
+	}
+	m, ok := resp.(*wire.LogEntries)
+	if !ok {
+		return nil, unexpected(resp)
+	}
+	return m.Entries, nil
+}
+
+// GetSystemFeatures implements core.DB.
+func (c *Client) GetSystemFeatures(a acl.Actor) (map[string]string, error) {
+	resp, err := c.call(a.Role, &wire.GetFeatures{Actor: a})
+	if err != nil {
+		return nil, err
+	}
+	m, ok := resp.(*wire.Features)
+	if !ok {
+		return nil, unexpected(resp)
+	}
+	return m.Map(), nil
+}
+
+// VerifyDeletion implements core.DB.
+func (c *Client) VerifyDeletion(a acl.Actor, keys []string) (int, error) {
+	resp, err := c.call(a.Role, &wire.VerifyDeletion{Actor: a, Keys: keys})
+	if err != nil {
+		return 0, err
+	}
+	return expectCount(resp)
+}
+
+// SpaceUsage implements core.DB (a role-independent admin query; it
+// rides a controller-bound connection).
+func (c *Client) SpaceUsage() (core.SpaceUsage, error) {
+	resp, err := c.call(acl.Controller, &wire.SpaceUsage{})
+	if err != nil {
+		return core.SpaceUsage{}, err
+	}
+	m, ok := resp.(*wire.Space)
+	if !ok {
+		return core.SpaceUsage{}, unexpected(resp)
+	}
+	return core.SpaceUsage{PersonalBytes: m.Personal, TotalBytes: m.Total}, nil
+}
+
+func expectAck(resp wire.Message) error {
+	if _, ok := resp.(*wire.Ack); !ok {
+		return unexpected(resp)
+	}
+	return nil
+}
+
+func expectCount(resp wire.Message) (int, error) {
+	m, ok := resp.(*wire.Count)
+	if !ok {
+		return 0, unexpected(resp)
+	}
+	return int(m.N), nil
+}
+
+func decodeRecordsResp(resp wire.Message) ([]gdpr.Record, error) {
+	m, ok := resp.(*wire.Records)
+	if !ok {
+		return nil, unexpected(resp)
+	}
+	if len(m.Recs) == 0 {
+		return nil, nil
+	}
+	return wire.DecodeRecords(m.Recs)
+}
+
+func unexpected(resp wire.Message) error {
+	return fmt.Errorf("remote: unexpected %v response", resp.Op())
+}
+
+var (
+	_ core.DB           = (*Client)(nil)
+	_ core.BatchCreator = (*Client)(nil)
+)
+
+// ---------------------------------------------------------------------------
+// conn: one pipelined, role-bound connection
+
+type result struct {
+	msg wire.Message
+	err error
+}
+
+// conn pipelines requests: writes are serialized under mu and enqueue a
+// waiter; the read loop matches the server's ordered responses to
+// waiters FIFO, so many operations can be in flight at once.
+type conn struct {
+	nc net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+
+	// dead mirrors broken != nil and is readable without mu, so the
+	// pool's health checks never contend with a write stalled in
+	// Flush under mu (which would stall acquisition across all roles).
+	dead atomic.Bool
+
+	mu      sync.Mutex
+	pending []chan result
+	broken  error
+}
+
+func (c *conn) isBroken() bool { return c.dead.Load() }
+
+// failLocked marks the connection dead and answers every waiter.
+// Callers hold c.mu.
+func (c *conn) failLocked(err error) {
+	if c.broken == nil {
+		c.broken = err
+		c.dead.Store(true)
+		c.nc.Close()
+	}
+	for _, ch := range c.pending {
+		ch <- result{err: c.broken}
+	}
+	c.pending = nil
+}
+
+func (c *conn) shutdown() {
+	c.mu.Lock()
+	c.failLocked(fmt.Errorf("remote: client closed"))
+	c.mu.Unlock()
+}
+
+// roundTrip writes one request and waits for its (order-matched)
+// response. Other goroutines may interleave requests on the same
+// connection; responses cannot be misattributed because the server
+// answers strictly in order.
+func (c *conn) roundTrip(req wire.Message) (wire.Message, error) {
+	ch := make(chan result, 1)
+	c.mu.Lock()
+	if c.broken != nil {
+		err := c.broken
+		c.mu.Unlock()
+		return nil, err
+	}
+	err := wire.WriteMessage(c.bw, req)
+	if err != nil {
+		var fe *wire.FrameError
+		if errors.As(err, &fe) {
+			// Oversized request: nothing reached the wire, so the
+			// connection is still good — fail only this call.
+			c.mu.Unlock()
+			return nil, err
+		}
+		c.failLocked(err)
+		c.mu.Unlock()
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		c.failLocked(err)
+		c.mu.Unlock()
+		return nil, err
+	}
+	c.pending = append(c.pending, ch)
+	c.mu.Unlock()
+	res := <-ch
+	return res.msg, res.err
+}
+
+func (c *conn) readLoop() {
+	for {
+		msg, err := wire.ReadMessage(c.br)
+		c.mu.Lock()
+		if err != nil {
+			c.failLocked(fmt.Errorf("remote: connection lost: %w", err))
+			c.mu.Unlock()
+			return
+		}
+		if len(c.pending) == 0 {
+			c.failLocked(fmt.Errorf("remote: unsolicited %v frame", msg.Op()))
+			c.mu.Unlock()
+			return
+		}
+		ch := c.pending[0]
+		c.pending = c.pending[1:]
+		c.mu.Unlock()
+		ch <- result{msg: msg}
+	}
+}

@@ -1,25 +1,24 @@
 package shard
 
 import (
-	"fmt"
-	"sort"
-	"strings"
 	"testing"
 	"time"
 
 	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/difftest"
 	"repro/internal/gdpr"
 )
 
-// The cross-engine differential test: one seeded mini-workload replayed
-// against the Redis model (scanning and metadata-indexed), the PostgreSQL
-// model (indexed) and sharded variants of both, recording every query's
-// result as a canonical, order-insensitive transcript line. All engines
-// must produce byte-identical transcripts — same selector results, same
-// mutation counts — which is the acceptance bar for "compliance above
-// storage": the middleware, not the backend, defines observable behavior,
-// and the index layer changes cost, never results.
+// The cross-engine differential test: one seeded mini-workload (the
+// shared internal/difftest harness) replayed against the Redis model
+// (scanning and metadata-indexed), the PostgreSQL model (indexed) and
+// sharded variants of both, recording every query's result as a
+// canonical, order-insensitive transcript line. All engines must produce
+// byte-identical transcripts — same selector results, same mutation
+// counts — which is the acceptance bar for "compliance above storage":
+// the middleware, not the backend, defines observable behavior, and the
+// index layer changes cost, never results.
 
 // variant opens one engine under test.
 type variant struct {
@@ -83,92 +82,6 @@ func diffVariants() []variant {
 	}
 }
 
-// transcript runs the seeded mini-workload and renders each operation's
-// outcome canonically (sorted keys, counts).
-func transcript(t *testing.T, db core.DB, ds *core.Dataset, sim *clock.Sim) []string {
-	t.Helper()
-	var lines []string
-	emitRecs := func(op string, recs []gdpr.Record, err error) {
-		if err != nil {
-			t.Fatalf("%s: %v", op, err)
-		}
-		keys := make([]string, len(recs))
-		for i, r := range recs {
-			keys[i] = r.Key
-		}
-		sort.Strings(keys)
-		lines = append(lines, fmt.Sprintf("%s -> [%s]", op, strings.Join(keys, ",")))
-	}
-	emitN := func(op string, n int, err error) {
-		if err != nil {
-			t.Fatalf("%s: %v", op, err)
-		}
-		lines = append(lines, fmt.Sprintf("%s -> n=%d", op, n))
-	}
-
-	cfg := ds.Cfg
-	for round := 0; round < 6; round++ {
-		p := round % cfg.Purposes
-		u := round * 3 % ds.Users
-		s := round % cfg.Shares
-		d := round % cfg.Decisions
-		k := round * 17 % cfg.Records
-
-		rec := ds.RecordAt(0)
-		rec.Key = fmt.Sprintf("rec-diff-%04d", round)
-		rec.Data = fmt.Sprintf("%0*d", cfg.DataSize, round)
-		rec.Meta.User = ds.UserName(u)
-		rec.Meta.Expiry = sim.Now().Add(cfg.DefaultTTL)
-		if err := db.CreateRecord(core.ControllerActor(), rec); err != nil {
-			t.Fatalf("create round %d: %v", round, err)
-		}
-		lines = append(lines, fmt.Sprintf("create(%s) -> ok", rec.Key))
-
-		recs, err := db.ReadData(ds.ProcessorActor(p), gdpr.ByPurpose(ds.PurposeName(p)))
-		emitRecs(fmt.Sprintf("read-data-by-pur(%d)", p), recs, err)
-		recs, err = db.ReadData(ds.CustomerActor(u), gdpr.ByUser(ds.UserName(u)))
-		emitRecs(fmt.Sprintf("read-data-by-usr(%d)", u), recs, err)
-		recs, err = db.ReadData(ds.ProcessorActor(p), gdpr.ByObjection(ds.PurposeName(p)))
-		emitRecs(fmt.Sprintf("read-data-by-obj(%d)", p), recs, err)
-		recs, err = db.ReadData(ds.ProcessorActor(d), gdpr.ByDecision(ds.DecisionName(d)))
-		emitRecs(fmt.Sprintf("read-data-by-dec(%d)", d), recs, err)
-		recs, err = db.ReadMetadata(core.RegulatorActor(), gdpr.ByShare(ds.ShareName(s)))
-		emitRecs(fmt.Sprintf("read-meta-by-shr(%d)", s), recs, err)
-		for _, r := range recs {
-			if r.Data != "" {
-				t.Fatalf("metadata read leaked data for %q", r.Key)
-			}
-		}
-		recs, err = db.ReadMetadata(core.RegulatorActor(), gdpr.ByUser(ds.UserName(u)))
-		emitRecs(fmt.Sprintf("read-meta-by-usr(%d)", u), recs, err)
-
-		n, err := db.UpdateMetadata(core.ControllerActor(), gdpr.ByUser(ds.UserName(u)),
-			gdpr.Delta{Attr: gdpr.AttrSharing, Op: gdpr.DeltaAdd, Values: []string{ds.ShareName(s)}})
-		emitN(fmt.Sprintf("update-meta-by-usr(%d)", u), n, err)
-		n, err = db.UpdateMetadata(core.ControllerActor(), gdpr.ByPurpose(ds.PurposeName(p)),
-			gdpr.Delta{Attr: gdpr.AttrTTL, Op: gdpr.DeltaSet, Expiry: sim.Now().Add(cfg.DefaultTTL)})
-		emitN(fmt.Sprintf("update-meta-by-pur(%d)", p), n, err)
-		n, err = db.UpdateMetadata(ds.CustomerActor(ds.OwnerOfKey(k)), gdpr.ByKey(ds.KeyAt(k)),
-			gdpr.Delta{Attr: gdpr.AttrObjection, Op: gdpr.DeltaAdd, Values: []string{ds.PurposeName(p)}})
-		emitN(fmt.Sprintf("update-meta-by-key(%d)", k), n, err)
-		n, err = db.UpdateData(ds.CustomerActor(ds.OwnerOfKey(k)), ds.KeyAt(k),
-			fmt.Sprintf("%0*d", cfg.DataSize, round))
-		emitN(fmt.Sprintf("update-data-by-key(%d)", k), n, err)
-
-		n, err = db.DeleteRecord(ds.CustomerActor(ds.OwnerOfKey(k)), gdpr.ByKey(ds.KeyAt(k)))
-		emitN(fmt.Sprintf("delete-by-key(%d)", k), n, err)
-		n, err = db.DeleteRecord(core.ControllerActor(), gdpr.ByUser(ds.UserName((u+5)%ds.Users)))
-		emitN(fmt.Sprintf("delete-by-usr(%d)", (u+5)%ds.Users), n, err)
-		n, err = db.DeleteRecord(core.ControllerActor(), gdpr.ByPurpose(ds.PurposeName((p+3)%cfg.Purposes)))
-		emitN(fmt.Sprintf("delete-by-pur(%d)", (p+3)%cfg.Purposes), n, err)
-
-		present, err := db.VerifyDeletion(core.RegulatorActor(),
-			[]string{ds.KeyAt(k), ds.KeyAt((k + 1) % cfg.Records), "never-existed"})
-		emitN("verify-deletion", present, err)
-	}
-	return lines
-}
-
 func TestDifferentialAcrossEnginesAndShardCounts(t *testing.T) {
 	cfg := core.Config{Records: 240, Operations: 10, Threads: 2, Seed: 42}.WithDefaults()
 	var wantName string
@@ -182,20 +95,12 @@ func TestDifferentialAcrossEnginesAndShardCounts(t *testing.T) {
 			if err != nil {
 				t.Fatal(err)
 			}
-			got := transcript(t, db, ds, sim)
+			got := difftest.Transcript(t, db, ds, sim)
 			if want == nil {
 				wantName, want = v.name, got
 				return
 			}
-			if len(got) != len(want) {
-				t.Fatalf("transcript length %d vs %s's %d", len(got), wantName, len(want))
-			}
-			for i := range want {
-				if got[i] != want[i] {
-					t.Fatalf("diverged from %s at op %d:\n  %s: %s\n  %s: %s",
-						wantName, i, wantName, want[i], v.name, got[i])
-				}
-			}
+			difftest.AssertEqual(t, wantName, want, v.name, got)
 		})
 	}
 }

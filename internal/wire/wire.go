@@ -1,0 +1,889 @@
+// Package wire is the network protocol of the GDPR service layer: a
+// length-prefixed binary framing with one message type per §3.3 query
+// (CREATE-RECORD through VERIFY-DELETION) plus the Hello handshake that
+// binds a connection to a GDPR role. Record payloads reuse the
+// benchmark's §4.2.1 wire format (gdpr.Encode/Decode), so a record's
+// bytes on the network are exactly its bytes in the Redis-model store.
+//
+// Framing: every frame is
+//
+//	[4-byte big-endian length N] [1-byte opcode] [N-1 payload bytes]
+//
+// with 1 <= N <= MaxFrameSize. Payload fields use a canonical codec —
+// minimal-length varints, length-prefixed strings, one-byte booleans and
+// time-presence flags — so decode(encode(m)) == m and encode(decode(b))
+// == b hold for every accepted frame (the FuzzWireRoundTrip property).
+// Requests carry the acting GDPR entity; responses carry either the
+// §3.3 result shape or a structured error that reconstructs the
+// server-side error value (access denials stay typed across the wire,
+// which the benchmark runner depends on).
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/acl"
+	"repro/internal/audit"
+	"repro/internal/gdpr"
+)
+
+const (
+	// ProtocolVersion is negotiated in the Hello handshake.
+	ProtocolVersion = 1
+	// MaxFrameSize bounds one frame's opcode + payload; oversized frames
+	// are rejected before any payload allocation.
+	MaxFrameSize = 16 << 20
+)
+
+// Op identifies a frame's message type.
+type Op byte
+
+// Frame opcodes: requests first, then responses.
+const (
+	opInvalid Op = iota
+	OpHello
+	OpCreateRecord
+	OpCreateBatch
+	OpReadData
+	OpReadMetadata
+	OpUpdateData
+	OpUpdateMetadata
+	OpDeleteRecord
+	OpGetLogs
+	OpGetFeatures
+	OpVerifyDeletion
+	OpSpaceUsage
+	OpHelloOK
+	OpAck
+	OpRecords
+	OpCount
+	OpLogEntries
+	OpFeatures
+	OpSpace
+	OpError
+	opEnd // sentinel: one past the last valid opcode
+)
+
+func (o Op) String() string {
+	names := [...]string{
+		"invalid", "hello", "create-record", "create-batch", "read-data",
+		"read-metadata", "update-data", "update-metadata", "delete-record",
+		"get-logs", "get-features", "verify-deletion", "space-usage",
+		"hello-ok", "ack", "records", "count", "log-entries", "features",
+		"space", "error",
+	}
+	if int(o) < len(names) {
+		return names[o]
+	}
+	return fmt.Sprintf("Op(%d)", byte(o))
+}
+
+// FrameError reports a malformed, truncated or oversized frame.
+type FrameError struct{ Reason string }
+
+func (e *FrameError) Error() string { return "wire: " + e.Reason }
+
+// Message is one protocol frame's decoded form.
+type Message interface {
+	// Op returns the frame opcode.
+	Op() Op
+	encode(w *writer)
+	decode(r *reader)
+}
+
+// newMessage returns a zero message for op, or nil for unknown opcodes.
+func newMessage(op Op) Message {
+	switch op {
+	case OpHello:
+		return &Hello{}
+	case OpCreateRecord:
+		return &CreateRecord{}
+	case OpCreateBatch:
+		return &CreateBatch{}
+	case OpReadData:
+		return &ReadData{}
+	case OpReadMetadata:
+		return &ReadMetadata{}
+	case OpUpdateData:
+		return &UpdateData{}
+	case OpUpdateMetadata:
+		return &UpdateMetadata{}
+	case OpDeleteRecord:
+		return &DeleteRecord{}
+	case OpGetLogs:
+		return &GetLogs{}
+	case OpGetFeatures:
+		return &GetFeatures{}
+	case OpVerifyDeletion:
+		return &VerifyDeletion{}
+	case OpSpaceUsage:
+		return &SpaceUsage{}
+	case OpHelloOK:
+		return &HelloOK{}
+	case OpAck:
+		return &Ack{}
+	case OpRecords:
+		return &Records{}
+	case OpCount:
+		return &Count{}
+	case OpLogEntries:
+		return &LogEntries{}
+	case OpFeatures:
+		return &Features{}
+	case OpSpace:
+		return &Space{}
+	case OpError:
+		return &ErrorResp{}
+	default:
+		return nil
+	}
+}
+
+// Encode renders m as one complete frame.
+func Encode(m Message) []byte {
+	w := &writer{buf: make([]byte, 5, 64)}
+	w.buf[4] = byte(m.Op())
+	m.encode(w)
+	binary.BigEndian.PutUint32(w.buf[:4], uint32(len(w.buf)-4))
+	return w.buf
+}
+
+// WriteMessage frames and writes m. A message that encodes beyond
+// MaxFrameSize is rejected with a *FrameError before any byte is
+// written, so the connection stays usable — the peer would drop the
+// whole session on an oversized frame, turning one bad request into a
+// failure of every in-flight operation.
+func WriteMessage(out io.Writer, m Message) error {
+	buf := Encode(m)
+	if len(buf)-4 > MaxFrameSize {
+		return &FrameError{fmt.Sprintf("%v frame of %d bytes exceeds the %d-byte limit", m.Op(), len(buf)-4, MaxFrameSize)}
+	}
+	_, err := out.Write(buf)
+	return err
+}
+
+// ReadMessage reads and decodes one frame. Truncated frames surface as
+// io.EOF / io.ErrUnexpectedEOF; malformed or oversized ones as a
+// *FrameError.
+func ReadMessage(in io.Reader) (Message, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(in, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n == 0 {
+		return nil, &FrameError{"empty frame"}
+	}
+	if n > MaxFrameSize {
+		return nil, &FrameError{fmt.Sprintf("frame of %d bytes exceeds the %d-byte limit", n, MaxFrameSize)}
+	}
+	buf := make([]byte, n)
+	if _, err := io.ReadFull(in, buf); err != nil {
+		if errors.Is(err, io.EOF) {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	m := newMessage(Op(buf[0]))
+	if m == nil {
+		return nil, &FrameError{fmt.Sprintf("unknown opcode %d", buf[0])}
+	}
+	r := &reader{buf: buf[1:]}
+	m.decode(r)
+	if r.err != nil {
+		return nil, fmt.Errorf("wire: decode %v: %w", m.Op(), r.err)
+	}
+	if r.off != len(r.buf) {
+		return nil, &FrameError{fmt.Sprintf("%v frame has %d trailing bytes", m.Op(), len(r.buf)-r.off)}
+	}
+	return m, nil
+}
+
+// ---------------------------------------------------------------------------
+// Canonical payload codec
+
+type writer struct{ buf []byte }
+
+func (w *writer) uvarint(v uint64) { w.buf = binary.AppendUvarint(w.buf, v) }
+func (w *writer) varint(v int64)   { w.buf = binary.AppendVarint(w.buf, v) }
+func (w *writer) byteVal(b byte)   { w.buf = append(w.buf, b) }
+
+func (w *writer) boolVal(v bool) {
+	if v {
+		w.byteVal(1)
+	} else {
+		w.byteVal(0)
+	}
+}
+
+func (w *writer) str(s string) {
+	w.uvarint(uint64(len(s)))
+	w.buf = append(w.buf, s...)
+}
+
+func (w *writer) strs(ss []string) {
+	w.uvarint(uint64(len(ss)))
+	for _, s := range ss {
+		w.str(s)
+	}
+}
+
+// timeVal encodes t as a presence flag plus unix seconds and
+// nanoseconds — not UnixNano, which silently wraps outside
+// ~[1678, 2262] and would corrupt far-future "keep forever" expiries
+// (legal in the gdpr record codec, which stores unix seconds). The zero
+// time (meaning "unset" throughout the benchmark) survives the trip.
+func (w *writer) timeVal(t time.Time) {
+	if t.IsZero() {
+		w.byteVal(0)
+		return
+	}
+	w.byteVal(1)
+	w.varint(t.Unix())
+	w.uvarint(uint64(t.Nanosecond()))
+}
+
+type reader struct {
+	buf []byte
+	off int
+	err error
+}
+
+func (r *reader) fail(reason string) {
+	if r.err == nil {
+		r.err = &FrameError{reason}
+	}
+}
+
+func (r *reader) remaining() int { return len(r.buf) - r.off }
+
+// uvarint reads a minimal-length unsigned varint; overlong encodings are
+// rejected so the codec stays canonical (encode(decode(b)) == b).
+func (r *reader) uvarint() uint64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Uvarint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("bad uvarint")
+		return 0
+	}
+	var min [binary.MaxVarintLen64]byte
+	if binary.PutUvarint(min[:], v) != n {
+		r.fail("non-minimal uvarint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) varint() int64 {
+	if r.err != nil {
+		return 0
+	}
+	v, n := binary.Varint(r.buf[r.off:])
+	if n <= 0 {
+		r.fail("bad varint")
+		return 0
+	}
+	var min [binary.MaxVarintLen64]byte
+	if binary.PutVarint(min[:], v) != n {
+		r.fail("non-minimal varint")
+		return 0
+	}
+	r.off += n
+	return v
+}
+
+func (r *reader) byteVal() byte {
+	if r.err != nil {
+		return 0
+	}
+	if r.remaining() < 1 {
+		r.fail("truncated byte")
+		return 0
+	}
+	b := r.buf[r.off]
+	r.off++
+	return b
+}
+
+func (r *reader) boolVal() bool {
+	b := r.byteVal()
+	if r.err == nil && b > 1 {
+		r.fail("bad bool")
+	}
+	return b == 1
+}
+
+func (r *reader) str() string {
+	n := r.uvarint()
+	if r.err != nil {
+		return ""
+	}
+	if n > uint64(r.remaining()) {
+		r.fail("string length exceeds frame")
+		return ""
+	}
+	s := string(r.buf[r.off : r.off+int(n)])
+	r.off += int(n)
+	return s
+}
+
+func (r *reader) strsVal() []string {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil
+	}
+	// Every element costs at least one length byte, so a count beyond the
+	// remaining payload is malformed — reject before allocating.
+	if n > uint64(r.remaining()) {
+		r.fail("list length exceeds frame")
+		return nil
+	}
+	if n == 0 {
+		return nil
+	}
+	// Cap the pre-allocation: the count is attacker-controlled and each
+	// slice header costs 16 bytes, so trusting it would let a small
+	// frame demand a large allocation before the first element fails to
+	// decode. append amortizes the growth for honest frames.
+	out := make([]string, 0, minU64(n, 1024))
+	for i := uint64(0); i < n; i++ {
+		out = append(out, r.str())
+	}
+	return out
+}
+
+func minU64(a, b uint64) uint64 {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func (r *reader) timeVal() time.Time {
+	switch r.byteVal() {
+	case 0:
+		return time.Time{}
+	case 1:
+		sec := r.varint()
+		nsec := r.uvarint()
+		if r.err != nil {
+			return time.Time{}
+		}
+		if nsec >= 1_000_000_000 {
+			r.fail("time nanoseconds out of range")
+			return time.Time{}
+		}
+		t := time.Unix(sec, int64(nsec)).UTC()
+		if t.IsZero() {
+			// The instant that equals Go's zero time must use flag 0, or
+			// re-encoding would not reproduce the input bytes.
+			r.fail("non-canonical zero time")
+			return time.Time{}
+		}
+		return t
+	default:
+		r.fail("bad time flag")
+		return time.Time{}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Shared sub-codecs
+
+func encodeActor(w *writer, a acl.Actor) {
+	w.byteVal(byte(a.Role))
+	w.str(a.ID)
+	w.str(a.Purpose)
+}
+
+func decodeActor(r *reader) acl.Actor {
+	return acl.Actor{Role: acl.Role(r.byteVal()), ID: r.str(), Purpose: r.str()}
+}
+
+func encodeSelector(w *writer, sel gdpr.Selector) {
+	w.str(string(sel.Attr))
+	w.str(sel.Value)
+	w.boolVal(sel.Negate)
+	w.timeVal(sel.AsOf)
+}
+
+func decodeSelector(r *reader) gdpr.Selector {
+	return gdpr.Selector{
+		Attr:   gdpr.Attribute(r.str()),
+		Value:  r.str(),
+		Negate: r.boolVal(),
+		AsOf:   r.timeVal(),
+	}
+}
+
+func encodeDelta(w *writer, d gdpr.Delta) {
+	w.str(string(d.Attr))
+	w.byteVal(byte(d.Op))
+	w.strs(d.Values)
+	w.timeVal(d.Expiry)
+}
+
+func decodeDelta(r *reader) gdpr.Delta {
+	return gdpr.Delta{
+		Attr:   gdpr.Attribute(r.str()),
+		Op:     gdpr.DeltaOp(r.byteVal()),
+		Values: r.strsVal(),
+		Expiry: r.timeVal(),
+	}
+}
+
+func encodeEntry(w *writer, e audit.Entry) {
+	w.uvarint(e.Seq)
+	w.timeVal(e.Time)
+	w.str(e.Actor)
+	w.str(e.Op)
+	w.str(e.Target)
+	w.boolVal(e.OK)
+	w.str(e.Note)
+}
+
+func decodeEntry(r *reader) audit.Entry {
+	return audit.Entry{
+		Seq:    r.uvarint(),
+		Time:   r.timeVal(),
+		Actor:  r.str(),
+		Op:     r.str(),
+		Target: r.str(),
+		OK:     r.boolVal(),
+		Note:   r.str(),
+	}
+}
+
+// EncodeRecords renders records in the §4.2.1 wire format for transport.
+func EncodeRecords(recs []gdpr.Record) []string {
+	out := make([]string, len(recs))
+	for i, rec := range recs {
+		out[i] = gdpr.Encode(rec)
+	}
+	return out
+}
+
+// DecodeRecords parses transported §4.2.1 record payloads.
+func DecodeRecords(encs []string) ([]gdpr.Record, error) {
+	out := make([]gdpr.Record, len(encs))
+	for i, enc := range encs {
+		rec, err := gdpr.Decode(enc)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = rec
+	}
+	return out, nil
+}
+
+// ---------------------------------------------------------------------------
+// Requests
+
+// Hello opens a connection: the protocol version, the GDPR role every
+// subsequent request on this connection acts as (the session binding),
+// and the shared authentication token.
+type Hello struct {
+	Version uint64
+	Role    acl.Role
+	Token   string
+}
+
+func (*Hello) Op() Op { return OpHello }
+func (m *Hello) encode(w *writer) {
+	w.uvarint(m.Version)
+	w.byteVal(byte(m.Role))
+	w.str(m.Token)
+}
+func (m *Hello) decode(r *reader) {
+	m.Version = r.uvarint()
+	m.Role = acl.Role(r.byteVal())
+	m.Token = r.str()
+}
+
+// CreateRecord is the CREATE-RECORD request; Rec is a §4.2.1 payload.
+type CreateRecord struct {
+	Actor acl.Actor
+	Rec   string
+}
+
+func (*CreateRecord) Op() Op { return OpCreateRecord }
+func (m *CreateRecord) encode(w *writer) {
+	encodeActor(w, m.Actor)
+	w.str(m.Rec)
+}
+func (m *CreateRecord) decode(r *reader) {
+	m.Actor = decodeActor(r)
+	m.Rec = r.str()
+}
+
+// CreateBatch is the bulk CREATE-RECORD request: one frame, one
+// durability wait server-side when the engine batches.
+type CreateBatch struct {
+	Actor acl.Actor
+	Recs  []string
+}
+
+func (*CreateBatch) Op() Op { return OpCreateBatch }
+func (m *CreateBatch) encode(w *writer) {
+	encodeActor(w, m.Actor)
+	w.strs(m.Recs)
+}
+func (m *CreateBatch) decode(r *reader) {
+	m.Actor = decodeActor(r)
+	m.Recs = r.strsVal()
+}
+
+// ReadData is the READ-DATA-BY-{KEY|PUR|USR|OBJ|DEC} request.
+type ReadData struct {
+	Actor acl.Actor
+	Sel   gdpr.Selector
+}
+
+func (*ReadData) Op() Op { return OpReadData }
+func (m *ReadData) encode(w *writer) {
+	encodeActor(w, m.Actor)
+	encodeSelector(w, m.Sel)
+}
+func (m *ReadData) decode(r *reader) {
+	m.Actor = decodeActor(r)
+	m.Sel = decodeSelector(r)
+}
+
+// ReadMetadata is the READ-METADATA-BY-{KEY|USR|SHR} request.
+type ReadMetadata struct {
+	Actor acl.Actor
+	Sel   gdpr.Selector
+}
+
+func (*ReadMetadata) Op() Op { return OpReadMetadata }
+func (m *ReadMetadata) encode(w *writer) {
+	encodeActor(w, m.Actor)
+	encodeSelector(w, m.Sel)
+}
+func (m *ReadMetadata) decode(r *reader) {
+	m.Actor = decodeActor(r)
+	m.Sel = decodeSelector(r)
+}
+
+// UpdateData is the UPDATE-DATA-BY-KEY request.
+type UpdateData struct {
+	Actor     acl.Actor
+	Key, Data string
+}
+
+func (*UpdateData) Op() Op { return OpUpdateData }
+func (m *UpdateData) encode(w *writer) {
+	encodeActor(w, m.Actor)
+	w.str(m.Key)
+	w.str(m.Data)
+}
+func (m *UpdateData) decode(r *reader) {
+	m.Actor = decodeActor(r)
+	m.Key = r.str()
+	m.Data = r.str()
+}
+
+// UpdateMetadata is the UPDATE-METADATA-BY-{KEY|PUR|USR|SHR} request.
+type UpdateMetadata struct {
+	Actor acl.Actor
+	Sel   gdpr.Selector
+	Delta gdpr.Delta
+}
+
+func (*UpdateMetadata) Op() Op { return OpUpdateMetadata }
+func (m *UpdateMetadata) encode(w *writer) {
+	encodeActor(w, m.Actor)
+	encodeSelector(w, m.Sel)
+	encodeDelta(w, m.Delta)
+}
+func (m *UpdateMetadata) decode(r *reader) {
+	m.Actor = decodeActor(r)
+	m.Sel = decodeSelector(r)
+	m.Delta = decodeDelta(r)
+}
+
+// DeleteRecord is the DELETE-RECORD-BY-{KEY|PUR|TTL|USR} request.
+type DeleteRecord struct {
+	Actor acl.Actor
+	Sel   gdpr.Selector
+}
+
+func (*DeleteRecord) Op() Op { return OpDeleteRecord }
+func (m *DeleteRecord) encode(w *writer) {
+	encodeActor(w, m.Actor)
+	encodeSelector(w, m.Sel)
+}
+func (m *DeleteRecord) decode(r *reader) {
+	m.Actor = decodeActor(r)
+	m.Sel = decodeSelector(r)
+}
+
+// GetLogs is the GET-SYSTEM-LOGS request.
+type GetLogs struct {
+	Actor    acl.Actor
+	From, To time.Time
+}
+
+func (*GetLogs) Op() Op { return OpGetLogs }
+func (m *GetLogs) encode(w *writer) {
+	encodeActor(w, m.Actor)
+	w.timeVal(m.From)
+	w.timeVal(m.To)
+}
+func (m *GetLogs) decode(r *reader) {
+	m.Actor = decodeActor(r)
+	m.From = r.timeVal()
+	m.To = r.timeVal()
+}
+
+// GetFeatures is the GET-SYSTEM-FEATURES request.
+type GetFeatures struct{ Actor acl.Actor }
+
+func (*GetFeatures) Op() Op             { return OpGetFeatures }
+func (m *GetFeatures) encode(w *writer) { encodeActor(w, m.Actor) }
+func (m *GetFeatures) decode(r *reader) { m.Actor = decodeActor(r) }
+
+// VerifyDeletion asks how many of the given keys still exist.
+type VerifyDeletion struct {
+	Actor acl.Actor
+	Keys  []string
+}
+
+func (*VerifyDeletion) Op() Op { return OpVerifyDeletion }
+func (m *VerifyDeletion) encode(w *writer) {
+	encodeActor(w, m.Actor)
+	w.strs(m.Keys)
+}
+func (m *VerifyDeletion) decode(r *reader) {
+	m.Actor = decodeActor(r)
+	m.Keys = r.strsVal()
+}
+
+// SpaceUsage asks for the §4.2.3 space-overhead inputs.
+type SpaceUsage struct{}
+
+func (*SpaceUsage) Op() Op           { return OpSpaceUsage }
+func (m *SpaceUsage) encode(*writer) {}
+func (m *SpaceUsage) decode(*reader) {}
+
+// ---------------------------------------------------------------------------
+// Responses
+
+// HelloOK accepts a handshake.
+type HelloOK struct{ Version uint64 }
+
+func (*HelloOK) Op() Op             { return OpHelloOK }
+func (m *HelloOK) encode(w *writer) { w.uvarint(m.Version) }
+func (m *HelloOK) decode(r *reader) { m.Version = r.uvarint() }
+
+// Ack acknowledges a create request.
+type Ack struct{}
+
+func (*Ack) Op() Op           { return OpAck }
+func (m *Ack) encode(*writer) {}
+func (m *Ack) decode(*reader) {}
+
+// Records carries selector results as §4.2.1 payloads, engine order
+// preserved.
+type Records struct{ Recs []string }
+
+func (*Records) Op() Op             { return OpRecords }
+func (m *Records) encode(w *writer) { w.strs(m.Recs) }
+func (m *Records) decode(r *reader) { m.Recs = r.strsVal() }
+
+// Count carries a mutation or verification count.
+type Count struct{ N int64 }
+
+func (*Count) Op() Op             { return OpCount }
+func (m *Count) encode(w *writer) { w.varint(m.N) }
+func (m *Count) decode(r *reader) { m.N = r.varint() }
+
+// LogEntries carries GET-SYSTEM-LOGS results.
+type LogEntries struct{ Entries []audit.Entry }
+
+func (*LogEntries) Op() Op { return OpLogEntries }
+func (m *LogEntries) encode(w *writer) {
+	w.uvarint(uint64(len(m.Entries)))
+	for _, e := range m.Entries {
+		encodeEntry(w, e)
+	}
+}
+func (m *LogEntries) decode(r *reader) {
+	n := r.uvarint()
+	if r.err != nil {
+		return
+	}
+	// A minimal entry (seq + time flag + three empty strings + ok +
+	// empty note) encodes to 7 bytes; reject impossible counts before
+	// touching memory, and cap the pre-allocation regardless — each
+	// audit.Entry costs ~100 bytes, so an attacker-controlled count
+	// must not size the slice.
+	const minEntrySize = 7
+	if n > uint64(r.remaining())/minEntrySize {
+		r.fail("entry count exceeds frame")
+		return
+	}
+	if n == 0 {
+		return
+	}
+	m.Entries = make([]audit.Entry, 0, minU64(n, 1024))
+	for i := uint64(0); i < n; i++ {
+		m.Entries = append(m.Entries, decodeEntry(r))
+	}
+}
+
+// Features carries GET-SYSTEM-FEATURES results as sorted key/value
+// pairs (sorted so the encoding of a features map is canonical).
+type Features struct{ Keys, Vals []string }
+
+func (*Features) Op() Op { return OpFeatures }
+func (m *Features) encode(w *writer) {
+	w.strs(m.Keys)
+	w.strs(m.Vals)
+}
+func (m *Features) decode(r *reader) {
+	m.Keys = r.strsVal()
+	m.Vals = r.strsVal()
+	if r.err == nil && len(m.Keys) != len(m.Vals) {
+		r.fail("features key/value count mismatch")
+	}
+}
+
+// FeaturesFromMap renders a features map with sorted keys.
+func FeaturesFromMap(f map[string]string) *Features {
+	keys := make([]string, 0, len(f))
+	for k := range f {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	vals := make([]string, len(keys))
+	for i, k := range keys {
+		vals[i] = f[k]
+	}
+	return &Features{Keys: keys, Vals: vals}
+}
+
+// Map rebuilds the features map.
+func (m *Features) Map() map[string]string {
+	out := make(map[string]string, len(m.Keys))
+	for i, k := range m.Keys {
+		out[k] = m.Vals[i]
+	}
+	return out
+}
+
+// Space carries the §4.2.3 space-overhead inputs.
+type Space struct{ Personal, Total int64 }
+
+func (*Space) Op() Op { return OpSpace }
+func (m *Space) encode(w *writer) {
+	w.varint(m.Personal)
+	w.varint(m.Total)
+}
+func (m *Space) decode(r *reader) {
+	m.Personal = r.varint()
+	m.Total = r.varint()
+}
+
+// ---------------------------------------------------------------------------
+// Errors
+
+// Error kinds: the classes a client must be able to reconstruct as
+// typed error values.
+const (
+	// ErrGeneric is an opaque server-side error (engine failures).
+	ErrGeneric byte = iota
+	// ErrDenied is an access-control denial (*acl.DeniedError); the
+	// benchmark runner treats these as valid outcomes, so the type must
+	// survive the wire.
+	ErrDenied
+	// ErrValidation is a record-grammar violation (*gdpr.ValidationError).
+	ErrValidation
+	// ErrFeatureDisabled marks core.ErrFeatureDisabled; the server sets
+	// it (wire cannot import core) and the client restores the sentinel.
+	ErrFeatureDisabled
+)
+
+// ErrorResp carries a structured server-side error.
+type ErrorResp struct {
+	Kind    byte
+	Role    acl.Role
+	Verb    byte
+	ID      string
+	Purpose string
+	Key     string
+	Reason  string
+	Msg     string
+}
+
+func (*ErrorResp) Op() Op { return OpError }
+func (m *ErrorResp) encode(w *writer) {
+	w.byteVal(m.Kind)
+	w.byteVal(byte(m.Role))
+	w.byteVal(m.Verb)
+	w.str(m.ID)
+	w.str(m.Purpose)
+	w.str(m.Key)
+	w.str(m.Reason)
+	w.str(m.Msg)
+}
+func (m *ErrorResp) decode(r *reader) {
+	m.Kind = r.byteVal()
+	m.Role = acl.Role(r.byteVal())
+	m.Verb = r.byteVal()
+	m.ID = r.str()
+	m.Purpose = r.str()
+	m.Key = r.str()
+	m.Reason = r.str()
+	m.Msg = r.str()
+}
+
+// ErrorFrom classifies err into a wire error. Callers layering extra
+// sentinel classes (core.ErrFeatureDisabled) adjust Kind afterwards.
+func ErrorFrom(err error) *ErrorResp {
+	var denied *acl.DeniedError
+	if errors.As(err, &denied) {
+		return &ErrorResp{
+			Kind:    ErrDenied,
+			Role:    denied.Actor.Role,
+			Verb:    byte(denied.Verb),
+			ID:      denied.Actor.ID,
+			Purpose: denied.Actor.Purpose,
+			Key:     denied.Key,
+			Reason:  denied.Reason,
+		}
+	}
+	var invalid *gdpr.ValidationError
+	if errors.As(err, &invalid) {
+		return &ErrorResp{Kind: ErrValidation, Key: invalid.Key, Reason: invalid.Reason}
+	}
+	return &ErrorResp{Kind: ErrGeneric, Msg: err.Error()}
+}
+
+// Err reconstructs the error value the server classified. ErrDenied and
+// ErrValidation come back as their concrete types so errors.As works
+// across the service boundary; ErrFeatureDisabled is restored by the
+// remote client (which can name the core sentinel).
+func (m *ErrorResp) Err() error {
+	switch m.Kind {
+	case ErrDenied:
+		return &acl.DeniedError{
+			Actor:  acl.Actor{Role: m.Role, ID: m.ID, Purpose: m.Purpose},
+			Verb:   acl.Verb(m.Verb),
+			Key:    m.Key,
+			Reason: m.Reason,
+		}
+	case ErrValidation:
+		return &gdpr.ValidationError{Key: m.Key, Reason: m.Reason}
+	default:
+		return errors.New(m.Msg)
+	}
+}

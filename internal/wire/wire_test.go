@@ -1,0 +1,262 @@
+package wire
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+	"time"
+
+	"repro/internal/acl"
+	"repro/internal/audit"
+	"repro/internal/gdpr"
+)
+
+// sampleMessages returns one representative instance of every frame
+// type, covering zero times, negated selectors, empty and multi-valued
+// lists.
+func sampleMessages() []Message {
+	controller := acl.Actor{Role: acl.Controller, ID: "controller-1"}
+	processor := acl.Actor{Role: acl.Processor, ID: "processor-1", Purpose: "ads"}
+	rec := gdpr.Record{
+		Key:  "ph-1x4b",
+		Data: "123-456-7890",
+		Meta: gdpr.Metadata{
+			Purposes:   []string{"ads", "2fa"},
+			Expiry:     time.Unix(1_552_867_200, 0).UTC(),
+			User:       "neo",
+			SharedWith: []string{"courier-co"},
+			Source:     "first-party",
+		},
+	}
+	return []Message{
+		&Hello{Version: ProtocolVersion, Role: acl.Customer, Token: "secret"},
+		&CreateRecord{Actor: controller, Rec: gdpr.Encode(rec)},
+		&CreateBatch{Actor: controller, Recs: []string{gdpr.Encode(rec), gdpr.Encode(rec)}},
+		&ReadData{Actor: processor, Sel: gdpr.ByPurpose("ads")},
+		&ReadData{Actor: processor, Sel: gdpr.ByNotObjecting("ads")},
+		&ReadMetadata{Actor: acl.Actor{Role: acl.Regulator, ID: "dpa-1"}, Sel: gdpr.ByShare("courier-co")},
+		&UpdateData{Actor: acl.Actor{Role: acl.Customer, ID: "neo"}, Key: "ph-1x4b", Data: "555-000-1111"},
+		&UpdateMetadata{
+			Actor: controller,
+			Sel:   gdpr.ByUser("neo"),
+			Delta: gdpr.Delta{Attr: gdpr.AttrSharing, Op: gdpr.DeltaAdd, Values: []string{"shr01"}},
+		},
+		&UpdateMetadata{
+			Actor: controller,
+			Sel:   gdpr.ByPurpose("ads"),
+			Delta: gdpr.Delta{Attr: gdpr.AttrTTL, Op: gdpr.DeltaSet, Expiry: time.Unix(1_600_000_000, 0).UTC()},
+		},
+		&UpdateMetadata{
+			Actor: controller,
+			Sel:   gdpr.ByPurpose("ads"),
+			// A "keep forever" horizon far outside UnixNano's int64 range:
+			// the time codec must not wrap it into the past.
+			Delta: gdpr.Delta{Attr: gdpr.AttrTTL, Op: gdpr.DeltaSet,
+				Expiry: time.Date(9999, 1, 1, 0, 0, 0, 0, time.UTC)},
+		},
+		&DeleteRecord{Actor: controller, Sel: gdpr.ByExpiredAt(time.Unix(1_500_000_000, 0).UTC())},
+		&GetLogs{Actor: acl.Actor{Role: acl.Regulator, ID: "dpa-1"},
+			From: time.Unix(100, 0).UTC(), To: time.Unix(200, 0).UTC()},
+		&GetLogs{Actor: acl.Actor{Role: acl.Regulator, ID: "dpa-1"}},
+		&GetFeatures{Actor: acl.Actor{Role: acl.Regulator, ID: "dpa-1"}},
+		&VerifyDeletion{Actor: acl.Actor{Role: acl.Regulator, ID: "dpa-1"}, Keys: []string{"r0000001", "never-existed"}},
+		&VerifyDeletion{Actor: acl.Actor{Role: acl.Regulator, ID: "dpa-1"}},
+		&SpaceUsage{},
+		&HelloOK{Version: ProtocolVersion},
+		&Ack{},
+		&Records{Recs: []string{gdpr.Encode(rec)}},
+		&Records{},
+		&Count{N: -3},
+		&Count{N: 42},
+		&LogEntries{Entries: []audit.Entry{
+			{Seq: 7, Time: time.Unix(123, 456).UTC(), Actor: "customer:neo", Op: "READ-DATA", Target: "KEY=ph-1x4b", OK: true, Note: "n=1"},
+			{Seq: 8, Time: time.Unix(124, 0).UTC(), Actor: "controller:c1", Op: "DELETE-RECORD", Target: "USR=neo", OK: false, Note: "boom"},
+		}},
+		&LogEntries{},
+		FeaturesFromMap(map[string]string{"compliance": "acl+strict", "aof": "everysec"}),
+		&Features{},
+		&Space{Personal: 1000, Total: 5200},
+		&ErrorResp{Kind: ErrDenied, Role: acl.Processor, Verb: byte(acl.VerbReadData),
+			ID: "processor-1", Purpose: "ads", Key: "ph-1x4b", Reason: "owner objected"},
+		&ErrorResp{Kind: ErrValidation, Key: "bad-rec", Reason: "strict mode requires a TTL (G 5(1e))"},
+		&ErrorResp{Kind: ErrGeneric, Msg: "engine exploded"},
+		&ErrorResp{Kind: ErrFeatureDisabled, Msg: "logging"},
+	}
+}
+
+// TestWireRoundTrip pins decode(encode(x)) == x (via canonical bytes)
+// for every frame type.
+func TestWireRoundTrip(t *testing.T) {
+	for _, m := range sampleMessages() {
+		enc := Encode(m)
+		got, err := ReadMessage(bytes.NewReader(enc))
+		if err != nil {
+			t.Fatalf("%v: decode: %v", m.Op(), err)
+		}
+		if got.Op() != m.Op() {
+			t.Fatalf("%v: decoded as %v", m.Op(), got.Op())
+		}
+		re := Encode(got)
+		if !bytes.Equal(enc, re) {
+			t.Fatalf("%v: re-encode differs:\n  %x\n  %x", m.Op(), enc, re)
+		}
+	}
+}
+
+// TestWireRecordsSurviveTheTrip pins the §4.2.1 payload reuse: a record
+// decoded from a Records frame equals the record that was encoded.
+func TestWireRecordsSurviveTheTrip(t *testing.T) {
+	rec := gdpr.MustDecode("ph-1x4b;123-456-7890;PUR=ads,2fa;TTL=1552867200;USR=neo;OBJ=;DEC=;SHR=;SRC=first-party;")
+	enc := Encode(&Records{Recs: EncodeRecords([]gdpr.Record{rec})})
+	got, err := ReadMessage(bytes.NewReader(enc))
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := DecodeRecords(got.(*Records).Recs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 1 || gdpr.Encode(recs[0]) != gdpr.Encode(rec) {
+		t.Fatalf("record changed across the wire: %v", recs)
+	}
+}
+
+// TestTruncatedFramesRejected cuts a valid frame at every length and
+// requires a clean error (no panic, no partial message).
+func TestTruncatedFramesRejected(t *testing.T) {
+	m := &ReadData{Actor: acl.Actor{Role: acl.Customer, ID: "neo"}, Sel: gdpr.ByUser("neo")}
+	enc := Encode(m)
+	for cut := 0; cut < len(enc); cut++ {
+		if _, err := ReadMessage(bytes.NewReader(enc[:cut])); err == nil {
+			t.Fatalf("truncation at %d/%d accepted", cut, len(enc))
+		}
+	}
+	// A frame whose payload lies about an inner length is rejected too.
+	bad := append([]byte(nil), enc...)
+	bad[6] = 0xff // the actor-ID length varint now claims far more bytes than the frame holds
+	if _, err := ReadMessage(bytes.NewReader(bad)); err == nil {
+		t.Fatal("corrupt inner length accepted")
+	}
+}
+
+// TestOversizedFrameRejected requires header-level rejection before any
+// payload allocation.
+func TestOversizedFrameRejected(t *testing.T) {
+	hdr := []byte{0xff, 0xff, 0xff, 0xff}
+	_, err := ReadMessage(bytes.NewReader(hdr))
+	var fe *FrameError
+	if !errors.As(err, &fe) {
+		t.Fatalf("oversized frame: got %v, want *FrameError", err)
+	}
+}
+
+func TestEmptyAndUnknownFramesRejected(t *testing.T) {
+	if _, err := ReadMessage(bytes.NewReader([]byte{0, 0, 0, 0})); err == nil {
+		t.Fatal("empty frame accepted")
+	}
+	if _, err := ReadMessage(bytes.NewReader([]byte{0, 0, 0, 1, 0xee})); err == nil {
+		t.Fatal("unknown opcode accepted")
+	}
+	// Trailing payload bytes beyond the message body are rejected.
+	if _, err := ReadMessage(bytes.NewReader([]byte{0, 0, 0, 3, byte(OpAck), 1, 2})); err == nil {
+		t.Fatal("trailing bytes accepted")
+	}
+}
+
+// TestErrorRoundTripKeepsTypes pins that denials and validation errors
+// reconstruct as their concrete types (the runner's errors.As contract).
+func TestErrorRoundTripKeepsTypes(t *testing.T) {
+	denied := &acl.DeniedError{
+		Actor:  acl.Actor{Role: acl.Processor, ID: "p1", Purpose: "ads"},
+		Verb:   acl.VerbReadData,
+		Key:    "r0000001",
+		Reason: "owner objected",
+	}
+	resp := ErrorFrom(denied)
+	back := resp.Err()
+	var d2 *acl.DeniedError
+	if !errors.As(back, &d2) {
+		t.Fatalf("denial lost its type: %T", back)
+	}
+	if d2.Error() != denied.Error() {
+		t.Fatalf("denial text changed: %q vs %q", d2.Error(), denied.Error())
+	}
+
+	invalid := &gdpr.ValidationError{Key: "k", Reason: "strict mode requires a TTL (G 5(1e))"}
+	var v2 *gdpr.ValidationError
+	if !errors.As(ErrorFrom(invalid).Err(), &v2) || v2.Error() != invalid.Error() {
+		t.Fatalf("validation error lost across the wire")
+	}
+
+	if ErrorFrom(errors.New("boom")).Err().Error() != "boom" {
+		t.Fatal("generic error text changed")
+	}
+}
+
+// FuzzWireRoundTrip feeds arbitrary bytes through ReadMessage; every
+// accepted frame must re-encode to exactly the bytes consumed (the
+// codec is canonical), and no input may panic or over-read.
+func FuzzWireRoundTrip(f *testing.F) {
+	for _, m := range sampleMessages() {
+		f.Add(Encode(m))
+	}
+	f.Add([]byte{})
+	f.Add([]byte{0, 0, 0, 0})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1, 2, 3})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		r := bytes.NewReader(data)
+		m, err := ReadMessage(r)
+		if err != nil {
+			return
+		}
+		consumed := len(data) - r.Len()
+		re := Encode(m)
+		if !bytes.Equal(re, data[:consumed]) {
+			t.Fatalf("decode/encode not canonical:\n in  %x\n out %x", data[:consumed], re)
+		}
+		// Decoding the canonical form again must succeed and agree.
+		m2, err := ReadMessage(bytes.NewReader(re))
+		if err != nil {
+			t.Fatalf("re-decode failed: %v", err)
+		}
+		if !bytes.Equal(Encode(m2), re) {
+			t.Fatal("second round trip diverged")
+		}
+	})
+}
+
+// TestFarFutureTimesSurviveTheTrip pins the time codec against UnixNano
+// wraparound: a year-9999 TTL delta must decode to the same instant (a
+// wrapped encoding would land in the past and silently expire records
+// server-side).
+func TestFarFutureTimesSurviveTheTrip(t *testing.T) {
+	horizon := time.Date(9999, 1, 1, 0, 0, 0, 0, time.UTC)
+	m := &UpdateMetadata{
+		Actor: acl.Actor{Role: acl.Controller, ID: "c1"},
+		Sel:   gdpr.ByKey("k"),
+		Delta: gdpr.Delta{Attr: gdpr.AttrTTL, Op: gdpr.DeltaSet, Expiry: horizon},
+	}
+	got, err := ReadMessage(bytes.NewReader(Encode(m)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	back := got.(*UpdateMetadata).Delta.Expiry
+	if !back.Equal(horizon) {
+		t.Fatalf("expiry changed across the wire: %v -> %v", horizon, back)
+	}
+	if back.Before(time.Unix(4_000_000_000, 0)) {
+		t.Fatalf("far-future expiry wrapped into the near term: %v", back)
+	}
+}
+
+// TestReadMessageEOF distinguishes a clean EOF (no bytes) from a
+// truncated frame.
+func TestReadMessageEOF(t *testing.T) {
+	if _, err := ReadMessage(bytes.NewReader(nil)); !errors.Is(err, io.EOF) {
+		t.Fatalf("want io.EOF, got %v", err)
+	}
+	if _, err := ReadMessage(bytes.NewReader([]byte{0, 0})); !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("want ErrUnexpectedEOF, got %v", err)
+	}
+}
