@@ -205,6 +205,126 @@ func BenchmarkFig9ShardScale(b *testing.B) {
 	}
 }
 
+// BenchmarkFig12AuditPipeline regenerates the F12 audit-pipeline
+// ablation and reports each engine's sync-over-async recovery factor.
+func BenchmarkFig12AuditPipeline(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := RunExperiment("F12", ScaleSmall)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, row := range res.Rows {
+			v, err := strconv.ParseFloat(strings.TrimSuffix(row[5], "x"), 64)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(v, row[0]+"-sync/async-x")
+		}
+		if i == 0 {
+			b.Logf("\n%s", res)
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Audit pipeline: sync vs batched vs async appends on the §3.3 hot path
+
+// benchAuditOps loads one engine model with logging in its strict
+// durable configuration (audit fsync per commit) and hammers it with
+// the audited customer point-op shape — 3 reads to 1 rectification —
+// from the given number of client threads. ops/s is reported so the
+// three pipeline legs compare directly: the gap to `sync` is the
+// serialized encode+write+fsync cost the pipeline removes from the
+// callers' critical path.
+func benchAuditOps(b *testing.B, engine string, policy AuditPolicy, threads int) {
+	b.Helper()
+	comp := core.Compliance{AccessControl: true, Strict: true, Logging: true}
+	var db DB
+	var err error
+	switch engine {
+	case "redis":
+		db, err = OpenRedis(RedisConfig{
+			Dir: b.TempDir(), Compliance: comp, DisableBackgroundExpiry: true,
+			AuditPolicy: policy, AuditSyncAlways: true,
+		})
+	case "postgres":
+		db, err = OpenPostgres(PostgresConfig{
+			Dir: b.TempDir(), Compliance: comp, DisableTTLDaemon: true,
+			AuditPolicy: policy, AuditSyncAlways: true,
+		})
+	default:
+		b.Fatalf("unknown engine %q", engine)
+	}
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	cfg := core.Config{Records: 2_000, Threads: 8, Seed: 1}.WithDefaults()
+	ds, _, err := core.Load(db, cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	actors := make([]Actor, cfg.Records)
+	sels := make([]Selector, cfg.Records)
+	for i := 0; i < cfg.Records; i++ {
+		actors[i] = CustomerActor(ds.UserAt(i))
+		sels[i] = ByKey(ds.KeyAt(i))
+	}
+
+	b.ResetTimer()
+	start := time.Now()
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < threads; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1) - 1)
+				if i >= b.N {
+					return
+				}
+				k := (i * 31) % cfg.Records
+				if i%4 == 3 {
+					if _, err := db.UpdateData(actors[k], ds.KeyAt(k), "rectified!!"); err != nil {
+						b.Error(err)
+						return
+					}
+					continue
+				}
+				if _, err := db.ReadData(actors[k], sels[k]); err != nil {
+					b.Error(err)
+					return
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "ops/s")
+}
+
+// BenchmarkAuditPipeline sweeps the audit append pipeline (sync vs
+// batched vs async) × engine model × client threads on the audited
+// point-op shape, with the trail in its strict durable configuration.
+// `sync` is the old audit.Log profile: every operation encodes, writes
+// and fsyncs inside its own critical section, serializing all threads
+// behind one lock. `batched` keeps the durable wait but group-commits —
+// concurrent committers share one fsync. `async` removes the wait;
+// backpressure is the only blocking. The acceptance bar is batched and
+// async beating sync on ops/s at >= 4 threads (DESIGN.md §4 records
+// reference numbers).
+func BenchmarkAuditPipeline(b *testing.B) {
+	for _, engine := range []string{"redis", "postgres"} {
+		for _, policy := range []AuditPolicy{AuditSync, AuditBatched, AuditAsync} {
+			for _, threads := range []int{1, 4, 8} {
+				b.Run(fmt.Sprintf("%s/%s/threads=%d", engine, policy, threads), func(b *testing.B) {
+					benchAuditOps(b, engine, policy, threads)
+				})
+			}
+		}
+	}
+}
+
 // ---------------------------------------------------------------------------
 // Sharding: attribute-scan throughput vs shard count
 
@@ -218,7 +338,7 @@ func BenchmarkFig9ShardScale(b *testing.B) {
 func benchShardedScan(b *testing.B, engine string, shards, threads int) {
 	b.Helper()
 	comp := core.Compliance{AccessControl: true, Strict: true}
-	db, err := OpenSharded(engine, shards, "", comp, nil, true)
+	db, err := OpenSharded(engine, shards, "", comp, nil, true, AuditSync)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -296,7 +416,7 @@ func BenchmarkSharding(b *testing.B) {
 func benchNetworkPointReads(b *testing.B, engine string, overTCP bool, threads int) {
 	b.Helper()
 	comp := core.Compliance{AccessControl: true, Strict: true}
-	host, err := OpenEngine(engine, 1, "", comp, nil, true)
+	host, err := OpenEngine(engine, 1, "", comp, nil, true, AuditSync)
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -391,7 +511,7 @@ func BenchmarkNetworkOverhead(b *testing.B) {
 func benchMetadataReads(b *testing.B, engine string, records int, indexed bool) {
 	b.Helper()
 	comp := core.Compliance{AccessControl: true, Strict: true, MetadataIndexing: indexed}
-	db, err := OpenEngine(engine, 1, "", comp, nil, true)
+	db, err := OpenEngine(engine, 1, "", comp, nil, true, AuditSync)
 	if err != nil {
 		b.Fatal(err)
 	}

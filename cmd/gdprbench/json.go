@@ -24,6 +24,20 @@ type jsonReport struct {
 	Load       jsonLoad       `json:"load"`
 	Workloads  []jsonWorkload `json:"workloads"`
 	Space      jsonSpace      `json:"space"`
+	Audit      *jsonAudit     `json:"audit,omitempty"`
+}
+
+// jsonAudit is the audit pipeline's accounting for the run. For remote
+// runs the counters live server-side, so only the policy the server
+// announced at handshake is recorded.
+type jsonAudit struct {
+	Policy        string `json:"policy"`
+	Entries       int64  `json:"entries,omitempty"`
+	Bytes         int64  `json:"bytes,omitempty"`
+	Batches       int64  `json:"batches,omitempty"`
+	Flushes       int64  `json:"flushes,omitempty"`
+	MaxQueueDepth int64  `json:"max_queue_depth,omitempty"`
+	Segments      int64  `json:"segments,omitempty"`
 }
 
 type jsonLoad struct {
@@ -55,7 +69,34 @@ type jsonSpace struct {
 	Factor        float64 `json:"factor"`
 }
 
-func writeJSONReport(path string, opts options, label string, loadRun *stats.Run, report core.Report, runs map[gdprbench.WorkloadName]*stats.Run) error {
+// auditBlock derives the report's audit block from the DB under test:
+// full pipeline counters for an embedded middleware, the announced
+// policy alone for a remote client, nil when logging is off.
+func auditBlock(db gdprbench.DB, opts options) *jsonAudit {
+	if st, ok := db.(gdprbench.AuditStatser); ok {
+		s, on := st.AuditStats()
+		if !on {
+			return nil
+		}
+		return &jsonAudit{
+			Policy:        opts.auditPolicy.String(),
+			Entries:       s.Appended,
+			Bytes:         s.Bytes,
+			Batches:       s.Batches,
+			Flushes:       s.Flushes,
+			MaxQueueDepth: s.MaxQueueDepth,
+			Segments:      s.Segments,
+		}
+	}
+	if rc, ok := db.(interface{ ServerAuditPolicy() string }); ok {
+		if p := rc.ServerAuditPolicy(); p != "" {
+			return &jsonAudit{Policy: p}
+		}
+	}
+	return nil
+}
+
+func writeJSONReport(path string, opts options, label string, db gdprbench.DB, loadRun *stats.Run, report core.Report, runs map[gdprbench.WorkloadName]*stats.Run) error {
 	out := jsonReport{
 		Engine:     label,
 		Records:    opts.records,
@@ -63,6 +104,7 @@ func writeJSONReport(path string, opts options, label string, loadRun *stats.Run
 		Threads:    opts.threads,
 		Shards:     opts.shards,
 		Connect:    opts.connect,
+		Audit:      auditBlock(db, opts),
 		Load: jsonLoad{
 			CompletionMS: float64(loadRun.WallTime().Microseconds()) / 1e3,
 			OpsPerSec:    loadRun.Throughput(),

@@ -38,24 +38,25 @@ import (
 )
 
 type options struct {
-	engine    string
-	records   int
-	ops       int
-	threads   int
-	dataSize  int
-	shards    int
-	seed      int64
-	dir       string
-	workloads string
-	secondary *gdprbench.Dist
-	indexed   bool
-	baseline  bool
-	validate  bool
-	serve     string
-	frozen    bool
-	connect   string
-	token     string
-	jsonPath  string
+	engine      string
+	records     int
+	ops         int
+	threads     int
+	dataSize    int
+	shards      int
+	seed        int64
+	dir         string
+	workloads   string
+	secondary   *gdprbench.Dist
+	indexed     bool
+	baseline    bool
+	validate    bool
+	serve       string
+	frozen      bool
+	connect     string
+	token       string
+	jsonPath    string
+	auditPolicy gdprbench.AuditPolicy
 }
 
 // engineFlags are meaningless with -connect (the server owns the
@@ -64,6 +65,7 @@ type options struct {
 // instead of silently dropping misplaced flags.
 var engineFlags = map[string]bool{
 	"engine": true, "shards": true, "index": true, "baseline": true, "dir": true,
+	"auditpolicy": true,
 }
 
 var benchFlags = map[string]bool{
@@ -91,10 +93,16 @@ func main() {
 		connect   = flag.String("connect", "", "run the benchmark against a gdprserver at this TCP address instead of an embedded engine")
 		token     = flag.String("token", "", "auth token for -serve / -connect")
 		jsonPath  = flag.String("json", "", "write machine-readable results (per-workload completion, ops/s, per-op p50/p95/p99) to this file")
+		auditPol  = flag.String("auditpolicy", gdprbench.DefaultAuditPolicy.String(), "audit append pipeline: sync (inline, the legacy baseline) | batched (group-committed, callers wait) | async (fire-and-forget, bounded-queue backpressure)")
 	)
 	flag.Parse()
 
 	secondaryDist, err := parseDist(*secondary)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "gdprbench:", err)
+		os.Exit(1)
+	}
+	policy, err := gdprbench.ParseAuditPolicy(*auditPol)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "gdprbench:", err)
 		os.Exit(1)
@@ -105,6 +113,7 @@ func main() {
 		workloads: *workloads, secondary: secondaryDist,
 		indexed: *indexed, baseline: *baseline, validate: *validate,
 		serve: *serve, frozen: *frozen, connect: *connect, token: *token, jsonPath: *jsonPath,
+		auditPolicy: policy,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "gdprbench:", err)
@@ -170,7 +179,7 @@ func run(opts options) error {
 	if opts.serve != "" {
 		// The one serve bootstrap shared with cmd/gdprserver (temp-dir
 		// handling, frozen clock, drain on SIGINT/SIGTERM).
-		return gdprbench.ServeEngine(opts.serve, opts.engine, opts.shards, opts.dir, opts.token, comp, opts.frozen)
+		return gdprbench.ServeEngine(opts.serve, opts.engine, opts.shards, opts.dir, opts.token, comp, opts.frozen, opts.auditPolicy)
 	}
 	if opts.dir == "" {
 		var err error
@@ -209,7 +218,7 @@ func openBench(opts options, comp gdprbench.Compliance, clk clock.Clock, disable
 		})
 		return db, "remote(" + opts.connect + ")", err
 	}
-	db, err := open(opts.engine, opts.shards, opts.dir, comp, clk, disableDaemons)
+	db, err := open(opts, comp, clk, disableDaemons)
 	label := opts.engine
 	if opts.shards > 1 {
 		label = fmt.Sprintf("%s x%d shards", opts.engine, opts.shards)
@@ -246,7 +255,9 @@ func runValidate(opts options, comp gdprbench.Compliance, cfg gdprbench.Config, 
 			if err != nil {
 				return err
 			}
-			db, err = open(opts.engine, opts.shards, sub, comp, sim, true)
+			subOpts := opts
+			subOpts.dir = sub
+			db, err = open(subOpts, comp, sim, true)
 		}
 		if err != nil {
 			return err
@@ -324,7 +335,7 @@ func runTimed(opts options, comp gdprbench.Compliance, cfg gdprbench.Config, nam
 	fmt.Print(report)
 
 	if opts.jsonPath != "" {
-		if err := writeJSONReport(opts.jsonPath, opts, label, loadRun, report, runs); err != nil {
+		if err := writeJSONReport(opts.jsonPath, opts, label, db, loadRun, report, runs); err != nil {
 			return fmt.Errorf("-json: %w", err)
 		}
 		fmt.Printf("wrote %s\n", opts.jsonPath)
@@ -344,6 +355,6 @@ func runTimed(opts options, comp gdprbench.Compliance, cfg gdprbench.Config, nam
 
 // open builds a client: the plain stubs for one shard, the scatter-gather
 // router behind the same middleware for several.
-func open(engine string, shards int, dir string, comp gdprbench.Compliance, clk clock.Clock, disableDaemons bool) (gdprbench.DB, error) {
-	return gdprbench.OpenEngine(engine, shards, dir, comp, clk, disableDaemons)
+func open(opts options, comp gdprbench.Compliance, clk clock.Clock, disableDaemons bool) (gdprbench.DB, error) {
+	return gdprbench.OpenEngine(opts.engine, opts.shards, opts.dir, comp, clk, disableDaemons, opts.auditPolicy)
 }

@@ -37,20 +37,25 @@ func main() {
 		baseline    = flag.Bool("baseline", false, "disable all compliance features (no-security baseline)")
 		token       = flag.String("token", "", "shared auth token clients must present")
 		frozenclock = flag.Bool("frozenclock", false, "run engines on a simulated clock frozen at the epoch with expiry daemons off (required for gdprbench -connect -validate)")
+		auditPol    = flag.String("auditpolicy", gdprbench.DefaultAuditPolicy.String(), "audit append pipeline: sync (inline, the legacy baseline) | batched (group-committed, callers wait) | async (fire-and-forget, bounded-queue backpressure)")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *engine, *shards, *dir, *token, *indexed, *baseline, *frozenclock); err != nil {
+	if err := run(*addr, *engine, *shards, *dir, *token, *auditPol, *indexed, *baseline, *frozenclock); err != nil {
 		fmt.Fprintln(os.Stderr, "gdprserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, engine string, shards int, dir, token string, indexed, baseline, frozenclock bool) error {
+func run(addr, engine string, shards int, dir, token, auditPol string, indexed, baseline, frozenclock bool) error {
+	policy, err := gdprbench.ParseAuditPolicy(auditPol)
+	if err != nil {
+		return err
+	}
 	comp := gdprbench.FullCompliance()
 	if baseline {
 		comp = gdprbench.NoCompliance()
 	}
 	comp.MetadataIndexing = indexed
-	return gdprbench.ServeEngine(addr, engine, shards, dir, token, comp, frozenclock)
+	return gdprbench.ServeEngine(addr, engine, shards, dir, token, comp, frozenclock, policy)
 }

@@ -124,6 +124,39 @@ const (
 	ScalePaper = experiments.Paper
 )
 
+// AuditPolicy selects the audit append pipeline: inline (sync),
+// group-committed with caller wait (batched), or fire-and-forget with
+// bounded-queue backpressure (async). See DESIGN.md §1e.
+type AuditPolicy = audit.Pipeline
+
+// The audit pipeline spectrum (the -auditpolicy flag values).
+const (
+	AuditSync    = audit.PipeSync
+	AuditBatched = audit.PipeBatched
+	AuditAsync   = audit.PipeAsync
+)
+
+// ParseAuditPolicy maps a -auditpolicy flag value to an AuditPolicy.
+func ParseAuditPolicy(s string) (AuditPolicy, error) { return audit.ParsePipeline(s) }
+
+// DefaultAuditPolicy is the pipeline the CLIs run unless told otherwise:
+// group-committed appends with caller wait — the synchronous guarantee
+// at amortized cost. `-auditpolicy sync` restores the legacy inline
+// baseline; `-auditpolicy async` removes the wait entirely.
+const DefaultAuditPolicy = AuditBatched
+
+// AuditStats carries the audit pipeline's counters (gdprbench -json's
+// audit block). Any DB wrapped by the compliance middleware exposes it
+// through AuditStatser.
+type AuditStats = audit.Stats
+
+// AuditStatser is implemented by DBs that can report their audit
+// pipeline counters (every embedded middleware-wrapped DB; remote
+// clients cannot, since the trail lives server-side).
+type AuditStatser interface {
+	AuditStats() (AuditStats, bool)
+}
+
 // FullCompliance returns the fully-compliant configuration of §6.2.
 func FullCompliance() Compliance { return core.Full() }
 
@@ -155,25 +188,28 @@ func OpenShardedPostgres(shards int, cfg PostgresConfig) (DB, error) {
 }
 
 // OpenSharded dispatches on the engine model name ("redis" | "postgres").
-func OpenSharded(engine string, shards int, dir string, comp Compliance, clk clock.Clock, disableDaemons bool) (DB, error) {
-	return shard.Open(engine, shards, dir, comp, clk, disableDaemons)
+func OpenSharded(engine string, shards int, dir string, comp Compliance, clk clock.Clock, disableDaemons bool, policy AuditPolicy) (DB, error) {
+	return shard.Open(engine, shards, dir, comp, clk, disableDaemons, policy)
 }
 
 // OpenEngine is the one engine-selection switch shared by the CLIs:
 // the plain client stubs for one shard, the scatter-gather router
-// behind the same compliance middleware for several.
-func OpenEngine(engine string, shards int, dir string, comp Compliance, clk clock.Clock, disableDaemons bool) (DB, error) {
+// behind the same compliance middleware for several. policy selects the
+// audit append pipeline (DefaultAuditPolicy for the CLIs' default).
+func OpenEngine(engine string, shards int, dir string, comp Compliance, clk clock.Clock, disableDaemons bool, policy AuditPolicy) (DB, error) {
 	if shards > 1 {
-		return OpenSharded(engine, shards, dir, comp, clk, disableDaemons)
+		return OpenSharded(engine, shards, dir, comp, clk, disableDaemons, policy)
 	}
 	switch engine {
 	case "redis":
 		return OpenRedis(RedisConfig{
 			Dir: dir, Compliance: comp, Clock: clk, DisableBackgroundExpiry: disableDaemons,
+			AuditPolicy: policy,
 		})
 	case "postgres":
 		return OpenPostgres(PostgresConfig{
 			Dir: dir, Compliance: comp, Clock: clk, DisableTTLDaemon: disableDaemons,
+			AuditPolicy: policy,
 		})
 	default:
 		return nil, fmt.Errorf("gdprbench: unknown engine %q", engine)
@@ -212,7 +248,7 @@ func NewServer(db DB, cfg ServerConfig) *Server { return server.New(db, cfg) }
 // temp directory removed on exit. It is the one serve bootstrap shared
 // by cmd/gdprserver and gdprbench -serve, so the two binaries cannot
 // drift.
-func ServeEngine(addr, engine string, shards int, dir, token string, comp Compliance, frozen bool) error {
+func ServeEngine(addr, engine string, shards int, dir, token string, comp Compliance, frozen bool, policy AuditPolicy) error {
 	if shards < 1 {
 		return fmt.Errorf("gdprbench: shard count %d < 1", shards)
 	}
@@ -228,17 +264,17 @@ func ServeEngine(addr, engine string, shards int, dir, token string, comp Compli
 	if frozen {
 		clk = clock.NewSim(time.Time{})
 	}
-	db, err := OpenEngine(engine, shards, dir, comp, clk, frozen)
+	db, err := OpenEngine(engine, shards, dir, comp, clk, frozen, policy)
 	if err != nil {
 		return err
 	}
 	defer db.Close()
-	srv := NewServer(db, ServerConfig{Token: token})
+	srv := NewServer(db, ServerConfig{Token: token, AuditPolicy: policy.String()})
 	bound, err := srv.Start(addr)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("serving engine=%s shards=%d compliance=%s on %s\n", engine, shards, comp, bound)
+	fmt.Printf("serving engine=%s shards=%d compliance=%s auditpolicy=%s on %s\n", engine, shards, comp, policy, bound)
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig

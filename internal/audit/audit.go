@@ -1,7 +1,7 @@
 // Package audit implements the monitoring-and-logging action of Table 1
 // (G 30 records of processing, G 33 breach notification): an append-only,
 // timestamped trail of every data- and control-path operation, queryable
-// by time range (the GET-SYSTEM-LOGS query).
+// by time range (the GET-SYSTEM-LOGS query) and by actor.
 //
 // It plays two roles from §5 of the paper: the Redis retrofit piggybacks
 // on the AOF "updated to log all interactions including reads and scans",
@@ -9,18 +9,20 @@
 // "to record query responses". Both reduce to the same mechanism: one log
 // entry per operation, persisted with a configurable sync policy
 // (always / everysec / none — Redis' appendfsync spectrum).
+//
+// The trail is a two-stage pipeline (see pipeline.go): callers stage
+// entries through a sequencer plus lock-striped buffers, and a dedicated
+// writer goroutine batch-encodes and group-commits them into time-bounded
+// on-disk segments (segment.go). Queries answer from disk + memory, so
+// GET-SYSTEM-LOGS results are independent of the in-memory tail's
+// eviction cap and survive restarts.
 package audit
 
 import (
 	"fmt"
-	"sort"
 	"strconv"
 	"strings"
-	"sync"
 	"time"
-
-	"repro/internal/clock"
-	"repro/internal/securefs"
 )
 
 // Policy controls how aggressively entries reach stable storage.
@@ -34,7 +36,10 @@ const (
 	// configuration: "not synchronously in real-time, but in batches
 	// synchronized once every second").
 	SyncEverySec
-	// SyncAlways syncs after every entry (strict interpretation).
+	// SyncAlways syncs after every write (strict interpretation). Under
+	// the batched pipeline the committer waits for a group fsync covering
+	// its entry; under the async pipeline the writer still fsyncs every
+	// batch, but callers do not wait.
 	SyncAlways
 )
 
@@ -48,6 +53,51 @@ func (p Policy) String() string {
 		return "always"
 	default:
 		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// Pipeline selects how an entry travels from Append to the trail.
+type Pipeline int
+
+// Pipeline modes — the ablation spectrum the audit benchmarks sweep.
+const (
+	// PipeSync encodes and writes inline in the caller, serialized behind
+	// one lock (the legacy hot-path profile; the ablation baseline).
+	PipeSync Pipeline = iota
+	// PipeBatched stages the entry and waits until the writer goroutine
+	// has batch-written it (and, under SyncAlways, group-fsynced it) —
+	// durability semantics preserved, cost amortized across committers.
+	PipeBatched
+	// PipeAsync stages the entry and returns immediately; the only
+	// blocking is backpressure when the bounded staging queue is full.
+	// The loss window on a crash is at most one unflushed batch.
+	PipeAsync
+)
+
+func (p Pipeline) String() string {
+	switch p {
+	case PipeSync:
+		return "sync"
+	case PipeBatched:
+		return "batched"
+	case PipeAsync:
+		return "async"
+	default:
+		return fmt.Sprintf("Pipeline(%d)", int(p))
+	}
+}
+
+// ParsePipeline maps a -auditpolicy flag value to a Pipeline.
+func ParsePipeline(s string) (Pipeline, error) {
+	switch s {
+	case "sync":
+		return PipeSync, nil
+	case "batched":
+		return PipeBatched, nil
+	case "async":
+		return PipeAsync, nil
+	default:
+		return 0, fmt.Errorf("audit: unknown pipeline %q (want sync, batched or async)", s)
 	}
 }
 
@@ -71,7 +121,8 @@ type Entry struct {
 }
 
 // encode renders an entry as one tab-separated line. Tabs and newlines in
-// fields are escaped so the format is unambiguous.
+// fields are escaped so the format is unambiguous (and so batch frames
+// can join entries with newlines).
 func (e Entry) encode() []byte {
 	esc := func(s string) string {
 		s = strings.ReplaceAll(s, "\\", `\\`)
@@ -140,193 +191,19 @@ func decodeEntry(line []byte) (Entry, error) {
 	}, nil
 }
 
-// Config configures a Log.
-type Config struct {
-	// Path is the backing file; empty means memory-only.
-	Path string
-	// Key enables at-rest encryption of the backing file.
-	Key []byte
-	// Policy is the sync policy for the backing file.
-	Policy Policy
-	// Clock supplies timestamps; defaults to the real clock.
-	Clock clock.Clock
-	// MemoryCap bounds the in-memory tail kept for range queries; older
-	// entries are evicted from memory (they remain on disk). 0 means a
-	// default of 1<<20 entries.
-	MemoryCap int
-}
-
-// Log is an append-only audit trail. It is safe for concurrent use.
-type Log struct {
-	mu       sync.Mutex
-	entries  []Entry // in-memory tail, ordered by Seq (and Time)
-	nextSeq  uint64
-	total    int64
-	bytes    int64
-	file     *securefs.File
-	policy   Policy
-	clk      clock.Clock
-	lastSync time.Time
-	memCap   int
-	closed   bool
-}
-
-// Open creates a Log per cfg.
-func Open(cfg Config) (*Log, error) {
-	l := &Log{policy: cfg.Policy, clk: cfg.Clock, memCap: cfg.MemoryCap}
-	if l.clk == nil {
-		l.clk = clock.NewReal()
-	}
-	if l.memCap <= 0 {
-		l.memCap = 1 << 20
-	}
-	if cfg.Path != "" {
-		// A small write buffer pushes entries to the OS every few dozen
-		// appends, like a statement-logging pipeline; fsync stays on the
-		// configured policy.
-		f, err := securefs.Append(cfg.Path, securefs.Options{Key: cfg.Key, BufferSize: 1 << 10})
-		if err != nil {
-			return nil, err
-		}
-		l.file = f
-	}
-	l.lastSync = l.clk.Now()
-	return l, nil
-}
-
-// Append records one entry, assigning its sequence number and timestamp.
-// It returns the stored entry.
-func (l *Log) Append(e Entry) (Entry, error) {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.closed {
-		return Entry{}, fmt.Errorf("audit: append to closed log")
-	}
-	l.nextSeq++
-	e.Seq = l.nextSeq
-	e.Time = l.clk.Now()
-	l.entries = append(l.entries, e)
-	if len(l.entries) > l.memCap {
-		// Evict the oldest half to amortize copying.
-		keep := l.memCap / 2
-		l.entries = append(l.entries[:0:0], l.entries[len(l.entries)-keep:]...)
-	}
-	l.total++
-	line := e.encode()
-	l.bytes += int64(len(line))
-	if l.file != nil {
-		if err := l.file.AppendFrame(line); err != nil {
-			return e, err
-		}
-		switch l.policy {
-		case SyncAlways:
-			if err := l.file.Sync(); err != nil {
-				return e, err
-			}
-			l.lastSync = e.Time
-		case SyncEverySec:
-			if e.Time.Sub(l.lastSync) >= time.Second {
-				if err := l.file.Sync(); err != nil {
-					return e, err
-				}
-				l.lastSync = e.Time
-			}
-		}
-	}
-	return e, nil
-}
-
-// Range returns the in-memory entries with from <= Time <= to, in order.
-// This backs GET-SYSTEM-LOGS (G 33, 34: regulators investigate logs "based
-// on time ranges"). Entries are time-ordered, so the start is found by
-// binary search.
-func (l *Log) Range(from, to time.Time) []Entry {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	lo := sort.Search(len(l.entries), func(i int) bool {
-		return !l.entries[i].Time.Before(from)
-	})
-	var out []Entry
-	for _, e := range l.entries[lo:] {
-		if e.Time.After(to) {
-			break
-		}
-		out = append(out, e)
-	}
-	return out
-}
-
-// Tail returns up to n most recent entries, oldest first.
-func (l *Log) Tail(n int) []Entry {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if n > len(l.entries) {
-		n = len(l.entries)
-	}
-	return append([]Entry(nil), l.entries[len(l.entries)-n:]...)
-}
-
-// ByActor returns in-memory entries whose Actor matches.
-func (l *Log) ByActor(actor string) []Entry {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	var out []Entry
-	for _, e := range l.entries {
-		if e.Actor == actor {
-			out = append(out, e)
-		}
-	}
-	return out
-}
-
-// Total reports how many entries were ever appended.
-func (l *Log) Total() int64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.total
-}
-
-// Bytes reports total encoded bytes appended; feeds the space-overhead
-// metric.
-func (l *Log) Bytes() int64 {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	return l.bytes
-}
-
-// Sync forces buffered entries to stable storage.
-func (l *Log) Sync() error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.file == nil {
-		return nil
-	}
-	l.lastSync = l.clk.Now()
-	return l.file.Sync()
-}
-
-// Close flushes and closes the backing file. Close is idempotent.
-func (l *Log) Close() error {
-	l.mu.Lock()
-	defer l.mu.Unlock()
-	if l.closed {
-		return nil
-	}
-	l.closed = true
-	if l.file == nil {
-		return nil
-	}
-	return l.file.Close()
-}
-
-// Replay reads all entries from a backing file (surviving process
-// restarts — the on-disk trail is the compliance artifact).
-func Replay(path string, key []byte, fn func(Entry) error) error {
-	return securefs.Replay(path, securefs.Options{Key: key}, func(p []byte) error {
-		e, err := decodeEntry(p)
-		if err != nil {
-			return err
-		}
-		return fn(e)
-	})
+// Stats are the pipeline's counters, surfaced by gdprbench -json.
+type Stats struct {
+	// Appended counts entries accepted into the trail.
+	Appended int64
+	// Bytes counts encoded entry bytes (framing excluded).
+	Bytes int64
+	// Batches counts write batches issued (== Appended under PipeSync).
+	Batches int64
+	// Flushes counts fsyncs issued.
+	Flushes int64
+	// MaxQueueDepth is the staging queue's high-water mark (pipeline
+	// modes; 0 under PipeSync).
+	MaxQueueDepth int64
+	// Segments counts on-disk segments, the active one included.
+	Segments int64
 }

@@ -189,12 +189,18 @@ func redactData(recs []gdpr.Record) []gdpr.Record {
 	return out
 }
 
-// auditOp appends an operation entry when logging is enabled.
+// auditOp submits an operation entry when logging is enabled. Under the
+// batched/async audit pipelines this stages the entry and returns
+// without encoding or touching disk in the caller — the hot path no
+// longer serializes every engine, shard and connection behind one
+// encode+write lock. Ordering is still exact: the entry's sequence and
+// timestamp are assigned here, and GET-SYSTEM-LOGS barriers on the
+// pipeline before answering.
 func auditOp(log *audit.Log, a acl.Actor, op, target string, ok bool, note string) {
 	if log == nil {
 		return
 	}
-	_, _ = log.Append(audit.Entry{Actor: a.String(), Op: op, Target: target, OK: ok, Note: note})
+	log.Submit(audit.Entry{Actor: a.String(), Op: op, Target: target, OK: ok, Note: note})
 }
 
 func countNote(n int) string { return fmt.Sprintf("n=%d", n) }

@@ -32,21 +32,43 @@ type WrapConfig struct {
 	// middleware and every shard's statement logger. When nil, the
 	// middleware opens AuditPath itself.
 	Audit *audit.Log
-	// AuditPath is the audit-trail file, used when Audit is nil. Required
-	// when Logging is enabled.
+	// AuditPath is the audit-trail base path, used when Audit is nil.
+	// Required when Logging is enabled.
 	AuditPath string
 	// AuditKey encrypts the audit trail at rest (nil = plaintext).
 	AuditKey []byte
+	// AuditPolicy selects the audit append pipeline (sync | batched |
+	// async) when the middleware opens AuditPath itself.
+	AuditPolicy audit.Pipeline
+	// AuditSyncAlways makes the audit trail fsync per group commit (the
+	// strict interpretation) instead of the paper's everysec batching.
+	AuditSyncAlways bool
+	// AuditMemoryCap bounds the audit log's in-memory tail (0 = its
+	// default); queries stay correct past it via the segment store.
+	AuditMemoryCap int
 	// TransitKey derives the in-transit record layer; required when
 	// EncryptInTransit is enabled.
 	TransitKey []byte
 }
 
-// OpenAudit opens an audit log with the benchmark's conventions (everysec
-// sync, optional at-rest encryption). Sharded openers use it to create the
-// single log all shards and the middleware share.
-func OpenAudit(path string, key []byte, clk clock.Clock) (*audit.Log, error) {
-	return audit.Open(audit.Config{Path: path, Policy: audit.SyncEverySec, Clock: clk, Key: key})
+// OpenAudit opens the audit trail described by a WrapConfig (sync policy
+// per the paper's conventions — everysec unless AuditSyncAlways — with
+// the configured pipeline and optional at-rest encryption). Sharded
+// openers use it to create the single log all shards and the middleware
+// share.
+func OpenAudit(wc WrapConfig, clk clock.Clock) (*audit.Log, error) {
+	policy := audit.SyncEverySec
+	if wc.AuditSyncAlways {
+		policy = audit.SyncAlways
+	}
+	return audit.Open(audit.Config{
+		Path:      wc.AuditPath,
+		Key:       wc.AuditKey,
+		Policy:    policy,
+		Pipeline:  wc.AuditPolicy,
+		Clock:     clk,
+		MemoryCap: wc.AuditMemoryCap,
+	})
 }
 
 // Wrap layers the compliance middleware over an Engine, returning the
@@ -82,7 +104,7 @@ func newMiddleware(e Engine, cfg WrapConfig) (*middleware, error) {
 		if cfg.AuditPath == "" {
 			return nil, fmt.Errorf("core: logging requires an audit path")
 		}
-		log, err := OpenAudit(cfg.AuditPath, cfg.AuditKey, clk)
+		log, err := OpenAudit(cfg, clk)
 		if err != nil {
 			return nil, err
 		}
@@ -351,7 +373,10 @@ func (m *middleware) DeleteRecord(a acl.Actor, sel gdpr.Selector) (int, error) {
 	return n, err
 }
 
-// GetSystemLogs implements DB.
+// GetSystemLogs implements DB. Range barriers on the audit pipeline and
+// merges the segment store with the memory tail, so the answer covers
+// every completed operation regardless of the pipeline mode, the
+// in-memory eviction cap, or restarts.
 func (m *middleware) GetSystemLogs(a acl.Actor, from, to time.Time) ([]audit.Entry, error) {
 	if err := checkSystemACL(m.comp.AccessControl, a, acl.VerbReadLogs); err != nil {
 		return nil, err
@@ -359,7 +384,10 @@ func (m *middleware) GetSystemLogs(a acl.Actor, from, to time.Time) ([]audit.Ent
 	if m.log == nil {
 		return nil, fmt.Errorf("%w: logging", ErrFeatureDisabled)
 	}
-	entries := m.log.Range(from, to)
+	entries, err := m.log.Range(from, to)
+	if err != nil {
+		return nil, err
+	}
 	auditOp(m.log, a, "GET-SYSTEM-LOGS", fmt.Sprintf("%d..%d", from.Unix(), to.Unix()), true, countNote(len(entries)))
 	return entries, nil
 }
@@ -372,7 +400,21 @@ func (m *middleware) GetSystemFeatures(a acl.Actor) (map[string]string, error) {
 	f := m.eng.Features()
 	f["compliance"] = m.comp.String()
 	f["encrypt_in_transit"] = fmt.Sprintf("%v", m.pipe != nil)
+	if m.log != nil {
+		f["audit_policy"] = m.log.Pipeline().String()
+		f["audit_sync"] = m.log.SyncPolicy().String()
+	}
 	return f, nil
+}
+
+// AuditStats reports the audit pipeline's counters (entries, bytes,
+// batches, flushes, queue high-water mark, segments). The second result
+// is false when logging is off. gdprbench -json surfaces it.
+func (m *middleware) AuditStats() (audit.Stats, bool) {
+	if m.log == nil {
+		return audit.Stats{}, false
+	}
+	return m.log.Stats(), true
 }
 
 // VerifyDeletion implements DB.

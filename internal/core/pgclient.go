@@ -132,6 +132,12 @@ type PostgresConfig struct {
 	// group commit (synchronous_commit=on). Default is the paper's
 	// batched once-per-second flushing (=off/local).
 	SynchronousCommit bool
+	// AuditPolicy selects the audit append pipeline (sync | batched |
+	// async); zero value is the legacy inline sync path.
+	AuditPolicy audit.Pipeline
+	// AuditSyncAlways makes the audit trail fsync per group commit
+	// instead of everysec (the strict durable-audit configuration).
+	AuditSyncAlways bool
 	// GlobalLock serializes the engine behind one mutex (the seed's
 	// original contention profile); ablation baseline for benchmarks.
 	GlobalLock bool
@@ -145,7 +151,12 @@ func (cfg PostgresConfig) WrapConfig() WrapConfig {
 	if pass == "" {
 		pass = "gdprbench-postgres"
 	}
-	wc := WrapConfig{Compliance: cfg.Compliance, Clock: cfg.Clock}
+	wc := WrapConfig{
+		Compliance:      cfg.Compliance,
+		Clock:           cfg.Clock,
+		AuditPolicy:     cfg.AuditPolicy,
+		AuditSyncAlways: cfg.AuditSyncAlways,
+	}
 	if cfg.Compliance.Logging && cfg.Dir != "" {
 		wc.AuditPath = filepath.Join(cfg.Dir, "postgres-csvlog")
 		if cfg.Compliance.EncryptAtRest {
@@ -169,7 +180,7 @@ func OpenPostgres(cfg PostgresConfig) (*PostgresClient, error) {
 		if cfg.Dir == "" {
 			return nil, fmt.Errorf("core: postgres logging requires a directory")
 		}
-		log, err := OpenAudit(wc.AuditPath, wc.AuditKey, clk)
+		log, err := OpenAudit(wc, clk)
 		if err != nil {
 			return nil, err
 		}

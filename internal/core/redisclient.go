@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/clock"
 	"repro/internal/gdpr"
 	"repro/internal/index"
@@ -51,6 +52,12 @@ type RedisConfig struct {
 	// DisableBackgroundExpiry leaves the expiry loop to the caller
 	// (simulated-clock harnesses drive CycleOnce directly).
 	DisableBackgroundExpiry bool
+	// AuditPolicy selects the audit append pipeline (sync | batched |
+	// async); zero value is the legacy inline sync path.
+	AuditPolicy audit.Pipeline
+	// AuditSyncAlways makes the audit trail fsync per group commit
+	// instead of everysec (the strict durable-audit configuration).
+	AuditSyncAlways bool
 }
 
 // WrapConfig derives the middleware configuration from the Redis-model
@@ -62,7 +69,12 @@ func (cfg RedisConfig) WrapConfig() WrapConfig {
 	if pass == "" {
 		pass = "gdprbench-redis"
 	}
-	wc := WrapConfig{Compliance: cfg.Compliance, Clock: cfg.Clock}
+	wc := WrapConfig{
+		Compliance:      cfg.Compliance,
+		Clock:           cfg.Clock,
+		AuditPolicy:     cfg.AuditPolicy,
+		AuditSyncAlways: cfg.AuditSyncAlways,
+	}
 	if cfg.Compliance.Logging && cfg.Dir != "" {
 		wc.AuditPath = filepath.Join(cfg.Dir, "redis-audit.log")
 		if cfg.Compliance.EncryptAtRest {

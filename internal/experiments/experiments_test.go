@@ -11,7 +11,7 @@ import (
 
 func TestIDsCoverEveryPaperArtifact(t *testing.T) {
 	want := []string{"T1", "T2a", "T3", "F3a", "F3b", "F4a", "F4b",
-		"F5a", "F5b", "F5c", "F6", "F7a", "F7b", "F8a", "F8b", "F9", "F10", "F11"}
+		"F5a", "F5b", "F5c", "F6", "F7a", "F7b", "F8a", "F8b", "F9", "F10", "F11", "F12"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v", got)
@@ -252,6 +252,39 @@ func TestFig11Shape(t *testing.T) {
 		}
 		if float64(tcp) < 0.8*float64(emb) {
 			t.Fatalf("%s: TCP leg (%v) implausibly faster than embedded (%v)", row[0], tcp, emb)
+		}
+	}
+}
+
+// TestFig12Shape checks the audit-pipeline experiment's sanity: every
+// leg completes, the sync (inline, durable) leg pays the most, and the
+// async pipeline is not slower than sync (the tentpole's whole point;
+// a generous 0.9x floor keeps the test robust on noisy runners).
+func TestFig12Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing heavy")
+	}
+	res, err := Run("F12", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 2 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	for _, row := range res.Rows {
+		sync, err := time.ParseDuration(row[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		async, err := time.ParseDuration(row[4])
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sync <= 0 || async <= 0 {
+			t.Fatalf("%s: non-positive completion times %v / %v", row[0], sync, async)
+		}
+		if float64(sync) < 0.9*float64(async) {
+			t.Fatalf("%s: async audit (%v) slower than the inline sync baseline (%v)", row[0], async, sync)
 		}
 	}
 }

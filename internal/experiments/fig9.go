@@ -7,6 +7,7 @@ import (
 	"sort"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/shard"
 )
@@ -68,7 +69,7 @@ func shardedCustomerRun(engine string, shards int, cfg core.Config) (time.Durati
 		return 0, err
 	}
 	defer os.RemoveAll(dir)
-	db, err := shard.Open(engine, shards, dir, core.Full(), nil, false)
+	db, err := shard.Open(engine, shards, dir, core.Full(), nil, false, audit.PipeBatched)
 	if err != nil {
 		return 0, err
 	}

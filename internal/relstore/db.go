@@ -276,7 +276,10 @@ func (db *DB) logStatement(op, table, detail string, rows int, ok bool) {
 		return
 	}
 	note := fmt.Sprintf("rows=%d", rows)
-	_, _ = db.cfg.Audit.Append(audit.Entry{
+	// Submit stages the entry into the audit pipeline; under the batched
+	// and async modes nothing is encoded or written while the table lock
+	// is held.
+	db.cfg.Audit.Submit(audit.Entry{
 		Actor:  "relstore",
 		Op:     op,
 		Target: table + ":" + detail,

@@ -466,8 +466,12 @@ func TestStatementLogging(t *testing.T) {
 	if got := log.Total(); got != 4 {
 		t.Fatalf("audit entries = %d, want 4", got)
 	}
+	tail, err := log.Tail(10)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ops := map[string]bool{}
-	for _, e := range log.Tail(10) {
+	for _, e := range tail {
 		ops[e.Op] = true
 		if !strings.HasPrefix(e.Target, "records:") {
 			t.Fatalf("target = %q", e.Target)

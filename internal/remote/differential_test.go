@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/difftest"
@@ -26,8 +27,9 @@ import (
 
 var diffComp = core.Compliance{Logging: true, AccessControl: true, Strict: true, TimelyDeletion: true}
 
-// openEmbedded builds the embedded client for one engine model on sim.
-func openEmbedded(t *testing.T, engine string, sim *clock.Sim) core.DB {
+// openEmbeddedPolicy builds the embedded client for one engine model on
+// sim with the given audit append pipeline.
+func openEmbeddedPolicy(t *testing.T, engine string, sim *clock.Sim, policy audit.Pipeline) core.DB {
 	t.Helper()
 	var db core.DB
 	var err error
@@ -35,10 +37,12 @@ func openEmbedded(t *testing.T, engine string, sim *clock.Sim) core.DB {
 	case "redis":
 		db, err = core.OpenRedis(core.RedisConfig{
 			Dir: t.TempDir(), Compliance: diffComp, Clock: sim, DisableBackgroundExpiry: true,
+			AuditPolicy: policy,
 		})
 	case "postgres":
 		db, err = core.OpenPostgres(core.PostgresConfig{
 			Dir: t.TempDir(), Compliance: diffComp, Clock: sim, DisableTTLDaemon: true,
+			AuditPolicy: policy,
 		})
 	default:
 		t.Fatalf("unknown engine %q", engine)
@@ -50,12 +54,17 @@ func openEmbedded(t *testing.T, engine string, sim *clock.Sim) core.DB {
 	return db
 }
 
-// openRemote serves a fresh embedded DB over localhost TCP and returns
-// a connected client.
-func openRemote(t *testing.T, engine string, sim *clock.Sim) core.DB {
+func openEmbedded(t *testing.T, engine string, sim *clock.Sim) core.DB {
 	t.Helper()
-	hostDB := openEmbedded(t, engine, sim)
-	srv := server.New(hostDB, server.Config{})
+	return openEmbeddedPolicy(t, engine, sim, audit.PipeSync)
+}
+
+// openRemotePolicy serves a fresh embedded DB over localhost TCP and
+// returns a connected client; the server announces the audit policy.
+func openRemotePolicy(t *testing.T, engine string, sim *clock.Sim, policy audit.Pipeline) core.DB {
+	t.Helper()
+	hostDB := openEmbeddedPolicy(t, engine, sim, policy)
+	srv := server.New(hostDB, server.Config{AuditPolicy: policy.String()})
 	addr, err := srv.Start("127.0.0.1:0")
 	if err != nil {
 		t.Fatal(err)
@@ -66,29 +75,41 @@ func openRemote(t *testing.T, engine string, sim *clock.Sim) core.DB {
 		t.Fatal(err)
 	}
 	t.Cleanup(func() { cli.Close() })
+	if got := cli.ServerAuditPolicy(); got != policy.String() {
+		t.Fatalf("handshake announced audit policy %q, want %q", got, policy)
+	}
 	return cli
+}
+
+func openRemote(t *testing.T, engine string, sim *clock.Sim) core.DB {
+	t.Helper()
+	return openRemotePolicy(t, engine, sim, audit.PipeSync)
 }
 
 // TestRemoteTranscriptByteIdenticalToEmbedded replays the differential
 // mini-workload embedded and over localhost TCP; the transcripts must
-// be byte-identical for both engine models.
+// be byte-identical for both engine models under every audit pipeline
+// mode (the service boundary and the audit rebuild must both be
+// observably free).
 func TestRemoteTranscriptByteIdenticalToEmbedded(t *testing.T) {
 	cfg := core.Config{Records: 240, Operations: 10, Threads: 2, Seed: 42}.WithDefaults()
 	for _, engine := range []string{"redis", "postgres"} {
-		t.Run(engine, func(t *testing.T) {
-			run := func(open func(*testing.T, string, *clock.Sim) core.DB) []string {
-				sim := clock.NewSim(time.Unix(1_500_000_000, 0))
-				db := open(t, engine, sim)
-				ds, _, err := core.Load(db, cfg, sim)
-				if err != nil {
-					t.Fatal(err)
+		for _, policy := range []audit.Pipeline{audit.PipeSync, audit.PipeBatched, audit.PipeAsync} {
+			t.Run(engine+"/"+policy.String(), func(t *testing.T) {
+				run := func(open func(*testing.T, string, *clock.Sim, audit.Pipeline) core.DB) []string {
+					sim := clock.NewSim(time.Unix(1_500_000_000, 0))
+					db := open(t, engine, sim, policy)
+					ds, _, err := core.Load(db, cfg, sim)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return difftest.Transcript(t, db, ds, sim)
 				}
-				return difftest.Transcript(t, db, ds, sim)
-			}
-			want := run(openEmbedded)
-			got := run(openRemote)
-			difftest.AssertEqual(t, "embedded", want, "remote", got)
-		})
+				want := run(openEmbeddedPolicy)
+				got := run(openRemotePolicy)
+				difftest.AssertEqual(t, "embedded", want, "remote", got)
+			})
+		}
 	}
 }
 

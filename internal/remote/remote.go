@@ -61,12 +61,13 @@ func (c Config) withDefaults() Config {
 type Client struct {
 	cfg Config
 
-	mu      sync.Mutex
-	cond    *sync.Cond
-	pools   map[acl.Role][]*conn
-	rr      map[acl.Role]int
-	dialing map[acl.Role]int
-	closed  bool
+	mu          sync.Mutex
+	cond        *sync.Cond
+	pools       map[acl.Role][]*conn
+	rr          map[acl.Role]int
+	dialing     map[acl.Role]int
+	auditPolicy string // reported by the server in HelloOK
+	closed      bool
 }
 
 // Dial connects to a GDPR server, verifying reachability and the auth
@@ -168,6 +169,9 @@ func (c *Client) dial(role acl.Role) (*conn, error) {
 	nc.SetReadDeadline(time.Time{})
 	switch m := resp.(type) {
 	case *wire.HelloOK:
+		c.mu.Lock()
+		c.auditPolicy = m.AuditPolicy
+		c.mu.Unlock()
 	case *wire.ErrorResp:
 		nc.Close()
 		return nil, fmt.Errorf("remote: handshake rejected: %w", m.Err())
@@ -197,6 +201,15 @@ func (c *Client) call(role acl.Role, req wire.Message) (wire.Message, error) {
 		return nil, e.Err()
 	}
 	return resp, nil
+}
+
+// ServerAuditPolicy reports the audit append pipeline the server
+// announced at handshake ("sync" | "batched" | "async"; empty when the
+// server did not announce one).
+func (c *Client) ServerAuditPolicy() string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.auditPolicy
 }
 
 // Close releases every pooled connection.

@@ -41,6 +41,10 @@ import (
 type Config struct {
 	// Token, when non-empty, must match every client Hello.
 	Token string
+	// AuditPolicy names the audit append pipeline the hosted engine runs
+	// ("sync" | "batched" | "async"); reported to clients in HelloOK so
+	// remote measurements can record the audit configuration.
+	AuditPolicy string
 	// Pipeline is the per-connection request read-ahead depth (default 64).
 	Pipeline int
 	// DrainTimeout bounds how long Close waits for in-flight requests
@@ -297,7 +301,7 @@ func (s *Server) handshake(nc net.Conn, br *bufio.Reader, bw *bufio.Writer) (acl
 		return reject(fmt.Sprintf("unknown GDPR role %d", hello.Role))
 	}
 	nc.SetReadDeadline(time.Time{})
-	if err := wire.WriteMessage(bw, &wire.HelloOK{Version: wire.ProtocolVersion}); err != nil {
+	if err := wire.WriteMessage(bw, &wire.HelloOK{Version: wire.ProtocolVersion, AuditPolicy: s.cfg.AuditPolicy}); err != nil {
 		return 0, false
 	}
 	if err := bw.Flush(); err != nil {

@@ -4,6 +4,7 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/audit"
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/difftest"
@@ -30,10 +31,10 @@ func diffVariants() []variant {
 	comp := core.Compliance{Logging: true, AccessControl: true, Strict: true, TimelyDeletion: true}
 	idx := comp
 	idx.MetadataIndexing = true
-	mk := func(engine string, shards int, c core.Compliance) func(t *testing.T, sim *clock.Sim) core.DB {
+	mk := func(engine string, shards int, c core.Compliance, policy audit.Pipeline) func(t *testing.T, sim *clock.Sim) core.DB {
 		return func(t *testing.T, sim *clock.Sim) core.DB {
 			t.Helper()
-			db, err := Open(engine, shards, t.TempDir(), c, sim, true)
+			db, err := Open(engine, shards, t.TempDir(), c, sim, true, policy)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -75,10 +76,17 @@ func diffVariants() []variant {
 			t.Cleanup(func() { db.Close() })
 			return db
 		}},
-		{"redis-1shard", mk("redis", 1, comp)},
-		{"redis-4shard", mk("redis", 4, comp)},
-		{"redis-4shard-indexed", mk("redis", 4, idx)},
-		{"postgres-3shard", mk("postgres", 3, comp)},
+		{"redis-1shard", mk("redis", 1, comp, audit.PipeSync)},
+		{"redis-4shard", mk("redis", 4, comp, audit.PipeSync)},
+		{"redis-4shard-indexed", mk("redis", 4, idx, audit.PipeSync)},
+		{"postgres-3shard", mk("postgres", 3, comp, audit.PipeSync)},
+		// The audit pipeline must never change observable behavior: the
+		// same legs under batched and async audit stay byte-identical.
+		{"redis-batched-audit", mk("redis", 1, comp, audit.PipeBatched)},
+		{"redis-async-audit", mk("redis", 1, comp, audit.PipeAsync)},
+		{"redis-4shard-async-audit", mk("redis", 4, comp, audit.PipeAsync)},
+		{"postgres-async-audit", mk("postgres", 1, comp, audit.PipeAsync)},
+		{"postgres-3shard-batched-audit", mk("postgres", 3, comp, audit.PipeBatched)},
 	}
 }
 
@@ -117,7 +125,7 @@ func TestShardCountInvariantUnderExpiry(t *testing.T) {
 	comp := core.Compliance{Logging: true, AccessControl: true, Strict: true, TimelyDeletion: true}
 	run := func(engine string, shards int) (visible int, purged int) {
 		sim := clock.NewSim(time.Unix(1_500_000_000, 0))
-		db, err := Open(engine, shards, t.TempDir(), comp, sim, true)
+		db, err := Open(engine, shards, t.TempDir(), comp, sim, true, audit.PipeAsync)
 		if err != nil {
 			t.Fatal(err)
 		}

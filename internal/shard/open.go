@@ -94,7 +94,11 @@ func OpenPostgres(shards int, cfg core.PostgresConfig) (core.DB, error) {
 			return nil, fmt.Errorf("shard: postgres logging requires a directory")
 		}
 		var err error
-		log, err = core.OpenAudit(wc.AuditPath, wc.AuditKey, clk)
+		// One audit pipeline serves every shard: the middleware and N
+		// statement loggers all stage into the same lock-striped buffers,
+		// so a scatter-gather query's per-shard goroutines never
+		// serialize behind one encode+write lock.
+		log, err = core.OpenAudit(wc, clk)
 		if err != nil {
 			return nil, err
 		}
@@ -136,16 +140,19 @@ func OpenPostgres(shards int, cfg core.PostgresConfig) (core.DB, error) {
 }
 
 // Open dispatches on the engine model name ("redis" | "postgres")
-// shared by the CLIs and experiments.
-func Open(engine string, shards int, dir string, comp core.Compliance, clk clock.Clock, disableDaemons bool) (core.DB, error) {
+// shared by the CLIs and experiments. policy selects the audit append
+// pipeline (core's -auditpolicy spectrum).
+func Open(engine string, shards int, dir string, comp core.Compliance, clk clock.Clock, disableDaemons bool, policy audit.Pipeline) (core.DB, error) {
 	switch engine {
 	case "redis":
 		return OpenRedis(shards, core.RedisConfig{
 			Dir: dir, Compliance: comp, Clock: clk, DisableBackgroundExpiry: disableDaemons,
+			AuditPolicy: policy,
 		})
 	case "postgres":
 		return OpenPostgres(shards, core.PostgresConfig{
 			Dir: dir, Compliance: comp, Clock: clk, DisableTTLDaemon: disableDaemons,
+			AuditPolicy: policy,
 		})
 	default:
 		return nil, fmt.Errorf("shard: unknown engine %q", engine)

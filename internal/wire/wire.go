@@ -33,8 +33,11 @@ import (
 )
 
 const (
-	// ProtocolVersion is negotiated in the Hello handshake.
-	ProtocolVersion = 1
+	// ProtocolVersion is negotiated in the Hello handshake. Version 2
+	// added HelloOK.AuditPolicy; the codec is canonical (no optional
+	// fields), so any frame-shape change bumps the version and a
+	// mismatch is rejected cleanly at handshake.
+	ProtocolVersion = 2
 	// MaxFrameSize bounds one frame's opcode + payload; oversized frames
 	// are rejected before any payload allocation.
 	MaxFrameSize = 16 << 20
@@ -677,12 +680,24 @@ func (m *SpaceUsage) decode(*reader) {}
 // ---------------------------------------------------------------------------
 // Responses
 
-// HelloOK accepts a handshake.
-type HelloOK struct{ Version uint64 }
+// HelloOK accepts a handshake. AuditPolicy reports the server's audit
+// append pipeline ("sync" | "batched" | "async"; empty when the server
+// was not told one) so clients can record which audit configuration
+// their measurements ran against.
+type HelloOK struct {
+	Version     uint64
+	AuditPolicy string
+}
 
-func (*HelloOK) Op() Op             { return OpHelloOK }
-func (m *HelloOK) encode(w *writer) { w.uvarint(m.Version) }
-func (m *HelloOK) decode(r *reader) { m.Version = r.uvarint() }
+func (*HelloOK) Op() Op { return OpHelloOK }
+func (m *HelloOK) encode(w *writer) {
+	w.uvarint(m.Version)
+	w.str(m.AuditPolicy)
+}
+func (m *HelloOK) decode(r *reader) {
+	m.Version = r.uvarint()
+	m.AuditPolicy = r.str()
+}
 
 // Ack acknowledges a create request.
 type Ack struct{}

@@ -64,6 +64,7 @@ func sampleMessages() []Message {
 		&VerifyDeletion{Actor: acl.Actor{Role: acl.Regulator, ID: "dpa-1"}},
 		&SpaceUsage{},
 		&HelloOK{Version: ProtocolVersion},
+		&HelloOK{Version: ProtocolVersion, AuditPolicy: "async"},
 		&Ack{},
 		&Records{Recs: []string{gdpr.Encode(rec)}},
 		&Records{},
