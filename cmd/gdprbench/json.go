@@ -25,6 +25,7 @@ type jsonReport struct {
 	Workloads  []jsonWorkload `json:"workloads"`
 	Space      jsonSpace      `json:"space"`
 	Audit      *jsonAudit     `json:"audit,omitempty"`
+	Kvstore    *jsonKvstore   `json:"kvstore,omitempty"`
 }
 
 // jsonAudit is the audit pipeline's accounting for the run. For remote
@@ -38,6 +39,20 @@ type jsonAudit struct {
 	Flushes       int64  `json:"flushes,omitempty"`
 	MaxQueueDepth int64  `json:"max_queue_depth,omitempty"`
 	Segments      int64  `json:"segments,omitempty"`
+}
+
+// jsonKvstore is the Redis-model engine's concurrency/persistence
+// accounting for the run (stripe count, full-keyspace scans served,
+// dataset and index footprints, staged-AOF group commits and fsyncs).
+// Absent for the postgres model and for remote runs, whose engine lives
+// server-side.
+type jsonKvstore struct {
+	Stripes    int   `json:"stripes"`
+	FullScans  int64 `json:"full_scans"`
+	Bytes      int64 `json:"bytes"`
+	IndexBytes int64 `json:"index_bytes,omitempty"`
+	AOFBatches int64 `json:"aof_batches,omitempty"`
+	AOFFlushes int64 `json:"aof_flushes,omitempty"`
 }
 
 type jsonLoad struct {
@@ -96,6 +111,27 @@ func auditBlock(db gdprbench.DB, opts options) *jsonAudit {
 	return nil
 }
 
+// kvstoreBlock derives the report's kvstore block from the DB under
+// test; nil for non-kvstore engines and remote clients.
+func kvstoreBlock(db gdprbench.DB) *jsonKvstore {
+	ks, ok := db.(gdprbench.KvstoreStatser)
+	if !ok {
+		return nil
+	}
+	s, on := ks.KvstoreStats()
+	if !on {
+		return nil
+	}
+	return &jsonKvstore{
+		Stripes:    s.Stripes,
+		FullScans:  s.FullScans,
+		Bytes:      s.Bytes,
+		IndexBytes: s.IndexBytes,
+		AOFBatches: s.AOFBatches,
+		AOFFlushes: s.AOFFlushes,
+	}
+}
+
 func writeJSONReport(path string, opts options, label string, db gdprbench.DB, loadRun *stats.Run, report core.Report, runs map[gdprbench.WorkloadName]*stats.Run) error {
 	out := jsonReport{
 		Engine:     label,
@@ -105,6 +141,7 @@ func writeJSONReport(path string, opts options, label string, db gdprbench.DB, l
 		Shards:     opts.shards,
 		Connect:    opts.connect,
 		Audit:      auditBlock(db, opts),
+		Kvstore:    kvstoreBlock(db),
 		Load: jsonLoad{
 			CompletionMS: float64(loadRun.WallTime().Microseconds()) / 1e3,
 			OpsPerSec:    loadRun.Throughput(),

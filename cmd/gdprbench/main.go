@@ -57,6 +57,7 @@ type options struct {
 	token       string
 	jsonPath    string
 	auditPolicy gdprbench.AuditPolicy
+	kvstripes   int
 }
 
 // engineFlags are meaningless with -connect (the server owns the
@@ -65,7 +66,7 @@ type options struct {
 // instead of silently dropping misplaced flags.
 var engineFlags = map[string]bool{
 	"engine": true, "shards": true, "index": true, "baseline": true, "dir": true,
-	"auditpolicy": true,
+	"auditpolicy": true, "kvstripes": true,
 }
 
 var benchFlags = map[string]bool{
@@ -94,6 +95,7 @@ func main() {
 		token     = flag.String("token", "", "auth token for -serve / -connect")
 		jsonPath  = flag.String("json", "", "write machine-readable results (per-workload completion, ops/s, per-op p50/p95/p99) to this file")
 		auditPol  = flag.String("auditpolicy", gdprbench.DefaultAuditPolicy.String(), "audit append pipeline: sync (inline, the legacy baseline) | batched (group-committed, callers wait) | async (fire-and-forget, bounded-queue backpressure)")
+		kvstripes = flag.Int("kvstripes", 0, "redis engine: partition each kvstore into N lock stripes with a staged group-commit AOF (0 = the Redis-faithful single-mutex baseline)")
 	)
 	flag.Parse()
 
@@ -113,7 +115,7 @@ func main() {
 		workloads: *workloads, secondary: secondaryDist,
 		indexed: *indexed, baseline: *baseline, validate: *validate,
 		serve: *serve, frozen: *frozen, connect: *connect, token: *token, jsonPath: *jsonPath,
-		auditPolicy: policy,
+		auditPolicy: policy, kvstripes: *kvstripes,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "gdprbench:", err)
@@ -170,6 +172,12 @@ func run(opts options) error {
 	if opts.shards < 1 {
 		return fmt.Errorf("-shards must be >= 1")
 	}
+	if opts.kvstripes < 0 {
+		return fmt.Errorf("-kvstripes must be >= 0")
+	}
+	if opts.kvstripes > 0 && opts.engine != "redis" {
+		return fmt.Errorf("-kvstripes applies to the redis engine only")
+	}
 	comp := gdprbench.FullCompliance()
 	if opts.baseline {
 		comp = gdprbench.NoCompliance()
@@ -179,7 +187,7 @@ func run(opts options) error {
 	if opts.serve != "" {
 		// The one serve bootstrap shared with cmd/gdprserver (temp-dir
 		// handling, frozen clock, drain on SIGINT/SIGTERM).
-		return gdprbench.ServeEngine(opts.serve, opts.engine, opts.shards, opts.dir, opts.token, comp, opts.frozen, opts.auditPolicy)
+		return gdprbench.ServeEngine(opts.serve, opts.engine, opts.shards, opts.dir, opts.token, comp, opts.frozen, opts.auditPolicy, opts.kvstripes)
 	}
 	if opts.dir == "" {
 		var err error
@@ -356,5 +364,5 @@ func runTimed(opts options, comp gdprbench.Compliance, cfg gdprbench.Config, nam
 // open builds a client: the plain stubs for one shard, the scatter-gather
 // router behind the same middleware for several.
 func open(opts options, comp gdprbench.Compliance, clk clock.Clock, disableDaemons bool) (gdprbench.DB, error) {
-	return gdprbench.OpenEngine(opts.engine, opts.shards, opts.dir, comp, clk, disableDaemons, opts.auditPolicy)
+	return gdprbench.OpenEngine(opts.engine, opts.shards, opts.dir, comp, clk, disableDaemons, opts.auditPolicy, opts.kvstripes)
 }

@@ -38,24 +38,31 @@ func main() {
 		token       = flag.String("token", "", "shared auth token clients must present")
 		frozenclock = flag.Bool("frozenclock", false, "run engines on a simulated clock frozen at the epoch with expiry daemons off (required for gdprbench -connect -validate)")
 		auditPol    = flag.String("auditpolicy", gdprbench.DefaultAuditPolicy.String(), "audit append pipeline: sync (inline, the legacy baseline) | batched (group-committed, callers wait) | async (fire-and-forget, bounded-queue backpressure)")
+		kvstripes   = flag.Int("kvstripes", 0, "redis engine: partition each kvstore into N lock stripes with a staged group-commit AOF (0 = the Redis-faithful single-mutex baseline)")
 	)
 	flag.Parse()
 
-	if err := run(*addr, *engine, *shards, *dir, *token, *auditPol, *indexed, *baseline, *frozenclock); err != nil {
+	if err := run(*addr, *engine, *shards, *dir, *token, *auditPol, *indexed, *baseline, *frozenclock, *kvstripes); err != nil {
 		fmt.Fprintln(os.Stderr, "gdprserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, engine string, shards int, dir, token, auditPol string, indexed, baseline, frozenclock bool) error {
+func run(addr, engine string, shards int, dir, token, auditPol string, indexed, baseline, frozenclock bool, kvstripes int) error {
 	policy, err := gdprbench.ParseAuditPolicy(auditPol)
 	if err != nil {
 		return err
+	}
+	if kvstripes < 0 {
+		return fmt.Errorf("-kvstripes must be >= 0")
+	}
+	if kvstripes > 0 && engine != "redis" {
+		return fmt.Errorf("-kvstripes applies to the redis engine only")
 	}
 	comp := gdprbench.FullCompliance()
 	if baseline {
 		comp = gdprbench.NoCompliance()
 	}
 	comp.MetadataIndexing = indexed
-	return gdprbench.ServeEngine(addr, engine, shards, dir, token, comp, frozenclock, policy)
+	return gdprbench.ServeEngine(addr, engine, shards, dir, token, comp, frozenclock, policy, kvstripes)
 }

@@ -38,6 +38,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/gdpr"
+	"repro/internal/kvstore"
 	"repro/internal/remote"
 	"repro/internal/server"
 	"repro/internal/shard"
@@ -157,6 +158,18 @@ type AuditStatser interface {
 	AuditStats() (AuditStats, bool)
 }
 
+// KvstoreStats carries the Redis-model engine's concurrency and
+// persistence counters — stripes, full scans, dataset/index bytes, AOF
+// group-commit batches and fsyncs (gdprbench -json's kvstore block).
+type KvstoreStats = kvstore.Stats
+
+// KvstoreStatser is implemented by DBs backed by the kvstore engine
+// (embedded Redis-model DBs, sharded or not); other engines and remote
+// clients report false.
+type KvstoreStatser interface {
+	KvstoreStats() (KvstoreStats, bool)
+}
+
 // FullCompliance returns the fully-compliant configuration of §6.2.
 func FullCompliance() Compliance { return core.Full() }
 
@@ -188,23 +201,26 @@ func OpenShardedPostgres(shards int, cfg PostgresConfig) (DB, error) {
 }
 
 // OpenSharded dispatches on the engine model name ("redis" | "postgres").
-func OpenSharded(engine string, shards int, dir string, comp Compliance, clk clock.Clock, disableDaemons bool, policy AuditPolicy) (DB, error) {
-	return shard.Open(engine, shards, dir, comp, clk, disableDaemons, policy)
+// kvstripes selects the kvstore concurrency profile (0 = single-mutex
+// baseline; ignored by the postgres model).
+func OpenSharded(engine string, shards int, dir string, comp Compliance, clk clock.Clock, disableDaemons bool, policy AuditPolicy, kvstripes int) (DB, error) {
+	return shard.Open(engine, shards, dir, comp, clk, disableDaemons, policy, kvstripes)
 }
 
 // OpenEngine is the one engine-selection switch shared by the CLIs:
 // the plain client stubs for one shard, the scatter-gather router
 // behind the same compliance middleware for several. policy selects the
-// audit append pipeline (DefaultAuditPolicy for the CLIs' default).
-func OpenEngine(engine string, shards int, dir string, comp Compliance, clk clock.Clock, disableDaemons bool, policy AuditPolicy) (DB, error) {
+// audit append pipeline (DefaultAuditPolicy for the CLIs' default);
+// kvstripes the kvstore concurrency profile (the -kvstripes flag).
+func OpenEngine(engine string, shards int, dir string, comp Compliance, clk clock.Clock, disableDaemons bool, policy AuditPolicy, kvstripes int) (DB, error) {
 	if shards > 1 {
-		return OpenSharded(engine, shards, dir, comp, clk, disableDaemons, policy)
+		return OpenSharded(engine, shards, dir, comp, clk, disableDaemons, policy, kvstripes)
 	}
 	switch engine {
 	case "redis":
 		return OpenRedis(RedisConfig{
 			Dir: dir, Compliance: comp, Clock: clk, DisableBackgroundExpiry: disableDaemons,
-			AuditPolicy: policy,
+			AuditPolicy: policy, KVStripes: kvstripes,
 		})
 	case "postgres":
 		return OpenPostgres(PostgresConfig{
@@ -248,7 +264,7 @@ func NewServer(db DB, cfg ServerConfig) *Server { return server.New(db, cfg) }
 // temp directory removed on exit. It is the one serve bootstrap shared
 // by cmd/gdprserver and gdprbench -serve, so the two binaries cannot
 // drift.
-func ServeEngine(addr, engine string, shards int, dir, token string, comp Compliance, frozen bool, policy AuditPolicy) error {
+func ServeEngine(addr, engine string, shards int, dir, token string, comp Compliance, frozen bool, policy AuditPolicy, kvstripes int) error {
 	if shards < 1 {
 		return fmt.Errorf("gdprbench: shard count %d < 1", shards)
 	}
@@ -264,7 +280,7 @@ func ServeEngine(addr, engine string, shards int, dir, token string, comp Compli
 	if frozen {
 		clk = clock.NewSim(time.Time{})
 	}
-	db, err := OpenEngine(engine, shards, dir, comp, clk, frozen, policy)
+	db, err := OpenEngine(engine, shards, dir, comp, clk, frozen, policy, kvstripes)
 	if err != nil {
 		return err
 	}

@@ -10,6 +10,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/clock"
 	"repro/internal/gdpr"
+	"repro/internal/kvstore"
 	"repro/internal/transit"
 )
 
@@ -415,6 +416,18 @@ func (m *middleware) AuditStats() (audit.Stats, bool) {
 		return audit.Stats{}, false
 	}
 	return m.log.Stats(), true
+}
+
+// KvstoreStats forwards the kvstore engine's concurrency/persistence
+// counters when the wrapped engine is (or routes to) one; the second
+// result is false for other engines. gdprbench -json surfaces it.
+func (m *middleware) KvstoreStats() (kvstore.Stats, bool) {
+	if ks, ok := m.eng.(interface {
+		KvstoreStats() (kvstore.Stats, bool)
+	}); ok {
+		return ks.KvstoreStats()
+	}
+	return kvstore.Stats{}, false
 }
 
 // VerifyDeletion implements DB.

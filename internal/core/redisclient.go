@@ -58,6 +58,10 @@ type RedisConfig struct {
 	// AuditSyncAlways makes the audit trail fsync per group commit
 	// instead of everysec (the strict durable-audit configuration).
 	AuditSyncAlways bool
+	// KVStripes partitions each kvstore's keyspace into that many hash
+	// stripes (rounded up to a power of two) with a staged group-commit
+	// AOF; 0 keeps the Redis-faithful single-mutex, inline-AOF profile.
+	KVStripes int
 }
 
 // WrapConfig derives the middleware configuration from the Redis-model
@@ -134,7 +138,7 @@ func newKVEngine(cfg RedisConfig) (*kvEngine, error) {
 		pass = "gdprbench-redis"
 	}
 
-	kvCfg := kvstore.Config{Clock: clk, MetadataIndexing: comp.MetadataIndexing}
+	kvCfg := kvstore.Config{Clock: clk, MetadataIndexing: comp.MetadataIndexing, Striping: cfg.KVStripes}
 	if comp.TimelyDeletion {
 		kvCfg.ExpiryMode = kvstore.ExpiryStrict
 	}
@@ -297,6 +301,11 @@ func (e *kvEngine) SpaceUsage() (SpaceUsage, error) {
 		TotalBytes:    e.store.MemoryBytes() + e.store.IndexBytes(),
 	}, nil
 }
+
+// KvstoreStats reports the engine's concurrency/persistence counters
+// (stripes, scans, bytes, AOF group commits); the middleware and shard
+// router forward it to gdprbench -json's kvstore block.
+func (e *kvEngine) KvstoreStats() (kvstore.Stats, bool) { return e.store.Stats(), true }
 
 // Close implements Engine.
 func (e *kvEngine) Close() error { return e.store.Close() }

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"os"
+	"sync"
 	"time"
 
 	"repro/internal/clock"
@@ -20,6 +21,23 @@ import (
 // is enabled — GET key / SCAN pattern / IDXSCAN attr=value, which replay
 // as no-ops (they exist for the audit trail, mirroring the paper's "log
 // all interactions including reads and scans" retrofit).
+//
+// Both persistence profiles — the inline single-mutex appender below and
+// the staged group-commit pipeline in staged.go — emit these exact frames,
+// so one replay path rebuilds state regardless of which profile wrote the
+// file.
+
+// AOF command names (also the staged-op tags in staged.go).
+const (
+	opSet      = "SET"
+	opSetex    = "SETEX"
+	opDel      = "DEL"
+	opExpireAt = "EXPIREAT"
+	opFlushAll = "FLUSHALL"
+	opGet      = "GET"
+	opScan     = "SCAN"
+	opIdxScan  = "IDXSCAN"
+)
 
 // FsyncPolicy is Redis' appendfsync setting.
 type FsyncPolicy int
@@ -55,6 +73,8 @@ type aof struct {
 	lastSync  time.Time
 	encrypted bool
 	buf       []byte // reused encode buffer; callers hold the store lock
+	appends   int64  // commands appended (each is its own "batch" inline)
+	syncs     int64  // fsyncs issued
 }
 
 func openAOF(path string, key []byte, policy FsyncPolicy, clk clock.Clock) (*aof, error) {
@@ -102,17 +122,20 @@ func (a *aof) append(args ...string) error {
 	if err := a.file.AppendFrame(a.buf); err != nil {
 		return err
 	}
+	a.appends++
 	switch a.policy {
 	case FsyncAlways:
 		if err := a.file.Sync(); err != nil {
 			return err
 		}
+		a.syncs++
 		a.lastSync = a.clk.Now()
 	case FsyncEverySec:
 		if now := a.clk.Now(); now.Sub(a.lastSync) >= time.Second {
 			if err := a.file.Sync(); err != nil {
 				return err
 			}
+			a.syncs++
 			a.lastSync = now
 		}
 	}
@@ -121,87 +144,206 @@ func (a *aof) append(args ...string) error {
 
 func (a *aof) appendSet(key, value string, expireAt time.Time) error {
 	if expireAt.IsZero() {
-		return a.append("SET", key, value)
+		return a.append(opSet, key, value)
 	}
-	return a.append("SETEX", key, value, fmt.Sprintf("%d", expireAt.UnixNano()))
+	return a.append(opSetex, key, value, fmt.Sprintf("%d", expireAt.UnixNano()))
 }
 
-func (a *aof) appendDel(key string) error { return a.append("DEL", key) }
+func (a *aof) appendDel(key string) error { return a.append(opDel, key) }
 
 func (a *aof) appendExpireAt(key string, t time.Time) error {
 	ns := int64(0)
 	if !t.IsZero() {
 		ns = t.UnixNano()
 	}
-	return a.append("EXPIREAT", key, fmt.Sprintf("%d", ns))
+	return a.append(opExpireAt, key, fmt.Sprintf("%d", ns))
 }
 
-func (a *aof) appendFlushAll() error { return a.append("FLUSHALL") }
+func (a *aof) appendFlushAll() error { return a.append(opFlushAll) }
 
 func (a *aof) appendRead(op, key string) error { return a.append(op, key) }
 
-func (a *aof) sync() error { return a.file.Sync() }
+func (a *aof) sync() error {
+	if err := a.file.Sync(); err != nil {
+		return err
+	}
+	a.syncs++
+	return nil
+}
 
 func (a *aof) size() (int64, error) { return a.file.Size() }
 
 func (a *aof) close() error { return a.file.Close() }
 
+// ---------------------------------------------------------------------------
+// Replay: one decoded-frame grammar shared by the sequential rebuild, the
+// concurrent striped rebuild and the fuzzer.
+
+// replayOp is one parsed, validated AOF command.
+type replayOp struct {
+	op   string
+	key  string
+	val  string
+	ns   int64
+	read bool // GET/SCAN/IDXSCAN: audit-only, replays as a no-op
+}
+
+// parseReplayCommand validates one decoded command's name, arity and
+// integer arguments. Every malformed frame fails here, before any state
+// is touched, so both replay paths (and the fuzzer) share one error
+// surface.
+func parseReplayCommand(args []string) (replayOp, error) {
+	if len(args) == 0 {
+		return replayOp{}, fmt.Errorf("kvstore: empty AOF command")
+	}
+	switch args[0] {
+	case opSet:
+		if len(args) != 3 {
+			return replayOp{}, fmt.Errorf("kvstore: bad SET arity %d", len(args))
+		}
+		return replayOp{op: opSet, key: args[1], val: args[2]}, nil
+	case opSetex:
+		if len(args) != 4 {
+			return replayOp{}, fmt.Errorf("kvstore: bad SETEX arity %d", len(args))
+		}
+		ns, err := parseInt64(args[3])
+		if err != nil {
+			return replayOp{}, err
+		}
+		return replayOp{op: opSetex, key: args[1], val: args[2], ns: ns}, nil
+	case opDel:
+		if len(args) != 2 {
+			return replayOp{}, fmt.Errorf("kvstore: bad DEL arity %d", len(args))
+		}
+		return replayOp{op: opDel, key: args[1]}, nil
+	case opExpireAt:
+		if len(args) != 3 {
+			return replayOp{}, fmt.Errorf("kvstore: bad EXPIREAT arity %d", len(args))
+		}
+		ns, err := parseInt64(args[2])
+		if err != nil {
+			return replayOp{}, err
+		}
+		return replayOp{op: opExpireAt, key: args[1], ns: ns}, nil
+	case opFlushAll:
+		if len(args) != 1 {
+			return replayOp{}, fmt.Errorf("kvstore: bad FLUSHALL arity %d", len(args))
+		}
+		return replayOp{op: opFlushAll}, nil
+	case opGet, opScan, opIdxScan:
+		// Read audit entries: no state change.
+		return replayOp{op: args[0], read: true}, nil
+	default:
+		return replayOp{}, fmt.Errorf("kvstore: unknown AOF command %q", args[0])
+	}
+}
+
+// apply replays one single-key op onto this stripe. The caller has
+// exclusive access (Open-time rebuild).
+func (st *stripe) apply(op replayOp) {
+	switch op.op {
+	case opSet:
+		st.set(op.key, op.val, time.Time{})
+	case opSetex:
+		st.set(op.key, op.val, time.Unix(0, op.ns))
+	case opDel:
+		st.del(op.key)
+	case opExpireAt:
+		if op.ns == 0 {
+			st.setExpireAt(op.key, time.Time{})
+		} else {
+			st.setExpireAt(op.key, time.Unix(0, op.ns))
+		}
+	}
+}
+
 // replayAOF rebuilds store state from the AOF at path. Missing files are
-// fine (fresh store). Read entries (GET/SCAN) replay as no-ops.
+// fine (fresh store). Read entries (GET/SCAN) replay as no-ops. The
+// striped profile decodes sequentially (frame order is the commit order)
+// but applies concurrently: one worker per stripe consumes a routed
+// channel, so per-key order is preserved while stripes rebuild in
+// parallel; FLUSHALL acts as a barrier (drain every worker, wipe, resume).
 func replayAOF(path string, key []byte, s *Store) error {
 	if _, err := os.Stat(path); os.IsNotExist(err) {
 		return nil
 	}
-	return securefs.Replay(path, securefs.Options{Key: key}, func(p []byte) error {
-		args, err := decodeCommand(p)
+	if len(s.stripes) == 1 {
+		return securefs.Replay(path, securefs.Options{Key: key}, func(p []byte) error {
+			op, err := decodeReplayFrame(p)
+			if err != nil {
+				return err
+			}
+			if op.read {
+				return nil
+			}
+			if op.op == opFlushAll {
+				s.stripes[0].flush()
+				return nil
+			}
+			s.stripes[0].apply(op)
+			return nil
+		})
+	}
+	return s.replayConcurrent(path, key)
+}
+
+func decodeReplayFrame(p []byte) (replayOp, error) {
+	args, err := decodeCommand(p)
+	if err != nil {
+		return replayOp{}, err
+	}
+	return parseReplayCommand(args)
+}
+
+// replayConcurrent is the striped rebuild: a per-stripe worker pool fed
+// by the sequential decoder. Decode/parse errors surface in the reader,
+// before routing; workers apply infallible typed ops.
+func (s *Store) replayConcurrent(path string, key []byte) error {
+	var (
+		chans []chan replayOp
+		wg    sync.WaitGroup
+	)
+	start := func() {
+		chans = make([]chan replayOp, len(s.stripes))
+		for i := range chans {
+			ch := make(chan replayOp, 128)
+			chans[i] = ch
+			wg.Add(1)
+			go func(st *stripe, ch <-chan replayOp) {
+				defer wg.Done()
+				for op := range ch {
+					st.apply(op)
+				}
+			}(&s.stripes[i], ch)
+		}
+	}
+	stop := func() {
+		for _, ch := range chans {
+			close(ch)
+		}
+		wg.Wait()
+	}
+	start()
+	err := securefs.Replay(path, securefs.Options{Key: key}, func(p []byte) error {
+		op, err := decodeReplayFrame(p)
 		if err != nil {
 			return err
 		}
-		if len(args) == 0 {
-			return fmt.Errorf("kvstore: empty AOF command")
-		}
-		switch args[0] {
-		case "SET":
-			if len(args) != 3 {
-				return fmt.Errorf("kvstore: bad SET arity %d", len(args))
+		switch {
+		case op.read:
+		case op.op == opFlushAll:
+			stop()
+			for i := range s.stripes {
+				s.stripes[i].flush()
 			}
-			s.setLocked(args[1], args[2], time.Time{})
-		case "SETEX":
-			if len(args) != 4 {
-				return fmt.Errorf("kvstore: bad SETEX arity %d", len(args))
-			}
-			ns, err := parseInt64(args[3])
-			if err != nil {
-				return err
-			}
-			s.setLocked(args[1], args[2], time.Unix(0, ns))
-		case "DEL":
-			if len(args) != 2 {
-				return fmt.Errorf("kvstore: bad DEL arity %d", len(args))
-			}
-			s.deleteLocked(args[1])
-		case "EXPIREAT":
-			if len(args) != 3 {
-				return fmt.Errorf("kvstore: bad EXPIREAT arity %d", len(args))
-			}
-			ns, err := parseInt64(args[2])
-			if err != nil {
-				return err
-			}
-			if ns == 0 {
-				s.expireAtLocked(args[1], time.Time{})
-			} else {
-				s.expireAtLocked(args[1], time.Unix(0, ns))
-			}
-		case "FLUSHALL":
-			s.flushLocked()
-		case "GET", "SCAN", "IDXSCAN":
-			// Read audit entries: no state change.
+			start()
 		default:
-			return fmt.Errorf("kvstore: unknown AOF command %q", args[0])
+			chans[s.stripeIndex(op.key)] <- op
 		}
 		return nil
 	})
+	stop()
+	return err
 }
 
 func parseInt64(s string) (int64, error) {
@@ -215,14 +357,19 @@ func parseInt64(s string) (int64, error) {
 // Rewrite compacts the AOF: the current dataset is written as a fresh
 // sequence of SET/SETEX commands to path+".rewrite", which then atomically
 // replaces the live AOF (Redis' BGREWRITEAOF, done in the foreground).
+// The striped profile freezes every stripe, barriers the staged writer,
+// and swaps the file under the pipeline's IO lock.
 func (s *Store) Rewrite() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.aof == nil {
+	if s.aof == nil && s.pipe == nil {
 		return fmt.Errorf("kvstore: no AOF to rewrite")
 	}
-	if s.closed {
+	s.lockAll()
+	defer s.unlockAll()
+	if s.closed.Load() {
 		return errClosed
+	}
+	if s.pipe != nil {
+		return s.pipe.rewrite(s)
 	}
 	path := s.aof.file.Path()
 	tmp := path + ".rewrite"
@@ -232,18 +379,9 @@ func (s *Store) Rewrite() error {
 	if err != nil {
 		return err
 	}
-	var buf []byte
-	for _, k := range s.keySlice {
-		e := s.dict[k]
-		if e.expireAt.IsZero() {
-			buf = encodeCommand(buf, "SET", k, e.value)
-		} else {
-			buf = encodeCommand(buf, "SETEX", k, e.value, fmt.Sprintf("%d", e.expireAt.UnixNano()))
-		}
-		if err := nf.AppendFrame(buf); err != nil {
-			nf.Close()
-			return err
-		}
+	if err := s.writeSnapshot(nf); err != nil {
+		nf.Close()
+		return err
 	}
 	if err := nf.Close(); err != nil {
 		return err
@@ -260,5 +398,26 @@ func (s *Store) Rewrite() error {
 	}
 	na.encrypted = encrypted
 	s.aof = na
+	return nil
+}
+
+// writeSnapshot emits the live dataset as SET/SETEX frames. Callers hold
+// every stripe lock.
+func (s *Store) writeSnapshot(f *securefs.File) error {
+	var buf []byte
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		for _, k := range st.keySlice {
+			e := st.dict[k]
+			if e.expireAt.IsZero() {
+				buf = encodeCommand(buf, opSet, k, e.value)
+			} else {
+				buf = encodeCommand(buf, opSetex, k, e.value, fmt.Sprintf("%d", e.expireAt.UnixNano()))
+			}
+			if err := f.AppendFrame(buf); err != nil {
+				return err
+			}
+		}
+	}
 	return nil
 }

@@ -16,19 +16,34 @@
 //   - by default no secondary indexes: attribute lookups are O(n) scans,
 //     which is what makes GDPR metadata queries slow on Redis (§6.2).
 //
+// Config.Striping goes beyond that faithful profile: N > 0 partitions the
+// keyspace into cacheline-padded, power-of-two hash stripes, each guarded
+// by its own mutex and carrying its own expires dict, key order and
+// metadata/expiry indexes, and moves AOF persistence off the command path
+// onto a staged group-commit pipeline (a dedicated writer goroutine
+// batch-encodes and fsyncs; appendfsync always waits on the group commit,
+// everysec/no return immediately). Commands stay linearizable per key;
+// multi-key operations (Del over several keys, ForEach, Scan) observe the
+// stripes per-stripe-consistently rather than under one global snapshot —
+// the same contract the shard router already gives cross-shard queries.
+// Striping = 0 (the default) keeps the single-mutex, inline-AOF profile as
+// the Redis-faithful ablation baseline; the two profiles produce
+// byte-identical AOFs and differential transcripts. See DESIGN.md §1f.
+//
 // Config.MetadataIndexing goes beyond the paper's retrofit (which stopped
 // at PostgreSQL because "Redis lacks the support for multiple secondary
 // indices"): it maintains inverted indexes over the five equality
 // metadata dimensions of stored GDPR records plus an ordered expiry index
-// (internal/index), all mutated under the same single store mutex — the
-// command core stays single-threaded, only the selector cost profile
-// changes from O(n) to O(result). Off by default so the paper's scan
-// profile survives as the ablation baseline.
+// (internal/index), mutated under the owning stripe's mutex — only the
+// selector cost profile changes, from O(n) to O(result). Off by default
+// so the paper's scan profile survives as the ablation baseline.
 package kvstore
 
 import (
 	"fmt"
+	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/clock"
@@ -92,10 +107,15 @@ type Config struct {
 	ExpiryMode ExpiryMode
 	// MetadataIndexing maintains inverted indexes over the five equality
 	// metadata dimensions of stored GDPR wire records (PUR/USR/OBJ/DEC/SHR)
-	// plus a B-tree-ordered expiry index, under the store mutex. Values
-	// that do not decode as GDPR records are simply not indexed. Indexes
-	// are rebuilt during AOF replay.
+	// plus a B-tree-ordered expiry index, under the owning stripe's mutex.
+	// Values that do not decode as GDPR records are simply not indexed.
+	// Indexes are rebuilt during AOF replay.
 	MetadataIndexing bool
+	// Striping partitions the keyspace into hash stripes (rounded up to a
+	// power of two), each with its own mutex, and routes AOF appends
+	// through the staged group-commit pipeline instead of the command
+	// path. 0 keeps the Redis-faithful single-mutex, inline-AOF profile.
+	Striping int
 }
 
 type entry struct {
@@ -103,54 +123,124 @@ type entry struct {
 	expireAt time.Time // zero when the key has no TTL
 }
 
-// Store is the key-value engine. All commands are safe for concurrent use;
-// like Redis, they execute one at a time.
-type Store struct {
+// kv is one gathered (key, value, deadline) triple; the striped read
+// paths collect these under the stripe locks and invoke the caller's
+// function afterwards, so user code never runs inside a stripe lock.
+type kv struct {
+	key      string
+	value    string
+	expireAt time.Time
+}
+
+// stripe is one hash partition of the keyspace: its own dict, expires
+// dict, scan order and index shards, all guarded by one mutex. The pad
+// keeps adjacent stripe locks off one cache line under concurrent
+// commands.
+type stripe struct {
 	mu   sync.Mutex
 	dict map[string]*entry
 	// expires maps the keys carrying a TTL to their deadline (Redis'
 	// "expires" dict, which likewise stores the expire time), so expiry
 	// walks never need the main dict.
 	expires map[string]time.Time
-	// keyOrder supports cursor scans and random sampling without
-	// rehashing; index is the key's position in keySlice.
+	// keySlice supports cursor scans and random sampling without
+	// rehashing; keyPos is the key's position in keySlice.
 	keySlice []string
 	keyPos   map[string]int
 
-	// meta and exp are the metadata-index layer (nil when indexing is
-	// off); both are maintained under mu like everything else.
+	// meta and exp are this stripe's shard of the metadata-index layer
+	// (nil when indexing is off); maintained under mu like the dicts.
 	meta *index.Inverted
 	exp  *index.Expiry
 
+	bytes int64 // sum of key+value bytes stored in this stripe
+
+	_ [64]byte
+}
+
+// Store is the key-value engine. All commands are safe for concurrent
+// use. With Striping = 0 they execute one at a time, like Redis; with
+// Striping > 0 commands on different stripes run in parallel.
+type Store struct {
+	stripes []stripe
+	mask    uint32
+	// striped selects the concurrency profile: false is the faithful
+	// single-mutex core with inline AOF appends, true the lock-striped
+	// core with the staged AOF pipeline.
+	striped bool
+
 	clk      clock.Clock
-	aof      *aof
+	aof      *aof     // inline AOF (single-mutex profile); nil otherwise
+	pipe     *aofPipe // staged AOF (striped profile); nil otherwise
 	aofKey   []byte
 	logReads bool
 	mode     ExpiryMode
 
-	bytes     int64 // sum of key+value bytes currently stored
-	fullScans int64 // full-keyspace scans served (ForEach)
+	fullScans atomic.Int64 // full-keyspace scans served (ForEach)
+	closed    atomic.Bool
 
+	// expMu guards the background expiry-loop registration only.
+	expMu      sync.Mutex
 	stopExpiry chan struct{}
 	expiryDone chan struct{}
-	closed     bool
+}
+
+// nextPow2 rounds n up to the next power of two (minimum 1).
+func nextPow2(n int) int {
+	p := 1
+	for p < n {
+		p <<= 1
+	}
+	return p
+}
+
+// Stats snapshots the engine's concurrency and persistence counters —
+// the kvstore block of gdprbench -json, mirroring the audit pipeline's
+// counters block.
+type Stats struct {
+	// Stripes is the number of hash stripes (1 in the single-mutex
+	// profile).
+	Stripes int
+	// FullScans counts full-keyspace ForEach scans served.
+	FullScans int64
+	// Bytes is the dataset's in-memory footprint (key+value bytes).
+	Bytes int64
+	// IndexBytes approximates the metadata-index layer's footprint.
+	IndexBytes int64
+	// AOFBatches counts AOF group commits (inline profile: one per
+	// appended command).
+	AOFBatches int64
+	// AOFFlushes counts AOF fsyncs.
+	AOFFlushes int64
 }
 
 // Open creates a Store. If cfg.AOFPath exists, its commands are replayed
-// to rebuild state before the store accepts commands.
+// to rebuild state before the store accepts commands; the striped
+// profile rebuilds stripes concurrently.
 func Open(cfg Config) (*Store, error) {
+	striped := cfg.Striping > 0
+	n := 1
+	if striped {
+		n = nextPow2(cfg.Striping)
+	}
 	s := &Store{
-		dict:     make(map[string]*entry),
-		expires:  make(map[string]time.Time),
-		keyPos:   make(map[string]int),
+		stripes:  make([]stripe, n),
+		mask:     uint32(n - 1),
+		striped:  striped,
 		clk:      cfg.Clock,
 		logReads: cfg.LogReads,
 		mode:     cfg.ExpiryMode,
 	}
-	if cfg.MetadataIndexing {
-		// Created before replay so the AOF rebuild maintains them.
-		s.meta = index.NewInverted()
-		s.exp = index.NewExpiry()
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.dict = make(map[string]*entry)
+		st.expires = make(map[string]time.Time)
+		st.keyPos = make(map[string]int)
+		if cfg.MetadataIndexing {
+			// Created before replay so the AOF rebuild maintains them.
+			st.meta = index.NewInverted()
+			st.exp = index.NewExpiry()
+		}
 	}
 	if s.clk == nil {
 		s.clk = clock.NewReal()
@@ -162,38 +252,79 @@ func Open(cfg Config) (*Store, error) {
 		if err := replayAOF(cfg.AOFPath, cfg.EncryptionKey, s); err != nil {
 			return nil, err
 		}
-		a, err := openAOF(cfg.AOFPath, cfg.EncryptionKey, cfg.AOFSync, s.clk)
-		if err != nil {
-			return nil, err
+		if striped {
+			p, err := openPipe(cfg.AOFPath, cfg.EncryptionKey, cfg.AOFSync, s.clk)
+			if err != nil {
+				return nil, err
+			}
+			s.pipe = p
+		} else {
+			a, err := openAOF(cfg.AOFPath, cfg.EncryptionKey, cfg.AOFSync, s.clk)
+			if err != nil {
+				return nil, err
+			}
+			s.aof = a
 		}
-		s.aof = a
 		s.aofKey = cfg.EncryptionKey
 	}
 	return s, nil
 }
 
-// ---------------------------------------------------------------------------
-// internal helpers (callers hold s.mu)
-
-func (s *Store) addKeyLocked(key string) {
-	if _, ok := s.keyPos[key]; ok {
-		return
+// stripeIndex hashes key to its stripe (FNV-1a, masked to the power-of-
+// two stripe count).
+func (s *Store) stripeIndex(key string) int {
+	const (
+		offset32 = 2166136261
+		prime32  = 16777619
+	)
+	h := uint32(offset32)
+	for i := 0; i < len(key); i++ {
+		h ^= uint32(key[i])
+		h *= prime32
 	}
-	s.keyPos[key] = len(s.keySlice)
-	s.keySlice = append(s.keySlice, key)
+	return int(h & s.mask)
 }
 
-func (s *Store) removeKeyLocked(key string) {
-	pos, ok := s.keyPos[key]
+func (s *Store) stripeFor(key string) *stripe { return &s.stripes[s.stripeIndex(key)] }
+
+// lockAll acquires every stripe lock in index order (the one total order
+// that makes multi-stripe holders — FLUSHALL, Rewrite, Close — deadlock-
+// free against each other).
+func (s *Store) lockAll() {
+	for i := range s.stripes {
+		s.stripes[i].mu.Lock()
+	}
+}
+
+func (s *Store) unlockAll() {
+	for i := range s.stripes {
+		s.stripes[i].mu.Unlock()
+	}
+}
+
+// ---------------------------------------------------------------------------
+// stripe mutation helpers (callers hold st.mu, or have exclusive access
+// during replay)
+
+func (st *stripe) addKey(key string) {
+	if _, ok := st.keyPos[key]; ok {
+		return
+	}
+	st.keyPos[key] = len(st.keySlice)
+	st.keySlice = append(st.keySlice, key)
+}
+
+func (st *stripe) removeKey(key string) {
+	pos, ok := st.keyPos[key]
 	if !ok {
 		return
 	}
-	last := len(s.keySlice) - 1
-	moved := s.keySlice[last]
-	s.keySlice[pos] = moved
-	s.keyPos[moved] = pos
-	s.keySlice = s.keySlice[:last]
-	delete(s.keyPos, key)
+	last := len(st.keySlice) - 1
+	moved := st.keySlice[last]
+	st.keySlice[pos] = moved
+	st.keyPos[moved] = pos
+	st.keySlice = st.keySlice[:last]
+	delete(st.keyPos, key)
 }
 
 // metaInsert / metaRemove maintain the inverted metadata index for one
@@ -201,113 +332,236 @@ func (s *Store) removeKeyLocked(key string) {
 // metadata to index and are skipped — the decode per write is the index
 // write amplification the Figure 3b retrofit measures on the relational
 // side.
-func (s *Store) metaInsert(key, value string) {
-	if s.meta == nil {
+func (st *stripe) metaInsert(key, value string) {
+	if st.meta == nil {
 		return
 	}
 	if rec, err := gdpr.Decode(value); err == nil {
-		s.meta.Insert(key, rec)
+		st.meta.Insert(key, rec)
 	}
 }
 
-func (s *Store) metaRemove(key, value string) {
-	if s.meta == nil {
+func (st *stripe) metaRemove(key, value string) {
+	if st.meta == nil {
 		return
 	}
 	if rec, err := gdpr.Decode(value); err == nil {
-		s.meta.Remove(key, rec)
+		st.meta.Remove(key, rec)
 	}
 }
 
-func (s *Store) setLocked(key, value string, expireAt time.Time) {
-	if old, ok := s.dict[key]; ok {
-		s.bytes -= int64(len(key) + len(old.value))
+func (st *stripe) set(key, value string, expireAt time.Time) {
+	if old, ok := st.dict[key]; ok {
+		st.bytes -= int64(len(key) + len(old.value))
 		if !old.expireAt.IsZero() {
-			delete(s.expires, key)
-			if s.exp != nil {
-				s.exp.Remove(key, old.expireAt)
+			delete(st.expires, key)
+			if st.exp != nil {
+				st.exp.Remove(key, old.expireAt)
 			}
 		}
-		s.metaRemove(key, old.value)
+		st.metaRemove(key, old.value)
 	} else {
-		s.addKeyLocked(key)
+		st.addKey(key)
 	}
-	s.dict[key] = &entry{value: value, expireAt: expireAt}
-	s.bytes += int64(len(key) + len(value))
+	st.dict[key] = &entry{value: value, expireAt: expireAt}
+	st.bytes += int64(len(key) + len(value))
 	if !expireAt.IsZero() {
-		s.expires[key] = expireAt
-		if s.exp != nil {
-			s.exp.Set(key, expireAt)
+		st.expires[key] = expireAt
+		if st.exp != nil {
+			st.exp.Set(key, expireAt)
 		}
 	}
-	s.metaInsert(key, value)
+	st.metaInsert(key, value)
 }
 
-func (s *Store) deleteLocked(key string) bool {
-	e, ok := s.dict[key]
+func (st *stripe) del(key string) bool {
+	e, ok := st.dict[key]
 	if !ok {
 		return false
 	}
-	s.bytes -= int64(len(key) + len(e.value))
-	if !e.expireAt.IsZero() && s.exp != nil {
-		s.exp.Remove(key, e.expireAt)
+	st.bytes -= int64(len(key) + len(e.value))
+	if !e.expireAt.IsZero() && st.exp != nil {
+		st.exp.Remove(key, e.expireAt)
 	}
-	s.metaRemove(key, e.value)
-	delete(s.dict, key)
-	delete(s.expires, key)
-	s.removeKeyLocked(key)
+	st.metaRemove(key, e.value)
+	delete(st.dict, key)
+	delete(st.expires, key)
+	st.removeKey(key)
 	return true
 }
 
-// expireAtLocked rewrites key's TTL deadline (zero clears it), keeping
-// the expires dict and the ordered expiry index in sync. It reports
-// whether the key exists.
-func (s *Store) expireAtLocked(key string, t time.Time) bool {
-	e, ok := s.dict[key]
+// setExpireAt rewrites key's TTL deadline (zero clears it), keeping the
+// expires dict and the ordered expiry index in sync. It reports whether
+// the key exists.
+func (st *stripe) setExpireAt(key string, t time.Time) bool {
+	e, ok := st.dict[key]
 	if !ok {
 		return false
 	}
-	if !e.expireAt.IsZero() && s.exp != nil {
-		s.exp.Remove(key, e.expireAt)
+	if !e.expireAt.IsZero() && st.exp != nil {
+		st.exp.Remove(key, e.expireAt)
 	}
 	e.expireAt = t
 	if t.IsZero() {
-		delete(s.expires, key)
+		delete(st.expires, key)
 	} else {
-		s.expires[key] = t
-		if s.exp != nil {
-			s.exp.Set(key, t)
+		st.expires[key] = t
+		if st.exp != nil {
+			st.exp.Set(key, t)
 		}
 	}
 	return true
 }
 
-// flushLocked drops every key and index entry (FLUSHALL and its replay).
-func (s *Store) flushLocked() {
-	s.dict = make(map[string]*entry)
-	s.expires = make(map[string]time.Time)
-	s.keySlice = nil
-	s.keyPos = make(map[string]int)
-	s.bytes = 0
-	if s.meta != nil {
-		s.meta.Reset()
+// flush drops every key and index entry in this stripe (FLUSHALL and its
+// replay).
+func (st *stripe) flush() {
+	st.dict = make(map[string]*entry)
+	st.expires = make(map[string]time.Time)
+	st.keySlice = nil
+	st.keyPos = make(map[string]int)
+	st.bytes = 0
+	if st.meta != nil {
+		st.meta.Reset()
 	}
-	if s.exp != nil {
-		s.exp.Reset()
+	if st.exp != nil {
+		st.exp.Reset()
 	}
 }
 
-// expireIfDueLocked performs Redis-style lazy deletion on access.
-func (s *Store) expireIfDueLocked(key string, now time.Time) bool {
-	e, ok := s.dict[key]
+// expireIfDue performs Redis-style lazy deletion on access. Lazy deletes
+// write no AOF DEL — replay re-applies the SETEX and the key expires
+// again by its own deadline.
+func (st *stripe) expireIfDue(key string, now time.Time) bool {
+	e, ok := st.dict[key]
 	if !ok {
 		return false
 	}
 	if e.expireAt.IsZero() || e.expireAt.After(now) {
 		return false
 	}
-	s.deleteLocked(key)
+	st.del(key)
 	return true
+}
+
+// gather collects the live (unexpired) keys of this stripe in scan
+// order, under the stripe lock.
+func (st *stripe) gather(now time.Time) []kv {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]kv, 0, len(st.keySlice))
+	for _, k := range st.keySlice {
+		e := st.dict[k]
+		if !e.expireAt.IsZero() && !e.expireAt.After(now) {
+			continue
+		}
+		out = append(out, kv{k, e.value, e.expireAt})
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------------
+// AOF append helpers: the single-mutex profile appends inline under the
+// stripe lock (the faithful command-path cost); the striped profile
+// stages the op for the writer goroutine and waits only as far as the
+// fsync policy requires. Both emit byte-identical frames.
+
+// stageSet / stageDel / stageExpireAt / stageFlushAll run with the
+// caller holding the mutated stripe's lock (or every stripe's, for
+// FLUSHALL), so the assigned sequence — hence AOF file order — matches
+// apply order per key.
+
+func (s *Store) appendSet(key, value string, expireAt time.Time) (uint64, error) {
+	if s.aof != nil {
+		return 0, s.aof.appendSet(key, value, expireAt)
+	}
+	if s.pipe != nil {
+		op := stagedOp{op: opSet, key: key, value: value, slotted: true}
+		if !expireAt.IsZero() {
+			op.op = opSetex
+			op.ns = expireAt.UnixNano()
+		}
+		return s.pipe.stage(op), nil
+	}
+	return 0, nil
+}
+
+func (s *Store) appendDel(key string) (uint64, error) {
+	if s.aof != nil {
+		return 0, s.aof.appendDel(key)
+	}
+	if s.pipe != nil {
+		return s.pipe.stage(stagedOp{op: opDel, key: key, slotted: true}), nil
+	}
+	return 0, nil
+}
+
+func (s *Store) appendExpireAt(key string, t time.Time) (uint64, error) {
+	if s.aof != nil {
+		return 0, s.aof.appendExpireAt(key, t)
+	}
+	if s.pipe != nil {
+		var ns int64
+		if !t.IsZero() {
+			ns = t.UnixNano()
+		}
+		return s.pipe.stage(stagedOp{op: opExpireAt, key: key, ns: ns, slotted: true}), nil
+	}
+	return 0, nil
+}
+
+// expiryDel records an expiry-cycle DEL. Cycle victims bypass the
+// backpressure semaphore (their volume is bounded by the cycle's sample
+// budget, and a cycle must not park inside a stripe lock).
+func (s *Store) expiryDel(key string) {
+	if s.aof != nil {
+		_ = s.aof.appendDel(key)
+	}
+	if s.pipe != nil {
+		s.pipe.stage(stagedOp{op: opDel, key: key})
+	}
+}
+
+// logRead records a read op (GET/SCAN/IDXSCAN) when read logging is on.
+// Read logging failures do not fail the read (Redis' AOF write errors
+// are handled out-of-band); they surface on Sync/Close.
+func (s *Store) logRead(op, operand string) {
+	if !s.logReads {
+		return
+	}
+	if s.aof != nil {
+		_ = s.aof.appendRead(op, operand)
+	}
+	if s.pipe != nil {
+		s.pipe.stage(stagedOp{op: op, key: operand})
+	}
+}
+
+// reserve acquires one backpressure slot before a command write (a
+// no-op in the inline profile). Callers must not hold a stripe lock.
+func (s *Store) reserve() error {
+	if s.pipe == nil {
+		return nil
+	}
+	return s.pipe.reserve()
+}
+
+// unreserve returns an unused slot when the command turned out not to
+// stage anything (missing key, no TTL to clear).
+func (s *Store) unreserve() {
+	if s.pipe != nil {
+		s.pipe.release()
+	}
+}
+
+// commit applies the post-stage wait for one staged write: under
+// appendfsync always the caller blocks until a group commit covers seq;
+// everysec/no return immediately (surfacing any sticky writer error).
+func (s *Store) commit(seq uint64, err error) error {
+	if err != nil || s.pipe == nil || seq == 0 {
+		return err
+	}
+	return s.pipe.commit(seq)
 }
 
 // ---------------------------------------------------------------------------
@@ -320,135 +574,182 @@ func (s *Store) Set(key, value string) error {
 
 // SetWithExpiry stores value under key; a non-zero expireAt arms a TTL.
 func (s *Store) SetWithExpiry(key, value string, expireAt time.Time) error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if err := s.reserve(); err != nil {
+		return err
+	}
+	st := s.stripeFor(key)
+	st.mu.Lock()
+	if s.closed.Load() {
+		st.mu.Unlock()
+		s.unreserve()
 		return errClosed
 	}
-	s.setLocked(key, value, expireAt)
-	if s.aof != nil {
-		return s.aof.appendSet(key, value, expireAt)
-	}
-	return nil
+	st.set(key, value, expireAt)
+	seq, err := s.appendSet(key, value, expireAt)
+	st.mu.Unlock()
+	return s.commit(seq, err)
 }
 
 // Get returns the value for key. Expired keys are deleted on access and
 // reported as missing.
 func (s *Store) Get(key string) (string, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	st := s.stripeFor(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if s.closed.Load() {
 		return "", false
 	}
 	now := s.clk.Now()
-	if s.expireIfDueLocked(key, now) {
-		s.maybeLogReadLocked("GET", key)
+	if st.expireIfDue(key, now) {
+		s.logRead(opGet, key)
 		return "", false
 	}
-	e, ok := s.dict[key]
+	e, ok := st.dict[key]
 	if !ok {
-		s.maybeLogReadLocked("GET", key)
+		s.logRead(opGet, key)
 		return "", false
 	}
-	s.maybeLogReadLocked("GET", key)
+	s.logRead(opGet, key)
 	return e.value, true
 }
 
-func (s *Store) maybeLogReadLocked(op, key string) {
-	if s.logReads && s.aof != nil {
-		// Read logging failures do not fail the read (Redis' AOF write
-		// errors are handled out-of-band); they surface on Sync/Close.
-		_ = s.aof.appendRead(op, key)
-	}
-}
-
 // Update atomically applies fn to the current value and expiry of key
-// under the store lock, storing the result. It returns false if the key
-// is missing or expired. fn must not call back into the store. If fn
-// returns an error, the key is left unchanged and the error is returned.
+// under the key's stripe lock, storing the result. It returns false if
+// the key is missing or expired. fn must not call back into the store.
+// If fn returns an error, the key is left unchanged and the error is
+// returned.
 func (s *Store) Update(key string, fn func(value string, expireAt time.Time) (string, time.Time, error)) (bool, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if err := s.reserve(); err != nil {
+		return false, err
+	}
+	st := s.stripeFor(key)
+	st.mu.Lock()
+	if s.closed.Load() {
+		st.mu.Unlock()
+		s.unreserve()
 		return false, errClosed
 	}
 	now := s.clk.Now()
-	if s.expireIfDueLocked(key, now) {
+	if st.expireIfDue(key, now) {
+		st.mu.Unlock()
+		s.unreserve()
 		return false, nil
 	}
-	e, ok := s.dict[key]
+	e, ok := st.dict[key]
 	if !ok {
+		st.mu.Unlock()
+		s.unreserve()
 		return false, nil
 	}
 	newValue, newExpiry, err := fn(e.value, e.expireAt)
 	if err != nil {
+		st.mu.Unlock()
+		s.unreserve()
 		return false, err
 	}
-	s.setLocked(key, newValue, newExpiry)
-	if s.aof != nil {
-		return true, s.aof.appendSet(key, newValue, newExpiry)
-	}
-	return true, nil
+	st.set(key, newValue, newExpiry)
+	seq, err := s.appendSet(key, newValue, newExpiry)
+	st.mu.Unlock()
+	return true, s.commit(seq, err)
 }
 
-// Del removes the given keys, returning how many existed.
+// Del removes the given keys, returning how many existed. In the
+// single-mutex profile the whole multi-key delete holds the one lock,
+// like Redis' atomic DEL; the striped profile deletes per key under each
+// key's stripe lock (per-key linearizable, not atomic across keys — the
+// shard router's cross-shard contract).
 func (s *Store) Del(keys ...string) (int, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return 0, errClosed
-	}
-	n := 0
-	for _, k := range keys {
-		if s.deleteLocked(k) {
-			n++
-			if s.aof != nil {
-				if err := s.aof.appendDel(k); err != nil {
+	if !s.striped {
+		st := &s.stripes[0]
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		if s.closed.Load() {
+			return 0, errClosed
+		}
+		n := 0
+		for _, k := range keys {
+			if st.del(k) {
+				n++
+				if _, err := s.appendDel(k); err != nil {
 					return n, err
 				}
 			}
 		}
+		return n, nil
 	}
-	return n, nil
+	n := 0
+	var lastSeq uint64
+	for _, k := range keys {
+		if err := s.reserve(); err != nil {
+			return n, err
+		}
+		st := s.stripeFor(k)
+		st.mu.Lock()
+		if s.closed.Load() {
+			st.mu.Unlock()
+			s.unreserve()
+			return n, errClosed
+		}
+		if !st.del(k) {
+			st.mu.Unlock()
+			s.unreserve()
+			continue
+		}
+		n++
+		seq, _ := s.appendDel(k)
+		st.mu.Unlock()
+		lastSeq = seq
+	}
+	// One durability wait covers the batch: group commits are ordered,
+	// so the last staged DEL being durable implies the earlier ones are.
+	return n, s.commit(lastSeq, nil)
 }
 
 // Exists reports whether key is present and unexpired.
 func (s *Store) Exists(key string) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.expireIfDueLocked(key, s.clk.Now()) {
+	st := s.stripeFor(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if st.expireIfDue(key, s.clk.Now()) {
 		return false
 	}
-	_, ok := s.dict[key]
+	_, ok := st.dict[key]
 	return ok
 }
 
 // ExpireAt arms a TTL on an existing key. It reports whether the key exists.
 func (s *Store) ExpireAt(key string, t time.Time) (bool, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if err := s.reserve(); err != nil {
+		return false, err
+	}
+	st := s.stripeFor(key)
+	st.mu.Lock()
+	if s.closed.Load() {
+		st.mu.Unlock()
+		s.unreserve()
 		return false, errClosed
 	}
-	if !s.expireAtLocked(key, t) {
+	if !st.setExpireAt(key, t) {
+		st.mu.Unlock()
+		s.unreserve()
 		return false, nil
 	}
-	if s.aof != nil {
-		return true, s.aof.appendExpireAt(key, t)
-	}
-	return true, nil
+	seq, err := s.appendExpireAt(key, t)
+	st.mu.Unlock()
+	return true, s.commit(seq, err)
 }
 
 // TTL returns the remaining lifetime of key. ok is false if the key does
 // not exist; a zero duration with ok=true means no TTL is set.
 func (s *Store) TTL(key string) (time.Duration, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	st := s.stripeFor(key)
+	st.mu.Lock()
+	defer st.mu.Unlock()
 	now := s.clk.Now()
-	if s.expireIfDueLocked(key, now) {
+	if st.expireIfDue(key, now) {
 		return 0, false
 	}
-	e, ok := s.dict[key]
+	e, ok := st.dict[key]
 	if !ok {
 		return 0, false
 	}
@@ -460,211 +761,416 @@ func (s *Store) TTL(key string) (time.Duration, bool) {
 
 // Persist removes the TTL from key, reporting whether a TTL was removed.
 func (s *Store) Persist(key string) (bool, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if err := s.reserve(); err != nil {
+		return false, err
+	}
+	st := s.stripeFor(key)
+	st.mu.Lock()
+	if s.closed.Load() {
+		st.mu.Unlock()
+		s.unreserve()
 		return false, errClosed
 	}
-	e, ok := s.dict[key]
+	e, ok := st.dict[key]
 	if !ok || e.expireAt.IsZero() {
+		st.mu.Unlock()
+		s.unreserve()
 		return false, nil
 	}
-	s.expireAtLocked(key, time.Time{})
-	if s.aof != nil {
-		return true, s.aof.appendExpireAt(key, time.Time{})
-	}
-	return true, nil
+	st.setExpireAt(key, time.Time{})
+	seq, err := s.appendExpireAt(key, time.Time{})
+	st.mu.Unlock()
+	return true, s.commit(seq, err)
 }
 
 // DBSize returns the number of keys (including not-yet-expired ones).
 func (s *Store) DBSize() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.dict)
+	n := 0
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		n += len(st.dict)
+		st.mu.Unlock()
+	}
+	return n
 }
 
 // ExpiresSize returns the number of keys carrying a TTL.
 func (s *Store) ExpiresSize() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return len(s.expires)
+	n := 0
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		n += len(st.expires)
+		st.mu.Unlock()
+	}
+	return n
 }
 
 // MemoryBytes approximates Redis' used-memory for the dataset: the sum of
 // key and value bytes currently stored. It feeds the space-overhead metric.
 func (s *Store) MemoryBytes() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.bytes
+	var b int64
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		b += st.bytes
+		st.mu.Unlock()
+	}
+	return b
 }
 
-// ForEach invokes fn for every live (unexpired) key under the store lock,
-// stopping early if fn returns false. This is the engine's only way to
-// evaluate attribute predicates — the O(n) scan the paper attributes to
-// Redis' lack of secondary indexes. Expired-but-unreaped keys are skipped
-// (and counted) but not deleted, since fn must not mutate during iteration.
+// ForEach invokes fn for every live (unexpired) key, stopping early if
+// fn returns false. This is the engine's only way to evaluate attribute
+// predicates — the O(n) scan the paper attributes to Redis' lack of
+// secondary indexes. Expired-but-unreaped keys are skipped (and counted)
+// but not deleted. In the single-mutex profile fn runs under the store
+// lock, exactly like Redis' scan; the striped profile gathers each
+// stripe in parallel under its own lock and then invokes fn outside any
+// lock — per-stripe consistent, not a global snapshot (the shard
+// router's scatter-gather contract). fn must not mutate the store.
 func (s *Store) ForEach(fn func(key, value string, expireAt time.Time) bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	s.fullScans++
+	s.fullScans.Add(1)
 	now := s.clk.Now()
-	for _, k := range s.keySlice {
-		e := s.dict[k]
-		if !e.expireAt.IsZero() && !e.expireAt.After(now) {
-			continue
+	if !s.striped {
+		st := &s.stripes[0]
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		for _, k := range st.keySlice {
+			e := st.dict[k]
+			if !e.expireAt.IsZero() && !e.expireAt.After(now) {
+				continue
+			}
+			if !fn(k, e.value, e.expireAt) {
+				break
+			}
 		}
-		if !fn(k, e.value, e.expireAt) {
-			break
+		s.logRead(opScan, "*")
+		return
+	}
+	parts := s.gatherAll(now)
+	for _, part := range parts {
+		for _, item := range part {
+			if !fn(item.key, item.value, item.expireAt) {
+				s.logRead(opScan, "*")
+				return
+			}
 		}
 	}
-	if s.logReads && s.aof != nil {
-		_ = s.aof.appendRead("SCAN", "*")
+	s.logRead(opScan, "*")
+}
+
+// gatherAll snapshots every stripe's live keys in parallel — the
+// scatter-gather half of the striped selector paths.
+func (s *Store) gatherAll(now time.Time) [][]kv {
+	parts := make([][]kv, len(s.stripes))
+	var wg sync.WaitGroup
+	for i := range s.stripes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			parts[i] = s.stripes[i].gather(now)
+		}(i)
 	}
+	wg.Wait()
+	return parts
 }
 
 // IndexedForEach resolves the records whose attr metadata contains value
 // through the inverted metadata index and invokes fn for each live
-// (unexpired) one in sorted key order, all under one lock hold — O(result)
-// instead of ForEach's O(n). It reports false, having visited nothing,
-// when metadata indexing is off or attr is not an inverted dimension;
-// callers then fall back to the scan. Expired-but-unreaped keys are
-// skipped but not deleted, mirroring ForEach's semantics exactly so the
-// two access paths stay byte-equivalent.
+// (unexpired) one in sorted key order — O(result) instead of ForEach's
+// O(n). It reports false, having visited nothing, when metadata indexing
+// is off or attr is not an inverted dimension; callers then fall back to
+// the scan. Expired-but-unreaped keys are skipped but not deleted,
+// mirroring ForEach's semantics exactly so the two access paths stay
+// byte-equivalent. The striped profile looks up each stripe's posting
+// shard in parallel and merges; fn runs outside the stripe locks.
 func (s *Store) IndexedForEach(attr gdpr.Attribute, value string, fn func(key, value string, expireAt time.Time) bool) bool {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.meta == nil {
-		return false
-	}
-	keys, ok := s.meta.Lookup(attr, value)
-	if !ok {
+	if s.stripes[0].meta == nil {
 		return false
 	}
 	now := s.clk.Now()
-	for _, k := range keys {
-		e := s.dict[k]
-		if e == nil {
-			continue // unreachable while the index is maintained; stay safe
+	if !s.striped {
+		st := &s.stripes[0]
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		keys, ok := st.meta.Lookup(attr, value)
+		if !ok {
+			return false
 		}
-		if !e.expireAt.IsZero() && !e.expireAt.After(now) {
-			continue
+		for _, k := range keys {
+			e := st.dict[k]
+			if e == nil {
+				continue // unreachable while the index is maintained; stay safe
+			}
+			if !e.expireAt.IsZero() && !e.expireAt.After(now) {
+				continue
+			}
+			if !fn(k, e.value, e.expireAt) {
+				break
+			}
 		}
-		if !fn(k, e.value, e.expireAt) {
+		s.logRead(opIdxScan, string(attr)+"="+value)
+		return true
+	}
+	// Lookup's ok depends only on whether attr is an indexed dimension,
+	// so every stripe agrees; probe under the stripe locks in parallel.
+	parts := make([][]kv, len(s.stripes))
+	dim := atomic.Bool{}
+	dim.Store(true)
+	var wg sync.WaitGroup
+	for i := range s.stripes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st := &s.stripes[i]
+			st.mu.Lock()
+			defer st.mu.Unlock()
+			keys, ok := st.meta.Lookup(attr, value)
+			if !ok {
+				dim.Store(false)
+				return
+			}
+			out := make([]kv, 0, len(keys))
+			for _, k := range keys {
+				e := st.dict[k]
+				if e == nil {
+					continue
+				}
+				if !e.expireAt.IsZero() && !e.expireAt.After(now) {
+					continue
+				}
+				out = append(out, kv{k, e.value, e.expireAt})
+			}
+			parts[i] = out
+		}(i)
+	}
+	wg.Wait()
+	if !dim.Load() {
+		return false
+	}
+	var merged []kv
+	for _, part := range parts {
+		merged = append(merged, part...)
+	}
+	// Per-stripe postings come back sorted; restore the global sorted
+	// key order the single-mutex profile emits.
+	sort.Slice(merged, func(i, j int) bool { return merged[i].key < merged[j].key })
+	for _, item := range merged {
+		if !fn(item.key, item.value, item.expireAt) {
 			break
 		}
 	}
-	s.maybeLogReadLocked("IDXSCAN", string(attr)+"="+value)
+	s.logRead(opIdxScan, string(attr)+"="+value)
 	return true
 }
 
 // FullScans reports how many full-keyspace scans (ForEach) the store has
 // served; the indexing tests pin that indexed selectors perform none.
-func (s *Store) FullScans() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.fullScans
-}
+func (s *Store) FullScans() int64 { return s.fullScans.Load() }
 
 // IndexBytes approximates the memory held by the metadata-index layer
 // (inverted postings plus ordered expiry entries); 0 when indexing is
 // off. It is the Redis-model input to Table 3's indexing space overhead.
 func (s *Store) IndexBytes() int64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.meta == nil {
+	if s.stripes[0].meta == nil {
 		return 0
 	}
-	return s.meta.Bytes() + s.exp.Bytes()
+	var b int64
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		b += st.meta.Bytes() + st.exp.Bytes()
+		st.mu.Unlock()
+	}
+	return b
 }
 
 // Scan returns up to count keys starting at cursor, plus the next cursor
 // (0 when the iteration completed). Like Redis SCAN it guarantees that
-// keys present for the whole scan are returned at least once.
+// keys present for the whole scan are returned at least once. The striped
+// profile treats the cursor as an offset into the concatenation of the
+// per-stripe scan orders, locking one stripe at a time — approximate
+// under concurrent mutation, exactly like Redis' cursor.
 func (s *Store) Scan(cursor, count int) ([]string, int) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if cursor < 0 || cursor >= len(s.keySlice) {
-		s.maybeLogReadLocked("SCAN", "*")
+	if !s.striped {
+		st := &s.stripes[0]
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		if cursor < 0 || cursor >= len(st.keySlice) {
+			s.logRead(opScan, "*")
+			return nil, 0
+		}
+		end := cursor + count
+		if end > len(st.keySlice) {
+			end = len(st.keySlice)
+		}
+		out := append([]string(nil), st.keySlice[cursor:end]...)
+		next := end
+		if next >= len(st.keySlice) {
+			next = 0
+		}
+		s.logRead(opScan, "*")
+		return out, next
+	}
+	if cursor < 0 {
+		s.logRead(opScan, "*")
 		return nil, 0
 	}
-	end := cursor + count
-	if end > len(s.keySlice) {
-		end = len(s.keySlice)
+	var out []string
+	offset, total := 0, 0
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		st.mu.Lock()
+		n := len(st.keySlice)
+		lo, hi := cursor, cursor+count
+		if lo < offset {
+			lo = offset
+		}
+		if hi > offset+n {
+			hi = offset + n
+		}
+		if lo < hi {
+			out = append(out, st.keySlice[lo-offset:hi-offset]...)
+		}
+		offset += n
+		total += n
+		st.mu.Unlock()
 	}
-	out := append([]string(nil), s.keySlice[cursor:end]...)
-	next := end
-	if next >= len(s.keySlice) {
+	s.logRead(opScan, "*")
+	if cursor >= total {
+		return nil, 0
+	}
+	next := cursor + count
+	if next >= total {
 		next = 0
 	}
-	s.maybeLogReadLocked("SCAN", "*")
 	return out, next
 }
 
-// FlushAll removes all keys.
+// FlushAll removes all keys. The striped profile locks every stripe, so
+// the flush is totally ordered against every concurrent command and its
+// AOF record lands at the matching position.
 func (s *Store) FlushAll() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	if err := s.reserve(); err != nil {
+		return err
+	}
+	s.lockAll()
+	if s.closed.Load() {
+		s.unlockAll()
+		s.unreserve()
 		return errClosed
 	}
-	s.flushLocked()
-	if s.aof != nil {
-		return s.aof.appendFlushAll()
+	for i := range s.stripes {
+		s.stripes[i].flush()
 	}
-	return nil
+	var seq uint64
+	var err error
+	if s.aof != nil {
+		err = s.aof.appendFlushAll()
+	} else if s.pipe != nil {
+		seq = s.pipe.stage(stagedOp{op: opFlushAll, slotted: true})
+	}
+	s.unlockAll()
+	return s.commit(seq, err)
 }
 
 // Info returns server facts, GET-SYSTEM-FEATURES style.
 func (s *Store) Info() map[string]string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	striping := 0
+	if s.striped {
+		striping = len(s.stripes)
+	}
 	info := map[string]string{
 		"engine":            "kvstore (redis-model)",
-		"keys":              fmt.Sprintf("%d", len(s.dict)),
-		"expires":           fmt.Sprintf("%d", len(s.expires)),
+		"keys":              fmt.Sprintf("%d", s.DBSize()),
+		"expires":           fmt.Sprintf("%d", s.ExpiresSize()),
 		"expiry_mode":       s.mode.String(),
+		"striping":          fmt.Sprintf("%d", striping),
 		"aof":               "off",
 		"log_reads":         fmt.Sprintf("%v", s.logReads),
-		"metadata_indexing": fmt.Sprintf("%v", s.meta != nil),
+		"metadata_indexing": fmt.Sprintf("%v", s.stripes[0].meta != nil),
 	}
 	if s.aof != nil {
 		info["aof"] = s.aof.policy.String()
 		info["aof_encrypted"] = fmt.Sprintf("%v", s.aof.encrypted)
 	}
+	if s.pipe != nil {
+		info["aof"] = s.pipe.policy.String() + " (staged)"
+		info["aof_encrypted"] = fmt.Sprintf("%v", s.pipe.encrypted)
+	}
 	return info
 }
 
-// Sync flushes the AOF to stable storage.
-func (s *Store) Sync() error {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.aof == nil {
-		return nil
+// Stats snapshots the concurrency/persistence counters for gdprbench
+// -json's kvstore block.
+func (s *Store) Stats() Stats {
+	st := Stats{
+		Stripes:    len(s.stripes),
+		FullScans:  s.fullScans.Load(),
+		Bytes:      s.MemoryBytes(),
+		IndexBytes: s.IndexBytes(),
 	}
-	return s.aof.sync()
+	if s.aof != nil {
+		s.stripes[0].mu.Lock()
+		st.AOFBatches = s.aof.appends
+		st.AOFFlushes = s.aof.syncs
+		s.stripes[0].mu.Unlock()
+	}
+	if s.pipe != nil {
+		st.AOFBatches, st.AOFFlushes = s.pipe.counters()
+	}
+	return st
+}
+
+// Sync flushes the AOF to stable storage. The staged pipeline first
+// barriers on the writer having consumed every staged command.
+func (s *Store) Sync() error {
+	if s.aof != nil {
+		s.stripes[0].mu.Lock()
+		defer s.stripes[0].mu.Unlock()
+		return s.aof.sync()
+	}
+	if s.pipe != nil {
+		return s.pipe.syncAll()
+	}
+	return nil
 }
 
 // AOFSize returns the AOF's on-disk size in bytes (0 without an AOF).
 func (s *Store) AOFSize() (int64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.aof == nil {
-		return 0, nil
+	if s.aof != nil {
+		s.stripes[0].mu.Lock()
+		defer s.stripes[0].mu.Unlock()
+		return s.aof.size()
 	}
-	return s.aof.size()
+	if s.pipe != nil {
+		return s.pipe.sizeBarrier()
+	}
+	return 0, nil
 }
 
-// Close stops background expiry and closes the AOF. Close is idempotent.
+// Close stops background expiry, drains the staged AOF pipeline and
+// closes the AOF. Close is idempotent.
 func (s *Store) Close() error {
 	s.StopExpiry()
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
+	s.lockAll()
+	if s.closed.Load() {
+		s.unlockAll()
 		return nil
 	}
-	s.closed = true
+	// Setting closed under every stripe lock freezes the command
+	// sequence: no op can stage after this point, so the pipe drain
+	// below is complete.
+	s.closed.Store(true)
+	s.unlockAll()
 	if s.aof != nil {
+		s.stripes[0].mu.Lock()
+		defer s.stripes[0].mu.Unlock()
 		return s.aof.close()
+	}
+	if s.pipe != nil {
+		return s.pipe.close()
 	}
 	return nil
 }

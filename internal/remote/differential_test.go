@@ -39,6 +39,13 @@ func openEmbeddedPolicy(t *testing.T, engine string, sim *clock.Sim, policy audi
 			Dir: t.TempDir(), Compliance: diffComp, Clock: sim, DisableBackgroundExpiry: true,
 			AuditPolicy: policy,
 		})
+	case "redis-striped":
+		// The lock-striped kvstore profile with its staged group-commit
+		// AOF; must be observably identical to "redis" over the wire.
+		db, err = core.OpenRedis(core.RedisConfig{
+			Dir: t.TempDir(), Compliance: diffComp, Clock: sim, DisableBackgroundExpiry: true,
+			AuditPolicy: policy, KVStripes: 4,
+		})
 	case "postgres":
 		db, err = core.OpenPostgres(core.PostgresConfig{
 			Dir: t.TempDir(), Compliance: diffComp, Clock: sim, DisableTTLDaemon: true,
@@ -93,7 +100,7 @@ func openRemote(t *testing.T, engine string, sim *clock.Sim) core.DB {
 // observably free).
 func TestRemoteTranscriptByteIdenticalToEmbedded(t *testing.T) {
 	cfg := core.Config{Records: 240, Operations: 10, Threads: 2, Seed: 42}.WithDefaults()
-	for _, engine := range []string{"redis", "postgres"} {
+	for _, engine := range []string{"redis", "redis-striped", "postgres"} {
 		for _, policy := range []audit.Pipeline{audit.PipeSync, audit.PipeBatched, audit.PipeAsync} {
 			t.Run(engine+"/"+policy.String(), func(t *testing.T) {
 				run := func(open func(*testing.T, string, *clock.Sim, audit.Pipeline) core.DB) []string {
@@ -118,7 +125,7 @@ func TestRemoteTranscriptByteIdenticalToEmbedded(t *testing.T) {
 // the wire, and requires identical correctness reports.
 func TestRemoteValidateOracleMatchesEmbedded(t *testing.T) {
 	cfg := core.Config{Records: 240, Operations: 40, Threads: 2, Seed: 7}.WithDefaults()
-	for _, engine := range []string{"redis", "postgres"} {
+	for _, engine := range []string{"redis", "redis-striped", "postgres"} {
 		for _, name := range core.WorkloadNames() {
 			t.Run(engine+"/"+string(name), func(t *testing.T) {
 				validate := func(open func(*testing.T, string, *clock.Sim) core.DB) core.CorrectnessReport {

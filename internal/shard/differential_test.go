@@ -31,16 +31,19 @@ func diffVariants() []variant {
 	comp := core.Compliance{Logging: true, AccessControl: true, Strict: true, TimelyDeletion: true}
 	idx := comp
 	idx.MetadataIndexing = true
-	mk := func(engine string, shards int, c core.Compliance, policy audit.Pipeline) func(t *testing.T, sim *clock.Sim) core.DB {
+	mkStriped := func(engine string, shards int, c core.Compliance, policy audit.Pipeline, kvstripes int) func(t *testing.T, sim *clock.Sim) core.DB {
 		return func(t *testing.T, sim *clock.Sim) core.DB {
 			t.Helper()
-			db, err := Open(engine, shards, t.TempDir(), c, sim, true, policy)
+			db, err := Open(engine, shards, t.TempDir(), c, sim, true, policy, kvstripes)
 			if err != nil {
 				t.Fatal(err)
 			}
 			t.Cleanup(func() { db.Close() })
 			return db
 		}
+	}
+	mk := func(engine string, shards int, c core.Compliance, policy audit.Pipeline) func(t *testing.T, sim *clock.Sim) core.DB {
+		return mkStriped(engine, shards, c, policy, 0)
 	}
 	return []variant{
 		{"redis", func(t *testing.T, sim *clock.Sim) core.DB {
@@ -82,6 +85,34 @@ func diffVariants() []variant {
 		{"postgres-3shard", mk("postgres", 3, comp, audit.PipeSync)},
 		// The audit pipeline must never change observable behavior: the
 		// same legs under batched and async audit stay byte-identical.
+		// The kvstore concurrency profile must never change observable
+		// behavior: lock-striped legs (with their staged group-commit AOF)
+		// stay byte-identical to the single-mutex baseline.
+		{"redis-striped", func(t *testing.T, sim *clock.Sim) core.DB {
+			t.Helper()
+			db, err := core.OpenRedis(core.RedisConfig{
+				Dir: t.TempDir(), Compliance: comp, Clock: sim, DisableBackgroundExpiry: true,
+				KVStripes: 8,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { db.Close() })
+			return db
+		}},
+		{"redis-striped-indexed", func(t *testing.T, sim *clock.Sim) core.DB {
+			t.Helper()
+			db, err := core.OpenRedis(core.RedisConfig{
+				Dir: t.TempDir(), Compliance: idx, Clock: sim, DisableBackgroundExpiry: true,
+				KVStripes: 8,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Cleanup(func() { db.Close() })
+			return db
+		}},
+		{"redis-4shard-striped", mkStriped("redis", 4, comp, audit.PipeSync, 4)},
 		{"redis-batched-audit", mk("redis", 1, comp, audit.PipeBatched)},
 		{"redis-async-audit", mk("redis", 1, comp, audit.PipeAsync)},
 		{"redis-4shard-async-audit", mk("redis", 4, comp, audit.PipeAsync)},
@@ -125,7 +156,7 @@ func TestShardCountInvariantUnderExpiry(t *testing.T) {
 	comp := core.Compliance{Logging: true, AccessControl: true, Strict: true, TimelyDeletion: true}
 	run := func(engine string, shards int) (visible int, purged int) {
 		sim := clock.NewSim(time.Unix(1_500_000_000, 0))
-		db, err := Open(engine, shards, t.TempDir(), comp, sim, true, audit.PipeAsync)
+		db, err := Open(engine, shards, t.TempDir(), comp, sim, true, audit.PipeAsync, 0)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -141,13 +141,15 @@ func OpenPostgres(shards int, cfg core.PostgresConfig) (core.DB, error) {
 
 // Open dispatches on the engine model name ("redis" | "postgres")
 // shared by the CLIs and experiments. policy selects the audit append
-// pipeline (core's -auditpolicy spectrum).
-func Open(engine string, shards int, dir string, comp core.Compliance, clk clock.Clock, disableDaemons bool, policy audit.Pipeline) (core.DB, error) {
+// pipeline (core's -auditpolicy spectrum); kvstripes selects the
+// kvstore concurrency profile (0 = single-mutex baseline, ignored by
+// the postgres model).
+func Open(engine string, shards int, dir string, comp core.Compliance, clk clock.Clock, disableDaemons bool, policy audit.Pipeline, kvstripes int) (core.DB, error) {
 	switch engine {
 	case "redis":
 		return OpenRedis(shards, core.RedisConfig{
 			Dir: dir, Compliance: comp, Clock: clk, DisableBackgroundExpiry: disableDaemons,
-			AuditPolicy: policy,
+			AuditPolicy: policy, KVStripes: kvstripes,
 		})
 	case "postgres":
 		return OpenPostgres(shards, core.PostgresConfig{
