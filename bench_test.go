@@ -11,6 +11,7 @@ package gdprbench
 // paper-reported values next to measured ones.
 
 import (
+	"bytes"
 	"fmt"
 	"path/filepath"
 	"strconv"
@@ -20,14 +21,17 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/acl"
 	"repro/internal/audit"
 	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/gdpr"
 	"repro/internal/kvstore"
 	"repro/internal/relstore"
 	"repro/internal/remote"
 	"repro/internal/server"
 	"repro/internal/wal"
+	"repro/internal/wire"
 )
 
 // benchExperiment runs one experiment per iteration and logs its table.
@@ -271,6 +275,7 @@ func benchAuditOps(b *testing.B, engine string, policy AuditPolicy, threads int)
 		sels[i] = ByKey(ds.KeyAt(i))
 	}
 
+	b.ReportAllocs()
 	b.ResetTimer()
 	start := time.Now()
 	var next atomic.Int64
@@ -356,6 +361,7 @@ func benchShardedScan(b *testing.B, engine string, shards, threads int) {
 		sels[u] = ByUser(ds.UserName(u))
 	}
 
+	b.ReportAllocs()
 	b.ResetTimer()
 	start := time.Now()
 	var next atomic.Int64
@@ -448,6 +454,7 @@ func benchNetworkPointReads(b *testing.B, engine string, overTCP bool, threads i
 		sels[i] = ByKey(ds.KeyAt(i))
 	}
 
+	b.ReportAllocs()
 	b.ResetTimer()
 	start := time.Now()
 	var next atomic.Int64
@@ -529,6 +536,7 @@ func benchMetadataReads(b *testing.B, engine string, records int, indexed bool) 
 		sels[u] = ByUser(ds.UserName(u))
 	}
 
+	b.ReportAllocs()
 	b.ResetTimer()
 	start := time.Now()
 	for i := 0; i < b.N; i++ {
@@ -623,6 +631,7 @@ func benchRelstoreMix(b *testing.B, globalLock, durable bool, threads int) {
 		preds[u] = relstore.Eq("usr", fmt.Sprintf("u%d", u))
 	}
 
+	b.ReportAllocs()
 	b.ResetTimer()
 	start := time.Now()
 	var next atomic.Int64
@@ -696,13 +705,16 @@ func BenchmarkRelstoreLocking(b *testing.B) {
 	}
 }
 
-// benchKvstoreMix runs a point-op command mix — 55% GET, 30% SET, 10%
-// SETEX (arming TTLs for the expiry sweep), 5% DEL — against a 10k-key
-// store from the given number of worker goroutines, with a background
-// expiry cycle running throughout. Keys are precomputed so the timed
-// loop measures the engine, not fmt. It reports ops/sec so the
-// single-mutex and striped legs compare directly.
-func benchKvstoreMix(b *testing.B, striping int, durable bool, threads int) {
+// benchKvstoreMix runs a point-op command mix against a 10k-key store
+// from the given number of worker goroutines, with a background expiry
+// cycle running throughout. Two mixes: "mixed" is 55% GET, 30% SET, 10%
+// SETEX (arming TTLs for the expiry sweep), 5% DEL; "get95" is the
+// GDPRbench read-dominated profile — 95% GET, 5% SET — where the
+// striped RWMutex read path lets all threads read one stripe
+// concurrently. Keys are precomputed so the timed loop measures the
+// engine, not fmt. It reports ops/sec and allocs/op so the single-mutex
+// and striped legs compare directly.
+func benchKvstoreMix(b *testing.B, mix string, striping int, durable bool, threads int) {
 	b.Helper()
 	cfg := kvstore.Config{Striping: striping, ExpiryMode: kvstore.ExpiryStrict}
 	if durable {
@@ -737,6 +749,7 @@ func benchKvstoreMix(b *testing.B, striping int, durable bool, threads int) {
 		}
 	}()
 
+	b.ReportAllocs()
 	b.ResetTimer()
 	start := time.Now()
 	var next atomic.Int64
@@ -749,6 +762,15 @@ func benchKvstoreMix(b *testing.B, striping int, durable bool, threads int) {
 				i := int(next.Add(1) - 1)
 				if i >= b.N {
 					return
+				}
+				if mix == "get95" {
+					if i%20 < 19 { // 95%: point read
+						s.Get(keys[(i*7)%records])
+					} else if err := s.Set(keys[(i*31)%records], "data-payload-v2"); err != nil { // 5%: overwrite
+						b.Error(err)
+						return
+					}
+					continue
 				}
 				switch {
 				case i%20 < 11: // 55%: point read
@@ -788,7 +810,9 @@ func benchKvstoreMix(b *testing.B, striping int, durable bool, threads int) {
 // command path entirely; the single-mutex baseline serializes every
 // command and pays the append inline, which is the paper's Redis
 // profile. (On a 1-vCPU host the legs converge — the striped profile's
-// win is parallelism, not fewer instructions.)
+// win is parallelism, not fewer instructions.) The get95 mix isolates
+// the RWMutex read path: at ≥4 threads the striped legs' readers share
+// each stripe's lock instead of convoying on it.
 func BenchmarkKvstoreLocking(b *testing.B) {
 	for _, mode := range []struct {
 		name    string
@@ -797,14 +821,89 @@ func BenchmarkKvstoreLocking(b *testing.B) {
 		{"mem", false},
 		{"aof", true},
 	} {
-		for _, striping := range []int{0, 4, 16} {
-			for _, threads := range []int{1, 4, 8} {
-				b.Run(fmt.Sprintf("%s/striping=%d/threads=%d", mode.name, striping, threads), func(b *testing.B) {
-					benchKvstoreMix(b, striping, mode.durable, threads)
-				})
+		for _, mix := range []string{"mixed", "get95"} {
+			for _, striping := range []int{0, 4, 16} {
+				for _, threads := range []int{1, 4, 8} {
+					b.Run(fmt.Sprintf("%s/%s/striping=%d/threads=%d", mode.name, mix, striping, threads), func(b *testing.B) {
+						benchKvstoreMix(b, mix, striping, mode.durable, threads)
+					})
+				}
 			}
 		}
 	}
+}
+
+// BenchmarkWireAlloc measures per-frame allocations through the wire
+// codec: the pooled path (per-connection Encoder/Decoder reusing their
+// buffers across frames, as server and remote connections do) against
+// the package-level per-call path. Legs cover a small point-read
+// request and a 10-record Records response.
+func BenchmarkWireAlloc(b *testing.B) {
+	rec := mustRecord(b)
+	frames := []struct {
+		name string
+		msg  wire.Message
+	}{
+		{"read-data", &wire.ReadData{
+			Actor: acl.Actor{Role: acl.Customer, ID: "neo"},
+			Sel:   gdpr.ByKey("r0000001"),
+		}},
+		{"records10", &wire.Records{Recs: func() []string {
+			recs := make([]string, 10)
+			for i := range recs {
+				recs[i] = rec
+			}
+			return recs
+		}()}},
+	}
+	for _, f := range frames {
+		b.Run("pooled/"+f.name, func(b *testing.B) {
+			var enc wire.Encoder
+			var dec wire.Decoder
+			var buf bytes.Buffer
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				if err := enc.WriteMessage(&buf, f.msg); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := dec.ReadMessage(&buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		b.Run("percall/"+f.name, func(b *testing.B) {
+			var buf bytes.Buffer
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				buf.Reset()
+				if err := wire.WriteMessage(&buf, f.msg); err != nil {
+					b.Fatal(err)
+				}
+				if _, err := wire.ReadMessage(&buf); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// mustRecord returns one encoded §4.2.1 record for wire payloads.
+func mustRecord(b *testing.B) string {
+	b.Helper()
+	return gdpr.Encode(gdpr.Record{
+		Key:  "r0000001",
+		Data: "123-456-7890",
+		Meta: gdpr.Metadata{
+			Purposes:   []string{"ads"},
+			Expiry:     time.Unix(1_552_867_200, 0).UTC(),
+			User:       "u0001",
+			SharedWith: []string{"shr01"},
+			Source:     "first-party",
+		},
+	})
 }
 
 // ---------------------------------------------------------------------------
@@ -832,6 +931,7 @@ func BenchmarkAblationExpiry(b *testing.B) {
 				}
 			}
 			sim.Advance(5*time.Minute + time.Second)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				s.CycleOnce()
@@ -930,6 +1030,7 @@ func BenchmarkAblationTransit(b *testing.B) {
 					b.Fatal(err)
 				}
 			}
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := client.ReadData(actor, ByKey(ds.KeyAt(i%1000))); err != nil {

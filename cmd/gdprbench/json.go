@@ -42,17 +42,21 @@ type jsonAudit struct {
 }
 
 // jsonKvstore is the Redis-model engine's concurrency/persistence
-// accounting for the run (stripe count, full-keyspace scans served,
-// dataset and index footprints, staged-AOF group commits and fsyncs).
-// Absent for the postgres model and for remote runs, whose engine lives
-// server-side.
+// accounting for the run (stripe count, read- vs write-mode stripe-lock
+// acquisitions, full-keyspace scans served, client allocations per
+// operation, dataset and index footprints, staged-AOF group commits and
+// fsyncs). Absent for the postgres model and for remote runs, whose
+// engine lives server-side.
 type jsonKvstore struct {
-	Stripes    int   `json:"stripes"`
-	FullScans  int64 `json:"full_scans"`
-	Bytes      int64 `json:"bytes"`
-	IndexBytes int64 `json:"index_bytes,omitempty"`
-	AOFBatches int64 `json:"aof_batches,omitempty"`
-	AOFFlushes int64 `json:"aof_flushes,omitempty"`
+	Stripes     int     `json:"stripes"`
+	FullScans   int64   `json:"full_scans"`
+	ReadLocks   int64   `json:"read_locks"`
+	WriteLocks  int64   `json:"write_locks"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	Bytes       int64   `json:"bytes"`
+	IndexBytes  int64   `json:"index_bytes,omitempty"`
+	AOFBatches  int64   `json:"aof_batches,omitempty"`
+	AOFFlushes  int64   `json:"aof_flushes,omitempty"`
 }
 
 type jsonLoad struct {
@@ -112,8 +116,10 @@ func auditBlock(db gdprbench.DB, opts options) *jsonAudit {
 }
 
 // kvstoreBlock derives the report's kvstore block from the DB under
-// test; nil for non-kvstore engines and remote clients.
-func kvstoreBlock(db gdprbench.DB) *jsonKvstore {
+// test; nil for non-kvstore engines and remote clients. allocsPerOp is
+// the process-wide heap-allocation count per workload operation,
+// measured around the timed loop.
+func kvstoreBlock(db gdprbench.DB, allocsPerOp float64) *jsonKvstore {
 	ks, ok := db.(gdprbench.KvstoreStatser)
 	if !ok {
 		return nil
@@ -123,16 +129,19 @@ func kvstoreBlock(db gdprbench.DB) *jsonKvstore {
 		return nil
 	}
 	return &jsonKvstore{
-		Stripes:    s.Stripes,
-		FullScans:  s.FullScans,
-		Bytes:      s.Bytes,
-		IndexBytes: s.IndexBytes,
-		AOFBatches: s.AOFBatches,
-		AOFFlushes: s.AOFFlushes,
+		Stripes:     s.Stripes,
+		FullScans:   s.FullScans,
+		ReadLocks:   s.ReadLocks,
+		WriteLocks:  s.WriteLocks,
+		AllocsPerOp: allocsPerOp,
+		Bytes:       s.Bytes,
+		IndexBytes:  s.IndexBytes,
+		AOFBatches:  s.AOFBatches,
+		AOFFlushes:  s.AOFFlushes,
 	}
 }
 
-func writeJSONReport(path string, opts options, label string, db gdprbench.DB, loadRun *stats.Run, report core.Report, runs map[gdprbench.WorkloadName]*stats.Run) error {
+func writeJSONReport(path string, opts options, label string, db gdprbench.DB, loadRun *stats.Run, report core.Report, runs map[gdprbench.WorkloadName]*stats.Run, allocsPerOp float64) error {
 	out := jsonReport{
 		Engine:     label,
 		Records:    opts.records,
@@ -141,7 +150,7 @@ func writeJSONReport(path string, opts options, label string, db gdprbench.DB, l
 		Shards:     opts.shards,
 		Connect:    opts.connect,
 		Audit:      auditBlock(db, opts),
-		Kvstore:    kvstoreBlock(db),
+		Kvstore:    kvstoreBlock(db, allocsPerOp),
 		Load: jsonLoad{
 			CompletionMS: float64(loadRun.WallTime().Microseconds()) / 1e3,
 			OpsPerSec:    loadRun.Throughput(),

@@ -28,6 +28,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -58,6 +60,8 @@ type options struct {
 	jsonPath    string
 	auditPolicy gdprbench.AuditPolicy
 	kvstripes   int
+	cpuProfile  string
+	memProfile  string
 }
 
 // engineFlags are meaningless with -connect (the server owns the
@@ -72,6 +76,7 @@ var engineFlags = map[string]bool{
 var benchFlags = map[string]bool{
 	"records": true, "ops": true, "threads": true, "datasize": true, "seed": true,
 	"workloads": true, "secondarydist": true, "validate": true, "json": true,
+	"cpuprofile": true, "memprofile": true,
 }
 
 func main() {
@@ -96,6 +101,8 @@ func main() {
 		jsonPath  = flag.String("json", "", "write machine-readable results (per-workload completion, ops/s, per-op p50/p95/p99) to this file")
 		auditPol  = flag.String("auditpolicy", gdprbench.DefaultAuditPolicy.String(), "audit append pipeline: sync (inline, the legacy baseline) | batched (group-committed, callers wait) | async (fire-and-forget, bounded-queue backpressure)")
 		kvstripes = flag.Int("kvstripes", 0, "redis engine: partition each kvstore into N lock stripes with a staged group-commit AOF (0 = the Redis-faithful single-mutex baseline)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
+		memProf   = flag.String("memprofile", "", "write a heap/allocation profile to this file when the run ends")
 	)
 	flag.Parse()
 
@@ -116,6 +123,7 @@ func main() {
 		indexed: *indexed, baseline: *baseline, validate: *validate,
 		serve: *serve, frozen: *frozen, connect: *connect, token: *token, jsonPath: *jsonPath,
 		auditPolicy: policy, kvstripes: *kvstripes,
+		cpuProfile: *cpuProf, memProfile: *memProf,
 	}
 	if err := run(opts); err != nil {
 		fmt.Fprintln(os.Stderr, "gdprbench:", err)
@@ -211,10 +219,54 @@ func run(opts options) error {
 		}
 	}
 
-	if opts.validate {
-		return runValidate(opts, comp, cfg, names)
+	stopProfiles, err := startProfiles(opts)
+	if err != nil {
+		return err
 	}
-	return runTimed(opts, comp, cfg, names)
+	if opts.validate {
+		err = runValidate(opts, comp, cfg, names)
+	} else {
+		err = runTimed(opts, comp, cfg, names)
+	}
+	if perr := stopProfiles(); perr != nil && err == nil {
+		err = perr
+	}
+	return err
+}
+
+// startProfiles arms -cpuprofile / -memprofile; the returned stop
+// function finalizes both files once the run ends.
+func startProfiles(opts options) (func() error, error) {
+	var cpu *os.File
+	if opts.cpuProfile != "" {
+		f, err := os.Create(opts.cpuProfile)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpu = f
+	}
+	return func() error {
+		if cpu != nil {
+			pprof.StopCPUProfile()
+			if err := cpu.Close(); err != nil {
+				return err
+			}
+		}
+		if opts.memProfile != "" {
+			f, err := os.Create(opts.memProfile)
+			if err != nil {
+				return err
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so in-use numbers reflect live data
+			return pprof.WriteHeapProfile(f)
+		}
+		return nil
+	}, nil
 }
 
 // openBench returns the DB under test: a remote client for -connect, an
@@ -310,6 +362,8 @@ func runTimed(opts options, comp gdprbench.Compliance, cfg gdprbench.Config, nam
 
 	report := core.Report{Engine: label, Records: opts.records}
 	runs := make(map[gdprbench.WorkloadName]*stats.Run, len(names))
+	var memBefore runtime.MemStats
+	runtime.ReadMemStats(&memBefore)
 	for _, name := range names {
 		var run *gdprbench.RunStats
 		if opts.secondary != nil {
@@ -335,6 +389,20 @@ func runTimed(opts options, comp gdprbench.Compliance, cfg gdprbench.Config, nam
 			Correctness:    -1,
 		})
 	}
+	// Heap allocations per workload operation, measured process-wide
+	// around the timed loop (the read-path allocation budget the pooled
+	// codec and copy-out paths are accountable to).
+	var memAfter runtime.MemStats
+	runtime.ReadMemStats(&memAfter)
+	var totalOps int64
+	for _, res := range report.Results {
+		totalOps += res.Operations
+	}
+	var allocsPerOp float64
+	if totalOps > 0 {
+		allocsPerOp = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(totalOps)
+	}
+
 	space, err := db.SpaceUsage()
 	if err != nil {
 		return err
@@ -343,7 +411,7 @@ func runTimed(opts options, comp gdprbench.Compliance, cfg gdprbench.Config, nam
 	fmt.Print(report)
 
 	if opts.jsonPath != "" {
-		if err := writeJSONReport(opts.jsonPath, opts, label, db, loadRun, report, runs); err != nil {
+		if err := writeJSONReport(opts.jsonPath, opts, label, db, loadRun, report, runs, allocsPerOp); err != nil {
 			return fmt.Errorf("-json: %w", err)
 		}
 		fmt.Printf("wrote %s\n", opts.jsonPath)

@@ -22,6 +22,8 @@ package main
 import (
 	"flag"
 	"fmt"
+	"net/http"
+	_ "net/http/pprof" // -pprofaddr: live CPU/heap profiles of the serving hot path
 	"os"
 
 	gdprbench "repro"
@@ -39,9 +41,17 @@ func main() {
 		frozenclock = flag.Bool("frozenclock", false, "run engines on a simulated clock frozen at the epoch with expiry daemons off (required for gdprbench -connect -validate)")
 		auditPol    = flag.String("auditpolicy", gdprbench.DefaultAuditPolicy.String(), "audit append pipeline: sync (inline, the legacy baseline) | batched (group-committed, callers wait) | async (fire-and-forget, bounded-queue backpressure)")
 		kvstripes   = flag.Int("kvstripes", 0, "redis engine: partition each kvstore into N lock stripes with a staged group-commit AOF (0 = the Redis-faithful single-mutex baseline)")
+		pprofAddr   = flag.String("pprofaddr", "", "serve net/http/pprof on this TCP address (e.g. 127.0.0.1:6060) for live profiles of the server")
 	)
 	flag.Parse()
 
+	if *pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
+				fmt.Fprintln(os.Stderr, "gdprserver: pprof:", err)
+			}
+		}()
+	}
 	if err := run(*addr, *engine, *shards, *dir, *token, *auditPol, *indexed, *baseline, *frozenclock, *kvstripes); err != nil {
 		fmt.Fprintln(os.Stderr, "gdprserver:", err)
 		os.Exit(1)

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"fmt"
 	"os"
+	"strconv"
 	"sync"
 	"time"
 
@@ -96,6 +97,23 @@ func encodeCommand(buf []byte, args ...string) []byte {
 	return buf
 }
 
+// encodeCommandNum encodes args plus the decimal rendering of ns as one
+// final argument — byte-identical to encodeCommand(buf, append(args,
+// fmt.Sprintf("%d", ns))...) without materializing the string. The
+// SETEX/EXPIREAT hot paths go through here so a deadline costs no
+// allocation.
+func encodeCommandNum(buf []byte, ns int64, args ...string) []byte {
+	var num [20]byte // len("-9223372036854775808")
+	nb := strconv.AppendInt(num[:0], ns, 10)
+	buf = binary.AppendUvarint(buf[:0], uint64(len(args))+1)
+	for _, a := range args {
+		buf = binary.AppendUvarint(buf, uint64(len(a)))
+		buf = append(buf, a...)
+	}
+	buf = binary.AppendUvarint(buf, uint64(len(nb)))
+	return append(buf, nb...)
+}
+
 func decodeCommand(p []byte) ([]string, error) {
 	argc, n := binary.Uvarint(p)
 	if n <= 0 || argc > 16 {
@@ -119,6 +137,19 @@ func decodeCommand(p []byte) ([]string, error) {
 
 func (a *aof) append(args ...string) error {
 	a.buf = encodeCommand(a.buf, args...)
+	return a.writeBuf()
+}
+
+// appendNum is append with a final integer argument, encoded without the
+// intermediate string.
+func (a *aof) appendNum(ns int64, args ...string) error {
+	a.buf = encodeCommandNum(a.buf, ns, args...)
+	return a.writeBuf()
+}
+
+// writeBuf appends the encoded frame in a.buf and applies the fsync
+// policy.
+func (a *aof) writeBuf() error {
 	if err := a.file.AppendFrame(a.buf); err != nil {
 		return err
 	}
@@ -146,7 +177,7 @@ func (a *aof) appendSet(key, value string, expireAt time.Time) error {
 	if expireAt.IsZero() {
 		return a.append(opSet, key, value)
 	}
-	return a.append(opSetex, key, value, fmt.Sprintf("%d", expireAt.UnixNano()))
+	return a.appendNum(expireAt.UnixNano(), opSetex, key, value)
 }
 
 func (a *aof) appendDel(key string) error { return a.append(opDel, key) }
@@ -156,7 +187,7 @@ func (a *aof) appendExpireAt(key string, t time.Time) error {
 	if !t.IsZero() {
 		ns = t.UnixNano()
 	}
-	return a.append(opExpireAt, key, fmt.Sprintf("%d", ns))
+	return a.appendNum(ns, opExpireAt, key)
 }
 
 func (a *aof) appendFlushAll() error { return a.append(opFlushAll) }
@@ -412,7 +443,7 @@ func (s *Store) writeSnapshot(f *securefs.File) error {
 			if e.expireAt.IsZero() {
 				buf = encodeCommand(buf, opSet, k, e.value)
 			} else {
-				buf = encodeCommand(buf, opSetex, k, e.value, fmt.Sprintf("%d", e.expireAt.UnixNano()))
+				buf = encodeCommandNum(buf, e.expireAt.UnixNano(), opSetex, k, e.value)
 			}
 			if err := f.AppendFrame(buf); err != nil {
 				return err

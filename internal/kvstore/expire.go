@@ -36,6 +36,7 @@ func (s *Store) CycleOnce() CycleStats {
 	now := s.clk.Now()
 	if !s.striped {
 		st := &s.stripes[0]
+		st.writes.Add(1)
 		st.mu.Lock()
 		defer st.mu.Unlock()
 		if s.closed.Load() {
@@ -50,6 +51,7 @@ func (s *Store) CycleOnce() CycleStats {
 		go func(i int) {
 			defer wg.Done()
 			st := &s.stripes[i]
+			st.writes.Add(1)
 			st.mu.Lock()
 			defer st.mu.Unlock()
 			if s.closed.Load() {
@@ -207,7 +209,7 @@ func (s *Store) ExpiredKeys() []string {
 	var out []string
 	for i := range s.stripes {
 		st := &s.stripes[i]
-		st.mu.Lock()
+		s.rlock(st)
 		if st.exp != nil {
 			out = append(out, st.exp.Due(now)...)
 		} else {
@@ -217,7 +219,7 @@ func (s *Store) ExpiredKeys() []string {
 				}
 			}
 		}
-		st.mu.Unlock()
+		s.runlock(st)
 	}
 	return out
 }
@@ -230,7 +232,7 @@ func (s *Store) ExpiredRemaining() int {
 	n := 0
 	for i := range s.stripes {
 		st := &s.stripes[i]
-		st.mu.Lock()
+		s.rlock(st)
 		if st.exp != nil {
 			n += st.exp.DueCount(now)
 		} else {
@@ -240,7 +242,7 @@ func (s *Store) ExpiredRemaining() int {
 				}
 			}
 		}
-		st.mu.Unlock()
+		s.runlock(st)
 	}
 	return n
 }

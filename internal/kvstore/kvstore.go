@@ -18,7 +18,9 @@
 //
 // Config.Striping goes beyond that faithful profile: N > 0 partitions the
 // keyspace into cacheline-padded, power-of-two hash stripes, each guarded
-// by its own mutex and carrying its own expires dict, key order and
+// by its own reader/writer lock (point reads and selector copy-outs run
+// shared; writers and the lazy-expiry upgrade run exclusive) and
+// carrying its own expires dict, key order and
 // metadata/expiry indexes, and moves AOF persistence off the command path
 // onto a staged group-commit pipeline (a dedicated writer goroutine
 // batch-encodes and fsyncs; appendfsync always waits on the group commit,
@@ -41,7 +43,8 @@ package kvstore
 
 import (
 	"fmt"
-	"sort"
+	"slices"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -49,6 +52,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/gdpr"
 	"repro/internal/index"
+	"repro/internal/pool"
 )
 
 // ExpiryMode selects the active-expiry algorithm.
@@ -133,11 +137,14 @@ type kv struct {
 }
 
 // stripe is one hash partition of the keyspace: its own dict, expires
-// dict, scan order and index shards, all guarded by one mutex. The pad
-// keeps adjacent stripe locks off one cache line under concurrent
-// commands.
+// dict, scan order and index shards, all guarded by one reader/writer
+// lock. Striped-profile reads share the lock; writers — and every
+// legacy-profile command, reads included, because the Redis-faithful
+// core serializes everything — take it exclusively. The pad rounds the
+// struct to whole cache lines so adjacent stripe locks never share one
+// under concurrent commands.
 type stripe struct {
-	mu   sync.Mutex
+	mu   sync.RWMutex
 	dict map[string]*entry
 	// expires maps the keys carrying a TTL to their deadline (Redis'
 	// "expires" dict, which likewise stores the expire time), so expiry
@@ -155,7 +162,20 @@ type stripe struct {
 
 	bytes int64 // sum of key+value bytes stored in this stripe
 
-	_ [64]byte
+	// arena recycles entry structs within the stripe — freed on DEL or
+	// expiry, reused by the next insert — so steady-state SET/DEL churn
+	// allocates no per-entry garbage. Guarded by mu like the dicts.
+	arena pool.Arena[entry]
+
+	// reads / writes count lock acquisitions by mode: reads are read-path
+	// visits (shared in the striped profile, still exclusive in the
+	// legacy one), writes are exclusive mutating holds (commands,
+	// lazy-expiry upgrades, expiry cycles, global freezes). They feed the
+	// Stats lock-traffic block.
+	reads  atomic.Int64
+	writes atomic.Int64
+
+	_ [32]byte
 }
 
 // Store is the key-value engine. All commands are safe for concurrent
@@ -179,8 +199,9 @@ type Store struct {
 	fullScans atomic.Int64 // full-keyspace scans served (ForEach)
 	closed    atomic.Bool
 
-	// expMu guards the background expiry-loop registration only.
-	expMu      sync.Mutex
+	// expMu guards the background expiry-loop registration: exclusive for
+	// start/stop, shared for liveness checks.
+	expMu      sync.RWMutex
 	stopExpiry chan struct{}
 	expiryDone chan struct{}
 }
@@ -212,6 +233,14 @@ type Stats struct {
 	AOFBatches int64
 	// AOFFlushes counts AOF fsyncs.
 	AOFFlushes int64
+	// ReadLocks / WriteLocks split stripe-lock traffic by mode: reads are
+	// read-path acquisitions (shared in the striped profile; the legacy
+	// profile's read commands still hold the lock exclusively but count
+	// here, so the traffic split stays comparable across profiles), writes
+	// are exclusive mutating holds (commands, lazy-expiry upgrades, expiry
+	// cycles, global freezes).
+	ReadLocks  int64
+	WriteLocks int64
 }
 
 // Open creates a Store. If cfg.AOFPath exists, its commands are replayed
@@ -292,6 +321,7 @@ func (s *Store) stripeFor(key string) *stripe { return &s.stripes[s.stripeIndex(
 // free against each other).
 func (s *Store) lockAll() {
 	for i := range s.stripes {
+		s.stripes[i].writes.Add(1)
 		s.stripes[i].mu.Lock()
 	}
 }
@@ -300,6 +330,44 @@ func (s *Store) unlockAll() {
 	for i := range s.stripes {
 		s.stripes[i].mu.Unlock()
 	}
+}
+
+// rlock / runlock acquire st for a read-only visit: shared in the
+// striped profile, exclusive in the legacy one (the Redis-faithful core
+// serializes every command, reads included).
+func (s *Store) rlock(st *stripe) {
+	st.reads.Add(1)
+	if s.striped {
+		st.mu.RLock()
+		return
+	}
+	st.mu.Lock()
+}
+
+func (s *Store) runlock(st *stripe) {
+	if s.striped {
+		st.mu.RUnlock()
+		return
+	}
+	st.mu.Unlock()
+}
+
+// kvScratch / partsScratch pool the striped selector copy-out buffers
+// (gather/ForEach/IndexedForEach). Elements are cleared on Put, so
+// pooled scratch never extends the lifetime of gathered values — the
+// copy-on-checkout contract internal/pool documents.
+var (
+	kvScratch    pool.Slice[kv]
+	partsScratch pool.Slice[[]kv]
+)
+
+// putParts returns a scatter-gather result — the outer slice and every
+// per-stripe copy-out — to the pools.
+func putParts(parts [][]kv) {
+	for i := range parts {
+		kvScratch.Put(parts[i])
+	}
+	partsScratch.Put(parts)
 }
 
 // ---------------------------------------------------------------------------
@@ -360,10 +428,18 @@ func (st *stripe) set(key, value string, expireAt time.Time) {
 			}
 		}
 		st.metaRemove(key, old.value)
+		// Overwrite the entry in place: the exclusive stripe lock excludes
+		// shared-lock readers, so nobody can observe it mid-update, and
+		// the rewrite allocates nothing.
+		old.value = value
+		old.expireAt = expireAt
 	} else {
 		st.addKey(key)
+		e := st.arena.New()
+		e.value = value
+		e.expireAt = expireAt
+		st.dict[key] = e
 	}
-	st.dict[key] = &entry{value: value, expireAt: expireAt}
 	st.bytes += int64(len(key) + len(value))
 	if !expireAt.IsZero() {
 		st.expires[key] = expireAt
@@ -387,6 +463,7 @@ func (st *stripe) del(key string) bool {
 	delete(st.dict, key)
 	delete(st.expires, key)
 	st.removeKey(key)
+	st.arena.Free(e)
 	return true
 }
 
@@ -421,6 +498,7 @@ func (st *stripe) flush() {
 	st.keySlice = nil
 	st.keyPos = make(map[string]int)
 	st.bytes = 0
+	st.arena.Reset()
 	if st.meta != nil {
 		st.meta.Reset()
 	}
@@ -445,11 +523,13 @@ func (st *stripe) expireIfDue(key string, now time.Time) bool {
 }
 
 // gather collects the live (unexpired) keys of this stripe in scan
-// order, under the stripe lock.
+// order, under the stripe's shared lock (striped profile only), into a
+// pooled scratch slice the caller hands back through putParts.
 func (st *stripe) gather(now time.Time) []kv {
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	out := make([]kv, 0, len(st.keySlice))
+	st.reads.Add(1)
+	st.mu.RLock()
+	defer st.mu.RUnlock()
+	out := kvScratch.Get(len(st.keySlice))
 	for _, k := range st.keySlice {
 		e := st.dict[k]
 		if !e.expireAt.IsZero() && !e.expireAt.After(now) {
@@ -578,6 +658,7 @@ func (s *Store) SetWithExpiry(key, value string, expireAt time.Time) error {
 		return err
 	}
 	st := s.stripeFor(key)
+	st.writes.Add(1)
 	st.mu.Lock()
 	if s.closed.Load() {
 		st.mu.Unlock()
@@ -591,26 +672,75 @@ func (s *Store) SetWithExpiry(key, value string, expireAt time.Time) error {
 }
 
 // Get returns the value for key. Expired keys are deleted on access and
-// reported as missing.
+// reported as missing. The striped profile serves hits and misses under
+// a shared stripe lock, upgrading to the exclusive lock only when it
+// finds a due deadline; the legacy profile keeps the exclusive lock so
+// the Redis-faithful core stays fully serialized.
 func (s *Store) Get(key string) (string, bool) {
 	st := s.stripeFor(key)
-	st.mu.Lock()
-	defer st.mu.Unlock()
+	if !s.striped {
+		st.reads.Add(1)
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		if s.closed.Load() {
+			return "", false
+		}
+		now := s.clk.Now()
+		if st.expireIfDue(key, now) {
+			s.logRead(opGet, key)
+			return "", false
+		}
+		e, ok := st.dict[key]
+		if !ok {
+			s.logRead(opGet, key)
+			return "", false
+		}
+		s.logRead(opGet, key)
+		return e.value, true
+	}
+	st.reads.Add(1)
+	st.mu.RLock()
 	if s.closed.Load() {
+		st.mu.RUnlock()
 		return "", false
 	}
 	now := s.clk.Now()
-	if st.expireIfDue(key, now) {
-		s.logRead(opGet, key)
+	e, ok := st.dict[key]
+	if ok && !e.expireAt.IsZero() && !e.expireAt.After(now) {
+		st.mu.RUnlock()
+		s.lazyExpire(st, key, now, opGet)
 		return "", false
 	}
-	e, ok := st.dict[key]
-	if !ok {
-		s.logRead(opGet, key)
-		return "", false
+	var v string
+	if ok {
+		// Copying the string header under the shared lock is what makes
+		// the in-place entry overwrite in stripe.set safe: writers are
+		// excluded until RUnlock, and the bytes themselves are immutable.
+		v = e.value
 	}
 	s.logRead(opGet, key)
-	return e.value, true
+	st.mu.RUnlock()
+	return v, ok
+}
+
+// lazyExpire is the read path's lock upgrade: a reader that observed a
+// due deadline under the shared lock drops it, takes the exclusive lock
+// and re-checks before deleting — the key may have been deleted,
+// overwritten or re-armed in the unlocked window, in which case
+// expireIfDue correctly does nothing. logOp, when non-empty, records the
+// triggering read once under the exclusive hold, matching the legacy
+// profile's log position.
+func (s *Store) lazyExpire(st *stripe, key string, now time.Time, logOp string) {
+	st.writes.Add(1)
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if s.closed.Load() {
+		return
+	}
+	st.expireIfDue(key, now)
+	if logOp != "" {
+		s.logRead(logOp, key)
+	}
 }
 
 // Update atomically applies fn to the current value and expiry of key
@@ -623,6 +753,7 @@ func (s *Store) Update(key string, fn func(value string, expireAt time.Time) (st
 		return false, err
 	}
 	st := s.stripeFor(key)
+	st.writes.Add(1)
 	st.mu.Lock()
 	if s.closed.Load() {
 		st.mu.Unlock()
@@ -661,6 +792,7 @@ func (s *Store) Update(key string, fn func(value string, expireAt time.Time) (st
 func (s *Store) Del(keys ...string) (int, error) {
 	if !s.striped {
 		st := &s.stripes[0]
+		st.writes.Add(1)
 		st.mu.Lock()
 		defer st.mu.Unlock()
 		if s.closed.Load() {
@@ -684,6 +816,7 @@ func (s *Store) Del(keys ...string) (int, error) {
 			return n, err
 		}
 		st := s.stripeFor(k)
+		st.writes.Add(1)
 		st.mu.Lock()
 		if s.closed.Load() {
 			st.mu.Unlock()
@@ -708,12 +841,26 @@ func (s *Store) Del(keys ...string) (int, error) {
 // Exists reports whether key is present and unexpired.
 func (s *Store) Exists(key string) bool {
 	st := s.stripeFor(key)
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	if st.expireIfDue(key, s.clk.Now()) {
+	if !s.striped {
+		st.reads.Add(1)
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		if st.expireIfDue(key, s.clk.Now()) {
+			return false
+		}
+		_, ok := st.dict[key]
+		return ok
+	}
+	st.reads.Add(1)
+	st.mu.RLock()
+	now := s.clk.Now()
+	e, ok := st.dict[key]
+	if ok && !e.expireAt.IsZero() && !e.expireAt.After(now) {
+		st.mu.RUnlock()
+		s.lazyExpire(st, key, now, "")
 		return false
 	}
-	_, ok := st.dict[key]
+	st.mu.RUnlock()
 	return ok
 }
 
@@ -723,6 +870,7 @@ func (s *Store) ExpireAt(key string, t time.Time) (bool, error) {
 		return false, err
 	}
 	st := s.stripeFor(key)
+	st.writes.Add(1)
 	st.mu.Lock()
 	if s.closed.Load() {
 		st.mu.Unlock()
@@ -743,20 +891,42 @@ func (s *Store) ExpireAt(key string, t time.Time) (bool, error) {
 // not exist; a zero duration with ok=true means no TTL is set.
 func (s *Store) TTL(key string) (time.Duration, bool) {
 	st := s.stripeFor(key)
-	st.mu.Lock()
-	defer st.mu.Unlock()
-	now := s.clk.Now()
-	if st.expireIfDue(key, now) {
-		return 0, false
+	if !s.striped {
+		st.reads.Add(1)
+		st.mu.Lock()
+		defer st.mu.Unlock()
+		now := s.clk.Now()
+		if st.expireIfDue(key, now) {
+			return 0, false
+		}
+		e, ok := st.dict[key]
+		if !ok {
+			return 0, false
+		}
+		if e.expireAt.IsZero() {
+			return 0, true
+		}
+		return e.expireAt.Sub(now), true
 	}
+	st.reads.Add(1)
+	st.mu.RLock()
+	now := s.clk.Now()
 	e, ok := st.dict[key]
 	if !ok {
+		st.mu.RUnlock()
 		return 0, false
 	}
-	if e.expireAt.IsZero() {
-		return 0, true
+	if !e.expireAt.IsZero() && !e.expireAt.After(now) {
+		st.mu.RUnlock()
+		s.lazyExpire(st, key, now, "")
+		return 0, false
 	}
-	return e.expireAt.Sub(now), true
+	var d time.Duration
+	if !e.expireAt.IsZero() {
+		d = e.expireAt.Sub(now)
+	}
+	st.mu.RUnlock()
+	return d, true
 }
 
 // Persist removes the TTL from key, reporting whether a TTL was removed.
@@ -765,6 +935,7 @@ func (s *Store) Persist(key string) (bool, error) {
 		return false, err
 	}
 	st := s.stripeFor(key)
+	st.writes.Add(1)
 	st.mu.Lock()
 	if s.closed.Load() {
 		st.mu.Unlock()
@@ -788,9 +959,9 @@ func (s *Store) DBSize() int {
 	n := 0
 	for i := range s.stripes {
 		st := &s.stripes[i]
-		st.mu.Lock()
+		s.rlock(st)
 		n += len(st.dict)
-		st.mu.Unlock()
+		s.runlock(st)
 	}
 	return n
 }
@@ -800,9 +971,9 @@ func (s *Store) ExpiresSize() int {
 	n := 0
 	for i := range s.stripes {
 		st := &s.stripes[i]
-		st.mu.Lock()
+		s.rlock(st)
 		n += len(st.expires)
-		st.mu.Unlock()
+		s.runlock(st)
 	}
 	return n
 }
@@ -813,9 +984,9 @@ func (s *Store) MemoryBytes() int64 {
 	var b int64
 	for i := range s.stripes {
 		st := &s.stripes[i]
-		st.mu.Lock()
+		s.rlock(st)
 		b += st.bytes
-		st.mu.Unlock()
+		s.runlock(st)
 	}
 	return b
 }
@@ -834,6 +1005,7 @@ func (s *Store) ForEach(fn func(key, value string, expireAt time.Time) bool) {
 	now := s.clk.Now()
 	if !s.striped {
 		st := &s.stripes[0]
+		st.reads.Add(1)
 		st.mu.Lock()
 		defer st.mu.Unlock()
 		for _, k := range st.keySlice {
@@ -849,6 +1021,7 @@ func (s *Store) ForEach(fn func(key, value string, expireAt time.Time) bool) {
 		return
 	}
 	parts := s.gatherAll(now)
+	defer putParts(parts)
 	for _, part := range parts {
 		for _, item := range part {
 			if !fn(item.key, item.value, item.expireAt) {
@@ -861,9 +1034,12 @@ func (s *Store) ForEach(fn func(key, value string, expireAt time.Time) bool) {
 }
 
 // gatherAll snapshots every stripe's live keys in parallel — the
-// scatter-gather half of the striped selector paths.
+// scatter-gather half of the striped selector paths. The result (outer
+// slice and every part) is pooled; callers must release it with
+// putParts once they are done with the gathered values.
 func (s *Store) gatherAll(now time.Time) [][]kv {
-	parts := make([][]kv, len(s.stripes))
+	parts := partsScratch.Get(len(s.stripes))
+	parts = parts[:len(s.stripes)]
 	var wg sync.WaitGroup
 	for i := range s.stripes {
 		wg.Add(1)
@@ -892,6 +1068,7 @@ func (s *Store) IndexedForEach(attr gdpr.Attribute, value string, fn func(key, v
 	now := s.clk.Now()
 	if !s.striped {
 		st := &s.stripes[0]
+		st.reads.Add(1)
 		st.mu.Lock()
 		defer st.mu.Unlock()
 		keys, ok := st.meta.Lookup(attr, value)
@@ -914,8 +1091,11 @@ func (s *Store) IndexedForEach(attr gdpr.Attribute, value string, fn func(key, v
 		return true
 	}
 	// Lookup's ok depends only on whether attr is an indexed dimension,
-	// so every stripe agrees; probe under the stripe locks in parallel.
-	parts := make([][]kv, len(s.stripes))
+	// so every stripe agrees; probe under the shared stripe locks in
+	// parallel, copying matches out into pooled scratch.
+	parts := partsScratch.Get(len(s.stripes))
+	parts = parts[:len(s.stripes)]
+	defer putParts(parts)
 	dim := atomic.Bool{}
 	dim.Store(true)
 	var wg sync.WaitGroup
@@ -924,14 +1104,15 @@ func (s *Store) IndexedForEach(attr gdpr.Attribute, value string, fn func(key, v
 		go func(i int) {
 			defer wg.Done()
 			st := &s.stripes[i]
-			st.mu.Lock()
-			defer st.mu.Unlock()
+			st.reads.Add(1)
+			st.mu.RLock()
+			defer st.mu.RUnlock()
 			keys, ok := st.meta.Lookup(attr, value)
 			if !ok {
 				dim.Store(false)
 				return
 			}
-			out := make([]kv, 0, len(keys))
+			out := kvScratch.Get(len(keys))
 			for _, k := range keys {
 				e := st.dict[k]
 				if e == nil {
@@ -949,13 +1130,18 @@ func (s *Store) IndexedForEach(attr gdpr.Attribute, value string, fn func(key, v
 	if !dim.Load() {
 		return false
 	}
-	var merged []kv
+	total := 0
+	for _, part := range parts {
+		total += len(part)
+	}
+	merged := kvScratch.Get(total)
+	defer func() { kvScratch.Put(merged) }()
 	for _, part := range parts {
 		merged = append(merged, part...)
 	}
 	// Per-stripe postings come back sorted; restore the global sorted
 	// key order the single-mutex profile emits.
-	sort.Slice(merged, func(i, j int) bool { return merged[i].key < merged[j].key })
+	slices.SortFunc(merged, func(a, b kv) int { return strings.Compare(a.key, b.key) })
 	for _, item := range merged {
 		if !fn(item.key, item.value, item.expireAt) {
 			break
@@ -979,9 +1165,9 @@ func (s *Store) IndexBytes() int64 {
 	var b int64
 	for i := range s.stripes {
 		st := &s.stripes[i]
-		st.mu.Lock()
+		s.rlock(st)
 		b += st.meta.Bytes() + st.exp.Bytes()
-		st.mu.Unlock()
+		s.runlock(st)
 	}
 	return b
 }
@@ -995,6 +1181,7 @@ func (s *Store) IndexBytes() int64 {
 func (s *Store) Scan(cursor, count int) ([]string, int) {
 	if !s.striped {
 		st := &s.stripes[0]
+		st.reads.Add(1)
 		st.mu.Lock()
 		defer st.mu.Unlock()
 		if cursor < 0 || cursor >= len(st.keySlice) {
@@ -1021,7 +1208,8 @@ func (s *Store) Scan(cursor, count int) ([]string, int) {
 	offset, total := 0, 0
 	for i := range s.stripes {
 		st := &s.stripes[i]
-		st.mu.Lock()
+		st.reads.Add(1)
+		st.mu.RLock()
 		n := len(st.keySlice)
 		lo, hi := cursor, cursor+count
 		if lo < offset {
@@ -1035,7 +1223,7 @@ func (s *Store) Scan(cursor, count int) ([]string, int) {
 		}
 		offset += n
 		total += n
-		st.mu.Unlock()
+		st.mu.RUnlock()
 	}
 	s.logRead(opScan, "*")
 	if cursor >= total {
@@ -1110,6 +1298,10 @@ func (s *Store) Stats() Stats {
 		FullScans:  s.fullScans.Load(),
 		Bytes:      s.MemoryBytes(),
 		IndexBytes: s.IndexBytes(),
+	}
+	for i := range s.stripes {
+		st.ReadLocks += s.stripes[i].reads.Load()
+		st.WriteLocks += s.stripes[i].writes.Load()
 	}
 	if s.aof != nil {
 		s.stripes[0].mu.Lock()

@@ -1,7 +1,6 @@
 package kvstore
 
 import (
-	"fmt"
 	"os"
 	"runtime"
 	"sync"
@@ -64,9 +63,10 @@ type stagedOp struct {
 type pipeStripe struct {
 	mu  sync.Mutex
 	buf []stagedOp
-	// Pad past a cache line so adjacent staging locks do not false-share
-	// under concurrent producers.
-	_ [64]byte
+	// Pad the struct to exactly one cache line (mu 8 + buf 24 + pad 32 =
+	// 64) so adjacent staging locks do not false-share under concurrent
+	// producers; pad_test.go asserts the size at compile time.
+	_ [32]byte
 }
 
 // aofPipe is the staged writer. See the file comment for the contract.
@@ -396,11 +396,11 @@ func (p *aofPipe) encodeOp(op stagedOp) []byte {
 	case opSet:
 		p.buf = encodeCommand(p.buf, opSet, op.key, op.value)
 	case opSetex:
-		p.buf = encodeCommand(p.buf, opSetex, op.key, op.value, fmt.Sprintf("%d", op.ns))
+		p.buf = encodeCommandNum(p.buf, op.ns, opSetex, op.key, op.value)
 	case opDel:
 		p.buf = encodeCommand(p.buf, opDel, op.key)
 	case opExpireAt:
-		p.buf = encodeCommand(p.buf, opExpireAt, op.key, fmt.Sprintf("%d", op.ns))
+		p.buf = encodeCommandNum(p.buf, op.ns, opExpireAt, op.key)
 	case opFlushAll:
 		p.buf = encodeCommand(p.buf, opFlushAll)
 	default: // GET / SCAN / IDXSCAN read-audit frames

@@ -1,0 +1,134 @@
+// Package pool is the allocation-reuse layer under the hot paths: a
+// size-classed sync.Pool of byte buffers (wire frames, AOF encode
+// scratch), a generic pool of scratch slices (kvstore copy-outs), and a
+// block arena with a free list (per-stripe entry staging). The shared
+// safety contract is copy-on-checkout: anything handed back to a pool
+// must never be reachable from a still-live record, so every consumer
+// copies data out of pooled storage before releasing it. TestPoolAliasing
+// pins that contract.
+package pool
+
+import "sync"
+
+// Byte-buffer size classes: powers of two from 64 B to 1 MiB. Larger
+// requests fall through to plain allocation and are dropped on Put, so
+// one pathological frame cannot pin megabytes in every pool shard.
+const (
+	minClassBits = 6
+	maxClassBits = 20
+)
+
+var byteClasses [maxClassBits - minClassBits + 1]sync.Pool
+
+// classFor returns the index of the smallest class holding n bytes, or
+// -1 when n is beyond the largest class.
+func classFor(n int) int {
+	for c := minClassBits; c <= maxClassBits; c++ {
+		if n <= 1<<c {
+			return c - minClassBits
+		}
+	}
+	return -1
+}
+
+// GetBytes returns a buffer of length n (capacity possibly larger) from
+// the size-classed pool, allocating when the class is empty or n exceeds
+// the largest class.
+func GetBytes(n int) []byte {
+	c := classFor(n)
+	if c < 0 {
+		return make([]byte, n)
+	}
+	if v := byteClasses[c].Get(); v != nil {
+		return (*v.(*[]byte))[:n]
+	}
+	return make([]byte, n, 1<<(c+minClassBits))
+}
+
+// PutBytes returns b to its size class. Buffers whose capacity is not an
+// exact class size (grown by append, or beyond the largest class) are
+// dropped. The caller must not retain any view of b afterwards.
+func PutBytes(b []byte) {
+	c := cap(b)
+	if c == 0 || c&(c-1) != 0 || c < 1<<minClassBits || c > 1<<maxClassBits {
+		return
+	}
+	b = b[:c]
+	byteClasses[classFor(c)].Put(&b)
+}
+
+// Slice pools scratch []T buffers. Put clears the elements (dropping the
+// string/pointer references they held, so pooling never extends an
+// object's lifetime) and Get hands the empty slice back at capacity.
+// The zero value is ready to use.
+type Slice[T any] struct{ p sync.Pool }
+
+// Get returns an empty slice with capacity at least capHint.
+func (s *Slice[T]) Get(capHint int) []T {
+	if v := s.p.Get(); v != nil {
+		sl := *v.(*[]T)
+		if cap(sl) >= capHint {
+			return sl[:0]
+		}
+	}
+	return make([]T, 0, capHint)
+}
+
+// Put returns v to the pool. The caller must not retain v or any element
+// view of it.
+func (s *Slice[T]) Put(v []T) {
+	if cap(v) == 0 {
+		return
+	}
+	v = v[:cap(v)]
+	clear(v)
+	v = v[:0]
+	s.p.Put(&v)
+}
+
+// arenaBlock is the Arena allocation granule. 256 entries amortizes the
+// block allocation without parking large dead blocks on small stripes.
+const arenaBlock = 256
+
+// Arena is a block allocator with a free list for fixed-size T values —
+// the memblock idiom: New pops a recycled slot (or extends the current
+// block), Free recycles one, Reset drops everything. It is NOT safe for
+// concurrent use; the kvstore guards each stripe's arena with that
+// stripe's lock. Freed values are zeroed immediately so the arena never
+// pins the strings they referenced.
+type Arena[T any] struct {
+	blocks [][]T
+	free   []*T
+}
+
+// New returns a zeroed *T, recycling a freed slot when one exists.
+func (a *Arena[T]) New() *T {
+	if n := len(a.free); n > 0 {
+		p := a.free[n-1]
+		a.free[n-1] = nil
+		a.free = a.free[:n-1]
+		return p
+	}
+	if n := len(a.blocks); n == 0 || len(a.blocks[n-1]) == cap(a.blocks[n-1]) {
+		a.blocks = append(a.blocks, make([]T, 0, arenaBlock))
+	}
+	b := &a.blocks[len(a.blocks)-1]
+	var zero T
+	*b = append(*b, zero)
+	return &(*b)[len(*b)-1]
+}
+
+// Free recycles p for a later New. p must come from this arena and must
+// not be referenced after the call; it is zeroed here so whatever it
+// pointed to is immediately collectable.
+func (a *Arena[T]) Free(p *T) {
+	var zero T
+	*p = zero
+	a.free = append(a.free, p)
+}
+
+// Reset drops every block and the free list (FLUSHALL).
+func (a *Arena[T]) Reset() {
+	a.blocks = nil
+	a.free = nil
+}

@@ -1,0 +1,160 @@
+package pool
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+func TestClassFor(t *testing.T) {
+	cases := []struct{ n, class int }{
+		{0, 0}, {1, 0}, {64, 0}, {65, 1}, {128, 1}, {129, 2},
+		{1 << 20, maxClassBits - minClassBits}, {1<<20 + 1, -1},
+	}
+	for _, c := range cases {
+		if got := classFor(c.n); got != c.class {
+			t.Errorf("classFor(%d) = %d, want %d", c.n, got, c.class)
+		}
+	}
+}
+
+func TestGetBytesSizes(t *testing.T) {
+	for _, n := range []int{0, 1, 63, 64, 65, 1000, 1 << 20, 1<<20 + 5} {
+		b := GetBytes(n)
+		if len(b) != n {
+			t.Fatalf("GetBytes(%d) returned len %d", n, len(b))
+		}
+		PutBytes(b)
+	}
+}
+
+func TestPutBytesRejectsOddCaps(t *testing.T) {
+	// Buffers grown past their class (non-power-of-two cap) or beyond the
+	// largest class must be dropped, not pooled under a wrong class.
+	PutBytes(make([]byte, 0, 100))
+	PutBytes(make([]byte, 2<<20))
+	PutBytes(nil)
+	b := GetBytes(100)
+	if cap(b) != 128 {
+		t.Fatalf("GetBytes(100) cap = %d, want the 128-byte class", cap(b))
+	}
+}
+
+// TestPoolAliasing pins the copy-on-checkout contract end to end: data a
+// consumer copied out of pooled storage survives the buffer's return and
+// reuse, and storage handed back to a pool retains no references to live
+// values.
+func TestPoolAliasing(t *testing.T) {
+	t.Run("bytes", func(t *testing.T) {
+		// A "record" copied out of a pooled buffer must be immune to the
+		// buffer's next user scribbling over the same backing array.
+		records := make([]string, 0, 64)
+		for i := 0; i < 64; i++ {
+			b := GetBytes(256)
+			payload := fmt.Sprintf("record-%03d", i)
+			copy(b, payload)
+			records = append(records, string(b[:len(payload)])) // copy-on-checkout
+			PutBytes(b)
+			next := GetBytes(256)
+			for j := range next {
+				next[j] = 0xFF
+			}
+			PutBytes(next)
+		}
+		for i, r := range records {
+			if want := fmt.Sprintf("record-%03d", i); r != want {
+				t.Fatalf("record %d corrupted by pooled-buffer reuse: %q", i, r)
+			}
+		}
+	})
+
+	t.Run("slice", func(t *testing.T) {
+		var p Slice[string]
+		s := p.Get(4)
+		s = append(s, "alpha", "beta")
+		alias := s[:2] // what a leaked view of pooled storage would see
+		p.Put(s)
+		for i, v := range alias {
+			if v != "" {
+				t.Fatalf("Put left element %d = %q; pooled storage must drop its references", i, v)
+			}
+		}
+	})
+
+	t.Run("arena", func(t *testing.T) {
+		type entry struct{ value string }
+		var a Arena[entry]
+		e1 := a.New()
+		e1.value = "live-value"
+		copied := e1.value // the store's copy-out under its lock
+		a.Free(e1)
+		if e1.value != "" {
+			t.Fatalf("Free must zero the slot, got %q", e1.value)
+		}
+		e2 := a.New()
+		if e2 != e1 {
+			t.Fatalf("New did not recycle the freed slot")
+		}
+		if e2.value != "" {
+			t.Fatalf("recycled slot not zeroed: %q", e2.value)
+		}
+		e2.value = "overwritten"
+		if copied != "live-value" {
+			t.Fatalf("copied value corrupted by arena reuse: %q", copied)
+		}
+	})
+}
+
+func TestSliceGrowsToHint(t *testing.T) {
+	var p Slice[int]
+	s := p.Get(4)
+	s = append(s, 1, 2, 3, 4)
+	p.Put(s)
+	big := p.Get(1024)
+	if cap(big) < 1024 {
+		t.Fatalf("Get(1024) returned cap %d", cap(big))
+	}
+	p.Put(big)
+}
+
+func TestArenaBlocks(t *testing.T) {
+	var a Arena[[16]byte]
+	ptrs := make(map[*[16]byte]bool)
+	for i := 0; i < 3*arenaBlock; i++ {
+		p := a.New()
+		if ptrs[p] {
+			t.Fatalf("New returned a live pointer twice")
+		}
+		ptrs[p] = true
+	}
+	if len(a.blocks) != 3 {
+		t.Fatalf("got %d blocks, want 3", len(a.blocks))
+	}
+	// Free everything, reallocate: no new blocks needed.
+	for p := range ptrs {
+		a.Free(p)
+	}
+	for i := 0; i < 3*arenaBlock; i++ {
+		a.New()
+	}
+	if len(a.blocks) != 3 {
+		t.Fatalf("free-list reuse still grew to %d blocks", len(a.blocks))
+	}
+	a.Reset()
+	if len(a.blocks) != 0 || len(a.free) != 0 {
+		t.Fatalf("Reset left state behind")
+	}
+}
+
+func TestGetBytesZeroAfterPattern(t *testing.T) {
+	// GetBytes makes no cleanliness promise, but len must be exact and
+	// writes within len must stick.
+	b := GetBytes(33)
+	copy(b, bytes.Repeat([]byte{0xAB}, 33))
+	for _, x := range b {
+		if x != 0xAB {
+			t.Fatal("write did not stick")
+		}
+	}
+	PutBytes(b)
+}

@@ -153,7 +153,7 @@ func (c *Client) dial(role acl.Role) (*conn, error) {
 		bw: bufio.NewWriterSize(nc, 64<<10),
 	}
 	hello := &wire.Hello{Version: wire.ProtocolVersion, Role: role, Token: c.cfg.Token}
-	if err := wire.WriteMessage(cn.bw, hello); err == nil {
+	if err := cn.enc.WriteMessage(cn.bw, hello); err == nil {
 		err = cn.bw.Flush()
 	}
 	if err != nil {
@@ -161,7 +161,7 @@ func (c *Client) dial(role acl.Role) (*conn, error) {
 		return nil, fmt.Errorf("remote: handshake: %w", err)
 	}
 	nc.SetReadDeadline(time.Now().Add(c.cfg.DialTimeout))
-	resp, err := wire.ReadMessage(cn.br)
+	resp, err := cn.dec.ReadMessage(cn.br)
 	if err != nil {
 		nc.Close()
 		return nil, fmt.Errorf("remote: handshake: %w", err)
@@ -400,6 +400,12 @@ type conn struct {
 	br *bufio.Reader
 	bw *bufio.Writer
 
+	// Per-connection codec buffers, reused across frames: enc is only
+	// touched under mu (roundTrip, dial), dec only by the readLoop
+	// goroutine (dial hands it over before the loop starts).
+	enc wire.Encoder
+	dec wire.Decoder
+
 	// dead mirrors broken != nil and is readable without mu, so the
 	// pool's health checks never contend with a write stalled in
 	// Flush under mu (which would stall acquisition across all roles).
@@ -444,7 +450,7 @@ func (c *conn) roundTrip(req wire.Message) (wire.Message, error) {
 		c.mu.Unlock()
 		return nil, err
 	}
-	err := wire.WriteMessage(c.bw, req)
+	err := c.enc.WriteMessage(c.bw, req)
 	if err != nil {
 		var fe *wire.FrameError
 		if errors.As(err, &fe) {
@@ -470,7 +476,7 @@ func (c *conn) roundTrip(req wire.Message) (wire.Message, error) {
 
 func (c *conn) readLoop() {
 	for {
-		msg, err := wire.ReadMessage(c.br)
+		msg, err := c.dec.ReadMessage(c.br)
 		c.mu.Lock()
 		if err != nil {
 			c.failLocked(fmt.Errorf("remote: connection lost: %w", err))

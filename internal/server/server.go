@@ -226,7 +226,12 @@ func (s *Server) handleConn(nc net.Conn) {
 
 	br := bufio.NewReaderSize(nc, 64<<10)
 	bw := bufio.NewWriterSize(nc, 64<<10)
-	role, ok := s.handshake(nc, br, bw)
+	// One codec pair per connection: the reader goroutine owns dec, the
+	// handler loop owns enc, so every frame after the handshake reuses
+	// the same two buffers instead of allocating per message.
+	var dec wire.Decoder
+	var enc wire.Encoder
+	role, ok := s.handshake(nc, br, bw, &dec, &enc)
 	if !ok {
 		return
 	}
@@ -235,7 +240,7 @@ func (s *Server) handleConn(nc net.Conn) {
 	go func() {
 		defer close(requests)
 		for {
-			m, err := wire.ReadMessage(br)
+			m, err := dec.ReadMessage(br)
 			if err != nil {
 				return
 			}
@@ -251,7 +256,7 @@ func (s *Server) handleConn(nc net.Conn) {
 	}()
 	for m := range requests {
 		resp := s.execute(role, m)
-		if err := wire.WriteMessage(bw, resp); err != nil {
+		if err := enc.WriteMessage(bw, resp); err != nil {
 			var fe *wire.FrameError
 			if !errors.As(err, &fe) {
 				return
@@ -260,7 +265,7 @@ func (s *Server) handleConn(nc net.Conn) {
 			// answer with a structured error instead of killing the
 			// session.
 			over := &wire.ErrorResp{Kind: wire.ErrGeneric, Msg: err.Error()}
-			if err := wire.WriteMessage(bw, over); err != nil {
+			if err := enc.WriteMessage(bw, over); err != nil {
 				return
 			}
 		}
@@ -275,15 +280,17 @@ func (s *Server) handleConn(nc net.Conn) {
 	bw.Flush()
 }
 
-// handshake runs the Hello exchange and returns the session role.
-func (s *Server) handshake(nc net.Conn, br *bufio.Reader, bw *bufio.Writer) (acl.Role, bool) {
+// handshake runs the Hello exchange and returns the session role. It
+// runs before the reader goroutine starts, so it may use both codec
+// halves sequentially.
+func (s *Server) handshake(nc net.Conn, br *bufio.Reader, bw *bufio.Writer, dec *wire.Decoder, enc *wire.Encoder) (acl.Role, bool) {
 	reject := func(reason string) (acl.Role, bool) {
-		wire.WriteMessage(bw, &wire.ErrorResp{Kind: wire.ErrGeneric, Msg: "server: " + reason})
+		enc.WriteMessage(bw, &wire.ErrorResp{Kind: wire.ErrGeneric, Msg: "server: " + reason})
 		bw.Flush()
 		return 0, false
 	}
 	nc.SetReadDeadline(time.Now().Add(s.cfg.HandshakeTimeout))
-	msg, err := wire.ReadMessage(br)
+	msg, err := dec.ReadMessage(br)
 	if err != nil {
 		return 0, false
 	}
@@ -301,7 +308,7 @@ func (s *Server) handshake(nc net.Conn, br *bufio.Reader, bw *bufio.Writer) (acl
 		return reject(fmt.Sprintf("unknown GDPR role %d", hello.Role))
 	}
 	nc.SetReadDeadline(time.Time{})
-	if err := wire.WriteMessage(bw, &wire.HelloOK{Version: wire.ProtocolVersion, AuditPolicy: s.cfg.AuditPolicy}); err != nil {
+	if err := enc.WriteMessage(bw, &wire.HelloOK{Version: wire.ProtocolVersion, AuditPolicy: s.cfg.AuditPolicy}); err != nil {
 		return 0, false
 	}
 	if err := bw.Flush(); err != nil {

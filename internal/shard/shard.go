@@ -245,6 +245,8 @@ func (r *Router) KvstoreStats() (kvstore.Stats, bool) {
 		}
 		total.Stripes += st.Stripes
 		total.FullScans += st.FullScans
+		total.ReadLocks += st.ReadLocks
+		total.WriteLocks += st.WriteLocks
 		total.Bytes += st.Bytes
 		total.IndexBytes += st.IndexBytes
 		total.AOFBatches += st.AOFBatches

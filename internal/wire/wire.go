@@ -30,6 +30,7 @@ import (
 	"repro/internal/acl"
 	"repro/internal/audit"
 	"repro/internal/gdpr"
+	"repro/internal/pool"
 )
 
 const (
@@ -149,10 +150,19 @@ func newMessage(op Op) Message {
 
 // Encode renders m as one complete frame.
 func Encode(m Message) []byte {
-	w := &writer{buf: make([]byte, 5, 64)}
-	w.buf[4] = byte(m.Op())
-	m.encode(w)
-	binary.BigEndian.PutUint32(w.buf[:4], uint32(len(w.buf)-4))
+	return AppendEncode(make([]byte, 0, 64), m)
+}
+
+// AppendEncode appends m's complete frame to buf and returns the
+// extended slice (the frame starts at the caller's len(buf)). This is
+// the allocation-free encode primitive: Encoder reuses one buffer
+// across frames, so steady-state encoding allocates nothing beyond
+// occasional buffer growth.
+func AppendEncode(buf []byte, m Message) []byte {
+	start := len(buf)
+	w := writer{buf: append(buf, 0, 0, 0, 0, byte(m.Op()))}
+	m.encode(&w)
+	binary.BigEndian.PutUint32(w.buf[start:start+4], uint32(len(w.buf)-start-4))
 	return w.buf
 }
 
@@ -162,7 +172,8 @@ func Encode(m Message) []byte {
 // whole session on an oversized frame, turning one bad request into a
 // failure of every in-flight operation.
 func WriteMessage(out io.Writer, m Message) error {
-	buf := Encode(m)
+	buf := AppendEncode(pool.GetBytes(64)[:0], m)
+	defer pool.PutBytes(buf)
 	if len(buf)-4 > MaxFrameSize {
 		return &FrameError{fmt.Sprintf("%v frame of %d bytes exceeds the %d-byte limit", m.Op(), len(buf)-4, MaxFrameSize)}
 	}
@@ -170,10 +181,48 @@ func WriteMessage(out io.Writer, m Message) error {
 	return err
 }
 
+// An Encoder frames and writes messages through one persistent buffer,
+// so a long-lived connection (server handler, remote client) encodes
+// every frame allocation-free once the buffer has grown to its working
+// size. Not safe for concurrent use; callers serialize per connection.
+type Encoder struct{ w writer }
+
+// WriteMessage frames and writes m, reusing the encoder's buffer. The
+// oversize check runs after encode and before any byte is written —
+// same contract as the package-level WriteMessage.
+func (e *Encoder) WriteMessage(out io.Writer, m Message) error {
+	e.w.buf = append(e.w.buf[:0], 0, 0, 0, 0, byte(m.Op()))
+	m.encode(&e.w)
+	binary.BigEndian.PutUint32(e.w.buf[:4], uint32(len(e.w.buf)-4))
+	if len(e.w.buf)-4 > MaxFrameSize {
+		return &FrameError{fmt.Sprintf("%v frame of %d bytes exceeds the %d-byte limit", m.Op(), len(e.w.buf)-4, MaxFrameSize)}
+	}
+	_, err := out.Write(e.w.buf)
+	return err
+}
+
 // ReadMessage reads and decodes one frame. Truncated frames surface as
 // io.EOF / io.ErrUnexpectedEOF; malformed or oversized ones as a
 // *FrameError.
 func ReadMessage(in io.Reader) (Message, error) {
+	var d Decoder
+	m, err := d.ReadMessage(in)
+	pool.PutBytes(d.buf)
+	return m, err
+}
+
+// A Decoder reads and decodes frames through one persistent buffer.
+// Decoded messages never alias the buffer (the payload codec copies
+// every string out), so the next ReadMessage may overwrite it freely.
+// Not safe for concurrent use; callers serialize per connection.
+type Decoder struct {
+	buf []byte
+	r   reader
+}
+
+// ReadMessage reads and decodes one frame, reusing the decoder's
+// buffer. Error surface matches the package-level ReadMessage.
+func (d *Decoder) ReadMessage(in io.Reader) (Message, error) {
 	var hdr [4]byte
 	if _, err := io.ReadFull(in, hdr[:]); err != nil {
 		return nil, err
@@ -185,7 +234,11 @@ func ReadMessage(in io.Reader) (Message, error) {
 	if n > MaxFrameSize {
 		return nil, &FrameError{fmt.Sprintf("frame of %d bytes exceeds the %d-byte limit", n, MaxFrameSize)}
 	}
-	buf := make([]byte, n)
+	if cap(d.buf) < int(n) {
+		pool.PutBytes(d.buf)
+		d.buf = pool.GetBytes(int(n))
+	}
+	buf := d.buf[:n]
 	if _, err := io.ReadFull(in, buf); err != nil {
 		if errors.Is(err, io.EOF) {
 			err = io.ErrUnexpectedEOF
@@ -196,13 +249,13 @@ func ReadMessage(in io.Reader) (Message, error) {
 	if m == nil {
 		return nil, &FrameError{fmt.Sprintf("unknown opcode %d", buf[0])}
 	}
-	r := &reader{buf: buf[1:]}
-	m.decode(r)
-	if r.err != nil {
-		return nil, fmt.Errorf("wire: decode %v: %w", m.Op(), r.err)
+	d.r = reader{buf: buf[1:]}
+	m.decode(&d.r)
+	if d.r.err != nil {
+		return nil, fmt.Errorf("wire: decode %v: %w", m.Op(), d.r.err)
 	}
-	if r.off != len(r.buf) {
-		return nil, &FrameError{fmt.Sprintf("%v frame has %d trailing bytes", m.Op(), len(r.buf)-r.off)}
+	if d.r.off != len(d.r.buf) {
+		return nil, &FrameError{fmt.Sprintf("%v frame has %d trailing bytes", m.Op(), len(d.r.buf)-d.r.off)}
 	}
 	return m, nil
 }

@@ -251,6 +251,105 @@ func TestFarFutureTimesSurviveTheTrip(t *testing.T) {
 	}
 }
 
+// TestPoolAliasingWireCodec pins the Decoder's no-aliasing contract
+// (the copy-on-checkout semantics internal/pool documents): messages
+// decoded through the reused buffer must stay intact after that buffer
+// is overwritten — first by later frames, then by a direct scribble.
+func TestPoolAliasingWireCodec(t *testing.T) {
+	samples := sampleMessages()
+	canon := make([][]byte, len(samples))
+	var enc Encoder
+	var net bytes.Buffer
+	for i, m := range samples {
+		canon[i] = Encode(m)
+		if err := enc.WriteMessage(&net, m); err != nil {
+			t.Fatalf("%v: encode: %v", m.Op(), err)
+		}
+	}
+	var dec Decoder
+	msgs := make([]Message, len(samples))
+	for i := range samples {
+		m, err := dec.ReadMessage(&net)
+		if err != nil {
+			t.Fatalf("decode %d: %v", i, err)
+		}
+		msgs[i] = m
+	}
+	scratch := dec.buf[:cap(dec.buf)]
+	for i := range scratch {
+		scratch[i] = 0xff
+	}
+	for i, m := range msgs {
+		if !bytes.Equal(Encode(m), canon[i]) {
+			t.Fatalf("%v: message aliased the decoder's pooled buffer", m.Op())
+		}
+	}
+}
+
+// TestEncoderOversizeRejectedBeforeWrite pins the Encoder to the
+// package-level WriteMessage contract: an oversized frame fails with a
+// *FrameError before any byte reaches the connection, which stays
+// usable for the next frame.
+func TestEncoderOversizeRejectedBeforeWrite(t *testing.T) {
+	var enc Encoder
+	var net bytes.Buffer
+	big := &UpdateData{Actor: acl.Actor{Role: acl.Customer, ID: "neo"},
+		Key: "k", Data: string(make([]byte, MaxFrameSize))}
+	var fe *FrameError
+	if err := enc.WriteMessage(&net, big); !errors.As(err, &fe) {
+		t.Fatalf("oversized frame: got %v, want *FrameError", err)
+	}
+	if net.Len() != 0 {
+		t.Fatalf("%d bytes written despite oversize rejection", net.Len())
+	}
+	if err := enc.WriteMessage(&net, &Ack{}); err != nil {
+		t.Fatalf("connection unusable after rejected frame: %v", err)
+	}
+	if _, err := ReadMessage(&net); err != nil {
+		t.Fatalf("follow-up frame corrupt: %v", err)
+	}
+}
+
+// FuzzWirePooledRoundTrip drives arbitrary bytes through a persistent
+// Decoder/Encoder pair — the pooled-buffer path every connection uses —
+// and requires the FuzzWireRoundTrip canonical property to survive
+// buffer reuse: the first decode is re-encoded only after a second
+// decode has overwritten the decoder's buffer, so any aliasing between
+// message and buffer corrupts the comparison.
+func FuzzWirePooledRoundTrip(f *testing.F) {
+	for _, m := range sampleMessages() {
+		f.Add(Encode(m))
+	}
+	f.Add([]byte{0, 0, 0, 1, byte(OpAck)})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var dec Decoder
+		var enc Encoder
+		r := bytes.NewReader(data)
+		m1, err := dec.ReadMessage(r)
+		if err != nil {
+			return
+		}
+		consumed := len(data) - r.Len()
+		m2, err := dec.ReadMessage(bytes.NewReader(data[:consumed]))
+		if err != nil {
+			t.Fatalf("re-decode through reused buffer failed: %v", err)
+		}
+		var out1, out2 bytes.Buffer
+		if err := enc.WriteMessage(&out1, m1); err != nil {
+			t.Fatal(err)
+		}
+		if err := enc.WriteMessage(&out2, m2); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(out1.Bytes(), data[:consumed]) {
+			t.Fatalf("first decode corrupted by buffer reuse:\n in  %x\n out %x", data[:consumed], out1.Bytes())
+		}
+		if !bytes.Equal(out2.Bytes(), out1.Bytes()) {
+			t.Fatal("decodes of identical bytes diverged")
+		}
+	})
+}
+
 // TestReadMessageEOF distinguishes a clean EOF (no bytes) from a
 // truncated frame.
 func TestReadMessageEOF(t *testing.T) {
