@@ -343,7 +343,7 @@ func BenchmarkAuditPipeline(b *testing.B) {
 func benchShardedScan(b *testing.B, engine string, shards, threads int) {
 	b.Helper()
 	comp := core.Compliance{AccessControl: true, Strict: true}
-	db, err := OpenSharded(engine, shards, "", comp, nil, true, AuditSync, 0)
+	db, err := OpenSharded(engine, shards, "", comp, nil, true, AuditSync, 0, Tuning{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -422,7 +422,7 @@ func BenchmarkSharding(b *testing.B) {
 func benchNetworkPointReads(b *testing.B, engine string, overTCP bool, threads int) {
 	b.Helper()
 	comp := core.Compliance{AccessControl: true, Strict: true}
-	host, err := OpenEngine(engine, 1, "", comp, nil, true, AuditSync, 0)
+	host, err := OpenEngine(engine, 1, "", comp, nil, true, AuditSync, 0, Tuning{})
 	if err != nil {
 		b.Fatal(err)
 	}
@@ -518,7 +518,7 @@ func BenchmarkNetworkOverhead(b *testing.B) {
 func benchMetadataReads(b *testing.B, engine string, records int, indexed bool) {
 	b.Helper()
 	comp := core.Compliance{AccessControl: true, Strict: true, MetadataIndexing: indexed}
-	db, err := OpenEngine(engine, 1, "", comp, nil, true, AuditSync, 0)
+	db, err := OpenEngine(engine, 1, "", comp, nil, true, AuditSync, 0, Tuning{})
 	if err != nil {
 		b.Fatal(err)
 	}

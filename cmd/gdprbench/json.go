@@ -48,15 +48,20 @@ type jsonAudit struct {
 // fsyncs). Absent for the postgres model and for remote runs, whose
 // engine lives server-side.
 type jsonKvstore struct {
-	Stripes     int     `json:"stripes"`
-	FullScans   int64   `json:"full_scans"`
-	ReadLocks   int64   `json:"read_locks"`
-	WriteLocks  int64   `json:"write_locks"`
-	AllocsPerOp float64 `json:"allocs_per_op"`
-	Bytes       int64   `json:"bytes"`
-	IndexBytes  int64   `json:"index_bytes,omitempty"`
-	AOFBatches  int64   `json:"aof_batches,omitempty"`
-	AOFFlushes  int64   `json:"aof_flushes,omitempty"`
+	Stripes            int     `json:"stripes"`
+	FullScans          int64   `json:"full_scans"`
+	ReadLocks          int64   `json:"read_locks"`
+	WriteLocks         int64   `json:"write_locks"`
+	AllocsPerOp        float64 `json:"allocs_per_op"`
+	Bytes              int64   `json:"bytes"`
+	IndexBytes         int64   `json:"index_bytes,omitempty"`
+	AOFBatches         int64   `json:"aof_batches,omitempty"`
+	AOFFlushes         int64   `json:"aof_flushes,omitempty"`
+	AOFRewrites        int64   `json:"aof_rewrites,omitempty"`
+	AOFLastRewriteUS   int64   `json:"aof_last_rewrite_us,omitempty"`
+	AOFRewriteDiverted int64   `json:"aof_rewrite_diverted,omitempty"`
+	ReplayOps          int64   `json:"replay_ops,omitempty"`
+	ReplayUS           int64   `json:"replay_us,omitempty"`
 }
 
 type jsonLoad struct {
@@ -129,15 +134,20 @@ func kvstoreBlock(db gdprbench.DB, allocsPerOp float64) *jsonKvstore {
 		return nil
 	}
 	return &jsonKvstore{
-		Stripes:     s.Stripes,
-		FullScans:   s.FullScans,
-		ReadLocks:   s.ReadLocks,
-		WriteLocks:  s.WriteLocks,
-		AllocsPerOp: allocsPerOp,
-		Bytes:       s.Bytes,
-		IndexBytes:  s.IndexBytes,
-		AOFBatches:  s.AOFBatches,
-		AOFFlushes:  s.AOFFlushes,
+		Stripes:            s.Stripes,
+		FullScans:          s.FullScans,
+		ReadLocks:          s.ReadLocks,
+		WriteLocks:         s.WriteLocks,
+		AllocsPerOp:        allocsPerOp,
+		Bytes:              s.Bytes,
+		IndexBytes:         s.IndexBytes,
+		AOFBatches:         s.AOFBatches,
+		AOFFlushes:         s.AOFFlushes,
+		AOFRewrites:        s.AOFRewrites,
+		AOFLastRewriteUS:   s.AOFLastRewriteMicros,
+		AOFRewriteDiverted: s.AOFRewriteDiverted,
+		ReplayOps:          s.ReplayOps,
+		ReplayUS:           s.ReplayMicros,
 	}
 }
 

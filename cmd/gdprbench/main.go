@@ -60,6 +60,7 @@ type options struct {
 	jsonPath    string
 	auditPolicy gdprbench.AuditPolicy
 	kvstripes   int
+	tuning      gdprbench.Tuning
 	cpuProfile  string
 	memProfile  string
 }
@@ -71,6 +72,7 @@ type options struct {
 var engineFlags = map[string]bool{
 	"engine": true, "shards": true, "index": true, "baseline": true, "dir": true,
 	"auditpolicy": true, "kvstripes": true,
+	"aofrewrite-pct": true, "walcheckpoint": true, "auditretain": true,
 }
 
 var benchFlags = map[string]bool{
@@ -101,6 +103,9 @@ func main() {
 		jsonPath  = flag.String("json", "", "write machine-readable results (per-workload completion, ops/s, per-op p50/p95/p99) to this file")
 		auditPol  = flag.String("auditpolicy", gdprbench.DefaultAuditPolicy.String(), "audit append pipeline: sync (inline, the legacy baseline) | batched (group-committed, callers wait) | async (fire-and-forget, bounded-queue backpressure)")
 		kvstripes = flag.Int("kvstripes", 0, "redis engine: partition each kvstore into N lock stripes with a staged group-commit AOF (0 = the Redis-faithful single-mutex baseline)")
+		aofPct    = flag.Int("aofrewrite-pct", 0, "redis engine: background-rewrite the AOF once it grows this percent past its post-rewrite size (Redis auto-aof-rewrite-percentage; 100 = rewrite at 2x, 0 = never)")
+		walCkpt   = flag.Int64("walcheckpoint", 0, "postgres engine: checkpoint and truncate the WAL once it exceeds this many bytes (0 = never)")
+		auditKeep = flag.Duration("auditretain", 0, "compact audit-trail segments older than this window, e.g. 720h (0 = keep all history)")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProf   = flag.String("memprofile", "", "write a heap/allocation profile to this file when the run ends")
 	)
@@ -123,6 +128,11 @@ func main() {
 		indexed: *indexed, baseline: *baseline, validate: *validate,
 		serve: *serve, frozen: *frozen, connect: *connect, token: *token, jsonPath: *jsonPath,
 		auditPolicy: policy, kvstripes: *kvstripes,
+		tuning: gdprbench.Tuning{
+			AOFRewritePct:      *aofPct,
+			WALCheckpointBytes: *walCkpt,
+			AuditRetention:     *auditKeep,
+		},
 		cpuProfile: *cpuProf, memProfile: *memProf,
 	}
 	if err := run(opts); err != nil {
@@ -186,6 +196,15 @@ func run(opts options) error {
 	if opts.kvstripes > 0 && opts.engine != "redis" {
 		return fmt.Errorf("-kvstripes applies to the redis engine only")
 	}
+	if opts.tuning.AOFRewritePct < 0 || opts.tuning.WALCheckpointBytes < 0 || opts.tuning.AuditRetention < 0 {
+		return fmt.Errorf("-aofrewrite-pct, -walcheckpoint and -auditretain must be >= 0")
+	}
+	if opts.tuning.AOFRewritePct > 0 && opts.engine != "redis" {
+		return fmt.Errorf("-aofrewrite-pct applies to the redis engine only")
+	}
+	if opts.tuning.WALCheckpointBytes > 0 && opts.engine != "postgres" {
+		return fmt.Errorf("-walcheckpoint applies to the postgres engine only")
+	}
 	comp := gdprbench.FullCompliance()
 	if opts.baseline {
 		comp = gdprbench.NoCompliance()
@@ -195,7 +214,7 @@ func run(opts options) error {
 	if opts.serve != "" {
 		// The one serve bootstrap shared with cmd/gdprserver (temp-dir
 		// handling, frozen clock, drain on SIGINT/SIGTERM).
-		return gdprbench.ServeEngine(opts.serve, opts.engine, opts.shards, opts.dir, opts.token, comp, opts.frozen, opts.auditPolicy, opts.kvstripes)
+		return gdprbench.ServeEngine(opts.serve, opts.engine, opts.shards, opts.dir, opts.token, comp, opts.frozen, opts.auditPolicy, opts.kvstripes, opts.tuning)
 	}
 	if opts.dir == "" {
 		var err error
@@ -432,5 +451,5 @@ func runTimed(opts options, comp gdprbench.Compliance, cfg gdprbench.Config, nam
 // open builds a client: the plain stubs for one shard, the scatter-gather
 // router behind the same middleware for several.
 func open(opts options, comp gdprbench.Compliance, clk clock.Clock, disableDaemons bool) (gdprbench.DB, error) {
-	return gdprbench.OpenEngine(opts.engine, opts.shards, opts.dir, comp, clk, disableDaemons, opts.auditPolicy, opts.kvstripes)
+	return gdprbench.OpenEngine(opts.engine, opts.shards, opts.dir, comp, clk, disableDaemons, opts.auditPolicy, opts.kvstripes, opts.tuning)
 }

@@ -41,6 +41,9 @@ func main() {
 		frozenclock = flag.Bool("frozenclock", false, "run engines on a simulated clock frozen at the epoch with expiry daemons off (required for gdprbench -connect -validate)")
 		auditPol    = flag.String("auditpolicy", gdprbench.DefaultAuditPolicy.String(), "audit append pipeline: sync (inline, the legacy baseline) | batched (group-committed, callers wait) | async (fire-and-forget, bounded-queue backpressure)")
 		kvstripes   = flag.Int("kvstripes", 0, "redis engine: partition each kvstore into N lock stripes with a staged group-commit AOF (0 = the Redis-faithful single-mutex baseline)")
+		aofPct      = flag.Int("aofrewrite-pct", 0, "redis engine: background-rewrite the AOF once it grows this percent past its post-rewrite size (Redis auto-aof-rewrite-percentage; 100 = rewrite at 2x, 0 = never)")
+		walCkpt     = flag.Int64("walcheckpoint", 0, "postgres engine: checkpoint and truncate the WAL once it exceeds this many bytes (0 = never)")
+		auditKeep   = flag.Duration("auditretain", 0, "compact audit-trail segments older than this window, e.g. 720h (0 = keep all history)")
 		pprofAddr   = flag.String("pprofaddr", "", "serve net/http/pprof on this TCP address (e.g. 127.0.0.1:6060) for live profiles of the server")
 	)
 	flag.Parse()
@@ -52,13 +55,14 @@ func main() {
 			}
 		}()
 	}
-	if err := run(*addr, *engine, *shards, *dir, *token, *auditPol, *indexed, *baseline, *frozenclock, *kvstripes); err != nil {
+	tun := gdprbench.Tuning{AOFRewritePct: *aofPct, WALCheckpointBytes: *walCkpt, AuditRetention: *auditKeep}
+	if err := run(*addr, *engine, *shards, *dir, *token, *auditPol, *indexed, *baseline, *frozenclock, *kvstripes, tun); err != nil {
 		fmt.Fprintln(os.Stderr, "gdprserver:", err)
 		os.Exit(1)
 	}
 }
 
-func run(addr, engine string, shards int, dir, token, auditPol string, indexed, baseline, frozenclock bool, kvstripes int) error {
+func run(addr, engine string, shards int, dir, token, auditPol string, indexed, baseline, frozenclock bool, kvstripes int, tun gdprbench.Tuning) error {
 	policy, err := gdprbench.ParseAuditPolicy(auditPol)
 	if err != nil {
 		return err
@@ -69,10 +73,19 @@ func run(addr, engine string, shards int, dir, token, auditPol string, indexed, 
 	if kvstripes > 0 && engine != "redis" {
 		return fmt.Errorf("-kvstripes applies to the redis engine only")
 	}
+	if tun.AOFRewritePct < 0 || tun.WALCheckpointBytes < 0 || tun.AuditRetention < 0 {
+		return fmt.Errorf("-aofrewrite-pct, -walcheckpoint and -auditretain must be >= 0")
+	}
+	if tun.AOFRewritePct > 0 && engine != "redis" {
+		return fmt.Errorf("-aofrewrite-pct applies to the redis engine only")
+	}
+	if tun.WALCheckpointBytes > 0 && engine != "postgres" {
+		return fmt.Errorf("-walcheckpoint applies to the postgres engine only")
+	}
 	comp := gdprbench.FullCompliance()
 	if baseline {
 		comp = gdprbench.NoCompliance()
 	}
 	comp.MetadataIndexing = indexed
-	return gdprbench.ServeEngine(addr, engine, shards, dir, token, comp, frozenclock, policy, kvstripes)
+	return gdprbench.ServeEngine(addr, engine, shards, dir, token, comp, frozenclock, policy, kvstripes, tun)
 }

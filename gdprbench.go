@@ -81,6 +81,9 @@ type (
 	RedisConfig = core.RedisConfig
 	// PostgresConfig configures the PostgreSQL-model client.
 	PostgresConfig = core.PostgresConfig
+	// Tuning carries the background log-compaction knobs (AOF rewrite
+	// threshold, WAL checkpoint threshold, audit retention window).
+	Tuning = core.Tuning
 	// ExperimentResult is one regenerated paper artifact.
 	ExperimentResult = experiments.Result
 	// ExperimentScale sizes experiments ("small" or "paper").
@@ -202,30 +205,33 @@ func OpenShardedPostgres(shards int, cfg PostgresConfig) (DB, error) {
 
 // OpenSharded dispatches on the engine model name ("redis" | "postgres").
 // kvstripes selects the kvstore concurrency profile (0 = single-mutex
-// baseline; ignored by the postgres model).
-func OpenSharded(engine string, shards int, dir string, comp Compliance, clk clock.Clock, disableDaemons bool, policy AuditPolicy, kvstripes int) (DB, error) {
-	return shard.Open(engine, shards, dir, comp, clk, disableDaemons, policy, kvstripes)
+// baseline; ignored by the postgres model); tun arms the background
+// log-compaction triggers (zero value disables them all).
+func OpenSharded(engine string, shards int, dir string, comp Compliance, clk clock.Clock, disableDaemons bool, policy AuditPolicy, kvstripes int, tun Tuning) (DB, error) {
+	return shard.Open(engine, shards, dir, comp, clk, disableDaemons, policy, kvstripes, tun)
 }
 
 // OpenEngine is the one engine-selection switch shared by the CLIs:
 // the plain client stubs for one shard, the scatter-gather router
 // behind the same compliance middleware for several. policy selects the
 // audit append pipeline (DefaultAuditPolicy for the CLIs' default);
-// kvstripes the kvstore concurrency profile (the -kvstripes flag).
-func OpenEngine(engine string, shards int, dir string, comp Compliance, clk clock.Clock, disableDaemons bool, policy AuditPolicy, kvstripes int) (DB, error) {
+// kvstripes the kvstore concurrency profile (the -kvstripes flag); tun
+// the background log-compaction triggers (the -aofrewrite-pct,
+// -walcheckpoint and -auditretain flags; zero disables them all).
+func OpenEngine(engine string, shards int, dir string, comp Compliance, clk clock.Clock, disableDaemons bool, policy AuditPolicy, kvstripes int, tun Tuning) (DB, error) {
 	if shards > 1 {
-		return OpenSharded(engine, shards, dir, comp, clk, disableDaemons, policy, kvstripes)
+		return OpenSharded(engine, shards, dir, comp, clk, disableDaemons, policy, kvstripes, tun)
 	}
 	switch engine {
 	case "redis":
 		return OpenRedis(RedisConfig{
 			Dir: dir, Compliance: comp, Clock: clk, DisableBackgroundExpiry: disableDaemons,
-			AuditPolicy: policy, KVStripes: kvstripes,
+			AuditPolicy: policy, KVStripes: kvstripes, Tuning: tun,
 		})
 	case "postgres":
 		return OpenPostgres(PostgresConfig{
 			Dir: dir, Compliance: comp, Clock: clk, DisableTTLDaemon: disableDaemons,
-			AuditPolicy: policy,
+			AuditPolicy: policy, Tuning: tun,
 		})
 	default:
 		return nil, fmt.Errorf("gdprbench: unknown engine %q", engine)
@@ -264,7 +270,7 @@ func NewServer(db DB, cfg ServerConfig) *Server { return server.New(db, cfg) }
 // temp directory removed on exit. It is the one serve bootstrap shared
 // by cmd/gdprserver and gdprbench -serve, so the two binaries cannot
 // drift.
-func ServeEngine(addr, engine string, shards int, dir, token string, comp Compliance, frozen bool, policy AuditPolicy, kvstripes int) error {
+func ServeEngine(addr, engine string, shards int, dir, token string, comp Compliance, frozen bool, policy AuditPolicy, kvstripes int, tun Tuning) error {
 	if shards < 1 {
 		return fmt.Errorf("gdprbench: shard count %d < 1", shards)
 	}
@@ -280,7 +286,7 @@ func ServeEngine(addr, engine string, shards int, dir, token string, comp Compli
 	if frozen {
 		clk = clock.NewSim(time.Time{})
 	}
-	db, err := OpenEngine(engine, shards, dir, comp, clk, frozen, policy, kvstripes)
+	db, err := OpenEngine(engine, shards, dir, comp, clk, frozen, policy, kvstripes, tun)
 	if err != nil {
 		return err
 	}

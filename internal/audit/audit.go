@@ -206,4 +206,9 @@ type Stats struct {
 	MaxQueueDepth int64
 	// Segments counts on-disk segments, the active one included.
 	Segments int64
+	// Compactions counts retention compaction passes that removed or
+	// rewrote at least one segment.
+	Compactions int64
+	// CompactedEntries counts entries dropped by retention compaction.
+	CompactedEntries int64
 }

@@ -1,0 +1,204 @@
+package audit
+
+import (
+	"fmt"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// TestCompactRetention: entries older than the retention window vanish
+// from both whole-expired segments (deleted) and the boundary segment
+// (rewritten); newer entries and their queries survive, across a restart.
+func TestCompactRetention(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "trail")
+	sim := clock.NewSim(time.Unix(1000, 0))
+	// Tiny segments so the trail rolls often. No retention during the
+	// append phase, so nothing compacts until the explicit call below.
+	l, err := Open(Config{Path: base, Clock: sim, Pipeline: PipeSync, SegmentBytes: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 40
+	for i := 0; i < total; i++ {
+		sim.Advance(10 * time.Minute)
+		if _, err := l.Append(Entry{Actor: "usr", Op: "SET", Target: fmt.Sprintf("key%02d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := Open(Config{Path: base, Clock: sim, Pipeline: PipeSync, SegmentBytes: 64, Retention: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 40 entries spaced 10 minutes apart: the cutoff (one hour before the
+	// final entry) expires key00..key32, leaving 7 survivors.
+	dropped, err := l2.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 33 {
+		t.Fatalf("dropped %d entries, want 33", dropped)
+	}
+	cutoff := sim.Now().Add(-time.Hour)
+	got, err := l2.Range(time.Unix(0, 0), sim.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range got {
+		if e.Time.Before(cutoff) {
+			t.Fatalf("expired entry %s (t=%v) survived compaction", e.Target, e.Time)
+		}
+	}
+	if len(got) != total-int(dropped) {
+		t.Fatalf("got %d entries after compaction, want %d", len(got), total-int(dropped))
+	}
+	st := l2.Stats()
+	if st.Compactions != 1 || st.CompactedEntries != dropped {
+		t.Fatalf("stats not updated: %+v (dropped=%d)", st, dropped)
+	}
+	if err := l2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// The compacted trail must reopen cleanly and answer the same.
+	l3, err := Open(Config{Path: base, Clock: sim, Pipeline: PipeSync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l3.Close()
+	got2, err := l3.Range(time.Unix(0, 0), sim.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2) != len(got) {
+		t.Fatalf("reopened trail has %d entries, want %d", len(got2), len(got))
+	}
+	for i := range got2 {
+		if got2[i].Seq != got[i].Seq || got2[i].Target != got[i].Target {
+			t.Fatalf("entry %d mismatch after reopen: %+v vs %+v", i, got2[i], got[i])
+		}
+	}
+}
+
+// TestCompactBoundaryRewrite pins the boundary segment's partial rewrite:
+// one big segment straddling the cutoff keeps exactly its young suffix.
+func TestCompactBoundaryRewrite(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "trail")
+	sim := clock.NewSim(time.Unix(1000, 0))
+	l, err := Open(Config{Path: base, Clock: sim, Pipeline: PipeSync})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		sim.Advance(10 * time.Minute)
+		if _, err := l.Append(Entry{Actor: "usr", Op: "SET", Target: fmt.Sprintf("key%02d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Everything sits in one active segment; seal it by closing, then
+	// compact on reopen.
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+	l2, err := Open(Config{Path: base, Clock: sim, Pipeline: PipeSync, Retention: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	// Cutoff is one hour before the last entry (t=200min): key13 (t=140min)
+	// is exactly at the cutoff and survives with key14..key19.
+	dropped, err := l2.Compact()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if dropped != 13 {
+		t.Fatalf("dropped %d entries, want 13", dropped)
+	}
+	got, err := l2.Range(time.Unix(0, 0), sim.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 7 {
+		t.Fatalf("got %d entries, want 7", len(got))
+	}
+	for _, e := range got {
+		if !strings.HasPrefix(e.Target, "key1") {
+			t.Fatalf("unexpected survivor %s", e.Target)
+		}
+	}
+}
+
+// TestCompactPrunesMemoryTail: on a live log, compaction must also stop
+// the in-memory tail from resurfacing expired sealed entries.
+func TestCompactPrunesMemoryTail(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "trail")
+	sim := clock.NewSim(time.Unix(1000, 0))
+	l, err := Open(Config{Path: base, Clock: sim, Pipeline: PipeSync, SegmentBytes: 64, Retention: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	for i := 0; i < 40; i++ {
+		sim.Advance(10 * time.Minute)
+		if _, err := l.Append(Entry{Actor: "usr", Op: "SET", Target: fmt.Sprintf("key%02d", i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, err := l.Compact(); err != nil {
+		t.Fatal(err)
+	}
+	cutoff := sim.Now().Add(-time.Hour)
+	got, err := l.Range(time.Unix(0, 0), sim.Now())
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range got {
+		// Entries still in the active (unsealed) segment may legitimately
+		// predate the cutoff; sealed ones must be gone.
+		if e.Time.Before(cutoff) && e.Seq < l.store.activeMinSeq() {
+			t.Fatalf("expired sealed entry %s (t=%v) still queryable", e.Target, e.Time)
+		}
+	}
+	if len(got) < 7 {
+		t.Fatalf("got %d entries, want at least the 7 in-window survivors", len(got))
+	}
+}
+
+// TestCompactConcurrentQueries races retention compaction against
+// appends and range queries; run with -race.
+func TestCompactConcurrentQueries(t *testing.T) {
+	base := filepath.Join(t.TempDir(), "trail")
+	l, err := Open(Config{Path: base, Pipeline: PipeBatched, SegmentBytes: 256, Retention: time.Nanosecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		for i := 0; i < 300; i++ {
+			if _, err := l.Append(Entry{Actor: "usr", Op: "SET", Target: fmt.Sprintf("key%03d", i)}); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	for i := 0; i < 50; i++ {
+		if _, err := l.Range(time.Unix(0, 0), time.Now().Add(time.Hour)); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := l.Compact(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	<-done
+	if err := l.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

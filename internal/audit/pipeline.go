@@ -72,6 +72,12 @@ type Config struct {
 	// SegmentBytes rolls the active segment once it holds this many
 	// encoded entry bytes. 0 means a default of 4 MiB.
 	SegmentBytes int64
+	// Retention bounds how long trail entries are kept: whenever a
+	// segment seals, a background compaction pass deletes sealed segments
+	// whose newest entry is older than Retention and rewrites the one
+	// straddling the cutoff (GDPR storage limitation — audit trails are
+	// themselves personal data). 0 keeps everything forever.
+	Retention time.Duration
 }
 
 type stripe struct {
@@ -89,6 +95,12 @@ type Log struct {
 	clk    clock.Clock
 	memCap int
 	store  *segmentStore // nil = memory-only
+
+	// Retention compaction trigger state: one background pass per
+	// observed seal, never more than one in flight.
+	retention      time.Duration
+	compactGen     atomic.Int64
+	compactRunning atomic.Bool
 
 	// Sequencer. Guards nextSeq, the closed flag, and the Seq↔Time
 	// consistency described above. Deliberately tiny: no encoding or IO
@@ -126,7 +138,7 @@ type Log struct {
 // Open creates a Log per cfg, recovering any existing segments at
 // cfg.Path (their summaries restore the sequence and the counters).
 func Open(cfg Config) (*Log, error) {
-	l := &Log{policy: cfg.Policy, pipe: cfg.Pipeline, clk: cfg.Clock, memCap: cfg.MemoryCap}
+	l := &Log{policy: cfg.Policy, pipe: cfg.Pipeline, clk: cfg.Clock, memCap: cfg.MemoryCap, retention: cfg.Retention}
 	if l.clk == nil {
 		l.clk = clock.NewReal()
 	}
@@ -223,6 +235,9 @@ func (l *Log) appendSync(e Entry) (Entry, error) {
 		encoded = int64(len(e.encode()))
 	}
 	l.publish([]Entry{e}, encoded)
+	if l.store != nil {
+		l.maybeCompact()
+	}
 	if l.notify != nil {
 		// Nudge the timer flusher: it arms its everysec timer only when
 		// it observes dirty bytes.
@@ -511,6 +526,7 @@ func (l *Log) writeBatch(batch []Entry) {
 	if l.store == nil {
 		return
 	}
+	l.maybeCompact()
 	switch l.policy {
 	case SyncAlways:
 		_ = l.syncTo(last) // one leader fsync covers the whole batch
@@ -522,6 +538,65 @@ func (l *Log) writeBatch(batch []Entry) {
 			_ = l.syncTo(last)
 		}
 	}
+}
+
+// Compact enforces the retention window now: segments of the on-disk
+// trail holding only entries older than Config.Retention are deleted,
+// and the segment straddling the cutoff is rewritten without its expired
+// prefix. Queries keep running throughout (the swap excludes them only
+// for a rename). It returns how many entries were dropped; a log without
+// a backing store or a retention window compacts nothing.
+func (l *Log) Compact() (int64, error) {
+	if l.store == nil || l.retention <= 0 {
+		return 0, nil
+	}
+	cutoff := l.clk.Now().Add(-l.retention).UnixNano()
+	dropped, changed, err := l.store.compact(cutoff)
+	if changed {
+		// Prune the memory tail to mirror disk: every sealed entry below
+		// the cutoff is gone from the trail now, and the tail is its
+		// cache. Entries still in the active segment stay — they are
+		// reclaimed when that segment seals.
+		bound := l.store.activeMinSeq()
+		l.mu.Lock()
+		i := 0
+		for i < len(l.entries) {
+			e := l.entries[i]
+			if e.Time.UnixNano() >= cutoff || (bound != 0 && e.Seq >= bound) {
+				break
+			}
+			i++
+		}
+		if i > 0 {
+			l.entries = append(l.entries[:0:0], l.entries[i:]...)
+		}
+		l.stats.Compactions++
+		l.stats.CompactedEntries += dropped
+		l.mu.Unlock()
+	}
+	return dropped, err
+}
+
+// maybeCompact launches one background retention pass when a segment has
+// sealed since the last pass. Compaction failures are swallowed here —
+// they never poison the append path — and surface through query errors
+// if the trail is genuinely damaged.
+func (l *Log) maybeCompact() {
+	if l.store == nil || l.retention <= 0 {
+		return
+	}
+	g := l.store.sealGen.Load()
+	if g == l.compactGen.Load() {
+		return
+	}
+	if !l.compactRunning.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer l.compactRunning.Store(false)
+		l.compactGen.Store(g)
+		_, _ = l.Compact()
+	}()
 }
 
 // timedSync is the idle-flush: fsync if anything is dirty.

@@ -12,6 +12,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/securefs"
@@ -249,6 +250,16 @@ type segmentStore struct {
 	actIdx int        // numeric suffix of the active segment
 	actRef segMeta
 	closed bool
+
+	// Retention compaction. compactMu lets queries replay sealed files
+	// without a compactor renaming or deleting them mid-read: read holds
+	// it shared for the whole replay, the compactor exclusively only
+	// around each rename/delete swap (its heavy rewrite work happens
+	// outside any lock). compactRun serializes whole compaction passes;
+	// sealGen counts seals so the auto-trigger fires once per roll.
+	compactMu  sync.RWMutex
+	compactRun sync.Mutex
+	sealGen    atomic.Int64
 }
 
 func segPath(base string, n int) string {
@@ -356,26 +367,7 @@ func rebuildSegment(path string, key []byte, mode tornMode) (segMeta, error) {
 	}
 	if torn {
 		tmp := path + ".rewrite"
-		f, err := securefs.Create(tmp, securefs.Options{Key: key})
-		if err != nil {
-			return segMeta{}, err
-		}
-		// Chunk the rewrite so one frame never approaches the securefs
-		// frame ceiling regardless of the recovered prefix's size.
-		const chunk = 512
-		for i := 0; i < len(entries); i += chunk {
-			end := min(i+chunk, len(entries))
-			frame, _ := encodeBatch(entries[i:end])
-			if err := f.AppendFrame(frame); err != nil {
-				f.Close()
-				return segMeta{}, err
-			}
-		}
-		if err := f.Sync(); err != nil {
-			f.Close()
-			return segMeta{}, err
-		}
-		if err := f.Close(); err != nil {
+		if err := writeSegmentFile(tmp, key, entries); err != nil {
 			return segMeta{}, err
 		}
 		if err := os.Rename(tmp, path); err != nil {
@@ -386,6 +378,32 @@ func rebuildSegment(path string, key []byte, mode tornMode) (segMeta, error) {
 		return segMeta{}, err
 	}
 	return m, nil
+}
+
+// writeSegmentFile renders entries into a fresh segment file at path,
+// fsyncing before close. Frames are chunked so one never approaches the
+// securefs frame ceiling regardless of the input's size. Used by crash
+// repair and retention compaction, both of which build the replacement
+// under a tmp name and rename it into place.
+func writeSegmentFile(path string, key []byte, entries []Entry) error {
+	f, err := securefs.Create(path, securefs.Options{Key: key})
+	if err != nil {
+		return err
+	}
+	const chunk = 512
+	for i := 0; i < len(entries); i += chunk {
+		end := min(i+chunk, len(entries))
+		frame, _ := encodeBatch(entries[i:end])
+		if err := f.AppendFrame(frame); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
 }
 
 // openStore scans base's existing segments (sidecar summaries when
@@ -399,6 +417,9 @@ func openStore(base string, key []byte, maxBytes int64) (*segmentStore, error) {
 	s := &segmentStore{base: base, key: key, maxBytes: maxBytes}
 	for i, n := range nums {
 		path := segPath(base, n)
+		// A leftover .rewrite tmp (crashed repair or compaction) was never
+		// renamed into place, so it holds no unique data.
+		os.Remove(path + ".rewrite")
 		mode := tornStrict
 		if i == len(nums)-1 {
 			// Only the segment that was active at a crash may
@@ -553,6 +574,7 @@ func (s *segmentStore) seal() error {
 	}
 	s.actIdx++
 	s.mu.Unlock()
+	s.sealGen.Add(1)
 	return s.openActive()
 }
 
@@ -570,6 +592,101 @@ func writeSidecar(m segMeta, key []byte) error {
 		return err
 	}
 	return f.Close()
+}
+
+// dropSealedLocked removes the sealed meta at path from the list,
+// reporting whether it was present. Callers hold s.mu.
+func (s *segmentStore) dropSealedLocked(path string) bool {
+	for i, m := range s.sealed {
+		if m.path == path {
+			s.sealed = append(s.sealed[:i], s.sealed[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+// compact enforces a retention cutoff over the sealed segments: segments
+// whose newest entry predates cutoffNs are deleted whole (.seg and .idx),
+// and the segment straddling the cutoff is rewritten keeping only entries
+// at or after it — built under a .rewrite tmp name off-lock, then renamed
+// into place under the exclusive compactMu so no query replay is mid-file.
+// The active segment is never touched; sequence numbers are preserved, so
+// a compacted trail starts at a sparse sequence. Returns how many entries
+// were dropped and whether any segment changed.
+func (s *segmentStore) compact(cutoffNs int64) (dropped int64, changed bool, err error) {
+	s.compactRun.Lock()
+	defer s.compactRun.Unlock()
+	s.mu.Lock()
+	segs := append([]segMeta(nil), s.sealed...)
+	s.mu.Unlock()
+	for _, m := range segs {
+		if m.minTime >= cutoffNs {
+			continue // segments are time-ordered, nothing older follows
+		}
+		var kept []Entry
+		nm := segMeta{path: m.path}
+		if m.maxTime >= cutoffNs {
+			// Boundary segment: collect the surviving suffix. Sealed
+			// segments are strict — corruption here is real damage, and
+			// compaction must not quietly shred a damaged trail.
+			if _, err := replaySegment(m.path, s.key, tornStrict, func(e Entry) error {
+				if e.Time.UnixNano() >= cutoffNs {
+					nm.observe(e, len(e.encode()))
+					kept = append(kept, e)
+				}
+				return nil
+			}); err != nil {
+				return dropped, changed, err
+			}
+			if nm.count == m.count {
+				continue // clock skew within the segment; nothing expired
+			}
+		}
+		if len(kept) == 0 {
+			// Every entry expired: drop the segment whole.
+			s.compactMu.Lock()
+			s.mu.Lock()
+			s.dropSealedLocked(m.path)
+			s.mu.Unlock()
+			rmErr := os.Remove(m.path)
+			os.Remove(m.path + idxSuffix)
+			s.compactMu.Unlock()
+			if rmErr != nil {
+				return dropped, changed, rmErr
+			}
+			dropped += m.count
+			changed = true
+			continue
+		}
+		tmp := m.path + ".rewrite"
+		if err := writeSegmentFile(tmp, s.key, kept); err != nil {
+			os.Remove(tmp)
+			return dropped, changed, err
+		}
+		s.compactMu.Lock()
+		if err := os.Rename(tmp, m.path); err != nil {
+			s.compactMu.Unlock()
+			os.Remove(tmp)
+			return dropped, changed, err
+		}
+		if err := writeSidecar(nm, s.key); err != nil {
+			s.compactMu.Unlock()
+			return dropped, changed, err
+		}
+		s.mu.Lock()
+		for i := range s.sealed {
+			if s.sealed[i].path == m.path {
+				s.sealed[i] = nm
+				break
+			}
+		}
+		s.mu.Unlock()
+		s.compactMu.Unlock()
+		dropped += m.count - nm.count
+		changed = true
+	}
+	return dropped, changed, nil
 }
 
 // flush pushes buffered frames of the active segment to the OS so a
@@ -626,6 +743,10 @@ func (s *segmentStore) read(fromSeq, toSeq uint64, prune func(*segMeta) bool, ke
 	if fromSeq > toSeq {
 		return nil
 	}
+	// Shared with the compactor: it may not rename or delete a sealed
+	// file while this replay walks the list.
+	s.compactMu.RLock()
+	defer s.compactMu.RUnlock()
 	segs, activeLast := s.snapshot()
 	for i, m := range segs {
 		if !m.overlapsSeq(fromSeq, toSeq) || !prune(&m) {
@@ -649,6 +770,17 @@ func (s *segmentStore) read(fromSeq, toSeq uint64, prune func(*segMeta) bool, ke
 		}
 	}
 	return nil
+}
+
+// activeMinSeq returns the lowest sequence held by the active segment,
+// or 0 when it is empty.
+func (s *segmentStore) activeMinSeq() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.actRef.count == 0 {
+		return 0
+	}
+	return s.actRef.minSeq
 }
 
 // segments reports how many on-disk segments exist (active included).

@@ -47,6 +47,9 @@ type WrapConfig struct {
 	// AuditMemoryCap bounds the audit log's in-memory tail (0 = its
 	// default); queries stay correct past it via the segment store.
 	AuditMemoryCap int
+	// AuditRetention compacts trail segments older than this window
+	// (0 keeps everything forever).
+	AuditRetention time.Duration
 	// TransitKey derives the in-transit record layer; required when
 	// EncryptInTransit is enabled.
 	TransitKey []byte
@@ -69,6 +72,7 @@ func OpenAudit(wc WrapConfig, clk clock.Clock) (*audit.Log, error) {
 		Pipeline:  wc.AuditPolicy,
 		Clock:     clk,
 		MemoryCap: wc.AuditMemoryCap,
+		Retention: wc.AuditRetention,
 	})
 }
 

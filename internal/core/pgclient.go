@@ -141,6 +141,9 @@ type PostgresConfig struct {
 	// GlobalLock serializes the engine behind one mutex (the seed's
 	// original contention profile); ablation baseline for benchmarks.
 	GlobalLock bool
+	// Tuning arms the background log-compaction triggers (WAL checkpoint,
+	// audit retention); the zero value disables them all.
+	Tuning Tuning
 }
 
 // WrapConfig derives the middleware configuration from the
@@ -156,6 +159,7 @@ func (cfg PostgresConfig) WrapConfig() WrapConfig {
 		Clock:           cfg.Clock,
 		AuditPolicy:     cfg.AuditPolicy,
 		AuditSyncAlways: cfg.AuditSyncAlways,
+		AuditRetention:  cfg.Tuning.AuditRetention,
 	}
 	if cfg.Compliance.Logging && cfg.Dir != "" {
 		wc.AuditPath = filepath.Join(cfg.Dir, "postgres-csvlog")
@@ -221,7 +225,11 @@ func NewPostgresEngine(cfg PostgresConfig, statements *audit.Log) (Engine, error
 		pass = "gdprbench-postgres"
 	}
 
-	relCfg := relstore.Config{Clock: clk, GlobalLock: cfg.GlobalLock}
+	relCfg := relstore.Config{
+		Clock:           clk,
+		GlobalLock:      cfg.GlobalLock,
+		CheckpointBytes: cfg.Tuning.WALCheckpointBytes,
+	}
 	if comp.Logging {
 		if statements == nil {
 			return nil, fmt.Errorf("core: postgres statement logging requires an audit log")

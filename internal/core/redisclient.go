@@ -62,6 +62,9 @@ type RedisConfig struct {
 	// stripes (rounded up to a power of two) with a staged group-commit
 	// AOF; 0 keeps the Redis-faithful single-mutex, inline-AOF profile.
 	KVStripes int
+	// Tuning arms the background log-compaction triggers (AOF rewrite,
+	// audit retention); the zero value disables them all.
+	Tuning Tuning
 }
 
 // WrapConfig derives the middleware configuration from the Redis-model
@@ -78,6 +81,7 @@ func (cfg RedisConfig) WrapConfig() WrapConfig {
 		Clock:           cfg.Clock,
 		AuditPolicy:     cfg.AuditPolicy,
 		AuditSyncAlways: cfg.AuditSyncAlways,
+		AuditRetention:  cfg.Tuning.AuditRetention,
 	}
 	if cfg.Compliance.Logging && cfg.Dir != "" {
 		wc.AuditPath = filepath.Join(cfg.Dir, "redis-audit.log")
@@ -138,7 +142,12 @@ func newKVEngine(cfg RedisConfig) (*kvEngine, error) {
 		pass = "gdprbench-redis"
 	}
 
-	kvCfg := kvstore.Config{Clock: clk, MetadataIndexing: comp.MetadataIndexing, Striping: cfg.KVStripes}
+	kvCfg := kvstore.Config{
+		Clock:            clk,
+		MetadataIndexing: comp.MetadataIndexing,
+		Striping:         cfg.KVStripes,
+		AutoRewritePct:   cfg.Tuning.AOFRewritePct,
+	}
 	if comp.TimelyDeletion {
 		kvCfg.ExpiryMode = kvstore.ExpiryStrict
 	}

@@ -1,0 +1,26 @@
+package core
+
+import "time"
+
+// Tuning carries the background log-compaction knobs shared by the CLIs,
+// the engine openers and the shard router. The zero value disables every
+// automatic trigger, keeping logs append-forever — the pre-compaction
+// behavior — while the manual entry points (Store.Rewrite, DB.Checkpoint,
+// Log.Compact) stay callable.
+type Tuning struct {
+	// AOFRewritePct arms the Redis-model background AOF rewrite: once the
+	// log has grown this percent past its size after the last rewrite
+	// (Redis' auto-aof-rewrite-percentage semantics, with a 1 MiB floor),
+	// a concurrent rewrite compacts it to one command per live key.
+	// 0 disables automatic rewrites.
+	AOFRewritePct int
+	// WALCheckpointBytes arms the PostgreSQL-model WAL checkpoint: once
+	// the live log crosses this many bytes, a background checkpoint
+	// snapshots every table and truncates the replayed-at-recovery prefix.
+	// 0 disables automatic checkpoints.
+	WALCheckpointBytes int64
+	// AuditRetention bounds the audit trail's history: sealed segments
+	// holding only entries older than this window are compacted away
+	// (storage limitation applied to the trail itself). 0 keeps all.
+	AuditRetention time.Duration
+}

@@ -69,7 +69,7 @@ func shardedCustomerRun(engine string, shards int, cfg core.Config) (time.Durati
 		return 0, err
 	}
 	defer os.RemoveAll(dir)
-	db, err := shard.Open(engine, shards, dir, core.Full(), nil, false, audit.PipeBatched, 0)
+	db, err := shard.Open(engine, shards, dir, core.Full(), nil, false, audit.PipeBatched, 0, core.Tuning{})
 	if err != nil {
 		return 0, err
 	}

@@ -304,6 +304,7 @@ func replayAOF(path string, key []byte, s *Store) error {
 			if err != nil {
 				return err
 			}
+			s.replayOps.Add(1)
 			if op.read {
 				return nil
 			}
@@ -360,6 +361,7 @@ func (s *Store) replayConcurrent(path string, key []byte) error {
 		if err != nil {
 			return err
 		}
+		s.replayOps.Add(1)
 		switch {
 		case op.read:
 		case op.op == opFlushAll:
@@ -377,22 +379,48 @@ func (s *Store) replayConcurrent(path string, key []byte) error {
 	return err
 }
 
+// parseInt64 sits on the AOF replay hot path (every SETEX/EXPIREAT
+// deadline goes through it), so it parses without the Sscanf machinery.
 func parseInt64(s string) (int64, error) {
-	var v int64
-	if _, err := fmt.Sscanf(s, "%d", &v); err != nil {
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
 		return 0, fmt.Errorf("kvstore: bad integer %q: %w", s, err)
 	}
 	return v, nil
 }
 
 // Rewrite compacts the AOF: the current dataset is written as a fresh
-// sequence of SET/SETEX commands to path+".rewrite", which then atomically
-// replaces the live AOF (Redis' BGREWRITEAOF, done in the foreground).
-// The striped profile freezes every stripe, barriers the staged writer,
-// and swaps the file under the pipeline's IO lock.
+// sequence of SET/SETEX commands to path+".rewrite", which then
+// atomically replaces the live AOF (Redis' BGREWRITEAOF). The striped
+// profile rewrites concurrently with live traffic — per-stripe shared-
+// lock snapshots, a rewrite buffer for concurrently staged commands, a
+// short exclusive swap window (rewrite.go); the legacy single-mutex
+// profile rewrites in the foreground, like everything else it does.
 func (s *Store) Rewrite() error {
 	if s.aof == nil && s.pipe == nil {
 		return fmt.Errorf("kvstore: no AOF to rewrite")
+	}
+	if s.pipe != nil {
+		return s.backgroundRewrite()
+	}
+	return s.RewriteForeground()
+}
+
+// RewriteForeground is the stop-the-world rewrite: every stripe stays
+// frozen for the whole snapshot write. It is the legacy profile's only
+// rewrite, and is kept callable on the striped profile as the ablation
+// baseline the pause benchmark compares backgroundRewrite against.
+func (s *Store) RewriteForeground() error {
+	if s.aof == nil && s.pipe == nil {
+		return fmt.Errorf("kvstore: no AOF to rewrite")
+	}
+	start := time.Now()
+	if s.pipe != nil {
+		// rewriteMu before the stripe locks — the order backgroundRewrite
+		// and close() use — so a foreground and a background rewrite can
+		// never deadlock on each other's swap.
+		s.pipe.rewriteMu.Lock()
+		defer s.pipe.rewriteMu.Unlock()
 	}
 	s.lockAll()
 	defer s.unlockAll()
@@ -400,7 +428,12 @@ func (s *Store) Rewrite() error {
 		return errClosed
 	}
 	if s.pipe != nil {
-		return s.pipe.rewrite(s)
+		size, err := s.pipe.rewrite(s)
+		if err != nil {
+			return err
+		}
+		s.finishRewrite(start, 0, size)
+		return nil
 	}
 	path := s.aof.file.Path()
 	tmp := path + ".rewrite"
@@ -429,6 +462,8 @@ func (s *Store) Rewrite() error {
 	}
 	na.encrypted = encrypted
 	s.aof = na
+	size, _ := na.size()
+	s.finishRewrite(start, 0, size)
 	return nil
 }
 

@@ -43,6 +43,7 @@ package kvstore
 
 import (
 	"fmt"
+	"os"
 	"slices"
 	"strings"
 	"sync"
@@ -120,6 +121,12 @@ type Config struct {
 	// through the staged group-commit pipeline instead of the command
 	// path. 0 keeps the Redis-faithful single-mutex, inline-AOF profile.
 	Striping int
+	// AutoRewritePct arms the automatic AOF rewrite policy (Redis'
+	// auto-aof-rewrite-percentage): when the AOF has grown by this
+	// percentage over its size after the last rewrite (and past a 1 MiB
+	// floor), a rewrite fires — concurrent with traffic in the striped
+	// profile, foreground in the legacy one. 0 disables auto rewrites.
+	AutoRewritePct int
 }
 
 type entry struct {
@@ -199,6 +206,21 @@ type Store struct {
 	fullScans atomic.Int64 // full-keyspace scans served (ForEach)
 	closed    atomic.Bool
 
+	// Rewrite/recovery bookkeeping. aofBase is the AOF's size at open /
+	// after the last rewrite; aofAppended approximates bytes appended
+	// since — the pair drives the AutoRewritePct ratio without touching
+	// the file. rewriteRunning keeps auto-triggered rewrites to one in
+	// flight.
+	autoPct           int
+	aofBase           atomic.Int64
+	aofAppended       atomic.Int64
+	rewriteRunning    atomic.Bool
+	rewrites          atomic.Int64
+	lastRewriteMicros atomic.Int64
+	divertedFrames    atomic.Int64
+	replayOps         atomic.Int64
+	replayMicros      atomic.Int64
+
 	// expMu guards the background expiry-loop registration: exclusive for
 	// start/stop, shared for liveness checks.
 	expMu      sync.RWMutex
@@ -241,6 +263,19 @@ type Stats struct {
 	// cycles, global freezes).
 	ReadLocks  int64
 	WriteLocks int64
+	// AOFRewrites counts completed AOF rewrites (manual and auto-
+	// triggered); AOFLastRewriteMicros is the last one's wall-clock
+	// duration, and AOFRewriteDiverted the total command frames captured
+	// by rewrite buffers while snapshots streamed (0 in the foreground
+	// paths, which freeze writers instead).
+	AOFRewrites          int64
+	AOFLastRewriteMicros int64
+	AOFRewriteDiverted   int64
+	// ReplayOps / ReplayMicros describe the Open-time AOF replay: frames
+	// applied and wall-clock time — the recovery cost a rewrite bounds to
+	// O(live keys).
+	ReplayOps    int64
+	ReplayMicros int64
 }
 
 // Open creates a Store. If cfg.AOFPath exists, its commands are replayed
@@ -278,23 +313,36 @@ func Open(cfg Config) (*Store, error) {
 		return nil, fmt.Errorf("kvstore: LogReads requires an AOF path")
 	}
 	if cfg.AOFPath != "" {
+		// A leftover ".rewrite" tmp is a rewrite that crashed before its
+		// atomic rename: the live AOF is still authoritative and the tmp
+		// must never be replayed.
+		os.Remove(cfg.AOFPath + ".rewrite")
+		replayStart := time.Now()
 		if err := replayAOF(cfg.AOFPath, cfg.EncryptionKey, s); err != nil {
 			return nil, err
 		}
+		s.replayMicros.Store(time.Since(replayStart).Microseconds())
 		if striped {
 			p, err := openPipe(cfg.AOFPath, cfg.EncryptionKey, cfg.AOFSync, s.clk)
 			if err != nil {
 				return nil, err
 			}
 			s.pipe = p
+			if sz, err := p.file.Size(); err == nil {
+				s.aofBase.Store(sz)
+			}
 		} else {
 			a, err := openAOF(cfg.AOFPath, cfg.EncryptionKey, cfg.AOFSync, s.clk)
 			if err != nil {
 				return nil, err
 			}
 			s.aof = a
+			if sz, err := a.size(); err == nil {
+				s.aofBase.Store(sz)
+			}
 		}
 		s.aofKey = cfg.EncryptionKey
+		s.autoPct = cfg.AutoRewritePct
 	}
 	return s, nil
 }
@@ -552,6 +600,8 @@ func (st *stripe) gather(now time.Time) []kv {
 // apply order per key.
 
 func (s *Store) appendSet(key, value string, expireAt time.Time) (uint64, error) {
+	// ~frame size; feeds the auto-rewrite growth ratio, not accounting.
+	s.aofAppended.Add(int64(len(key)+len(value)) + 16)
 	if s.aof != nil {
 		return 0, s.aof.appendSet(key, value, expireAt)
 	}
@@ -567,6 +617,7 @@ func (s *Store) appendSet(key, value string, expireAt time.Time) (uint64, error)
 }
 
 func (s *Store) appendDel(key string) (uint64, error) {
+	s.aofAppended.Add(int64(len(key)) + 16)
 	if s.aof != nil {
 		return 0, s.aof.appendDel(key)
 	}
@@ -577,6 +628,7 @@ func (s *Store) appendDel(key string) (uint64, error) {
 }
 
 func (s *Store) appendExpireAt(key string, t time.Time) (uint64, error) {
+	s.aofAppended.Add(int64(len(key)) + 24)
 	if s.aof != nil {
 		return 0, s.aof.appendExpireAt(key, t)
 	}
@@ -637,11 +689,16 @@ func (s *Store) unreserve() {
 // commit applies the post-stage wait for one staged write: under
 // appendfsync always the caller blocks until a group commit covers seq;
 // everysec/no return immediately (surfacing any sticky writer error).
+// Every successful write also ticks the auto-rewrite policy here, off
+// the stripe lock.
 func (s *Store) commit(seq uint64, err error) error {
-	if err != nil || s.pipe == nil || seq == 0 {
-		return err
+	if err == nil && s.pipe != nil && seq != 0 {
+		err = s.pipe.commit(seq)
 	}
-	return s.pipe.commit(seq)
+	if err == nil {
+		s.maybeAutoRewrite()
+	}
+	return err
 }
 
 // ---------------------------------------------------------------------------
@@ -1294,10 +1351,15 @@ func (s *Store) Info() map[string]string {
 // -json's kvstore block.
 func (s *Store) Stats() Stats {
 	st := Stats{
-		Stripes:    len(s.stripes),
-		FullScans:  s.fullScans.Load(),
-		Bytes:      s.MemoryBytes(),
-		IndexBytes: s.IndexBytes(),
+		Stripes:              len(s.stripes),
+		FullScans:            s.fullScans.Load(),
+		Bytes:                s.MemoryBytes(),
+		IndexBytes:           s.IndexBytes(),
+		AOFRewrites:          s.rewrites.Load(),
+		AOFLastRewriteMicros: s.lastRewriteMicros.Load(),
+		AOFRewriteDiverted:   s.divertedFrames.Load(),
+		ReplayOps:            s.replayOps.Load(),
+		ReplayMicros:         s.replayMicros.Load(),
 	}
 	for i := range s.stripes {
 		st.ReadLocks += s.stripes[i].reads.Load()

@@ -1,6 +1,7 @@
 package kvstore
 
 import (
+	"encoding/binary"
 	"os"
 	"runtime"
 	"sync"
@@ -74,6 +75,7 @@ type aofPipe struct {
 	policy    FsyncPolicy
 	clk       clock.Clock
 	encrypted bool
+	path      string // AOF path; stable across rewrite swaps
 
 	nextSeq atomic.Uint64
 
@@ -85,11 +87,25 @@ type aofPipe struct {
 	failedCh chan struct{} // closed on the first sticky error
 	failed   atomic.Bool
 
+	// rewriteMu serializes background rewrites against each other and
+	// against close(): close acquires it first, so a Close waits for an
+	// in-flight rewrite to finish its swap before tearing the file down.
+	rewriteMu sync.Mutex
+
 	// fileMu serializes file IO and file swaps (writer batches, fsyncs,
 	// Rewrite, Close) — never held while waiting on producers.
 	fileMu sync.Mutex
 	file   *securefs.File
 	buf    []byte // writer-only encode buffer
+	// Divert state (guarded by fileMu): while a background rewrite is
+	// streaming its snapshot, every frame appended to the live file is
+	// also copied here (uvarint length + bytes) and replayed onto the new
+	// file before the swap, so no staged command can fall between the
+	// snapshot and the new file's first direct append.
+	diverting  bool
+	divert     []byte
+	divertOps  int64
+	fileClosed bool // set by close(); makes a post-close rewrite fail cleanly
 
 	// Published state: watermarks and counters. The writer publishes
 	// under mu and broadcasts cond; appendfsync-always committers and
@@ -117,6 +133,7 @@ func openPipe(path string, key []byte, policy FsyncPolicy, clk clock.Clock) (*ao
 		policy:    policy,
 		clk:       clk,
 		encrypted: key != nil,
+		path:      path,
 		file:      f,
 		slots:     make(chan struct{}, pipeQueueDepth),
 		notify:    make(chan struct{}, 1),
@@ -253,43 +270,44 @@ func (p *aofPipe) sizeBarrier() (int64, error) {
 	return p.file.Size()
 }
 
-// rewrite compacts the AOF under the caller's all-stripe freeze: barrier
-// the writer, write the live dataset to path+".rewrite", and atomically
-// swap it in under the IO lock.
-func (p *aofPipe) rewrite(s *Store) error {
+// rewrite compacts the AOF under the caller's all-stripe freeze (the
+// foreground ablation path): barrier the writer, write the live dataset
+// to path+".rewrite", and atomically swap it in under the IO lock.
+// Returns the rewritten file's size.
+func (p *aofPipe) rewrite(s *Store) (int64, error) {
 	if err := p.barrier(); err != nil {
-		return err
+		return 0, err
 	}
 	p.fileMu.Lock()
 	defer p.fileMu.Unlock()
-	path := p.file.Path()
-	tmp := path + ".rewrite"
+	tmp := p.path + ".rewrite"
 	var key []byte
 	if p.encrypted {
 		key = s.aofKey
 	}
 	nf, err := securefs.Create(tmp, securefs.Options{Key: key})
 	if err != nil {
-		return err
+		return 0, err
 	}
 	if err := s.writeSnapshot(nf); err != nil {
 		nf.Close()
-		return err
+		return 0, err
 	}
 	if err := nf.Close(); err != nil {
-		return err
+		return 0, err
 	}
 	if err := p.file.Close(); err != nil {
-		return err
+		return 0, err
 	}
-	if err := os.Rename(tmp, path); err != nil {
-		return err
+	if err := os.Rename(tmp, p.path); err != nil {
+		return 0, err
 	}
-	na, err := securefs.Append(path, securefs.Options{Key: key, BufferSize: 1 << 16})
+	na, err := securefs.Append(p.path, securefs.Options{Key: key, BufferSize: 1 << 16})
 	if err != nil {
-		return err
+		return 0, err
 	}
 	p.file = na
+	size, _ := na.Size()
 	// The rewritten file is fully flushed: everything written is durable.
 	p.mu.Lock()
 	p.durable = p.written
@@ -297,17 +315,21 @@ func (p *aofPipe) rewrite(s *Store) error {
 	p.lastSync = p.clk.Now()
 	p.mu.Unlock()
 	p.cond.Broadcast()
-	return nil
+	return size, nil
 }
 
 // close drains staging (the store froze the sequence first by setting
 // closed under every stripe lock) and closes the file. Sticky writer
-// errors take precedence over the close error.
+// errors take precedence over the close error. Acquiring rewriteMu
+// first makes close wait for an in-flight background rewrite's swap.
 func (p *aofPipe) close() error {
+	p.rewriteMu.Lock()
+	defer p.rewriteMu.Unlock()
 	close(p.quit)
 	<-p.done
 	p.fileMu.Lock()
 	cerr := p.file.Close()
+	p.fileClosed = true
 	p.fileMu.Unlock()
 	if err := p.stickyErr(); err != nil {
 		return err
@@ -414,10 +436,16 @@ func (p *aofPipe) encodeOp(op stagedOp) []byte {
 func (p *aofPipe) writeBatch(batch []stagedOp) {
 	p.fileMu.Lock()
 	for _, op := range batch {
-		if err := p.file.AppendFrame(p.encodeOp(op)); err != nil {
+		frame := p.encodeOp(op)
+		if err := p.file.AppendFrame(frame); err != nil {
 			p.fileMu.Unlock()
 			p.fail(err)
 			return
+		}
+		if p.diverting {
+			p.divert = binary.AppendUvarint(p.divert, uint64(len(frame)))
+			p.divert = append(p.divert, frame...)
+			p.divertOps++
 		}
 	}
 	p.fileMu.Unlock()

@@ -1,0 +1,236 @@
+package relstore
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/wal"
+)
+
+// dumpAll returns every row of the records table in primary-key order.
+func dumpAll(t *testing.T, db *DB) []Row {
+	t.Helper()
+	rows, err := db.ScanPK("records", "", 1<<30)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rows
+}
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "test.wal")
+	cfg := Config{WALPath: walPath, WALSync: wal.SyncOnCommit}
+	db := openDB(t, cfg)
+
+	exp := time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("k%04d", i)
+		if err := db.Insert("records", row(k, "v0", "usr", exp, nil, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Churn: updates and deletes so the log holds dead history.
+	for i := 0; i < 100; i++ {
+		k := fmt.Sprintf("k%04d", i)
+		if err := db.Update("records", k, row(k, "v1", "usr", exp, nil, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 150; i < 200; i++ {
+		if _, err := db.Delete("records", fmt.Sprintf("k%04d", i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	preSize, err := db.WALSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(walPath + ".ckpt"); err != nil {
+		t.Fatalf("no sealed checkpoint file: %v", err)
+	}
+	if _, err := os.Stat(walPath + wal.RotatedSuffix); !os.IsNotExist(err) {
+		t.Fatalf("rotated segment not removed after checkpoint: %v", err)
+	}
+	postSize, err := db.WALSize()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if postSize >= preSize {
+		t.Fatalf("live WAL not truncated: %d -> %d bytes", preSize, postSize)
+	}
+
+	// Writes after the checkpoint land in the fresh live log.
+	for i := 0; i < 20; i++ {
+		k := fmt.Sprintf("p%04d", i)
+		if err := db.Insert("records", row(k, "post", "usr", exp, nil, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := dumpAll(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := openDB(t, cfg)
+	got := dumpAll(t, db2)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("state mismatch after checkpointed recovery: got %d rows want %d", len(got), len(want))
+	}
+	records, micros, _ := db2.RecoveryStats()
+	// Replay cost is bounded by live rows plus the post-checkpoint suffix,
+	// not the 370-record history.
+	if wantMax := int64(150 + 20); records > wantMax {
+		t.Fatalf("recovery replayed %d records, want <= %d", records, wantMax)
+	}
+	if micros < 0 {
+		t.Fatalf("negative recovery duration %d", micros)
+	}
+}
+
+// TestCheckpointCrashAfterRotate simulates a crash between Rotate and
+// Seal: the filled segment sits at WALPath+".old", no checkpoint covers
+// it. Recovery must replay it, fold it into a fresh checkpoint, and
+// remove it so the next rotation has a clear target.
+func TestCheckpointCrashAfterRotate(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "test.wal")
+	cfg := Config{WALPath: walPath, WALSync: wal.SyncOnCommit}
+	db := openDB(t, cfg)
+	exp := time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 50; i++ {
+		k := fmt.Sprintf("k%04d", i)
+		if err := db.Insert("records", row(k, "v", "usr", exp, nil, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := dumpAll(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// The crash: log rotated out, empty live file, no sealed checkpoint.
+	if err := os.Rename(walPath, walPath+wal.RotatedSuffix); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := openDB(t, cfg)
+	got := dumpAll(t, db2)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("lost rotated segment: got %d rows want %d", len(got), len(want))
+	}
+	if _, err := os.Stat(walPath + wal.RotatedSuffix); !os.IsNotExist(err) {
+		t.Fatalf("orphaned segment not folded away: %v", err)
+	}
+	if _, err := os.Stat(walPath + ".ckpt"); err != nil {
+		t.Fatalf("recovery did not seal a fresh checkpoint: %v", err)
+	}
+	if err := db2.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// And the folded state survives another plain recovery.
+	db3 := openDB(t, cfg)
+	if got := dumpAll(t, db3); !reflect.DeepEqual(got, want) {
+		t.Fatalf("state mismatch after re-recovery: got %d rows want %d", len(got), len(want))
+	}
+}
+
+// TestCheckpointTmpIgnored: a checkpoint writer that crashed mid-write
+// leaves WALPath+".ckpt.tmp"; it was never renamed into place, so
+// recovery must delete it unread.
+func TestCheckpointTmpIgnored(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "test.wal")
+	cfg := Config{WALPath: walPath, WALSync: wal.SyncOnCommit}
+	db := openDB(t, cfg)
+	exp := time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)
+	if err := db.Insert("records", row("k1", "v", "usr", exp, nil, 1)); err != nil {
+		t.Fatal(err)
+	}
+	want := dumpAll(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(walPath+".ckpt.tmp", []byte("torn garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := openDB(t, cfg)
+	if got := dumpAll(t, db2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("tmp checkpoint affected recovery")
+	}
+	if _, err := os.Stat(walPath + ".ckpt.tmp"); !os.IsNotExist(err) {
+		t.Fatalf("tmp checkpoint not cleaned up: %v", err)
+	}
+}
+
+func TestAutoCheckpoint(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "test.wal")
+	cfg := Config{WALPath: walPath, WALSync: wal.SyncOnCommit, CheckpointBytes: 1}
+	db := openDB(t, cfg)
+	exp := time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 200; i++ {
+		k := fmt.Sprintf("k%04d", i)
+		if err := db.Insert("records", row(k, "v", "usr", exp, nil, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		if _, _, ckpts := db.RecoveryStats(); ckpts > 0 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("auto-checkpoint never fired")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	want := dumpAll(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := openDB(t, cfg)
+	if got := dumpAll(t, db2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("state mismatch after auto-checkpointed recovery")
+	}
+}
+
+// TestCheckpointEncrypted round-trips a checkpoint through an encrypted
+// WAL: the checkpoint file shares the log's at-rest key.
+func TestCheckpointEncrypted(t *testing.T) {
+	dir := t.TempDir()
+	walPath := filepath.Join(dir, "test.wal")
+	key := make([]byte, 32)
+	for i := range key {
+		key[i] = byte(i)
+	}
+	cfg := Config{WALPath: walPath, WALSync: wal.SyncOnCommit, EncryptionKey: key}
+	db := openDB(t, cfg)
+	exp := time.Date(2030, 1, 1, 0, 0, 0, 0, time.UTC)
+	for i := 0; i < 30; i++ {
+		k := fmt.Sprintf("k%04d", i)
+		if err := db.Insert("records", row(k, "secret", "usr", exp, nil, int64(i))); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := db.Checkpoint(); err != nil {
+		t.Fatal(err)
+	}
+	want := dumpAll(t, db)
+	if err := db.Close(); err != nil {
+		t.Fatal(err)
+	}
+	db2 := openDB(t, cfg)
+	if got := dumpAll(t, db2); !reflect.DeepEqual(got, want) {
+		t.Fatalf("state mismatch after encrypted checkpointed recovery")
+	}
+}

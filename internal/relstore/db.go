@@ -2,8 +2,10 @@ package relstore
 
 import (
 	"fmt"
+	"os"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/audit"
@@ -34,6 +36,12 @@ type Config struct {
 	// profile, kept as an ablation baseline so the locking benchmarks can
 	// measure what table-level locking and copy-on-write snapshots buy.
 	GlobalLock bool
+	// CheckpointBytes arms automatic WAL checkpointing: once the live WAL
+	// grows past this size, a background checkpoint snapshots every table
+	// to WALPath+".ckpt" and truncates the pre-checkpoint log prefix, so
+	// recovery replay time is bounded by live data instead of history.
+	// 0 disables automatic checkpoints (Checkpoint stays callable).
+	CheckpointBytes int64
 }
 
 // DB is the relational engine: a set of tables with write-ahead logging
@@ -62,6 +70,19 @@ type DB struct {
 	ttlStop chan struct{}
 	ttlDone chan struct{}
 	closed  bool
+
+	// Checkpoint state. ckptMu serializes checkpoints; ckptRunning keeps
+	// auto-triggered ones to a single in-flight goroutine; writesSince
+	// paces the WAL-size poll to one stat per 64 commits.
+	ckptMu      sync.Mutex
+	ckptRunning atomic.Bool
+	writesSince atomic.Int64
+	checkpoints atomic.Int64
+
+	// Recovery stats: WAL records applied by the last Recover and its
+	// wall-clock duration — the replay cost checkpointing bounds.
+	recoveredRecords int64
+	recoveryMicros   int64
 }
 
 // Open creates a DB. If cfg.WALPath holds a log from a previous run, the
@@ -146,10 +167,13 @@ func (db *DB) commit(unlock func(), lsn uint64) error {
 	if db.cfg.GlobalLock {
 		err := db.waitDurable(lsn)
 		unlock()
+		db.maybeCheckpoint()
 		return err
 	}
 	unlock()
-	return db.waitDurable(lsn)
+	err := db.waitDurable(lsn)
+	db.maybeCheckpoint()
+	return err
 }
 
 // CreateIndex builds a secondary index on table.col.
@@ -186,9 +210,61 @@ func (db *DB) DropIndex(table, col string) error {
 	return nil
 }
 
-// Recover replays the WAL (if configured) into the registered tables and
-// opens the WAL for appending. It must be called once, after CreateTable
-// and before any operation.
+// applyRecord applies one replayed WAL or checkpoint record to the
+// registered tables. Application is idempotent: an insert over an
+// existing key applies as update, an update of a missing key as insert,
+// and a delete of a missing key as a no-op — so a record may safely be
+// replayed over state that already reflects it (checkpoint snapshots
+// overlap the log suffix by design).
+func (db *DB) applyRecord(r wal.Record) error {
+	switch r.Type {
+	case wal.RecInsert, wal.RecUpdate:
+		table, pk, rowBytes, err := wal.DecodeKV(r.Payload)
+		if err != nil {
+			return err
+		}
+		t, err := db.tableLocked(table)
+		if err != nil {
+			return err
+		}
+		row, err := decodeRow(t.live.schema, rowBytes)
+		if err != nil {
+			return err
+		}
+		if t.live.has(pk) {
+			return t.live.update(pk, row)
+		}
+		return t.live.insert(row)
+	case wal.RecDelete:
+		table, pk, _, err := wal.DecodeKV(r.Payload)
+		if err != nil {
+			return err
+		}
+		t, err := db.tableLocked(table)
+		if err != nil {
+			return err
+		}
+		t.live.delete(pk)
+		return nil
+	case wal.RecCheckpoint:
+		return nil
+	default:
+		return fmt.Errorf("relstore: unknown WAL record type %v", r.Type)
+	}
+}
+
+// checkpointPath returns the sealed checkpoint file's path.
+func (db *DB) checkpointPath() string { return db.cfg.WALPath + ".ckpt" }
+
+// Recover replays the checkpoint (if one exists) and then the WAL into
+// the registered tables, and opens the WAL for appending. It must be
+// called once, after CreateTable and before any operation.
+//
+// Replay order: the sealed checkpoint file supplies the base state and
+// its cut LSN; a rotated segment left by a checkpoint that crashed
+// between Rotate and Seal replays next; finally the live log. Records at
+// or below the cut are skipped — the checkpoint supersedes them — which
+// is what bounds recovery time by live data rather than log history.
 func (db *DB) Recover() error {
 	db.mu.Lock()
 	defer db.mu.Unlock()
@@ -198,52 +274,56 @@ func (db *DB) Recover() error {
 	if db.wal != nil {
 		return fmt.Errorf("relstore: Recover called twice")
 	}
-	last, err := wal.Replay(db.cfg.WALPath, db.cfg.EncryptionKey, func(r wal.Record) error {
-		switch r.Type {
-		case wal.RecInsert, wal.RecUpdate:
-			table, pk, rowBytes, err := wal.DecodeKV(r.Payload)
-			if err != nil {
-				return err
+	start := time.Now()
+	var applied int64
+	oldPath := db.cfg.WALPath + wal.RotatedSuffix
+	// A leftover tmp means a checkpoint writer crashed mid-snapshot; it
+	// was never renamed into place, so it holds no unique data.
+	_ = os.Remove(db.checkpointPath() + ".tmp")
+
+	var cut uint64
+	if _, err := wal.Replay(db.checkpointPath(), db.cfg.EncryptionKey, func(r wal.Record) error {
+		if r.Type == wal.RecCheckpoint {
+			if c, ok := wal.CheckpointCut(r.Payload); ok {
+				cut = c
 			}
-			t, err := db.tableLocked(table)
-			if err != nil {
-				return err
-			}
-			row, err := decodeRow(t.live.schema, rowBytes)
-			if err != nil {
-				return err
-			}
-			if r.Type == wal.RecInsert {
-				// Replayed inserts may collide if a crash interleaved; an
-				// insert over an existing key applies as update.
-				if t.live.has(pk) {
-					return t.live.update(pk, row)
-				}
-				return t.live.insert(row)
-			}
-			if !t.live.has(pk) {
-				return t.live.insert(row)
-			}
-			return t.live.update(pk, row)
-		case wal.RecDelete:
-			table, pk, _, err := wal.DecodeKV(r.Payload)
-			if err != nil {
-				return err
-			}
-			t, err := db.tableLocked(table)
-			if err != nil {
-				return err
-			}
-			t.live.delete(pk)
 			return nil
-		case wal.RecCheckpoint:
-			return nil
-		default:
-			return fmt.Errorf("relstore: unknown WAL record type %v", r.Type)
 		}
-	})
+		applied++
+		return db.applyRecord(r)
+	}); err != nil {
+		return err
+	}
+	applyPastCut := func(r wal.Record) error {
+		if r.LSN <= cut {
+			return nil
+		}
+		applied++
+		return db.applyRecord(r)
+	}
+	// A rotated segment that outlived its checkpoint means the previous
+	// checkpoint crashed between Rotate and Seal: its suffix past the cut
+	// is covered by neither file, so replay it, then fold everything into
+	// a fresh checkpoint below before deleting it.
+	hadOld := false
+	var oldLast uint64
+	if _, err := os.Stat(oldPath); err == nil {
+		hadOld = true
+		var rerr error
+		if oldLast, rerr = wal.Replay(oldPath, db.cfg.EncryptionKey, applyPastCut); rerr != nil {
+			return rerr
+		}
+	}
+	liveLast, err := wal.Replay(db.cfg.WALPath, db.cfg.EncryptionKey, applyPastCut)
 	if err != nil {
 		return err
+	}
+	last := cut
+	if oldLast > last {
+		last = oldLast
+	}
+	if liveLast > last {
+		last = liveLast
 	}
 	w, err := wal.Open(wal.Config{
 		Path:   db.cfg.WALPath,
@@ -259,7 +339,140 @@ func (db *DB) Recover() error {
 	for _, t := range db.tables {
 		t.publish()
 	}
+	if hadOld {
+		// Fold the orphaned segment into a fresh checkpoint so the next
+		// Rotate has a clear target name, then drop it.
+		if err := db.writeCheckpoint(last); err != nil {
+			return err
+		}
+		if err := os.Remove(oldPath); err != nil {
+			return err
+		}
+	}
+	db.recoveredRecords = applied
+	db.recoveryMicros = time.Since(start).Microseconds()
 	return nil
+}
+
+// Checkpoint snapshots every table into WALPath+".ckpt" and truncates
+// the pre-checkpoint WAL prefix, bounding recovery replay to roughly the
+// live rows plus the log written since. The snapshot is taken per table
+// under a brief write lock (an O(1) copy-on-write clone — LSNs are
+// assigned under the same lock, so the clone covers everything at or
+// below the cut) and streamed to disk off-lock; concurrent operations
+// keep running throughout. No-op without a WAL. Safe to call manually
+// even when automatic checkpointing is off.
+func (db *DB) Checkpoint() error {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.closed {
+		return errDBClosed
+	}
+	if db.wal == nil {
+		return nil
+	}
+	db.ckptMu.Lock()
+	defer db.ckptMu.Unlock()
+	oldPath := db.cfg.WALPath + wal.RotatedSuffix
+	var cut uint64
+	if _, err := os.Stat(oldPath); err == nil {
+		// An earlier checkpoint crashed or failed between Rotate and
+		// Seal: rotating again would clobber the only copy of that
+		// segment's records. Cut at the current head instead — the
+		// snapshot below covers both the orphaned segment and the live
+		// log's prefix.
+		cut = db.wal.NextLSN() - 1
+	} else {
+		c, err := db.wal.Rotate()
+		if err != nil {
+			return err
+		}
+		cut = c
+	}
+	if err := db.writeCheckpoint(cut); err != nil {
+		return err
+	}
+	if err := os.Remove(oldPath); err != nil && !os.IsNotExist(err) {
+		return err
+	}
+	return nil
+}
+
+// writeCheckpoint streams a snapshot of every table into the checkpoint
+// file (via a tmp name, renamed into place only after Seal) recording
+// cut as the log position the snapshot supersedes. Callers hold db.mu
+// (any mode) and, outside Recover, ckptMu.
+func (db *DB) writeCheckpoint(cut uint64) error {
+	tmp := db.checkpointPath() + ".tmp"
+	cw, err := wal.CreateCheckpoint(tmp, db.cfg.EncryptionKey)
+	if err != nil {
+		return err
+	}
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		t := db.tables[name]
+		// Clone under the table write lock: any writer whose record has
+		// an LSN <= cut finished its live-view mutation under this lock
+		// before we got it, so the clone reflects the whole cut prefix.
+		unlock := db.lockTable(t)
+		t.publish()
+		v := t.snap.Load()
+		unlock()
+		var werr error
+		v.scanAll(func(pk string, row Row) bool {
+			werr = cw.Append(wal.RecInsert, wal.EncodeKV(name, pk, encodeRow(v.schema, row)))
+			return werr == nil
+		})
+		if werr != nil {
+			cw.Abort()
+			_ = os.Remove(tmp)
+			return werr
+		}
+	}
+	if err := cw.Seal(cut); err != nil {
+		_ = os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, db.checkpointPath()); err != nil {
+		return err
+	}
+	db.checkpoints.Add(1)
+	return nil
+}
+
+// maybeCheckpoint arms the automatic checkpoint: every 64th commit polls
+// the live WAL's size, and crossing Config.CheckpointBytes launches one
+// background Checkpoint (never more than one in flight).
+func (db *DB) maybeCheckpoint() {
+	if db.cfg.CheckpointBytes <= 0 || db.wal == nil {
+		return
+	}
+	if db.writesSince.Add(1)%64 != 0 {
+		return
+	}
+	size, err := db.wal.Size()
+	if err != nil || size < db.cfg.CheckpointBytes {
+		return
+	}
+	if !db.ckptRunning.CompareAndSwap(false, true) {
+		return
+	}
+	go func() {
+		defer db.ckptRunning.Store(false)
+		_ = db.Checkpoint()
+	}()
+}
+
+// RecoveryStats reports the last Recover's applied record count and
+// wall-clock duration, plus checkpoints completed since open.
+func (db *DB) RecoveryStats() (records, micros, checkpoints int64) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.recoveredRecords, db.recoveryMicros, db.checkpoints.Load()
 }
 
 // tableLocked resolves a table name; callers hold db.mu (any mode).
@@ -702,6 +915,10 @@ func (db *DB) Features() map[string]string {
 	if db.wal != nil {
 		f["wal"] = "on"
 		f["wal_encrypted"] = fmt.Sprintf("%v", db.cfg.EncryptionKey != nil)
+		f["wal_checkpoints"] = fmt.Sprintf("%d", db.checkpoints.Load())
+		if db.cfg.CheckpointBytes > 0 {
+			f["wal_checkpoint_bytes"] = fmt.Sprintf("%d", db.cfg.CheckpointBytes)
+		}
 	}
 	var idx []string
 	for name, t := range db.tables {

@@ -34,7 +34,7 @@ func diffVariants() []variant {
 	mkStriped := func(engine string, shards int, c core.Compliance, policy audit.Pipeline, kvstripes int) func(t *testing.T, sim *clock.Sim) core.DB {
 		return func(t *testing.T, sim *clock.Sim) core.DB {
 			t.Helper()
-			db, err := Open(engine, shards, t.TempDir(), c, sim, true, policy, kvstripes)
+			db, err := Open(engine, shards, t.TempDir(), c, sim, true, policy, kvstripes, core.Tuning{})
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -156,7 +156,7 @@ func TestShardCountInvariantUnderExpiry(t *testing.T) {
 	comp := core.Compliance{Logging: true, AccessControl: true, Strict: true, TimelyDeletion: true}
 	run := func(engine string, shards int) (visible int, purged int) {
 		sim := clock.NewSim(time.Unix(1_500_000_000, 0))
-		db, err := Open(engine, shards, t.TempDir(), comp, sim, true, audit.PipeAsync, 0)
+		db, err := Open(engine, shards, t.TempDir(), comp, sim, true, audit.PipeAsync, 0, core.Tuning{})
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -143,18 +143,19 @@ func OpenPostgres(shards int, cfg core.PostgresConfig) (core.DB, error) {
 // shared by the CLIs and experiments. policy selects the audit append
 // pipeline (core's -auditpolicy spectrum); kvstripes selects the
 // kvstore concurrency profile (0 = single-mutex baseline, ignored by
-// the postgres model).
-func Open(engine string, shards int, dir string, comp core.Compliance, clk clock.Clock, disableDaemons bool, policy audit.Pipeline, kvstripes int) (core.DB, error) {
+// the postgres model); tun arms the background log-compaction triggers
+// (AOF rewrite, WAL checkpoint, audit retention — zero disables all).
+func Open(engine string, shards int, dir string, comp core.Compliance, clk clock.Clock, disableDaemons bool, policy audit.Pipeline, kvstripes int, tun core.Tuning) (core.DB, error) {
 	switch engine {
 	case "redis":
 		return OpenRedis(shards, core.RedisConfig{
 			Dir: dir, Compliance: comp, Clock: clk, DisableBackgroundExpiry: disableDaemons,
-			AuditPolicy: policy, KVStripes: kvstripes,
+			AuditPolicy: policy, KVStripes: kvstripes, Tuning: tun,
 		})
 	case "postgres":
 		return OpenPostgres(shards, core.PostgresConfig{
 			Dir: dir, Compliance: comp, Clock: clk, DisableTTLDaemon: disableDaemons,
-			AuditPolicy: policy,
+			AuditPolicy: policy, Tuning: tun,
 		})
 	default:
 		return nil, fmt.Errorf("shard: unknown engine %q", engine)

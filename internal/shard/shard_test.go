@@ -246,7 +246,7 @@ func TestShardedCorrectnessOracle(t *testing.T) {
 			sim := clock.NewSim(time.Time{})
 			cfg := core.Config{Records: 300, Operations: 200, Threads: 2, Seed: 7}.WithDefaults()
 			open := func() (core.DB, *core.Dataset, error) {
-				db, err := Open(tc.engine, tc.shards, t.TempDir(), core.Full(), sim, true, audit.PipeAsync, 0)
+				db, err := Open(tc.engine, tc.shards, t.TempDir(), core.Full(), sim, true, audit.PipeAsync, 0, core.Tuning{})
 				if err != nil {
 					return nil, nil, err
 				}
@@ -275,7 +275,7 @@ func TestShardedWorkloadsRun(t *testing.T) {
 	sim := clock.NewSim(time.Time{})
 	cfg := core.Config{Records: 300, Operations: 150, Threads: 4, Seed: 5}.WithDefaults()
 	for _, engine := range []string{"redis", "postgres"} {
-		db, err := Open(engine, 3, t.TempDir(), core.Full(), sim, true, audit.PipeBatched, 0)
+		db, err := Open(engine, 3, t.TempDir(), core.Full(), sim, true, audit.PipeBatched, 0, core.Tuning{})
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -306,7 +306,7 @@ func TestShardedRedisPersistsAcrossReopen(t *testing.T) {
 	dir := t.TempDir()
 	sim := clock.NewSim(time.Time{})
 	cfg := core.Config{Records: 60, Operations: 5, Threads: 1, Seed: 3}.WithDefaults()
-	db, err := Open("redis", 3, dir, core.Full(), sim, true, audit.PipeAsync, 0)
+	db, err := Open("redis", 3, dir, core.Full(), sim, true, audit.PipeAsync, 0, core.Tuning{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -317,7 +317,7 @@ func TestShardedRedisPersistsAcrossReopen(t *testing.T) {
 	if err := db.Close(); err != nil {
 		t.Fatal(err)
 	}
-	db2, err := Open("redis", 3, dir, core.Full(), sim, true, audit.PipeAsync, 0)
+	db2, err := Open("redis", 3, dir, core.Full(), sim, true, audit.PipeAsync, 0, core.Tuning{})
 	if err != nil {
 		t.Fatal(err)
 	}

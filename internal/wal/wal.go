@@ -111,6 +111,8 @@ type Config struct {
 type WAL struct {
 	mu       sync.Mutex
 	file     *securefs.File
+	path     string
+	key      []byte
 	nextLSN  uint64
 	policy   SyncPolicy
 	clk      clock.Clock
@@ -146,10 +148,25 @@ func Open(cfg Config, lastLSN uint64) (*WAL, error) {
 	if clk == nil {
 		clk = clock.NewReal()
 	}
-	return &WAL{file: f, nextLSN: lastLSN + 1, policy: cfg.Policy, clk: clk, lastSync: clk.Now()}, nil
+	return &WAL{file: f, path: cfg.Path, key: cfg.Key, nextLSN: lastLSN + 1, policy: cfg.Policy, clk: clk, lastSync: clk.Now()}, nil
 }
 
 var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// appendRecord renders one record — lsn(8) | type(1) | crc32(4) | payload
+// — into buf, shared by the live Append path and the checkpoint writer.
+func appendRecord(buf []byte, lsn uint64, t RecordType, payload []byte) []byte {
+	buf = binary.BigEndian.AppendUint64(buf[:0], lsn)
+	buf = append(buf, byte(t))
+	// CRC over lsn|type|payload; reserve its slot now.
+	crcPos := len(buf)
+	buf = append(buf, 0, 0, 0, 0)
+	buf = append(buf, payload...)
+	crc := crc32.Checksum(buf[:crcPos], crcTable)
+	crc = crc32.Update(crc, crcTable, buf[crcPos+4:])
+	binary.BigEndian.PutUint32(buf[crcPos:], crc)
+	return buf
+}
 
 // Append logs one record and returns its LSN.
 func (w *WAL) Append(t RecordType, payload []byte) (uint64, error) {
@@ -161,17 +178,7 @@ func (w *WAL) Append(t RecordType, payload []byte) (uint64, error) {
 	lsn := w.nextLSN
 	w.nextLSN++
 
-	w.buf = w.buf[:0]
-	w.buf = binary.BigEndian.AppendUint64(w.buf, lsn)
-	w.buf = append(w.buf, byte(t))
-	// CRC over lsn|type|payload; reserve its slot now.
-	crcPos := len(w.buf)
-	w.buf = append(w.buf, 0, 0, 0, 0)
-	w.buf = append(w.buf, payload...)
-	crc := crc32.Checksum(w.buf[:crcPos], crcTable)
-	crc = crc32.Update(crc, crcTable, w.buf[crcPos+4:])
-	binary.BigEndian.PutUint32(w.buf[crcPos:], crc)
-
+	w.buf = appendRecord(w.buf, lsn, t, payload)
 	if err := w.file.AppendFrame(w.buf); err != nil {
 		return 0, err
 	}
@@ -288,6 +295,49 @@ func (w *WAL) NextLSN() uint64 {
 	return w.nextLSN
 }
 
+// RotatedSuffix names the file a Rotate moves the filled log segment to.
+const RotatedSuffix = ".old"
+
+// Rotate seals the current log file and starts a fresh one at the same
+// path: the filled segment is fsynced, closed and renamed to
+// path+RotatedSuffix, and the LSN sequence continues into the new file.
+// It returns the highest LSN contained in the rotated-out segment — the
+// checkpoint "cut": once a checkpoint covering the cut is durable, the
+// rotated segment is redundant and may be deleted, which is how the WAL
+// prefix gets truncated without ever rewriting the live file. Callers
+// must not leave an earlier rotated segment at the target name (a second
+// rotation would clobber it).
+func (w *WAL) Rotate() (cut uint64, err error) {
+	// syncMu first (the WaitDurable order) so no group-commit fsync can
+	// hold the old file handle across the swap.
+	w.syncMu.Lock()
+	defer w.syncMu.Unlock()
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.closed {
+		return 0, errors.New("wal: rotate on closed WAL")
+	}
+	cut = w.nextLSN - 1
+	if err := w.file.Sync(); err != nil {
+		return 0, err
+	}
+	if err := w.file.Close(); err != nil {
+		return 0, err
+	}
+	if err := os.Rename(w.path, w.path+RotatedSuffix); err != nil {
+		return 0, err
+	}
+	nf, err := securefs.Append(w.path, securefs.Options{Key: w.key})
+	if err != nil {
+		return 0, err
+	}
+	w.file = nf
+	w.lastSync = w.clk.Now()
+	// Everything in the rotated segment was fsynced above.
+	w.advanceDurable(cut)
+	return cut, nil
+}
+
 // Close flushes and closes the WAL. Close is idempotent.
 func (w *WAL) Close() error {
 	w.mu.Lock()
@@ -340,6 +390,72 @@ func decode(p []byte) (Record, error) {
 		return Record{}, fmt.Errorf("wal: crc mismatch at lsn %d: %w", lsn, ErrCorrupt)
 	}
 	return Record{LSN: lsn, Type: t, Payload: append([]byte(nil), p[13:]...)}, nil
+}
+
+// ---------------------------------------------------------------------------
+// Checkpoint files
+//
+// A checkpoint is a self-contained file in the WAL's own record format:
+// a snapshot of the database as RecInsert records (with synthetic dense
+// LSNs starting at 1, so Replay's monotonicity check holds) followed by
+// one RecCheckpoint trailer whose payload is the 8-byte big-endian "cut"
+// — the live-log LSN the snapshot supersedes. Recovery replays the
+// checkpoint like any WAL, reads the cut from the trailer, and skips
+// live-log records at or below it. A checkpoint file without its trailer
+// (crash mid-write) is simply a torn tail: the snapshot prefix applies,
+// the cut stays 0, and the full live log replays over it idempotently —
+// but writers avoid even that window by building the file under a tmp
+// name and renaming it into place only after Seal.
+
+// CheckpointWriter streams a checkpoint file.
+type CheckpointWriter struct {
+	file *securefs.File
+	lsn  uint64
+	buf  []byte
+}
+
+// CreateCheckpoint starts a checkpoint file at path (truncating any
+// previous one there).
+func CreateCheckpoint(path string, key []byte) (*CheckpointWriter, error) {
+	f, err := securefs.Create(path, securefs.Options{Key: key, BufferSize: 1 << 16})
+	if err != nil {
+		return nil, err
+	}
+	return &CheckpointWriter{file: f}, nil
+}
+
+// Append adds one snapshot record.
+func (c *CheckpointWriter) Append(t RecordType, payload []byte) error {
+	c.lsn++
+	c.buf = appendRecord(c.buf, c.lsn, t, payload)
+	return c.file.AppendFrame(c.buf)
+}
+
+// Seal writes the RecCheckpoint trailer recording cut, then syncs and
+// closes the file. The checkpoint is complete only once Seal returns.
+func (c *CheckpointWriter) Seal(cut uint64) error {
+	var p [8]byte
+	binary.BigEndian.PutUint64(p[:], cut)
+	if err := c.Append(RecCheckpoint, p[:]); err != nil {
+		c.file.Close()
+		return err
+	}
+	if err := c.file.Sync(); err != nil {
+		c.file.Close()
+		return err
+	}
+	return c.file.Close()
+}
+
+// Abort discards the writer (the caller removes the tmp file).
+func (c *CheckpointWriter) Abort() { c.file.Close() }
+
+// CheckpointCut extracts the cut LSN from a RecCheckpoint payload.
+func CheckpointCut(payload []byte) (uint64, bool) {
+	if len(payload) != 8 {
+		return 0, false
+	}
+	return binary.BigEndian.Uint64(payload), true
 }
 
 // EncodeKV packs table, key and row bytes into a mutation payload.

@@ -1,0 +1,185 @@
+package gdprbench
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/kvstore"
+	"repro/internal/relstore"
+	"repro/internal/wal"
+)
+
+// BenchmarkRecovery measures replay time at open for each engine's log
+// in two states: raw (the full append history, dead writes included)
+// and compacted (post AOF-rewrite / WAL-checkpoint). The gap is the
+// recovery-time bound the background compaction work buys — run with
+// -bench Recovery -benchtime 5x for stable numbers.
+
+func copyFile(b *testing.B, src, dst string) {
+	b.Helper()
+	buf, err := os.ReadFile(src)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := os.WriteFile(dst, buf, 0o644); err != nil {
+		b.Fatal(err)
+	}
+}
+
+// buildKvstoreLogs writes a churned AOF (every key overwritten several
+// times plus deletes) and returns the raw path and a rewritten copy.
+func buildKvstoreLogs(b *testing.B, dir string) (raw, compacted string) {
+	b.Helper()
+	raw = filepath.Join(dir, "raw.aof")
+	compacted = filepath.Join(dir, "compacted.aof")
+	s, err := kvstore.Open(kvstore.Config{AOFPath: raw, Striping: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	val := strings.Repeat("v", 64)
+	for round := 0; round < 8; round++ {
+		for i := 0; i < 4000; i++ {
+			if err := s.Set(fmt.Sprintf("key-%05d", i), fmt.Sprintf("%s-%d", val, round)); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	for i := 0; i < 1000; i++ {
+		if _, err := s.Del(fmt.Sprintf("key-%05d", i*4)); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		b.Fatal(err)
+	}
+	copyFile(b, raw, compacted)
+	s2, err := kvstore.Open(kvstore.Config{AOFPath: compacted, Striping: 4})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := s2.Rewrite(); err != nil {
+		b.Fatal(err)
+	}
+	if err := s2.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return raw, compacted
+}
+
+func benchKvstoreRecovery(b *testing.B, path string) {
+	b.Helper()
+	var ops int64
+	for i := 0; i < b.N; i++ {
+		s, err := kvstore.Open(kvstore.Config{AOFPath: path, Striping: 4})
+		if err != nil {
+			b.Fatal(err)
+		}
+		st := s.Stats()
+		ops = st.ReplayOps
+		if err := s.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(ops), "replayed_ops")
+}
+
+func benchSchema() relstore.Schema {
+	return relstore.Schema{
+		Name: "records",
+		Columns: []relstore.Column{
+			{Name: "key", Type: relstore.TypeText},
+			{Name: "data", Type: relstore.TypeText},
+		},
+		PrimaryKey: "key",
+	}
+}
+
+// buildRelstoreLogs writes a churned WAL and returns the raw path and a
+// checkpointed copy (live WAL truncated, snapshot in the .ckpt sidecar).
+func buildRelstoreLogs(b *testing.B, dir string) (raw, compacted string) {
+	b.Helper()
+	raw = filepath.Join(dir, "raw.wal")
+	compacted = filepath.Join(dir, "compacted.wal")
+	db, err := relstore.Open(relstore.Config{WALPath: raw, WALSync: wal.SyncOnCommit})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := db.CreateTable(benchSchema()); err != nil {
+		b.Fatal(err)
+	}
+	if err := db.Recover(); err != nil {
+		b.Fatal(err)
+	}
+	val := strings.Repeat("v", 64)
+	for i := 0; i < 4000; i++ {
+		if err := db.Insert("records", relstore.Row{fmt.Sprintf("key-%05d", i), val}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	for round := 0; round < 7; round++ {
+		for i := 0; i < 4000; i++ {
+			k := fmt.Sprintf("key-%05d", i)
+			if err := db.Update("records", k, relstore.Row{k, fmt.Sprintf("%s-%d", val, round)}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+	if err := db.Close(); err != nil {
+		b.Fatal(err)
+	}
+	copyFile(b, raw, compacted)
+	db2, err := relstore.Open(relstore.Config{WALPath: compacted, WALSync: wal.SyncOnCommit})
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := db2.CreateTable(benchSchema()); err != nil {
+		b.Fatal(err)
+	}
+	if err := db2.Recover(); err != nil {
+		b.Fatal(err)
+	}
+	if err := db2.Checkpoint(); err != nil {
+		b.Fatal(err)
+	}
+	if err := db2.Close(); err != nil {
+		b.Fatal(err)
+	}
+	return raw, compacted
+}
+
+func benchRelstoreRecovery(b *testing.B, path string) {
+	b.Helper()
+	var records int64
+	for i := 0; i < b.N; i++ {
+		db, err := relstore.Open(relstore.Config{WALPath: path, WALSync: wal.SyncOnCommit})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := db.CreateTable(benchSchema()); err != nil {
+			b.Fatal(err)
+		}
+		if err := db.Recover(); err != nil {
+			b.Fatal(err)
+		}
+		records, _, _ = db.RecoveryStats()
+		if err := db.Close(); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(records), "replayed_records")
+}
+
+func BenchmarkRecovery(b *testing.B) {
+	kvDir := b.TempDir()
+	kvRaw, kvCompacted := buildKvstoreLogs(b, kvDir)
+	b.Run("kvstore/raw", func(b *testing.B) { benchKvstoreRecovery(b, kvRaw) })
+	b.Run("kvstore/compacted", func(b *testing.B) { benchKvstoreRecovery(b, kvCompacted) })
+
+	relDir := b.TempDir()
+	relRaw, relCompacted := buildRelstoreLogs(b, relDir)
+	b.Run("relstore/raw", func(b *testing.B) { benchRelstoreRecovery(b, relRaw) })
+	b.Run("relstore/checkpointed", func(b *testing.B) { benchRelstoreRecovery(b, relCompacted) })
+}
