@@ -27,6 +27,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gdpr"
 	"repro/internal/kvstore"
+	"repro/internal/obs"
 	"repro/internal/relstore"
 	"repro/internal/remote"
 	"repro/internal/server"
@@ -1103,4 +1104,84 @@ func BenchmarkGDPRQueryLatencies(b *testing.B) {
 			}
 		}
 	})
+}
+
+// ---------------------------------------------------------------------------
+// Observability overhead
+
+// benchObsOverheadMix drives a get95-style mix (95% point read, 5% data
+// update) through the fully wrapped Redis-model stack with the given
+// span-sampling period on the process registry — the same registry the
+// middleware's always-on op counters hit on every iteration regardless.
+func benchObsOverheadMix(b *testing.B, sampling int) {
+	b.Helper()
+	reg := obs.Default()
+	prevSampling := reg.Sampling()
+	prevThreshold := reg.SlowlogThreshold()
+	reg.SetSlowlogThreshold(0)
+	reg.SetSampling(sampling)
+	defer func() {
+		reg.SetSampling(prevSampling)
+		reg.SetSlowlogThreshold(prevThreshold)
+	}()
+
+	comp := core.Compliance{AccessControl: true, Strict: true}
+	db, err := OpenEngine("redis", 1, "", comp, nil, true, AuditSync, 0, Tuning{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer db.Close()
+	cfg := core.Config{Records: 2_000, Seed: 1}.WithDefaults()
+	ds, _, err := core.Load(db, cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	actors := make([]Actor, cfg.Records)
+	sels := make([]Selector, cfg.Records)
+	for i := 0; i < cfg.Records; i++ {
+		actors[i] = CustomerActor(ds.UserAt(i))
+		sels[i] = ByKey(ds.KeyAt(i))
+	}
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		k := (i * 31) % cfg.Records
+		if i%20 < 19 {
+			recs, err := db.ReadData(actors[k], sels[k])
+			if err != nil {
+				b.Fatal(err)
+			}
+			if len(recs) != 1 {
+				b.Fatalf("point read returned %d records", len(recs))
+			}
+			continue
+		}
+		if _, err := db.UpdateData(actors[k], ds.KeyAt(k), "data-payload-v2"); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(b.N)/time.Since(start).Seconds(), "ops/s")
+}
+
+// BenchmarkObsOverhead measures what the observability layer costs on
+// the hot path: spans off (counters only), the default 1-in-16 sampling,
+// and every-op tracing. The acceptance bar is <3% ops/s regression for
+// the sampled leg against the off leg on this get95 mix; the full leg
+// bounds the worst case a -slowlog-threshold run (which forces every-op
+// tracing) can pay.
+func BenchmarkObsOverhead(b *testing.B) {
+	for _, leg := range []struct {
+		name     string
+		sampling int
+	}{
+		{"off", 0},
+		{"sampled", obs.DefaultSampling},
+		{"full", 1},
+	} {
+		b.Run(leg.name, func(b *testing.B) {
+			benchObsOverheadMix(b, leg.sampling)
+		})
+	}
 }

@@ -36,6 +36,7 @@ import (
 	gdprbench "repro"
 	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/stats"
 )
 
@@ -61,6 +62,7 @@ type options struct {
 	auditPolicy gdprbench.AuditPolicy
 	kvstripes   int
 	tuning      gdprbench.Tuning
+	slowlog     time.Duration
 	cpuProfile  string
 	memProfile  string
 }
@@ -73,6 +75,7 @@ var engineFlags = map[string]bool{
 	"engine": true, "shards": true, "index": true, "baseline": true, "dir": true,
 	"auditpolicy": true, "kvstripes": true,
 	"aofrewrite-pct": true, "walcheckpoint": true, "auditretain": true,
+	"slowlog-threshold": true,
 }
 
 var benchFlags = map[string]bool{
@@ -106,6 +109,7 @@ func main() {
 		aofPct    = flag.Int("aofrewrite-pct", 0, "redis engine: background-rewrite the AOF once it grows this percent past its post-rewrite size (Redis auto-aof-rewrite-percentage; 100 = rewrite at 2x, 0 = never)")
 		walCkpt   = flag.Int64("walcheckpoint", 0, "postgres engine: checkpoint and truncate the WAL once it exceeds this many bytes (0 = never)")
 		auditKeep = flag.Duration("auditretain", 0, "compact audit-trail segments older than this window, e.g. 720h (0 = keep all history)")
+		slowlog   = flag.Duration("slowlog-threshold", 0, "record every operation at least this slow in the slowlog with per-phase latency attribution, reported in -json (e.g. 10ms; 0 = off); with -connect, set it on the server instead")
 		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the run to this file (go tool pprof)")
 		memProf   = flag.String("memprofile", "", "write a heap/allocation profile to this file when the run ends")
 	)
@@ -127,7 +131,7 @@ func main() {
 		workloads: *workloads, secondary: secondaryDist,
 		indexed: *indexed, baseline: *baseline, validate: *validate,
 		serve: *serve, frozen: *frozen, connect: *connect, token: *token, jsonPath: *jsonPath,
-		auditPolicy: policy, kvstripes: *kvstripes,
+		auditPolicy: policy, kvstripes: *kvstripes, slowlog: *slowlog,
 		tuning: gdprbench.Tuning{
 			AOFRewritePct:      *aofPct,
 			WALCheckpointBytes: *walCkpt,
@@ -205,6 +209,12 @@ func run(opts options) error {
 	if opts.tuning.WALCheckpointBytes > 0 && opts.engine != "postgres" {
 		return fmt.Errorf("-walcheckpoint applies to the postgres engine only")
 	}
+	if opts.slowlog < 0 {
+		return fmt.Errorf("-slowlog-threshold must be >= 0")
+	}
+	// Arm the process-wide registry before any engine opens: embedded
+	// runs and -serve both report there.
+	obs.Default().SetSlowlogThreshold(opts.slowlog)
 	comp := gdprbench.FullCompliance()
 	if opts.baseline {
 		comp = gdprbench.NoCompliance()
@@ -381,20 +391,30 @@ func runTimed(opts options, comp gdprbench.Compliance, cfg gdprbench.Config, nam
 
 	report := core.Report{Engine: label, Records: opts.records}
 	runs := make(map[gdprbench.WorkloadName]*stats.Run, len(names))
-	var memBefore runtime.MemStats
-	runtime.ReadMemStats(&memBefore)
+	// Heap allocations per workload operation (the read-path allocation
+	// budget the pooled codec and copy-out paths are accountable to),
+	// metered tightly around each timed loop — never the load phase or
+	// the reporting between workloads.
+	var meter allocMeter
 	for _, name := range names {
 		var run *gdprbench.RunStats
-		if opts.secondary != nil {
-			mix, ok := gdprbench.Workloads()[name]
-			if !ok {
-				return fmt.Errorf("unknown workload %q", name)
+		err := meter.measure(func() (int64, error) {
+			var err error
+			if opts.secondary != nil {
+				mix, ok := gdprbench.Workloads()[name]
+				if !ok {
+					return 0, fmt.Errorf("unknown workload %q", name)
+				}
+				mix.SecondaryDist = *opts.secondary
+				run, err = gdprbench.RunMix(db, ds, mix)
+			} else {
+				run, err = gdprbench.Run(db, ds, name)
 			}
-			mix.SecondaryDist = *opts.secondary
-			run, err = gdprbench.RunMix(db, ds, mix)
-		} else {
-			run, err = gdprbench.Run(db, ds, name)
-		}
+			if err != nil {
+				return 0, err
+			}
+			return run.TotalOps(), nil
+		})
 		if err != nil {
 			return fmt.Errorf("workload %s: %w", name, err)
 		}
@@ -408,19 +428,7 @@ func runTimed(opts options, comp gdprbench.Compliance, cfg gdprbench.Config, nam
 			Correctness:    -1,
 		})
 	}
-	// Heap allocations per workload operation, measured process-wide
-	// around the timed loop (the read-path allocation budget the pooled
-	// codec and copy-out paths are accountable to).
-	var memAfter runtime.MemStats
-	runtime.ReadMemStats(&memAfter)
-	var totalOps int64
-	for _, res := range report.Results {
-		totalOps += res.Operations
-	}
-	var allocsPerOp float64
-	if totalOps > 0 {
-		allocsPerOp = float64(memAfter.Mallocs-memBefore.Mallocs) / float64(totalOps)
-	}
+	allocsPerOp := meter.allocsPerOp()
 
 	space, err := db.SpaceUsage()
 	if err != nil {

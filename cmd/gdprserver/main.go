@@ -27,6 +27,7 @@ import (
 	"os"
 
 	gdprbench "repro"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -44,11 +45,22 @@ func main() {
 		aofPct      = flag.Int("aofrewrite-pct", 0, "redis engine: background-rewrite the AOF once it grows this percent past its post-rewrite size (Redis auto-aof-rewrite-percentage; 100 = rewrite at 2x, 0 = never)")
 		walCkpt     = flag.Int64("walcheckpoint", 0, "postgres engine: checkpoint and truncate the WAL once it exceeds this many bytes (0 = never)")
 		auditKeep   = flag.Duration("auditretain", 0, "compact audit-trail segments older than this window, e.g. 720h (0 = keep all history)")
-		pprofAddr   = flag.String("pprofaddr", "", "serve net/http/pprof on this TCP address (e.g. 127.0.0.1:6060) for live profiles of the server")
+		pprofAddr   = flag.String("pprofaddr", "", "serve net/http/pprof plus /metrics (Prometheus text) and /healthz on this TCP address (e.g. 127.0.0.1:6060)")
+		slowlog     = flag.Duration("slowlog-threshold", 0, "record every operation at least this slow in the slowlog, with per-phase latency attribution (e.g. 10ms; 0 = off); forces every-op tracing while armed")
 	)
 	flag.Parse()
 
+	if *slowlog < 0 {
+		fmt.Fprintln(os.Stderr, "gdprserver: -slowlog-threshold must be >= 0")
+		os.Exit(1)
+	}
+	obs.Default().SetSlowlogThreshold(*slowlog)
 	if *pprofAddr != "" {
+		// The introspection surface shares the pprof mux: one debug
+		// address serves profiles, metrics and liveness.
+		introspect := obs.Default().Handler()
+		http.Handle("/metrics", introspect)
+		http.Handle("/healthz", introspect)
 		go func() {
 			if err := http.ListenAndServe(*pprofAddr, nil); err != nil {
 				fmt.Fprintln(os.Stderr, "gdprserver: pprof:", err)

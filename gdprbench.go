@@ -38,7 +38,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/gdpr"
-	"repro/internal/kvstore"
 	"repro/internal/remote"
 	"repro/internal/server"
 	"repro/internal/shard"
@@ -159,18 +158,6 @@ type AuditStats = audit.Stats
 // clients cannot, since the trail lives server-side).
 type AuditStatser interface {
 	AuditStats() (AuditStats, bool)
-}
-
-// KvstoreStats carries the Redis-model engine's concurrency and
-// persistence counters — stripes, full scans, dataset/index bytes, AOF
-// group-commit batches and fsyncs (gdprbench -json's kvstore block).
-type KvstoreStats = kvstore.Stats
-
-// KvstoreStatser is implemented by DBs backed by the kvstore engine
-// (embedded Redis-model DBs, sharded or not); other engines and remote
-// clients report false.
-type KvstoreStatser interface {
-	KvstoreStats() (KvstoreStats, bool)
 }
 
 // FullCompliance returns the fully-compliant configuration of §6.2.

@@ -1,0 +1,9 @@
+package audit
+
+import "repro/internal/obs"
+
+// Retention-compaction duration, reported to the process-wide registry
+// (fires per background pass, never on the append path). The pipeline's
+// own counters — appends, bytes, batches, flushes, queue depth — reach the
+// registry through the collector core.Wrap registers around Log.Stats.
+var obsCompactionNs = obs.Default().Histogram("audit_compaction_duration_ns")

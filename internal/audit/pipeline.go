@@ -550,7 +550,9 @@ func (l *Log) Compact() (int64, error) {
 	if l.store == nil || l.retention <= 0 {
 		return 0, nil
 	}
-	cutoff := l.clk.Now().Add(-l.retention).UnixNano()
+	start := l.clk.Now()
+	defer func() { obsCompactionNs.ObserveDuration(l.clk.Since(start)) }()
+	cutoff := start.Add(-l.retention).UnixNano()
 	dropped, changed, err := l.store.compact(cutoff)
 	if changed {
 		// Prune the memory tail to mirror disk: every sealed entry below

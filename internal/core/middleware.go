@@ -10,7 +10,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/clock"
 	"repro/internal/gdpr"
-	"repro/internal/kvstore"
+	"repro/internal/obs"
 	"repro/internal/transit"
 )
 
@@ -53,6 +53,10 @@ type WrapConfig struct {
 	// TransitKey derives the in-transit record layer; required when
 	// EncryptInTransit is enabled.
 	TransitKey []byte
+	// Obs is the observability registry the middleware reports to (op
+	// counters, sampled phase spans, slowlog, audit-pipeline collector);
+	// nil means the process-wide obs.Default().
+	Obs *obs.Registry
 }
 
 // OpenAudit opens the audit trail described by a WrapConfig (sync policy
@@ -90,6 +94,38 @@ func Wrap(e Engine, cfg WrapConfig) (DB, error) {
 	return m, nil
 }
 
+// opKind indexes the middleware's interned per-op metrics so the always-on
+// counter increments never pay a map lookup on the hot path.
+type opKind int
+
+const (
+	kCreate opKind = iota
+	kCreateBatch
+	kReadData
+	kReadMeta
+	kUpdateData
+	kUpdateMeta
+	kDelete
+	kGetLogs
+	kGetFeatures
+	kVerifyDel
+	numOpKinds
+)
+
+// opKindNames are the metric label values — identical to the audit trail's
+// op names so a slowlog entry, a metric series, and an audit line all name
+// the op the same way.
+var opKindNames = [numOpKinds]string{
+	"CREATE-RECORD", "CREATE-RECORDS", "READ-DATA", "READ-METADATA",
+	"UPDATE-DATA", "UPDATE-METADATA", "DELETE-RECORD", "GET-SYSTEM-LOGS",
+	"GET-SYSTEM-FEATURES", "VERIFY-DELETION",
+}
+
+type opMetrics struct {
+	total *obs.Counter
+	errs  *obs.Counter
+}
+
 // middleware implements DB over an Engine.
 type middleware struct {
 	eng  Engine
@@ -97,6 +133,9 @@ type middleware struct {
 	pipe *transit.Pipe
 	comp Compliance
 	clk  clock.Clock
+	obs  *obs.Registry
+	ops  [numOpKinds]opMetrics
+	coll *obs.CollectorHandle
 }
 
 func newMiddleware(e Engine, cfg WrapConfig) (*middleware, error) {
@@ -104,7 +143,17 @@ func newMiddleware(e Engine, cfg WrapConfig) (*middleware, error) {
 	if clk == nil {
 		clk = clock.NewReal()
 	}
-	m := &middleware{eng: e, comp: cfg.Compliance, clk: clk, log: cfg.Audit}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.Default()
+	}
+	m := &middleware{eng: e, comp: cfg.Compliance, clk: clk, log: cfg.Audit, obs: reg}
+	for k := opKind(0); k < numOpKinds; k++ {
+		m.ops[k] = opMetrics{
+			total: reg.Counter(`gdpr_ops_total{op="` + opKindNames[k] + `"}`),
+			errs:  reg.Counter(`gdpr_op_errors_total{op="` + opKindNames[k] + `"}`),
+		}
+	}
 	if cfg.Compliance.Logging && m.log == nil {
 		if cfg.AuditPath == "" {
 			return nil, fmt.Errorf("core: logging requires an audit path")
@@ -127,6 +176,22 @@ func newMiddleware(e Engine, cfg WrapConfig) (*middleware, error) {
 		}
 		m.pipe = pipe
 	}
+	if m.log != nil {
+		// The audit pipeline's counters live in audit.Log; export them
+		// pull-time so scrapes see the trail without new hot-path atomics.
+		log := m.log
+		m.coll = reg.RegisterCollector(func(emit func(string, int64, bool)) {
+			s := log.Stats()
+			emit("audit_appended_total", s.Appended, false)
+			emit("audit_bytes_total", s.Bytes, false)
+			emit("audit_batches_total", s.Batches, false)
+			emit("audit_flushes_total", s.Flushes, false)
+			emit("audit_compactions_total", s.Compactions, false)
+			emit("audit_compacted_entries_total", s.CompactedEntries, false)
+			emit("audit_max_queue_depth", s.MaxQueueDepth, true)
+			emit("audit_segments", s.Segments, true)
+		})
+	}
 	return m, nil
 }
 
@@ -136,6 +201,22 @@ func (m *middleware) closeOwned() {
 	if m.log != nil {
 		m.log.Close()
 	}
+	m.coll.Close()
+}
+
+// begin counts the op (always) and opens a sampled span (usually nil). The
+// span starts in the validate phase.
+func (m *middleware) begin(k opKind, a acl.Actor, keyClass string) *obs.Span {
+	m.ops[k].total.Inc()
+	return m.obs.StartSpan(opKindNames[k], a.Role.String(), keyClass)
+}
+
+// finish counts a failure and closes the span.
+func (m *middleware) finish(k opKind, sp *obs.Span, err error) {
+	if err != nil {
+		m.ops[k].errs.Inc()
+	}
+	sp.Finish(err)
 }
 
 // batchDB is the middleware with the bulk CREATE-RECORD path exposed; Wrap
@@ -148,16 +229,22 @@ func (b *batchDB) CreateRecords(a acl.Actor, recs []gdpr.Record) error {
 }
 
 // transitWrap pays the in-transit record-layer cost around fn. The request
-// and response payloads cross the simulated wire.
-func (m *middleware) transitWrap(req string, fn func() (string, error)) error {
+// and response payloads cross the simulated wire. The span's engine phase
+// brackets fn; the encrypt/decrypt work on both sides accumulates into the
+// transit phase.
+func (m *middleware) transitWrap(sp *obs.Span, req string, fn func() (string, error)) error {
 	if m.pipe == nil {
+		sp.EnterPhase(obs.PhaseEngine)
 		_, err := fn()
 		return err
 	}
+	sp.EnterPhase(obs.PhaseTransit)
 	var opErr error
 	_, err := m.pipe.RoundTrip([]byte(req), func([]byte) []byte {
+		sp.EnterPhase(obs.PhaseEngine)
 		resp, e := fn()
 		opErr = e
+		sp.EnterPhase(obs.PhaseTransit)
 		return []byte(resp)
 	})
 	if opErr != nil {
@@ -181,19 +268,26 @@ func (m *middleware) fetch(sel gdpr.Selector) ([]gdpr.Record, error) {
 
 // CreateRecord implements DB.
 func (m *middleware) CreateRecord(a acl.Actor, rec gdpr.Record) error {
+	sp := m.begin(kCreate, a, "key")
 	if err := rec.Validate(m.comp.Strict); err != nil {
+		m.finish(kCreate, sp, err)
 		return err
 	}
 	if m.comp.AccessControl {
+		sp.EnterPhase(obs.PhaseACL)
 		if err := acl.CheckRecord(a, acl.VerbCreate, rec, nil); err != nil {
+			sp.EnterPhase(obs.PhaseAudit)
 			auditOp(m.log, a, "CREATE-RECORD", rec.Key, false, err.Error())
+			m.finish(kCreate, sp, err)
 			return err
 		}
 	}
-	err := m.transitWrap("CREATE "+rec.Key, func() (string, error) {
+	err := m.transitWrap(sp, "CREATE "+rec.Key, func() (string, error) {
 		return "OK", m.eng.Put(rec)
 	})
+	sp.EnterPhase(obs.PhaseAudit)
 	auditOp(m.log, a, "CREATE-RECORD", rec.Key, err == nil, "")
+	m.finish(kCreate, sp, err)
 	return err
 }
 
@@ -210,51 +304,66 @@ func (m *middleware) createBatch(a acl.Actor, recs []gdpr.Record) error {
 		}
 		return nil
 	}
+	sp := m.begin(kCreateBatch, a, "key")
 	for _, rec := range recs {
 		if err := rec.Validate(m.comp.Strict); err != nil {
+			m.finish(kCreateBatch, sp, err)
 			return err
 		}
 		if m.comp.AccessControl {
+			sp.EnterPhase(obs.PhaseACL)
 			if err := acl.CheckRecord(a, acl.VerbCreate, rec, nil); err != nil {
+				sp.EnterPhase(obs.PhaseAudit)
 				auditOp(m.log, a, "CREATE-RECORD", rec.Key, false, err.Error())
+				m.finish(kCreateBatch, sp, err)
 				return err
 			}
 		}
 	}
-	err := m.transitWrap(fmt.Sprintf("CREATE-BATCH %d", len(recs)), func() (string, error) {
+	err := m.transitWrap(sp, fmt.Sprintf("CREATE-BATCH %d", len(recs)), func() (string, error) {
 		return "OK", be.PutBatch(recs)
 	})
+	sp.EnterPhase(obs.PhaseAudit)
 	auditOp(m.log, a, "CREATE-RECORDS", fmt.Sprintf("%d records", len(recs)), err == nil, "")
+	m.finish(kCreateBatch, sp, err)
 	return err
 }
 
 // ReadData implements DB.
 func (m *middleware) ReadData(a acl.Actor, sel gdpr.Selector) ([]gdpr.Record, error) {
+	sp := m.begin(kReadData, a, string(sel.Attr))
 	var out []gdpr.Record
-	err := m.transitWrap("READ-DATA "+sel.String(), func() (string, error) {
+	err := m.transitWrap(sp, "READ-DATA "+sel.String(), func() (string, error) {
 		recs, err := m.fetch(sel)
 		if err != nil {
 			return "", err
 		}
+		sp.EnterPhase(obs.PhaseACL)
 		out = filterACL(m.comp.AccessControl, a, acl.VerbReadData, recs, nil)
 		return encodeAll(out), nil
 	})
+	sp.EnterPhase(obs.PhaseAudit)
 	auditOp(m.log, a, "READ-DATA", sel.String(), err == nil, countNote(len(out)))
+	m.finish(kReadData, sp, err)
 	return out, err
 }
 
 // ReadMetadata implements DB.
 func (m *middleware) ReadMetadata(a acl.Actor, sel gdpr.Selector) ([]gdpr.Record, error) {
+	sp := m.begin(kReadMeta, a, string(sel.Attr))
 	var out []gdpr.Record
-	err := m.transitWrap("READ-META "+sel.String(), func() (string, error) {
+	err := m.transitWrap(sp, "READ-META "+sel.String(), func() (string, error) {
 		recs, err := m.fetch(sel)
 		if err != nil {
 			return "", err
 		}
+		sp.EnterPhase(obs.PhaseACL)
 		out = redactData(filterACL(m.comp.AccessControl, a, acl.VerbReadMetadata, recs, nil))
 		return encodeAll(out), nil
 	})
+	sp.EnterPhase(obs.PhaseAudit)
 	auditOp(m.log, a, "READ-METADATA", sel.String(), err == nil, countNote(len(out)))
+	m.finish(kReadMeta, sp, err)
 	return out, err
 }
 
@@ -288,8 +397,9 @@ func (m *middleware) rmw(a acl.Actor, verb acl.Verb, key string, sel gdpr.Select
 
 // UpdateData implements DB.
 func (m *middleware) UpdateData(a acl.Actor, key, data string) (int, error) {
+	sp := m.begin(kUpdateData, a, "key")
 	n := 0
-	err := m.transitWrap("UPDATE-DATA "+key, func() (string, error) {
+	err := m.transitWrap(sp, "UPDATE-DATA "+key, func() (string, error) {
 		ok, err := m.rmw(a, acl.VerbUpdateData, key, gdpr.ByKey(key), nil, func(rec *gdpr.Record) error {
 			rec.Data = data
 			return nil
@@ -302,7 +412,9 @@ func (m *middleware) UpdateData(a acl.Actor, key, data string) (int, error) {
 		}
 		return fmt.Sprintf("%d", n), nil
 	})
+	sp.EnterPhase(obs.PhaseAudit)
 	auditOp(m.log, a, "UPDATE-DATA", key, err == nil, countNote(n))
+	m.finish(kUpdateData, sp, err)
 	return n, err
 }
 
@@ -313,8 +425,9 @@ func (m *middleware) UpdateData(a acl.Actor, key, data string) (int, error) {
 // rights at apply time under the engine lock, so a by-user update is one
 // scan plus k point read-modify-writes, not k+1 scans.
 func (m *middleware) UpdateMetadata(a acl.Actor, sel gdpr.Selector, delta gdpr.Delta) (int, error) {
+	sp := m.begin(kUpdateMeta, a, string(sel.Attr))
 	n := 0
-	err := m.transitWrap("UPDATE-META "+sel.String(), func() (string, error) {
+	err := m.transitWrap(sp, "UPDATE-META "+sel.String(), func() (string, error) {
 		keys, err := m.eng.SelectKeys(sel)
 		if err != nil {
 			return "", err
@@ -332,14 +445,17 @@ func (m *middleware) UpdateMetadata(a acl.Actor, sel gdpr.Selector, delta gdpr.D
 		}
 		return fmt.Sprintf("%d", n), nil
 	})
+	sp.EnterPhase(obs.PhaseAudit)
 	auditOp(m.log, a, "UPDATE-METADATA", sel.String(), err == nil, countNote(n))
+	m.finish(kUpdateMeta, sp, err)
 	return n, err
 }
 
 // DeleteRecord implements DB.
 func (m *middleware) DeleteRecord(a acl.Actor, sel gdpr.Selector) (int, error) {
+	sp := m.begin(kDelete, a, string(sel.Attr))
 	n := 0
-	err := m.transitWrap("DELETE "+sel.String(), func() (string, error) {
+	err := m.transitWrap(sp, "DELETE "+sel.String(), func() (string, error) {
 		var keys []string
 		if sel.Attr == gdpr.AttrTTL {
 			// Purge expired records (G 5(1e)): engines resolve this from
@@ -374,7 +490,9 @@ func (m *middleware) DeleteRecord(a acl.Actor, sel gdpr.Selector) (int, error) {
 		n = deleted
 		return fmt.Sprintf("%d", n), nil
 	})
+	sp.EnterPhase(obs.PhaseAudit)
 	auditOp(m.log, a, "DELETE-RECORD", sel.String(), err == nil, countNote(n))
+	m.finish(kDelete, sp, err)
 	return n, err
 }
 
@@ -383,25 +501,39 @@ func (m *middleware) DeleteRecord(a acl.Actor, sel gdpr.Selector) (int, error) {
 // every completed operation regardless of the pipeline mode, the
 // in-memory eviction cap, or restarts.
 func (m *middleware) GetSystemLogs(a acl.Actor, from, to time.Time) ([]audit.Entry, error) {
+	sp := m.begin(kGetLogs, a, "range")
+	sp.EnterPhase(obs.PhaseACL)
 	if err := checkSystemACL(m.comp.AccessControl, a, acl.VerbReadLogs); err != nil {
+		m.finish(kGetLogs, sp, err)
 		return nil, err
 	}
 	if m.log == nil {
-		return nil, fmt.Errorf("%w: logging", ErrFeatureDisabled)
-	}
-	entries, err := m.log.Range(from, to)
-	if err != nil {
+		err := fmt.Errorf("%w: logging", ErrFeatureDisabled)
+		m.finish(kGetLogs, sp, err)
 		return nil, err
 	}
+	sp.EnterPhase(obs.PhaseEngine)
+	entries, err := m.log.Range(from, to)
+	if err != nil {
+		m.finish(kGetLogs, sp, err)
+		return nil, err
+	}
+	sp.EnterPhase(obs.PhaseAudit)
 	auditOp(m.log, a, "GET-SYSTEM-LOGS", fmt.Sprintf("%d..%d", from.Unix(), to.Unix()), true, countNote(len(entries)))
+	m.finish(kGetLogs, sp, nil)
 	return entries, nil
 }
 
 // GetSystemFeatures implements DB.
 func (m *middleware) GetSystemFeatures(a acl.Actor) (map[string]string, error) {
+	sp := m.begin(kGetFeatures, a, "system")
+	sp.EnterPhase(obs.PhaseACL)
 	if err := checkSystemACL(m.comp.AccessControl, a, acl.VerbReadFeatures); err != nil {
+		m.finish(kGetFeatures, sp, err)
 		return nil, err
 	}
+	sp.EnterPhase(obs.PhaseEngine)
+	defer m.finish(kGetFeatures, sp, nil)
 	f := m.eng.Features()
 	f["compliance"] = m.comp.String()
 	f["encrypt_in_transit"] = fmt.Sprintf("%v", m.pipe != nil)
@@ -422,34 +554,29 @@ func (m *middleware) AuditStats() (audit.Stats, bool) {
 	return m.log.Stats(), true
 }
 
-// KvstoreStats forwards the kvstore engine's concurrency/persistence
-// counters when the wrapped engine is (or routes to) one; the second
-// result is false for other engines. gdprbench -json surfaces it.
-func (m *middleware) KvstoreStats() (kvstore.Stats, bool) {
-	if ks, ok := m.eng.(interface {
-		KvstoreStats() (kvstore.Stats, bool)
-	}); ok {
-		return ks.KvstoreStats()
-	}
-	return kvstore.Stats{}, false
-}
-
 // VerifyDeletion implements DB.
 func (m *middleware) VerifyDeletion(a acl.Actor, keys []string) (int, error) {
+	sp := m.begin(kVerifyDel, a, "key")
+	sp.EnterPhase(obs.PhaseACL)
 	if err := checkSystemACL(m.comp.AccessControl, a, acl.VerbVerifyDeletion); err != nil {
+		m.finish(kVerifyDel, sp, err)
 		return 0, err
 	}
+	sp.EnterPhase(obs.PhaseEngine)
 	present := 0
 	for _, k := range keys {
 		ok, err := m.eng.Exists(k)
 		if err != nil {
+			m.finish(kVerifyDel, sp, err)
 			return present, err
 		}
 		if ok {
 			present++
 		}
 	}
+	sp.EnterPhase(obs.PhaseAudit)
 	auditOp(m.log, a, "VERIFY-DELETION", fmt.Sprintf("%d keys", len(keys)), true, countNote(present))
+	m.finish(kVerifyDel, sp, nil)
 	return present, nil
 }
 
@@ -458,6 +585,7 @@ func (m *middleware) SpaceUsage() (SpaceUsage, error) { return m.eng.SpaceUsage(
 
 // Close implements DB: the engine first, then the audit trail.
 func (m *middleware) Close() error {
+	m.coll.Close()
 	var first error
 	if err := m.eng.Close(); err != nil {
 		first = err

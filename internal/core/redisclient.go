@@ -311,11 +311,6 @@ func (e *kvEngine) SpaceUsage() (SpaceUsage, error) {
 	}, nil
 }
 
-// KvstoreStats reports the engine's concurrency/persistence counters
-// (stripes, scans, bytes, AOF group commits); the middleware and shard
-// router forward it to gdprbench -json's kvstore block.
-func (e *kvEngine) KvstoreStats() (kvstore.Stats, bool) { return e.store.Stats(), true }
-
 // Close implements Engine.
 func (e *kvEngine) Close() error { return e.store.Close() }
 

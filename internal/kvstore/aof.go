@@ -156,20 +156,32 @@ func (a *aof) writeBuf() error {
 	a.appends++
 	switch a.policy {
 	case FsyncAlways:
-		if err := a.file.Sync(); err != nil {
+		if err := a.syncTimed(); err != nil {
 			return err
 		}
-		a.syncs++
 		a.lastSync = a.clk.Now()
 	case FsyncEverySec:
 		if now := a.clk.Now(); now.Sub(a.lastSync) >= time.Second {
-			if err := a.file.Sync(); err != nil {
+			if err := a.syncTimed(); err != nil {
 				return err
 			}
-			a.syncs++
 			a.lastSync = now
 		}
 	}
+	return nil
+}
+
+// syncTimed fsyncs, feeding the fsync-latency histogram — the same series
+// the staged pipeline reports, so the two persistence profiles compare
+// directly on a scrape.
+func (a *aof) syncTimed() error {
+	start := a.clk.Now()
+	err := a.file.Sync()
+	obsAOFFsyncNs.ObserveDuration(a.clk.Since(start))
+	if err != nil {
+		return err
+	}
+	a.syncs++
 	return nil
 }
 
@@ -194,13 +206,7 @@ func (a *aof) appendFlushAll() error { return a.append(opFlushAll) }
 
 func (a *aof) appendRead(op, key string) error { return a.append(op, key) }
 
-func (a *aof) sync() error {
-	if err := a.file.Sync(); err != nil {
-		return err
-	}
-	a.syncs++
-	return nil
-}
+func (a *aof) sync() error { return a.syncTimed() }
 
 func (a *aof) size() (int64, error) { return a.file.Size() }
 

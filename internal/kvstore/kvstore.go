@@ -53,6 +53,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/gdpr"
 	"repro/internal/index"
+	"repro/internal/obs"
 	"repro/internal/pool"
 )
 
@@ -127,6 +128,10 @@ type Config struct {
 	// floor), a rewrite fires — concurrent with traffic in the striped
 	// profile, foreground in the legacy one. 0 disables auto rewrites.
 	AutoRewritePct int
+	// Obs is the observability registry the store exports its counters to
+	// (a pull-time collector wrapping Stats, so the hot path gains no new
+	// shared atomics); nil means the process-wide obs.Default().
+	Obs *obs.Registry
 }
 
 type entry struct {
@@ -181,8 +186,12 @@ type stripe struct {
 	// Stats lock-traffic block.
 	reads  atomic.Int64
 	writes atomic.Int64
+	// contended counts lock acquisitions that found the stripe already
+	// held in a conflicting mode (the Try* probe failed and the caller
+	// blocked) — the Stats/obs stripe-contention signal.
+	contended atomic.Int64
 
-	_ [32]byte
+	_ [24]byte
 }
 
 // Store is the key-value engine. All commands are safe for concurrent
@@ -205,6 +214,7 @@ type Store struct {
 
 	fullScans atomic.Int64 // full-keyspace scans served (ForEach)
 	closed    atomic.Bool
+	obsColl   *obs.CollectorHandle
 
 	// Rewrite/recovery bookkeeping. aofBase is the AOF's size at open /
 	// after the last rewrite; aofAppended approximates bytes appended
@@ -255,6 +265,10 @@ type Stats struct {
 	AOFBatches int64
 	// AOFFlushes counts AOF fsyncs.
 	AOFFlushes int64
+	// LockContention counts command-path stripe-lock acquisitions that
+	// found the lock already held in a conflicting mode and had to block
+	// — the striping-effectiveness signal (0 means stripes never collide).
+	LockContention int64
 	// ReadLocks / WriteLocks split stripe-lock traffic by mode: reads are
 	// read-path acquisitions (shared in the striped profile; the legacy
 	// profile's read commands still hold the lock exclusively but count
@@ -344,6 +358,30 @@ func Open(cfg Config) (*Store, error) {
 		s.aofKey = cfg.EncryptionKey
 		s.autoPct = cfg.AutoRewritePct
 	}
+	reg := cfg.Obs
+	if reg == nil {
+		reg = obs.Default()
+	}
+	// Pull-time export: Stats() already sums the per-stripe atomics, so a
+	// scrape pays the summation and the command path pays nothing. Several
+	// open stores (shards) emitting the same names roll up by summation.
+	s.obsColl = reg.RegisterCollector(func(emit func(string, int64, bool)) {
+		stats := s.Stats()
+		emit("kvstore_stripes", int64(stats.Stripes), true)
+		emit("kvstore_bytes", stats.Bytes, true)
+		emit("kvstore_index_bytes", stats.IndexBytes, true)
+		emit("kvstore_full_scans_total", stats.FullScans, false)
+		emit("kvstore_read_locks_total", stats.ReadLocks, false)
+		emit("kvstore_write_locks_total", stats.WriteLocks, false)
+		emit("kvstore_lock_contention_total", stats.LockContention, false)
+		emit("kvstore_aof_batches_total", stats.AOFBatches, false)
+		emit("kvstore_aof_flushes_total", stats.AOFFlushes, false)
+		emit("kvstore_aof_rewrites_total", stats.AOFRewrites, false)
+		emit("kvstore_aof_last_rewrite_us", stats.AOFLastRewriteMicros, true)
+		emit("kvstore_aof_rewrite_diverted_total", stats.AOFRewriteDiverted, false)
+		emit("kvstore_replay_ops_total", stats.ReplayOps, false)
+		emit("kvstore_replay_us_total", stats.ReplayMicros, false)
+	})
 	return s, nil
 }
 
@@ -386,10 +424,26 @@ func (s *Store) unlockAll() {
 func (s *Store) rlock(st *stripe) {
 	st.reads.Add(1)
 	if s.striped {
-		st.mu.RLock()
+		if !st.mu.TryRLock() {
+			st.contended.Add(1)
+			st.mu.RLock()
+		}
 		return
 	}
-	st.mu.Lock()
+	if !st.mu.TryLock() {
+		st.contended.Add(1)
+		st.mu.Lock()
+	}
+}
+
+// wlock acquires st exclusively for a mutating command, counting the
+// acquisition and whether it contended.
+func (s *Store) wlock(st *stripe) {
+	st.writes.Add(1)
+	if !st.mu.TryLock() {
+		st.contended.Add(1)
+		st.mu.Lock()
+	}
 }
 
 func (s *Store) runlock(st *stripe) {
@@ -715,8 +769,7 @@ func (s *Store) SetWithExpiry(key, value string, expireAt time.Time) error {
 		return err
 	}
 	st := s.stripeFor(key)
-	st.writes.Add(1)
-	st.mu.Lock()
+	s.wlock(st)
 	if s.closed.Load() {
 		st.mu.Unlock()
 		s.unreserve()
@@ -788,8 +841,7 @@ func (s *Store) Get(key string) (string, bool) {
 // triggering read once under the exclusive hold, matching the legacy
 // profile's log position.
 func (s *Store) lazyExpire(st *stripe, key string, now time.Time, logOp string) {
-	st.writes.Add(1)
-	st.mu.Lock()
+	s.wlock(st)
 	defer st.mu.Unlock()
 	if s.closed.Load() {
 		return
@@ -810,8 +862,7 @@ func (s *Store) Update(key string, fn func(value string, expireAt time.Time) (st
 		return false, err
 	}
 	st := s.stripeFor(key)
-	st.writes.Add(1)
-	st.mu.Lock()
+	s.wlock(st)
 	if s.closed.Load() {
 		st.mu.Unlock()
 		s.unreserve()
@@ -849,8 +900,7 @@ func (s *Store) Update(key string, fn func(value string, expireAt time.Time) (st
 func (s *Store) Del(keys ...string) (int, error) {
 	if !s.striped {
 		st := &s.stripes[0]
-		st.writes.Add(1)
-		st.mu.Lock()
+		s.wlock(st)
 		defer st.mu.Unlock()
 		if s.closed.Load() {
 			return 0, errClosed
@@ -873,8 +923,7 @@ func (s *Store) Del(keys ...string) (int, error) {
 			return n, err
 		}
 		st := s.stripeFor(k)
-		st.writes.Add(1)
-		st.mu.Lock()
+		s.wlock(st)
 		if s.closed.Load() {
 			st.mu.Unlock()
 			s.unreserve()
@@ -927,8 +976,7 @@ func (s *Store) ExpireAt(key string, t time.Time) (bool, error) {
 		return false, err
 	}
 	st := s.stripeFor(key)
-	st.writes.Add(1)
-	st.mu.Lock()
+	s.wlock(st)
 	if s.closed.Load() {
 		st.mu.Unlock()
 		s.unreserve()
@@ -992,8 +1040,7 @@ func (s *Store) Persist(key string) (bool, error) {
 		return false, err
 	}
 	st := s.stripeFor(key)
-	st.writes.Add(1)
-	st.mu.Lock()
+	s.wlock(st)
 	if s.closed.Load() {
 		st.mu.Unlock()
 		s.unreserve()
@@ -1364,6 +1411,7 @@ func (s *Store) Stats() Stats {
 	for i := range s.stripes {
 		st.ReadLocks += s.stripes[i].reads.Load()
 		st.WriteLocks += s.stripes[i].writes.Load()
+		st.LockContention += s.stripes[i].contended.Load()
 	}
 	if s.aof != nil {
 		s.stripes[0].mu.Lock()
@@ -1407,6 +1455,7 @@ func (s *Store) AOFSize() (int64, error) {
 // Close stops background expiry, drains the staged AOF pipeline and
 // closes the AOF. Close is idempotent.
 func (s *Store) Close() error {
+	s.obsColl.Close()
 	s.StopExpiry()
 	s.lockAll()
 	if s.closed.Load() {

@@ -1,0 +1,16 @@
+package kvstore
+
+import "repro/internal/obs"
+
+// Amortized-event histograms and background-task gauges, reported to the
+// process-wide registry. These sites fire per group commit, per fsync or
+// per rewrite — never per command — so recording straight into the default
+// registry costs nothing on the hot path. Per-command counters stay in the
+// per-store atomics and reach the registry through the pull-time collector
+// registered in Open.
+var (
+	obsAOFBatchOps      = obs.Default().Histogram("kvstore_aof_batch_ops")
+	obsAOFFsyncNs       = obs.Default().Histogram("kvstore_aof_fsync_ns")
+	obsRewriteNs        = obs.Default().Histogram("kvstore_aof_rewrite_duration_ns")
+	obsRewriteReclaimed = obs.Default().Gauge("kvstore_aof_rewrite_bytes_reclaimed")
+)

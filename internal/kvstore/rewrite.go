@@ -217,6 +217,10 @@ func (s *Store) finishRewrite(start time.Time, diverted, size int64) {
 	s.rewrites.Add(1)
 	s.lastRewriteMicros.Store(time.Since(start).Microseconds())
 	s.divertedFrames.Add(diverted)
+	if reclaimed := s.aofBase.Load() + s.aofAppended.Load() - size; reclaimed > 0 {
+		obsRewriteReclaimed.Set(reclaimed)
+	}
+	obsRewriteNs.ObserveDuration(time.Since(start))
 	s.aofBase.Store(size)
 	s.aofAppended.Store(0)
 }

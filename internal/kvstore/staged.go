@@ -449,6 +449,7 @@ func (p *aofPipe) writeBatch(batch []stagedOp) {
 		}
 	}
 	p.fileMu.Unlock()
+	obsAOFBatchOps.Observe(int64(len(batch)))
 	last := batch[len(batch)-1].seq
 	p.mu.Lock()
 	p.written = last
@@ -471,9 +472,11 @@ func (p *aofPipe) writeBatch(batch []stagedOp) {
 
 // syncTo fsyncs the file and advances the durable watermark.
 func (p *aofPipe) syncTo(target uint64) error {
+	start := p.clk.Now()
 	p.fileMu.Lock()
 	err := p.file.Sync()
 	p.fileMu.Unlock()
+	obsAOFFsyncNs.ObserveDuration(p.clk.Since(start))
 	if err != nil {
 		p.fail(err)
 		return err

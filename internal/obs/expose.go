@@ -1,0 +1,103 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+)
+
+// WriteText renders the registry in the Prometheus text exposition format
+// (version 0.0.4): counters and gauges as single samples, histograms as
+// quantile-labelled samples plus _count/_sum, series sorted by name so
+// scrapes diff cleanly. Labels ride inside the series name (`x{op="y"}`),
+// the convention every instrumentation site uses.
+func (r *Registry) WriteText(w io.Writer) error {
+	return writeTextSnapshot(w, r.Snapshot(false))
+}
+
+func writeTextSnapshot(w io.Writer, snap Snapshot) error {
+	typed := make(map[string]string) // base name -> TYPE already emitted
+	emitType := func(series, kind string) string {
+		base := series
+		if i := strings.IndexByte(base, '{'); i >= 0 {
+			base = base[:i]
+		}
+		if typed[base] == "" {
+			typed[base] = kind
+			return fmt.Sprintf("# TYPE %s %s\n", base, kind)
+		}
+		return ""
+	}
+
+	var b strings.Builder
+	for _, name := range sortedKeys(snap.Counters) {
+		b.WriteString(emitType(name, "counter"))
+		fmt.Fprintf(&b, "%s %d\n", name, snap.Counters[name])
+	}
+	for _, name := range sortedKeys(snap.Gauges) {
+		b.WriteString(emitType(name, "gauge"))
+		fmt.Fprintf(&b, "%s %d\n", name, snap.Gauges[name])
+	}
+	histNames := make([]string, 0, len(snap.Hists))
+	for name := range snap.Hists {
+		histNames = append(histNames, name)
+	}
+	sort.Strings(histNames)
+	for _, name := range histNames {
+		h := snap.Hists[name]
+		b.WriteString(emitType(name, "summary"))
+		fmt.Fprintf(&b, "%s %d\n", withLabel(name, `quantile="0.5"`), h.P50)
+		fmt.Fprintf(&b, "%s %d\n", withLabel(name, `quantile="0.95"`), h.P95)
+		fmt.Fprintf(&b, "%s %d\n", withLabel(name, `quantile="0.99"`), h.P99)
+		fmt.Fprintf(&b, "%s %d\n", suffixed(name, "_count"), h.Count)
+		fmt.Fprintf(&b, "%s %d\n", suffixed(name, "_sum"), h.Sum)
+		fmt.Fprintf(&b, "%s %d\n", suffixed(name, "_window"), h.WindowCount)
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+func sortedKeys(m map[string]int64) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// withLabel injects one label pair into a series name that may already
+// carry labels: x -> x{l}, x{a="b"} -> x{a="b",l}.
+func withLabel(series, label string) string {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:len(series)-1] + "," + label + "}"
+	}
+	return series + "{" + label + "}"
+}
+
+// suffixed appends a suffix to the base name, keeping labels in place:
+// x{a="b"} + _count -> x_count{a="b"}.
+func suffixed(series, suffix string) string {
+	if i := strings.IndexByte(series, '{'); i >= 0 {
+		return series[:i] + suffix + series[i:]
+	}
+	return series + suffix
+}
+
+// Handler returns the live-introspection HTTP surface: /metrics in
+// Prometheus text format and /healthz as a trivial liveness probe. Mounted
+// on the gdprserver -pprofaddr mux alongside net/http/pprof.
+func (r *Registry) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		_, _ = io.WriteString(w, "ok\n")
+	})
+	return mux
+}

@@ -1,0 +1,461 @@
+package obs
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func TestCounterGaugeInterning(t *testing.T) {
+	r := NewRegistry(nil)
+	c := r.Counter("ops_total")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Fatalf("counter = %d, want 5", got)
+	}
+	if r.Counter("ops_total") != c {
+		t.Fatal("second Counter lookup returned a different instance")
+	}
+
+	g := r.Gauge("depth")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Fatalf("gauge = %d, want 4", got)
+	}
+	if r.Gauge("depth") != g {
+		t.Fatal("second Gauge lookup returned a different instance")
+	}
+
+	snap := r.Snapshot(false)
+	if snap.Counter("ops_total") != 5 || snap.Gauge("depth") != 4 {
+		t.Fatalf("snapshot = %d/%d, want 5/4", snap.Counter("ops_total"), snap.Gauge("depth"))
+	}
+	if snap.Counter("absent") != 0 || snap.Gauge("absent") != 0 {
+		t.Fatal("absent series must read 0")
+	}
+}
+
+// TestCollectorSummation pins the shard rollup contract: N collectors
+// emitting the same series name sum at snapshot time, and a closed
+// handle stops contributing.
+func TestCollectorSummation(t *testing.T) {
+	r := NewRegistry(nil)
+	h1 := r.RegisterCollector(func(emit func(string, int64, bool)) {
+		emit("engine_scans_total", 10, false)
+		emit("engine_bytes", 100, true)
+	})
+	h2 := r.RegisterCollector(func(emit func(string, int64, bool)) {
+		emit("engine_scans_total", 32, false)
+		emit("engine_bytes", 11, true)
+	})
+
+	snap := r.Snapshot(false)
+	if got := snap.Counter("engine_scans_total"); got != 42 {
+		t.Fatalf("summed counter = %d, want 42", got)
+	}
+	if got := snap.Gauge("engine_bytes"); got != 111 {
+		t.Fatalf("summed gauge = %d, want 111", got)
+	}
+
+	h1.Close()
+	h1.Close() // double close is a no-op
+	var nilHandle *CollectorHandle
+	nilHandle.Close() // nil handle is a no-op
+
+	snap = r.Snapshot(false)
+	if got := snap.Counter("engine_scans_total"); got != 32 {
+		t.Fatalf("counter after close = %d, want 32", got)
+	}
+	h2.Close()
+}
+
+// TestCollectorAddsToDirectSeries pins that a collector emission lands
+// on top of a directly registered counter of the same name.
+func TestCollectorAddsToDirectSeries(t *testing.T) {
+	r := NewRegistry(nil)
+	r.Counter("mixed_total").Add(5)
+	h := r.RegisterCollector(func(emit func(string, int64, bool)) {
+		emit("mixed_total", 3, false)
+	})
+	defer h.Close()
+	if got := r.Snapshot(false).Counter("mixed_total"); got != 8 {
+		t.Fatalf("mixed series = %d, want 8", got)
+	}
+}
+
+func TestHistogramStat(t *testing.T) {
+	r := NewRegistry(nil)
+
+	if st := r.Histogram("empty_ns").stat(); st != (HistStat{}) {
+		t.Fatalf("empty histogram stat = %+v, want zero value", st)
+	}
+
+	h := r.Histogram("lat_ns")
+	for _, v := range []int64{1000, 2000, 4000, 8000, 1_000_000} {
+		h.Observe(v)
+	}
+	h.Observe(-5) // clamps to 0
+	st := h.stat()
+	if st.Count != 6 {
+		t.Fatalf("count = %d, want 6", st.Count)
+	}
+	if st.Min != 0 {
+		t.Fatalf("min = %d, want 0 (clamped negative)", st.Min)
+	}
+	if st.Max != 1_000_000 {
+		t.Fatalf("max = %d, want 1000000", st.Max)
+	}
+	if st.Sum != 1_015_000 {
+		t.Fatalf("sum = %d, want 1015000", st.Sum)
+	}
+	if st.P50 <= 0 || st.P50 > st.P95 || st.P95 > st.P99 || st.P99 > st.Max {
+		t.Fatalf("percentile ordering violated: p50=%d p95=%d p99=%d max=%d", st.P50, st.P95, st.P99, st.Max)
+	}
+}
+
+// TestHistogramWindowRotation drives rotation from a frozen simulated
+// clock: WindowCount must describe the last *completed* period, a frozen
+// clock must never rotate, and an idle gap must discard stale windows.
+func TestHistogramWindowRotation(t *testing.T) {
+	sim := clock.NewSim(time.Unix(1_000_000, 0))
+	r := NewRegistry(sim)
+	h := r.Histogram("rot_ns")
+
+	h.Observe(100)
+	h.Observe(200)
+	if st := h.stat(); st.WindowCount != 0 {
+		t.Fatalf("WindowCount before any completed period = %d, want 0", st.WindowCount)
+	}
+	// Frozen clock: repeated observes and stats stay in the same epoch.
+	h.Observe(300)
+	if st := h.stat(); st.WindowCount != 0 {
+		t.Fatalf("frozen clock rotated anyway: WindowCount = %d", st.WindowCount)
+	}
+
+	// One full period elapses: the 3-observation window completes.
+	sim.Advance(windowDur)
+	if st := h.stat(); st.WindowCount != 3 {
+		t.Fatalf("WindowCount after one period = %d, want 3", st.WindowCount)
+	}
+	// Still inside the next period: the completed window is stable.
+	sim.Advance(windowDur / 4)
+	h.Observe(400)
+	if st := h.stat(); st.WindowCount != 3 {
+		t.Fatalf("WindowCount mid-period = %d, want 3", st.WindowCount)
+	}
+
+	// An idle gap (>1 period with no activity) discards stale windows:
+	// the "last completed period" saw nothing.
+	sim.Advance(3 * windowDur)
+	if st := h.stat(); st.WindowCount != 0 {
+		t.Fatalf("WindowCount after idle gap = %d, want 0", st.WindowCount)
+	}
+	// Cumulative view is unaffected by rotation.
+	if got := h.Count(); got != 4 {
+		t.Fatalf("cumulative count = %d, want 4", got)
+	}
+}
+
+func TestSamplingSemantics(t *testing.T) {
+	r := NewRegistry(nil)
+
+	r.SetSampling(0)
+	if s := r.StartSpan("read-data", "controller", "key"); s != nil {
+		t.Fatal("sampling 0 must disable spans")
+	}
+
+	r.SetSampling(1)
+	for i := 0; i < 10; i++ {
+		s := r.StartSpan("read-data", "controller", "key")
+		if s == nil {
+			t.Fatal("sampling 1 must trace every op")
+		}
+		s.Finish(nil)
+	}
+
+	r.SetSampling(4)
+	traced := 0
+	for i := 0; i < 400; i++ {
+		if s := r.StartSpan("read-data", "controller", "key"); s != nil {
+			traced++
+			s.Finish(nil)
+		}
+	}
+	if traced != 100 {
+		t.Fatalf("sampling 4 traced %d of 400 ops, want 100", traced)
+	}
+
+	// An armed slowlog threshold overrides sampling entirely.
+	r.SetSampling(0)
+	r.SetSlowlogThreshold(time.Hour)
+	if s := r.StartSpan("read-data", "controller", "key"); s == nil {
+		t.Fatal("armed slowlog threshold must force tracing despite sampling 0")
+	} else {
+		s.Finish(nil)
+	}
+	r.SetSlowlogThreshold(0)
+	if s := r.StartSpan("read-data", "controller", "key"); s != nil {
+		t.Fatal("disarming the slowlog must restore sampling")
+	}
+}
+
+// TestSpanPhaseAttribution walks a span across phases on a simulated
+// clock and checks the slowlog entry credits each phase exactly.
+func TestSpanPhaseAttribution(t *testing.T) {
+	sim := clock.NewSim(time.Unix(2_000_000, 0))
+	r := NewRegistry(sim)
+	r.SetSlowlogThreshold(time.Nanosecond)
+
+	s := r.StartSpan("delete-record", "controller", "usr")
+	if s == nil {
+		t.Fatal("armed threshold must trace")
+	}
+	sim.Advance(1 * time.Millisecond) // validate
+	s.EnterPhase(PhaseACL)
+	sim.Advance(2 * time.Millisecond)
+	s.EnterPhase(PhaseTransit)
+	sim.Advance(3 * time.Millisecond)
+	s.EnterPhase(PhaseEngine)
+	sim.Advance(4 * time.Millisecond)
+	s.EnterPhase(PhaseTransit) // re-entry accumulates
+	sim.Advance(5 * time.Millisecond)
+	s.EnterPhase(PhaseAudit)
+	sim.Advance(6 * time.Millisecond)
+	s.Finish(io.ErrUnexpectedEOF)
+
+	log := r.Slowlog()
+	if len(log) != 1 {
+		t.Fatalf("slowlog has %d entries, want 1", len(log))
+	}
+	e := log[0]
+	if e.Op != "delete-record" || e.Role != "controller" || e.KeyClass != "usr" || !e.Err {
+		t.Fatalf("entry identity = %+v", e)
+	}
+	if e.Total != 21*time.Millisecond {
+		t.Fatalf("total = %v, want 21ms", e.Total)
+	}
+	want := [NumPhases]time.Duration{
+		PhaseValidate: 1 * time.Millisecond,
+		PhaseACL:      2 * time.Millisecond,
+		PhaseTransit:  8 * time.Millisecond, // 3ms + 5ms across re-entry
+		PhaseEngine:   4 * time.Millisecond,
+		PhaseAudit:    6 * time.Millisecond,
+	}
+	if e.Phases != want {
+		t.Fatalf("phases = %v, want %v", e.Phases, want)
+	}
+
+	// The span also landed in the op and phase latency histograms.
+	snap := r.Snapshot(false)
+	if st := snap.Hists[`gdpr_op_latency_ns{op="delete-record"}`]; st.Count != 1 {
+		t.Fatalf("op latency count = %d, want 1", st.Count)
+	}
+	if st := snap.Hists[`gdpr_phase_latency_ns{phase="engine"}`]; st.Count != 1 {
+		t.Fatalf("engine phase count = %d, want 1", st.Count)
+	}
+}
+
+// TestNilSpanSafe pins that the unsampled path (nil span) is inert.
+func TestNilSpanSafe(t *testing.T) {
+	var s *Span
+	s.EnterPhase(PhaseEngine)
+	s.Finish(nil)
+}
+
+func TestSlowlogRing(t *testing.T) {
+	sim := clock.NewSim(time.Unix(3_000_000, 0))
+	r := NewRegistry(sim)
+	r.SetSlowlogThreshold(time.Nanosecond)
+
+	const total = slowlogCap + 17
+	for i := 0; i < total; i++ {
+		s := r.StartSpan("read-data", "processor", "key")
+		sim.Advance(time.Duration(i+1) * time.Microsecond)
+		s.Finish(nil)
+	}
+
+	log := r.Slowlog()
+	if len(log) != slowlogCap {
+		t.Fatalf("ring holds %d entries, want cap %d", len(log), slowlogCap)
+	}
+	// Newest first: sequence numbers strictly descend from the latest.
+	if log[0].Seq != total {
+		t.Fatalf("newest seq = %d, want %d", log[0].Seq, total)
+	}
+	for i := 1; i < len(log); i++ {
+		if log[i].Seq != log[i-1].Seq-1 {
+			t.Fatalf("entries not newest-first at %d: %d then %d", i, log[i-1].Seq, log[i].Seq)
+		}
+	}
+
+	// Only ops at or over the threshold are recorded.
+	r.ResetSlowlog()
+	r.SetSlowlogThreshold(time.Second)
+	s := r.StartSpan("read-data", "processor", "key")
+	sim.Advance(time.Millisecond)
+	s.Finish(nil)
+	if got := len(r.Slowlog()); got != 0 {
+		t.Fatalf("sub-threshold op recorded: %d entries", got)
+	}
+	s = r.StartSpan("read-data", "processor", "key")
+	sim.Advance(2 * time.Second)
+	s.Finish(nil)
+	if got := len(r.Slowlog()); got != 1 {
+		t.Fatalf("over-threshold op not recorded: %d entries", got)
+	}
+
+	// Snapshot carries the slowlog only when asked.
+	if snap := r.Snapshot(false); len(snap.Slowlog) != 0 {
+		t.Fatal("Snapshot(false) must omit the slowlog")
+	}
+	if snap := r.Snapshot(true); len(snap.Slowlog) != 1 {
+		t.Fatal("Snapshot(true) must include the slowlog")
+	}
+}
+
+func TestWriteTextExposition(t *testing.T) {
+	r := NewRegistry(nil)
+	r.Counter(`ops_total{op="read"}`).Add(7)
+	r.Counter(`ops_total{op="write"}`).Add(3)
+	r.Gauge("connections").Set(2)
+	r.Histogram("lat_ns").Observe(1500)
+
+	var b strings.Builder
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE ops_total counter",
+		`ops_total{op="read"} 7`,
+		`ops_total{op="write"} 3`,
+		"# TYPE connections gauge",
+		"connections 2",
+		"# TYPE lat_ns summary",
+		`lat_ns{quantile="0.5"}`,
+		"lat_ns_count 1",
+		"lat_ns_sum 1500",
+		"lat_ns_window 0",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	// One TYPE line per base name, even with two labelled series.
+	if got := strings.Count(out, "# TYPE ops_total "); got != 1 {
+		t.Errorf("ops_total TYPE emitted %d times, want 1", got)
+	}
+	// Labelled histogram series keep labels in place on suffixes.
+	r.Histogram(`op_lat_ns{op="read"}`).Observe(10)
+	b.Reset()
+	if err := r.WriteText(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), `op_lat_ns_count{op="read"} 1`) {
+		t.Errorf("suffixed labelled series missing:\n%s", b.String())
+	}
+}
+
+// TestConcurrentWritesAndScrapes is the -race stress test: writer
+// goroutines hammer counters, gauges, histograms and spans while
+// scrapers pull text expositions — both in-process and through a live
+// HTTP endpoint — and snapshots with slowlog copies, concurrently with
+// collector registration/teardown.
+func TestConcurrentWritesAndScrapes(t *testing.T) {
+	r := NewRegistry(nil)
+	r.SetSampling(2)
+	r.SetSlowlogThreshold(0)
+
+	srv := httptest.NewServer(r.Handler())
+	defer srv.Close()
+
+	const writers, scrapers, iters = 4, 3, 300
+	var wWG, sWG sync.WaitGroup
+	stop := make(chan struct{})
+
+	for w := 0; w < writers; w++ {
+		wWG.Add(1)
+		go func(w int) {
+			defer wWG.Done()
+			c := r.Counter("stress_ops_total")
+			g := r.Gauge("stress_depth")
+			h := r.Histogram("stress_lat_ns")
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(int64(i))
+				if s := r.StartSpan("read-data", "controller", "key"); s != nil {
+					s.EnterPhase(PhaseEngine)
+					s.Finish(nil)
+				}
+				if i%50 == 0 {
+					// Collector churn during traffic.
+					hdl := r.RegisterCollector(func(emit func(string, int64, bool)) {
+						emit("stress_collected_total", 1, false)
+					})
+					hdl.Close()
+				}
+				g.Add(-1)
+			}
+		}(w)
+	}
+
+	for s := 0; s < scrapers; s++ {
+		sWG.Add(1)
+		go func() {
+			defer sWG.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if err := r.WriteText(io.Discard); err != nil {
+					t.Errorf("WriteText: %v", err)
+					return
+				}
+				_ = r.Snapshot(true)
+				resp, err := http.Get(srv.URL + "/metrics")
+				if err != nil {
+					t.Errorf("scrape: %v", err)
+					return
+				}
+				_, _ = io.Copy(io.Discard, resp.Body)
+				resp.Body.Close()
+			}
+		}()
+	}
+
+	// Scrapers run for the writers' whole lifetime, then drain.
+	wWG.Wait()
+	close(stop)
+	sWG.Wait()
+
+	if got := r.Counter("stress_ops_total").Value(); got != writers*iters {
+		t.Fatalf("stress counter = %d, want %d", got, writers*iters)
+	}
+	if got := r.Gauge("stress_depth").Value(); got != 0 {
+		t.Fatalf("stress gauge = %d, want 0", got)
+	}
+	if got := r.Histogram("stress_lat_ns").Count(); got != writers*iters {
+		t.Fatalf("stress histogram count = %d, want %d", got, writers*iters)
+	}
+
+	resp, err := http.Get(srv.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if string(body) != "ok\n" {
+		t.Fatalf("healthz = %q, want ok", body)
+	}
+}

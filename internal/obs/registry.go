@@ -1,0 +1,304 @@
+// Package obs is the process-wide observability layer: a metrics registry
+// (atomic counters, gauges, low-overhead log-bucketed latency histograms
+// sharing internal/stats bucket geometry), per-operation span tracing with
+// phase attribution, and a slowlog of the slowest operations.
+//
+// Design rules, in cost order:
+//
+//   - Counters and gauges are single atomic adds — always on, safe on any
+//     hot path.
+//   - Collectors (RegisterCollector) cost nothing until Snapshot: engines
+//     keep their existing per-stripe/per-pipe atomics and the registry sums
+//     them only when someone actually scrapes. This is how the kvstore,
+//     audit and WAL counters are exported without adding a single shared
+//     cache line to the data path.
+//   - Histograms take a clock read plus a short mutex for window rotation —
+//     reserved for sampled spans and amortized events (group commits,
+//     fsyncs, background tasks), never per-key work.
+//   - Spans are sampled 1-in-N (SetSampling); an unsampled op pays one
+//     atomic add and a nil-pointer check. Setting a slowlog threshold > 0
+//     forces every-op tracing so no slow op escapes the log.
+//
+// The Default registry is process-global; servers expose it over HTTP
+// (Handler) and the wire METRICS verb, and gdprbench merges it into -json.
+package obs
+
+import (
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Counter is a monotonically increasing metric. The zero value is unusable;
+// obtain one from Registry.Counter.
+type Counter struct {
+	v atomic.Int64
+}
+
+// Inc adds one.
+func (c *Counter) Inc() { c.v.Add(1) }
+
+// Add adds n.
+func (c *Counter) Add(n int64) { c.v.Add(n) }
+
+// Value reads the current count.
+func (c *Counter) Value() int64 { return c.v.Load() }
+
+// Gauge is a metric that can move both ways (connections, queue depth,
+// bytes reclaimed by the last compaction).
+type Gauge struct {
+	v atomic.Int64
+}
+
+// Set stores n.
+func (g *Gauge) Set(n int64) { g.v.Store(n) }
+
+// Add adds n (may be negative).
+func (g *Gauge) Add(n int64) { g.v.Add(n) }
+
+// Value reads the gauge.
+func (g *Gauge) Value() int64 { return g.v.Load() }
+
+// Collector is a pull-time metrics source: it is invoked only during
+// Snapshot and emits (name, value, gauge?) triples. Several collectors may
+// emit the same name — values sum, which is how N shards' engines roll up
+// into one series.
+type Collector func(emit func(name string, v int64, gauge bool))
+
+// CollectorHandle deregisters a collector when its owner closes.
+type CollectorHandle struct {
+	r  *Registry
+	id uint64
+}
+
+// Close removes the collector from the registry. Safe to call on a nil or
+// already-closed handle.
+func (h *CollectorHandle) Close() {
+	if h == nil || h.r == nil {
+		return
+	}
+	h.r.mu.Lock()
+	delete(h.r.collectors, h.id)
+	h.r.mu.Unlock()
+	h.r = nil
+}
+
+// Registry owns every metric in one observability domain. Processes use the
+// package-global Default(); tests build private registries on simulated
+// clocks.
+type Registry struct {
+	clk clock.Clock
+
+	mu          sync.RWMutex
+	counters    map[string]*Counter
+	gauges      map[string]*Gauge
+	hists       map[string]*Histogram
+	collectors  map[uint64]Collector
+	collectorID uint64
+
+	sampleEvery atomic.Int64 // span sampling period; 0 disables spans
+	spanSeq     atomic.Uint64
+	slowNanos   atomic.Int64 // slowlog threshold; >0 forces every-op spans
+
+	slowlog *slowlog
+}
+
+// DefaultSampling is the default span sampling period: one traced op per N.
+const DefaultSampling = 16
+
+// NewRegistry builds an empty registry on clk (nil means the real clock).
+func NewRegistry(clk clock.Clock) *Registry {
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	r := &Registry{
+		clk:        clk,
+		counters:   make(map[string]*Counter),
+		gauges:     make(map[string]*Gauge),
+		hists:      make(map[string]*Histogram),
+		collectors: make(map[uint64]Collector),
+		slowlog:    newSlowlog(slowlogCap),
+	}
+	r.sampleEvery.Store(DefaultSampling)
+	return r
+}
+
+var defaultRegistry = NewRegistry(nil)
+
+// Default returns the process-wide registry. Engines, the server, and the
+// CLIs all report here unless a test supplies its own.
+func Default() *Registry { return defaultRegistry }
+
+// Counter returns (creating if needed) the counter for name. Callers should
+// intern the result once — hot paths must not look up by string.
+func (r *Registry) Counter(name string) *Counter {
+	r.mu.RLock()
+	c, ok := r.counters[name]
+	r.mu.RUnlock()
+	if ok {
+		return c
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if c, ok = r.counters[name]; ok {
+		return c
+	}
+	c = &Counter{}
+	r.counters[name] = c
+	return c
+}
+
+// Gauge returns (creating if needed) the gauge for name.
+func (r *Registry) Gauge(name string) *Gauge {
+	r.mu.RLock()
+	g, ok := r.gauges[name]
+	r.mu.RUnlock()
+	if ok {
+		return g
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if g, ok = r.gauges[name]; ok {
+		return g
+	}
+	g = &Gauge{}
+	r.gauges[name] = g
+	return g
+}
+
+// Histogram returns (creating if needed) the histogram for name.
+func (r *Registry) Histogram(name string) *Histogram {
+	r.mu.RLock()
+	h, ok := r.hists[name]
+	r.mu.RUnlock()
+	if ok {
+		return h
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if h, ok = r.hists[name]; ok {
+		return h
+	}
+	h = newHistogram(r.clk)
+	r.hists[name] = h
+	return h
+}
+
+// RegisterCollector attaches a pull-time metrics source; it is invoked on
+// every Snapshot until the returned handle is closed.
+func (r *Registry) RegisterCollector(c Collector) *CollectorHandle {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.collectorID++
+	id := r.collectorID
+	r.collectors[id] = c
+	return &CollectorHandle{r: r, id: id}
+}
+
+// SetSampling sets the span sampling period: one op in n is traced (and
+// contributes to the latency/phase histograms). n <= 0 disables span
+// tracing entirely; counters stay on. A slowlog threshold > 0 overrides
+// sampling and traces every op.
+func (r *Registry) SetSampling(n int) { r.sampleEvery.Store(int64(n)) }
+
+// Sampling reports the current sampling period.
+func (r *Registry) Sampling() int { return int(r.sampleEvery.Load()) }
+
+// SetSlowlogThreshold arms the slowlog: finished spans whose total latency
+// is >= d are recorded. d > 0 forces every-op tracing so slow ops cannot be
+// missed by sampling; d = 0 disarms the slowlog and restores sampling.
+func (r *Registry) SetSlowlogThreshold(d time.Duration) { r.slowNanos.Store(int64(d)) }
+
+// SlowlogThreshold reports the armed threshold (0 = disarmed).
+func (r *Registry) SlowlogThreshold() time.Duration {
+	return time.Duration(r.slowNanos.Load())
+}
+
+// Slowlog returns the recorded slow ops, newest first.
+func (r *Registry) Slowlog() []SlowEntry { return r.slowlog.entries() }
+
+// ResetSlowlog drops all recorded slow ops.
+func (r *Registry) ResetSlowlog() { r.slowlog.reset() }
+
+// HistStat is a histogram's point-in-time summary: cumulative count/sum and
+// extrema plus bucket-resolution percentiles, and the observation count of
+// the last completed rotation window (a recency signal for dashboards).
+type HistStat struct {
+	Count       int64
+	Sum         int64
+	Min         int64
+	Max         int64
+	P50         int64
+	P95         int64
+	P99         int64
+	WindowCount int64
+}
+
+// Snapshot is one coherent-enough read of the whole registry. Counters are
+// read atomically per series (not across series); collectors run inline.
+type Snapshot struct {
+	Counters map[string]int64
+	Gauges   map[string]int64
+	Hists    map[string]HistStat
+	Slowlog  []SlowEntry
+}
+
+// Counter reads a counter series from the snapshot (0 when absent).
+func (s Snapshot) Counter(name string) int64 { return s.Counters[name] }
+
+// Gauge reads a gauge series from the snapshot (0 when absent).
+func (s Snapshot) Gauge(name string) int64 { return s.Gauges[name] }
+
+// Snapshot captures every registered series. includeSlowlog controls
+// whether the slowlog ring is copied out (it carries key-class strings, so
+// surfaces that redact keys may omit it).
+func (r *Registry) Snapshot(includeSlowlog bool) Snapshot {
+	r.mu.RLock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	collectors := make([]Collector, 0, len(r.collectors))
+	for _, c := range r.collectors {
+		collectors = append(collectors, c)
+	}
+	r.mu.RUnlock()
+
+	snap := Snapshot{
+		Counters: make(map[string]int64, len(counters)+16),
+		Gauges:   make(map[string]int64, len(gauges)+16),
+		Hists:    make(map[string]HistStat, len(hists)),
+	}
+	for k, c := range counters {
+		snap.Counters[k] = c.Value()
+	}
+	for k, g := range gauges {
+		snap.Gauges[k] = g.Value()
+	}
+	for k, h := range hists {
+		snap.Hists[k] = h.stat()
+	}
+	for _, c := range collectors {
+		c(func(name string, v int64, gauge bool) {
+			if gauge {
+				snap.Gauges[name] += v
+			} else {
+				snap.Counters[name] += v
+			}
+		})
+	}
+	if includeSlowlog {
+		snap.Slowlog = r.slowlog.entries()
+	}
+	return snap
+}

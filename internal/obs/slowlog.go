@@ -1,0 +1,66 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// slowlogCap bounds the ring: the most recent N ops over threshold.
+const slowlogCap = 128
+
+// SlowEntry is one operation that crossed the slowlog threshold, with its
+// full phase breakdown.
+type SlowEntry struct {
+	Seq      uint64 // monotonically increasing per registry
+	Time     time.Time
+	Op       string
+	Role     string
+	KeyClass string
+	Err      bool
+	Total    time.Duration
+	Phases   [NumPhases]time.Duration
+}
+
+// slowlog is a bounded ring buffer. Adds only happen for ops already slower
+// than the threshold, so a mutex is fine — this is never the hot path.
+type slowlog struct {
+	mu   sync.Mutex
+	ring []SlowEntry
+	next int
+	n    int
+	seq  uint64
+}
+
+func newSlowlog(capacity int) *slowlog {
+	return &slowlog{ring: make([]SlowEntry, capacity)}
+}
+
+func (l *slowlog) add(e SlowEntry) {
+	l.mu.Lock()
+	l.seq++
+	e.Seq = l.seq
+	l.ring[l.next] = e
+	l.next = (l.next + 1) % len(l.ring)
+	if l.n < len(l.ring) {
+		l.n++
+	}
+	l.mu.Unlock()
+}
+
+// entries returns the recorded ops, newest first.
+func (l *slowlog) entries() []SlowEntry {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]SlowEntry, 0, l.n)
+	for i := 1; i <= l.n; i++ {
+		out = append(out, l.ring[(l.next-i+len(l.ring))%len(l.ring)])
+	}
+	return out
+}
+
+func (l *slowlog) reset() {
+	l.mu.Lock()
+	l.n = 0
+	l.next = 0
+	l.mu.Unlock()
+}

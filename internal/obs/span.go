@@ -1,0 +1,140 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Phase labels the stages an operation moves through inside the compliance
+// middleware. The engine phase covers storage-engine work; transit covers
+// the in-transit encryption record layer wrapped around it.
+type Phase uint8
+
+const (
+	PhaseValidate Phase = iota
+	PhaseACL
+	PhaseTransit
+	PhaseEngine
+	PhaseAudit
+	NumPhases
+)
+
+var phaseNames = [NumPhases]string{"validate", "acl", "transit", "engine", "audit"}
+
+// String returns the phase's exposition label.
+func (p Phase) String() string {
+	if p < NumPhases {
+		return phaseNames[p]
+	}
+	return "unknown"
+}
+
+// Span traces one operation through its phases. All methods are safe on a
+// nil receiver — an unsampled op carries a nil span and pays only the
+// nil checks — and a Span must be used by a single goroutine.
+type Span struct {
+	reg      *Registry
+	op       string
+	role     string
+	keyClass string
+	start    time.Time
+	phaseAt  time.Time
+	cur      Phase
+	open     bool
+	durs     [NumPhases]time.Duration
+}
+
+var spanPool = sync.Pool{New: func() any { return new(Span) }}
+
+// StartSpan begins a traced span for one operation, or returns nil when
+// this op is not sampled. op is the audit op name ("read-data"), role the
+// acting GDPR role, keyClass the selector attribute class ("key", "usr",
+// "ttl", ...). The returned span starts in PhaseValidate.
+func (r *Registry) StartSpan(op, role, keyClass string) *Span {
+	if r == nil || !r.sampleNext() {
+		return nil
+	}
+	s := spanPool.Get().(*Span)
+	*s = Span{reg: r, op: op, role: role, keyClass: keyClass}
+	s.start = r.clk.Now()
+	s.phaseAt = s.start
+	s.cur = PhaseValidate
+	s.open = true
+	return s
+}
+
+// sampleNext decides whether the next op is traced: always when a slowlog
+// threshold is armed (a sampled slowlog would miss the very ops it exists
+// to catch), else one op per sampling period.
+func (r *Registry) sampleNext() bool {
+	if r.slowNanos.Load() > 0 {
+		return true
+	}
+	n := r.sampleEvery.Load()
+	if n <= 0 {
+		return false
+	}
+	if n == 1 {
+		return true
+	}
+	return r.spanSeq.Add(1)%uint64(n) == 0
+}
+
+// EnterPhase closes the current phase and starts p. Re-entering a phase
+// accumulates (the transit layer brackets the engine phase, so transit time
+// is the sum of both sides).
+func (s *Span) EnterPhase(p Phase) {
+	if s == nil || !s.open {
+		return
+	}
+	now := s.reg.clk.Now()
+	s.durs[s.cur] += now.Sub(s.phaseAt)
+	s.phaseAt = now
+	if p < NumPhases {
+		s.cur = p
+	}
+}
+
+// Finish closes the span: the final phase ends, total and per-phase
+// latencies land in the registry histograms, and the op enters the slowlog
+// if it crossed the armed threshold. err marks the traced op as failed in
+// the slowlog entry.
+func (s *Span) Finish(err error) {
+	if s == nil || !s.open {
+		return
+	}
+	s.open = false
+	r := s.reg
+	now := r.clk.Now()
+	s.durs[s.cur] += now.Sub(s.phaseAt)
+	total := now.Sub(s.start)
+
+	r.opLatency(s.op).ObserveDuration(total)
+	for p := Phase(0); p < NumPhases; p++ {
+		if d := s.durs[p]; d > 0 {
+			r.phaseLatency(p).ObserveDuration(d)
+		}
+	}
+	if thr := time.Duration(r.slowNanos.Load()); thr > 0 && total >= thr {
+		r.slowlog.add(SlowEntry{
+			Time:     now,
+			Op:       s.op,
+			Role:     s.role,
+			KeyClass: s.keyClass,
+			Err:      err != nil,
+			Total:    total,
+			Phases:   s.durs,
+		})
+	}
+	spanPool.Put(s)
+}
+
+// opLatency interns the per-op latency histogram; the map lookup happens
+// only on the sampled path.
+func (r *Registry) opLatency(op string) *Histogram {
+	return r.Histogram(`gdpr_op_latency_ns{op="` + op + `"}`)
+}
+
+func (r *Registry) phaseLatency(p Phase) *Histogram {
+	return r.Histogram(`gdpr_phase_latency_ns{phase="` + p.String() + `"}`)
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/audit"
 	"repro/internal/clock"
+	"repro/internal/obs"
 	"repro/internal/wal"
 )
 
@@ -83,6 +84,8 @@ type DB struct {
 	// wall-clock duration — the replay cost checkpointing bounds.
 	recoveredRecords int64
 	recoveryMicros   int64
+
+	obsColl *obs.CollectorHandle
 }
 
 // Open creates a DB. If cfg.WALPath holds a log from a previous run, the
@@ -93,6 +96,14 @@ func Open(cfg Config) (*DB, error) {
 	if db.clk == nil {
 		db.clk = clock.NewReal()
 	}
+	// Pull-time export of the checkpoint/recovery counters; several open
+	// DBs (shards) emitting the same names roll up by summation.
+	db.obsColl = obs.Default().RegisterCollector(func(emit func(string, int64, bool)) {
+		records, micros, checkpoints := db.RecoveryStats()
+		emit("relstore_wal_checkpoints_total", checkpoints, false)
+		emit("relstore_recovered_records", records, true)
+		emit("relstore_recovery_us", micros, true)
+	})
 	return db, nil
 }
 
@@ -373,6 +384,14 @@ func (db *DB) Checkpoint() error {
 	}
 	db.ckptMu.Lock()
 	defer db.ckptMu.Unlock()
+	ckptStart := time.Now()
+	sizeBefore, _ := db.wal.Size()
+	defer func() {
+		obsCheckpointNs.ObserveDuration(time.Since(ckptStart))
+		if sizeAfter, err := db.wal.Size(); err == nil && sizeBefore > sizeAfter {
+			obsCheckpointReclaimed.Set(sizeBefore - sizeAfter)
+		}
+	}()
 	oldPath := db.cfg.WALPath + wal.RotatedSuffix
 	var cut uint64
 	if _, err := os.Stat(oldPath); err == nil {
@@ -1026,6 +1045,7 @@ func (db *DB) WALSize() (int64, error) {
 
 // Close stops the TTL daemon and closes the WAL. Close is idempotent.
 func (db *DB) Close() error {
+	db.obsColl.Close()
 	db.StopTTLDaemon()
 	db.mu.Lock()
 	defer db.mu.Unlock()

@@ -1,0 +1,12 @@
+package relstore
+
+import "repro/internal/obs"
+
+// Checkpoint telemetry, reported to the process-wide registry. Both series
+// fire once per checkpoint — a background task — so the commit path is
+// untouched; the bytes-reclaimed gauge is the live WAL's shrink across the
+// last rotate-and-truncate cycle.
+var (
+	obsCheckpointNs        = obs.Default().Histogram("relstore_wal_checkpoint_duration_ns")
+	obsCheckpointReclaimed = obs.Default().Gauge("relstore_wal_checkpoint_bytes_reclaimed")
+)

@@ -32,6 +32,7 @@ import (
 	"repro/internal/audit"
 	"repro/internal/core"
 	"repro/internal/gdpr"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -210,6 +211,22 @@ func (c *Client) ServerAuditPolicy() string {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.auditPolicy
+}
+
+// ServerMetrics pulls the server's observability snapshot over the wire
+// (the METRICS verb), so a remote benchmark reports the same engine and
+// operation series an embedded one reads from the local registry.
+// includeSlowlog asks for the server's slowlog ring too.
+func (c *Client) ServerMetrics(includeSlowlog bool) (obs.Snapshot, error) {
+	resp, err := c.call(acl.Controller, &wire.Metrics{Slowlog: includeSlowlog})
+	if err != nil {
+		return obs.Snapshot{}, err
+	}
+	m, ok := resp.(*wire.MetricsResp)
+	if !ok {
+		return obs.Snapshot{}, unexpected(resp)
+	}
+	return m.Snapshot(), nil
 }
 
 // Close releases every pooled connection.

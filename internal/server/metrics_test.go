@@ -1,0 +1,133 @@
+package server
+
+import (
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+
+	"repro/internal/acl"
+	"repro/internal/gdpr"
+	"repro/internal/obs"
+	"repro/internal/remote"
+	"repro/internal/wire"
+)
+
+// TestMetricsVerbRoundTrip pins the wire introspection surface: a
+// remote client pulls the server's registry over METRICS and gets the
+// front end's own series back, slowlog included on request.
+func TestMetricsVerbRoundTrip(t *testing.T) {
+	reg := obs.NewRegistry(nil)
+	db := openTestDB(t)
+	_, addr := startServer(t, db, Config{Obs: reg})
+
+	client, err := remote.Dial(remote.Config{Addr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+
+	const ops = 8
+	for i := 0; i < ops; i++ {
+		if err := client.CreateRecord(acl.Actor{Role: acl.Controller, ID: "controller-1"}, testRecord(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	snap, err := client.ServerMetrics(true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The METRICS frame itself rides the same connection, so frames
+	// strictly exceed the op count.
+	if got := snap.Counter("server_frames_total"); got <= ops {
+		t.Fatalf("server_frames_total = %d, want > %d", got, ops)
+	}
+	if got := snap.Counter("server_connections_total"); got < 1 {
+		t.Fatalf("server_connections_total = %d, want >= 1", got)
+	}
+	if got := snap.Gauge("server_connections"); got < 1 {
+		t.Fatalf("server_connections gauge = %d, want >= 1 (session still open)", got)
+	}
+	depth := snap.Hists["server_pipeline_depth"]
+	if depth.Count <= 0 {
+		t.Fatal("server_pipeline_depth histogram is empty")
+	}
+	if depth.Min < 1 {
+		t.Fatalf("pipeline depth min = %d, want >= 1", depth.Min)
+	}
+}
+
+// TestMetricsVerbAnyRole pins the authorization stance: introspection
+// carries no record payloads, so any authenticated session may pull it —
+// including a customer.
+func TestMetricsVerbAnyRole(t *testing.T) {
+	reg := obs.NewRegistry(nil)
+	db := openTestDB(t)
+	_, addr := startServer(t, db, Config{Obs: reg, Token: "sesame"})
+
+	c := dialRaw(t, addr)
+	if resp := c.hello(acl.Customer, "sesame"); resp.Op() != wire.OpHelloOK {
+		t.Fatalf("handshake failed: %v", resp)
+	}
+	c.send(&wire.Metrics{Slowlog: true})
+	resp := c.recv()
+	mr, ok := resp.(*wire.MetricsResp)
+	if !ok {
+		t.Fatalf("METRICS answered %T, want *wire.MetricsResp", resp)
+	}
+	if mr.Snapshot().Counter("server_frames_total") < 1 {
+		t.Fatal("snapshot missing server_frames_total")
+	}
+}
+
+// TestMetricsEndpointServesServerSeries closes the HTTP loop: the same
+// registry the server reports to, mounted as gdprserver does on
+// -pprofaddr, serves the front end's series over /metrics.
+func TestMetricsEndpointServesServerSeries(t *testing.T) {
+	reg := obs.NewRegistry(nil)
+	db := openTestDB(t)
+	_, addr := startServer(t, db, Config{Obs: reg})
+
+	client, err := remote.Dial(remote.Config{Addr: addr})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer client.Close()
+	if _, err := client.ReadData(acl.Actor{Role: acl.Regulator, ID: "dpa-1"}, gdpr.ByUser("nobody")); err != nil {
+		t.Fatal(err)
+	}
+
+	web := httptest.NewServer(reg.Handler())
+	defer web.Close()
+
+	resp, err := http.Get(web.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); !strings.Contains(ct, "version=0.0.4") {
+		t.Fatalf("content-type = %q, want Prometheus text 0.0.4", ct)
+	}
+	for _, want := range []string{
+		"# TYPE server_frames_total counter",
+		"# TYPE server_connections gauge",
+		"server_pipeline_depth_count",
+	} {
+		if !strings.Contains(string(body), want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+
+	hz, err := http.Get(web.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	hzBody, _ := io.ReadAll(hz.Body)
+	hz.Body.Close()
+	if string(hzBody) != "ok\n" {
+		t.Fatalf("healthz = %q, want ok", hzBody)
+	}
+}

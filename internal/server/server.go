@@ -34,6 +34,7 @@ import (
 	"repro/internal/acl"
 	"repro/internal/core"
 	"repro/internal/gdpr"
+	"repro/internal/obs"
 	"repro/internal/wire"
 )
 
@@ -52,6 +53,10 @@ type Config struct {
 	DrainTimeout time.Duration
 	// HandshakeTimeout bounds the Hello exchange (default 10s).
 	HandshakeTimeout time.Duration
+	// Obs is the observability registry the server reports to and serves
+	// over the METRICS verb (nil means obs.Default()). Tests inject
+	// private registries here.
+	Obs *obs.Registry
 }
 
 func (c Config) withDefaults() Config {
@@ -74,6 +79,15 @@ type Server struct {
 	bc  core.BatchCreator // non-nil when db bulk-creates
 	cfg Config
 
+	// Interned once at construction: the per-frame path must not pay a
+	// map lookup. mDepth is observed at dequeue, so its distribution is
+	// the read-ahead the pipeline actually achieved (1 = no pipelining).
+	obs     *obs.Registry
+	mFrames *obs.Counter
+	mConns  *obs.Gauge
+	mAccept *obs.Counter
+	mDepth  *obs.Histogram
+
 	mu     sync.Mutex
 	ln     net.Listener
 	conns  map[net.Conn]struct{}
@@ -91,6 +105,14 @@ func New(db core.DB, cfg Config) *Server {
 		quit:  make(chan struct{}),
 	}
 	s.bc, _ = db.(core.BatchCreator)
+	s.obs = s.cfg.Obs
+	if s.obs == nil {
+		s.obs = obs.Default()
+	}
+	s.mFrames = s.obs.Counter("server_frames_total")
+	s.mConns = s.obs.Gauge("server_connections")
+	s.mAccept = s.obs.Counter("server_connections_total")
+	s.mDepth = s.obs.Histogram("server_pipeline_depth")
 	return s
 }
 
@@ -235,6 +257,9 @@ func (s *Server) handleConn(nc net.Conn) {
 	if !ok {
 		return
 	}
+	s.mAccept.Inc()
+	s.mConns.Add(1)
+	defer s.mConns.Add(-1)
 
 	requests := make(chan wire.Message, s.cfg.Pipeline)
 	go func() {
@@ -255,6 +280,10 @@ func (s *Server) handleConn(nc net.Conn) {
 		}
 	}()
 	for m := range requests {
+		s.mFrames.Inc()
+		// Depth includes the request just taken: 1 means the client was
+		// not pipelining, Pipeline+1 means the read-ahead queue was full.
+		s.mDepth.Observe(int64(len(requests)) + 1)
 		resp := s.execute(role, m)
 		if err := enc.WriteMessage(bw, resp); err != nil {
 			var fe *wire.FrameError
@@ -465,6 +494,12 @@ func (s *Server) execute(role acl.Role, msg wire.Message) wire.Message {
 			return fail(err)
 		}
 		return &wire.Space{Personal: su.PersonalBytes, Total: su.TotalBytes}
+
+	case *wire.Metrics:
+		// Introspection, not data access: the snapshot carries series
+		// names, counts and latencies — no record payloads — so, like
+		// SpaceUsage, any authenticated session may pull it.
+		return wire.MetricsFromSnapshot(s.obs.Snapshot(m.Slowlog))
 
 	default:
 		return fail(fmt.Errorf("server: unexpected %v frame", msg.Op()))

@@ -38,7 +38,6 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/gdpr"
-	"repro/internal/kvstore"
 )
 
 // Router is a core.Engine that partitions records across child engines.
@@ -227,35 +226,10 @@ func (r *Router) SpaceUsage() (core.SpaceUsage, error) {
 	return total, err
 }
 
-// KvstoreStats sums the kvstore concurrency/persistence counters over
-// the shards; false when the fleet is not kvstore-backed. (Stripes sums
-// too: it reports the fleet's total lock count.)
-func (r *Router) KvstoreStats() (kvstore.Stats, bool) {
-	var total kvstore.Stats
-	for _, e := range r.shards {
-		ks, ok := e.(interface {
-			KvstoreStats() (kvstore.Stats, bool)
-		})
-		if !ok {
-			return kvstore.Stats{}, false
-		}
-		st, ok := ks.KvstoreStats()
-		if !ok {
-			return kvstore.Stats{}, false
-		}
-		total.Stripes += st.Stripes
-		total.FullScans += st.FullScans
-		total.ReadLocks += st.ReadLocks
-		total.WriteLocks += st.WriteLocks
-		total.Bytes += st.Bytes
-		total.IndexBytes += st.IndexBytes
-		total.AOFBatches += st.AOFBatches
-		total.AOFFlushes += st.AOFFlushes
-	}
-	return total, true
-}
-
 // Close implements core.Engine: every shard closes; errors aggregate.
+// (Per-shard engine counters need no router rollup: each kvstore
+// registers an obs collector under the same series names, and the
+// registry sums same-name emissions at snapshot time.)
 func (r *Router) Close() error {
 	return r.scatter(func(_ int, e core.Engine) error { return e.Close() })
 }

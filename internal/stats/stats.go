@@ -53,6 +53,18 @@ func bucketValue(b int) time.Duration {
 	return time.Duration(math.Pow(10, float64(b)/bucketsPerDecade))
 }
 
+// NumBuckets reports the number of log buckets a Histogram carries. It is
+// exported so other histogram implementations (internal/obs) can reuse the
+// exact bucket geometry and stay percentile-compatible with the benchmark
+// reports.
+func NumBuckets() int { return bucketCount }
+
+// BucketIndex returns the bucket an observation of magnitude d falls into.
+func BucketIndex(d time.Duration) int { return bucketFor(d) }
+
+// BucketBound returns the representative magnitude of bucket b.
+func BucketBound(b int) time.Duration { return bucketValue(b) }
+
 // Record adds one observation.
 func (h *Histogram) Record(d time.Duration) {
 	if d < 0 {

@@ -250,11 +250,15 @@ func (w *WAL) WaitDurable(lsn uint64) error {
 		return errors.New("wal: wait on closed WAL")
 	}
 	target := w.nextLSN - 1
-	w.lastSync = w.clk.Now()
+	start := w.clk.Now()
+	w.lastSync = start
 	w.mu.Unlock()
+	batch := int64(target - w.durable.Load())
 	if err := w.syncFile(); err != nil {
 		return err
 	}
+	obsWALFsyncNs.ObserveDuration(w.clk.Since(start))
+	obsWALBatchLSNs.Observe(batch)
 	w.advanceDurable(target)
 	return nil
 }

@@ -30,15 +30,17 @@ import (
 	"repro/internal/acl"
 	"repro/internal/audit"
 	"repro/internal/gdpr"
+	"repro/internal/obs"
 	"repro/internal/pool"
 )
 
 const (
 	// ProtocolVersion is negotiated in the Hello handshake. Version 2
-	// added HelloOK.AuditPolicy; the codec is canonical (no optional
-	// fields), so any frame-shape change bumps the version and a
-	// mismatch is rejected cleanly at handshake.
-	ProtocolVersion = 2
+	// added HelloOK.AuditPolicy; version 3 added the METRICS
+	// introspection exchange (Metrics/MetricsResp). The codec is
+	// canonical (no optional fields), so any frame-shape change bumps
+	// the version and a mismatch is rejected cleanly at handshake.
+	ProtocolVersion = 3
 	// MaxFrameSize bounds one frame's opcode + payload; oversized frames
 	// are rejected before any payload allocation.
 	MaxFrameSize = 16 << 20
@@ -70,6 +72,10 @@ const (
 	OpFeatures
 	OpSpace
 	OpError
+	// Version 3 introspection exchange (appended so earlier opcodes keep
+	// their values).
+	OpMetrics
+	OpMetricsResp
 	opEnd // sentinel: one past the last valid opcode
 )
 
@@ -79,7 +85,7 @@ func (o Op) String() string {
 		"read-metadata", "update-data", "update-metadata", "delete-record",
 		"get-logs", "get-features", "verify-deletion", "space-usage",
 		"hello-ok", "ack", "records", "count", "log-entries", "features",
-		"space", "error",
+		"space", "error", "metrics", "metrics-resp",
 	}
 	if int(o) < len(names) {
 		return names[o]
@@ -143,6 +149,10 @@ func newMessage(op Op) Message {
 		return &Space{}
 	case OpError:
 		return &ErrorResp{}
+	case OpMetrics:
+		return &Metrics{}
+	case OpMetricsResp:
+		return &MetricsResp{}
 	default:
 		return nil
 	}
@@ -730,6 +740,17 @@ func (*SpaceUsage) Op() Op           { return OpSpaceUsage }
 func (m *SpaceUsage) encode(*writer) {}
 func (m *SpaceUsage) decode(*reader) {}
 
+// Metrics asks for the server's observability snapshot. Like SpaceUsage
+// it is an admin query any authenticated session may issue — the
+// snapshot carries operation counts, latencies and engine internals,
+// never record payloads. Slowlog controls whether the slowlog ring
+// (which names key classes, not keys) rides along.
+type Metrics struct{ Slowlog bool }
+
+func (*Metrics) Op() Op             { return OpMetrics }
+func (m *Metrics) encode(w *writer) { w.boolVal(m.Slowlog) }
+func (m *Metrics) decode(r *reader) { m.Slowlog = r.boolVal() }
+
 // ---------------------------------------------------------------------------
 // Responses
 
@@ -859,6 +880,221 @@ func (m *Space) encode(w *writer) {
 func (m *Space) decode(r *reader) {
 	m.Personal = r.varint()
 	m.Total = r.varint()
+}
+
+// MetricsResp carries a registry snapshot: counter and gauge series as
+// name/value pairs, histogram series as name + summary, and (when
+// requested) the slowlog. Series ride in parallel slices sorted by name
+// — MetricsFromSnapshot sorts, so a snapshot's encoding is canonical
+// the same way FeaturesFromMap's is.
+type MetricsResp struct {
+	CounterNames []string
+	CounterVals  []int64
+	GaugeNames   []string
+	GaugeVals    []int64
+	HistNames    []string
+	HistStats    []obs.HistStat
+	Slow         []obs.SlowEntry
+}
+
+func (*MetricsResp) Op() Op { return OpMetricsResp }
+
+// encodeSeries writes name/value pairs interleaved under one count, so
+// the two slices cannot disagree in length on the wire.
+func encodeSeries(w *writer, names []string, vals []int64) {
+	w.uvarint(uint64(len(names)))
+	for i, name := range names {
+		w.str(name)
+		w.varint(vals[i])
+	}
+}
+
+func decodeSeries(r *reader) ([]string, []int64) {
+	n := r.uvarint()
+	if r.err != nil {
+		return nil, nil
+	}
+	// A minimal pair (empty name + one-byte varint) costs 2 bytes; reject
+	// impossible counts before allocating, and cap the pre-allocation —
+	// the count is attacker-controlled.
+	if n > uint64(r.remaining())/2 {
+		r.fail("series count exceeds frame")
+		return nil, nil
+	}
+	if n == 0 {
+		return nil, nil
+	}
+	names := make([]string, 0, minU64(n, 1024))
+	vals := make([]int64, 0, minU64(n, 1024))
+	for i := uint64(0); i < n; i++ {
+		names = append(names, r.str())
+		vals = append(vals, r.varint())
+	}
+	return names, vals
+}
+
+func encodeHistStat(w *writer, st obs.HistStat) {
+	w.varint(st.Count)
+	w.varint(st.Sum)
+	w.varint(st.Min)
+	w.varint(st.Max)
+	w.varint(st.P50)
+	w.varint(st.P95)
+	w.varint(st.P99)
+	w.varint(st.WindowCount)
+}
+
+func decodeHistStat(r *reader) obs.HistStat {
+	return obs.HistStat{
+		Count:       r.varint(),
+		Sum:         r.varint(),
+		Min:         r.varint(),
+		Max:         r.varint(),
+		P50:         r.varint(),
+		P95:         r.varint(),
+		P99:         r.varint(),
+		WindowCount: r.varint(),
+	}
+}
+
+func encodeSlowEntry(w *writer, e obs.SlowEntry) {
+	w.uvarint(e.Seq)
+	w.timeVal(e.Time)
+	w.str(e.Op)
+	w.str(e.Role)
+	w.str(e.KeyClass)
+	w.boolVal(e.Err)
+	w.varint(int64(e.Total))
+	for _, d := range e.Phases {
+		w.varint(int64(d))
+	}
+}
+
+func decodeSlowEntry(r *reader) obs.SlowEntry {
+	e := obs.SlowEntry{
+		Seq:      r.uvarint(),
+		Time:     r.timeVal(),
+		Op:       r.str(),
+		Role:     r.str(),
+		KeyClass: r.str(),
+		Err:      r.boolVal(),
+		Total:    time.Duration(r.varint()),
+	}
+	for i := range e.Phases {
+		e.Phases[i] = time.Duration(r.varint())
+	}
+	return e
+}
+
+func (m *MetricsResp) encode(w *writer) {
+	encodeSeries(w, m.CounterNames, m.CounterVals)
+	encodeSeries(w, m.GaugeNames, m.GaugeVals)
+	w.uvarint(uint64(len(m.HistNames)))
+	for i, name := range m.HistNames {
+		w.str(name)
+		encodeHistStat(w, m.HistStats[i])
+	}
+	w.uvarint(uint64(len(m.Slow)))
+	for _, e := range m.Slow {
+		encodeSlowEntry(w, e)
+	}
+}
+
+func (m *MetricsResp) decode(r *reader) {
+	m.CounterNames, m.CounterVals = decodeSeries(r)
+	m.GaugeNames, m.GaugeVals = decodeSeries(r)
+	nh := r.uvarint()
+	if r.err != nil {
+		return
+	}
+	// A minimal histogram entry (empty name + eight one-byte varints)
+	// costs 9 bytes.
+	if nh > uint64(r.remaining())/9 {
+		r.fail("histogram count exceeds frame")
+		return
+	}
+	if nh > 0 {
+		m.HistNames = make([]string, 0, minU64(nh, 1024))
+		m.HistStats = make([]obs.HistStat, 0, minU64(nh, 1024))
+		for i := uint64(0); i < nh; i++ {
+			m.HistNames = append(m.HistNames, r.str())
+			m.HistStats = append(m.HistStats, decodeHistStat(r))
+		}
+	}
+	ns := r.uvarint()
+	if r.err != nil {
+		return
+	}
+	// A minimal slowlog entry (seq + zero time + three empty strings +
+	// err + total + one varint per phase) costs 7+NumPhases bytes.
+	minSlowSize := uint64(7 + obs.NumPhases)
+	if ns > uint64(r.remaining())/minSlowSize {
+		r.fail("slowlog count exceeds frame")
+		return
+	}
+	if ns > 0 {
+		m.Slow = make([]obs.SlowEntry, 0, minU64(ns, 1024))
+		for i := uint64(0); i < ns; i++ {
+			m.Slow = append(m.Slow, decodeSlowEntry(r))
+		}
+	}
+}
+
+// MetricsFromSnapshot renders snap as a wire response, series sorted by
+// name so equal snapshots encode to equal bytes.
+func MetricsFromSnapshot(snap obs.Snapshot) *MetricsResp {
+	m := &MetricsResp{Slow: snap.Slowlog}
+	m.CounterNames, m.CounterVals = sortSeries(snap.Counters)
+	m.GaugeNames, m.GaugeVals = sortSeries(snap.Gauges)
+	if len(snap.Hists) > 0 {
+		m.HistNames = make([]string, 0, len(snap.Hists))
+		for name := range snap.Hists {
+			m.HistNames = append(m.HistNames, name)
+		}
+		sort.Strings(m.HistNames)
+		m.HistStats = make([]obs.HistStat, len(m.HistNames))
+		for i, name := range m.HistNames {
+			m.HistStats[i] = snap.Hists[name]
+		}
+	}
+	return m
+}
+
+func sortSeries(series map[string]int64) ([]string, []int64) {
+	if len(series) == 0 {
+		return nil, nil
+	}
+	names := make([]string, 0, len(series))
+	for name := range series {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	vals := make([]int64, len(names))
+	for i, name := range names {
+		vals[i] = series[name]
+	}
+	return names, vals
+}
+
+// Snapshot rebuilds the obs.Snapshot the peer captured, so remote and
+// embedded metrics reads share one downstream shape.
+func (m *MetricsResp) Snapshot() obs.Snapshot {
+	snap := obs.Snapshot{
+		Counters: make(map[string]int64, len(m.CounterNames)),
+		Gauges:   make(map[string]int64, len(m.GaugeNames)),
+		Hists:    make(map[string]obs.HistStat, len(m.HistNames)),
+		Slowlog:  m.Slow,
+	}
+	for i, name := range m.CounterNames {
+		snap.Counters[name] = m.CounterVals[i]
+	}
+	for i, name := range m.GaugeNames {
+		snap.Gauges[name] = m.GaugeVals[i]
+	}
+	for i, name := range m.HistNames {
+		snap.Hists[name] = m.HistStats[i]
+	}
+	return snap
 }
 
 // ---------------------------------------------------------------------------

@@ -10,6 +10,7 @@ import (
 	"repro/internal/acl"
 	"repro/internal/audit"
 	"repro/internal/gdpr"
+	"repro/internal/obs"
 )
 
 // sampleMessages returns one representative instance of every frame
@@ -63,6 +64,8 @@ func sampleMessages() []Message {
 		&VerifyDeletion{Actor: acl.Actor{Role: acl.Regulator, ID: "dpa-1"}, Keys: []string{"r0000001", "never-existed"}},
 		&VerifyDeletion{Actor: acl.Actor{Role: acl.Regulator, ID: "dpa-1"}},
 		&SpaceUsage{},
+		&Metrics{},
+		&Metrics{Slowlog: true},
 		&HelloOK{Version: ProtocolVersion},
 		&HelloOK{Version: ProtocolVersion, AuditPolicy: "async"},
 		&Ack{},
@@ -78,6 +81,30 @@ func sampleMessages() []Message {
 		FeaturesFromMap(map[string]string{"compliance": "acl+strict", "aof": "everysec"}),
 		&Features{},
 		&Space{Personal: 1000, Total: 5200},
+		MetricsFromSnapshot(obs.Snapshot{
+			Counters: map[string]int64{
+				`gdpr_ops_total{op="READ-DATA"}`:       420,
+				`gdpr_op_errors_total{op="READ-DATA"}`: 3,
+				"kvstore_read_locks_total":             99,
+			},
+			Gauges: map[string]int64{"server_connections": 2, "kvstore_bytes": 1 << 20},
+			Hists: map[string]obs.HistStat{
+				`gdpr_op_latency_ns{op="READ-DATA"}`: {
+					Count: 26, Sum: 52_000, Min: 800, Max: 9_000,
+					P50: 1_900, P95: 8_600, P99: 9_000, WindowCount: 4,
+				},
+			},
+			Slowlog: []obs.SlowEntry{{
+				Seq: 7, Time: time.Unix(1_552_867_200, 250).UTC(),
+				Op: "DELETE-RECORD", Role: "controller", KeyClass: "USR",
+				Err: true, Total: 40 * time.Millisecond,
+				Phases: [obs.NumPhases]time.Duration{
+					time.Microsecond, 2 * time.Microsecond, 0,
+					39 * time.Millisecond, 900 * time.Microsecond,
+				},
+			}},
+		}),
+		&MetricsResp{},
 		&ErrorResp{Kind: ErrDenied, Role: acl.Processor, Verb: byte(acl.VerbReadData),
 			ID: "processor-1", Purpose: "ads", Key: "ph-1x4b", Reason: "owner objected"},
 		&ErrorResp{Kind: ErrValidation, Key: "bad-rec", Reason: "strict mode requires a TTL (G 5(1e))"},
