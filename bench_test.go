@@ -13,6 +13,7 @@ package gdprbench
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"path/filepath"
 	"strconv"
 	"strings"
@@ -1183,5 +1184,109 @@ func BenchmarkObsOverhead(b *testing.B) {
 		b.Run(leg.name, func(b *testing.B) {
 			benchObsOverheadMix(b, leg.sampling)
 		})
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Streaming export: chunked cursor vs materialized Select
+
+// benchStreamingExport measures one full subject export per iteration —
+// every record of one data subject who owns 1/8 of the store — either
+// drained chunk by chunk through the streaming read path or
+// materialized in one Select, embedded or over localhost TCP. allocs/op
+// is the per-export allocation budget; the streaming legs must not
+// regress it and must hold peak memory at O(chunk) rather than
+// O(result) (the RSS claim F13 and the CI smoke check end to end).
+func benchStreamingExport(b *testing.B, overTCP, streamed bool) {
+	b.Helper()
+	comp := core.Compliance{AccessControl: true, MetadataIndexing: true}
+	host, err := OpenRedis(RedisConfig{
+		Dir: b.TempDir(), Compliance: comp, KVStripes: 4, DisableBackgroundExpiry: true,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer host.Close()
+	const records = 16_000
+	cfg := core.Config{Records: records, RecordsPerUser: records / 8, Seed: 1}
+	ds, _, err := core.Load(host, cfg, nil)
+	if err != nil {
+		b.Fatal(err)
+	}
+	db := core.DB(host)
+	if overTCP {
+		srv := server.New(host, server.Config{})
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer srv.Close()
+		cli, err := remote.Dial(remote.Config{Addr: addr})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer cli.Close()
+		db = cli
+	}
+	subject := ds.CustomerActor(0)
+	sel := ByUser(ds.UserName(0))
+	want := records / 8
+
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var got int
+		if streamed {
+			cur, err := db.(core.StreamReader).ReadDataStream(subject, sel, core.DefaultStreamChunk)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for {
+				recs, err := cur.Next()
+				if err != nil {
+					if err != io.EOF {
+						b.Fatal(err)
+					}
+					break
+				}
+				got += len(recs)
+			}
+			cur.Close()
+		} else {
+			recs, err := db.ReadData(subject, sel)
+			if err != nil {
+				b.Fatal(err)
+			}
+			got = len(recs)
+		}
+		if got != want {
+			b.Fatalf("export saw %d records, want %d", got, want)
+		}
+	}
+	b.ReportMetric(float64(want), "records/export")
+}
+
+// BenchmarkStreamingExport sweeps streamed vs materialized × embedded
+// vs TCP on the subject-export shape (the G 15 / G 20 right-of-access
+// query the streaming data plane exists for).
+func BenchmarkStreamingExport(b *testing.B) {
+	for _, leg := range []struct {
+		name    string
+		overTCP bool
+	}{
+		{"embedded", false},
+		{"tcp", true},
+	} {
+		for _, mode := range []struct {
+			name     string
+			streamed bool
+		}{
+			{"materialized", false},
+			{"streamed", true},
+		} {
+			b.Run(leg.name+"/"+mode.name, func(b *testing.B) {
+				benchStreamingExport(b, leg.overTCP, mode.streamed)
+			})
+		}
 	}
 }

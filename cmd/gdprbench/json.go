@@ -25,6 +25,16 @@ type jsonReport struct {
 	Threads    int    `json:"threads"`
 	Shards     int    `json:"shards"`
 	Connect    string `json:"connect,omitempty"`
+	// OpenLoop marks a run whose operations arrived on a fixed schedule
+	// (-arrival-rate, ops/sec per workload). In that mode every per-op
+	// latency below is measured from the operation's scheduled arrival,
+	// so queueing delay is included (no coordinated omission).
+	OpenLoop    bool    `json:"open_loop,omitempty"`
+	ArrivalRate float64 `json:"arrival_rate,omitempty"`
+	// RSSHighWaterBytes is the client process's peak resident set size at
+	// report time (/proc/self/status VmHWM) — the bounded-memory claim of
+	// the streaming read path is checked against it.
+	RSSHighWaterBytes int64 `json:"rss_high_water_bytes"`
 	// AllocsPerOp is the client process's heap allocations per workload
 	// operation, metered around each timed loop alone (load-phase and
 	// reporting allocations excluded).
@@ -251,17 +261,20 @@ func slowlogBlock(snap obs.Snapshot) []jsonSlowOp {
 func writeJSONReport(path string, opts options, label string, db gdprbench.DB, loadRun *stats.Run, report core.Report, runs map[gdprbench.WorkloadName]*stats.Run, allocsPerOp float64) error {
 	snap := obsSnapshot(db, opts.connect != "")
 	out := jsonReport{
-		Engine:      label,
-		Records:     opts.records,
-		Operations:  opts.ops,
-		Threads:     opts.threads,
-		Shards:      opts.shards,
-		Connect:     opts.connect,
-		AllocsPerOp: allocsPerOp,
-		Audit:       auditBlock(db, opts),
-		Kvstore:     kvstoreBlock(snap),
-		Server:      serverBlock(snap),
-		Slowlog:     slowlogBlock(snap),
+		Engine:            label,
+		Records:           opts.records,
+		Operations:        opts.ops,
+		Threads:           opts.threads,
+		Shards:            opts.shards,
+		Connect:           opts.connect,
+		OpenLoop:          opts.arrivalRate > 0,
+		ArrivalRate:       opts.arrivalRate,
+		RSSHighWaterBytes: rssHighWaterBytes(),
+		AllocsPerOp:       allocsPerOp,
+		Audit:             auditBlock(db, opts),
+		Kvstore:           kvstoreBlock(snap),
+		Server:            serverBlock(snap),
+		Slowlog:           slowlogBlock(snap),
 		Load: jsonLoad{
 			CompletionMS: float64(loadRun.WallTime().Microseconds()) / 1e3,
 			OpsPerSec:    loadRun.Throughput(),

@@ -59,6 +59,7 @@ type options struct {
 	connect     string
 	token       string
 	jsonPath    string
+	arrivalRate float64
 	auditPolicy gdprbench.AuditPolicy
 	kvstripes   int
 	tuning      gdprbench.Tuning
@@ -81,7 +82,7 @@ var engineFlags = map[string]bool{
 var benchFlags = map[string]bool{
 	"records": true, "ops": true, "threads": true, "datasize": true, "seed": true,
 	"workloads": true, "secondarydist": true, "validate": true, "json": true,
-	"cpuprofile": true, "memprofile": true,
+	"arrival-rate": true, "cpuprofile": true, "memprofile": true,
 }
 
 func main() {
@@ -104,6 +105,7 @@ func main() {
 		connect   = flag.String("connect", "", "run the benchmark against a gdprserver at this TCP address instead of an embedded engine")
 		token     = flag.String("token", "", "auth token for -serve / -connect")
 		jsonPath  = flag.String("json", "", "write machine-readable results (per-workload completion, ops/s, per-op p50/p95/p99) to this file")
+		arrival   = flag.Float64("arrival-rate", 0, "open-loop mode: issue operations on a fixed schedule at this many ops/sec per workload, measuring latency from each operation's scheduled arrival (coordinated-omission-free); 0 = closed loop")
 		auditPol  = flag.String("auditpolicy", gdprbench.DefaultAuditPolicy.String(), "audit append pipeline: sync (inline, the legacy baseline) | batched (group-committed, callers wait) | async (fire-and-forget, bounded-queue backpressure)")
 		kvstripes = flag.Int("kvstripes", 0, "redis engine: partition each kvstore into N lock stripes with a staged group-commit AOF (0 = the Redis-faithful single-mutex baseline)")
 		aofPct    = flag.Int("aofrewrite-pct", 0, "redis engine: background-rewrite the AOF once it grows this percent past its post-rewrite size (Redis auto-aof-rewrite-percentage; 100 = rewrite at 2x, 0 = never)")
@@ -131,6 +133,7 @@ func main() {
 		workloads: *workloads, secondary: secondaryDist,
 		indexed: *indexed, baseline: *baseline, validate: *validate,
 		serve: *serve, frozen: *frozen, connect: *connect, token: *token, jsonPath: *jsonPath,
+		arrivalRate: *arrival,
 		auditPolicy: policy, kvstripes: *kvstripes, slowlog: *slowlog,
 		tuning: gdprbench.Tuning{
 			AOFRewritePct:      *aofPct,
@@ -211,6 +214,9 @@ func run(opts options) error {
 	}
 	if opts.slowlog < 0 {
 		return fmt.Errorf("-slowlog-threshold must be >= 0")
+	}
+	if opts.arrivalRate < 0 {
+		return fmt.Errorf("-arrival-rate must be >= 0")
 	}
 	// Arm the process-wide registry before any engine opens: embedded
 	// runs and -serve both report there.
@@ -326,6 +332,11 @@ func runValidate(opts options, comp gdprbench.Compliance, cfg gdprbench.Config, 
 		// loudly beats a CI script reading a file that was never written.
 		return fmt.Errorf("-json applies to timed runs only, not -validate")
 	}
+	if opts.arrivalRate > 0 {
+		// The oracle replays a deterministic script; pacing it open-loop
+		// would change nothing but the wall clock.
+		return fmt.Errorf("-arrival-rate applies to timed runs only, not -validate")
+	}
 	if opts.connect != "" && len(names) != 1 {
 		// The oracle needs a freshly loaded store per workload; a remote
 		// server cannot be reopened from here.
@@ -400,14 +411,21 @@ func runTimed(opts options, comp gdprbench.Compliance, cfg gdprbench.Config, nam
 		var run *gdprbench.RunStats
 		err := meter.measure(func() (int64, error) {
 			var err error
-			if opts.secondary != nil {
+			switch {
+			case opts.secondary != nil:
 				mix, ok := gdprbench.Workloads()[name]
 				if !ok {
 					return 0, fmt.Errorf("unknown workload %q", name)
 				}
 				mix.SecondaryDist = *opts.secondary
-				run, err = gdprbench.RunMix(db, ds, mix)
-			} else {
+				if opts.arrivalRate > 0 {
+					run, err = gdprbench.RunMixOpenLoop(db, ds, mix, opts.arrivalRate)
+				} else {
+					run, err = gdprbench.RunMix(db, ds, mix)
+				}
+			case opts.arrivalRate > 0:
+				run, err = gdprbench.RunOpenLoop(db, ds, name, opts.arrivalRate)
+			default:
 				run, err = gdprbench.Run(db, ds, name)
 			}
 			if err != nil {

@@ -1,0 +1,34 @@
+package main
+
+import (
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+)
+
+// rssHighWaterBytes reports the process's peak resident set size — the
+// number the streaming read path is accountable to: a streamed export
+// must hold it near O(chunk) where the materializing path grows it by
+// O(result). Read from /proc/self/status VmHWM (kernel-tracked peak,
+// covers every allocation source); when that file is unavailable
+// (non-Linux), fall back to the Go runtime's total OS footprint, which
+// is monotone and so also a high-water mark.
+func rssHighWaterBytes() int64 {
+	if b, err := os.ReadFile("/proc/self/status"); err == nil {
+		for _, line := range strings.Split(string(b), "\n") {
+			if !strings.HasPrefix(line, "VmHWM:") {
+				continue
+			}
+			fields := strings.Fields(line)
+			if len(fields) >= 2 {
+				if kb, err := strconv.ParseInt(fields[1], 10, 64); err == nil {
+					return kb << 10
+				}
+			}
+		}
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return int64(ms.Sys)
+}

@@ -160,6 +160,25 @@ type AuditStatser interface {
 	AuditStats() (AuditStats, bool)
 }
 
+// RecordCursor is the chunked-iteration contract of the streaming read
+// path: Next returns the next chunk of records (io.EOF after the last)
+// and Close releases the cursor early. Not safe for concurrent use.
+type RecordCursor = core.RecordCursor
+
+// StreamReader is implemented by DBs that serve selector reads as
+// bounded-memory chunk streams instead of one materialized slice: every
+// embedded middleware-wrapped DB and the remote client. A chunk of 0
+// means DefaultStreamChunk.
+type StreamReader = core.StreamReader
+
+// DefaultStreamChunk is the records-per-chunk default of the streaming
+// read path.
+const DefaultStreamChunk = core.DefaultStreamChunk
+
+// DrainCursor fully consumes cur (closing it) and returns all records —
+// the bridge back from the streaming API to the materialized one.
+func DrainCursor(cur RecordCursor) ([]Record, error) { return core.Drain(cur) }
+
 // FullCompliance returns the fully-compliant configuration of §6.2.
 func FullCompliance() Compliance { return core.Full() }
 
@@ -329,6 +348,20 @@ func Workloads() map[WorkloadName]Mix { return core.DefaultWorkloads() }
 // RunMix executes a custom workload mix against db.
 func RunMix(db DB, ds *Dataset, mix Mix) (*RunStats, error) {
 	return core.RunMix(db, ds, mix, nil)
+}
+
+// RunOpenLoop executes one Table 2a workload open-loop: operations
+// arrive on a fixed schedule at rate ops/sec and latency is measured
+// from each operation's scheduled arrival, so queueing behind a stall
+// is counted instead of silently omitted (no coordinated omission).
+func RunOpenLoop(db DB, ds *Dataset, name WorkloadName, rate float64) (*RunStats, error) {
+	return core.RunOpenLoop(db, ds, name, rate, nil)
+}
+
+// RunMixOpenLoop executes a custom workload mix open-loop at a fixed
+// arrival rate (ops/sec).
+func RunMixOpenLoop(db DB, ds *Dataset, mix Mix, rate float64) (*RunStats, error) {
+	return core.RunMixOpenLoop(db, ds, mix, rate, nil)
 }
 
 // WorkloadNames lists the four workloads in the paper's order.

@@ -177,11 +177,11 @@ func TestWorkloadsExported(t *testing.T) {
 
 func TestExperimentRegistryExported(t *testing.T) {
 	ids := Experiments()
-	if len(ids) != 19 {
+	if len(ids) != 20 {
 		t.Fatalf("experiments = %v", ids)
 	}
-	if ids[len(ids)-1] != "F12" {
-		t.Fatalf("F12 audit-pipeline experiment missing or misordered: %v", ids)
+	if ids[len(ids)-1] != "F13" {
+		t.Fatalf("F13 streaming-export experiment missing or misordered: %v", ids)
 	}
 	res, err := RunExperiment("T1", ScaleSmall)
 	if err != nil {

@@ -109,6 +109,8 @@ const (
 	kGetLogs
 	kGetFeatures
 	kVerifyDel
+	kReadDataStream
+	kReadMetaStream
 	numOpKinds
 )
 
@@ -118,7 +120,8 @@ const (
 var opKindNames = [numOpKinds]string{
 	"CREATE-RECORD", "CREATE-RECORDS", "READ-DATA", "READ-METADATA",
 	"UPDATE-DATA", "UPDATE-METADATA", "DELETE-RECORD", "GET-SYSTEM-LOGS",
-	"GET-SYSTEM-FEATURES", "VERIFY-DELETION",
+	"GET-SYSTEM-FEATURES", "VERIFY-DELETION", "READ-DATA-STREAM",
+	"READ-METADATA-STREAM",
 }
 
 type opMetrics struct {

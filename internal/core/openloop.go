@@ -1,0 +1,107 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/dist"
+	"repro/internal/stats"
+)
+
+// RunOpenLoop executes one Table 2a workload open-loop: operations
+// arrive on a fixed schedule at rate ops/sec instead of as fast as the
+// previous response returns. See RunMixOpenLoop for the measurement
+// semantics.
+func RunOpenLoop(db DB, ds *Dataset, name WorkloadName, rate float64, clk clock.Clock) (*stats.Run, error) {
+	mix, ok := DefaultWorkloads()[name]
+	if !ok {
+		return nil, fmt.Errorf("core: unknown workload %q", name)
+	}
+	return RunMixOpenLoop(db, ds, mix, rate, clk)
+}
+
+// RunMixOpenLoop executes a workload mix at a fixed arrival rate
+// (open-loop load generation). Operation i is scheduled to arrive at
+// start + i/rate regardless of how earlier operations fared, and its
+// latency is measured from that scheduled arrival — so time an
+// operation spends queued behind a stalled worker counts against it.
+// This is the coordinated-omission-free measurement: a closed loop
+// (RunMix) silently stops issuing requests while the system stalls,
+// under-reporting exactly the tail the stall caused.
+//
+// Workers pull the next scheduled index from a shared counter and sleep
+// until its arrival time, so a slow operation on one worker never
+// delays another worker's schedule. If every worker is busy when an
+// arrival comes due, the arrival waits — and its wait is measured.
+func RunMixOpenLoop(db DB, ds *Dataset, mix Mix, rate float64, clk clock.Clock) (*stats.Run, error) {
+	if rate <= 0 {
+		return nil, fmt.Errorf("core: open-loop arrival rate must be > 0, got %g", rate)
+	}
+	if len(mix.Queries) == 0 || len(mix.Queries) != len(mix.Weights) {
+		return nil, fmt.Errorf("core: mix needs equal, non-empty queries/weights")
+	}
+	if clk == nil {
+		clk = clock.NewReal()
+	}
+	cfg := ds.Cfg
+	run := stats.NewRun()
+	var newKeySeq atomic.Int64
+	var deletedMu sync.Mutex
+	deletedSample := make([]string, 0, 256)
+	var next atomic.Int64
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+
+	interval := time.Duration(float64(time.Second) / rate)
+	start := time.Now()
+	run.Start(start)
+	for t := 0; t < cfg.Threads; t++ {
+		wg.Add(1)
+		go func(t int) {
+			defer wg.Done()
+			r := rand.New(rand.NewSource(cfg.Seed + 1000 + int64(t)))
+			oc := &opContext{
+				ds:            ds,
+				r:             r,
+				keys:          newGenerator(r, mix.Dist, int64(cfg.Records)),
+				secondary:     newGenerator(r, mix.SecondaryDist, int64(maxOf(cfg.Purposes, cfg.Shares, cfg.Decisions, cfg.Sources))),
+				clk:           clk,
+				newKeySeq:     &newKeySeq,
+				deletedMu:     &deletedMu,
+				deletedSample: &deletedSample,
+			}
+			chooser := dist.NewWeighted(r, mix.Queries, mix.Weights)
+			for {
+				i := next.Add(1) - 1
+				if i >= int64(cfg.Operations) {
+					return
+				}
+				sched := start.Add(time.Duration(i) * interval)
+				if d := time.Until(sched); d > 0 {
+					time.Sleep(d)
+				}
+				q := chooser.Next()
+				op := run.Op(string(q))
+				// Latency from the scheduled arrival, not from when a
+				// worker got around to it: queueing delay is part of what
+				// the client experienced.
+				if err := execute(db, q, oc); err != nil {
+					op.RecordErr(time.Since(sched))
+					firstErr.CompareAndSwap(nil, err)
+					return
+				}
+				op.RecordOK(time.Since(sched))
+			}
+		}(t)
+	}
+	wg.Wait()
+	run.Finish(time.Now())
+	if err, _ := firstErr.Load().(error); err != nil {
+		return run, err
+	}
+	return run, nil
+}

@@ -1,0 +1,448 @@
+package core
+
+// Streaming selector reads: the cursor counterpart of Engine.Select.
+// A RecordCursor hands back records a bounded chunk at a time so a
+// portability export of one subject among millions costs O(chunk)
+// memory, not O(result), at every layer that composes over it (shard
+// router, middleware, wire protocol, remote client). Engines that can
+// walk their storage incrementally implement StreamEngine; StreamOf
+// papers over the rest by materializing once and chunking the slice,
+// so callers can always obtain a cursor.
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/acl"
+	"repro/internal/gdpr"
+	"repro/internal/obs"
+	"repro/internal/relstore"
+)
+
+// DefaultStreamChunk is the chunk size used when a caller passes 0.
+const DefaultStreamChunk = 256
+
+// RecordCursor iterates a selector result set chunk by chunk. Next
+// returns the next non-empty batch of records, or io.EOF when the
+// stream is exhausted; any other error is terminal. Close releases the
+// cursor's resources and is safe to call at any point, including after
+// EOF and more than once. Cursors are not safe for concurrent use.
+type RecordCursor interface {
+	Next() ([]gdpr.Record, error)
+	Close() error
+}
+
+// StreamEngine is implemented by engines whose storage supports chunked
+// selector iteration. SelectStream returns a cursor over the same
+// result set Select(sel) materializes; chunk <= 0 selects
+// DefaultStreamChunk. Under a quiescent store the concatenated chunks
+// are identical to the materialized result; under concurrent mutation
+// each chunk observes the engine state at its own Next call (per-chunk
+// snapshots — see DESIGN.md §1i).
+type StreamEngine interface {
+	Engine
+	SelectStream(sel gdpr.Selector, chunk int) (RecordCursor, error)
+}
+
+// StreamReader is implemented by DBs that serve compliance-checked
+// streaming reads (the cursor counterpart of ReadData/ReadMetadata).
+// ACL filtering and redaction apply per chunk; the audit trail records
+// one entry per stream when the cursor completes (EOF, error, or
+// Close), carrying the total record count.
+type StreamReader interface {
+	ReadDataStream(a acl.Actor, sel gdpr.Selector, chunk int) (RecordCursor, error)
+	ReadMetadataStream(a acl.Actor, sel gdpr.Selector, chunk int) (RecordCursor, error)
+}
+
+func normChunk(chunk int) int {
+	if chunk <= 0 {
+		return DefaultStreamChunk
+	}
+	return chunk
+}
+
+// ---------------------------------------------------------------------------
+// Materialized fallback
+
+// sliceCursor chunks an already-materialized result set.
+type sliceCursor struct {
+	recs  []gdpr.Record
+	chunk int
+}
+
+// SliceCursor returns a cursor over an in-memory result set — the
+// materialized fallback for engines without SelectStream and the
+// server's ablation path.
+func SliceCursor(recs []gdpr.Record, chunk int) RecordCursor {
+	return &sliceCursor{recs: recs, chunk: normChunk(chunk)}
+}
+
+func (c *sliceCursor) Next() ([]gdpr.Record, error) {
+	if len(c.recs) == 0 {
+		return nil, io.EOF
+	}
+	n := min(c.chunk, len(c.recs))
+	out := c.recs[:n:n]
+	c.recs = c.recs[n:]
+	return out, nil
+}
+
+func (c *sliceCursor) Close() error {
+	c.recs = nil
+	return nil
+}
+
+// Drain consumes cur to EOF, returning the concatenated result, and
+// closes it. It is how a caller that ultimately wants the materialized
+// result exercises the streaming path (the equivalence tests and the
+// validate-oracle-over-iterator leg).
+func Drain(cur RecordCursor) ([]gdpr.Record, error) {
+	defer cur.Close()
+	var out []gdpr.Record
+	for {
+		recs, err := cur.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, recs...)
+	}
+}
+
+// StreamOf returns a cursor over e's result set for sel: the engine's
+// own SelectStream when it implements StreamEngine, otherwise a
+// SliceCursor over a one-shot materialized Select. Key selectors are
+// always served as a single-record chunk via Get.
+func StreamOf(e Engine, sel gdpr.Selector, chunk int) (RecordCursor, error) {
+	if se, ok := e.(StreamEngine); ok {
+		return se.SelectStream(sel, chunk)
+	}
+	recs, err := e.Select(sel)
+	if err != nil {
+		return nil, err
+	}
+	return SliceCursor(recs, chunk), nil
+}
+
+// ---------------------------------------------------------------------------
+// kvEngine streaming
+
+// SelectStream implements StreamEngine for the Redis-model engine: key
+// selectors resolve to a single Get; indexed equality selectors walk the
+// inverted metadata index per stripe in bounded chunks (IndexedChunk);
+// everything else walks the keyspace through the positional scan cursor
+// (ScanChunk). Both walks hold each stripe lock only per chunk.
+func (e *kvEngine) SelectStream(sel gdpr.Selector, chunk int) (RecordCursor, error) {
+	chunk = normChunk(chunk)
+	if sel.Attr == gdpr.AttrKey {
+		rec, ok, err := e.Get(sel.Value)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return SliceCursor(nil, chunk), nil
+		}
+		return SliceCursor([]gdpr.Record{rec}, chunk), nil
+	}
+	if indexable(sel) && e.store.MetadataIndexed() {
+		return &kvIndexedCursor{e: e, sel: sel, chunk: chunk}, nil
+	}
+	return &kvScanCursor{e: e, sel: sel, chunk: chunk}, nil
+}
+
+// kvIndexedCursor streams an indexed equality selector: `after` is the
+// last emitted (or bound-advanced) key, so each Next call resumes the
+// global sorted key order where the previous chunk stopped.
+type kvIndexedCursor struct {
+	e     *kvEngine
+	sel   gdpr.Selector
+	chunk int
+	after string
+	done  bool
+}
+
+func (c *kvIndexedCursor) Next() ([]gdpr.Record, error) {
+	if c.done {
+		return nil, io.EOF
+	}
+	for {
+		out := make([]gdpr.Record, 0, c.chunk)
+		var decodeErr error
+		next, done, ok := c.e.store.IndexedChunk(c.sel.Attr, c.sel.Value, c.after, c.chunk,
+			func(key, value string, _ time.Time) {
+				if decodeErr != nil {
+					return
+				}
+				rec, err := gdpr.Decode(value)
+				if err != nil {
+					decodeErr = fmt.Errorf("core: record %q: %w", key, err)
+					return
+				}
+				if c.sel.Matches(rec) {
+					out = append(out, rec)
+				}
+			})
+		if decodeErr != nil {
+			c.done = true
+			return nil, decodeErr
+		}
+		if !ok {
+			// Indexing was toggled off under the cursor; there is no
+			// consistent way to resume a key-ordered walk mid-stream.
+			c.done = true
+			return nil, fmt.Errorf("core: metadata index unavailable mid-stream for %s=%s", c.sel.Attr, c.sel.Value)
+		}
+		c.after = next
+		if len(out) > 0 {
+			if done {
+				c.done = true
+			}
+			return out, nil
+		}
+		if done {
+			c.done = true
+			return nil, io.EOF
+		}
+		// A whole chunk of expired holes or non-matching postings:
+		// the cursor advanced, try the next window.
+	}
+}
+
+func (c *kvIndexedCursor) Close() error {
+	c.done = true
+	return nil
+}
+
+// kvScanCursor streams a scan-path selector through the positional scan
+// cursor, filtering with sel.Matches like Select's scan leg.
+type kvScanCursor struct {
+	e      *kvEngine
+	sel    gdpr.Selector
+	chunk  int
+	cursor int
+	done   bool
+}
+
+func (c *kvScanCursor) Next() ([]gdpr.Record, error) {
+	if c.done {
+		return nil, io.EOF
+	}
+	for {
+		out := make([]gdpr.Record, 0, c.chunk)
+		var decodeErr error
+		next, done := c.e.store.ScanChunk(c.cursor, c.chunk,
+			func(key, value string, _ time.Time) {
+				if decodeErr != nil {
+					return
+				}
+				rec, err := gdpr.Decode(value)
+				if err != nil {
+					decodeErr = fmt.Errorf("core: record %q: %w", key, err)
+					return
+				}
+				if c.sel.Matches(rec) {
+					out = append(out, rec)
+				}
+			})
+		if decodeErr != nil {
+			c.done = true
+			return nil, decodeErr
+		}
+		c.cursor = next
+		if len(out) > 0 {
+			if done {
+				c.done = true
+			}
+			return out, nil
+		}
+		if done {
+			c.done = true
+			return nil, io.EOF
+		}
+	}
+}
+
+func (c *kvScanCursor) Close() error {
+	c.done = true
+	return nil
+}
+
+var _ StreamEngine = (*kvEngine)(nil)
+
+// ---------------------------------------------------------------------------
+// relEngine streaming
+
+// SelectStream implements StreamEngine for the PostgreSQL-model engine:
+// key selectors resolve to a single Get; everything else becomes a
+// bounded pk-ordered range walk with a per-row predicate filter
+// (SelectChunk), resolving against a fresh btree snapshot per chunk.
+func (e *relEngine) SelectStream(sel gdpr.Selector, chunk int) (RecordCursor, error) {
+	chunk = normChunk(chunk)
+	if sel.Attr == gdpr.AttrKey {
+		rec, ok, err := e.Get(sel.Value)
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			return SliceCursor(nil, chunk), nil
+		}
+		return SliceCursor([]gdpr.Record{rec}, chunk), nil
+	}
+	pred, err := predicateFor(sel)
+	if err != nil {
+		return nil, err
+	}
+	return &relChunkCursor{e: e, pred: pred, chunk: chunk}, nil
+}
+
+// relChunkCursor streams SelectChunk pages; `after` is the pk of the
+// last returned row.
+type relChunkCursor struct {
+	e     *relEngine
+	pred  relstore.Predicate
+	chunk int
+	after string
+	done  bool
+}
+
+func (c *relChunkCursor) Next() ([]gdpr.Record, error) {
+	if c.done {
+		return nil, io.EOF
+	}
+	rows, err := c.e.db.SelectChunk(RecordsTable, c.pred, c.after, c.chunk)
+	if err != nil {
+		c.done = true
+		return nil, err
+	}
+	if len(rows) < c.chunk {
+		// SelectChunk only comes back short when the table is exhausted.
+		c.done = true
+	}
+	if len(rows) == 0 {
+		return nil, io.EOF
+	}
+	recs := make([]gdpr.Record, len(rows))
+	for i, row := range rows {
+		recs[i] = recordFromRow(row)
+	}
+	c.after = recs[len(recs)-1].Key
+	return recs, nil
+}
+
+func (c *relChunkCursor) Close() error {
+	c.done = true
+	return nil
+}
+
+var _ StreamEngine = (*relEngine)(nil)
+
+// ---------------------------------------------------------------------------
+// Middleware streaming reads
+
+// ReadDataStream implements StreamReader: the cursor counterpart of
+// ReadData. Compliance work is paid per chunk — ACL filtering as each
+// batch surfaces, the in-transit record layer per chunk crossing the
+// simulated wire — while the audit trail records ONE entry when the
+// stream completes (EOF, terminal error, or early Close), carrying the
+// total record count, mirroring the one-entry-per-operation contract of
+// the materialized path.
+func (m *middleware) ReadDataStream(a acl.Actor, sel gdpr.Selector, chunk int) (RecordCursor, error) {
+	return m.openStream(kReadDataStream, a, sel, chunk, acl.VerbReadData, false)
+}
+
+// ReadMetadataStream implements StreamReader: ReadMetadata's cursor
+// counterpart — ACL-filtered and Data-redacted per chunk.
+func (m *middleware) ReadMetadataStream(a acl.Actor, sel gdpr.Selector, chunk int) (RecordCursor, error) {
+	return m.openStream(kReadMetaStream, a, sel, chunk, acl.VerbReadMetadata, true)
+}
+
+func (m *middleware) openStream(k opKind, a acl.Actor, sel gdpr.Selector, chunk int, verb acl.Verb, redact bool) (RecordCursor, error) {
+	sp := m.begin(k, a, string(sel.Attr))
+	sp.EnterPhase(obs.PhaseEngine)
+	inner, err := StreamOf(m.eng, sel, chunk)
+	if err != nil {
+		sp.EnterPhase(obs.PhaseAudit)
+		auditOp(m.log, a, opKindNames[k], sel.String(), false, "")
+		m.finish(k, sp, err)
+		return nil, err
+	}
+	return &mwCursor{m: m, k: k, sp: sp, inner: inner, a: a, sel: sel, verb: verb, redact: redact}, nil
+}
+
+// mwCursor wraps an engine cursor with the per-chunk compliance work.
+type mwCursor struct {
+	m      *middleware
+	k      opKind
+	sp     *obs.Span
+	inner  RecordCursor
+	a      acl.Actor
+	sel    gdpr.Selector
+	verb   acl.Verb
+	redact bool
+	total  int
+	closed bool
+}
+
+func (c *mwCursor) Next() ([]gdpr.Record, error) {
+	if c.closed {
+		return nil, io.EOF
+	}
+	for {
+		c.sp.EnterPhase(obs.PhaseEngine)
+		recs, err := c.inner.Next()
+		if err == io.EOF {
+			c.finalize(nil)
+			return nil, io.EOF
+		}
+		if err != nil {
+			c.finalize(err)
+			return nil, err
+		}
+		c.sp.EnterPhase(obs.PhaseACL)
+		out := filterACL(c.m.comp.AccessControl, c.a, c.verb, recs, nil)
+		if c.redact {
+			out = redactData(out)
+		}
+		if len(out) == 0 {
+			// The ACL filter can empty a chunk; keep pulling — Next's
+			// contract is a non-empty batch or EOF.
+			continue
+		}
+		if c.m.pipe != nil {
+			// Each chunk crosses the simulated wire as its own record-layer
+			// message — the transit cost the streaming path actually pays.
+			c.sp.EnterPhase(obs.PhaseTransit)
+			if _, err := c.m.pipe.RoundTrip([]byte("STREAM-CHUNK"), func([]byte) []byte {
+				return []byte(encodeAll(out))
+			}); err != nil {
+				c.finalize(err)
+				return nil, err
+			}
+		}
+		c.total += len(out)
+		return out, nil
+	}
+}
+
+func (c *mwCursor) Close() error {
+	err := c.inner.Close()
+	c.finalize(nil)
+	return err
+}
+
+// finalize emits the stream's single audit entry and closes the span;
+// idempotent so EOF-then-Close (the normal shape) audits once.
+func (c *mwCursor) finalize(err error) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.sp.EnterPhase(obs.PhaseAudit)
+	auditOp(c.m.log, c.a, opKindNames[c.k], c.sel.String(), err == nil, countNote(c.total))
+	c.m.finish(c.k, c.sp, err)
+}
+
+var _ StreamReader = (*middleware)(nil)

@@ -16,6 +16,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/acl"
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/gdpr"
@@ -106,6 +107,41 @@ func Transcript(t testing.TB, db core.DB, ds *core.Dataset, sim *clock.Sim) []st
 		emitN("verify-deletion", present, err)
 	}
 	return lines
+}
+
+// StreamDB is a core.DB whose selector reads are served by fully
+// draining the chunked streaming path: each ReadData/ReadMetadata
+// becomes an open-cursor / Next-until-EOF / Close sequence with the
+// given chunk size. Running Transcript over StreamDB(db) against
+// Transcript over db directly is the streaming leg of the differential
+// matrix: chunked reassembly must be byte-identical to the materialized
+// Select, embedded and across the wire. The wrapped DB must implement
+// core.StreamReader (every middleware-wrapped DB and the remote client
+// do).
+type StreamDB struct {
+	core.DB
+	// Chunk is the records-per-chunk request (0 = the default). Odd
+	// small values are the interesting ones: they force chunk
+	// boundaries inside every multi-record result.
+	Chunk int
+}
+
+// ReadData drains a data stream.
+func (s StreamDB) ReadData(a acl.Actor, sel gdpr.Selector) ([]gdpr.Record, error) {
+	cur, err := s.DB.(core.StreamReader).ReadDataStream(a, sel, s.Chunk)
+	if err != nil {
+		return nil, err
+	}
+	return core.Drain(cur)
+}
+
+// ReadMetadata drains a metadata stream.
+func (s StreamDB) ReadMetadata(a acl.Actor, sel gdpr.Selector) ([]gdpr.Record, error) {
+	cur, err := s.DB.(core.StreamReader).ReadMetadataStream(a, sel, s.Chunk)
+	if err != nil {
+		return nil, err
+	}
+	return core.Drain(cur)
 }
 
 // AssertEqual fails the test at the first line where got's transcript

@@ -11,7 +11,7 @@ import (
 
 func TestIDsCoverEveryPaperArtifact(t *testing.T) {
 	want := []string{"T1", "T2a", "T3", "F3a", "F3b", "F4a", "F4b",
-		"F5a", "F5b", "F5c", "F6", "F7a", "F7b", "F8a", "F8b", "F9", "F10", "F11", "F12"}
+		"F5a", "F5b", "F5c", "F6", "F7a", "F7b", "F8a", "F8b", "F9", "F10", "F11", "F12", "F13"}
 	got := IDs()
 	if len(got) != len(want) {
 		t.Fatalf("IDs = %v", got)
@@ -285,6 +285,47 @@ func TestFig12Shape(t *testing.T) {
 		}
 		if float64(sync) < 0.9*float64(async) {
 			t.Fatalf("%s: async audit (%v) slower than the inline sync baseline (%v)", row[0], async, sync)
+		}
+	}
+}
+
+// TestFig13Shape checks the streaming-export experiment's sanity: all
+// three legs complete, the export legs actually finish exports, and the
+// streamed leg's mean export time does not regress past the
+// materialized ablation by more than noise (the tentpole claim is that
+// it is faster *and* bounded-memory; the shape test only pins "not
+// dramatically slower" to stay robust on loaded runners).
+func TestFig13Shape(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing heavy")
+	}
+	res, err := Run("F13", Small)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Rows) != 3 {
+		t.Fatalf("rows = %d", len(res.Rows))
+	}
+	legs := map[string][]string{}
+	for _, row := range res.Rows {
+		legs[row[0]] = row
+	}
+	if legs["no-export"][1] != "0" {
+		t.Fatalf("no-export leg reports %s exports", legs["no-export"][1])
+	}
+	for _, leg := range []string{"streamed", "materialized"} {
+		row := legs[leg]
+		if row == nil {
+			t.Fatalf("missing leg %q in %v", leg, res.Rows)
+		}
+		if row[1] == "0" {
+			t.Fatalf("%s leg completed zero exports — window too short", leg)
+		}
+		if _, err := time.ParseDuration(row[2]); err != nil {
+			t.Fatalf("%s export mean %q: %v", leg, row[2], err)
+		}
+		if _, err := time.ParseDuration(row[4]); err != nil {
+			t.Fatalf("%s GET p99 %q: %v", leg, row[4], err)
 		}
 	}
 }

@@ -126,6 +126,85 @@ func (ix *Inverted) Lookup(attr gdpr.Attribute, value string) (keys []string, ok
 	return keys, true
 }
 
+// LookupChunk returns up to limit keys posted under (attr, value) that
+// sort strictly after `after`, in ascending key order, plus the largest
+// posting examined (the caller's safe resume bound when the chunk came
+// back full). Unlike Lookup it never materializes the full posting
+// list: candidates stream through a bounded max-heap, so the working
+// set is O(limit) regardless of posting-list size — the property the
+// streaming selector path needs. full reports that the posting list
+// held more than limit candidates past `after` (so keys beyond last
+// remain unexamined); ok is false when attr is not an inverted
+// dimension.
+func (ix *Inverted) LookupChunk(attr gdpr.Attribute, value, after string, limit int) (keys []string, last string, full, ok bool) {
+	vals, ok := ix.dims[attr]
+	if !ok {
+		return nil, "", false, false
+	}
+	set := vals[value]
+	if len(set) == 0 || limit <= 0 {
+		return nil, "", false, true
+	}
+	hcap := limit
+	if hcap > len(set) {
+		hcap = len(set)
+	}
+	// Bounded selection: a max-heap of the limit smallest candidates
+	// past the cursor. Anything evicted from the heap sorts after every
+	// retained key, so the heap's max is the resume bound.
+	h := make([]string, 0, hcap)
+	for k := range set {
+		if k <= after {
+			continue
+		}
+		if len(h) < limit {
+			h = append(h, k)
+			heapUp(h, len(h)-1)
+			continue
+		}
+		full = true
+		if k < h[0] {
+			h[0] = k
+			heapDown(h, 0)
+		}
+	}
+	if len(h) == 0 {
+		return nil, "", false, true
+	}
+	sort.Strings(h)
+	return h, h[len(h)-1], full, true
+}
+
+// heapUp / heapDown maintain a max-heap over a string slice (LookupChunk's
+// bounded selection; container/heap would force per-key interface boxing).
+func heapUp(h []string, i int) {
+	for i > 0 {
+		p := (i - 1) / 2
+		if h[p] >= h[i] {
+			return
+		}
+		h[p], h[i] = h[i], h[p]
+		i = p
+	}
+}
+
+func heapDown(h []string, i int) {
+	for {
+		big := i
+		if l := 2*i + 1; l < len(h) && h[l] > h[big] {
+			big = l
+		}
+		if r := 2*i + 2; r < len(h) && h[r] > h[big] {
+			big = r
+		}
+		if big == i {
+			return
+		}
+		h[i], h[big] = h[big], h[i]
+		i = big
+	}
+}
+
 // Bytes returns the approximate size of all postings.
 func (ix *Inverted) Bytes() int64 { return ix.bytes }
 

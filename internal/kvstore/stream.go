@@ -1,0 +1,185 @@
+package kvstore
+
+// Chunked selector walks: the bounded-memory counterparts of ForEach and
+// IndexedForEach. A streaming caller drives a cursor through repeated
+// chunk calls; each call holds every stripe lock only long enough to copy
+// out at most one chunk's worth of entries through the internal/pool
+// scratch buffers, so an export of the whole keyspace never pins a stripe
+// for longer than one chunk and never materializes more than
+// O(stripes x chunk) keys at once. Snapshots are therefore per-chunk, not
+// per-query: a record mutated between two chunk calls is observed in
+// whichever state the chunk that covers its key finds it — the same
+// per-stripe-consistency contract ForEach and the shard router already
+// give multi-key reads (see DESIGN.md §1i).
+
+import (
+	"slices"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/gdpr"
+)
+
+// MetadataIndexed reports whether the store maintains the metadata-index
+// layer (Config.MetadataIndexing); the streaming selector path uses it to
+// choose between the indexed and scan chunk walks.
+func (s *Store) MetadataIndexed() bool { return s.stripes[0].meta != nil }
+
+// IndexedChunk visits up to limit live entries whose attr metadata
+// contains value and whose keys sort strictly after `after`, in global
+// sorted key order — one bounded step of IndexedForEach. It returns the
+// cursor for the following call and done=true when the posting lists are
+// exhausted; ok is false (nothing visited) when metadata indexing is off
+// or attr is not an inverted dimension, in which case callers fall back
+// to ScanChunk.
+//
+// Each stripe's posting shard is probed under the shared stripe lock
+// through index.LookupChunk's bounded selection, so per-call memory is
+// O(stripes x limit) regardless of result size. Expired-but-unreaped
+// keys are skipped but not deleted, mirroring IndexedForEach. fn runs
+// outside every stripe lock.
+func (s *Store) IndexedChunk(attr gdpr.Attribute, value, after string, limit int, fn func(key, value string, expireAt time.Time)) (next string, done, ok bool) {
+	if s.stripes[0].meta == nil || limit <= 0 {
+		return "", false, false
+	}
+	now := s.clk.Now()
+	parts := partsScratch.Get(len(s.stripes))
+	parts = parts[:len(s.stripes)]
+	defer putParts(parts)
+	// bound is the min over full stripes of the largest posting examined:
+	// keys past it may exist unexamined in some stripe, so the chunk must
+	// not emit (or advance the cursor) beyond it.
+	var mu sync.Mutex
+	bound, bounded := "", false
+	dim := atomic.Bool{}
+	dim.Store(true)
+	var wg sync.WaitGroup
+	for i := range s.stripes {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			st := &s.stripes[i]
+			s.rlock(st)
+			defer s.runlock(st)
+			keys, last, full, ok := st.meta.LookupChunk(attr, value, after, limit)
+			if !ok {
+				dim.Store(false)
+				return
+			}
+			out := kvScratch.Get(len(keys))
+			for _, k := range keys {
+				e := st.dict[k]
+				if e == nil {
+					continue
+				}
+				if !e.expireAt.IsZero() && !e.expireAt.After(now) {
+					continue
+				}
+				out = append(out, kv{k, e.value, e.expireAt})
+			}
+			parts[i] = out
+			if full {
+				mu.Lock()
+				if !bounded || last < bound {
+					bound, bounded = last, true
+				}
+				mu.Unlock()
+			}
+		}(i)
+	}
+	wg.Wait()
+	if !dim.Load() {
+		return "", false, false
+	}
+	total := 0
+	for _, part := range parts {
+		total += len(part)
+	}
+	merged := kvScratch.Get(total)
+	defer func() { kvScratch.Put(merged) }()
+	for _, part := range parts {
+		if !bounded {
+			merged = append(merged, part...)
+			continue
+		}
+		for _, item := range part {
+			if item.key <= bound {
+				merged = append(merged, item)
+			}
+		}
+	}
+	// Per-stripe chunks come back sorted; restore the global sorted key
+	// order IndexedForEach emits.
+	slices.SortFunc(merged, func(a, b kv) int { return strings.Compare(a.key, b.key) })
+	emit := merged
+	truncated := len(emit) > limit
+	if truncated {
+		emit = emit[:limit]
+	}
+	for _, item := range emit {
+		fn(item.key, item.value, item.expireAt)
+	}
+	s.logRead(opIdxScan, string(attr)+"="+value)
+	switch {
+	case truncated:
+		return emit[len(emit)-1].key, false, true
+	case bounded:
+		// Every posting <= bound in every stripe was examined; resuming at
+		// bound makes progress even when the whole chunk was expired holes.
+		return bound, false, true
+	default:
+		return "", true, true
+	}
+}
+
+// ScanChunk visits up to limit live entries starting at the global scan
+// offset cursor — one bounded step of ForEach, over the same
+// concatenation of per-stripe scan orders Scan walks. It returns the next
+// cursor and done=true when the walk is complete. Like Scan the cursor is
+// positional, so it is approximate under concurrent mutation (keys
+// present for the whole walk are seen at least once; Redis' SCAN
+// contract); under a quiescent store the concatenated chunks reproduce
+// ForEach's emission order exactly. fn runs outside every stripe lock.
+func (s *Store) ScanChunk(cursor, limit int, fn func(key, value string, expireAt time.Time)) (next int, done bool) {
+	if cursor < 0 || limit <= 0 {
+		return 0, true
+	}
+	now := s.clk.Now()
+	out := kvScratch.Get(limit)
+	defer func() { kvScratch.Put(out) }()
+	offset, total := 0, 0
+	for i := range s.stripes {
+		st := &s.stripes[i]
+		s.rlock(st)
+		n := len(st.keySlice)
+		lo, hi := cursor, cursor+limit
+		if lo < offset {
+			lo = offset
+		}
+		if hi > offset+n {
+			hi = offset + n
+		}
+		if lo < hi {
+			for _, k := range st.keySlice[lo-offset : hi-offset] {
+				e := st.dict[k]
+				if !e.expireAt.IsZero() && !e.expireAt.After(now) {
+					continue
+				}
+				out = append(out, kv{k, e.value, e.expireAt})
+			}
+		}
+		offset += n
+		total += n
+		s.runlock(st)
+	}
+	for _, item := range out {
+		fn(item.key, item.value, item.expireAt)
+	}
+	s.logRead(opScan, "*")
+	if cursor >= total || cursor+limit >= total {
+		return 0, true
+	}
+	return cursor + limit, false
+}

@@ -455,11 +455,13 @@ func (c *conn) shutdown() {
 	c.mu.Unlock()
 }
 
-// roundTrip writes one request and waits for its (order-matched)
-// response. Other goroutines may interleave requests on the same
-// connection; responses cannot be misattributed because the server
-// answers strictly in order.
-func (c *conn) roundTrip(req wire.Message) (wire.Message, error) {
+// send writes one request and registers its response future: the
+// returned channel receives the order-matched response (or the
+// connection's terminal error) exactly once. The streaming client uses
+// it directly to keep several StreamNext exchanges in flight — ordinary
+// pipelined requests from other goroutines interleave freely between
+// them, because FIFO matching is global per connection.
+func (c *conn) send(req wire.Message) (chan result, error) {
 	ch := make(chan result, 1)
 	c.mu.Lock()
 	if c.broken != nil {
@@ -487,6 +489,18 @@ func (c *conn) roundTrip(req wire.Message) (wire.Message, error) {
 	}
 	c.pending = append(c.pending, ch)
 	c.mu.Unlock()
+	return ch, nil
+}
+
+// roundTrip writes one request and waits for its (order-matched)
+// response. Other goroutines may interleave requests on the same
+// connection; responses cannot be misattributed because the server
+// answers strictly in order.
+func (c *conn) roundTrip(req wire.Message) (wire.Message, error) {
+	ch, err := c.send(req)
+	if err != nil {
+		return nil, err
+	}
 	res := <-ch
 	return res.msg, res.err
 }

@@ -1,0 +1,225 @@
+// Streaming client: the iterator API over the v4 cursor exchange.
+//
+// A Stream pins one pooled connection and keeps up to StreamCredit
+// StreamNext exchanges in flight (credit-based flow control): every
+// credit is an ordinary pipelined request with its own in-order
+// response, so the server never pushes an unsolicited frame, the
+// client's FIFO response matching is untouched, and point operations
+// from other goroutines interleave between chunks on the same
+// connection — a big export no longer head-of-line-blocks them. Memory
+// on both sides stays O(credit x chunk).
+package remote
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/acl"
+	"repro/internal/core"
+	"repro/internal/gdpr"
+	"repro/internal/wire"
+)
+
+// StreamCredit is how many StreamNext exchanges a Stream keeps in
+// flight. More credit hides round-trip latency behind chunk transfer;
+// the server still materializes at most one chunk per credit.
+const StreamCredit = 4
+
+// ReadDataStream implements core.StreamReader over the wire: it opens a
+// server-side cursor (SELECT-STREAM) and returns an iterator that pulls
+// chunks with pipelined STREAM-NEXT exchanges. Compliance (ACL
+// filtering, audit, redaction) runs server-side per chunk exactly as it
+// does embedded.
+func (c *Client) ReadDataStream(a acl.Actor, sel gdpr.Selector, chunk int) (core.RecordCursor, error) {
+	return c.openStream(a, sel, chunk, false)
+}
+
+// ReadMetadataStream implements core.StreamReader over the wire with
+// the READ-METADATA projection (Data redacted server-side).
+func (c *Client) ReadMetadataStream(a acl.Actor, sel gdpr.Selector, chunk int) (core.RecordCursor, error) {
+	return c.openStream(a, sel, chunk, true)
+}
+
+func (c *Client) openStream(a acl.Actor, sel gdpr.Selector, chunk int, meta bool) (core.RecordCursor, error) {
+	cn, err := c.conn(a.Role)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := cn.roundTrip(&wire.SelectStream{Actor: a, Sel: sel, Chunk: uint64(max(chunk, 0)), Meta: meta})
+	if err != nil {
+		return nil, err
+	}
+	if e, ok := resp.(*wire.ErrorResp); ok {
+		return nil, errFromResp(e)
+	}
+	opened, ok := resp.(*wire.StreamOpened)
+	if !ok {
+		return nil, unexpected(resp)
+	}
+	s := &Stream{cn: cn, id: opened.ID}
+	// Prime the credit window: the server starts materializing the first
+	// chunks while this call returns.
+	for i := 0; i < StreamCredit; i++ {
+		if err := s.issue(); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Stream is a remote RecordCursor. Not safe for concurrent use (the
+// core.RecordCursor contract); the underlying connection still serves
+// other goroutines' requests between chunks.
+type Stream struct {
+	cn       *conn
+	id       uint64
+	inflight []chan result
+	done     bool // server finished the stream (Done chunk seen)
+	closed   bool
+	err      error
+}
+
+// issue sends one StreamNext and queues its response future.
+func (s *Stream) issue() error {
+	ch, err := s.cn.send(&wire.StreamNext{ID: s.id})
+	if err != nil {
+		return err
+	}
+	s.inflight = append(s.inflight, ch)
+	return nil
+}
+
+// Next implements core.RecordCursor.
+func (s *Stream) Next() ([]gdpr.Record, error) {
+	if s.err != nil {
+		return nil, s.err
+	}
+	if s.closed || (s.done && len(s.inflight) == 0) {
+		return nil, io.EOF
+	}
+	for len(s.inflight) > 0 {
+		ch := s.inflight[0]
+		s.inflight = s.inflight[1:]
+		res := <-ch
+		if res.err != nil {
+			return nil, s.fail(res.err)
+		}
+		switch m := res.msg.(type) {
+		case *wire.ErrorResp:
+			return nil, s.fail(errFromResp(m))
+		case *wire.StreamChunk:
+			if m.Done {
+				// The server already released the cursor; later in-flight
+				// credits answer Done too — keep draining them.
+				s.done = true
+				if len(m.Recs) == 0 {
+					continue
+				}
+			} else if err := s.issue(); err != nil {
+				// Keep the credit window full while the stream is live.
+				return nil, s.fail(err)
+			}
+			if len(m.Recs) == 0 {
+				continue
+			}
+			recs, err := wire.DecodeRecords(m.Recs)
+			if err != nil {
+				return nil, s.fail(err)
+			}
+			return recs, nil
+		default:
+			return nil, s.fail(unexpected(res.msg))
+		}
+	}
+	return nil, io.EOF
+}
+
+// fail records a terminal error and abandons the stream. In-flight
+// futures are drained so the connection's FIFO stays aligned for its
+// other users — unless the connection itself died, in which case every
+// future is already (or will be) answered by failLocked.
+func (s *Stream) fail(err error) error {
+	s.err = err
+	s.drain()
+	if !s.done && !s.cn.isBroken() {
+		s.cn.roundTrip(&wire.StreamClose{ID: s.id})
+	}
+	s.done = true
+	return err
+}
+
+func (s *Stream) drain() {
+	for _, ch := range s.inflight {
+		<-ch
+	}
+	s.inflight = nil
+}
+
+// Close implements core.RecordCursor: it drains the in-flight credits
+// and releases the server-side cursor (STREAM-CLOSE) if the stream did
+// not already finish. Safe to call after EOF and more than once.
+func (s *Stream) Close() error {
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	s.drain()
+	if s.err != nil || s.done || s.cn.isBroken() {
+		return nil
+	}
+	resp, err := s.cn.roundTrip(&wire.StreamClose{ID: s.id})
+	if err != nil {
+		return err
+	}
+	if e, ok := resp.(*wire.ErrorResp); ok {
+		return errFromResp(e)
+	}
+	return expectAck(resp)
+}
+
+// errFromResp converts an error frame to its typed error value (same
+// classification call applies to unary responses).
+func errFromResp(e *wire.ErrorResp) error {
+	if e.Kind == wire.ErrFeatureDisabled {
+		return fmt.Errorf("remote: %w (%s)", core.ErrFeatureDisabled, e.Msg)
+	}
+	return e.Err()
+}
+
+var _ core.StreamReader = (*Client)(nil)
+
+// ---------------------------------------------------------------------------
+// StreamingDB: the materialized API served by streaming
+
+// StreamingDB is a core.DB view of a Client whose ReadData and
+// ReadMetadata are served by fully consuming the streaming path instead
+// of the one-shot Records exchange. The validate oracle runs over it to
+// certify the iterator client end to end: every §3.3 read the oracle
+// checks flows through SELECT-STREAM / STREAM-NEXT reassembly.
+type StreamingDB struct {
+	*Client
+	// Chunk is the per-chunk record count requested from the server
+	// (0 = server default).
+	Chunk int
+}
+
+// ReadData implements core.DB by draining a data stream.
+func (s *StreamingDB) ReadData(a acl.Actor, sel gdpr.Selector) ([]gdpr.Record, error) {
+	cur, err := s.Client.ReadDataStream(a, sel, s.Chunk)
+	if err != nil {
+		return nil, err
+	}
+	return core.Drain(cur)
+}
+
+// ReadMetadata implements core.DB by draining a metadata stream.
+func (s *StreamingDB) ReadMetadata(a acl.Actor, sel gdpr.Selector) ([]gdpr.Record, error) {
+	cur, err := s.Client.ReadMetadataStream(a, sel, s.Chunk)
+	if err != nil {
+		return nil, err
+	}
+	return core.Drain(cur)
+}
+
+var _ core.DB = (*StreamingDB)(nil)

@@ -1,0 +1,185 @@
+package remote_test
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/difftest"
+	"repro/internal/gdpr"
+	"repro/internal/remote"
+)
+
+// The streaming legs of the network acceptance bar: the v4 cursor
+// exchange (SELECT-STREAM / STREAM-NEXT / STREAM-CLOSE with pipelined
+// credit) reassembled client-side must be observably identical to the
+// materialized Records exchange — and to the embedded stack.
+
+// openStreamingRemote serves a fresh embedded DB over localhost TCP and
+// returns a client whose ReadData/ReadMetadata drain the streaming path.
+func openStreamingRemote(chunk int) func(t *testing.T, engine string, sim *clock.Sim) core.DB {
+	return func(t *testing.T, engine string, sim *clock.Sim) core.DB {
+		t.Helper()
+		cli := openRemote(t, engine, sim)
+		return &remote.StreamingDB{Client: cli.(*remote.Client), Chunk: chunk}
+	}
+}
+
+// TestRemoteStreamTranscriptByteIdenticalToEmbedded replays the
+// differential mini-workload with every selector read served by the
+// wire cursor exchange; the transcript must match the embedded
+// materialized stack byte for byte, for both engines, at chunk sizes
+// that force multi-chunk results.
+func TestRemoteStreamTranscriptByteIdenticalToEmbedded(t *testing.T) {
+	cfg := core.Config{Records: 240, Operations: 10, Threads: 2, Seed: 42}.WithDefaults()
+	for _, engine := range []string{"redis", "redis-striped", "postgres"} {
+		for _, chunk := range []int{1, 7, 0} {
+			chunk := chunk
+			t.Run(fmt.Sprintf("%s/chunk=%d", engine, chunk), func(t *testing.T) {
+				run := func(open func(*testing.T, string, *clock.Sim) core.DB) []string {
+					sim := clock.NewSim(time.Unix(1_500_000_000, 0))
+					db := open(t, engine, sim)
+					ds, _, err := core.Load(db, cfg, sim)
+					if err != nil {
+						t.Fatal(err)
+					}
+					return difftest.Transcript(t, db, ds, sim)
+				}
+				want := run(openEmbedded)
+				got := run(openStreamingRemote(chunk))
+				difftest.AssertEqual(t, "embedded", want, "remote-streamed", got)
+			})
+		}
+	}
+}
+
+// TestRemoteValidateOracleOverStreamingClient runs the full validate
+// oracle — every Table 2a workload's deterministic script — over the
+// iterator client: each oracle read flows through SELECT-STREAM /
+// STREAM-NEXT reassembly, and the correctness score must be 100%.
+func TestRemoteValidateOracleOverStreamingClient(t *testing.T) {
+	cfg := core.Config{Records: 240, Operations: 40, Threads: 2, Seed: 7}.WithDefaults()
+	for _, engine := range []string{"redis", "postgres"} {
+		for _, name := range core.WorkloadNames() {
+			t.Run(engine+"/"+string(name), func(t *testing.T) {
+				sim := clock.NewSim(time.Unix(1_500_000_000, 0))
+				db := openStreamingRemote(5)(t, engine, sim)
+				ds, _, err := core.Load(db, cfg, sim)
+				if err != nil {
+					t.Fatal(err)
+				}
+				rep, err := core.Validate(db, ds, name, sim, diffComp.AccessControl)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if rep.Score() != 100 {
+					t.Fatalf("oracle over streaming client scored %.2f%% (%d/%d): %v",
+						rep.Score(), rep.Matched, rep.Total, rep.Mismatches)
+				}
+			})
+		}
+	}
+}
+
+// TestRemoteStreamSharesConnectionWithPointOps drives a slow chunked
+// stream while other goroutines hammer point reads through the same
+// client; the credit-based exchange must interleave instead of
+// head-of-line-blocking them, and the stream must still deliver every
+// record exactly once.
+func TestRemoteStreamSharesConnectionWithPointOps(t *testing.T) {
+	sim := clock.NewSim(time.Unix(1_500_000_000, 0))
+	cli := openRemote(t, "redis", sim)
+	cfg := core.Config{Records: 300, Seed: 13}.WithDefaults()
+	ds, _, err := core.Load(cli, cfg, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := cli.(core.StreamReader)
+	reg := core.RegulatorActor()
+
+	cur, err := sr.ReadMetadataStream(reg, gdpr.ByUser(ds.UserName(0)), 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cur.Close()
+
+	// Concurrent point reads on the same pooled client while the stream
+	// is consumed slowly.
+	var wg sync.WaitGroup
+	errCh := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				k := (w*53 + i) % cfg.Records
+				if _, err := cli.ReadMetadata(reg, gdpr.ByKey(ds.KeyAt(k))); err != nil {
+					errCh <- err
+					return
+				}
+			}
+		}(w)
+	}
+	seen := map[string]bool{}
+	for {
+		recs, err := cur.Next()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, r := range recs {
+			if seen[r.Key] {
+				t.Fatalf("record %q streamed twice", r.Key)
+			}
+			seen[r.Key] = true
+		}
+		time.Sleep(time.Millisecond) // keep the stream alive across the point-op burst
+	}
+	wg.Wait()
+	close(errCh)
+	for err := range errCh {
+		t.Fatalf("point op during stream: %v", err)
+	}
+	want, err := cli.ReadMetadata(reg, gdpr.ByUser(ds.UserName(0)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(want) || len(seen) == 0 {
+		t.Fatalf("stream delivered %d records, want %d (>0)", len(seen), len(want))
+	}
+}
+
+// TestRemoteStreamCloseMidStreamReleasesServerCursor: abandoning a
+// stream client-side must release the server cursor (via STREAM-CLOSE)
+// so the session's cursor budget is not consumed by dead iterators.
+func TestRemoteStreamCloseMidStreamReleasesServerCursor(t *testing.T) {
+	sim := clock.NewSim(time.Unix(1_500_000_000, 0))
+	cli := openRemote(t, "redis", sim)
+	cfg := core.Config{Records: 200, Seed: 21}.WithDefaults()
+	ds, _, err := core.Load(cli, cfg, sim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sr := cli.(core.StreamReader)
+	reg := core.RegulatorActor()
+	// The server caps cursors per session at 16 by default; opening and
+	// abandoning far more than that only works if Close releases them.
+	for i := 0; i < 64; i++ {
+		cur, err := sr.ReadMetadataStream(reg, gdpr.ByUser(ds.UserName(i%ds.Users)), 1)
+		if err != nil {
+			t.Fatalf("stream %d: %v", i, err)
+		}
+		if _, err := cur.Next(); err != nil && err != io.EOF {
+			t.Fatal(err)
+		}
+		if err := cur.Close(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}

@@ -26,6 +26,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"io"
 	"log"
 	"net"
 	"sync"
@@ -57,6 +58,11 @@ type Config struct {
 	// over the METRICS verb (nil means obs.Default()). Tests inject
 	// private registries here.
 	Obs *obs.Registry
+	// MaxCursors caps concurrently open streaming cursors per session
+	// (default 16); SELECT-STREAM past the cap is refused with a
+	// structured error, so one connection cannot pin unbounded
+	// server-side iterator state.
+	MaxCursors int
 }
 
 func (c Config) withDefaults() Config {
@@ -68,6 +74,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.HandshakeTimeout <= 0 {
 		c.HandshakeTimeout = 10 * time.Second
+	}
+	if c.MaxCursors <= 0 {
+		c.MaxCursors = 16
 	}
 	return c
 }
@@ -82,11 +91,13 @@ type Server struct {
 	// Interned once at construction: the per-frame path must not pay a
 	// map lookup. mDepth is observed at dequeue, so its distribution is
 	// the read-ahead the pipeline actually achieved (1 = no pipelining).
-	obs     *obs.Registry
-	mFrames *obs.Counter
-	mConns  *obs.Gauge
-	mAccept *obs.Counter
-	mDepth  *obs.Histogram
+	obs      *obs.Registry
+	mFrames  *obs.Counter
+	mConns   *obs.Gauge
+	mAccept  *obs.Counter
+	mDepth   *obs.Histogram
+	mStreams *obs.Counter
+	mCursors *obs.Gauge
 
 	mu     sync.Mutex
 	ln     net.Listener
@@ -113,6 +124,8 @@ func New(db core.DB, cfg Config) *Server {
 	s.mConns = s.obs.Gauge("server_connections")
 	s.mAccept = s.obs.Counter("server_connections_total")
 	s.mDepth = s.obs.Histogram("server_pipeline_depth")
+	s.mStreams = s.obs.Counter("server_streams_total")
+	s.mCursors = s.obs.Gauge("server_cursors_open")
 	return s
 }
 
@@ -261,6 +274,16 @@ func (s *Server) handleConn(nc net.Conn) {
 	s.mConns.Add(1)
 	defer s.mConns.Add(-1)
 
+	// The session's streaming cursor table lives (and dies) with the
+	// handler: whatever the client leaves open — clean disconnect, drain,
+	// or a killed connection — is reaped here, so cursors never outlive
+	// their session.
+	sess := &session{cursors: make(map[uint64]core.RecordCursor)}
+	defer func() {
+		n := sess.closeAll()
+		s.mCursors.Add(-int64(n))
+	}()
+
 	requests := make(chan wire.Message, s.cfg.Pipeline)
 	go func() {
 		defer close(requests)
@@ -284,7 +307,7 @@ func (s *Server) handleConn(nc net.Conn) {
 		// Depth includes the request just taken: 1 means the client was
 		// not pipelining, Pipeline+1 means the read-ahead queue was full.
 		s.mDepth.Observe(int64(len(requests)) + 1)
-		resp := s.execute(role, m)
+		resp := s.execute(role, sess, m)
 		if err := enc.WriteMessage(bw, resp); err != nil {
 			var fe *wire.FrameError
 			if !errors.As(err, &fe) {
@@ -346,9 +369,27 @@ func (s *Server) handshake(nc net.Conn, br *bufio.Reader, bw *bufio.Writer, dec 
 	return hello.Role, true
 }
 
+// session is per-connection handler state: the open streaming cursors,
+// keyed by the id StreamOpened handed the client. Owned by the handler
+// goroutine alone (requests execute in arrival order), so no lock.
+type session struct {
+	cursors map[uint64]core.RecordCursor
+	nextID  uint64
+}
+
+// closeAll reaps every open cursor and reports how many there were.
+func (ss *session) closeAll() int {
+	n := len(ss.cursors)
+	for id, cur := range ss.cursors {
+		cur.Close()
+		delete(ss.cursors, id)
+	}
+	return n
+}
+
 // execute runs one request against the compliance-wrapped DB and shapes
 // the response. It never returns nil.
-func (s *Server) execute(role acl.Role, msg wire.Message) wire.Message {
+func (s *Server) execute(role acl.Role, sess *session, msg wire.Message) wire.Message {
 	fail := func(err error) wire.Message {
 		resp := wire.ErrorFrom(err)
 		if errors.Is(err, core.ErrFeatureDisabled) {
@@ -501,7 +542,91 @@ func (s *Server) execute(role acl.Role, msg wire.Message) wire.Message {
 		// SpaceUsage, any authenticated session may pull it.
 		return wire.MetricsFromSnapshot(s.obs.Snapshot(m.Slowlog))
 
+	case *wire.SelectStream:
+		if err := checkActor(m.Actor); err != nil {
+			return fail(err)
+		}
+		if len(sess.cursors) >= s.cfg.MaxCursors {
+			return fail(fmt.Errorf("server: too many open cursors (max %d)", s.cfg.MaxCursors))
+		}
+		// Clamp the requested chunk at execution time rather than in the
+		// codec (the frame stays canonical): maxStreamChunk keeps any
+		// honest chunk of records inside one response frame.
+		chunk := int(min(m.Chunk, maxStreamChunk))
+		cur, err := s.openCursor(m.Actor, m.Sel, chunk, m.Meta)
+		if err != nil {
+			return fail(err)
+		}
+		sess.nextID++
+		id := sess.nextID
+		sess.cursors[id] = cur
+		s.mStreams.Inc()
+		s.mCursors.Add(1)
+		return &wire.StreamOpened{ID: id}
+
+	case *wire.StreamNext:
+		cur, ok := sess.cursors[m.ID]
+		if !ok {
+			// Unknown or already-finished cursor: answer Done instead of
+			// erroring, so a StreamNext racing the stream's natural end
+			// (or a reap) resolves cleanly.
+			return &wire.StreamChunk{ID: m.ID, Done: true}
+		}
+		recs, err := cur.Next()
+		if err == io.EOF {
+			cur.Close()
+			delete(sess.cursors, m.ID)
+			s.mCursors.Add(-1)
+			return &wire.StreamChunk{ID: m.ID, Done: true}
+		}
+		if err != nil {
+			cur.Close()
+			delete(sess.cursors, m.ID)
+			s.mCursors.Add(-1)
+			return fail(err)
+		}
+		return &wire.StreamChunk{ID: m.ID, Recs: wire.EncodeRecords(recs)}
+
+	case *wire.StreamClose:
+		if cur, ok := sess.cursors[m.ID]; ok {
+			cur.Close()
+			delete(sess.cursors, m.ID)
+			s.mCursors.Add(-1)
+		}
+		return &wire.Ack{}
+
 	default:
 		return fail(fmt.Errorf("server: unexpected %v frame", msg.Op()))
 	}
+}
+
+// maxStreamChunk bounds the records per StreamChunk frame. 4096 records
+// of the benchmark's ~1-4KB payloads stay well inside MaxFrameSize; an
+// oversized chunk of unusually fat records still degrades cleanly via
+// the handler's structured-error fallback.
+const maxStreamChunk = 4096
+
+// openCursor builds the session cursor behind SELECT-STREAM: the DB's
+// native streaming read when it implements core.StreamReader (the
+// middleware does), otherwise — the materializing ablation, selected by
+// hosting a DB without streaming support — a one-shot ReadData chunked
+// through a SliceCursor. Compliance runs server-side on both paths.
+func (s *Server) openCursor(a acl.Actor, sel gdpr.Selector, chunk int, meta bool) (core.RecordCursor, error) {
+	if sr, ok := s.db.(core.StreamReader); ok {
+		if meta {
+			return sr.ReadMetadataStream(a, sel, chunk)
+		}
+		return sr.ReadDataStream(a, sel, chunk)
+	}
+	var recs []gdpr.Record
+	var err error
+	if meta {
+		recs, err = s.db.ReadMetadata(a, sel)
+	} else {
+		recs, err = s.db.ReadData(a, sel)
+	}
+	if err != nil {
+		return nil, err
+	}
+	return core.SliceCursor(recs, chunk), nil
 }

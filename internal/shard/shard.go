@@ -31,9 +31,11 @@
 package shard
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"hash/fnv"
+	"io"
 	"sync"
 
 	"repro/internal/core"
@@ -72,8 +74,43 @@ func (r *Router) shardFor(key string) core.Engine {
 }
 
 // scatter runs fn once per shard, concurrently when there is more than
-// one, and aggregates every shard's error.
-func (r *Router) scatter(fn func(i int, e core.Engine) error) error {
+// one, and aggregates every shard's error. The first shard failure
+// cancels ctx, so sibling workers that have not started yet skip their
+// engine call and workers with cooperation points (the per-record
+// PutBatch fallback) stop between items instead of running a doomed
+// operation to completion into the errors.Join aggregation.
+// Cancellation noise (context.Canceled) is dropped from the aggregate —
+// only root-cause shard errors surface.
+func (r *Router) scatter(fn func(ctx context.Context, i int, e core.Engine) error) error {
+	if len(r.shards) == 1 {
+		return fn(context.Background(), 0, r.shards[0])
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	errs := make([]error, len(r.shards))
+	var wg sync.WaitGroup
+	for i, e := range r.shards {
+		wg.Add(1)
+		go func(i int, e core.Engine) {
+			defer wg.Done()
+			if ctx.Err() != nil {
+				return
+			}
+			if err := fn(ctx, i, e); err != nil && !errors.Is(err, context.Canceled) {
+				errs[i] = err
+				cancel()
+			}
+		}(i, e)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// scatterAll runs fn once per shard, concurrently, always visiting
+// every shard even after a failure — the shape for operations that must
+// not be skipped on sibling error (Close must release every engine,
+// Delete must report what actually happened per shard).
+func (r *Router) scatterAll(fn func(i int, e core.Engine) error) error {
 	if len(r.shards) == 1 {
 		return fn(0, r.shards[0])
 	}
@@ -115,7 +152,7 @@ func (r *Router) PutBatch(recs []gdpr.Record) error {
 		i := r.shardIndex(rec.Key)
 		groups[i] = append(groups[i], rec)
 	}
-	return r.scatter(func(i int, e core.Engine) error {
+	return r.scatter(func(ctx context.Context, i int, e core.Engine) error {
 		if len(groups[i]) == 0 {
 			return nil
 		}
@@ -123,6 +160,9 @@ func (r *Router) PutBatch(recs []gdpr.Record) error {
 			return be.PutBatch(groups[i])
 		}
 		for _, rec := range groups[i] {
+			if err := ctx.Err(); err != nil {
+				return err
+			}
 			if err := e.Put(rec); err != nil {
 				return err
 			}
@@ -144,7 +184,7 @@ func (r *Router) Select(sel gdpr.Selector) ([]gdpr.Record, error) {
 		return r.shardFor(sel.Value).Select(sel)
 	}
 	parts := make([][]gdpr.Record, len(r.shards))
-	err := r.scatter(func(i int, e core.Engine) error {
+	err := r.scatter(func(_ context.Context, i int, e core.Engine) error {
 		recs, err := e.Select(sel)
 		parts[i] = recs
 		return err
@@ -161,7 +201,7 @@ func (r *Router) SelectKeys(sel gdpr.Selector) ([]string, error) {
 		return r.shardFor(sel.Value).SelectKeys(sel)
 	}
 	parts := make([][]string, len(r.shards))
-	err := r.scatter(func(i int, e core.Engine) error {
+	err := r.scatter(func(_ context.Context, i int, e core.Engine) error {
 		keys, err := e.SelectKeys(sel)
 		parts[i] = keys
 		return err
@@ -183,7 +223,7 @@ func (r *Router) Update(key string, mutate func(gdpr.Record) (gdpr.Record, error
 func (r *Router) Delete(keys []string) (int, error) {
 	groups := r.groupKeys(keys)
 	counts := make([]int, len(r.shards))
-	err := r.scatter(func(i int, e core.Engine) error {
+	err := r.scatterAll(func(i int, e core.Engine) error {
 		if len(groups[i]) == 0 {
 			return nil
 		}
@@ -213,7 +253,7 @@ func (r *Router) Features() map[string]string {
 // SpaceUsage implements core.Engine: the sum over shards.
 func (r *Router) SpaceUsage() (core.SpaceUsage, error) {
 	parts := make([]core.SpaceUsage, len(r.shards))
-	err := r.scatter(func(i int, e core.Engine) error {
+	err := r.scatterAll(func(i int, e core.Engine) error {
 		u, err := e.SpaceUsage()
 		parts[i] = u
 		return err
@@ -231,7 +271,7 @@ func (r *Router) SpaceUsage() (core.SpaceUsage, error) {
 // registers an obs collector under the same series names, and the
 // registry sums same-name emissions at snapshot time.)
 func (r *Router) Close() error {
-	return r.scatter(func(_ int, e core.Engine) error { return e.Close() })
+	return r.scatterAll(func(_ int, e core.Engine) error { return e.Close() })
 }
 
 func flatten[T any](parts [][]T) []T {
@@ -249,4 +289,119 @@ func flatten[T any](parts [][]T) []T {
 	return out
 }
 
-var _ core.BatchEngine = (*Router)(nil)
+// ---------------------------------------------------------------------------
+// Streaming scatter-gather
+
+// SelectStream implements core.StreamEngine: key selectors stream from
+// their one owning shard; attribute selectors run one streaming worker
+// per shard, each driving that shard's cursor into a buffered channel,
+// while the merge cursor drains the shards in index order — the same
+// concatenation flatten gives the materialized path, so chunked and
+// materialized results agree byte-for-byte on a quiescent fleet.
+//
+// Memory stays bounded at O(shards x chunk): each worker holds at most
+// one chunk in flight plus one parked in its channel, so a slow
+// consumer back-pressures every shard instead of buffering whole
+// per-shard result sets. The first shard error (and Close) cancels the
+// shared context, which unparks and retires every worker; Close waits
+// for them, so no goroutines or engine cursors outlive the stream.
+func (r *Router) SelectStream(sel gdpr.Selector, chunk int) (core.RecordCursor, error) {
+	if sel.Attr == gdpr.AttrKey {
+		return core.StreamOf(r.shardFor(sel.Value), sel, chunk)
+	}
+	if chunk <= 0 {
+		chunk = core.DefaultStreamChunk
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	m := &mergeCursor{cancel: cancel, chans: make([]chan shardChunk, len(r.shards))}
+	for i, e := range r.shards {
+		ch := make(chan shardChunk, 1)
+		m.chans[i] = ch
+		m.wg.Add(1)
+		go func(e core.Engine, ch chan shardChunk) {
+			defer m.wg.Done()
+			defer close(ch)
+			terminal := func(err error) {
+				select {
+				case ch <- shardChunk{err: err}:
+				case <-ctx.Done():
+				}
+			}
+			cur, err := core.StreamOf(e, sel, chunk)
+			if err != nil {
+				terminal(err)
+				return
+			}
+			defer cur.Close()
+			for {
+				recs, err := cur.Next()
+				if err == io.EOF {
+					return
+				}
+				if err != nil {
+					terminal(err)
+					return
+				}
+				select {
+				case ch <- shardChunk{recs: recs}:
+				case <-ctx.Done():
+					return
+				}
+			}
+		}(e, ch)
+	}
+	return m, nil
+}
+
+// shardChunk is one worker-to-merger hand-off: a batch of records or a
+// terminal error.
+type shardChunk struct {
+	recs []gdpr.Record
+	err  error
+}
+
+// mergeCursor drains per-shard channels in shard-index order.
+type mergeCursor struct {
+	cancel context.CancelFunc
+	chans  []chan shardChunk
+	wg     sync.WaitGroup
+	cur    int
+	err    error
+	done   bool
+}
+
+func (m *mergeCursor) Next() ([]gdpr.Record, error) {
+	if m.err != nil {
+		return nil, m.err
+	}
+	if m.done {
+		return nil, io.EOF
+	}
+	for m.cur < len(m.chans) {
+		c, ok := <-m.chans[m.cur]
+		if !ok {
+			m.cur++
+			continue
+		}
+		if c.err != nil {
+			m.err = c.err
+			m.cancel()
+			return nil, c.err
+		}
+		return c.recs, nil
+	}
+	m.done = true
+	return nil, io.EOF
+}
+
+func (m *mergeCursor) Close() error {
+	m.cancel()
+	m.wg.Wait()
+	m.done = true
+	return nil
+}
+
+var (
+	_ core.BatchEngine  = (*Router)(nil)
+	_ core.StreamEngine = (*Router)(nil)
+)

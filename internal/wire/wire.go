@@ -37,10 +37,12 @@ import (
 const (
 	// ProtocolVersion is negotiated in the Hello handshake. Version 2
 	// added HelloOK.AuditPolicy; version 3 added the METRICS
-	// introspection exchange (Metrics/MetricsResp). The codec is
-	// canonical (no optional fields), so any frame-shape change bumps
-	// the version and a mismatch is rejected cleanly at handshake.
-	ProtocolVersion = 3
+	// introspection exchange (Metrics/MetricsResp); version 4 added the
+	// streaming cursor exchange (SelectStream/StreamNext/StreamClose and
+	// the StreamOpened/StreamChunk responses). The codec is canonical (no
+	// optional fields), so any frame-shape change bumps the version and a
+	// mismatch is rejected cleanly at handshake.
+	ProtocolVersion = 4
 	// MaxFrameSize bounds one frame's opcode + payload; oversized frames
 	// are rejected before any payload allocation.
 	MaxFrameSize = 16 << 20
@@ -76,6 +78,12 @@ const (
 	// their values).
 	OpMetrics
 	OpMetricsResp
+	// Version 4 streaming cursor exchange.
+	OpSelectStream
+	OpStreamNext
+	OpStreamClose
+	OpStreamOpened
+	OpStreamChunk
 	opEnd // sentinel: one past the last valid opcode
 )
 
@@ -85,7 +93,8 @@ func (o Op) String() string {
 		"read-metadata", "update-data", "update-metadata", "delete-record",
 		"get-logs", "get-features", "verify-deletion", "space-usage",
 		"hello-ok", "ack", "records", "count", "log-entries", "features",
-		"space", "error", "metrics", "metrics-resp",
+		"space", "error", "metrics", "metrics-resp", "select-stream",
+		"stream-next", "stream-close", "stream-opened", "stream-chunk",
 	}
 	if int(o) < len(names) {
 		return names[o]
@@ -153,6 +162,16 @@ func newMessage(op Op) Message {
 		return &Metrics{}
 	case OpMetricsResp:
 		return &MetricsResp{}
+	case OpSelectStream:
+		return &SelectStream{}
+	case OpStreamNext:
+		return &StreamNext{}
+	case OpStreamClose:
+		return &StreamClose{}
+	case OpStreamOpened:
+		return &StreamOpened{}
+	case OpStreamChunk:
+		return &StreamChunk{}
 	default:
 		return nil
 	}
@@ -751,6 +770,54 @@ func (*Metrics) Op() Op             { return OpMetrics }
 func (m *Metrics) encode(w *writer) { w.boolVal(m.Slowlog) }
 func (m *Metrics) decode(r *reader) { m.Slowlog = r.boolVal() }
 
+// SelectStream opens a server-side cursor over a selector result set
+// (the streaming counterpart of ReadData/ReadMetadata). The server
+// replies StreamOpened with the cursor id; the client then pulls chunks
+// with StreamNext. Chunk is the requested records-per-chunk (0 lets the
+// server choose); Meta selects the READ-METADATA projection (redacted
+// Data) instead of READ-DATA. The cursor is bound to this session and
+// reaped when the connection closes.
+type SelectStream struct {
+	Actor acl.Actor
+	Sel   gdpr.Selector
+	Chunk uint64
+	Meta  bool
+}
+
+func (*SelectStream) Op() Op { return OpSelectStream }
+func (m *SelectStream) encode(w *writer) {
+	encodeActor(w, m.Actor)
+	encodeSelector(w, m.Sel)
+	w.uvarint(m.Chunk)
+	w.boolVal(m.Meta)
+}
+func (m *SelectStream) decode(r *reader) {
+	m.Actor = decodeActor(r)
+	m.Sel = decodeSelector(r)
+	m.Chunk = r.uvarint()
+	m.Meta = r.boolVal()
+}
+
+// StreamNext pulls the next chunk from an open cursor. Clients may
+// pipeline several StreamNext frames (credit-based flow control): each
+// is an ordinary pipelined request with its own in-order StreamChunk
+// response, so point operations interleave between chunks on the same
+// connection.
+type StreamNext struct{ ID uint64 }
+
+func (*StreamNext) Op() Op             { return OpStreamNext }
+func (m *StreamNext) encode(w *writer) { w.uvarint(m.ID) }
+func (m *StreamNext) decode(r *reader) { m.ID = r.uvarint() }
+
+// StreamClose releases a cursor early. The server always acks — closing
+// an unknown or already-finished cursor is a no-op, so close races
+// (Done chunk in flight while the client closes) resolve cleanly.
+type StreamClose struct{ ID uint64 }
+
+func (*StreamClose) Op() Op             { return OpStreamClose }
+func (m *StreamClose) encode(w *writer) { w.uvarint(m.ID) }
+func (m *StreamClose) decode(r *reader) { m.ID = r.uvarint() }
+
 // ---------------------------------------------------------------------------
 // Responses
 
@@ -880,6 +947,38 @@ func (m *Space) encode(w *writer) {
 func (m *Space) decode(r *reader) {
 	m.Personal = r.varint()
 	m.Total = r.varint()
+}
+
+// StreamOpened accepts a SelectStream: ID names the server-side cursor
+// for subsequent StreamNext/StreamClose frames.
+type StreamOpened struct{ ID uint64 }
+
+func (*StreamOpened) Op() Op             { return OpStreamOpened }
+func (m *StreamOpened) encode(w *writer) { w.uvarint(m.ID) }
+func (m *StreamOpened) decode(r *reader) { m.ID = r.uvarint() }
+
+// StreamChunk answers one StreamNext: a batch of §4.2.1 record payloads
+// in engine order. Done marks the final frame of the stream (Recs may
+// be empty then); the server has already released the cursor, so no
+// StreamClose is needed after a Done chunk. A StreamNext for an unknown
+// cursor also answers Done with no records, keeping the exchange
+// race-free around disconnect reaping.
+type StreamChunk struct {
+	ID   uint64
+	Recs []string
+	Done bool
+}
+
+func (*StreamChunk) Op() Op { return OpStreamChunk }
+func (m *StreamChunk) encode(w *writer) {
+	w.uvarint(m.ID)
+	w.strs(m.Recs)
+	w.boolVal(m.Done)
+}
+func (m *StreamChunk) decode(r *reader) {
+	m.ID = r.uvarint()
+	m.Recs = r.strsVal()
+	m.Done = r.boolVal()
 }
 
 // MetricsResp carries a registry snapshot: counter and gauge series as

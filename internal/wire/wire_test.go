@@ -66,6 +66,12 @@ func sampleMessages() []Message {
 		&SpaceUsage{},
 		&Metrics{},
 		&Metrics{Slowlog: true},
+		&SelectStream{Actor: processor, Sel: gdpr.ByPurpose("ads"), Chunk: 256},
+		&SelectStream{Actor: acl.Actor{Role: acl.Regulator, ID: "dpa-1"},
+			Sel: gdpr.ByUser("neo"), Meta: true},
+		&StreamNext{ID: 7},
+		&StreamNext{},
+		&StreamClose{ID: 7},
 		&HelloOK{Version: ProtocolVersion},
 		&HelloOK{Version: ProtocolVersion, AuditPolicy: "async"},
 		&Ack{},
@@ -105,6 +111,9 @@ func sampleMessages() []Message {
 			}},
 		}),
 		&MetricsResp{},
+		&StreamOpened{ID: 7},
+		&StreamChunk{ID: 7, Recs: []string{gdpr.Encode(rec), gdpr.Encode(rec)}},
+		&StreamChunk{ID: 7, Done: true},
 		&ErrorResp{Kind: ErrDenied, Role: acl.Processor, Verb: byte(acl.VerbReadData),
 			ID: "processor-1", Purpose: "ads", Key: "ph-1x4b", Reason: "owner objected"},
 		&ErrorResp{Kind: ErrValidation, Key: "bad-rec", Reason: "strict mode requires a TTL (G 5(1e))"},
